@@ -1,0 +1,122 @@
+//===- bench/ablation_lazy_overhead.cpp - §5.3: the cost of laziness -------===//
+///
+/// \file
+/// Regenerates §5.3's claim: "The overhead in time introduced by this
+/// lazy technique is small. The total generation time ... will not
+/// increase, since even in the worst case exactly the same amount of work
+/// has to be done as before. Only the test in ACTION ... takes some extra
+/// time." We measure (a) total table-generation work eagerly vs forced
+/// through the lazy path, (b) warm parse time on a pre-generated table vs
+/// a lazily grown one (the residual cost is ACTION's state test), and
+/// (c) the §5.3 memory observation — the lazy generator keeps kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchSupport.h"
+
+#include "core/Ipg.h"
+#include "glr/GlrParser.h"
+#include "sdf/Samples.h"
+#include "sdf/SdfLanguage.h"
+#include "sdf/SdfLexer.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ipg;
+using namespace ipg::bench;
+
+namespace {
+
+std::vector<SymbolId> tokenize(SdfLanguage &Lang, std::string_view Text) {
+  Scanner S;
+  configureSdfScanner(S);
+  Expected<std::vector<SymbolId>> Tokens =
+      S.tokenizeToSymbols(Text, Lang.grammar());
+  assert(Tokens && "sample must tokenize");
+  return Tokens.take();
+}
+
+} // namespace
+
+int main() {
+  std::printf("§5.3 — the overhead of lazy generation on the SDF grammar\n\n");
+
+  // (a) Full-pipeline comparison doing identical total work: the eager
+  // pipeline generates everything, then parses SDF.sdf against the warm
+  // table; the lazy pipeline parses first (expanding by need — §5's worst
+  // case forces the remainder afterwards). Scanner setup and tokenization
+  // stay outside the timed region. Any gap is the lazy overhead: ACTION's
+  // state test plus interleaving effects.
+  auto TimePipeline = [](bool LazyFirst) {
+    std::vector<double> Samples;
+    for (int I = 0; I < 7; ++I) {
+      SdfLanguage Lang;
+      std::vector<SymbolId> Tokens = tokenize(Lang, sdfSamples()[2].Text);
+      Stopwatch Watch;
+      if (LazyFirst) {
+        Ipg Gen(Lang.grammar());
+        Gen.recognize(Tokens);
+        Gen.generateAll();
+      } else {
+        ItemSetGraph Graph(Lang.grammar());
+        Graph.generateAll();
+        GlrParser Parser(Graph);
+        Parser.recognize(Tokens);
+      }
+      Samples.push_back(Watch.seconds());
+    }
+    std::sort(Samples.begin(), Samples.end());
+    return Samples[Samples.size() / 2];
+  };
+  double EagerGen = TimePipeline(/*LazyFirst=*/false);
+  double LazyGen = TimePipeline(/*LazyFirst=*/true);
+
+  // (b) Warm parse times: fully generated vs lazily grown tables.
+  SdfLanguage LangEager;
+  std::vector<SymbolId> Input = tokenize(LangEager, sdfSamples()[3].Text);
+  ItemSetGraph EagerGraph(LangEager.grammar());
+  EagerGraph.generateAll();
+  GlrParser EagerParser(EagerGraph);
+  EagerParser.recognize(Input);
+  double EagerParse = medianSeconds(9, [&] { EagerParser.recognize(Input); });
+
+  SdfLanguage LangLazy;
+  std::vector<SymbolId> InputLazy = tokenize(LangLazy, sdfSamples()[3].Text);
+  Ipg LazyGenr(LangLazy.grammar());
+  LazyGenr.recognize(InputLazy);
+  double LazyParse =
+      medianSeconds(9, [&] { LazyGenr.recognize(InputLazy); });
+
+  // (c) Memory: the lazy/incremental graph keeps kernels (§5.3).
+  size_t KernelItems = 0;
+  for (const ItemSet *State : EagerGraph.liveSets())
+    KernelItems += State->kernel().size();
+
+  // Tokenizing the lazy-gen scenario includes scanner time; report the
+  // generation-only comparison and the warm-parse comparison.
+  TextTable Table({"measurement", "eager", "lazy", "ratio"});
+  Table.addRow({"full pipeline (gen + parse SDF.sdf)", ms(EagerGen),
+                ms(LazyGen), formatSeconds(LazyGen / EagerGen, 2) + "x"});
+  Table.addRow({"warm parse (ASF.sdf)", ms(EagerParse), ms(LazyParse),
+                formatSeconds(LazyParse / EagerParse, 2) + "x"});
+  Table.print();
+  std::printf("\nkernel items retained for incrementality: %zu items across "
+              "%zu states\n",
+              KernelItems, EagerGraph.numLive());
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  Failures += checkShape(LazyGen < EagerGen * 2.0,
+                         "lazy pipeline does the same total work within a "
+                         "small factor (§5.3: 'the overhead ... is small'; "
+                         "sub-ms medians carry real jitter)");
+  Failures +=
+      checkShape(LazyParse < EagerParse * 1.5,
+                 "once generated, parsing speed is effectively unaffected "
+                 "(§1: 'as efficient as a conventionally generated parser')");
+  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
+                            : "\n%d shape check(s) FAILED.\n",
+              Failures);
+  return Failures == 0 ? 0 : 1;
+}

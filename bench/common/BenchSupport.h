@@ -1,0 +1,76 @@
+//===- bench/common/BenchSupport.h - Bench table printing ------*- C++ -*-===//
+///
+/// \file
+/// Shared helpers for the reproduction benches: an aligned table printer
+/// for the paper-style outputs, and a shape-check reporter that asserts
+/// the qualitative relations the paper's figures show (who wins, by
+/// roughly what factor) without pinning absolute numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_BENCH_COMMON_BENCHSUPPORT_H
+#define IPG_BENCH_COMMON_BENCHSUPPORT_H
+
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ipg::bench {
+
+/// Collects rows of strings and prints them with aligned columns.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  void print() const {
+    std::vector<size_t> Widths(Header.size(), 0);
+    auto Measure = [&](const std::vector<std::string> &Row) {
+      for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+        Widths[I] = std::max(Widths[I], Row[I].size());
+    };
+    Measure(Header);
+    for (const auto &Row : Rows)
+      Measure(Row);
+    auto PrintRow = [&](const std::vector<std::string> &Row) {
+      std::string Line;
+      for (size_t I = 0; I < Row.size(); ++I) {
+        Line += I == 0 ? padRight(Row[I], Widths[I])
+                       : ("  " + padLeft(Row[I], Widths[I]));
+      }
+      std::printf("%s\n", Line.c_str());
+    };
+    PrintRow(Header);
+    std::string Rule;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      Rule += std::string(Widths[I] + (I ? 2 : 0), '-');
+    std::printf("%s\n", Rule.c_str());
+    for (const auto &Row : Rows)
+      PrintRow(Row);
+  }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Prints PASS/FAIL for one qualitative expectation; returns !Ok so main()
+/// can sum failures into the exit code.
+inline int checkShape(bool Ok, const std::string &Description) {
+  std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Description.c_str());
+  return Ok ? 0 : 1;
+}
+
+/// Milliseconds with 3 decimals.
+inline std::string ms(double Seconds) {
+  return formatSeconds(Seconds * 1e3, 3) + " ms";
+}
+
+} // namespace ipg::bench
+
+#endif // IPG_BENCH_COMMON_BENCHSUPPORT_H

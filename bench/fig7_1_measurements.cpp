@@ -1,0 +1,392 @@
+//===- bench/fig7_1_measurements.cpp - Fig 7.1: Yacc vs PG vs IPG ----------===//
+///
+/// \file
+/// Regenerates Fig 7.1, the paper's headline measurement. For each of the
+/// four SDF inputs and each generator we time the paper's six phases:
+///
+///   construct — build the parse table for the SDF grammar;
+///   parse 1/2 — parse the input twice (trees are constructed, not
+///               printed, exactly as in §7);
+///   modify    — add the rule CF-ELEM ::= "(" CF-ELEM+ ")?" and update
+///               the table;
+///   parse 3/4 — parse the same input twice against the updated table.
+///
+/// Generators:
+///   Yacc — our LALR(1) generator + deterministic LR driver. The paper's
+///          9.6 s Yacc figure is dominated by compiling generated C
+///          (8.3 s), which has no analogue here, and a 1989 SUN 3/60 made
+///          even the ~100-state SDF table feel expensive. To reproduce
+///          that *regime* honestly, a second section scales the grammar
+///          (the paper: "we expect grammars that are much larger than the
+///          grammar of SDF and input sentences to be quite small");
+///   PG   — full LR(0) generation + Tomita parser (§4);
+///   IPG  — lazy & incremental generation + Tomita parser (§5/§6).
+///
+/// Absolute times are hardware-bound; the shape checks assert the paper's
+/// qualitative findings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchSupport.h"
+
+#include "core/Ipg.h"
+#include "glr/GlrParser.h"
+#include "lalr/LalrGen.h"
+#include "lr/LrParser.h"
+#include "sdf/Samples.h"
+#include "sdf/SdfLanguage.h"
+#include "sdf/SdfLexer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+using namespace ipg;
+using namespace ipg::bench;
+
+namespace {
+
+constexpr int Repetitions = 7;
+
+/// The six per-phase times of one scenario run.
+struct PhaseTimes {
+  double Construct = 0, Parse1 = 0, Parse2 = 0, Modify = 0, Parse3 = 0,
+         Parse4 = 0;
+  double total() const {
+    return Construct + Parse1 + Parse2 + Modify + Parse3 + Parse4;
+  }
+};
+
+/// A measurement scenario: how to build the grammar, and what to parse.
+struct Workload {
+  std::function<void(Grammar &)> Build;
+  std::string_view InputText;
+};
+
+/// Fills \p G with the SDF grammar of Appendix B.
+void buildSdf(Grammar &G) {
+  SdfLanguage Lang;
+  Grammar::cloneActiveRules(Lang.grammar(), G);
+}
+
+/// Fills \p G with the SDF grammar plus \p Copies-1 renamed clones — the
+/// "much larger grammar" regime of §7. Only the unprefixed copy is ever
+/// exercised by input, so the lazy generator skips the clones entirely
+/// while the batch generators must process them.
+void buildScaledSdf(Grammar &G, int Copies) {
+  SdfLanguage Base;
+  const Grammar &From = Base.grammar();
+  for (int Copy = 0; Copy < Copies; ++Copy) {
+    std::string Prefix =
+        Copy == 0 ? "" : "M" + std::to_string(Copy) + "#";
+    auto Map = [&](SymbolId Sym) {
+      if (Sym == From.startSymbol())
+        return G.startSymbol();
+      SymbolId Mapped =
+          G.symbols().intern(Prefix + From.symbols().name(Sym));
+      if (From.symbols().isNonterminal(Sym))
+        G.symbols().markNonterminal(Mapped);
+      return Mapped;
+    };
+    for (RuleId Id : From.activeRules()) {
+      const Rule &R = From.rule(Id);
+      std::vector<SymbolId> Rhs;
+      Rhs.reserve(R.Rhs.size());
+      for (SymbolId Sym : R.Rhs)
+        Rhs.push_back(Map(Sym));
+      G.addRule(Map(R.Lhs), std::move(Rhs));
+    }
+  }
+}
+
+/// The Fig 7.1 modification against the (unprefixed) CF-ELEM.
+std::pair<SymbolId, std::vector<SymbolId>> modification(Grammar &G) {
+  return {G.symbols().intern("CF-ELEM"),
+          {G.symbols().intern("("), G.symbols().intern("CF-ELEM+"),
+           G.symbols().intern(")?")}};
+}
+
+std::vector<SymbolId> tokenize(Grammar &G, std::string_view Text) {
+  Scanner S;
+  configureSdfScanner(S);
+  Expected<std::vector<SymbolId>> Tokens = S.tokenizeToSymbols(Text, G);
+  assert(Tokens && "sample must tokenize");
+  return Tokens.take();
+}
+
+/// One Yacc scenario run: every phase regenerates from scratch, as Yacc
+/// must (grammar change == rerun yacc + recompile).
+PhaseTimes runYacc(const Workload &W) {
+  PhaseTimes T;
+  Grammar G;
+  W.Build(G);
+  std::vector<SymbolId> Tokens = tokenize(G, W.InputText);
+
+  Stopwatch Watch;
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLalr1Table(Graph);
+  resolveConflictsYaccStyle(Table, G);
+  T.Construct = Watch.seconds();
+
+  LrParser Parser(Table, G);
+  for (double *Slot : {&T.Parse1, &T.Parse2}) {
+    TreeArena Arena;
+    Watch.reset();
+    LrParseResult R = Parser.parse(Tokens, Arena);
+    *Slot = Watch.seconds();
+    assert(R.Accepted && "Yacc baseline must accept the sample");
+    (void)R;
+  }
+
+  auto [Lhs, Rhs] = modification(G);
+  Watch.reset();
+  G.addRule(Lhs, std::move(Rhs));
+  ItemSetGraph Graph2(G);
+  ParseTable Table2 = buildLalr1Table(Graph2);
+  resolveConflictsYaccStyle(Table2, G);
+  T.Modify = Watch.seconds();
+
+  LrParser Parser2(Table2, G);
+  for (double *Slot : {&T.Parse3, &T.Parse4}) {
+    TreeArena Arena;
+    Watch.reset();
+    LrParseResult R = Parser2.parse(Tokens, Arena);
+    *Slot = Watch.seconds();
+    assert(R.Accepted && "Yacc baseline must accept after modification");
+    (void)R;
+  }
+  return T;
+}
+
+/// One PG scenario run: conventional full LR(0) generation, Tomita
+/// parser; modification regenerates everything (§4).
+PhaseTimes runPg(const Workload &W) {
+  PhaseTimes T;
+  Grammar G;
+  W.Build(G);
+  std::vector<SymbolId> Tokens = tokenize(G, W.InputText);
+
+  Stopwatch Watch;
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  T.Construct = Watch.seconds();
+
+  GlrParser Parser(Graph);
+  for (double *Slot : {&T.Parse1, &T.Parse2}) {
+    Forest F;
+    Watch.reset();
+    GlrResult R = Parser.parse(Tokens, F);
+    *Slot = Watch.seconds();
+    assert(R.Accepted && "PG must accept the sample");
+    (void)R;
+  }
+
+  auto [Lhs, Rhs] = modification(G);
+  Watch.reset();
+  G.addRule(Lhs, std::move(Rhs));
+  ItemSetGraph Graph2(G);
+  Graph2.generateAll();
+  T.Modify = Watch.seconds();
+
+  GlrParser Parser2(Graph2);
+  for (double *Slot : {&T.Parse3, &T.Parse4}) {
+    Forest F;
+    Watch.reset();
+    GlrResult R = Parser2.parse(Tokens, F);
+    *Slot = Watch.seconds();
+    assert(R.Accepted && "PG must accept after modification");
+    (void)R;
+  }
+  return T;
+}
+
+/// One IPG scenario run: lazy construction, incremental modification.
+PhaseTimes runIpg(const Workload &W) {
+  PhaseTimes T;
+  Grammar G;
+  W.Build(G);
+  std::vector<SymbolId> Tokens = tokenize(G, W.InputText);
+
+  Stopwatch Watch;
+  Ipg Gen(G);
+  T.Construct = Watch.seconds();
+
+  for (double *Slot : {&T.Parse1, &T.Parse2}) {
+    Forest F;
+    Watch.reset();
+    GlrResult R = Gen.parse(Tokens, F);
+    *Slot = Watch.seconds();
+    assert(R.Accepted && "IPG must accept the sample");
+    (void)R;
+  }
+
+  auto [Lhs, Rhs] = modification(G);
+  Watch.reset();
+  Gen.addRule(Lhs, std::move(Rhs));
+  T.Modify = Watch.seconds();
+
+  for (double *Slot : {&T.Parse3, &T.Parse4}) {
+    Forest F;
+    Watch.reset();
+    GlrResult R = Gen.parse(Tokens, F);
+    *Slot = Watch.seconds();
+    assert(R.Accepted && "IPG must accept after modification");
+    (void)R;
+  }
+  return T;
+}
+
+/// Medians per phase over repeated scenario runs.
+PhaseTimes medianPhases(PhaseTimes (*Run)(const Workload &),
+                        const Workload &W) {
+  std::vector<PhaseTimes> Samples;
+  for (int I = 0; I < Repetitions; ++I)
+    Samples.push_back(Run(W));
+  auto MedianOf = [&](double PhaseTimes::*Member) {
+    std::vector<double> Values;
+    for (const PhaseTimes &S : Samples)
+      Values.push_back(S.*Member);
+    std::sort(Values.begin(), Values.end());
+    return Values[Values.size() / 2];
+  };
+  PhaseTimes Result;
+  Result.Construct = MedianOf(&PhaseTimes::Construct);
+  Result.Parse1 = MedianOf(&PhaseTimes::Parse1);
+  Result.Parse2 = MedianOf(&PhaseTimes::Parse2);
+  Result.Modify = MedianOf(&PhaseTimes::Modify);
+  Result.Parse3 = MedianOf(&PhaseTimes::Parse3);
+  Result.Parse4 = MedianOf(&PhaseTimes::Parse4);
+  return Result;
+}
+
+/// Non-timing ground truth for the laziness claims: expansion counts per
+/// phase from one instrumented IPG run.
+struct IpgWork {
+  uint64_t ExpansionsParse1 = 0;
+  uint64_t ExpansionsParse2 = 0;
+  uint64_t ReExpansionsParse3 = 0;
+};
+
+IpgWork measureIpgWork(const Workload &W) {
+  IpgWork Work;
+  Grammar G;
+  W.Build(G);
+  std::vector<SymbolId> Tokens = tokenize(G, W.InputText);
+  Ipg Gen(G);
+  Gen.recognize(Tokens);
+  Work.ExpansionsParse1 = Gen.stats().Expansions;
+  Gen.recognize(Tokens);
+  Work.ExpansionsParse2 = Gen.stats().Expansions - Work.ExpansionsParse1;
+  auto [Lhs, Rhs] = modification(G);
+  Gen.addRule(Lhs, std::move(Rhs));
+  uint64_t Before = Gen.stats().ReExpansions;
+  Gen.recognize(Tokens);
+  Work.ReExpansionsParse3 = Gen.stats().ReExpansions - Before;
+  return Work;
+}
+
+int runSection(const char *Title, const Workload &W, bool Scaled) {
+  Grammar CountG;
+  W.Build(CountG);
+  size_t NumTokens = tokenize(CountG, W.InputText).size();
+  std::printf("== %s (%zu tokens) ==\n", Title, NumTokens);
+
+  PhaseTimes Yacc = medianPhases(runYacc, W);
+  PhaseTimes Pg = medianPhases(runPg, W);
+  PhaseTimes Ipg = medianPhases(runIpg, W);
+  IpgWork Work = measureIpgWork(W);
+
+  TextTable Table({"phase", "Yacc", "PG", "IPG"});
+  auto Row = [&](const char *Name, double PhaseTimes::*M) {
+    Table.addRow({Name, ms(Yacc.*M), ms(Pg.*M), ms(Ipg.*M)});
+  };
+  Row("construct", &PhaseTimes::Construct);
+  Row("parse 1", &PhaseTimes::Parse1);
+  Row("parse 2", &PhaseTimes::Parse2);
+  Row("modify", &PhaseTimes::Modify);
+  Row("parse 3", &PhaseTimes::Parse3);
+  Row("parse 4", &PhaseTimes::Parse4);
+  Table.addRow({"total", ms(Yacc.total()), ms(Pg.total()),
+                ms(Ipg.total())});
+  Table.print();
+  std::printf("IPG work: %llu expansions in parse 1, %llu in parse 2, "
+              "%llu re-expansions in parse 3\n",
+              (unsigned long long)Work.ExpansionsParse1,
+              (unsigned long long)Work.ExpansionsParse2,
+              (unsigned long long)Work.ReExpansionsParse3);
+
+  std::printf("shape checks (the paper's qualitative findings):\n");
+  int Failures = 0;
+  Failures += checkShape(Ipg.Construct < Pg.Construct / 10,
+                         "IPG construction time is almost zero");
+  Failures += checkShape(Pg.Construct < Yacc.Construct,
+                         "PG (LR(0)) generates faster than Yacc (LALR(1))");
+  Failures += checkShape(Ipg.Modify < Pg.Modify / 5,
+                         "IPG modification is far cheaper than PG "
+                         "regeneration");
+  Failures += checkShape(Ipg.Modify < Yacc.Modify / 5,
+                         "IPG modification is far cheaper than Yacc "
+                         "regeneration");
+  Failures += checkShape(Work.ExpansionsParse1 > 0 &&
+                             Work.ExpansionsParse2 == 0,
+                         "the first parse generates table parts, the "
+                         "second generates none (§5)");
+  Failures += checkShape(Work.ReExpansionsParse3 > 0,
+                         "after MODIFY only re-expansions repair the "
+                         "table (§6)");
+  // The ground truth for §5's claim is the expansion counter above; the
+  // timing check carries a generous noise band (sub-millisecond parses
+  // on a ~100-state table jitter by tens of percent).
+  Failures += checkShape(Ipg.Parse2 <= Ipg.Parse1 * 1.4,
+                         "IPG second parse is not slower (within timing "
+                         "noise)");
+  Failures += checkShape(Yacc.Parse2 <= Pg.Parse2,
+                         "deterministic Yacc parser is at least as fast "
+                         "as the Tomita parser");
+  // On the plain SDF grammar parsing dominates both totals, so IPG's
+  // generation savings show as near-parity; the scaled section shows the
+  // decisive win. Allow the noise band of sub-ms parse medians here.
+  Failures += checkShape(Ipg.total() <= Pg.total() * 1.2,
+                         "lazy+incremental is never beaten by conventional "
+                         "generation within the Tomita family");
+  if (Scaled) {
+    Failures += checkShape(
+        Ipg.Construct + Ipg.Parse1 < Yacc.Construct,
+        "time-to-first-parse: IPG parses before Yacc finishes generating");
+    Failures += checkShape(Ipg.total() < Yacc.total(),
+                           "IPG wins the interactive scenario end-to-end "
+                           "on a large grammar");
+  }
+  std::printf("\n");
+  return Failures;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Fig 7.1 — CPU time for Yacc (LALR(1)+LR), PG (LR(0)+Tomita) "
+              "and IPG (lazy/incremental+Tomita)\n");
+  std::printf("Phases: construct table; parse twice; modify grammar "
+              "(CF-ELEM ::= \"(\" CF-ELEM+ \")?\"); parse twice.\n\n");
+
+  int Failures = 0;
+  for (const SdfSample &Sample : sdfSamples()) {
+    Workload W{buildSdf, Sample.Text};
+    std::string Title = std::string(Sample.Name) + ", paper used " +
+                        std::to_string(Sample.PaperTokenCount) + " tokens";
+    Failures += runSection(Title.c_str(), W, /*Scaled=*/false);
+  }
+
+  // The regime the paper actually targets: a large grammar, small inputs.
+  std::printf("-- scaled grammar: 12 SDF-sized module copies, input "
+              "exercises one --\n");
+  Workload Scaled{[](Grammar &G) { buildScaledSdf(G, 12); },
+                  sdfSamples()[1].Text};
+  Failures += runSection("Exam.sdf against the 12x grammar", Scaled,
+                         /*Scaled=*/true);
+
+  std::printf(Failures == 0 ? "All shape checks passed.\n"
+                            : "%d shape check(s) FAILED.\n",
+              Failures);
+  return Failures == 0 ? 0 : 1;
+}

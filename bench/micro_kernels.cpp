@@ -1,0 +1,150 @@
+//===- bench/micro_kernels.cpp - google-benchmark micro kernels ------------===//
+///
+/// \file
+/// Micro-benchmarks (google-benchmark) for the hot kernels behind the
+/// paper's measurements: CLOSURE, EXPAND/full generation, LALR lookahead
+/// computation, the three parsers on SDF input, ACTION queries and the
+/// scanner. These complement the scenario benches with per-operation
+/// numbers and regression tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Ipg.h"
+#include "earley/EarleyParser.h"
+#include "glr/GlrParser.h"
+#include "lalr/LalrGen.h"
+#include "lr/LrParser.h"
+#include "sdf/Samples.h"
+#include "sdf/SdfLanguage.h"
+#include "sdf/SdfLexer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipg;
+
+namespace {
+
+std::vector<SymbolId> tokenizeSample(SdfLanguage &Lang, size_t Index) {
+  Scanner S;
+  configureSdfScanner(S);
+  Expected<std::vector<SymbolId>> Tokens =
+      S.tokenizeToSymbols(sdfSamples()[Index].Text, Lang.grammar());
+  return Tokens ? Tokens.take() : std::vector<SymbolId>{};
+}
+
+void BM_ClosureOfStartKernel(benchmark::State &State) {
+  SdfLanguage Lang;
+  ItemSetGraph Graph(Lang.grammar());
+  const Kernel &K = Graph.startSet()->kernel();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Graph.closure(K));
+}
+BENCHMARK(BM_ClosureOfStartKernel);
+
+void BM_GenerateFullSdfTable(benchmark::State &State) {
+  for (auto _ : State) {
+    SdfLanguage Lang;
+    ItemSetGraph Graph(Lang.grammar());
+    benchmark::DoNotOptimize(Graph.generateAll());
+  }
+}
+BENCHMARK(BM_GenerateFullSdfTable);
+
+void BM_GenerateLalrTable(benchmark::State &State) {
+  for (auto _ : State) {
+    SdfLanguage Lang;
+    ItemSetGraph Graph(Lang.grammar());
+    ParseTable Table = buildLalr1Table(Graph);
+    benchmark::DoNotOptimize(Table.numStates());
+  }
+}
+BENCHMARK(BM_GenerateLalrTable);
+
+void BM_IpgColdFirstParse(benchmark::State &State) {
+  SdfLanguage Tok;
+  std::vector<SymbolId> Unused = tokenizeSample(Tok, 2);
+  (void)Unused;
+  for (auto _ : State) {
+    State.PauseTiming();
+    SdfLanguage Lang;
+    std::vector<SymbolId> Tokens = tokenizeSample(Lang, 2);
+    Ipg Gen(Lang.grammar());
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(Gen.recognize(Tokens));
+  }
+}
+BENCHMARK(BM_IpgColdFirstParse);
+
+void BM_GlrParseSdf(benchmark::State &State) {
+  SdfLanguage Lang;
+  std::vector<SymbolId> Tokens = tokenizeSample(Lang, 2);
+  ItemSetGraph Graph(Lang.grammar());
+  Graph.generateAll();
+  GlrParser Parser(Graph);
+  for (auto _ : State) {
+    Forest F;
+    benchmark::DoNotOptimize(Parser.parse(Tokens, F).Accepted);
+  }
+  State.SetItemsProcessed(State.iterations() * Tokens.size());
+}
+BENCHMARK(BM_GlrParseSdf);
+
+void BM_DeterministicParseSdf(benchmark::State &State) {
+  SdfLanguage Lang;
+  std::vector<SymbolId> Tokens = tokenizeSample(Lang, 2);
+  ItemSetGraph Graph(Lang.grammar());
+  ParseTable Table = buildLalr1Table(Graph);
+  resolveConflictsYaccStyle(Table, Lang.grammar());
+  LrParser Parser(Table, Lang.grammar());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Parser.recognize(Tokens));
+  State.SetItemsProcessed(State.iterations() * Tokens.size());
+}
+BENCHMARK(BM_DeterministicParseSdf);
+
+void BM_EarleyParseSdf(benchmark::State &State) {
+  SdfLanguage Lang;
+  std::vector<SymbolId> Tokens = tokenizeSample(Lang, 2);
+  EarleyParser Parser(Lang.grammar());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Parser.recognize(Tokens));
+  State.SetItemsProcessed(State.iterations() * Tokens.size());
+}
+BENCHMARK(BM_EarleyParseSdf);
+
+void BM_ActionQueryWarm(benchmark::State &State) {
+  SdfLanguage Lang;
+  ItemSetGraph Graph(Lang.grammar());
+  Graph.generateAll();
+  ItemSet *Start = Graph.startSet();
+  SymbolId Module = Lang.grammar().symbols().lookup("module");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Graph.actions(Start, Module));
+}
+BENCHMARK(BM_ActionQueryWarm);
+
+void BM_ScanSdfSource(benchmark::State &State) {
+  Scanner S;
+  configureSdfScanner(S);
+  std::string_view Text = sdfSamples()[2].Text;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.scan(Text));
+  State.SetBytesProcessed(State.iterations() * Text.size());
+}
+BENCHMARK(BM_ScanSdfSource);
+
+void BM_IncrementalModify(benchmark::State &State) {
+  SdfLanguage Lang;
+  Ipg Gen(Lang.grammar());
+  Gen.generateAll();
+  auto [Lhs, Rhs] = Lang.modificationRule();
+  for (auto _ : State) {
+    Gen.addRule(Lhs, std::vector<SymbolId>(Rhs));
+    Gen.deleteRule(Lhs, Rhs);
+  }
+}
+BENCHMARK(BM_IncrementalModify);
+
+} // namespace
+
+BENCHMARK_MAIN();

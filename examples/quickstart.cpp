@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - IPG in one page ---------------------------===//
+///
+/// \file
+/// The smallest complete IPG session: define the boolean grammar of
+/// Fig 4.1(a), parse without a generation phase, modify the grammar the
+/// way Fig 6.1 does, and parse again — the table is repaired, not rebuilt.
+///
+/// Run: ./quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Ipg.h"
+#include "grammar/GrammarBuilder.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace ipg;
+
+namespace {
+
+std::vector<SymbolId> toTokens(const Grammar &G, const std::string &Text) {
+  std::vector<SymbolId> Result;
+  std::string Word;
+  for (char C : Text + " ") {
+    if (C != ' ') {
+      Word += C;
+      continue;
+    }
+    if (Word.empty())
+      continue;
+    SymbolId Sym = G.symbols().lookup(Word);
+    if (Sym == InvalidSymbol) {
+      std::printf("  (unknown token '%s')\n", Word.c_str());
+      return {};
+    }
+    Result.push_back(Sym);
+    Word.clear();
+  }
+  return Result;
+}
+
+void tryParse(Ipg &Gen, const std::string &Text) {
+  Grammar &G = Gen.grammar();
+  Forest F;
+  GlrResult R = Gen.parse(toTokens(G, Text), F);
+  if (!R.Accepted) {
+    std::printf("  reject  %-28s (error at token %zu)\n", Text.c_str(),
+                R.ErrorIndex);
+    return;
+  }
+  TreeArena Arena;
+  TreeNode *Tree = F.firstTree(R.Root, Arena);
+  uint64_t Count = F.countTrees(R.Root);
+  std::printf("  accept  %-28s %llu parse%s  %s\n", Text.c_str(),
+              (unsigned long long)Count, Count == 1 ? " " : "s",
+              treeToString(Tree, G).c_str());
+}
+
+} // namespace
+
+int main() {
+  // 1. The grammar of the booleans, exactly Fig 4.1(a).
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("B", {"true"});
+  B.rule("B", {"false"});
+  B.rule("B", {"B", "or", "B"});
+  B.rule("B", {"B", "and", "B"});
+  B.rule("START", {"B"});
+
+  // 2. Create the generator: no table is built yet (Fig 5.1(a)).
+  Ipg Gen(G);
+  std::printf("after construction: %zu item sets, %zu complete\n",
+              Gen.graph().numLive(), Gen.graph().numComplete());
+
+  // 3. Parse — the table grows on demand.
+  std::printf("\nparsing (lazy generation):\n");
+  tryParse(Gen, "true and true");
+  tryParse(Gen, "true or true and false");
+  tryParse(Gen, "unknown or true");
+  std::printf("table now: %zu item sets, %zu complete (%.0f%% of full)\n",
+              Gen.graph().numLive(), Gen.graph().numComplete(),
+              Gen.coverage() * 100);
+
+  // 4. Modify the grammar (Fig 6.1) — an incremental repair.
+  std::printf("\nadding rule: B ::= unknown\n");
+  Gen.addRule("B", {"unknown"});
+  std::printf("dirty sets after MODIFY: %zu (re-expanded on demand)\n",
+              Gen.graph().countByState(ItemSetState::Dirty));
+  tryParse(Gen, "unknown or true");
+  tryParse(Gen, "unknown and unknown");
+
+  // 5. Delete it again — the language shrinks accordingly.
+  std::printf("\ndeleting rule: B ::= unknown\n");
+  Gen.deleteRule("B", {"unknown"});
+  tryParse(Gen, "unknown or true");
+  tryParse(Gen, "true or false");
+
+  std::printf("\nlifetime stats: %llu expansions, %llu re-expansions, "
+              "%llu sets collected\n",
+              (unsigned long long)Gen.stats().Expansions,
+              (unsigned long long)Gen.stats().ReExpansions,
+              (unsigned long long)Gen.stats().Collected);
+  return 0;
+}

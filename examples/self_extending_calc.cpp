@@ -1,0 +1,123 @@
+//===- examples/self_extending_calc.cpp - User-defined syntax --------------===//
+///
+/// \file
+/// §8's extreme case: "a language can modify its own syntax. In this case,
+/// modification and use of the syntax occur in the same textual object."
+/// This example interprets a script whose `syntax` statements extend the
+/// expression grammar *while the script is being processed* — each one an
+/// incremental ADD-RULE — and whose `eval` statements parse against the
+/// grammar as extended so far.
+///
+/// Run: ./self_extending_calc
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Ipg.h"
+#include "grammar/GrammarBuilder.h"
+#include "lexer/Scanner.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace ipg;
+
+namespace {
+
+/// The script: a mix of syntax extensions and expressions to parse. The
+/// base grammar only knows numbers and '+'.
+const char *Script = R"(
+eval 1 + 2
+eval 1 <+> 2
+syntax E ::= E <+> E
+eval 1 <+> 2
+syntax E ::= let id be E in E
+eval let x be 1 <+> 2 in x + x
+syntax E ::= E !
+eval let x be 3 ! in x <+> 2
+syntax E ::= [ E .. E ]
+eval [ 1 .. 3 ! ] + 2
+)";
+
+} // namespace
+
+int main() {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("E", {"num"});
+  B.rule("E", {"id"});
+  B.rule("E", {"E", "+", "E"});
+  B.rule("START", {"E"});
+  Ipg Gen(G);
+
+  Scanner S;
+  // The scanner has one catch-all word rule: any non-space run can become
+  // a keyword-by-spelling, so new syntax needs no new token rules.
+  Expected<bool> Ok1 = S.addRule("[0-9]+", "num");
+  Expected<bool> Ok2 = S.addRule("[a-z]+", "id");
+  Expected<bool> Ok3 = S.addRule("[^ \t\n]+", "word");
+  S.addWhitespaceLayout();
+  S.compile();
+  if (!Ok1 || !Ok2 || !Ok3)
+    return 1;
+
+  std::printf("self-extending calculator — the grammar starts with %zu "
+              "rules\n\n",
+              G.size());
+
+  for (std::string_view Line : splitOnAny(Script, "\n")) {
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+    std::vector<std::string_view> Words = splitWords(Line);
+
+    if (Words[0] == "syntax") {
+      // syntax LHS ::= sym sym ... — applied incrementally, mid-script.
+      std::vector<SymbolId> Rhs;
+      for (size_t I = 3; I < Words.size(); ++I) {
+        // Known token classes keep their class symbol; anything else is a
+        // keyword terminal with its own spelling.
+        Rhs.push_back(G.symbols().intern(Words[I]));
+      }
+      SymbolId Lhs = G.symbols().intern(std::string(Words[1]));
+      Gen.addRule(Lhs, std::move(Rhs));
+      std::printf("syntax  %-34s -> grammar now %zu rules, %zu sets dirty\n",
+                  std::string(Line.substr(7)).c_str(), G.size(),
+                  Gen.graph().countByState(ItemSetState::Dirty));
+      continue;
+    }
+
+    // eval <expression> — tokenize by spelling, parse incrementally.
+    std::string Expr(Line.substr(5));
+    std::vector<ScannedToken> Raw;
+    Expected<std::vector<SymbolId>> Tokens = S.tokenizeToSymbols(Expr, G, &Raw);
+    if (!Tokens) {
+      std::printf("eval    %-34s -> lex error: %s\n", Expr.c_str(),
+                  Tokens.error().str().c_str());
+      continue;
+    }
+    // Words that are grammar keywords parse as their spelling, not as the
+    // catch-all class: remap tokens whose spelling is a known terminal.
+    for (size_t I = 0; I < Tokens->size(); ++I) {
+      SymbolId BySpelling = G.symbols().lookup(Raw[I].Text);
+      if (BySpelling != InvalidSymbol && G.symbols().isTerminal(BySpelling))
+        (*Tokens)[I] = BySpelling;
+    }
+    Forest F;
+    GlrResult R = Gen.parse(*Tokens, F);
+    if (!R.Accepted) {
+      std::printf("eval    %-34s -> syntax error at token %zu\n",
+                  Expr.c_str(), R.ErrorIndex);
+      continue;
+    }
+    TreeArena Arena;
+    std::printf("eval    %-34s -> %llu parse(s), %s\n", Expr.c_str(),
+                (unsigned long long)F.countTrees(R.Root, 1000),
+                treeToString(F.firstTree(R.Root, Arena), G).c_str());
+  }
+
+  std::printf("\nfinal grammar (%zu rules):\n", G.size());
+  for (RuleId Rule : G.activeRules())
+    std::printf("  %s\n", G.ruleToString(Rule).c_str());
+  return 0;
+}

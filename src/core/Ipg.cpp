@@ -1,0 +1,35 @@
+//===- core/Ipg.cpp - The lazy & incremental parser generator -------------===//
+
+#include "core/Ipg.h"
+
+using namespace ipg;
+
+bool Ipg::addRule(std::string_view Lhs,
+                  std::initializer_list<std::string_view> Rhs) {
+  SymbolTable &Symbols = Graph.grammar().symbols();
+  std::vector<SymbolId> RhsIds;
+  RhsIds.reserve(Rhs.size());
+  for (std::string_view Name : Rhs)
+    RhsIds.push_back(Symbols.intern(Name));
+  return addRule(Symbols.intern(Lhs), std::move(RhsIds));
+}
+
+bool Ipg::deleteRule(std::string_view Lhs,
+                     std::initializer_list<std::string_view> Rhs) {
+  SymbolTable &Symbols = Graph.grammar().symbols();
+  std::vector<SymbolId> RhsIds;
+  RhsIds.reserve(Rhs.size());
+  for (std::string_view Name : Rhs)
+    RhsIds.push_back(Symbols.intern(Name));
+  return deleteRule(Symbols.intern(Lhs), RhsIds);
+}
+
+double Ipg::coverage() const {
+  Grammar Clone;
+  Grammar::cloneActiveRules(Graph.grammar(), Clone);
+  ItemSetGraph Full(Clone);
+  size_t Total = Full.generateAll();
+  if (Total == 0)
+    return 1.0;
+  return double(Graph.numComplete()) / double(Total);
+}

@@ -1,0 +1,99 @@
+//===- core/Ipg.h - The lazy & incremental parser generator -----*- C++ -*-===//
+///
+/// \file
+/// IPG, the paper's contribution: a parser whose LR(0) table is generated
+/// by need while parsing (§5) and repaired incrementally when the grammar
+/// changes (§6). This facade owns the graph of item sets and a Tomita
+/// parser over it:
+///
+/// \code
+///   ipg::Grammar G;
+///   ipg::GrammarBuilder B(G);
+///   B.rule("START", {"B"});
+///   B.rule("B", {"true"});
+///   ipg::Ipg Gen(G);                   // no generation happens here
+///   Gen.recognize(Tokens);            // table grows on demand
+///   Gen.addRule("B", {"unknown"});    // incremental repair, not regen
+///   Gen.recognize(Tokens2);           // affected states re-expand lazily
+/// \endcode
+///
+/// LazyParserGenerator (an alias) is the §5-only subset: use it and simply
+/// never call the modification operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_CORE_IPG_H
+#define IPG_CORE_IPG_H
+
+#include "glr/GlrParser.h"
+#include "lr/ItemSetGraph.h"
+
+#include <string_view>
+#include <vector>
+
+namespace ipg {
+
+/// The lazy & incremental parser generator plus its parser.
+class Ipg {
+public:
+  /// GENERATE-PARSER (§5): records the start set only; no table is built.
+  explicit Ipg(Grammar &G) : Graph(G), Parser(Graph) {}
+
+  Grammar &grammar() { return Graph.grammar(); }
+  ItemSetGraph &graph() { return Graph; }
+  const ItemSetGraph &graph() const { return Graph; }
+
+  /// ADD-RULE (§6). Returns false when the rule was already present.
+  bool addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
+    return Graph.addRule(Lhs, std::move(Rhs));
+  }
+
+  /// ADD-RULE by symbol names (names are interned on the fly).
+  bool addRule(std::string_view Lhs,
+               std::initializer_list<std::string_view> Rhs);
+
+  /// DELETE-RULE (§6). Returns false when no such rule was active.
+  bool deleteRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) {
+    return Graph.removeRule(Lhs, Rhs);
+  }
+
+  /// DELETE-RULE by symbol names.
+  bool deleteRule(std::string_view Lhs,
+                  std::initializer_list<std::string_view> Rhs);
+
+  /// Parses \p Input with the Tomita parser, growing the table on demand.
+  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+    return Parser.parse(Input, F);
+  }
+
+  /// Recognition only (the forest is still built, as in §7's measurements).
+  bool recognize(const std::vector<SymbolId> &Input) {
+    return Parser.recognize(Input);
+  }
+
+  /// Forces full generation (the conventional PG behaviour of §4);
+  /// used by equivalence tests and the lazy-overhead ablation.
+  size_t generateAll() { return Graph.generateAll(); }
+
+  /// Mark-and-sweep fallback for cyclic garbage (§6.2 future work).
+  size_t collectGarbage() { return Graph.collectGarbage(); }
+
+  /// Fraction of the full table that has been generated so far: live
+  /// complete sets over the size of a freshly generated full table for the
+  /// current grammar (computed against a cloned grammar, so the receiver's
+  /// laziness is unaffected). The §5.2 measurement.
+  double coverage() const;
+
+  const ItemSetGraphStats &stats() const { return Graph.stats(); }
+
+private:
+  ItemSetGraph Graph;
+  GlrParser Parser;
+};
+
+/// The §5-only lazy generator: identical machinery, no modification calls.
+using LazyParserGenerator = Ipg;
+
+} // namespace ipg
+
+#endif // IPG_CORE_IPG_H

@@ -1,0 +1,102 @@
+//===- core/Modules.cpp - Modular composition of parsers ------------------===//
+
+#include "core/Modules.h"
+
+#include <algorithm>
+
+using namespace ipg;
+
+GrammarModule &ModuleSystem::define(const std::string &Name) {
+  auto It = Modules.find(Name);
+  if (It != Modules.end()) {
+    if (!isLoaded(Name))
+      It->second = GrammarModule(Name);
+    return It->second;
+  }
+  return Modules.emplace(Name, GrammarModule(Name)).first->second;
+}
+
+Expected<std::vector<const GrammarModule *>>
+ModuleSystem::closure(const std::string &Name) const {
+  std::vector<const GrammarModule *> Order;
+  std::vector<std::string> Stack; // DFS path, for cycle reporting.
+  std::vector<std::string> Done;
+
+  auto Visit = [&](auto &&Self, const std::string &Module) -> Expected<bool> {
+    if (std::find(Done.begin(), Done.end(), Module) != Done.end())
+      return true;
+    if (std::find(Stack.begin(), Stack.end(), Module) != Stack.end())
+      return Error("cyclic import involving module '" + Module + "'");
+    auto It = Modules.find(Module);
+    if (It == Modules.end())
+      return Error("unknown module '" + Module + "'");
+    Stack.push_back(Module);
+    for (const std::string &Import : It->second.importList())
+      if (Expected<bool> R = Self(Self, Import); !R)
+        return R.error();
+    Stack.pop_back();
+    Done.push_back(Module);
+    Order.push_back(&It->second);
+    return true;
+  };
+  if (Expected<bool> R = Visit(Visit, Name); !R)
+    return R.error();
+  return Order;
+}
+
+std::string ModuleSystem::ruleKey(const GrammarModule::NamedRule &R) const {
+  std::string Key = R.Lhs + " ::=";
+  for (const std::string &Sym : R.Rhs)
+    Key += " " + Sym;
+  return Key;
+}
+
+Expected<size_t> ModuleSystem::load(const std::string &Name) {
+  Expected<std::vector<const GrammarModule *>> Order = closure(Name);
+  if (!Order)
+    return Order.error();
+
+  SymbolTable &Symbols = Generator.grammar().symbols();
+  size_t Added = 0;
+  for (const GrammarModule *Module : *Order) {
+    if (++LoadCount[Module->name()] > 1)
+      continue; // Already loaded via another root.
+    for (const GrammarModule::NamedRule &R : Module->rules()) {
+      if (++RuleCount[ruleKey(R)] > 1)
+        continue; // Another loaded module contributes the same rule.
+      std::vector<SymbolId> Rhs;
+      Rhs.reserve(R.Rhs.size());
+      for (const std::string &Sym : R.Rhs)
+        Rhs.push_back(Symbols.intern(Sym));
+      if (Generator.addRule(Symbols.intern(R.Lhs), std::move(Rhs)))
+        ++Added;
+    }
+  }
+  return Added;
+}
+
+Expected<size_t> ModuleSystem::unload(const std::string &Name) {
+  if (!isLoaded(Name))
+    return Error("module '" + Name + "' is not loaded");
+  Expected<std::vector<const GrammarModule *>> Order = closure(Name);
+  if (!Order)
+    return Order.error();
+
+  SymbolTable &Symbols = Generator.grammar().symbols();
+  size_t Removed = 0;
+  for (const GrammarModule *Module : *Order) {
+    if (--LoadCount[Module->name()] > 0)
+      continue;
+    for (const GrammarModule::NamedRule &R : Module->rules()) {
+      if (--RuleCount[ruleKey(R)] > 0)
+        continue;
+      std::vector<SymbolId> Rhs;
+      Rhs.reserve(R.Rhs.size());
+      for (const std::string &Sym : R.Rhs)
+        Rhs.push_back(Symbols.intern(Sym));
+      if (Generator.deleteRule(Symbols.intern(R.Lhs), Rhs))
+        ++Removed;
+    }
+  }
+  return Removed;
+}

@@ -1,0 +1,99 @@
+//===- core/Modules.h - Modular composition of parsers ----------*- C++ -*-===//
+///
+/// \file
+/// Modular composition of parsers — the future work of §8. Each module
+/// contributes a set of rules and may import other modules ("each import of
+/// a module extends the syntax of the importing module with the syntax of
+/// the imported module", §1). Loading a module pushes its (transitively
+/// imported) rules into an IPG instance through the incremental ADD-RULE
+/// path; unloading removes exactly the rules no other loaded module still
+/// needs. The paper calls the add-one-grammar-to-another approach
+/// "asymmetrical"; refcounting modules and rules makes load/unload
+/// symmetric in practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_CORE_MODULES_H
+#define IPG_CORE_MODULES_H
+
+#include "core/Ipg.h"
+#include "support/Expected.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// A named bundle of rules (by symbol name) plus imports.
+class GrammarModule {
+public:
+  explicit GrammarModule(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Adds a rule, given as symbol names.
+  GrammarModule &rule(std::string Lhs, std::vector<std::string> Rhs) {
+    Rules.push_back({std::move(Lhs), std::move(Rhs)});
+    return *this;
+  }
+
+  /// Declares an import of another module.
+  GrammarModule &imports(std::string Module) {
+    Imports.push_back(std::move(Module));
+    return *this;
+  }
+
+  struct NamedRule {
+    std::string Lhs;
+    std::vector<std::string> Rhs;
+  };
+  const std::vector<NamedRule> &rules() const { return Rules; }
+  const std::vector<std::string> &importList() const { return Imports; }
+
+private:
+  std::string Name;
+  std::vector<NamedRule> Rules;
+  std::vector<std::string> Imports;
+};
+
+/// Loads/unloads modules into an Ipg, refcounting shared rules.
+class ModuleSystem {
+public:
+  explicit ModuleSystem(Ipg &Generator) : Generator(Generator) {}
+
+  /// Defines (or redefines, when not loaded) a module; returns it for
+  /// fluent rule/import population.
+  GrammarModule &define(const std::string &Name);
+
+  /// Loads \p Name and its transitive imports. Returns the number of rules
+  /// actually added to the grammar; errors on unknown modules or cyclic
+  /// imports.
+  Expected<size_t> load(const std::string &Name);
+
+  /// Unloads \p Name (and imports no longer needed). Returns the number of
+  /// rules actually removed.
+  Expected<size_t> unload(const std::string &Name);
+
+  bool isLoaded(const std::string &Name) const {
+    auto It = LoadCount.find(Name);
+    return It != LoadCount.end() && It->second > 0;
+  }
+
+private:
+  /// Collects \p Name plus transitive imports in dependency-first order;
+  /// detects unknown modules and import cycles.
+  Expected<std::vector<const GrammarModule *>>
+  closure(const std::string &Name) const;
+
+  std::string ruleKey(const GrammarModule::NamedRule &R) const;
+
+  Ipg &Generator;
+  std::map<std::string, GrammarModule> Modules;
+  std::map<std::string, int> LoadCount; ///< Per module (transitive).
+  std::map<std::string, int> RuleCount; ///< Per structural rule.
+};
+
+} // namespace ipg
+
+#endif // IPG_CORE_MODULES_H

@@ -1,0 +1,197 @@
+//===- earley/EarleyParser.cpp - Earley's algorithm (1970) ----------------===//
+
+#include "earley/EarleyParser.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ipg;
+
+namespace {
+
+uint64_t itemKey(RuleId Rule, uint32_t Dot, uint32_t Origin) {
+  return (uint64_t(Rule) << 42) | (uint64_t(Dot) << 32) | Origin;
+}
+
+uint64_t spanKey(SymbolId Sym, uint32_t Start, uint32_t End) {
+  uint64_t Key = hashCombine(0x1234567899abcdefULL, Sym);
+  Key = hashCombine(Key, Start);
+  return hashCombine(Key, End);
+}
+
+/// Completed spans recorded during recognition, for tree rebuilding.
+struct SpanTable {
+  // (sym, start, end) -> rules that derived it.
+  std::unordered_map<uint64_t, std::vector<RuleId>> Rules;
+  // (sym, start) -> sorted distinct ends.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Ends;
+
+  void record(SymbolId Sym, uint32_t Start, uint32_t End, RuleId Rule) {
+    std::vector<RuleId> &Bucket = Rules[spanKey(Sym, Start, End)];
+    if (std::find(Bucket.begin(), Bucket.end(), Rule) != Bucket.end())
+      return;
+    Bucket.push_back(Rule);
+    std::vector<uint32_t> &E = Ends[hashCombine(Sym, Start)];
+    if (std::find(E.begin(), E.end(), End) == E.end()) {
+      E.push_back(End);
+      std::sort(E.begin(), E.end());
+    }
+  }
+};
+
+/// Rebuilds one derivation tree top-down from completed spans.
+class TreeBuilder {
+public:
+  TreeBuilder(const Grammar &G, const std::vector<SymbolId> &Input,
+              const SpanTable &Spans, TreeArena &Arena)
+      : G(G), Input(Input), Spans(Spans), Arena(Arena) {}
+
+  TreeNode *build(SymbolId Sym, uint32_t Start, uint32_t End) {
+    uint64_t Key = spanKey(Sym, Start, End);
+    if (OnStack.count(Key))
+      return nullptr; // Cyclic derivation; try another split.
+    auto It = Spans.Rules.find(Key);
+    if (It == Spans.Rules.end())
+      return nullptr;
+    OnStack.insert(Key);
+    TreeNode *Result = nullptr;
+    for (RuleId Rule : It->second) {
+      std::vector<TreeNode *> Children;
+      if (matchSequence(G.rule(Rule).Rhs, 0, Start, End, Children)) {
+        Result = Arena.makeNode(Sym, Rule, std::move(Children));
+        break;
+      }
+    }
+    OnStack.erase(Key);
+    return Result;
+  }
+
+private:
+  bool matchSequence(const std::vector<SymbolId> &Rhs, size_t Idx,
+                     uint32_t Pos, uint32_t End,
+                     std::vector<TreeNode *> &Children) {
+    if (Idx == Rhs.size())
+      return Pos == End;
+    SymbolId Sym = Rhs[Idx];
+    if (G.symbols().isTerminal(Sym)) {
+      if (Pos >= End || Input[Pos] != Sym)
+        return false;
+      Children.push_back(Arena.makeLeaf(Sym, Pos));
+      if (matchSequence(Rhs, Idx + 1, Pos + 1, End, Children))
+        return true;
+      Children.pop_back();
+      return false;
+    }
+    auto It = Spans.Ends.find(hashCombine(Sym, Pos));
+    if (It == Spans.Ends.end())
+      return false;
+    for (uint32_t SubEnd : It->second) {
+      if (SubEnd > End)
+        break;
+      TreeNode *Sub = build(Sym, Pos, SubEnd);
+      if (Sub == nullptr)
+        continue;
+      Children.push_back(Sub);
+      if (matchSequence(Rhs, Idx + 1, SubEnd, End, Children))
+        return true;
+      Children.pop_back();
+    }
+    return false;
+  }
+
+  const Grammar &G;
+  const std::vector<SymbolId> &Input;
+  const SpanTable &Spans;
+  TreeArena &Arena;
+  std::unordered_set<uint64_t> OnStack;
+};
+
+} // namespace
+
+EarleyResult EarleyParser::run(const std::vector<SymbolId> &Input,
+                               TreeArena *Arena) {
+  EarleyResult Result;
+  GrammarAnalysis Analysis(G); // Recomputed per parse: grammar-driven.
+  const uint32_t N = static_cast<uint32_t>(Input.size());
+
+  std::vector<std::vector<ChartItem>> Chart(N + 1);
+  std::vector<std::unordered_set<uint64_t>> Seen(N + 1);
+  SpanTable Spans;
+
+  auto Add = [&](uint32_t Set, ChartItem Item) {
+    if (Seen[Set].insert(itemKey(Item.Rule, Item.Dot, Item.Origin)).second)
+      Chart[Set].push_back(Item);
+  };
+
+  for (RuleId Rule : G.rulesFor(G.startSymbol()))
+    Add(0, ChartItem{Rule, 0, 0});
+
+  for (uint32_t Pos = 0; Pos <= N; ++Pos) {
+    for (size_t Next = 0; Next < Chart[Pos].size(); ++Next) {
+      ChartItem Item = Chart[Pos][Next];
+      const Rule &R = G.rule(Item.Rule);
+      if (Item.Dot == R.Rhs.size()) {
+        // Completion: advance every item waiting for R.Lhs at the origin.
+        Spans.record(R.Lhs, Item.Origin, Pos, Item.Rule);
+        const std::vector<ChartItem> &Origin = Chart[Item.Origin];
+        for (size_t I = 0; I < Origin.size(); ++I) {
+          ChartItem Waiting = Origin[I];
+          const Rule &W = G.rule(Waiting.Rule);
+          if (Waiting.Dot < W.Rhs.size() && W.Rhs[Waiting.Dot] == R.Lhs)
+            Add(Pos, ChartItem{Waiting.Rule, Waiting.Dot + 1,
+                               Waiting.Origin});
+        }
+        continue;
+      }
+      SymbolId NextSym = R.Rhs[Item.Dot];
+      if (G.symbols().isTerminal(NextSym)) {
+        // Scanning.
+        if (Pos < N && Input[Pos] == NextSym)
+          Add(Pos + 1, ChartItem{Item.Rule, Item.Dot + 1, Item.Origin});
+        continue;
+      }
+      // Prediction, with the Aycock–Horspool nullable advance.
+      for (RuleId Predicted : G.rulesFor(NextSym))
+        Add(Pos, ChartItem{Predicted, 0, Pos});
+      if (Analysis.isNullable(NextSym))
+        Add(Pos, ChartItem{Item.Rule, Item.Dot + 1, Item.Origin});
+    }
+    Result.ChartItems += Chart[Pos].size();
+    if (Pos < N && Chart[Pos + 1].empty()) {
+      // Before giving up, ensure no pending scans remain (they are all
+      // emitted above): an empty next set means the token is rejected.
+      Result.ErrorIndex = Pos;
+      return Result;
+    }
+  }
+
+  for (const ChartItem &Item : Chart[N]) {
+    const Rule &R = G.rule(Item.Rule);
+    if (R.Lhs == G.startSymbol() && Item.Dot == R.Rhs.size() &&
+        Item.Origin == 0) {
+      Result.Accepted = true;
+      break;
+    }
+  }
+  if (!Result.Accepted) {
+    Result.ErrorIndex = N;
+    return Result;
+  }
+  if (Arena != nullptr) {
+    TreeBuilder Builder(G, Input, Spans, *Arena);
+    Result.Tree = Builder.build(G.startSymbol(), 0, N);
+  }
+  return Result;
+}
+
+EarleyResult EarleyParser::parse(const std::vector<SymbolId> &Input,
+                                 TreeArena &Arena) {
+  return run(Input, &Arena);
+}
+
+bool EarleyParser::recognize(const std::vector<SymbolId> &Input) {
+  return run(Input, nullptr).Accepted;
+}

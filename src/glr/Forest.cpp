@@ -1,0 +1,248 @@
+//===- glr/Forest.cpp - Shared packed parse forests -----------------------===//
+
+#include "glr/Forest.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+static uint64_t spanKey(SymbolId Sym, uint32_t Start, uint32_t End,
+                        bool IsToken) {
+  uint64_t Key = hashCombine(0x8f1bbcdcbfa53e0bULL, Sym);
+  Key = hashCombine(Key, Start);
+  Key = hashCombine(Key, End);
+  return hashCombine(Key, IsToken);
+}
+
+ForestNode *Forest::make(SymbolId Sym, uint32_t Start, uint32_t End,
+                         bool IsToken) {
+  Nodes.push_back(ForestNode{Sym, Start, End, IsToken, {}});
+  return &Nodes.back();
+}
+
+ForestNode *Forest::token(SymbolId Sym, uint32_t Index) {
+  uint64_t Key = spanKey(Sym, Index, Index + 1, /*IsToken=*/true);
+  std::vector<ForestNode *> &Bucket = this->Index[Key];
+  for (ForestNode *Node : Bucket)
+    if (Node->Sym == Sym && Node->Start == Index && Node->IsToken)
+      return Node;
+  ForestNode *Node = make(Sym, Index, Index + 1, /*IsToken=*/true);
+  Bucket.push_back(Node);
+  return Node;
+}
+
+ForestNode *Forest::nonterminal(SymbolId Sym, uint32_t Start, uint32_t End) {
+  if (!PackNodes)
+    return make(Sym, Start, End, /*IsToken=*/false);
+  uint64_t Key = spanKey(Sym, Start, End, /*IsToken=*/false);
+  std::vector<ForestNode *> &Bucket = Index[Key];
+  for (ForestNode *Node : Bucket)
+    if (Node->Sym == Sym && Node->Start == Start && Node->End == End &&
+        !Node->IsToken)
+      return Node;
+  ForestNode *Node = make(Sym, Start, End, /*IsToken=*/false);
+  Bucket.push_back(Node);
+  return Node;
+}
+
+bool Forest::addAlternative(ForestNode *Node, RuleId Rule,
+                            std::vector<ForestNode *> Children) {
+  assert(!Node->IsToken && "tokens have no derivations");
+  for (const ForestNode::Alternative &Alt : Node->Alts)
+    if (Alt.Rule == Rule && Alt.Children == Children)
+      return false;
+  if (!Node->Alts.empty())
+    ++PackedAmbiguities;
+  Node->Alts.push_back(ForestNode::Alternative{Rule, std::move(Children)});
+  ++TotalAlternatives;
+  return true;
+}
+
+ForestNode *Forest::derivation(SymbolId Sym, uint32_t Start, uint32_t End,
+                               RuleId Rule,
+                               const std::vector<ForestNode *> &Children) {
+  if (PackNodes) {
+    ForestNode *Node = nonterminal(Sym, Start, End);
+    addAlternative(Node, Rule, Children);
+    return Node;
+  }
+  // Content-addressed lookup: identical derivations share one node.
+  uint64_t Key = spanKey(Sym, Start, End, /*IsToken=*/false);
+  Key = hashCombine(Key, Rule);
+  for (const ForestNode *Child : Children)
+    Key = hashCombine(Key, reinterpret_cast<uintptr_t>(Child));
+  std::vector<ForestNode *> &Bucket = Index[Key];
+  for (ForestNode *Node : Bucket)
+    if (Node->Sym == Sym && Node->Start == Start && Node->End == End &&
+        !Node->IsToken && Node->Alts.size() == 1 &&
+        Node->Alts[0].Rule == Rule && Node->Alts[0].Children == Children)
+      return Node;
+  ForestNode *Node = make(Sym, Start, End, /*IsToken=*/false);
+  Node->Alts.push_back(ForestNode::Alternative{Rule, Children});
+  ++TotalAlternatives;
+  Bucket.push_back(Node);
+  return Node;
+}
+
+namespace {
+
+/// Saturating helpers for tree counting.
+uint64_t satAdd(uint64_t A, uint64_t B, uint64_t Cap) {
+  return (A > Cap - B) ? Cap : A + B;
+}
+uint64_t satMul(uint64_t A, uint64_t B, uint64_t Cap) {
+  if (A == 0 || B == 0)
+    return 0;
+  return (A > Cap / B) ? Cap : A * B;
+}
+
+struct CountMemo {
+  enum State : uint8_t { Unvisited, InProgress, Done };
+  std::unordered_map<const ForestNode *, std::pair<State, uint64_t>> Map;
+};
+
+uint64_t countRec(const ForestNode *Node, uint64_t Cap, CountMemo &Memo) {
+  if (Node->IsToken)
+    return 1;
+  auto [It, Inserted] =
+      Memo.Map.try_emplace(Node, std::make_pair(CountMemo::InProgress, 0ull));
+  if (!Inserted) {
+    if (It->second.first == CountMemo::InProgress)
+      return Cap; // Cyclic derivation: infinitely many trees.
+    return It->second.second;
+  }
+  uint64_t Total = 0;
+  for (const ForestNode::Alternative &Alt : Node->Alts) {
+    uint64_t Product = 1;
+    for (const ForestNode *Child : Alt.Children)
+      Product = satMul(Product, countRec(Child, Cap, Memo), Cap);
+    Total = satAdd(Total, Product, Cap);
+  }
+  // try_emplace's iterator may be stale after recursion re-hashed the map.
+  Memo.Map[Node] = {CountMemo::Done, Total};
+  return Total;
+}
+
+} // namespace
+
+uint64_t Forest::countTrees(const ForestNode *Root, uint64_t Cap) const {
+  if (Root == nullptr)
+    return 0;
+  CountMemo Memo;
+  return countRec(Root, Cap, Memo);
+}
+
+namespace {
+
+struct ExtractContext {
+  TreeArena &Arena;
+  std::unordered_map<const ForestNode *, TreeNode *> Memo;
+  std::unordered_map<const ForestNode *, bool> OnStack;
+};
+
+TreeNode *extractRec(const ForestNode *Node, ExtractContext &Ctx) {
+  if (Node->IsToken)
+    return Ctx.Arena.makeLeaf(Node->Sym, Node->Start);
+  auto MemoIt = Ctx.Memo.find(Node);
+  if (MemoIt != Ctx.Memo.end())
+    return MemoIt->second;
+  if (Ctx.OnStack[Node])
+    return nullptr; // Would close a cycle; caller tries another alternative.
+  Ctx.OnStack[Node] = true;
+  TreeNode *Result = nullptr;
+  for (const ForestNode::Alternative &Alt : Node->Alts) {
+    std::vector<TreeNode *> Children;
+    Children.reserve(Alt.Children.size());
+    bool Ok = true;
+    for (const ForestNode *Child : Alt.Children) {
+      TreeNode *Sub = extractRec(Child, Ctx);
+      if (Sub == nullptr) {
+        Ok = false;
+        break;
+      }
+      Children.push_back(Sub);
+    }
+    if (Ok) {
+      Result = Ctx.Arena.makeNode(Node->Sym, Alt.Rule, std::move(Children));
+      break;
+    }
+  }
+  Ctx.OnStack[Node] = false;
+  if (Result != nullptr)
+    Ctx.Memo.emplace(Node, Result);
+  return Result;
+}
+
+struct EnumerateContext {
+  TreeArena &Arena;
+  size_t Limit;
+  std::unordered_map<const ForestNode *, bool> OnStack;
+};
+
+void enumerateRec(const ForestNode *Node, EnumerateContext &Ctx,
+                  std::vector<TreeNode *> &Out) {
+  if (Node->IsToken) {
+    Out.push_back(Ctx.Arena.makeLeaf(Node->Sym, Node->Start));
+    return;
+  }
+  if (Ctx.OnStack[Node])
+    return; // Skip cyclic continuations.
+  Ctx.OnStack[Node] = true;
+  for (const ForestNode::Alternative &Alt : Node->Alts) {
+    // Cartesian product over the children's tree sets, capped by Limit.
+    std::vector<std::vector<TreeNode *>> PerChild(Alt.Children.size());
+    bool Empty = false;
+    for (size_t I = 0; I < Alt.Children.size() && !Empty; ++I) {
+      enumerateRec(Alt.Children[I], Ctx, PerChild[I]);
+      Empty = PerChild[I].empty();
+    }
+    if (Empty)
+      continue;
+    std::vector<size_t> Pick(Alt.Children.size(), 0);
+    while (Out.size() < Ctx.Limit) {
+      std::vector<TreeNode *> Children;
+      Children.reserve(Pick.size());
+      for (size_t I = 0; I < Pick.size(); ++I)
+        Children.push_back(PerChild[I][Pick[I]]);
+      Out.push_back(
+          Ctx.Arena.makeNode(Node->Sym, Alt.Rule, std::move(Children)));
+      // Odometer increment.
+      size_t I = Pick.size();
+      while (I > 0) {
+        --I;
+        if (++Pick[I] < PerChild[I].size())
+          break;
+        Pick[I] = 0;
+        if (I == 0) {
+          I = ~size_t(0);
+          break;
+        }
+      }
+      if (I == ~size_t(0) || Pick.empty())
+        break;
+    }
+    if (Out.size() >= Ctx.Limit)
+      break;
+  }
+  Ctx.OnStack[Node] = false;
+}
+
+} // namespace
+
+TreeNode *Forest::firstTree(const ForestNode *Root, TreeArena &Arena) const {
+  if (Root == nullptr)
+    return nullptr;
+  ExtractContext Ctx{Arena, {}, {}};
+  return extractRec(Root, Ctx);
+}
+
+void Forest::enumerateTrees(const ForestNode *Root, size_t Limit,
+                            TreeArena &Arena,
+                            std::vector<TreeNode *> &Out) const {
+  if (Root == nullptr || Limit == 0)
+    return;
+  EnumerateContext Ctx{Arena, Limit, {}};
+  enumerateRec(Root, Ctx, Out);
+  if (Out.size() > Limit)
+    Out.resize(Limit);
+}

@@ -1,0 +1,104 @@
+//===- glr/Forest.h - Shared packed parse forests ---------------*- C++ -*-===//
+///
+/// \file
+/// The parse-forest representation behind the Tomita parser. Nodes are
+/// keyed by (symbol, start, end) and hold one *alternative* per distinct
+/// derivation — "local ambiguity packing". The §7 footnote credits B. Lang
+/// with the suggestion to improve the sharing of parse trees; packing on
+/// spans is exactly that improvement, and the ablation bench can disable it
+/// to reproduce the unshared behaviour.
+///
+/// Cyclic grammars (A ⇒+ A) produce cyclic forests; the counting and
+/// extraction helpers saturate/skip cycles instead of diverging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GLR_FOREST_H
+#define IPG_GLR_FOREST_H
+
+#include "grammar/Tree.h"
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ipg {
+
+/// A forest node: a token occurrence or a packed set of derivations of one
+/// nonterminal over one input span.
+struct ForestNode {
+  SymbolId Sym = InvalidSymbol;
+  uint32_t Start = 0; ///< First token index covered.
+  uint32_t End = 0;   ///< One past the last token index covered.
+  bool IsToken = false;
+
+  /// One derivation: a rule and one child per right-hand-side symbol.
+  struct Alternative {
+    RuleId Rule;
+    std::vector<ForestNode *> Children;
+  };
+  std::vector<Alternative> Alts;
+
+  bool isAmbiguous() const { return Alts.size() > 1; }
+};
+
+/// Owns and packs forest nodes for one parse.
+class Forest {
+public:
+  /// When false, nonterminal() always creates a fresh node — the unshared
+  /// mode for the sharing ablation.
+  explicit Forest(bool PackNodes = true) : PackNodes(PackNodes) {}
+
+  /// The (unique) token node for input position \p Index.
+  ForestNode *token(SymbolId Sym, uint32_t Index);
+
+  /// Finds or creates the packed node for \p Sym over [Start, End).
+  ForestNode *nonterminal(SymbolId Sym, uint32_t Start, uint32_t End);
+
+  /// Adds a derivation unless an identical one is already packed.
+  /// Returns true if the alternative was new.
+  bool addAlternative(ForestNode *Node, RuleId Rule,
+                      std::vector<ForestNode *> Children);
+
+  /// Records one derivation and returns its node. With packing this is
+  /// nonterminal() + addAlternative() — one node per span holding every
+  /// alternative. Without packing, nodes are content-addressed by their
+  /// single derivation, so identical re-derivations return the same node
+  /// (the GLR parser's edge dedup — and hence its termination — depends on
+  /// this); distinct derivations of the same span stay separate nodes.
+  /// Unpacked forests of cyclic grammars would be infinite; the unshared
+  /// mode is for the sharing ablation on acyclic grammars only.
+  ForestNode *derivation(SymbolId Sym, uint32_t Start, uint32_t End,
+                         RuleId Rule, const std::vector<ForestNode *> &Children);
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numAlternatives() const { return TotalAlternatives; }
+  size_t numPackedAmbiguities() const { return PackedAmbiguities; }
+
+  /// Number of distinct trees under \p Root, saturating at \p Cap.
+  /// Cyclic derivations count as Cap (infinitely many trees).
+  uint64_t countTrees(const ForestNode *Root, uint64_t Cap = ~0ull >> 1) const;
+
+  /// Extracts one (acyclic) tree; subtrees may be shared. Returns null
+  /// only if every derivation of \p Root is cyclic.
+  TreeNode *firstTree(const ForestNode *Root, TreeArena &Arena) const;
+
+  /// Appends up to \p Limit distinct trees under \p Root to \p Out.
+  void enumerateTrees(const ForestNode *Root, size_t Limit, TreeArena &Arena,
+                      std::vector<TreeNode *> &Out) const;
+
+private:
+  ForestNode *make(SymbolId Sym, uint32_t Start, uint32_t End, bool IsToken);
+
+  bool PackNodes;
+  std::deque<ForestNode> Nodes;
+  std::unordered_map<uint64_t, std::vector<ForestNode *>> Index;
+  size_t TotalAlternatives = 0;
+  size_t PackedAmbiguities = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_GLR_FOREST_H

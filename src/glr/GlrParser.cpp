@@ -1,0 +1,253 @@
+//===- glr/GlrParser.cpp - Tomita parsing on a graph-structured stack -----===//
+
+#include "glr/GlrParser.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace ipg;
+
+namespace {
+
+/// One node of the graph-structured stack: an item set plus the input
+/// layer it was created in. Edges point towards the bottom of the stack
+/// and carry the forest node derived over the spanned input.
+struct GssNode {
+  ItemSet *State;
+  uint32_t Layer;
+  bool Processed = false;
+
+  struct Edge {
+    GssNode *Back;
+    ForestNode *Deriv;
+  };
+  std::vector<Edge> Edges;
+
+  bool hasEdge(const GssNode *Back, const ForestNode *Deriv) const {
+    for (const Edge &E : Edges)
+      if (E.Back == Back && E.Deriv == Deriv)
+        return true;
+    return false;
+  }
+};
+
+/// A queued reduction. HasVia restricts path enumeration to paths whose
+/// first (topmost) edge is (ViaBack, ViaDeriv).
+struct PendingReduce {
+  GssNode *From;
+  RuleId Rule;
+  GssNode *ViaBack = nullptr;
+  ForestNode *ViaDeriv = nullptr;
+  bool HasVia = false;
+};
+
+struct PendingShift {
+  GssNode *From;
+  ItemSet *Target;
+};
+
+} // namespace
+
+GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
+  GlrResult Result;
+  Grammar &G = Graph.grammar();
+  const size_t N = Input.size();
+
+  std::deque<GssNode> NodeArena;
+  auto NewNode = [&](ItemSet *State, uint32_t Layer) -> GssNode * {
+    NodeArena.push_back(GssNode{State, Layer, false, {}});
+    ++Result.GssNodes;
+    return &NodeArena.back();
+  };
+
+  GssNode *Root = NewNode(Graph.startSet(), 0);
+  std::vector<GssNode *> Frontier{Root};
+
+  for (size_t Pos = 0; Pos <= N; ++Pos) {
+    SymbolId Token = Pos < N ? Input[Pos] : G.endMarker();
+
+    std::vector<PendingReduce> Reductions;
+    std::vector<PendingShift> Shifts;
+    std::vector<GssNode *> Queue = Frontier;
+    size_t QueueIdx = 0;
+
+    auto FindInFrontier = [&](const ItemSet *State) -> GssNode * {
+      for (GssNode *Node : Frontier)
+        if (Node->State == State)
+          return Node;
+      return nullptr;
+    };
+
+    // Farshi's safety net: a new edge below an already-processed node can
+    // complete reduction paths that were enumerated too early. Re-enqueue
+    // every processed node's reductions; edge/alternative dedup makes the
+    // re-runs idempotent.
+    auto BroadcastReRuns = [&]() {
+      for (GssNode *Node : Frontier) {
+        if (!Node->Processed)
+          continue;
+        for (const LrAction &A : Graph.actions(Node->State, Token))
+          if (A.Kind == LrAction::Reduce)
+            Reductions.push_back(PendingReduce{Node, A.Rule});
+      }
+    };
+
+    // Performs one queued reduction: enumerate stack paths of the rule's
+    // length, build/pack the forest node per path, and extend the GSS.
+    auto DoReduce = [&](const PendingReduce &PR) {
+      const Rule &R = G.rule(PR.Rule);
+      const size_t M = R.Rhs.size();
+      ++Result.Reductions;
+
+      std::vector<ForestNode *> Deriv(M);
+      auto FinishPath = [&](GssNode *Bottom) {
+        ++Result.ReductionPaths;
+        // Nodes below the frontier were completed in their own layer, but
+        // with lazy generation a goto target created this layer may still
+        // be initial; complete it before GOTO (see header).
+        Graph.ensureComplete(Bottom->State);
+        ItemSet *Target = Graph.gotoState(Bottom->State, R.Lhs);
+        ForestNode *FN = F.derivation(R.Lhs, Bottom->Layer,
+                                      static_cast<uint32_t>(Pos), PR.Rule,
+                                      Deriv);
+
+        GssNode *U = FindInFrontier(Target);
+        if (U == nullptr) {
+          U = NewNode(Target, static_cast<uint32_t>(Pos));
+          U->Edges.push_back(GssNode::Edge{Bottom, FN});
+          ++Result.GssEdges;
+          Frontier.push_back(U);
+          Queue.push_back(U);
+          return;
+        }
+        if (U->hasEdge(Bottom, FN))
+          return;
+        U->Edges.push_back(GssNode::Edge{Bottom, FN});
+        ++Result.GssEdges;
+        if (U->Processed)
+          BroadcastReRuns();
+      };
+
+      // DFS over stack paths; Remaining counts edges still to follow and
+      // doubles as the child slot (topmost edge = rightmost child).
+      auto Walk = [&](auto &&Self, GssNode *Cur, size_t Remaining) -> void {
+        if (Remaining == 0) {
+          FinishPath(Cur);
+          return;
+        }
+        // Snapshot: edges added during FinishPath recursion must not be
+        // traversed mid-enumeration (re-runs cover them).
+        size_t NumEdges = Cur->Edges.size();
+        for (size_t I = 0; I < NumEdges; ++I) {
+          Deriv[Remaining - 1] = Cur->Edges[I].Deriv;
+          Self(Self, Cur->Edges[I].Back, Remaining - 1);
+        }
+      };
+
+      if (PR.HasVia) {
+        if (M == 0)
+          return;
+        Deriv[M - 1] = PR.ViaDeriv;
+        Walk(Walk, PR.ViaBack, M - 1);
+      } else if (M == 0) {
+        FinishPath(PR.From);
+      } else {
+        Walk(Walk, PR.From, M);
+      }
+    };
+
+    // Fixpoint over node processing and reductions.
+    while (QueueIdx < Queue.size() || !Reductions.empty()) {
+      if (!Reductions.empty()) {
+        PendingReduce PR = Reductions.back();
+        Reductions.pop_back();
+        DoReduce(PR);
+        continue;
+      }
+      GssNode *Node = Queue[QueueIdx++];
+      if (Node->Processed)
+        continue;
+      Node->Processed = true;
+      for (const LrAction &A : Graph.actions(Node->State, Token)) {
+        switch (A.Kind) {
+        case LrAction::Shift:
+          Shifts.push_back(PendingShift{Node, A.Target});
+          break;
+        case LrAction::Reduce:
+          Reductions.push_back(PendingReduce{Node, A.Rule});
+          break;
+        case LrAction::Accept:
+          // Resolved after the fixpoint, when the GSS is final.
+          break;
+        }
+      }
+    }
+
+    if (Pos == N) {
+      // Acceptance: enumerate START ::= β• paths back to the root node and
+      // pack them into one START forest node spanning the whole input.
+      for (GssNode *Node : Frontier) {
+        if (!Node->State->isAccepting())
+          continue;
+        for (RuleId RId : Node->State->acceptRules()) {
+          const Rule &R = G.rule(RId);
+          const size_t M = R.Rhs.size();
+          std::vector<ForestNode *> Deriv(M);
+          auto Walk = [&](auto &&Self, GssNode *Cur, size_t Remaining) -> void {
+            if (Remaining == 0) {
+              if (Cur != Root)
+                return;
+              ForestNode *StartNode = F.derivation(
+                  G.startSymbol(), 0, static_cast<uint32_t>(N), RId, Deriv);
+              if (Result.Root == nullptr)
+                Result.Root = StartNode;
+              Result.Accepted = true;
+              return;
+            }
+            for (const GssNode::Edge &E : Cur->Edges) {
+              Deriv[Remaining - 1] = E.Deriv;
+              Self(Self, E.Back, Remaining - 1);
+            }
+          };
+          Walk(Walk, Node, M);
+        }
+      }
+      if (!Result.Accepted)
+        Result.ErrorIndex = N;
+      return Result;
+    }
+
+    // Shifter: advance every surviving parser over Token in lock-step —
+    // the paper's synchronization of the this-sweep/next-sweep pools.
+    std::vector<GssNode *> NextFrontier;
+    ForestNode *TokenNode = nullptr;
+    for (const PendingShift &S : Shifts) {
+      if (TokenNode == nullptr)
+        TokenNode = F.token(Token, static_cast<uint32_t>(Pos));
+      GssNode *U = nullptr;
+      for (GssNode *Node : NextFrontier)
+        if (Node->State == S.Target) {
+          U = Node;
+          break;
+        }
+      if (U == nullptr) {
+        U = NewNode(S.Target, static_cast<uint32_t>(Pos + 1));
+        NextFrontier.push_back(U);
+      }
+      U->Edges.push_back(GssNode::Edge{S.From, TokenNode});
+      ++Result.GssEdges;
+      ++Result.Shifts;
+    }
+    if (NextFrontier.empty()) {
+      Result.ErrorIndex = Pos;
+      return Result;
+    }
+    Frontier = std::move(NextFrontier);
+  }
+  return Result; // Unreachable; the Pos == N branch returns.
+}
+
+bool GlrParser::recognize(const std::vector<SymbolId> &Input) {
+  Forest F;
+  return parse(Input, F).Accepted;
+}

@@ -1,0 +1,91 @@
+//===- glr/ParParse.cpp - The paper's literal PAR-PARSE (§3.2) ------------===//
+
+#include "glr/ParParse.h"
+
+#include <deque>
+
+using namespace ipg;
+
+namespace {
+
+/// Persistent stack cell; parsers share tails.
+struct StackCell {
+  ItemSet *State;
+  StackCell *Below;
+};
+
+/// The paper's LRparser object: "an object of type 'LRparser' with a
+/// single field stack".
+struct LrParserObj {
+  StackCell *Top;
+};
+
+} // namespace
+
+ParParseResult ParParser::parse(const std::vector<SymbolId> &Input) {
+  ParParseResult Result;
+  Grammar &G = Graph.grammar();
+  std::deque<StackCell> Cells;
+  auto Push = [&](ItemSet *State, StackCell *Below) -> StackCell * {
+    Cells.push_back(StackCell{State, Below});
+    return &Cells.back();
+  };
+
+  // start-parser := new(LRparser); push(start-state, start-parser.stack)
+  std::vector<LrParserObj> NextSweep{
+      LrParserObj{Push(Graph.startSet(), nullptr)}};
+
+  size_t Pos = 0;
+  while (!NextSweep.empty()) {
+    // symbol, sentence := head(sentence), tail(sentence)
+    SymbolId Symbol = Pos < Input.size() ? Input[Pos] : G.endMarker();
+    ++Pos;
+    if (Pos > Input.size() + 1)
+      break; // Both pools empty next round; $ consumed exactly once.
+
+    // this-sweep, next-sweep := next-sweep, ∅
+    std::vector<LrParserObj> ThisSweep = std::move(NextSweep);
+    NextSweep.clear();
+
+    while (!ThisSweep.empty()) {
+      if (++Result.Steps > StepLimit) {
+        Result.Diverged = true;
+        return Result;
+      }
+      // this-sweep := this-sweep − {parser}
+      LrParserObj Parser = ThisSweep.back();
+      ThisSweep.pop_back();
+      Result.MaxLiveParsers = std::max(
+          Result.MaxLiveParsers,
+          uint64_t(ThisSweep.size() + NextSweep.size() + 1));
+
+      ItemSet *State = Parser.Top->State;
+      for (const LrAction &Action : Graph.actions(State, Symbol)) {
+        // parser' := copy(parser) — O(1), stacks share cells.
+        LrParserObj Copy = Parser;
+        ++Result.Copies;
+        switch (Action.Kind) {
+        case LrAction::Shift:
+          Copy.Top = Push(Action.Target, Copy.Top);
+          NextSweep.push_back(Copy);
+          break;
+        case LrAction::Reduce: {
+          const Rule &R = G.rule(Action.Rule);
+          for (size_t I = 0; I < R.Rhs.size(); ++I)
+            Copy.Top = Copy.Top->Below;
+          // GOTO is called without forcing completion: Appendix A
+          // guarantees the set of items below the handle is complete.
+          ItemSet *Target = Graph.gotoState(Copy.Top->State, R.Lhs);
+          Copy.Top = Push(Target, Copy.Top);
+          ThisSweep.push_back(Copy);
+          break;
+        }
+        case LrAction::Accept:
+          Result.Accepted = true;
+          break;
+        }
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,246 @@
+//===- grammar/Analyses.cpp - Classic grammar analyses --------------------===//
+
+#include "grammar/Analyses.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+GrammarAnalysis::GrammarAnalysis(const Grammar &G)
+    : G(G), Version(G.version()) {
+  size_t NumSymbols = G.symbols().size();
+  Nullable.assign(NumSymbols, false);
+  First.assign(NumSymbols, Bitset(NumSymbols));
+
+  // Terminals: FIRST(t) = {t}.
+  for (SymbolId Sym = 0; Sym < NumSymbols; ++Sym)
+    if (G.symbols().isTerminal(Sym))
+      First[Sym].set(Sym);
+
+  // NULLABLE fixpoint.
+  std::vector<RuleId> Rules = G.activeRules();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId Id : Rules) {
+      const Rule &R = G.rule(Id);
+      if (Nullable[R.Lhs])
+        continue;
+      bool AllNullable = true;
+      for (SymbolId Sym : R.Rhs)
+        if (!Nullable[Sym]) {
+          AllNullable = false;
+          break;
+        }
+      if (AllNullable) {
+        Nullable[R.Lhs] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  // FIRST fixpoint.
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId Id : Rules) {
+      const Rule &R = G.rule(Id);
+      for (SymbolId Sym : R.Rhs) {
+        if (First[R.Lhs].unionWith(First[Sym]))
+          Changed = true;
+        if (!Nullable[Sym])
+          break;
+      }
+    }
+  }
+}
+
+bool GrammarAnalysis::isNullableSequence(const std::vector<SymbolId> &Seq,
+                                         size_t From) const {
+  for (size_t I = From; I < Seq.size(); ++I)
+    if (!Nullable[Seq[I]])
+      return false;
+  return true;
+}
+
+Bitset GrammarAnalysis::firstOfSequence(const std::vector<SymbolId> &Seq,
+                                        size_t From) const {
+  Bitset Result(numSymbols());
+  for (size_t I = From; I < Seq.size(); ++I) {
+    Result.unionWith(First[Seq[I]]);
+    if (!Nullable[Seq[I]])
+      break;
+  }
+  return Result;
+}
+
+void GrammarAnalysis::computeFollow() {
+  size_t NumSymbols = numSymbols();
+  Follow.assign(NumSymbols, Bitset(NumSymbols));
+  Follow[G.startSymbol()].set(G.endMarker());
+
+  std::vector<RuleId> Rules = G.activeRules();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId Id : Rules) {
+      const Rule &R = G.rule(Id);
+      for (size_t I = 0; I < R.Rhs.size(); ++I) {
+        SymbolId Sym = R.Rhs[I];
+        if (G.symbols().isTerminal(Sym))
+          continue;
+        Bitset Tail = firstOfSequence(R.Rhs, I + 1);
+        if (Follow[Sym].unionWith(Tail))
+          Changed = true;
+        if (isNullableSequence(R.Rhs, I + 1))
+          if (Follow[Sym].unionWith(Follow[R.Lhs]))
+            Changed = true;
+      }
+    }
+  }
+  FollowComputed = true;
+}
+
+const Bitset &GrammarAnalysis::follow(SymbolId Nonterminal) {
+  assert(G.symbols().isNonterminal(Nonterminal) &&
+         "FOLLOW is defined for nonterminals only");
+  if (!FollowComputed)
+    computeFollow();
+  return Follow[Nonterminal];
+}
+
+Bitset ipg::reachableSymbols(const Grammar &G) {
+  Bitset Reached(G.symbols().size());
+  std::vector<SymbolId> Worklist{G.startSymbol()};
+  Reached.set(G.startSymbol());
+  while (!Worklist.empty()) {
+    SymbolId Sym = Worklist.back();
+    Worklist.pop_back();
+    for (RuleId Id : G.rulesFor(Sym))
+      for (SymbolId RhsSym : G.rule(Id).Rhs)
+        if (Reached.set(RhsSym))
+          Worklist.push_back(RhsSym);
+  }
+  return Reached;
+}
+
+Bitset ipg::productiveNonterminals(const Grammar &G) {
+  Bitset Productive(G.symbols().size());
+  std::vector<RuleId> Rules = G.activeRules();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId Id : Rules) {
+      const Rule &R = G.rule(Id);
+      if (Productive.test(R.Lhs))
+        continue;
+      bool AllOk = true;
+      for (SymbolId Sym : R.Rhs)
+        if (G.symbols().isNonterminal(Sym) && !Productive.test(Sym)) {
+          AllOk = false;
+          break;
+        }
+      if (AllOk) {
+        Productive.set(R.Lhs);
+        Changed = true;
+      }
+    }
+  }
+  return Productive;
+}
+
+/// Computes the reflexive-transitive closure of a relation on nonterminals
+/// given by \p Step and reports whether any nonterminal relates to itself
+/// non-trivially (i.e. is on a cycle).
+template <typename StepFnT>
+static bool relationHasCycle(const Grammar &G, StepFnT &&Step) {
+  size_t NumSymbols = G.symbols().size();
+  // Edges[A] = set of B with A -> B.
+  std::vector<Bitset> Edges(NumSymbols, Bitset(NumSymbols));
+  for (RuleId Id : G.activeRules())
+    Step(G.rule(Id), Edges);
+
+  // Floyd–Warshall-ish closure over bitsets; grammars are small enough.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (SymbolId A = 0; A < NumSymbols; ++A) {
+      Bitset Next = Edges[A];
+      Edges[A].forEach([&](size_t B) { Next.unionWith(Edges[B]); });
+      if (!(Next == Edges[A])) {
+        Edges[A] = std::move(Next);
+        Changed = true;
+      }
+    }
+  }
+  for (SymbolId A = 0; A < NumSymbols; ++A)
+    if (Edges[A].test(A))
+      return true;
+  return false;
+}
+
+bool ipg::isLeftRecursive(const Grammar &G) {
+  GrammarAnalysis Analysis(G);
+  return relationHasCycle(G, [&](const Rule &R, std::vector<Bitset> &Edges) {
+    // A -> B when B can be the leftmost symbol of a derivation from A.
+    for (SymbolId Sym : R.Rhs) {
+      if (G.symbols().isNonterminal(Sym))
+        Edges[R.Lhs].set(Sym);
+      if (!Analysis.isNullable(Sym))
+        break;
+    }
+  });
+}
+
+std::vector<GrammarLint> ipg::lintGrammar(const Grammar &G) {
+  std::vector<GrammarLint> Findings;
+  if (G.rulesFor(G.startSymbol()).empty()) {
+    Findings.push_back(GrammarLint{GrammarLint::EmptyStart, InvalidSymbol,
+                                   "START has no rules: the language is "
+                                   "empty"});
+    return Findings;
+  }
+  Bitset Reachable = reachableSymbols(G);
+  Bitset Productive = productiveNonterminals(G);
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+    if (!G.symbols().isNonterminal(Sym) || Sym == G.startSymbol())
+      continue;
+    // Only flag nonterminals that take part in the grammar at all.
+    bool HasRules = !G.rulesFor(Sym).empty();
+    if (!Reachable.test(Sym) && HasRules)
+      Findings.push_back(
+          GrammarLint{GrammarLint::UnreachableNonterminal, Sym,
+                      "nonterminal '" + G.symbols().name(Sym) +
+                          "' is unreachable from START"});
+    if (Reachable.test(Sym) && !Productive.test(Sym))
+      Findings.push_back(
+          GrammarLint{GrammarLint::UnproductiveNonterminal, Sym,
+                      "nonterminal '" + G.symbols().name(Sym) +
+                          "' derives no terminal string"});
+  }
+  if (hasDerivationCycle(G))
+    Findings.push_back(GrammarLint{GrammarLint::DerivationCycle,
+                                   InvalidSymbol,
+                                   "the grammar has a derivation cycle "
+                                   "(some A derives itself): ambiguous "
+                                   "sentences have infinitely many parses"});
+  return Findings;
+}
+
+bool ipg::hasDerivationCycle(const Grammar &G) {
+  GrammarAnalysis Analysis(G);
+  return relationHasCycle(G, [&](const Rule &R, std::vector<Bitset> &Edges) {
+    // A -> B when A ⇒ αBβ with α and β both nullable (so A ⇒+ B).
+    for (size_t I = 0; I < R.Rhs.size(); ++I) {
+      SymbolId Sym = R.Rhs[I];
+      if (!G.symbols().isNonterminal(Sym))
+        continue;
+      bool PrefixNullable = true;
+      for (size_t J = 0; J < I && PrefixNullable; ++J)
+        PrefixNullable = Analysis.isNullable(R.Rhs[J]);
+      bool SuffixNullable = Analysis.isNullableSequence(R.Rhs, I + 1);
+      if (PrefixNullable && SuffixNullable)
+        Edges[R.Lhs].set(Sym);
+    }
+  });
+}

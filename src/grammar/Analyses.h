@@ -1,0 +1,97 @@
+//===- grammar/Analyses.h - Classic grammar analyses ------------*- C++ -*-===//
+///
+/// \file
+/// The standard fixpoint analyses every table generator in this repository
+/// builds on: NULLABLE, FIRST, FOLLOW, reachability, productivity, left
+/// recursion and derivation cycles. All results are value types computed
+/// against one grammar version; callers recompute after mutation (cheap —
+/// the fixpoints are linear-ish in grammar size for practical grammars).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_ANALYSES_H
+#define IPG_GRAMMAR_ANALYSES_H
+
+#include "grammar/Grammar.h"
+#include "support/Bitset.h"
+
+#include <vector>
+
+namespace ipg {
+
+/// NULLABLE, FIRST and FOLLOW in one bundle (FOLLOW is only filled when
+/// requested since only SLR(1) and LL(1) need it).
+class GrammarAnalysis {
+public:
+  /// Computes NULLABLE and FIRST for the current rule set of \p G.
+  explicit GrammarAnalysis(const Grammar &G);
+
+  /// True if \p Sym derives ε (terminals are never nullable).
+  bool isNullable(SymbolId Sym) const { return Nullable[Sym]; }
+
+  /// True if every symbol of \p Seq starting at \p From is nullable.
+  bool isNullableSequence(const std::vector<SymbolId> &Seq,
+                          size_t From = 0) const;
+
+  /// FIRST(\p Sym): terminals that can begin a derivation of Sym. For a
+  /// terminal this is {Sym} itself.
+  const Bitset &first(SymbolId Sym) const { return First[Sym]; }
+
+  /// FIRST of the suffix Seq[From..]; if the whole suffix is nullable the
+  /// result does not include any "follow" information (callers add it).
+  Bitset firstOfSequence(const std::vector<SymbolId> &Seq,
+                         size_t From = 0) const;
+
+  /// FOLLOW(\p Nonterminal); computed on first use. FOLLOW(START) = {$}.
+  const Bitset &follow(SymbolId Nonterminal);
+
+  /// Version of the grammar these results were computed for.
+  uint64_t grammarVersion() const { return Version; }
+
+  size_t numSymbols() const { return Nullable.size(); }
+
+private:
+  void computeFollow();
+
+  const Grammar &G;
+  uint64_t Version;
+  std::vector<bool> Nullable;
+  std::vector<Bitset> First;
+  std::vector<Bitset> Follow;
+  bool FollowComputed = false;
+};
+
+/// Symbols reachable from START through active rules.
+Bitset reachableSymbols(const Grammar &G);
+
+/// Nonterminals that derive at least one terminal string.
+Bitset productiveNonterminals(const Grammar &G);
+
+/// True if some nonterminal A satisfies A ⇒+ Aα (direct or indirect left
+/// recursion, taking nullable prefixes into account).
+bool isLeftRecursive(const Grammar &G);
+
+/// True if some nonterminal A satisfies A ⇒+ A (a derivation cycle), which
+/// makes the language's parse forests infinite.
+bool hasDerivationCycle(const Grammar &G);
+
+/// One grammar-hygiene finding.
+struct GrammarLint {
+  enum KindType {
+    UnreachableNonterminal, ///< Never derivable from START.
+    UnproductiveNonterminal,///< Derives no terminal string.
+    EmptyStart,             ///< START has no rules: the language is empty.
+    DerivationCycle,        ///< Some A ⇒+ A: infinite parse forests.
+  } Kind;
+  SymbolId Symbol; ///< InvalidSymbol for grammar-wide findings.
+  std::string Message;
+};
+
+/// Diagnoses the current rule set: unreachable/unproductive nonterminals,
+/// an empty start and derivation cycles — the mistakes interactive
+/// grammar editing produces constantly, surfaced without failing.
+std::vector<GrammarLint> lintGrammar(const Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_ANALYSES_H

@@ -1,0 +1,195 @@
+//===- grammar/BnfReader.cpp - Textual grammar format ---------------------===//
+
+#include "grammar/BnfReader.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+
+namespace {
+
+/// One lexical token of the BNF format.
+struct BnfToken {
+  enum KindType { Ident, Literal, DefineOp, Pipe, Semi, Directive, End };
+  KindType Kind;
+  std::string Text;
+  unsigned Line;
+};
+
+/// Splits BNF text into tokens; reports bad characters.
+class BnfLexer {
+public:
+  explicit BnfLexer(std::string_view Text) : Text(Text) {}
+
+  Expected<BnfToken> next() {
+    skipLayout();
+    if (Pos >= Text.size())
+      return BnfToken{BnfToken::End, "", Line};
+    char C = Text[Pos];
+    if (C == '|') {
+      ++Pos;
+      return BnfToken{BnfToken::Pipe, "|", Line};
+    }
+    if (C == ';') {
+      ++Pos;
+      return BnfToken{BnfToken::Semi, ";", Line};
+    }
+    if (C == ':' && Text.substr(Pos, 3) == "::=") {
+      Pos += 3;
+      return BnfToken{BnfToken::DefineOp, "::=", Line};
+    }
+    if (C == '"')
+      return lexLiteral();
+    if (C == '%')
+      return lexWord(BnfToken::Directive);
+    if (isIdentChar(C))
+      return lexWord(BnfToken::Ident);
+    return Error("unexpected character '" + std::string(1, C) + "'", Line);
+  }
+
+private:
+  static bool isIdentChar(char C) {
+    return std::isalnum((unsigned char)C) || C == '_' || C == '-' ||
+           C == '\'' || C == '*' || C == '+' || C == '?';
+  }
+
+  void skipLayout() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace((unsigned char)C)) {
+        ++Pos;
+      } else if (C == '/' && Text.substr(Pos, 2) == "//") {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Expected<BnfToken> lexLiteral() {
+    unsigned StartLine = Line;
+    ++Pos; // opening quote
+    std::string Value;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\n')
+        return Error("unterminated string literal", StartLine);
+      if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+        ++Pos;
+      Value += Text[Pos++];
+    }
+    if (Pos >= Text.size())
+      return Error("unterminated string literal", StartLine);
+    ++Pos; // closing quote
+    return BnfToken{BnfToken::Literal, Value, StartLine};
+  }
+
+  Expected<BnfToken> lexWord(BnfToken::KindType Kind) {
+    size_t Start = Pos;
+    if (Kind == BnfToken::Directive)
+      ++Pos;
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    return BnfToken{Kind, std::string(Text.substr(Start, Pos - Start)), Line};
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+} // namespace
+
+Expected<size_t> ipg::readBnf(Grammar &G, std::string_view Text) {
+  BnfLexer Lexer(Text);
+  size_t NumRules = 0;
+  SymbolId StartTarget = InvalidSymbol;
+
+  Expected<BnfToken> Tok = Lexer.next();
+  while (true) {
+    if (!Tok)
+      return Tok.error();
+    if (Tok->Kind == BnfToken::End)
+      break;
+
+    if (Tok->Kind == BnfToken::Directive) {
+      if (Tok->Text != "%start")
+        return Error("unknown directive '" + Tok->Text + "'", Tok->Line);
+      Tok = Lexer.next();
+      if (!Tok)
+        return Tok.error();
+      if (Tok->Kind != BnfToken::Ident)
+        return Error("%start expects a nonterminal name", Tok->Line);
+      if (StartTarget != InvalidSymbol)
+        return Error("duplicate %start directive", Tok->Line);
+      StartTarget = G.symbols().intern(Tok->Text);
+      Tok = Lexer.next();
+      continue;
+    }
+
+    if (Tok->Kind != BnfToken::Ident && Tok->Kind != BnfToken::Literal)
+      return Error("expected a rule's left-hand side", Tok->Line);
+    SymbolId Lhs = G.symbols().intern(Tok->Text);
+    unsigned RuleLine = Tok->Line;
+
+    Tok = Lexer.next();
+    if (!Tok)
+      return Tok.error();
+    if (Tok->Kind != BnfToken::DefineOp)
+      return Error("expected '::=' after left-hand side", RuleLine);
+
+    // Alternatives until ';'.
+    std::vector<SymbolId> Rhs;
+    bool SawEmpty = false;
+    auto FlushAlternative = [&](unsigned Line) -> Expected<size_t> {
+      if (SawEmpty && !Rhs.empty())
+        return Error("%empty may not be mixed with symbols", Line);
+      G.addRule(Lhs, Rhs);
+      ++NumRules;
+      Rhs.clear();
+      SawEmpty = false;
+      return NumRules;
+    };
+    while (true) {
+      Tok = Lexer.next();
+      if (!Tok)
+        return Tok.error();
+      if (Tok->Kind == BnfToken::Ident || Tok->Kind == BnfToken::Literal) {
+        Rhs.push_back(G.symbols().intern(Tok->Text));
+        continue;
+      }
+      if (Tok->Kind == BnfToken::Directive) {
+        if (Tok->Text != "%empty")
+          return Error("unknown directive '" + Tok->Text + "'", Tok->Line);
+        SawEmpty = true;
+        continue;
+      }
+      if (Tok->Kind == BnfToken::Pipe) {
+        if (Expected<size_t> R = FlushAlternative(Tok->Line); !R)
+          return R.error();
+        continue;
+      }
+      if (Tok->Kind == BnfToken::Semi) {
+        if (Expected<size_t> R = FlushAlternative(Tok->Line); !R)
+          return R.error();
+        break;
+      }
+      return Error("expected symbol, '|' or ';' in rule body", Tok->Line);
+    }
+    Tok = Lexer.next();
+  }
+
+  // %start adds the START rule; alternatively the text may define START
+  // rules explicitly (the BnfWriter emits that form for multi-rule or
+  // non-unit start productions).
+  if (StartTarget != InvalidSymbol)
+    G.addRule(G.startSymbol(), {StartTarget});
+  else if (G.rulesFor(G.startSymbol()).empty())
+    return Error("grammar has neither %start nor explicit START rules");
+  return NumRules;
+}

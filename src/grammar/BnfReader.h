@@ -1,0 +1,36 @@
+//===- grammar/BnfReader.h - Textual grammar format -------------*- C++ -*-===//
+///
+/// \file
+/// Reads grammars from a small BNF text format so examples and tests can
+/// load languages from files/strings:
+///
+/// \code
+///   // Comments run to end of line.
+///   %start Expr
+///   Expr ::= Expr "+" Term | Term ;
+///   Term ::= "a" | %empty ;
+/// \endcode
+///
+/// Quoted tokens and bare identifiers both intern to symbols; a symbol is a
+/// nonterminal exactly when it occurs as some left-hand side. `%start X`
+/// adds START ::= X (required once). `%empty` denotes ε.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_BNFREADER_H
+#define IPG_GRAMMAR_BNFREADER_H
+
+#include "grammar/Grammar.h"
+#include "support/Expected.h"
+
+#include <string_view>
+
+namespace ipg {
+
+/// Parses \p Text into \p G (which should be empty). On success returns the
+/// number of rules added (excluding the START rule).
+Expected<size_t> readBnf(Grammar &G, std::string_view Text);
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_BNFREADER_H

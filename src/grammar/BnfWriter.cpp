@@ -1,0 +1,86 @@
+//===- grammar/BnfWriter.cpp - Grammar to BNF text ------------------------===//
+
+#include "grammar/BnfWriter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+using namespace ipg;
+
+namespace {
+
+bool isBareIdent(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (!(std::isalnum((unsigned char)C) || C == '_' || C == '-' ||
+          C == '\'' || C == '*' || C == '+' || C == '?'))
+      return false;
+  return true;
+}
+
+std::string spell(const Grammar &G, SymbolId Sym) {
+  const std::string &Name = G.symbols().name(Sym);
+  if (isBareIdent(Name))
+    return Name;
+  std::string Quoted = "\"";
+  for (char C : Name) {
+    if (C == '"' || C == '\\')
+      Quoted += '\\';
+    Quoted += C;
+  }
+  return Quoted + "\"";
+}
+
+} // namespace
+
+std::string ipg::writeBnf(const Grammar &G) {
+  // Group active rules by LHS in first-appearance order.
+  std::vector<SymbolId> Order;
+  std::map<SymbolId, std::vector<RuleId>> ByLhs;
+  for (RuleId Id : G.activeRules()) {
+    SymbolId Lhs = G.rule(Id).Lhs;
+    auto [It, Inserted] = ByLhs.try_emplace(Lhs);
+    if (Inserted || It->second.empty())
+      if (std::find(Order.begin(), Order.end(), Lhs) == Order.end())
+        Order.push_back(Lhs);
+    It->second.push_back(Id);
+  }
+
+  std::string Text;
+  // Idiomatic %start when the start production is a single unit rule;
+  // explicit START rules otherwise.
+  SymbolId Start = G.startSymbol();
+  auto StartIt = ByLhs.find(Start);
+  bool StartAsDirective = StartIt != ByLhs.end() &&
+                          StartIt->second.size() == 1 &&
+                          G.rule(StartIt->second[0]).Rhs.size() == 1;
+  if (StartAsDirective) {
+    Text += "%start " + spell(G, G.rule(StartIt->second[0]).Rhs[0]) + "\n";
+  }
+
+  for (SymbolId Lhs : Order) {
+    if (StartAsDirective && Lhs == Start)
+      continue;
+    Text += spell(G, Lhs) + " ::= ";
+    const std::vector<RuleId> &Rules = ByLhs[Lhs];
+    for (size_t I = 0; I < Rules.size(); ++I) {
+      if (I != 0)
+        Text += " | ";
+      const Rule &R = G.rule(Rules[I]);
+      if (R.Rhs.empty()) {
+        Text += "%empty";
+        continue;
+      }
+      for (size_t J = 0; J < R.Rhs.size(); ++J) {
+        if (J != 0)
+          Text += ' ';
+        Text += spell(G, R.Rhs[J]);
+      }
+    }
+    Text += " ;\n";
+  }
+  return Text;
+}

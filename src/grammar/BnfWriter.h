@@ -1,0 +1,29 @@
+//===- grammar/BnfWriter.h - Grammar to BNF text ----------------*- C++ -*-===//
+///
+/// \file
+/// Serializes a Grammar back into the BnfReader text format, so grammars
+/// built programmatically (or edited incrementally) can be saved and
+/// reloaded. writeBnf(readBnf(T)) round-trips structurally (tested by
+/// canonical item-set-graph comparison).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_BNFWRITER_H
+#define IPG_GRAMMAR_BNFWRITER_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+
+namespace ipg {
+
+/// Renders the active rules of \p G as BnfReader-compatible text.
+/// Nonterminal spellings that the reader could not re-intern verbatim
+/// (spaces, quotes) are not produced by GrammarBuilder's helpers except
+/// for separated lists; those render with their exact names and are
+/// quoted-escaped as needed.
+std::string writeBnf(const Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_BNFWRITER_H

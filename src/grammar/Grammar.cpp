@@ -1,0 +1,120 @@
+//===- grammar/Grammar.cpp - Mutable context-free grammar -----------------===//
+
+#include "grammar/Grammar.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipg;
+
+uint64_t Grammar::hashRule(SymbolId Lhs,
+                           const std::vector<SymbolId> &Rhs) const {
+  uint64_t Hash = hashCombine(0x9e3779b97f4a7c15ULL, Lhs);
+  for (SymbolId Sym : Rhs)
+    Hash = hashCombine(Hash, Sym);
+  return Hash;
+}
+
+RuleId Grammar::findRule(SymbolId Lhs,
+                         const std::vector<SymbolId> &Rhs) const {
+  auto It = RuleIndex.find(hashRule(Lhs, Rhs));
+  if (It == RuleIndex.end())
+    return InvalidRule;
+  for (RuleId Id : It->second)
+    if (Rules[Id].Lhs == Lhs && Rules[Id].Rhs == Rhs)
+      return Id;
+  return InvalidRule;
+}
+
+std::pair<RuleId, bool> Grammar::addRule(SymbolId Lhs,
+                                         std::vector<SymbolId> Rhs) {
+  assert(Lhs < Symbols.size() && "unknown LHS symbol");
+  for ([[maybe_unused]] SymbolId Sym : Rhs)
+    assert(Sym != Symbols.startSymbol() &&
+           "START may not be used in a right-hand side");
+  Symbols.markNonterminal(Lhs);
+
+  RuleId Id = findRule(Lhs, Rhs);
+  if (Id == InvalidRule) {
+    Id = static_cast<RuleId>(Rules.size());
+    RuleIndex[hashRule(Lhs, Rhs)].push_back(Id);
+    Rules.push_back(Rule{Lhs, std::move(Rhs)});
+    Active.push_back(0);
+  }
+  if (Active[Id])
+    return {Id, false};
+
+  Active[Id] = 1;
+  ++NumActive;
+  ++Version;
+  if (ByLhs.size() <= Lhs)
+    ByLhs.resize(Symbols.size());
+  ByLhs[Lhs].push_back(Id);
+  return {Id, true};
+}
+
+std::pair<RuleId, bool> Grammar::removeRule(SymbolId Lhs,
+                                            const std::vector<SymbolId> &Rhs) {
+  RuleId Id = findRule(Lhs, Rhs);
+  if (Id == InvalidRule)
+    return {InvalidRule, false};
+  return {Id, removeRule(Id)};
+}
+
+bool Grammar::removeRule(RuleId Id) {
+  if (!isActive(Id))
+    return false;
+  Active[Id] = 0;
+  --NumActive;
+  ++Version;
+  std::vector<RuleId> &Bucket = ByLhs[Rules[Id].Lhs];
+  Bucket.erase(std::find(Bucket.begin(), Bucket.end(), Id));
+  return true;
+}
+
+const std::vector<RuleId> &Grammar::rulesFor(SymbolId Lhs) const {
+  static const std::vector<RuleId> Empty;
+  if (Lhs >= ByLhs.size())
+    return Empty;
+  return ByLhs[Lhs];
+}
+
+std::vector<RuleId> Grammar::activeRules() const {
+  std::vector<RuleId> Ids;
+  Ids.reserve(NumActive);
+  for (RuleId Id = 0; Id < Rules.size(); ++Id)
+    if (Active[Id])
+      Ids.push_back(Id);
+  return Ids;
+}
+
+void Grammar::cloneActiveRules(const Grammar &From, Grammar &To) {
+  // Intern all symbols first so nonterminal marks precede rule addition.
+  for (SymbolId Sym = 0; Sym < From.Symbols.size(); ++Sym) {
+    SymbolId Clone = To.symbols().intern(From.Symbols.name(Sym));
+    if (From.Symbols.isNonterminal(Sym))
+      To.symbols().markNonterminal(Clone);
+  }
+  for (RuleId Id : From.activeRules()) {
+    const Rule &R = From.rule(Id);
+    std::vector<SymbolId> Rhs;
+    Rhs.reserve(R.Rhs.size());
+    for (SymbolId Sym : R.Rhs)
+      Rhs.push_back(To.symbols().intern(From.Symbols.name(Sym)));
+    To.addRule(To.symbols().intern(From.Symbols.name(R.Lhs)), std::move(Rhs));
+  }
+}
+
+std::string Grammar::ruleToString(RuleId Id) const {
+  const Rule &R = rule(Id);
+  std::string Text = Symbols.name(R.Lhs) + " ::=";
+  if (R.Rhs.empty())
+    return Text + " \xCE\xB5"; // U+03B5 GREEK SMALL LETTER EPSILON
+  for (SymbolId Sym : R.Rhs) {
+    Text += ' ';
+    Text += Symbols.name(Sym);
+  }
+  return Text;
+}

@@ -1,0 +1,122 @@
+//===- grammar/Grammar.h - Mutable context-free grammar ---------*- C++ -*-===//
+///
+/// \file
+/// The mutable context-free grammar of the paper: a *set* of rules A ::= α
+/// over interned symbols, supporting the two update operations `ADD-RULE`
+/// and `DELETE-RULE` (§6). Rules are interned structurally — deleting and
+/// re-adding the same rule yields the same RuleId — so LR(0) kernels keep
+/// their identity across modification cycles, which is what lets the
+/// incremental generator re-link reusable item sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_GRAMMAR_H
+#define IPG_GRAMMAR_GRAMMAR_H
+
+#include "grammar/Symbol.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ipg {
+
+/// Dense id of an interned rule.
+using RuleId = uint32_t;
+
+/// Sentinel for "no rule".
+inline constexpr RuleId InvalidRule = ~RuleId(0);
+
+/// A syntax rule A ::= α; an empty Rhs is an ε-rule.
+struct Rule {
+  SymbolId Lhs;
+  std::vector<SymbolId> Rhs;
+
+  bool operator==(const Rule &Other) const {
+    return Lhs == Other.Lhs && Rhs == Other.Rhs;
+  }
+};
+
+/// A mutable set of rules plus its symbol table.
+///
+/// The paper's distinguished nonterminal START is the start symbol and may
+/// not occur in any right-hand side (checked by addRule). The grammar keeps
+/// a version counter so generated artifacts (tables, analyses) can detect
+/// staleness.
+class Grammar {
+public:
+  Grammar() = default;
+
+  Grammar(const Grammar &) = delete;
+  Grammar &operator=(const Grammar &) = delete;
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  SymbolId startSymbol() const { return Symbols.startSymbol(); }
+  SymbolId endMarker() const { return Symbols.endMarker(); }
+
+  /// Adds rule \p Lhs ::= \p Rhs to the set. Returns the rule's id and
+  /// whether the set changed (false when the rule was already active).
+  /// \p Lhs is marked as a nonterminal. START must not occur in \p Rhs.
+  std::pair<RuleId, bool> addRule(SymbolId Lhs, std::vector<SymbolId> Rhs);
+
+  /// Removes rule \p Lhs ::= \p Rhs. Returns the rule's id and whether the
+  /// set changed (false when no such rule was active).
+  std::pair<RuleId, bool> removeRule(SymbolId Lhs,
+                                     const std::vector<SymbolId> &Rhs);
+
+  /// Removes an active rule by id; returns false if it was not active.
+  bool removeRule(RuleId Id);
+
+  /// Finds the id of rule \p Lhs ::= \p Rhs whether or not it is active.
+  RuleId findRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) const;
+
+  /// True if \p Id is currently part of the grammar.
+  bool isActive(RuleId Id) const {
+    return Id < Active.size() && Active[Id];
+  }
+
+  /// The (possibly inactive) rule for \p Id. Ids are stable forever.
+  const Rule &rule(RuleId Id) const { return Rules[Id]; }
+
+  /// Active rules with \p Lhs on the left-hand side, in insertion order.
+  const std::vector<RuleId> &rulesFor(SymbolId Lhs) const;
+
+  /// All active rule ids, in increasing id order.
+  std::vector<RuleId> activeRules() const;
+
+  /// Number of active rules.
+  size_t size() const { return NumActive; }
+
+  /// Total number of interned rules (active or not).
+  size_t numInternedRules() const { return Rules.size(); }
+
+  /// Bumped on every successful addRule/removeRule.
+  uint64_t version() const { return Version; }
+
+  /// Renders a rule as "A ::= b C d" (ε-rules render as "A ::= ε").
+  std::string ruleToString(RuleId Id) const;
+
+  /// Copies every active rule of \p From into \p To (symbols re-interned
+  /// by name). Used to build an identical grammar for a second, eagerly
+  /// generated table when measuring lazy coverage.
+  static void cloneActiveRules(const Grammar &From, Grammar &To);
+
+private:
+  uint64_t hashRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) const;
+
+  SymbolTable Symbols;
+  std::vector<Rule> Rules;
+  std::vector<uint8_t> Active;
+  size_t NumActive = 0;
+  uint64_t Version = 0;
+  std::unordered_map<uint64_t, std::vector<RuleId>> RuleIndex;
+  // Active rules per LHS symbol; grows with the symbol table.
+  mutable std::vector<std::vector<RuleId>> ByLhs;
+};
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_GRAMMAR_H

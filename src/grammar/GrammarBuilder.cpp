@@ -1,0 +1,70 @@
+//===- grammar/GrammarBuilder.cpp - Convenience grammar builder -----------===//
+
+#include "grammar/GrammarBuilder.h"
+
+using namespace ipg;
+
+RuleId GrammarBuilder::rule(std::string_view Lhs,
+                            std::initializer_list<std::string_view> Rhs) {
+  std::vector<SymbolId> RhsIds;
+  RhsIds.reserve(Rhs.size());
+  for (std::string_view Name : Rhs)
+    RhsIds.push_back(symbol(Name));
+  return G.addRule(symbol(Lhs), std::move(RhsIds)).first;
+}
+
+RuleId GrammarBuilder::rule(std::string_view Lhs,
+                            const std::vector<std::string> &Rhs) {
+  std::vector<SymbolId> RhsIds;
+  RhsIds.reserve(Rhs.size());
+  for (const std::string &Name : Rhs)
+    RhsIds.push_back(symbol(Name));
+  return G.addRule(symbol(Lhs), std::move(RhsIds)).first;
+}
+
+RuleId GrammarBuilder::rule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
+  return G.addRule(Lhs, std::move(Rhs)).first;
+}
+
+SymbolId GrammarBuilder::derived(std::string_view Name) {
+  SymbolId Id = G.symbols().intern(Name);
+  G.symbols().markNonterminal(Id);
+  return Id;
+}
+
+SymbolId GrammarBuilder::star(SymbolId Element) {
+  SymbolId List = derived(G.symbols().name(Element) + "*");
+  G.addRule(List, {});
+  G.addRule(List, {List, Element});
+  return List;
+}
+
+SymbolId GrammarBuilder::plus(SymbolId Element) {
+  SymbolId List = derived(G.symbols().name(Element) + "+");
+  G.addRule(List, {Element});
+  G.addRule(List, {List, Element});
+  return List;
+}
+
+SymbolId GrammarBuilder::opt(SymbolId Element) {
+  SymbolId Opt = derived(G.symbols().name(Element) + "?");
+  G.addRule(Opt, {});
+  G.addRule(Opt, {Element});
+  return Opt;
+}
+
+SymbolId GrammarBuilder::sepPlus(SymbolId Element, SymbolId Separator) {
+  SymbolId List = derived("{" + G.symbols().name(Element) + " " +
+                          G.symbols().name(Separator) + "}+");
+  G.addRule(List, {Element});
+  G.addRule(List, {List, Separator, Element});
+  return List;
+}
+
+SymbolId GrammarBuilder::sepStar(SymbolId Element, SymbolId Separator) {
+  SymbolId List = derived("{" + G.symbols().name(Element) + " " +
+                          G.symbols().name(Separator) + "}*");
+  G.addRule(List, {});
+  G.addRule(List, {sepPlus(Element, Separator)});
+  return List;
+}

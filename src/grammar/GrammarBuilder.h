@@ -1,0 +1,65 @@
+//===- grammar/GrammarBuilder.h - Convenience grammar builder --*- C++ -*-===//
+///
+/// \file
+/// A string-based facade over Grammar plus the EBNF desugarings needed to
+/// express SDF-style iterations (`X*`, `X+`, `{X ","}+`) as plain BNF. The
+/// generated helper nonterminals are interned by name, so repeated uses of
+/// the same construct share one definition — mirroring how the paper's SDF
+/// front end desugars its iteration operators into an LR(1) grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_GRAMMARBUILDER_H
+#define IPG_GRAMMAR_GRAMMARBUILDER_H
+
+#include "grammar/Grammar.h"
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipg {
+
+/// Builds rules from symbol names; owns nothing.
+class GrammarBuilder {
+public:
+  explicit GrammarBuilder(Grammar &G) : G(G) {}
+
+  /// Interns \p Name (terminal unless/until it appears as an LHS).
+  SymbolId symbol(std::string_view Name) { return G.symbols().intern(Name); }
+
+  /// Adds \p Lhs ::= \p Rhs (all names interned); returns the rule id.
+  RuleId rule(std::string_view Lhs, std::initializer_list<std::string_view> Rhs);
+  RuleId rule(std::string_view Lhs, const std::vector<std::string> &Rhs);
+  RuleId rule(SymbolId Lhs, std::vector<SymbolId> Rhs);
+
+  /// Nonterminal deriving zero or more \p Element: `E*`.
+  /// Rules: E* ::= ε | E* E.
+  SymbolId star(SymbolId Element);
+
+  /// Nonterminal deriving one or more \p Element: `E+`.
+  /// Rules: E+ ::= E | E+ E.
+  SymbolId plus(SymbolId Element);
+
+  /// Nonterminal deriving zero or one \p Element: `E?`.
+  SymbolId opt(SymbolId Element);
+
+  /// Nonterminal deriving one or more \p Element separated by \p Separator:
+  /// `{E S}+` with rules L ::= E | L S E.
+  SymbolId sepPlus(SymbolId Element, SymbolId Separator);
+
+  /// Like sepPlus but also derives the empty sequence: `{E S}*`.
+  SymbolId sepStar(SymbolId Element, SymbolId Separator);
+
+  Grammar &grammar() { return G; }
+
+private:
+  SymbolId derived(std::string_view Name);
+
+  Grammar &G;
+};
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_GRAMMARBUILDER_H

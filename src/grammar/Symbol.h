@@ -1,0 +1,97 @@
+//===- grammar/Symbol.h - Interned grammar symbols --------------*- C++ -*-===//
+///
+/// \file
+/// Symbols (terminals and nonterminals) are interned into dense 32-bit ids
+/// by a SymbolTable. A symbol is a nonterminal once it has appeared as the
+/// left-hand side of a rule (or was explicitly marked); every other symbol
+/// is a terminal. The table pre-interns the two distinguished symbols of the
+/// paper: the start symbol `START` and the end marker `$`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_SYMBOL_H
+#define IPG_GRAMMAR_SYMBOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ipg {
+
+/// Dense id of an interned symbol.
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId InvalidSymbol = ~SymbolId(0);
+
+/// Interns symbol names to dense ids and tracks terminal-ness.
+///
+/// Ids are stable for the lifetime of the table, so item sets, tables and
+/// forests may store raw SymbolIds.
+class SymbolTable {
+public:
+  SymbolTable() {
+    StartId = intern("START");
+    markNonterminal(StartId);
+    EndId = intern("$");
+  }
+
+  /// Returns the id for \p Name, interning it if new.
+  SymbolId intern(std::string_view Name) {
+    auto It = IdByName.find(std::string(Name));
+    if (It != IdByName.end())
+      return It->second;
+    SymbolId Id = static_cast<SymbolId>(Names.size());
+    Names.emplace_back(Name);
+    Nonterminal.push_back(false);
+    IdByName.emplace(Names.back(), Id);
+    return Id;
+  }
+
+  /// Returns the id for \p Name or InvalidSymbol if it was never interned.
+  SymbolId lookup(std::string_view Name) const {
+    auto It = IdByName.find(std::string(Name));
+    return It == IdByName.end() ? InvalidSymbol : It->second;
+  }
+
+  const std::string &name(SymbolId Id) const {
+    assert(Id < Names.size() && "unknown symbol id");
+    return Names[Id];
+  }
+
+  /// Declares \p Id a nonterminal (idempotent; never reverts).
+  void markNonterminal(SymbolId Id) {
+    assert(Id < Names.size() && "unknown symbol id");
+    Nonterminal[Id] = true;
+  }
+
+  bool isNonterminal(SymbolId Id) const {
+    assert(Id < Names.size() && "unknown symbol id");
+    return Nonterminal[Id];
+  }
+
+  bool isTerminal(SymbolId Id) const { return !isNonterminal(Id); }
+
+  /// Number of interned symbols; ids are 0..size()-1.
+  size_t size() const { return Names.size(); }
+
+  /// The distinguished start symbol `START` (a nonterminal).
+  SymbolId startSymbol() const { return StartId; }
+
+  /// The distinguished end marker `$` (a terminal, never part of a rule).
+  SymbolId endMarker() const { return EndId; }
+
+private:
+  std::vector<std::string> Names;
+  std::vector<bool> Nonterminal;
+  std::unordered_map<std::string, SymbolId> IdByName;
+  SymbolId StartId = InvalidSymbol;
+  SymbolId EndId = InvalidSymbol;
+};
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_SYMBOL_H

@@ -1,0 +1,95 @@
+//===- grammar/Tree.h - Concrete parse trees --------------------*- C++ -*-===//
+///
+/// \file
+/// The parse-tree representation shared by every parser in the repository
+/// (deterministic LR, GLR via forest extraction, Earley, LL(1), recursive
+/// descent). Nodes are arena-owned so trees can share structure freely and
+/// are destroyed in O(1) with their arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_TREE_H
+#define IPG_GRAMMAR_TREE_H
+
+#include "grammar/Grammar.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// A parse-tree node: either a token leaf (Rule == InvalidRule, TokenIndex
+/// identifies the input token) or a rule application with one child per
+/// right-hand-side symbol.
+struct TreeNode {
+  SymbolId Sym = InvalidSymbol;
+  RuleId Rule = InvalidRule;
+  uint32_t TokenIndex = 0;
+  std::vector<TreeNode *> Children;
+
+  bool isLeaf() const { return Rule == InvalidRule; }
+};
+
+/// Bump-owner for TreeNodes; nodes live as long as the arena.
+class TreeArena {
+public:
+  TreeNode *makeLeaf(SymbolId Sym, uint32_t TokenIndex) {
+    Nodes.push_back(TreeNode{Sym, InvalidRule, TokenIndex, {}});
+    return &Nodes.back();
+  }
+
+  TreeNode *makeNode(SymbolId Sym, RuleId Rule,
+                     std::vector<TreeNode *> Children) {
+    Nodes.push_back(TreeNode{Sym, Rule, 0, std::move(Children)});
+    return &Nodes.back();
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  std::deque<TreeNode> Nodes;
+};
+
+/// Renders a tree as a bracketed term, e.g. `B(B(true) or B(false))`.
+inline std::string treeToString(const TreeNode *Node, const Grammar &G) {
+  if (Node == nullptr)
+    return "<null>";
+  const std::string &Name = G.symbols().name(Node->Sym);
+  if (Node->isLeaf())
+    return Name;
+  std::string Text = Name + "(";
+  for (size_t I = 0; I < Node->Children.size(); ++I) {
+    if (I != 0)
+      Text += ' ';
+    Text += treeToString(Node->Children[I], G);
+  }
+  return Text + ")";
+}
+
+/// Counts nodes reachable from \p Node (shared nodes counted once per path;
+/// trees from deterministic parsers have no sharing).
+inline size_t treeSize(const TreeNode *Node) {
+  if (Node == nullptr)
+    return 0;
+  size_t Total = 1;
+  for (const TreeNode *Child : Node->Children)
+    Total += treeSize(Child);
+  return Total;
+}
+
+/// Collects the token indices of the leaves in left-to-right order.
+inline void treeYield(const TreeNode *Node, std::vector<uint32_t> &Out) {
+  if (Node == nullptr)
+    return;
+  if (Node->isLeaf()) {
+    Out.push_back(Node->TokenIndex);
+    return;
+  }
+  for (const TreeNode *Child : Node->Children)
+    treeYield(Child, Out);
+}
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_TREE_H

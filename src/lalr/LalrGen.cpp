@@ -1,0 +1,217 @@
+//===- lalr/LalrGen.cpp - LALR(1) generation (DeRemer–Pennello) -----------===//
+
+#include "lalr/LalrGen.h"
+
+#include "grammar/Analyses.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace ipg;
+
+namespace {
+
+/// The target of \p State's transition on \p Label; null if absent.
+const ItemSet *findTransition(const ItemSet *State, SymbolId Label) {
+  for (const ItemSet::Transition &T : State->transitions())
+    if (T.Label == Label)
+      return T.Target;
+  return nullptr;
+}
+
+/// DeRemer–Pennello digraph algorithm: computes the smallest F with
+/// F(x) ⊇ Base(x) and F(x) ⊇ F(y) for every edge x → y in Rel, merging
+/// strongly connected components on the fly.
+class Digraph {
+public:
+  Digraph(const std::vector<std::vector<uint32_t>> &Rel,
+          std::vector<Bitset> &F)
+      : Rel(Rel), F(F), Depth(F.size(), 0) {}
+
+  void run() {
+    for (uint32_t X = 0; X < F.size(); ++X)
+      if (Depth[X] == 0)
+        traverse(X);
+  }
+
+private:
+  static constexpr uint32_t Infinity = ~uint32_t(0);
+
+  void traverse(uint32_t X) {
+    Stack.push_back(X);
+    uint32_t D = static_cast<uint32_t>(Stack.size());
+    Depth[X] = D;
+    for (uint32_t Y : Rel[X]) {
+      if (Depth[Y] == 0)
+        traverse(Y);
+      Depth[X] = std::min(Depth[X], Depth[Y]);
+      F[X].unionWith(F[Y]);
+    }
+    if (Depth[X] != D)
+      return;
+    // X is the root of an SCC: pop it and share its set with the members.
+    while (true) {
+      uint32_t Top = Stack.back();
+      Stack.pop_back();
+      Depth[Top] = Infinity;
+      if (Top == X)
+        break;
+      F[Top] = F[X];
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>> &Rel;
+  std::vector<Bitset> &F;
+  std::vector<uint32_t> Depth;
+  std::vector<uint32_t> Stack;
+};
+
+} // namespace
+
+ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
+                                std::vector<const ItemSet *> *SetOfState) {
+  Graph.generateAll();
+  const Grammar &G = Graph.grammar();
+  GrammarAnalysis Analysis(G);
+  size_t NumSymbols = G.symbols().size();
+
+  std::vector<const ItemSet *> Sets = Graph.liveSets();
+  std::unordered_map<const ItemSet *, uint32_t> StateOf;
+  for (const ItemSet *Set : Sets)
+    StateOf.emplace(Set, static_cast<uint32_t>(StateOf.size()));
+
+  // Enumerate nonterminal transitions (p, A).
+  struct NtTrans {
+    const ItemSet *From;
+    SymbolId Label;
+    const ItemSet *To;
+  };
+  std::vector<NtTrans> Trans;
+  std::unordered_map<uint64_t, uint32_t> TransIdx; // (state, A) -> index.
+  auto TransKey = [&](const ItemSet *State, SymbolId A) {
+    return (uint64_t(StateOf.at(State)) << 32) | A;
+  };
+  for (const ItemSet *Set : Sets)
+    for (const ItemSet::Transition &T : Set->transitions())
+      if (G.symbols().isNonterminal(T.Label)) {
+        TransIdx.emplace(TransKey(Set, T.Label),
+                         static_cast<uint32_t>(Trans.size()));
+        Trans.push_back(NtTrans{Set, T.Label, T.Target});
+      }
+
+  // DR(p, A): terminals readable directly after the transition. The end
+  // marker is readable exactly when the target accepts (START ::= β •).
+  std::vector<Bitset> Follow(Trans.size(), Bitset(NumSymbols));
+  for (size_t I = 0; I < Trans.size(); ++I) {
+    for (const ItemSet::Transition &T : Trans[I].To->transitions())
+      if (G.symbols().isTerminal(T.Label))
+        Follow[I].set(T.Label);
+    if (Trans[I].To->isAccepting())
+      Follow[I].set(G.endMarker());
+  }
+
+  // reads: (p, A) → (r, C) when r = GOTO(p, A) has a transition on a
+  // nullable nonterminal C.
+  std::vector<std::vector<uint32_t>> Reads(Trans.size());
+  for (size_t I = 0; I < Trans.size(); ++I)
+    for (const ItemSet::Transition &T : Trans[I].To->transitions())
+      if (G.symbols().isNonterminal(T.Label) && Analysis.isNullable(T.Label))
+        Reads[I].push_back(TransIdx.at(TransKey(Trans[I].To, T.Label)));
+  Digraph(Reads, Follow).run(); // Follow now holds the Read sets.
+
+  // includes: (p_i, ω_i) → (p', B) for B ::= ω with a nullable suffix
+  // after position i, walking ω from every state p' owning a B-transition.
+  // lookback: (q, B ::= ω) ← (p', B) with q the end of the walk.
+  std::vector<std::vector<uint32_t>> Includes(Trans.size());
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Lookback;
+  auto LookbackKey = [&](const ItemSet *State, RuleId Rule) {
+    return (uint64_t(StateOf.at(State)) << 32) | Rule;
+  };
+  for (size_t I = 0; I < Trans.size(); ++I) {
+    const ItemSet *From = Trans[I].From;
+    for (RuleId RId : G.rulesFor(Trans[I].Label)) {
+      const Rule &R = G.rule(RId);
+      const ItemSet *Q = From;
+      for (size_t Pos = 0; Pos < R.Rhs.size(); ++Pos) {
+        SymbolId Sym = R.Rhs[Pos];
+        if (G.symbols().isNonterminal(Sym) &&
+            Analysis.isNullableSequence(R.Rhs, Pos + 1)) {
+          uint32_t Inner = TransIdx.at(TransKey(Q, Sym));
+          Includes[Inner].push_back(static_cast<uint32_t>(I));
+        }
+        Q = findTransition(Q, Sym);
+        assert(Q != nullptr && "broken walk over a predicted rule");
+      }
+      Lookback[LookbackKey(Q, RId)].push_back(static_cast<uint32_t>(I));
+    }
+  }
+  Digraph(Includes, Follow).run(); // Follow now holds the Follow sets.
+
+  // Assemble the table: LA(q, A ::= ω) = ∪ Follow(p, A) over lookback.
+  ParseTable Table(Sets.size(), NumSymbols);
+  for (const ItemSet *Set : Sets) {
+    uint32_t State = StateOf.at(Set);
+    for (RuleId Rule : Set->reductions()) {
+      Bitset La(NumSymbols);
+      auto It = Lookback.find(LookbackKey(Set, Rule));
+      if (It != Lookback.end())
+        for (uint32_t I : It->second)
+          La.unionWith(Follow[I]);
+      La.forEach([&](size_t Sym) {
+        Table.addAction(State, static_cast<SymbolId>(Sym),
+                        {TableAction::Reduce, Rule});
+      });
+    }
+    for (const ItemSet::Transition &T : Set->transitions()) {
+      if (G.symbols().isTerminal(T.Label))
+        Table.addAction(State, T.Label,
+                        {TableAction::Shift, StateOf.at(T.Target)});
+      else
+        Table.setGoto(State, T.Label, StateOf.at(T.Target));
+    }
+    for (RuleId Rule : Set->acceptRules())
+      Table.addAction(State, G.endMarker(), {TableAction::Accept, Rule});
+  }
+  if (SetOfState != nullptr)
+    *SetOfState = std::move(Sets);
+  return Table;
+}
+
+std::vector<ConflictResolution>
+ipg::resolveConflictsYaccStyle(ParseTable &Table, const Grammar &G) {
+  std::vector<ConflictResolution> Decisions;
+  for (const TableConflict &Conflict : Table.conflicts()) {
+    // Prefer shift; among reduces prefer the lowest-numbered rule. Accept
+    // (only ever paired through grammar pathologies) outranks everything.
+    TableAction Best = Conflict.Actions.front();
+    for (const TableAction &Action : Conflict.Actions) {
+      if (Action.Kind == TableAction::Accept) {
+        Best = Action;
+        break;
+      }
+      if (Action.Kind == TableAction::Shift &&
+          Best.Kind != TableAction::Shift)
+        Best = Action;
+      else if (Action.Kind == TableAction::Reduce &&
+               Best.Kind == TableAction::Reduce && Action.Value < Best.Value)
+        Best = Action;
+    }
+    std::string Note;
+    bool HasShift = false, HasReduce = false;
+    for (const TableAction &Action : Conflict.Actions) {
+      HasShift |= Action.Kind == TableAction::Shift;
+      HasReduce |= Action.Kind == TableAction::Reduce;
+    }
+    if (HasShift && HasReduce)
+      Note = "shift/reduce conflict on '" + G.symbols().name(Conflict.Symbol) +
+             "' resolved as shift";
+    else if (HasReduce)
+      Note = "reduce/reduce conflict on '" +
+             G.symbols().name(Conflict.Symbol) +
+             "' resolved as the earliest rule";
+    Table.resolveAction(Conflict.State, Conflict.Symbol, Best);
+    Decisions.push_back(
+        ConflictResolution{Conflict.State, Conflict.Symbol, Best, Note});
+  }
+  return Decisions;
+}

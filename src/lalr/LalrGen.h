@@ -1,0 +1,47 @@
+//===- lalr/LalrGen.h - LALR(1) generation (DeRemer–Pennello) ---*- C++ -*-===//
+///
+/// \file
+/// The LALR(1) table generator behind the "Yacc" baseline of §7. Lookahead
+/// sets are computed with the relational method of DeRemer and Pennello
+/// (1982): DR / reads / includes / lookback with the digraph (SCC) closure,
+/// on top of the same LR(0) graph of item sets the other generators use.
+///
+/// The paper's postscript contrasts IPG with Horspool's incremental
+/// LALR(1) generation and explains why IPG stays with LR(0): lookahead
+/// sets are global — a rule change can shift FOLLOW information arbitrarily
+/// far away — which is exactly why this generator is *batch* only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LALR_LALRGEN_H
+#define IPG_LALR_LALRGEN_H
+
+#include "lr/ParseTable.h"
+
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// Builds the LALR(1) table (generates the full LR(0) graph first).
+ParseTable buildLalr1Table(ItemSetGraph &Graph,
+                           std::vector<const ItemSet *> *SetOfState = nullptr);
+
+/// One Yacc-style conflict resolution decision, for reporting.
+struct ConflictResolution {
+  uint32_t State;
+  SymbolId Symbol;
+  TableAction Chosen;
+  std::string Note; ///< e.g. "shift/reduce resolved as shift".
+};
+
+/// Resolves every conflicted cell the way Yacc does: shift/reduce →
+/// shift; reduce/reduce → the lowest-numbered rule. Returns the decisions;
+/// afterwards the table parses deterministically (conflicts stay recorded
+/// for diagnostics).
+std::vector<ConflictResolution> resolveConflictsYaccStyle(ParseTable &Table,
+                                                          const Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_LALR_LALRGEN_H

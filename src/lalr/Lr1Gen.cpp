@@ -1,0 +1,158 @@
+//===- lalr/Lr1Gen.cpp - Canonical LR(1) table generation -----------------===//
+
+#include "lalr/Lr1Gen.h"
+
+#include "grammar/Analyses.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace ipg;
+
+namespace {
+
+/// An LR(1) item: a dotted rule plus one lookahead terminal.
+struct Lr1Item {
+  RuleId Rule;
+  uint32_t Dot;
+  SymbolId Look;
+
+  auto operator<=>(const Lr1Item &) const = default;
+};
+
+using Lr1State = std::vector<Lr1Item>; // Sorted, unique.
+
+uint64_t hashState(const Lr1State &State) {
+  uint64_t Hash = 0x6a09e667f3bcc908ULL;
+  for (const Lr1Item &I : State) {
+    Hash = hashCombine(Hash, I.Rule);
+    Hash = hashCombine(Hash, I.Dot);
+    Hash = hashCombine(Hash, I.Look);
+  }
+  return Hash;
+}
+
+/// Canonical LR(1) closure: predicting B after the dot spawns items
+/// (B ::= •γ, b) for every b in FIRST(β · lookahead).
+Lr1State closure(const Grammar &G, const GrammarAnalysis &Analysis,
+                 Lr1State Kernel) {
+  std::vector<Lr1Item> Work = Kernel;
+  // Dedup across the whole closure.
+  auto Key = [](const Lr1Item &I) {
+    return (uint64_t(I.Rule) << 34) | (uint64_t(I.Dot) << 24) | I.Look;
+  };
+  std::unordered_map<uint64_t, bool> Seen;
+  for (const Lr1Item &I : Kernel)
+    Seen.emplace(Key(I), true);
+
+  for (size_t Next = 0; Next < Work.size(); ++Next) {
+    Lr1Item Item = Work[Next];
+    const Rule &R = G.rule(Item.Rule);
+    if (Item.Dot >= R.Rhs.size())
+      continue;
+    SymbolId After = R.Rhs[Item.Dot];
+    if (G.symbols().isTerminal(After))
+      continue;
+    // FIRST of the suffix past B, falling back to the item's lookahead.
+    Bitset Firsts = Analysis.firstOfSequence(R.Rhs, Item.Dot + 1);
+    bool SuffixNullable = Analysis.isNullableSequence(R.Rhs, Item.Dot + 1);
+    std::vector<SymbolId> Looks;
+    Firsts.forEach([&](size_t T) { Looks.push_back(SymbolId(T)); });
+    if (SuffixNullable)
+      Looks.push_back(Item.Look);
+    for (RuleId Predicted : G.rulesFor(After))
+      for (SymbolId Look : Looks) {
+        Lr1Item NewItem{Predicted, 0, Look};
+        if (Seen.emplace(Key(NewItem), true).second)
+          Work.push_back(NewItem);
+      }
+  }
+  std::sort(Work.begin(), Work.end());
+  return Work;
+}
+
+} // namespace
+
+ParseTable ipg::buildLr1Table(const Grammar &G, Lr1Stats *Stats) {
+  GrammarAnalysis Analysis(G);
+
+  std::deque<Lr1State> States; // Closed states, by id.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ByState;
+  struct Edge {
+    uint32_t From;
+    SymbolId Label;
+    uint32_t To;
+  };
+  std::vector<Edge> Edges;
+
+  auto Intern = [&](Lr1State Closed) -> std::pair<uint32_t, bool> {
+    uint64_t Hash = hashState(Closed);
+    for (uint32_t Id : ByState[Hash])
+      if (States[Id] == Closed)
+        return {Id, false};
+    uint32_t Id = static_cast<uint32_t>(States.size());
+    ByState[Hash].push_back(Id);
+    States.push_back(std::move(Closed));
+    return {Id, true};
+  };
+
+  // Start state: (START ::= •β, $) for every START rule.
+  Lr1State StartKernel;
+  for (RuleId Rule : G.rulesFor(G.startSymbol()))
+    StartKernel.push_back(Lr1Item{Rule, 0, G.endMarker()});
+  std::sort(StartKernel.begin(), StartKernel.end());
+  Intern(closure(G, Analysis, std::move(StartKernel)));
+
+  // BFS over GOTO targets; States grows as we iterate.
+  for (uint32_t Id = 0; Id < States.size(); ++Id) {
+    // Partition by symbol after the dot, advancing the dot.
+    std::map<SymbolId, Lr1State> Moves;
+    for (const Lr1Item &Item : States[Id]) {
+      const Rule &R = G.rule(Item.Rule);
+      if (Item.Dot < R.Rhs.size())
+        Moves[R.Rhs[Item.Dot]].push_back(
+            Lr1Item{Item.Rule, Item.Dot + 1, Item.Look});
+    }
+    for (auto &[Label, Kernel] : Moves) {
+      std::sort(Kernel.begin(), Kernel.end());
+      Kernel.erase(std::unique(Kernel.begin(), Kernel.end()), Kernel.end());
+      auto [Target, IsNew] = Intern(closure(G, Analysis, std::move(Kernel)));
+      (void)IsNew;
+      Edges.push_back(Edge{Id, Label, Target});
+    }
+  }
+
+  // Assemble the table.
+  size_t NumSymbols = G.symbols().size();
+  ParseTable Table(States.size(), NumSymbols);
+  for (const Edge &E : Edges) {
+    if (G.symbols().isTerminal(E.Label))
+      Table.addAction(E.From, E.Label, {TableAction::Shift, E.To});
+    else
+      Table.setGoto(E.From, E.Label, E.To);
+  }
+  size_t NumItems = 0;
+  for (uint32_t Id = 0; Id < States.size(); ++Id) {
+    NumItems += States[Id].size();
+    for (const Lr1Item &Item : States[Id]) {
+      const Rule &R = G.rule(Item.Rule);
+      if (Item.Dot != R.Rhs.size())
+        continue;
+      if (R.Lhs == G.startSymbol()) {
+        if (Item.Look == G.endMarker())
+          Table.addAction(Id, G.endMarker(), {TableAction::Accept, Item.Rule});
+      } else {
+        Table.addAction(Id, Item.Look, {TableAction::Reduce, Item.Rule});
+      }
+    }
+  }
+  if (Stats != nullptr) {
+    Stats->NumStates = States.size();
+    Stats->NumItems = NumItems;
+  }
+  return Table;
+}

@@ -1,0 +1,35 @@
+//===- lalr/Lr1Gen.h - Canonical LR(1) table generation ---------*- C++ -*-===//
+///
+/// \file
+/// The canonical LR(1) construction, completing the LR family next to
+/// LR(0), SLR(1) and LALR(1). §2 of the paper notes that "when the
+/// look-ahead k is increased, the class of recognizable languages becomes
+/// larger ... and the table generation time increases exponentially";
+/// bench/lr_family measures exactly that state blowup on the SDF grammar
+/// — the cost that justifies IPG's LR(0) choice (and Horspool's LALR(1)
+/// troubles in the postscript).
+///
+/// Unlike the other generators this one builds its own item sets (items
+/// carry a lookahead terminal), so it does not share the ItemSetGraph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LALR_LR1GEN_H
+#define IPG_LALR_LR1GEN_H
+
+#include "lr/ParseTable.h"
+
+namespace ipg {
+
+/// Statistics of one canonical LR(1) construction.
+struct Lr1Stats {
+  size_t NumStates = 0;
+  size_t NumItems = 0; ///< Total LR(1) items over all states.
+};
+
+/// Builds the canonical LR(1) table for \p G.
+ParseTable buildLr1Table(const Grammar &G, Lr1Stats *Stats = nullptr);
+
+} // namespace ipg
+
+#endif // IPG_LALR_LR1GEN_H

@@ -1,0 +1,44 @@
+//===- lalr/SlrGen.cpp - SLR(1) table generation ---------------------------===//
+
+#include "lalr/SlrGen.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace ipg;
+
+ParseTable ipg::buildSlr1Table(ItemSetGraph &Graph,
+                               std::vector<const ItemSet *> *SetOfState) {
+  Graph.generateAll();
+  const Grammar &G = Graph.grammar();
+  GrammarAnalysis Analysis(G);
+
+  std::vector<const ItemSet *> Sets = Graph.liveSets();
+  std::unordered_map<const ItemSet *, uint32_t> StateOf;
+  for (const ItemSet *Set : Sets)
+    StateOf.emplace(Set, static_cast<uint32_t>(StateOf.size()));
+
+  ParseTable Table(Sets.size(), G.symbols().size());
+  for (const ItemSet *Set : Sets) {
+    uint32_t State = StateOf.at(Set);
+    for (RuleId Rule : Set->reductions()) {
+      // SLR(1): reduce A ::= β only on terminals in FOLLOW(A).
+      Analysis.follow(G.rule(Rule).Lhs).forEach([&](size_t Sym) {
+        Table.addAction(State, static_cast<SymbolId>(Sym),
+                        {TableAction::Reduce, Rule});
+      });
+    }
+    for (const ItemSet::Transition &T : Set->transitions()) {
+      if (G.symbols().isTerminal(T.Label))
+        Table.addAction(State, T.Label,
+                        {TableAction::Shift, StateOf.at(T.Target)});
+      else
+        Table.setGoto(State, T.Label, StateOf.at(T.Target));
+    }
+    for (RuleId Rule : Set->acceptRules())
+      Table.addAction(State, G.endMarker(), {TableAction::Accept, Rule});
+  }
+  if (SetOfState != nullptr)
+    *SetOfState = std::move(Sets);
+  return Table;
+}

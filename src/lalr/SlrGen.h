@@ -1,0 +1,26 @@
+//===- lalr/SlrGen.h - SLR(1) table generation ------------------*- C++ -*-===//
+///
+/// \file
+/// SLR(1): the LR(0) automaton with reduce actions restricted to FOLLOW of
+/// the reduced nonterminal. A stepping stone between the paper's LR(0)
+/// tables and the LALR(1) tables of the Yacc baseline; also used by tests
+/// to check the containment LR(0) conflicts ⊇ SLR(1) ⊇ LALR(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LALR_SLRGEN_H
+#define IPG_LALR_SLRGEN_H
+
+#include "grammar/Analyses.h"
+#include "lr/ParseTable.h"
+
+namespace ipg {
+
+/// Builds the SLR(1) table (generates the full LR(0) graph first).
+/// \p SetOfState optionally receives the item set behind each state.
+ParseTable buildSlr1Table(ItemSetGraph &Graph,
+                          std::vector<const ItemSet *> *SetOfState = nullptr);
+
+} // namespace ipg
+
+#endif // IPG_LALR_SLRGEN_H

@@ -1,0 +1,59 @@
+//===- lexer/Dfa.cpp - Lazy subset construction ----------------------------===//
+
+#include "lexer/Dfa.h"
+
+#include "support/Hashing.h"
+
+using namespace ipg;
+
+LazyDfa::LazyDfa(const Nfa &N) : N(N) {
+  std::vector<uint32_t> Start{N.startState()};
+  N.closeOverEpsilon(Start);
+  internState(std::move(Start));
+}
+
+uint32_t LazyDfa::internState(std::vector<uint32_t> NfaSet) {
+  uint64_t Key = 0x811c9dc5;
+  for (uint32_t Id : NfaSet)
+    Key = hashCombine(Key, Id);
+  std::vector<uint32_t> &Bucket = ByNfaSet[Key];
+  for (uint32_t Id : Bucket)
+    if (States[Id].NfaSet == NfaSet)
+      return Id;
+  uint32_t Id = static_cast<uint32_t>(States.size());
+  DfaState State;
+  State.Accept = N.acceptOf(NfaSet);
+  State.NfaSet = std::move(NfaSet);
+  States.push_back(std::move(State));
+  Bucket.push_back(Id);
+  return Id;
+}
+
+uint32_t LazyDfa::step(uint32_t StateId, unsigned char C) {
+  DfaState &State = States[StateId];
+  if (State.Row == nullptr) {
+    State.Row = std::make_unique<std::array<uint32_t, 256>>();
+    State.Row->fill(Unknown);
+  }
+  uint32_t &Cell = (*State.Row)[C];
+  if (Cell != Unknown)
+    return Cell;
+  ++CellsComputed;
+  std::vector<uint32_t> Next = N.move(State.NfaSet, C);
+  if (Next.empty()) {
+    Cell = Dead;
+    return Dead;
+  }
+  N.closeOverEpsilon(Next);
+  // internState may grow States and invalidate State/Cell references.
+  uint32_t Target = internState(std::move(Next));
+  (*States[StateId].Row)[C] = Target;
+  return Target;
+}
+
+size_t LazyDfa::buildEagerly() {
+  for (size_t Id = 0; Id < States.size(); ++Id)
+    for (unsigned C = 0; C < 256; ++C)
+      step(static_cast<uint32_t>(Id), static_cast<unsigned char>(C));
+  return States.size();
+}

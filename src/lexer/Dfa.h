@@ -1,0 +1,65 @@
+//===- lexer/Dfa.h - Lazy subset construction -------------------*- C++ -*-===//
+///
+/// \file
+/// Subset construction from the combined NFA, with the same lazy
+/// discipline the paper applies to parse tables: a DFA state's outgoing
+/// row is computed cell-by-cell the first time a byte is seen, so scanning
+/// starts immediately against an empty automaton (the ISG idea [HKR87a]).
+/// buildEagerly() forces the whole reachable automaton for comparison and
+/// for the equivalence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LEXER_DFA_H
+#define IPG_LEXER_DFA_H
+
+#include "lexer/Nfa.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace ipg {
+
+/// Deterministic automaton over bytes, built lazily from an NFA.
+class LazyDfa {
+public:
+  static constexpr uint32_t Dead = ~uint32_t(0) - 1;
+  static constexpr uint32_t Unknown = ~uint32_t(0);
+
+  explicit LazyDfa(const Nfa &N);
+
+  uint32_t startState() const { return 0; }
+
+  /// The successor of \p State on byte \p C, computing (and caching) the
+  /// cell on first use. Returns Dead when no NFA state survives.
+  uint32_t step(uint32_t State, unsigned char C);
+
+  /// The accepting rule of \p State (Nfa::NoRule when not accepting).
+  uint32_t acceptOf(uint32_t State) const { return States[State].Accept; }
+
+  /// Forces every reachable state and cell; returns the state count.
+  size_t buildEagerly();
+
+  size_t numStates() const { return States.size(); }
+
+  /// Number of transition cells computed so far (the laziness metric).
+  uint64_t cellsComputed() const { return CellsComputed; }
+
+private:
+  struct DfaState {
+    std::vector<uint32_t> NfaSet; ///< Sorted ε-closed NFA states.
+    std::unique_ptr<std::array<uint32_t, 256>> Row;
+    uint32_t Accept = Nfa::NoRule;
+  };
+
+  uint32_t internState(std::vector<uint32_t> NfaSet);
+
+  const Nfa &N;
+  std::vector<DfaState> States;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ByNfaSet;
+  uint64_t CellsComputed = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_LEXER_DFA_H

@@ -1,0 +1,108 @@
+//===- lexer/Nfa.cpp - Thompson NFA construction ---------------------------===//
+
+#include "lexer/Nfa.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipg;
+
+std::pair<uint32_t, uint32_t> Nfa::build(const RegexNode *Node) {
+  switch (Node->Kind) {
+  case RegexNode::Epsilon: {
+    uint32_t In = fresh(), Out = fresh();
+    States[In].Epsilon.push_back(Out);
+    return {In, Out};
+  }
+  case RegexNode::Chars: {
+    uint32_t In = fresh(), Out = fresh();
+    States[In].Moves.emplace_back(Node->Set, Out);
+    return {In, Out};
+  }
+  case RegexNode::Concat: {
+    auto [LIn, LOut] = build(Node->Lhs);
+    auto [RIn, ROut] = build(Node->Rhs);
+    States[LOut].Epsilon.push_back(RIn);
+    return {LIn, ROut};
+  }
+  case RegexNode::Alt: {
+    auto [LIn, LOut] = build(Node->Lhs);
+    auto [RIn, ROut] = build(Node->Rhs);
+    uint32_t In = fresh(), Out = fresh();
+    States[In].Epsilon.push_back(LIn);
+    States[In].Epsilon.push_back(RIn);
+    States[LOut].Epsilon.push_back(Out);
+    States[ROut].Epsilon.push_back(Out);
+    return {In, Out};
+  }
+  case RegexNode::Star: {
+    auto [SIn, SOut] = build(Node->Lhs);
+    uint32_t In = fresh(), Out = fresh();
+    States[In].Epsilon.push_back(SIn);
+    States[In].Epsilon.push_back(Out);
+    States[SOut].Epsilon.push_back(SIn);
+    States[SOut].Epsilon.push_back(Out);
+    return {In, Out};
+  }
+  case RegexNode::Plus: {
+    auto [SIn, SOut] = build(Node->Lhs);
+    uint32_t Out = fresh();
+    States[SOut].Epsilon.push_back(SIn);
+    States[SOut].Epsilon.push_back(Out);
+    return {SIn, Out};
+  }
+  case RegexNode::Opt: {
+    auto [SIn, SOut] = build(Node->Lhs);
+    uint32_t In = fresh(), Out = fresh();
+    States[In].Epsilon.push_back(SIn);
+    States[In].Epsilon.push_back(Out);
+    States[SOut].Epsilon.push_back(Out);
+    return {In, Out};
+  }
+  }
+  assert(false && "unknown regex node kind");
+  return {0, 0};
+}
+
+void Nfa::addRule(const RegexNode *Regex, uint32_t Rule) {
+  auto [In, Out] = build(Regex);
+  States[0].Epsilon.push_back(In);
+  States[Out].AcceptRule = Rule;
+}
+
+void Nfa::closeOverEpsilon(std::vector<uint32_t> &Set) const {
+  std::vector<uint32_t> Worklist = Set;
+  std::vector<bool> Seen(States.size(), false);
+  for (uint32_t Id : Set)
+    Seen[Id] = true;
+  while (!Worklist.empty()) {
+    uint32_t Id = Worklist.back();
+    Worklist.pop_back();
+    for (uint32_t Next : States[Id].Epsilon)
+      if (!Seen[Next]) {
+        Seen[Next] = true;
+        Set.push_back(Next);
+        Worklist.push_back(Next);
+      }
+  }
+  std::sort(Set.begin(), Set.end());
+}
+
+std::vector<uint32_t> Nfa::move(const std::vector<uint32_t> &Set,
+                                unsigned char C) const {
+  std::vector<uint32_t> Result;
+  for (uint32_t Id : Set)
+    for (const auto &[Bytes, Target] : States[Id].Moves)
+      if (Bytes.test(C))
+        Result.push_back(Target);
+  std::sort(Result.begin(), Result.end());
+  Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+  return Result;
+}
+
+uint32_t Nfa::acceptOf(const std::vector<uint32_t> &Set) const {
+  uint32_t Best = NoRule;
+  for (uint32_t Id : Set)
+    Best = std::min(Best, States[Id].AcceptRule);
+  return Best;
+}

@@ -1,0 +1,69 @@
+//===- lexer/Nfa.h - Thompson NFA construction ------------------*- C++ -*-===//
+///
+/// \file
+/// Thompson construction from regex ASTs into one combined NFA per
+/// scanner: a shared start state ε-branches into one sub-automaton per
+/// token rule, whose accepting state is tagged with the rule index (lower
+/// index = higher priority on equal-length matches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LEXER_NFA_H
+#define IPG_LEXER_NFA_H
+
+#include "lexer/Regex.h"
+
+#include <vector>
+
+namespace ipg {
+
+/// Nondeterministic finite automaton over bytes.
+class Nfa {
+public:
+  static constexpr uint32_t NoRule = ~uint32_t(0);
+
+  struct State {
+    /// ε-successors.
+    std::vector<uint32_t> Epsilon;
+    /// Byte-labeled successors.
+    std::vector<std::pair<ByteSet, uint32_t>> Moves;
+    /// Accepting rule index, NoRule if not accepting.
+    uint32_t AcceptRule = NoRule;
+  };
+
+  /// Creates the shared start state (id 0).
+  Nfa() { States.emplace_back(); }
+
+  /// Adds a token rule's automaton; its accept state is tagged \p Rule.
+  void addRule(const RegexNode *Regex, uint32_t Rule);
+
+  uint32_t startState() const { return 0; }
+  const State &state(uint32_t Id) const { return States[Id]; }
+  size_t size() const { return States.size(); }
+
+  /// ε-closure of \p Set (sorted state ids), in place.
+  void closeOverEpsilon(std::vector<uint32_t> &Set) const;
+
+  /// States reachable from \p Set over byte \p C (before ε-closure).
+  std::vector<uint32_t> move(const std::vector<uint32_t> &Set,
+                             unsigned char C) const;
+
+  /// The highest-priority (lowest) accepting rule in \p Set, or NoRule.
+  uint32_t acceptOf(const std::vector<uint32_t> &Set) const;
+
+private:
+  uint32_t fresh() {
+    States.emplace_back();
+    return static_cast<uint32_t>(States.size() - 1);
+  }
+
+  /// Builds the fragment for \p Node between new states; returns
+  /// (in, out).
+  std::pair<uint32_t, uint32_t> build(const RegexNode *Node);
+
+  std::vector<State> States;
+};
+
+} // namespace ipg
+
+#endif // IPG_LEXER_NFA_H

@@ -1,0 +1,241 @@
+//===- lexer/Regex.cpp - Regular expression parsing ------------------------===//
+
+#include "lexer/Regex.h"
+
+#include <string>
+
+using namespace ipg;
+
+namespace {
+
+/// Recursive-descent regex parser: alt ::= cat ('|' cat)*,
+/// cat ::= rep*, rep ::= atom [*+?], atom ::= char | class | '(' alt ')'.
+class RegexParser {
+public:
+  RegexParser(RegexArena &Arena, std::string_view Pattern)
+      : Arena(Arena), Pattern(Pattern) {}
+
+  Expected<const RegexNode *> parse() {
+    Expected<const RegexNode *> Result = parseAlt();
+    if (!Result)
+      return Result;
+    if (Pos != Pattern.size())
+      return Error("unexpected ')' at offset " + std::to_string(Pos));
+    return Result;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Pattern.size(); }
+  char peek() const { return Pattern[Pos]; }
+
+  const RegexNode *epsilon() { return Arena.make({RegexNode::Epsilon, {}}); }
+
+  const RegexNode *chars(const ByteSet &Set) {
+    RegexNode Node{RegexNode::Chars, {}};
+    Node.Set = Set;
+    return Arena.make(Node);
+  }
+
+  const RegexNode *binary(RegexNode::KindType Kind, const RegexNode *Lhs,
+                          const RegexNode *Rhs) {
+    RegexNode Node{Kind, {}};
+    Node.Lhs = Lhs;
+    Node.Rhs = Rhs;
+    return Arena.make(Node);
+  }
+
+  const RegexNode *unary(RegexNode::KindType Kind, const RegexNode *Operand) {
+    RegexNode Node{Kind, {}};
+    Node.Lhs = Operand;
+    return Arena.make(Node);
+  }
+
+  Expected<const RegexNode *> parseAlt() {
+    Expected<const RegexNode *> Lhs = parseCat();
+    if (!Lhs)
+      return Lhs;
+    const RegexNode *Node = *Lhs;
+    while (!atEnd() && peek() == '|') {
+      ++Pos;
+      Expected<const RegexNode *> Rhs = parseCat();
+      if (!Rhs)
+        return Rhs;
+      Node = binary(RegexNode::Alt, Node, *Rhs);
+    }
+    return Node;
+  }
+
+  Expected<const RegexNode *> parseCat() {
+    const RegexNode *Node = nullptr;
+    while (!atEnd() && peek() != '|' && peek() != ')') {
+      Expected<const RegexNode *> Atom = parseRep();
+      if (!Atom)
+        return Atom;
+      Node = Node == nullptr ? *Atom : binary(RegexNode::Concat, Node, *Atom);
+    }
+    return Node == nullptr ? epsilon() : Node;
+  }
+
+  Expected<const RegexNode *> parseRep() {
+    Expected<const RegexNode *> Atom = parseAtom();
+    if (!Atom)
+      return Atom;
+    const RegexNode *Node = *Atom;
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '*')
+        Node = unary(RegexNode::Star, Node);
+      else if (C == '+')
+        Node = unary(RegexNode::Plus, Node);
+      else if (C == '?')
+        Node = unary(RegexNode::Opt, Node);
+      else
+        break;
+      ++Pos;
+    }
+    return Node;
+  }
+
+  Expected<const RegexNode *> parseAtom() {
+    if (atEnd())
+      return Error("pattern ends where an atom is expected");
+    char C = Pattern[Pos++];
+    if (C == '(') {
+      Expected<const RegexNode *> Inner = parseAlt();
+      if (!Inner)
+        return Inner;
+      if (atEnd() || Pattern[Pos] != ')')
+        return Error("missing ')'");
+      ++Pos;
+      return Inner;
+    }
+    if (C == '[')
+      return parseClass();
+    if (C == '.') {
+      // Any byte except newline, the conventional '.'.
+      ByteSet Set;
+      Set.add('\n');
+      Set.negate();
+      return chars(Set);
+    }
+    if (C == '\\') {
+      Expected<unsigned char> Escaped = parseEscape();
+      if (!Escaped)
+        return Escaped.error();
+      ByteSet Set;
+      Set.add(*Escaped);
+      return chars(Set);
+    }
+    if (C == '*' || C == '+' || C == '?' || C == ')')
+      return Error(std::string("misplaced '") + C + "'");
+    ByteSet Set;
+    Set.add(static_cast<unsigned char>(C));
+    return chars(Set);
+  }
+
+  Expected<unsigned char> parseEscape() {
+    if (atEnd())
+      return Error("dangling '\\'");
+    char C = Pattern[Pos++];
+    switch (C) {
+    case 'n':
+      return static_cast<unsigned char>('\n');
+    case 't':
+      return static_cast<unsigned char>('\t');
+    case 'r':
+      return static_cast<unsigned char>('\r');
+    case 'f':
+      return static_cast<unsigned char>('\f');
+    case '0':
+      return static_cast<unsigned char>('\0');
+    default:
+      return static_cast<unsigned char>(C); // Escaped metacharacter.
+    }
+  }
+
+  Expected<const RegexNode *> parseClass() {
+    ByteSet Set;
+    bool Negated = false;
+    if (!atEnd() && peek() == '^') {
+      Negated = true;
+      ++Pos;
+    }
+    bool First = true;
+    while (true) {
+      if (atEnd())
+        return Error("missing ']'");
+      char C = Pattern[Pos];
+      if (C == ']' && !First)
+        break;
+      ++Pos;
+      First = false;
+      unsigned char Lo;
+      if (C == '\\') {
+        Expected<unsigned char> Escaped = parseEscape();
+        if (!Escaped)
+          return Escaped.error();
+        Lo = *Escaped;
+      } else {
+        Lo = static_cast<unsigned char>(C);
+      }
+      // Range a-z (a trailing '-' is a literal).
+      if (!atEnd() && peek() == '-' && Pos + 1 < Pattern.size() &&
+          Pattern[Pos + 1] != ']') {
+        Pos += 1;
+        char HiChar = Pattern[Pos++];
+        unsigned char Hi;
+        if (HiChar == '\\') {
+          Expected<unsigned char> Escaped = parseEscape();
+          if (!Escaped)
+            return Escaped.error();
+          Hi = *Escaped;
+        } else {
+          Hi = static_cast<unsigned char>(HiChar);
+        }
+        if (Hi < Lo)
+          return Error("inverted range in character class");
+        Set.addRange(Lo, Hi);
+      } else {
+        Set.add(Lo);
+      }
+    }
+    ++Pos; // ']'
+    if (Negated)
+      Set.negate();
+    if (Set.empty())
+      return Error("empty character class");
+    return chars(Set);
+  }
+
+  RegexArena &Arena;
+  std::string_view Pattern;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<const RegexNode *> ipg::parseRegex(RegexArena &Arena,
+                                            std::string_view Pattern) {
+  return RegexParser(Arena, Pattern).parse();
+}
+
+const RegexNode *ipg::literalRegex(RegexArena &Arena,
+                                   std::string_view Literal) {
+  const RegexNode *Node = nullptr;
+  for (char C : Literal) {
+    RegexNode CharNode{RegexNode::Chars, {}};
+    CharNode.Set.add(static_cast<unsigned char>(C));
+    const RegexNode *Atom = Arena.make(CharNode);
+    if (Node == nullptr) {
+      Node = Atom;
+      continue;
+    }
+    RegexNode Cat{RegexNode::Concat, {}};
+    Cat.Lhs = Node;
+    Cat.Rhs = Atom;
+    Node = Arena.make(Cat);
+  }
+  if (Node == nullptr)
+    Node = Arena.make({RegexNode::Epsilon, {}});
+  return Node;
+}

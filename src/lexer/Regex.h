@@ -1,0 +1,91 @@
+//===- lexer/Regex.h - Regular expression ASTs ------------------*- C++ -*-===//
+///
+/// \file
+/// The regular-expression front end of the lexer substrate, standing in
+/// for the SDF lexical-syntax notation the companion scanner generator ISG
+/// [HKR87a] consumes. Supported syntax: literals, '.', escapes (\n \t \r
+/// \f \\ and escaped metacharacters), classes [a-z0-9_] with '^' negation,
+/// grouping, '|', '*', '+', '?'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LEXER_REGEX_H
+#define IPG_LEXER_REGEX_H
+
+#include "support/Expected.h"
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+
+namespace ipg {
+
+/// A set of bytes (the alphabet is 0..255).
+class ByteSet {
+public:
+  void add(unsigned char C) { Bits[C / 64] |= uint64_t(1) << (C % 64); }
+
+  void addRange(unsigned char Lo, unsigned char Hi) {
+    for (unsigned C = Lo; C <= Hi; ++C)
+      add(static_cast<unsigned char>(C));
+  }
+
+  bool test(unsigned char C) const {
+    return (Bits[C / 64] >> (C % 64)) & 1;
+  }
+
+  void negate() {
+    for (uint64_t &Word : Bits)
+      Word = ~Word;
+  }
+
+  bool empty() const {
+    for (uint64_t Word : Bits)
+      if (Word != 0)
+        return false;
+    return true;
+  }
+
+private:
+  std::array<uint64_t, 4> Bits{};
+};
+
+/// One node of a parsed regular expression.
+struct RegexNode {
+  enum KindType : uint8_t {
+    Epsilon, ///< Matches the empty string.
+    Chars,   ///< Matches one byte from Set.
+    Concat,  ///< Lhs then Rhs.
+    Alt,     ///< Lhs or Rhs.
+    Star,    ///< Zero or more Lhs.
+    Plus,    ///< One or more Lhs.
+    Opt      ///< Zero or one Lhs.
+  } Kind;
+  ByteSet Set;
+  const RegexNode *Lhs = nullptr;
+  const RegexNode *Rhs = nullptr;
+};
+
+/// Owns regex nodes; parse results live as long as the arena.
+class RegexArena {
+public:
+  const RegexNode *make(RegexNode Node) {
+    Nodes.push_back(Node);
+    return &Nodes.back();
+  }
+
+private:
+  std::deque<RegexNode> Nodes;
+};
+
+/// Parses \p Pattern into an AST owned by \p Arena.
+Expected<const RegexNode *> parseRegex(RegexArena &Arena,
+                                       std::string_view Pattern);
+
+/// Convenience: an AST matching \p Literal exactly (no metacharacters).
+const RegexNode *literalRegex(RegexArena &Arena, std::string_view Literal);
+
+} // namespace ipg
+
+#endif // IPG_LEXER_REGEX_H

@@ -1,0 +1,129 @@
+//===- lexer/Scanner.cpp - Longest-match tokenizer -------------------------===//
+
+#include "lexer/Scanner.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+Expected<bool> Scanner::addRule(std::string_view Pattern, std::string Kind,
+                                bool IsLayout) {
+  // Validate eagerly so the caller gets the error at the add site.
+  RegexArena Probe;
+  Expected<const RegexNode *> Regex = parseRegex(Probe, Pattern);
+  if (!Regex)
+    return Error("in pattern '" + std::string(Pattern) +
+                 "': " + Regex.error().Message);
+  Rules.push_back(TokenRule{std::string(Pattern), std::move(Kind), IsLayout,
+                            /*IsLiteral=*/false});
+  invalidate();
+  return true;
+}
+
+void Scanner::addLiteral(std::string_view Literal) {
+  Rules.push_back(TokenRule{std::string(Literal), std::string(Literal),
+                            /*IsLayout=*/false, /*IsLiteral=*/true});
+  invalidate();
+}
+
+void Scanner::addWhitespaceLayout() {
+  Expected<bool> Ok = addRule("[ \t\n\r\f]+", "WHITE-SPACE", true);
+  assert(Ok && "whitespace pattern must parse");
+  (void)Ok;
+}
+
+size_t Scanner::setRuleEnabled(std::string_view Kind, bool Enabled) {
+  size_t Changed = 0;
+  for (TokenRule &Rule : Rules) {
+    if (Rule.Kind == Kind && Rule.Enabled != Enabled) {
+      Rule.Enabled = Enabled;
+      ++Changed;
+    }
+  }
+  if (Changed > 0)
+    invalidate();
+  return Changed;
+}
+
+void Scanner::ensureCompiled() {
+  if (Dfa != nullptr)
+    return;
+  ++Rebuilds;
+  Automaton = std::make_unique<Nfa>();
+  RegexArena Arena; // ASTs are only needed during Thompson construction.
+  for (uint32_t Index = 0; Index < Rules.size(); ++Index) {
+    const TokenRule &Rule = Rules[Index];
+    if (!Rule.Enabled)
+      continue;
+    if (Rule.IsLiteral) {
+      Automaton->addRule(literalRegex(Arena, Rule.Pattern), Index);
+      continue;
+    }
+    Expected<const RegexNode *> Regex = parseRegex(Arena, Rule.Pattern);
+    assert(Regex && "pattern was validated in addRule");
+    Automaton->addRule(*Regex, Index);
+  }
+  Dfa = std::make_unique<LazyDfa>(*Automaton);
+}
+
+Expected<std::vector<ScannedToken>> Scanner::scan(std::string_view Text) {
+  ensureCompiled();
+  std::vector<ScannedToken> Tokens;
+  size_t Pos = 0;
+  unsigned Line = 1, Column = 1;
+
+  auto Advance = [&](size_t From, size_t To) {
+    for (size_t I = From; I < To; ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Column = 1;
+      } else {
+        ++Column;
+      }
+    }
+  };
+
+  while (Pos < Text.size()) {
+    uint32_t State = Dfa->startState();
+    size_t BestEnd = Pos;
+    uint32_t BestRule = Dfa->acceptOf(State);
+    for (size_t I = Pos; I < Text.size(); ++I) {
+      State = Dfa->step(State, static_cast<unsigned char>(Text[I]));
+      if (State == LazyDfa::Dead)
+        break;
+      uint32_t Accept = Dfa->acceptOf(State);
+      if (Accept != Nfa::NoRule) {
+        BestEnd = I + 1;
+        BestRule = Accept;
+      }
+    }
+    if (BestRule == Nfa::NoRule || BestEnd == Pos)
+      return Error("no token matches at '" +
+                       std::string(Text.substr(Pos, 10)) + "'",
+                   Line, Column);
+    const TokenRule &Rule = Rules[BestRule];
+    if (!Rule.IsLayout)
+      Tokens.push_back(ScannedToken{BestRule, Rule.Kind,
+                                    std::string(Text.substr(Pos,
+                                                            BestEnd - Pos)),
+                                    Pos, Line, Column});
+    Advance(Pos, BestEnd);
+    Pos = BestEnd;
+  }
+  return Tokens;
+}
+
+Expected<std::vector<SymbolId>>
+Scanner::tokenizeToSymbols(std::string_view Text, Grammar &G,
+                           std::vector<ScannedToken> *Tokens) {
+  Expected<std::vector<ScannedToken>> Scanned = scan(Text);
+  if (!Scanned)
+    return Scanned.error();
+  std::vector<SymbolId> Symbols;
+  Symbols.reserve(Scanned->size());
+  for (const ScannedToken &Token : *Scanned)
+    Symbols.push_back(G.symbols().intern(Token.Kind));
+  if (Tokens != nullptr)
+    *Tokens = Scanned.take();
+  return Symbols;
+}

@@ -1,0 +1,119 @@
+//===- lexer/Scanner.h - Longest-match tokenizer ----------------*- C++ -*-===//
+///
+/// \file
+/// A table-driven scanner over the lazy DFA: longest match wins; on equal
+/// length the earliest rule wins (so keywords are listed before the
+/// identifier rule). Rules flagged asLayout are matched and dropped —
+/// SDF's WHITE-SPACE/COMMENT layout declaration. Token kinds are plain
+/// spellings; tokenizeToSymbols() interns them into a grammar so scanner
+/// output feeds any parser in the repository.
+///
+/// The rule set is *modifiable*, mirroring the companion scanner
+/// generator ISG [HKR87a]: rules may be added, disabled or re-enabled at
+/// any time; the automaton is invalidated and lazily rebuilt on the next
+/// scan, and the DFA itself is constructed state-by-state by need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LEXER_SCANNER_H
+#define IPG_LEXER_SCANNER_H
+
+#include "grammar/Grammar.h"
+#include "lexer/Dfa.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// One scanned token.
+struct ScannedToken {
+  uint32_t Rule;     ///< Index of the matching rule.
+  std::string Kind;  ///< The rule's token kind.
+  std::string Text;  ///< The matched lexeme.
+  size_t Offset;     ///< Byte offset in the input.
+  unsigned Line;     ///< 1-based line.
+  unsigned Column;   ///< 1-based column.
+};
+
+/// Longest-match scanner compiled (incrementally) from (regex, kind)
+/// rules.
+class Scanner {
+public:
+  Scanner() = default;
+
+  // The compiled LazyDfa references the Nfa member: not movable.
+  Scanner(const Scanner &) = delete;
+  Scanner &operator=(const Scanner &) = delete;
+  Scanner(Scanner &&) = delete;
+  Scanner &operator=(Scanner &&) = delete;
+
+  /// Adds a token rule; patterns are validated immediately, the automaton
+  /// is rebuilt lazily. May be called at any time.
+  Expected<bool> addRule(std::string_view Pattern, std::string Kind,
+                         bool IsLayout = false);
+
+  /// Adds a rule matching \p Literal exactly, with kind == the literal.
+  void addLiteral(std::string_view Literal);
+
+  /// Matches whitespace (space, tab, newline, CR, FF) as layout.
+  void addWhitespaceLayout();
+
+  /// Enables/disables every rule of kind \p Kind; returns the number of
+  /// rules affected. Disabled rules drop out of the automaton — the
+  /// scanner-side analogue of DELETE-RULE.
+  size_t setRuleEnabled(std::string_view Kind, bool Enabled);
+
+  /// Forces compilation now (otherwise the first scan compiles).
+  void compile() { ensureCompiled(); }
+
+  /// Scans \p Text into tokens (layout dropped). Errors mention the
+  /// offending line and column.
+  Expected<std::vector<ScannedToken>> scan(std::string_view Text);
+
+  /// Scans and interns each token's kind into \p G, returning terminal
+  /// symbols ready for the parsers. \p Tokens (optional) receives the raw
+  /// tokens aligned with the returned ids.
+  Expected<std::vector<SymbolId>>
+  tokenizeToSymbols(std::string_view Text, Grammar &G,
+                    std::vector<ScannedToken> *Tokens = nullptr);
+
+  /// Laziness metrics of the underlying DFA.
+  size_t dfaStates() const { return Dfa ? Dfa->numStates() : 0; }
+  uint64_t dfaCellsComputed() const { return Dfa ? Dfa->cellsComputed() : 0; }
+
+  /// How often the automaton was (re)built — the incremental-modification
+  /// cost metric.
+  uint64_t rebuilds() const { return Rebuilds; }
+
+  /// Forces the full DFA (the eager baseline); returns its state count.
+  size_t buildDfaEagerly() {
+    ensureCompiled();
+    return Dfa->buildEagerly();
+  }
+
+private:
+  struct TokenRule {
+    std::string Pattern; ///< Regex source, or the literal itself.
+    std::string Kind;
+    bool IsLayout;
+    bool IsLiteral;
+    bool Enabled = true;
+  };
+
+  void ensureCompiled();
+  void invalidate() {
+    Dfa.reset();
+    Automaton.reset();
+  }
+
+  std::vector<TokenRule> Rules;
+  std::unique_ptr<Nfa> Automaton;
+  std::unique_ptr<LazyDfa> Dfa;
+  uint64_t Rebuilds = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_LEXER_SCANNER_H

@@ -1,0 +1,108 @@
+//===- ll/BacktrackRd.cpp - Backtracking recursive descent ----------------===//
+
+#include "ll/BacktrackRd.h"
+
+using namespace ipg;
+
+namespace {
+
+/// Enumeration engine: yields every (end position, tree) derivation of a
+/// symbol/sequence via continuations. A continuation returning true stops
+/// the search.
+class Enumerator {
+public:
+  Enumerator(const Grammar &G, const std::vector<SymbolId> &Input,
+             TreeArena *Arena, uint64_t StepLimit)
+      : G(G), Input(Input), Arena(Arena), StepLimit(StepLimit) {}
+
+  using Cont = std::function<bool(size_t End, TreeNode *Tree)>;
+
+  /// Derives \p Sym starting at \p Pos; calls \p K per derivation.
+  /// Besides the step budget, recursion depth is capped: left recursion
+  /// would otherwise overflow the native stack long before a large step
+  /// limit triggers.
+  bool deriveSymbol(SymbolId Sym, size_t Pos, const Cont &K) {
+    if (++Steps > StepLimit || Depth > MaxDepth) {
+      LimitHit = true;
+      return true; // Abort the whole search.
+    }
+    if (G.symbols().isTerminal(Sym)) {
+      if (Pos >= Input.size() || Input[Pos] != Sym)
+        return false;
+      return K(Pos + 1, Arena ? Arena->makeLeaf(Sym, Pos) : nullptr);
+    }
+    ++Depth;
+    bool Stop = false;
+    for (RuleId Rule : G.rulesFor(Sym)) {
+      std::vector<TreeNode *> Children;
+      Stop = deriveSequence(
+          G.rule(Rule).Rhs, 0, Pos, Children, [&](size_t End) {
+            return K(End, Arena ? Arena->makeNode(Sym, Rule, Children)
+                                : nullptr);
+          });
+      if (Stop)
+        break;
+    }
+    --Depth;
+    return Stop;
+  }
+
+  uint64_t steps() const { return Steps; }
+  bool limitHit() const { return LimitHit; }
+
+private:
+  bool deriveSequence(const std::vector<SymbolId> &Rhs, size_t Idx,
+                      size_t Pos, std::vector<TreeNode *> &Children,
+                      const std::function<bool(size_t)> &K) {
+    if (Idx == Rhs.size())
+      return K(Pos);
+    return deriveSymbol(Rhs[Idx], Pos, [&](size_t End, TreeNode *Tree) {
+      Children.push_back(Tree);
+      bool Stop = deriveSequence(Rhs, Idx + 1, End, Children, K);
+      Children.pop_back();
+      return Stop;
+    });
+  }
+
+  static constexpr size_t MaxDepth = 4'000;
+
+  const Grammar &G;
+  const std::vector<SymbolId> &Input;
+  TreeArena *Arena;
+  uint64_t StepLimit;
+  uint64_t Steps = 0;
+  size_t Depth = 0;
+  bool LimitHit = false;
+};
+
+} // namespace
+
+RdResult BacktrackRdParser::run(const std::vector<SymbolId> &Input,
+                                TreeArena *Arena, uint64_t ParseLimit) {
+  RdResult Result;
+  Enumerator E(G, Input, Arena, StepLimit);
+  E.deriveSymbol(G.startSymbol(), 0, [&](size_t End, TreeNode *Tree) {
+    if (End != Input.size())
+      return false; // Partial match; keep backtracking.
+    ++Result.Parses;
+    if (Result.Tree == nullptr)
+      Result.Tree = Tree;
+    return Result.Parses >= ParseLimit;
+  });
+  Result.Steps = E.steps();
+  Result.LimitHit = E.limitHit();
+  Result.Accepted = Result.Parses > 0;
+  if (!Result.Accepted)
+    Result.Tree = nullptr;
+  return Result;
+}
+
+RdResult BacktrackRdParser::parse(const std::vector<SymbolId> &Input,
+                                  TreeArena &Arena) {
+  return run(Input, &Arena, 1);
+}
+
+RdResult BacktrackRdParser::countParses(const std::vector<SymbolId> &Input,
+                                        uint64_t Limit) {
+  return run(Input, nullptr, Limit);
+}

@@ -1,0 +1,102 @@
+//===- ll/Ll1Parser.cpp - LL(1) table generation and parsing --------------===//
+
+#include "ll/Ll1Parser.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+void Ll1Table::addCell(SymbolId Nonterminal, SymbolId Lookahead,
+                       RuleId Rule) {
+  RuleId &Cell = Cells[Nonterminal * NumSymbols + Lookahead];
+  if (Cell == InvalidRule) {
+    Cell = Rule;
+    return;
+  }
+  if (Cell == Rule)
+    return;
+  Conflicts.push_back(Ll1Conflict{Nonterminal, Lookahead, Cell, Rule});
+}
+
+Ll1Table::Ll1Table(const Grammar &G) : NumSymbols(G.symbols().size()) {
+  Cells.assign(NumSymbols * NumSymbols, InvalidRule);
+  GrammarAnalysis Analysis(G);
+  for (RuleId Rule : G.activeRules()) {
+    const ipg::Rule &R = G.rule(Rule);
+    Analysis.firstOfSequence(R.Rhs).forEach([&](size_t T) {
+      addCell(R.Lhs, static_cast<SymbolId>(T), Rule);
+    });
+    if (Analysis.isNullableSequence(R.Rhs))
+      Analysis.follow(R.Lhs).forEach([&](size_t T) {
+        addCell(R.Lhs, static_cast<SymbolId>(T), Rule);
+      });
+  }
+}
+
+Ll1Result Ll1Parser::parse(const std::vector<SymbolId> &Input,
+                           TreeArena &Arena) const {
+  Ll1Result Result;
+  TreeNode *Root = Arena.makeNode(G.startSymbol(), InvalidRule, {});
+  std::vector<TreeNode *> Stack{Root};
+  size_t Index = 0;
+
+  while (!Stack.empty()) {
+    TreeNode *Node = Stack.back();
+    Stack.pop_back();
+    SymbolId Lookahead = Index < Input.size() ? Input[Index] : G.endMarker();
+    if (G.symbols().isTerminal(Node->Sym)) {
+      if (Node->Sym != Lookahead) {
+        Result.ErrorIndex = Index;
+        return Result;
+      }
+      Node->TokenIndex = static_cast<uint32_t>(Index);
+      ++Index;
+      continue;
+    }
+    RuleId Rule = Table.rule(Node->Sym, Lookahead);
+    if (Rule == InvalidRule) {
+      Result.ErrorIndex = Index;
+      return Result;
+    }
+    Node->Rule = Rule;
+    const ipg::Rule &R = G.rule(Rule);
+    for (SymbolId Sym : R.Rhs)
+      Node->Children.push_back(
+          G.symbols().isTerminal(Sym)
+              ? Arena.makeLeaf(Sym, 0)
+              : Arena.makeNode(Sym, InvalidRule, {}));
+    for (size_t I = R.Rhs.size(); I > 0; --I)
+      Stack.push_back(Node->Children[I - 1]);
+  }
+
+  if (Index != Input.size()) {
+    Result.ErrorIndex = Index;
+    return Result;
+  }
+  Result.Accepted = true;
+  Result.Tree = Root;
+  return Result;
+}
+
+bool Ll1Parser::recognize(const std::vector<SymbolId> &Input) const {
+  std::vector<SymbolId> Stack{G.startSymbol()};
+  size_t Index = 0;
+  while (!Stack.empty()) {
+    SymbolId Top = Stack.back();
+    Stack.pop_back();
+    SymbolId Lookahead = Index < Input.size() ? Input[Index] : G.endMarker();
+    if (G.symbols().isTerminal(Top)) {
+      if (Top != Lookahead)
+        return false;
+      ++Index;
+      continue;
+    }
+    RuleId Rule = Table.rule(Top, Lookahead);
+    if (Rule == InvalidRule)
+      return false;
+    const ipg::Rule &R = G.rule(Rule);
+    for (size_t I = R.Rhs.size(); I > 0; --I)
+      Stack.push_back(R.Rhs[I - 1]);
+  }
+  return Index == Input.size();
+}

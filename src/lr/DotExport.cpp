@@ -1,0 +1,76 @@
+//===- lr/DotExport.cpp - GraphViz export of item-set graphs --------------===//
+
+#include "lr/DotExport.h"
+
+using namespace ipg;
+
+namespace {
+
+/// Escapes DOT label metacharacters.
+std::string escapeLabel(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"' || C == '\\' || C == '{' || C == '}' || C == '|' ||
+        C == '<' || C == '>')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string ipg::graphToDot(const ItemSetGraph &Graph, bool IncludeDead) {
+  const Grammar &G = Graph.grammar();
+  std::string Dot = "digraph itemsets {\n"
+                    "  rankdir=LR;\n"
+                    "  node [shape=record, fontname=\"monospace\"];\n";
+
+  auto EmitNode = [&](const ItemSet &State) {
+    std::string Label = std::to_string(State.id());
+    for (const Item &I : State.kernel())
+      Label += "\\n" + escapeLabel(itemToString(I, G));
+    for (RuleId Rule : State.reductions())
+      Label += "\\nreduce " + escapeLabel(G.ruleToString(Rule));
+    std::string Attrs = "label=\"" + Label + "\"";
+    switch (State.state()) {
+    case ItemSetState::Initial:
+      Attrs += ", style=dashed";
+      break;
+    case ItemSetState::Dirty:
+      Attrs += ", style=dashed, color=orange";
+      break;
+    case ItemSetState::Dead:
+      Attrs += ", style=filled, fillcolor=grey80, color=grey50";
+      break;
+    case ItemSetState::Complete:
+      break;
+    }
+    if (State.isAccepting())
+      Attrs += ", peripheries=2";
+    Dot += "  n" + std::to_string(State.id()) + " [" + Attrs + "];\n";
+  };
+
+  // liveSets() excludes dead sets; walk them via a second pass when asked.
+  for (const ItemSet *State : Graph.liveSets()) {
+    EmitNode(*State);
+    const std::vector<ItemSet::Transition> &Edges =
+        State->state() == ItemSetState::Dirty ? State->oldTransitions()
+                                              : State->transitions();
+    bool DashedEdges = State->state() == ItemSetState::Dirty;
+    for (const ItemSet::Transition &T : Edges)
+      Dot += "  n" + std::to_string(State->id()) + " -> n" +
+             std::to_string(T.Target->id()) + " [label=\"" +
+             escapeLabel(G.symbols().name(T.Label)) + "\"" +
+             (DashedEdges ? ", style=dashed" : "") + "];\n";
+    if (State->isAccepting()) {
+      Dot += "  accept" + std::to_string(State->id()) +
+             " [shape=doublecircle, label=\"acc\"];\n";
+      Dot += "  n" + std::to_string(State->id()) + " -> accept" +
+             std::to_string(State->id()) + " [label=\"$\"];\n";
+    }
+  }
+  (void)IncludeDead; // Dead sets hold no transitions; nothing to draw.
+  Dot += "}\n";
+  return Dot;
+}

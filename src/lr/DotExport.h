@@ -1,0 +1,27 @@
+//===- lr/DotExport.h - GraphViz export of item-set graphs ------*- C++ -*-===//
+///
+/// \file
+/// Renders graphs of item sets in GraphViz DOT, mirroring the paper's
+/// figures: one record node per set of items (kernel items inside),
+/// labeled edges for transitions, double borders for accepting sets,
+/// dashed borders for initial/dirty sets and grey for dead ones. Useful
+/// for debugging incremental updates visually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_DOTEXPORT_H
+#define IPG_LR_DOTEXPORT_H
+
+#include "lr/ItemSetGraph.h"
+
+#include <string>
+
+namespace ipg {
+
+/// Renders the live part of \p Graph as a DOT digraph. When
+/// \p IncludeDead is set, collected sets are shown greyed out.
+std::string graphToDot(const ItemSetGraph &Graph, bool IncludeDead = false);
+
+} // namespace ipg
+
+#endif // IPG_LR_DOTEXPORT_H

@@ -1,0 +1,44 @@
+//===- lr/GraphPrinter.cpp - Render graphs of item sets -------------------===//
+
+#include "lr/GraphPrinter.h"
+
+using namespace ipg;
+
+static const char *stateMarker(ItemSetState State) {
+  switch (State) {
+  case ItemSetState::Initial:
+    return "\xE2\x97\x8B initial"; // ○
+  case ItemSetState::Complete:
+    return "\xE2\x97\x8F complete"; // ●
+  case ItemSetState::Dirty:
+    return "\xE2\x97\x90 dirty"; // ◐
+  case ItemSetState::Dead:
+    return "\xE2\x9C\x9D dead"; // ✝
+  }
+  return "?";
+}
+
+std::string ipg::itemSetToString(const ItemSet &State, const Grammar &G) {
+  std::string Text = "[" + std::to_string(State.id()) + "] " +
+                     stateMarker(State.state()) +
+                     " (refcount " + std::to_string(State.refCount()) + ")\n";
+  for (const Item &I : State.kernel())
+    Text += "  " + itemToString(I, G) + "\n";
+  if (!State.isComplete())
+    return Text;
+  for (const ItemSet::Transition &T : State.transitions())
+    Text += "  --" + G.symbols().name(T.Label) + "--> " +
+            std::to_string(T.Target->id()) + "\n";
+  for (RuleId Rule : State.reductions())
+    Text += "  reduce " + G.ruleToString(Rule) + "\n";
+  if (State.isAccepting())
+    Text += "  --$--> accept\n";
+  return Text;
+}
+
+std::string ipg::graphToString(const ItemSetGraph &Graph) {
+  std::string Text;
+  for (const ItemSet *State : Graph.liveSets())
+    Text += itemSetToString(*State, Graph.grammar());
+  return Text;
+}

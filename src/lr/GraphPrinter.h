@@ -1,0 +1,27 @@
+//===- lr/GraphPrinter.h - Render graphs of item sets -----------*- C++ -*-===//
+///
+/// \file
+/// Text rendering of item sets and graphs in the style of the paper's
+/// figures (kernel items with a • dot, labeled transitions, underlined —
+/// here annotated — reductions, and the ○/● initial/complete markers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_GRAPHPRINTER_H
+#define IPG_LR_GRAPHPRINTER_H
+
+#include "lr/ItemSetGraph.h"
+
+#include <string>
+
+namespace ipg {
+
+/// Renders one set of items as a multi-line block.
+std::string itemSetToString(const ItemSet &State, const Grammar &G);
+
+/// Renders every live set of items in creation order.
+std::string graphToString(const ItemSetGraph &Graph);
+
+} // namespace ipg
+
+#endif // IPG_LR_GRAPHPRINTER_H

@@ -1,0 +1,77 @@
+//===- lr/Item.h - LR(0) items and kernels ----------------------*- C++ -*-===//
+///
+/// \file
+/// An LR(0) item is a "dotted rule" (rule id, dot position). A kernel is a
+/// canonical (sorted, duplicate-free) set of items; kernels identify item
+/// sets, so the graph keeps a hash index from kernels to sets of items
+/// ("ltemsets" in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_ITEM_H
+#define IPG_LR_ITEM_H
+
+#include "grammar/Grammar.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// A dotted rule A ::= α • β, stored as (rule, |α|).
+struct Item {
+  RuleId Rule;
+  uint32_t Dot;
+
+  auto operator<=>(const Item &) const = default;
+};
+
+/// Canonical item-set kernel: sorted, duplicate-free items.
+using Kernel = std::vector<Item>;
+
+/// Sorts and dedupes \p K in place, establishing the canonical form.
+inline void canonicalizeKernel(Kernel &K) {
+  std::sort(K.begin(), K.end());
+  K.erase(std::unique(K.begin(), K.end()), K.end());
+}
+
+/// Hash of a canonical kernel.
+inline uint64_t hashKernel(const Kernel &K) {
+  uint64_t Hash = 0x51ed270b4d2c3f31ULL;
+  for (const Item &I : K) {
+    Hash = hashCombine(Hash, I.Rule);
+    Hash = hashCombine(Hash, I.Dot);
+  }
+  return Hash;
+}
+
+/// True if the dot of \p I is at the end of its rule.
+inline bool isCompleteItem(const Item &I, const Grammar &G) {
+  return I.Dot == G.rule(I.Rule).Rhs.size();
+}
+
+/// The symbol immediately after the dot, or InvalidSymbol at the end.
+inline SymbolId symbolAfterDot(const Item &I, const Grammar &G) {
+  const Rule &R = G.rule(I.Rule);
+  return I.Dot < R.Rhs.size() ? R.Rhs[I.Dot] : InvalidSymbol;
+}
+
+/// Renders "A ::= α • β" for diagnostics and the walkthrough example.
+inline std::string itemToString(const Item &I, const Grammar &G) {
+  const Rule &R = G.rule(I.Rule);
+  std::string Text = G.symbols().name(R.Lhs) + " ::=";
+  for (uint32_t Pos = 0; Pos <= R.Rhs.size(); ++Pos) {
+    if (Pos == I.Dot)
+      Text += " \xE2\x80\xA2"; // U+2022 BULLET
+    if (Pos < R.Rhs.size())
+      Text += " " + G.symbols().name(R.Rhs[Pos]);
+  }
+  return Text;
+}
+
+} // namespace ipg
+
+#endif // IPG_LR_ITEM_H

@@ -1,0 +1,96 @@
+//===- lr/ItemSet.h - Sets of items (parser states) -------------*- C++ -*-===//
+///
+/// \file
+/// A set of items is a parser state (§4). Its lifecycle follows the paper:
+///
+///   Initial  — kernel known, transitions/reductions not yet computed;
+///   Complete — EXPANDed: transitions, reductions and accept flag valid;
+///   Dirty    — was Complete, invalidated by a grammar MODIFY (§6.2); the
+///              old transitions are retained so RE-EXPAND can release the
+///              references it held;
+///   Dead     — reference count reached zero (or mark-and-sweep found it
+///              unreachable); unlinked from the kernel index, kept in the
+///              arena so stale pointers in old parser stacks stay valid.
+///
+/// The transition ($ accept) of the paper is represented by the Accepting
+/// flag rather than an edge, since `accept` is not an item set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_ITEMSET_H
+#define IPG_LR_ITEMSET_H
+
+#include "lr/Item.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg {
+
+class ItemSetGraph;
+
+/// Lifecycle state of a set of items; see file comment.
+enum class ItemSetState : uint8_t { Initial, Complete, Dirty, Dead };
+
+/// A set of items: one node in the graph of item sets.
+class ItemSet {
+public:
+  /// A labeled edge to another set of items. Terminal labels are shift
+  /// actions, nonterminal labels are GOTO transitions.
+  struct Transition {
+    SymbolId Label;
+    ItemSet *Target;
+  };
+
+  /// Stable creation index; matches the circled numbers in the paper's
+  /// figures for identical construction orders.
+  uint32_t id() const { return Id; }
+
+  ItemSetState state() const { return State; }
+  bool isComplete() const { return State == ItemSetState::Complete; }
+  bool isDead() const { return State == ItemSetState::Dead; }
+
+  /// The canonical kernel. The lazy generator keeps kernels even for
+  /// complete sets: the incremental generator needs them again (§5.3).
+  const Kernel &kernel() const { return K; }
+
+  /// Valid only when Complete. Sorted by label for binary search.
+  const std::vector<Transition> &transitions() const { return Transitions; }
+
+  /// Rules recognized completely in this state (valid only when Complete).
+  const std::vector<RuleId> &reductions() const { return Reductions; }
+
+  /// True if the closure contains START ::= β • — the paper's ($ accept).
+  bool isAccepting() const { return Accepting; }
+
+  /// The START rules completed in this state (nonempty iff isAccepting()).
+  /// The paper's ($ accept) transition carries no rule; the parsers here
+  /// need it to build a START-rooted parse tree.
+  const std::vector<RuleId> &acceptRules() const { return AcceptRules; }
+
+  /// Number of transitions referring to this set (plus 1 for the start
+  /// set's implicit root reference).
+  uint32_t refCount() const { return RefCount; }
+
+  /// The transitions this set held before it was marked Dirty.
+  const std::vector<Transition> &oldTransitions() const {
+    return OldTransitions;
+  }
+
+private:
+  friend class ItemSetGraph;
+
+  uint32_t Id = 0;
+  ItemSetState State = ItemSetState::Initial;
+  bool Accepting = false;
+  uint32_t RefCount = 0;
+  Kernel K;
+  std::vector<Transition> Transitions;
+  std::vector<RuleId> Reductions;
+  std::vector<RuleId> AcceptRules;
+  std::vector<Transition> OldTransitions;
+};
+
+} // namespace ipg
+
+#endif // IPG_LR_ITEMSET_H

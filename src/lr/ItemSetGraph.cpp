@@ -1,0 +1,351 @@
+//===- lr/ItemSetGraph.cpp - The graph of item sets -----------------------===//
+
+#include "lr/ItemSetGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipg;
+
+ItemSetGraph::ItemSetGraph(Grammar &G) : G(G) {
+  Start = makeItemSet(startKernel());
+  // The root reference: the start set is pinned for the graph's lifetime.
+  Start->RefCount = 1;
+}
+
+Kernel ItemSetGraph::startKernel() const {
+  Kernel K;
+  for (RuleId Id : G.rulesFor(G.startSymbol()))
+    K.push_back(Item{Id, 0});
+  canonicalizeKernel(K);
+  return K;
+}
+
+ItemSet *ItemSetGraph::makeItemSet(Kernel K) {
+  Pool.emplace_back();
+  ItemSet *State = &Pool.back();
+  State->Id = static_cast<uint32_t>(Pool.size() - 1);
+  State->K = std::move(K);
+  ByKernel[hashKernel(State->K)].push_back(State);
+  return State;
+}
+
+ItemSet *ItemSetGraph::findByKernel(const Kernel &K) {
+  auto It = ByKernel.find(hashKernel(K));
+  if (It == ByKernel.end())
+    return nullptr;
+  for (ItemSet *State : It->second)
+    if (State->K == K)
+      return State;
+  return nullptr;
+}
+
+void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
+  auto It = ByKernel.find(hashKernel(State->K));
+  if (It == ByKernel.end())
+    return;
+  std::vector<ItemSet *> &Bucket = It->second;
+  auto Pos = std::find(Bucket.begin(), Bucket.end(), State);
+  if (Pos != Bucket.end())
+    Bucket.erase(Pos);
+}
+
+std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
+  // CLOSURE (§4): extend the kernel with B ::= •γ for every B that occurs
+  // immediately after a dot, transitively. Predicted items all have dot 0,
+  // so presence is tracked per rule.
+  std::vector<Item> Closure = K;
+  std::vector<bool> Predicted(G.numInternedRules(), false);
+  for (const Item &I : K)
+    if (I.Dot == 0)
+      Predicted[I.Rule] = true;
+
+  for (size_t Next = 0; Next < Closure.size(); ++Next) {
+    SymbolId After = symbolAfterDot(Closure[Next], G);
+    if (After == InvalidSymbol || G.symbols().isTerminal(After))
+      continue;
+    for (RuleId Id : G.rulesFor(After)) {
+      if (Predicted[Id])
+        continue;
+      Predicted[Id] = true;
+      Closure.push_back(Item{Id, 0});
+    }
+  }
+  return Closure;
+}
+
+void ItemSetGraph::addTransition(ItemSet *From, SymbolId Label, ItemSet *To) {
+  From->Transitions.push_back(ItemSet::Transition{Label, To});
+  ++To->RefCount;
+}
+
+void ItemSetGraph::expand(ItemSet *State) {
+  assert(!State->isDead() && "expanding a collected set of items");
+  bool WasDirty = State->State == ItemSetState::Dirty;
+  ++Stats.Expansions;
+  if (WasDirty)
+    ++Stats.ReExpansions;
+
+  std::vector<Item> Closure = closure(State->K);
+  Stats.ClosureItems += Closure.size();
+
+  State->Transitions.clear();
+  State->Reductions.clear();
+  State->AcceptRules.clear();
+  State->Accepting = false;
+
+  // Partition the closure by the symbol after the dot (first-seen order —
+  // this reproduces the state numbering of the paper's figures).
+  std::vector<std::pair<SymbolId, Kernel>> Groups;
+  for (const Item &I : Closure) {
+    SymbolId After = symbolAfterDot(I, G);
+    if (After == InvalidSymbol) {
+      // Dot at the end: accept for START, a reduction otherwise.
+      if (G.rule(I.Rule).Lhs == G.startSymbol()) {
+        State->Accepting = true;
+        if (std::find(State->AcceptRules.begin(), State->AcceptRules.end(),
+                      I.Rule) == State->AcceptRules.end())
+          State->AcceptRules.push_back(I.Rule);
+      } else if (std::find(State->Reductions.begin(), State->Reductions.end(),
+                           I.Rule) == State->Reductions.end()) {
+        State->Reductions.push_back(I.Rule);
+      }
+      continue;
+    }
+    auto Group =
+        std::find_if(Groups.begin(), Groups.end(),
+                     [After](const auto &Entry) { return Entry.first == After; });
+    if (Group == Groups.end()) {
+      Groups.emplace_back(After, Kernel{});
+      Group = std::prev(Groups.end());
+    }
+    Group->second.push_back(Item{I.Rule, I.Dot + 1});
+  }
+
+  for (auto &[Label, NewKernel] : Groups) {
+    canonicalizeKernel(NewKernel);
+    ItemSet *Target = findByKernel(NewKernel);
+    if (Target == nullptr)
+      Target = makeItemSet(std::move(NewKernel));
+    addTransition(State, Label, Target);
+  }
+  std::sort(State->Transitions.begin(), State->Transitions.end(),
+            [](const ItemSet::Transition &A, const ItemSet::Transition &B) {
+              return A.Label < B.Label;
+            });
+  State->State = ItemSetState::Complete;
+
+  // RE-EXPAND (§6.2): only now release the references the dirty set held,
+  // so targets reused by the new expansion never transiently hit zero.
+  if (WasDirty) {
+    std::vector<ItemSet::Transition> Old = std::move(State->OldTransitions);
+    State->OldTransitions.clear();
+    for (const ItemSet::Transition &T : Old)
+      decrRefCount(T.Target);
+  }
+}
+
+void ItemSetGraph::decrRefCount(ItemSet *State) {
+  // Iterative DECR-REFCOUNT (§6.2): when a count reaches zero the set is
+  // removed and the references it holds are released in turn.
+  std::vector<ItemSet *> Worklist{State};
+  while (!Worklist.empty()) {
+    ItemSet *Current = Worklist.back();
+    Worklist.pop_back();
+    assert(!Current->isDead() && "releasing a reference to a dead set");
+    assert(Current->RefCount > 0 && "refcount underflow");
+    if (--Current->RefCount != 0)
+      continue;
+    unlinkFromIndex(Current);
+    const std::vector<ItemSet::Transition> &Held =
+        Current->State == ItemSetState::Dirty ? Current->OldTransitions
+                                              : Current->Transitions;
+    for (const ItemSet::Transition &T : Held)
+      Worklist.push_back(T.Target);
+    Current->State = ItemSetState::Dead;
+    Current->Transitions.clear();
+    Current->OldTransitions.clear();
+    Current->Reductions.clear();
+    Current->AcceptRules.clear();
+    ++Stats.Collected;
+  }
+}
+
+void ItemSetGraph::markDirty(ItemSet *State) {
+  // Initial sets need no invalidation; Dirty sets already carry their
+  // pre-modification history.
+  if (State->State != ItemSetState::Complete)
+    return;
+  State->OldTransitions = std::move(State->Transitions);
+  State->Transitions.clear();
+  State->Reductions.clear();
+  State->AcceptRules.clear();
+  State->Accepting = false;
+  State->State = ItemSetState::Dirty;
+  ++Stats.DirtyMarks;
+}
+
+void ItemSetGraph::modify(SymbolId Lhs) {
+  // MODIFY (§6.1). The grammar has already been updated by the caller.
+  if (Lhs == G.startSymbol()) {
+    // Only the start set can hold START ::= •β in its kernel.
+    unlinkFromIndex(Start);
+    Start->K = startKernel();
+    ByKernel[hashKernel(Start->K)].push_back(Start);
+    markDirty(Start);
+    return;
+  }
+  // Recognition of a rule for Lhs starts exactly in the complete sets with
+  // a transition labeled Lhs — their closures contained • before an Lhs.
+  for (ItemSet &State : Pool) {
+    if (State.State != ItemSetState::Complete)
+      continue;
+    for (const ItemSet::Transition &T : State.Transitions) {
+      if (T.Label == Lhs) {
+        markDirty(&State);
+        break;
+      }
+    }
+  }
+}
+
+bool ItemSetGraph::addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
+  auto [Id, Changed] = G.addRule(Lhs, std::move(Rhs));
+  (void)Id;
+  if (!Changed)
+    return false;
+  modify(Lhs);
+  return true;
+}
+
+bool ItemSetGraph::removeRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) {
+  auto [Id, Changed] = G.removeRule(Lhs, Rhs);
+  (void)Id;
+  if (!Changed)
+    return false;
+  modify(Lhs);
+  return true;
+}
+
+void ItemSetGraph::ensureComplete(ItemSet *State) {
+  assert(!State->isDead() && "querying a collected set of items");
+  if (!State->isComplete())
+    expand(State);
+}
+
+std::vector<LrAction> ItemSetGraph::actions(ItemSet *State, SymbolId Symbol) {
+  assert(G.symbols().isTerminal(Symbol) &&
+         "ACTION is queried with terminals only");
+  ensureComplete(State);
+
+  std::vector<LrAction> Result;
+  // LR(0): reductions apply regardless of the lookahead symbol.
+  for (RuleId Rule : State->Reductions)
+    Result.push_back(LrAction::reduce(Rule));
+  for (const ItemSet::Transition &T : State->transitions())
+    if (T.Label == Symbol) {
+      Result.push_back(LrAction::shift(T.Target));
+      break;
+    }
+  if (State->isAccepting() && Symbol == G.endMarker())
+    Result.push_back(LrAction::accept());
+  return Result;
+}
+
+ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
+  ++Stats.GotoCalls;
+  // Appendix A: the parsing algorithms only ever call GOTO on sets that
+  // have already been completed.
+  assert(State->isComplete() && "GOTO called on a non-complete set of items");
+  for (const ItemSet::Transition &T : State->transitions())
+    if (T.Label == Symbol)
+      return T.Target;
+  assert(false && "GOTO: no transition for symbol (graph inconsistent)");
+  return nullptr;
+}
+
+size_t ItemSetGraph::generateAll() {
+  // A single index pass suffices: EXPAND only appends new Initial sets,
+  // which the growing loop bound picks up.
+  for (size_t Index = 0; Index < Pool.size(); ++Index) {
+    ItemSet &State = Pool[Index];
+    if (State.State == ItemSetState::Initial ||
+        State.State == ItemSetState::Dirty)
+      expand(&State);
+  }
+  return numComplete();
+}
+
+std::vector<const ItemSet *> ItemSetGraph::liveSets() const {
+  std::vector<const ItemSet *> Result;
+  for (const ItemSet &State : Pool)
+    if (!State.isDead())
+      Result.push_back(&State);
+  return Result;
+}
+
+size_t ItemSetGraph::countByState(ItemSetState S) const {
+  size_t Count = 0;
+  for (const ItemSet &State : Pool)
+    Count += State.State == S;
+  return Count;
+}
+
+size_t ItemSetGraph::numLive() const {
+  size_t Count = 0;
+  for (const ItemSet &State : Pool)
+    Count += !State.isDead();
+  return Count;
+}
+
+size_t ItemSetGraph::collectGarbage() {
+  // Mark phase: reachable from the start set, following live transitions
+  // and the retained pre-modification transitions of dirty sets.
+  std::vector<bool> Marked(Pool.size(), false);
+  std::vector<ItemSet *> Worklist{Start};
+  Marked[Start->Id] = true;
+  while (!Worklist.empty()) {
+    ItemSet *State = Worklist.back();
+    Worklist.pop_back();
+    auto Visit = [&](const std::vector<ItemSet::Transition> &Edges) {
+      for (const ItemSet::Transition &T : Edges)
+        if (!Marked[T.Target->Id]) {
+          Marked[T.Target->Id] = true;
+          Worklist.push_back(T.Target);
+        }
+    };
+    Visit(State->Transitions);
+    Visit(State->OldTransitions);
+  }
+
+  // Sweep phase.
+  size_t Reclaimed = 0;
+  for (ItemSet &State : Pool) {
+    if (State.isDead() || Marked[State.Id])
+      continue;
+    unlinkFromIndex(&State);
+    State.State = ItemSetState::Dead;
+    State.Transitions.clear();
+    State.OldTransitions.clear();
+    State.Reductions.clear();
+    State.AcceptRules.clear();
+    State.RefCount = 0;
+    ++Reclaimed;
+    ++Stats.Collected;
+  }
+
+  // Restore exact reference counts for the survivors.
+  for (ItemSet &State : Pool)
+    if (!State.isDead())
+      State.RefCount = 0;
+  Start->RefCount = 1;
+  for (ItemSet &State : Pool) {
+    if (State.isDead())
+      continue;
+    for (const ItemSet::Transition &T : State.Transitions)
+      ++T.Target->RefCount;
+    for (const ItemSet::Transition &T : State.OldTransitions)
+      ++T.Target->RefCount;
+  }
+  return Reclaimed;
+}

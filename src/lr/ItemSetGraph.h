@@ -1,0 +1,149 @@
+//===- lr/ItemSetGraph.h - The graph of item sets ---------------*- C++ -*-===//
+///
+/// \file
+/// The graph of item sets underlying both the parse table and the parsing
+/// states (§4), together with the three generation disciplines of the paper:
+///
+///   * conventional (§4): generateAll() expands every reachable set up
+///     front — the "PG" baseline;
+///   * lazy (§5): actions() EXPANDs the queried set on demand, so parsing
+///     can start against a one-node graph;
+///   * incremental (§6): addRule()/removeRule() run MODIFY, re-marking the
+///     sets whose closure the change invalidates as Dirty; the lazy
+///     machinery RE-EXPANDs them when the parser next needs them, and
+///     reference counting (DECR-REFCOUNT) reclaims orphaned sets. A
+///     mark-and-sweep collector backs up the reference counts for cyclic
+///     regions — the future work noted at the end of §6.2.
+///
+/// ACTION and GOTO (§3/§4) are methods here because the lazy generator needs
+/// the kernel fields during parsing, so a detached tabular copy would not
+/// suffice (§4, "we shall not use these parse tables further").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_ITEMSETGRAPH_H
+#define IPG_LR_ITEMSETGRAPH_H
+
+#include "lr/ItemSet.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ipg {
+
+/// One entry of an ACTION(state, symbol) result set (§3.1). LR-PARSE
+/// requires at most one; PAR-PARSE handles any number.
+struct LrAction {
+  enum KindType : uint8_t { Shift, Reduce, Accept } Kind;
+  /// Shift target (Kind == Shift).
+  ItemSet *Target = nullptr;
+  /// Reduced rule (Kind == Reduce).
+  RuleId Rule = InvalidRule;
+
+  static LrAction shift(ItemSet *Target) { return {Shift, Target, InvalidRule}; }
+  static LrAction reduce(RuleId Rule) { return {Reduce, nullptr, Rule}; }
+  static LrAction accept() { return {Accept, nullptr, InvalidRule}; }
+
+  bool operator==(const LrAction &O) const {
+    return Kind == O.Kind && Target == O.Target && Rule == O.Rule;
+  }
+};
+
+/// Counters for the measurements of §7 and the ablation benches.
+struct ItemSetGraphStats {
+  uint64_t Expansions = 0;    ///< EXPAND calls (including re-expansions).
+  uint64_t ReExpansions = 0;  ///< EXPANDs of Dirty sets.
+  uint64_t ClosureItems = 0;  ///< Items produced by CLOSURE.
+  uint64_t DirtyMarks = 0;    ///< Sets invalidated by MODIFY.
+  uint64_t Collected = 0;     ///< Sets reclaimed (refcount or mark-sweep).
+  uint64_t GotoCalls = 0;     ///< gotoState invocations (Appendix A probe).
+};
+
+/// The graph of item sets; owns its item sets for its whole lifetime.
+class ItemSetGraph {
+public:
+  /// GENERATE-PARSER of §5: creates only the start set of items, with
+  /// kernel {START ::= •β | START ::= β ∈ Grammar}.
+  explicit ItemSetGraph(Grammar &G);
+
+  ItemSetGraph(const ItemSetGraph &) = delete;
+  ItemSetGraph &operator=(const ItemSetGraph &) = delete;
+
+  Grammar &grammar() { return G; }
+  const Grammar &grammar() const { return G; }
+
+  /// The state in which parsing starts (root of the graph).
+  ItemSet *startSet() { return Start; }
+
+  /// §4 GENERATE-PARSER: expands item sets until none is Initial/Dirty.
+  /// Returns the number of complete sets.
+  size_t generateAll();
+
+  /// ACTION(state, symbol) of §5: expands \p State if needed, then returns
+  /// the actions for terminal \p Symbol. An empty result is the error
+  /// action.
+  std::vector<LrAction> actions(ItemSet *State, SymbolId Symbol);
+
+  /// GOTO(state, symbol): the target of the unique transition on
+  /// nonterminal \p Symbol. Asserts \p State is complete — guaranteed for
+  /// (PAR-)PARSE by the invariant proved in Appendix A.
+  ItemSet *gotoState(ItemSet *State, SymbolId Symbol);
+
+  /// EXPAND / RE-EXPAND \p State if it is not Complete.
+  void ensureComplete(ItemSet *State);
+
+  /// CLOSURE of §4, exposed for tests and the LALR generator.
+  std::vector<Item> closure(const Kernel &K) const;
+
+  /// ADD-RULE (§6): adds the rule to the grammar and updates the graph.
+  /// Returns false if the rule was already present (no change).
+  bool addRule(SymbolId Lhs, std::vector<SymbolId> Rhs);
+
+  /// DELETE-RULE (§6): removes the rule and updates the graph. Returns
+  /// false if no such rule was active.
+  bool removeRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs);
+
+  /// Mark-and-sweep collection from the start set; reclaims cyclic garbage
+  /// the reference counts cannot (§6.2). Returns the number of sets
+  /// reclaimed.
+  size_t collectGarbage();
+
+  /// Live (non-Dead) sets, in creation order. Invalidated by expansion.
+  std::vector<const ItemSet *> liveSets() const;
+
+  /// Number of live sets in the given state.
+  size_t countByState(ItemSetState S) const;
+
+  /// Number of live complete sets — the "generated part" of the table.
+  size_t numComplete() const { return countByState(ItemSetState::Complete); }
+
+  /// Total live sets.
+  size_t numLive() const;
+
+  /// Looks up a live set of items by kernel; nullptr if absent.
+  ItemSet *findByKernel(const Kernel &K);
+
+  const ItemSetGraphStats &stats() const { return Stats; }
+  void resetStats() { Stats = ItemSetGraphStats(); }
+
+private:
+  ItemSet *makeItemSet(Kernel K);
+  void expand(ItemSet *State);
+  void addTransition(ItemSet *From, SymbolId Label, ItemSet *To);
+  void decrRefCount(ItemSet *State);
+  void markDirty(ItemSet *State);
+  void unlinkFromIndex(ItemSet *State);
+  void modify(SymbolId Lhs);
+  Kernel startKernel() const;
+
+  Grammar &G;
+  std::deque<ItemSet> Pool;
+  std::unordered_map<uint64_t, std::vector<ItemSet *>> ByKernel;
+  ItemSet *Start = nullptr;
+  ItemSetGraphStats Stats;
+};
+
+} // namespace ipg
+
+#endif // IPG_LR_ITEMSETGRAPH_H

@@ -1,0 +1,81 @@
+//===- lr/LrParser.cpp - Deterministic LR driver (§3.1) -------------------===//
+
+#include "lr/LrParser.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+LrParseResult LrParser::parse(const std::vector<SymbolId> &Input,
+                              TreeArena &Arena) const {
+  LrParseResult Result;
+  std::vector<uint32_t> States{Table.startState()};
+  std::vector<TreeNode *> Nodes;
+
+  size_t Index = 0;
+  while (true) {
+    SymbolId Symbol = Index < Input.size() ? Input[Index] : G.endMarker();
+    TableAction Action = Table.action(States.back(), Symbol);
+    switch (Action.Kind) {
+    case TableAction::Shift:
+      States.push_back(Action.Value);
+      Nodes.push_back(Arena.makeLeaf(Symbol, static_cast<uint32_t>(Index)));
+      ++Index;
+      ++Result.NumShifts;
+      break;
+    case TableAction::Reduce: {
+      const Rule &R = G.rule(Action.Value);
+      std::vector<TreeNode *> Children(Nodes.end() - R.Rhs.size(),
+                                       Nodes.end());
+      States.resize(States.size() - R.Rhs.size());
+      Nodes.resize(Nodes.size() - R.Rhs.size());
+      uint32_t Target = Table.gotoState(States.back(), R.Lhs);
+      assert(Target != ~0u && "GOTO undefined after a reduce");
+      States.push_back(Target);
+      Nodes.push_back(Arena.makeNode(R.Lhs, Action.Value, std::move(Children)));
+      ++Result.NumReduces;
+      break;
+    }
+    case TableAction::Accept: {
+      const Rule &R = G.rule(Action.Value);
+      std::vector<TreeNode *> Children(Nodes.end() - R.Rhs.size(),
+                                       Nodes.end());
+      Result.Tree =
+          Arena.makeNode(G.startSymbol(), Action.Value, std::move(Children));
+      Result.Accepted = true;
+      return Result;
+    }
+    case TableAction::Error:
+      Result.ErrorIndex = Index;
+      return Result;
+    }
+  }
+}
+
+bool LrParser::recognize(const std::vector<SymbolId> &Input) const {
+  std::vector<uint32_t> States{Table.startState()};
+  // Symbol counts per state are not needed: only rule lengths are popped.
+  size_t Index = 0;
+  while (true) {
+    SymbolId Symbol = Index < Input.size() ? Input[Index] : G.endMarker();
+    TableAction Action = Table.action(States.back(), Symbol);
+    switch (Action.Kind) {
+    case TableAction::Shift:
+      States.push_back(Action.Value);
+      ++Index;
+      break;
+    case TableAction::Reduce: {
+      const Rule &R = G.rule(Action.Value);
+      States.resize(States.size() - R.Rhs.size());
+      uint32_t Target = Table.gotoState(States.back(), R.Lhs);
+      assert(Target != ~0u && "GOTO undefined after a reduce");
+      States.push_back(Target);
+      break;
+    }
+    case TableAction::Accept:
+      return true;
+    case TableAction::Error:
+      return false;
+    }
+  }
+}

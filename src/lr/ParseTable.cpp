@@ -1,0 +1,130 @@
+//===- lr/ParseTable.cpp - Tabular ACTION/GOTO representation -------------===//
+
+#include "lr/ParseTable.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+void ParseTable::addAction(uint32_t State, SymbolId Symbol,
+                           TableAction Action) {
+  TableAction &Cell = Cells[State * NumSymbols + Symbol];
+  if (Cell.Kind == TableAction::Error) {
+    Cell = Action;
+    return;
+  }
+  if (Cell == Action)
+    return;
+  for (TableConflict &Conflict : Conflicts) {
+    if (Conflict.State == State && Conflict.Symbol == Symbol) {
+      for (const TableAction &Existing : Conflict.Actions)
+        if (Existing == Action)
+          return;
+      Conflict.Actions.push_back(Action);
+      return;
+    }
+  }
+  Conflicts.push_back(TableConflict{State, Symbol, {Cell, Action}});
+}
+
+ParseTable ipg::buildLr0Table(ItemSetGraph &Graph,
+                              std::vector<const ItemSet *> *SetOfState) {
+  Graph.generateAll();
+  const Grammar &G = Graph.grammar();
+
+  // Dense numbering in creation order; the start set is always state 0.
+  std::vector<const ItemSet *> Sets = Graph.liveSets();
+  std::unordered_map<const ItemSet *, uint32_t> StateOf;
+  for (const ItemSet *Set : Sets) {
+    assert(Set->isComplete() && "generateAll left a non-complete set");
+    StateOf.emplace(Set, static_cast<uint32_t>(StateOf.size()));
+  }
+
+  size_t NumSymbols = G.symbols().size();
+  ParseTable Table(Sets.size(), NumSymbols);
+  for (const ItemSet *Set : Sets) {
+    uint32_t State = StateOf.at(Set);
+    // LR(0): a recognized rule may be reduced under any lookahead.
+    for (RuleId Rule : Set->reductions())
+      for (SymbolId Sym = 0; Sym < NumSymbols; ++Sym)
+        if (G.symbols().isTerminal(Sym))
+          Table.addAction(State, Sym, {TableAction::Reduce, Rule});
+    for (const ItemSet::Transition &T : Set->transitions()) {
+      if (G.symbols().isTerminal(T.Label))
+        Table.addAction(State, T.Label,
+                        {TableAction::Shift, StateOf.at(T.Target)});
+      else
+        Table.setGoto(State, T.Label, StateOf.at(T.Target));
+    }
+    for (RuleId Rule : Set->acceptRules())
+      Table.addAction(State, G.endMarker(), {TableAction::Accept, Rule});
+  }
+  if (SetOfState != nullptr)
+    *SetOfState = std::move(Sets);
+  return Table;
+}
+
+static std::string actionToString(const TableAction &Action) {
+  switch (Action.Kind) {
+  case TableAction::Error:
+    return "";
+  case TableAction::Shift:
+    return "s" + std::to_string(Action.Value);
+  case TableAction::Reduce:
+    return "r" + std::to_string(Action.Value);
+  case TableAction::Accept:
+    return "acc";
+  }
+  return "";
+}
+
+std::string ipg::tableToString(const ParseTable &Table, const Grammar &G) {
+  // Columns: terminals (the $ column last among terminals), then
+  // nonterminals, START excluded — the layout of Fig 4.1(b).
+  std::vector<SymbolId> Columns;
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym)
+    if (G.symbols().isTerminal(Sym) && Sym != G.endMarker())
+      Columns.push_back(Sym);
+  Columns.push_back(G.endMarker());
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym)
+    if (G.symbols().isNonterminal(Sym) && Sym != G.startSymbol())
+      Columns.push_back(Sym);
+
+  auto CellText = [&](uint32_t State, SymbolId Sym) -> std::string {
+    if (G.symbols().isNonterminal(Sym)) {
+      uint32_t Target = Table.gotoState(State, Sym);
+      return Target == ~0u ? "" : std::to_string(Target);
+    }
+    for (const TableConflict &Conflict : Table.conflicts()) {
+      if (Conflict.State == State && Conflict.Symbol == Sym) {
+        std::vector<std::string> Parts;
+        for (const TableAction &Action : Conflict.Actions)
+          Parts.push_back(actionToString(Action));
+        return join(Parts, "/");
+      }
+    }
+    return actionToString(Table.action(State, Sym));
+  };
+
+  std::vector<size_t> Widths{5};
+  for (SymbolId Sym : Columns)
+    Widths.push_back(G.symbols().name(Sym).size());
+  for (uint32_t State = 0; State < Table.numStates(); ++State)
+    for (size_t Col = 0; Col < Columns.size(); ++Col)
+      Widths[Col + 1] =
+          std::max(Widths[Col + 1], CellText(State, Columns[Col]).size());
+
+  std::string Text = padRight("state", Widths[0]);
+  for (size_t Col = 0; Col < Columns.size(); ++Col)
+    Text += "  " + padLeft(G.symbols().name(Columns[Col]), Widths[Col + 1]);
+  Text += '\n';
+  for (uint32_t State = 0; State < Table.numStates(); ++State) {
+    Text += padRight(std::to_string(State), Widths[0]);
+    for (size_t Col = 0; Col < Columns.size(); ++Col)
+      Text += "  " + padLeft(CellText(State, Columns[Col]), Widths[Col + 1]);
+    Text += '\n';
+  }
+  return Text;
+}

@@ -1,0 +1,108 @@
+//===- lr/ParseTable.h - Tabular ACTION/GOTO representation -----*- C++ -*-===//
+///
+/// \file
+/// The tabular representation of a fully generated graph of item sets —
+/// Fig 4.1(b) of the paper. Used by the conventional deterministic LR
+/// driver (the "Yacc" side of §7); the lazy/incremental generators never
+/// build it because they need the kernel fields during parsing.
+///
+/// ACTION cells may hold multiple entries (LR(0) conflicts); the table
+/// records them all plus a conflict list so generators can report and, for
+/// the Yacc baseline, resolve them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_PARSETABLE_H
+#define IPG_LR_PARSETABLE_H
+
+#include "grammar/Grammar.h"
+#include "lr/ItemSetGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// One parse-table action.
+struct TableAction {
+  enum KindType : uint8_t { Error = 0, Shift, Reduce, Accept } Kind = Error;
+  /// Shift: target state. Reduce/Accept: rule id.
+  uint32_t Value = 0;
+
+  bool operator==(const TableAction &O) const {
+    return Kind == O.Kind && Value == O.Value;
+  }
+};
+
+/// A conflicted ACTION cell.
+struct TableConflict {
+  uint32_t State;
+  SymbolId Symbol;
+  std::vector<TableAction> Actions;
+};
+
+/// Dense ACTION/GOTO tables over compact state numbers.
+class ParseTable {
+public:
+  ParseTable(size_t NumStates, size_t NumSymbols)
+      : NumStates(NumStates), NumSymbols(NumSymbols),
+        Cells(NumStates * NumSymbols), Gotos(NumStates * NumSymbols, ~0u) {}
+
+  size_t numStates() const { return NumStates; }
+  size_t numSymbols() const { return NumSymbols; }
+  uint32_t startState() const { return 0; }
+
+  /// Adds an action for (\p State, terminal \p Symbol); extra actions on
+  /// the same cell are recorded as conflicts.
+  void addAction(uint32_t State, SymbolId Symbol, TableAction Action);
+
+  /// The resolved (single) action; Error when the cell is empty.
+  TableAction action(uint32_t State, SymbolId Symbol) const {
+    return Cells[State * NumSymbols + Symbol];
+  }
+
+  /// Replaces the resolved action for a cell (conflict resolution).
+  void resolveAction(uint32_t State, SymbolId Symbol, TableAction Action) {
+    Cells[State * NumSymbols + Symbol] = Action;
+  }
+
+  void setGoto(uint32_t State, SymbolId Nonterminal, uint32_t Target) {
+    Gotos[State * NumSymbols + Nonterminal] = Target;
+  }
+
+  /// GOTO(state, nonterminal); ~0u when undefined.
+  uint32_t gotoState(uint32_t State, SymbolId Nonterminal) const {
+    return Gotos[State * NumSymbols + Nonterminal];
+  }
+
+  const std::vector<TableConflict> &conflicts() const { return Conflicts; }
+  bool isDeterministic() const { return Conflicts.empty(); }
+
+  /// Approximate memory footprint in bytes (for the measurements).
+  size_t memoryBytes() const {
+    return Cells.size() * sizeof(TableAction) + Gotos.size() * sizeof(uint32_t);
+  }
+
+private:
+  size_t NumStates;
+  size_t NumSymbols;
+  std::vector<TableAction> Cells;
+  std::vector<uint32_t> Gotos;
+  std::vector<TableConflict> Conflicts;
+};
+
+/// Builds the LR(0) table for \p Graph, generating the whole graph first
+/// (the conventional PG pipeline of §4). Reductions fill every terminal
+/// column, as in Fig 4.1(b). \p StateOfSet, when non-null, receives the
+/// dense id assigned to each live complete item set.
+ParseTable buildLr0Table(ItemSetGraph &Graph,
+                         std::vector<const ItemSet *> *SetOfState = nullptr);
+
+/// Renders the table in the layout of Fig 4.1(b) (columns: terminals then
+/// nonterminals; `s3`, `r2`, `acc`, conflicts as `s5/r3`).
+std::string tableToString(const ParseTable &Table, const Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_LR_PARSETABLE_H

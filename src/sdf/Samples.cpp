@@ -1,0 +1,250 @@
+//===- sdf/Samples.cpp - The four input sentences of §7 -------------------===//
+
+#include "sdf/Samples.h"
+
+using namespace ipg;
+
+namespace {
+
+// exp.sdf — a minimal expression language (paper: 37 tokens).
+constexpr std::string_view ExpSdf = R"sdf(
+module Exp
+begin
+  lexical syntax
+    sorts ID
+    layout WHITE-SPACE
+    functions
+      [a-z]+     -> ID
+      [ \t\n]+   -> WHITE-SPACE
+  context-free syntax
+    sorts EXP
+    functions
+      ID            -> EXP
+      EXP "+" EXP   -> EXP
+      "(" EXP ")"   -> EXP
+end Exp
+)sdf";
+
+// Exam.sdf — a small imperative language (paper: 166 tokens).
+constexpr std::string_view ExamSdf = R"sdf(
+module Exam
+begin
+  lexical syntax
+    sorts ID, NAT
+    layout WHITE-SPACE, COMMENT
+    functions
+      [a-zA-Z][a-zA-Z0-9]*  -> ID
+      [0-9]+                -> NAT
+      [ \t\n]+              -> WHITE-SPACE
+      "%" [a-z]*            -> COMMENT
+  context-free syntax
+    sorts PROGRAM, DECL, TYPE, STAT, EXP
+    functions
+      "program" ID "is" DECL* "begin" {STAT ";"}+ "end" -> PROGRAM
+      "var" {ID ","}+ ":" TYPE ";"                      -> DECL
+      "natural"                                         -> TYPE
+      "boolean"                                         -> TYPE
+      ID ":=" EXP                                       -> STAT
+      "if" EXP "then" {STAT ";"}+ "else" {STAT ";"}+ "fi" -> STAT
+      "while" EXP "do" {STAT ";"}+ "od"                 -> STAT
+      "skip"                                            -> STAT
+      ID                                                -> EXP
+      NAT                                               -> EXP
+      EXP "+" EXP                                       -> EXP  {left-assoc}
+      EXP "-" EXP                                       -> EXP  {left-assoc}
+      EXP "=" EXP                                       -> EXP
+      EXP "and" EXP                                     -> EXP  {assoc}
+      "not" EXP                                         -> EXP
+      "(" EXP ")"                                       -> EXP
+end Exam
+)sdf";
+
+// SDF.sdf — Appendix B: the SDF definition of SDF itself (paper: 342
+// tokens). Transcribed with this repository's tokenizer conventions.
+constexpr std::string_view SdfSdf = R"sdf(
+module SDF
+begin
+  -- The SDF definition of SDF --
+  lexical syntax
+    sorts
+      LETTER, ID-TAIL, ID, ITERATOR,
+      ORD-CHAR, C-CHAR, CHAR-RANGE, CHAR-CLASS,
+      L-CHAR, LITERAL, COM-CHAR, COM-END
+    layout
+      WHITE-SPACE, COMMENT
+    functions
+      [a-zA-Z]               -> LETTER
+      [a-zA-Z0-9\-_]         -> ID-TAIL
+      LETTER ID-TAIL*        -> ID
+      "+"                    -> ITERATOR
+      "*"                    -> ITERATOR
+      [0-9A-Za-z!$%&'()*+,./:;<=>?@~{|}] -> ORD-CHAR
+      "\\" -[]               -> ORD-CHAR
+      ORD-CHAR               -> C-CHAR
+      "\""                   -> C-CHAR
+      C-CHAR                 -> CHAR-RANGE
+      C-CHAR "-" C-CHAR      -> CHAR-RANGE
+      "[" CHAR-RANGE* "]"    -> CHAR-CLASS
+      ORD-CHAR               -> L-CHAR
+      [\-\[\]]               -> L-CHAR
+      "\"" L-CHAR* "\""      -> LITERAL
+      [ \t\n\r\f]            -> WHITE-SPACE
+      -[\n\-]                -> COM-CHAR
+      "-" -[\n\-]            -> COM-CHAR
+      "--"                   -> COM-END
+      "-\n"                  -> COM-END
+      "\n"                   -> COM-END
+      "--" COM-CHAR* COM-END -> COMMENT
+  context-free syntax
+    sorts
+      SDF-DEFINITION, LEXICAL-SYNTAX, SORTS-DECL, SORT, LAYOUT,
+      LEXICAL-FUNCTIONS, LEXICAL-FUNCTION-DEF, LEX-ELEM,
+      CONTEXT-FREE-SYNTAX, PRIORITIES, PRIO-DEF, ABBREV-F-LIST,
+      ABBREV-F-DEF, FUNCTIONS, FUNCTION-DEF, CF-ELEM, ATTRIBUTES,
+      ATTRIBUTE
+    functions
+      "module" ID "begin" LEXICAL-SYNTAX CONTEXT-FREE-SYNTAX "end" ID
+                                           -> SDF-DEFINITION
+      "lexical" "syntax" SORTS-DECL LAYOUT LEXICAL-FUNCTIONS
+                                           -> LEXICAL-SYNTAX
+                                           -> LEXICAL-SYNTAX
+      "sorts" {SORT ","}+                  -> SORTS-DECL
+                                           -> SORTS-DECL
+      ID                                   -> SORT
+      "layout" {SORT ","}+                 -> LAYOUT
+                                           -> LAYOUT
+      "functions" LEXICAL-FUNCTION-DEF+    -> LEXICAL-FUNCTIONS
+      LEX-ELEM+ "->" SORT                  -> LEXICAL-FUNCTION-DEF
+      SORT                                 -> LEX-ELEM
+      SORT ITERATOR                        -> LEX-ELEM
+      LITERAL                              -> LEX-ELEM
+      CHAR-CLASS                           -> LEX-ELEM
+      CHAR-CLASS ITERATOR                  -> LEX-ELEM
+      "-" CHAR-CLASS                       -> LEX-ELEM
+      "context-free" "syntax" SORTS-DECL PRIORITIES FUNCTIONS
+                                           -> CONTEXT-FREE-SYNTAX
+      "priorities" {PRIO-DEF ","}+         -> PRIORITIES
+      -- {par} before a "{"-initial definition: see the note below.
+                                           -> PRIORITIES  {par}
+      {ABBREV-F-LIST ">"}+                 -> PRIO-DEF    {par}
+      {ABBREV-F-LIST "<"}+                 -> PRIO-DEF
+      ABBREV-F-DEF                         -> ABBREV-F-LIST
+      "(" {ABBREV-F-DEF ","}+ ")"          -> ABBREV-F-LIST
+      CF-ELEM+                             -> ABBREV-F-DEF
+      CF-ELEM* "->" SORT                   -> ABBREV-F-DEF
+      "functions" FUNCTION-DEF+            -> FUNCTIONS
+      CF-ELEM* "->" SORT ATTRIBUTES        -> FUNCTION-DEF
+      SORT                                 -> CF-ELEM
+      LITERAL                              -> CF-ELEM
+      -- The {par} attributes below keep the Yacc-resolved LALR(1) parser
+      -- from reading the next definition's "{" as an attribute list.
+      SORT ITERATOR                        -> CF-ELEM  {par}
+      "{" SORT LITERAL "}" ITERATOR        -> CF-ELEM  {par}
+      "{" {ATTRIBUTE ","}+ "}"             -> ATTRIBUTES
+                                           -> ATTRIBUTES
+      "par"                                -> ATTRIBUTE
+      "assoc"                              -> ATTRIBUTE
+      "left-assoc"                         -> ATTRIBUTE
+      "right-assoc"                        -> ATTRIBUTE
+end SDF
+)sdf";
+
+// ASF.sdf — an algebraic specification formalism on top of SDF terms
+// (paper: 475 tokens).
+constexpr std::string_view AsfSdf = R"sdf(
+module ASF
+begin
+  -- Algebraic specifications: modules of sorts, functions and equations.
+  lexical syntax
+    sorts ID, NAT, VAR-ID, STRING
+    layout WHITE-SPACE, COMMENT
+    functions
+      [a-z][a-zA-Z0-9\-]*      -> ID
+      [A-Z][a-zA-Z0-9\-]*      -> VAR-ID
+      [0-9]+                   -> NAT
+      "\"" [a-z]* "\""         -> STRING
+      [ \t\n\r]+               -> WHITE-SPACE
+      "%%" [a-z]*              -> COMMENT
+  context-free syntax
+    sorts
+      SPECIFICATION, MODULE, SECTION, SIGNATURE, SORT-DECL,
+      FUNC-DECL, VAR-DECL, EQUATION-SECTION, EQUATION, COND,
+      TERM, TERM-LIST, SORT-REF, IMPORT
+    functions
+      MODULE+                                     -> SPECIFICATION
+      "module" ID IMPORT* SECTION* "endmodule"    -> MODULE
+      "imports" {ID ","}+                         -> IMPORT
+      "exports" SIGNATURE                         -> SECTION
+      "hiddens" SIGNATURE                         -> SECTION
+      EQUATION-SECTION                            -> SECTION
+      "sorts" {SORT-REF ","}+                     -> SIGNATURE
+      "functions" FUNC-DECL+                      -> SIGNATURE
+      "variables" VAR-DECL+                       -> SIGNATURE
+      ID                                          -> SORT-REF
+      ID ":" {SORT-REF "#"}+ "->" SORT-REF        -> FUNC-DECL
+      ID ":" "->" SORT-REF                        -> FUNC-DECL
+      VAR-ID ":" SORT-REF                         -> VAR-DECL
+      "equations" EQUATION+                       -> EQUATION-SECTION
+      "[" NAT "]" TERM "=" TERM                   -> EQUATION
+      "[" NAT "]" COND+ "==>" TERM "=" TERM       -> EQUATION
+      TERM "=" TERM                               -> COND
+      ID                                          -> TERM
+      VAR-ID                                      -> TERM
+      NAT                                         -> TERM
+      STRING                                      -> TERM
+      ID "(" TERM-LIST ")"                        -> TERM
+      TERM "." ID                                 -> TERM
+      "(" TERM ")"                                -> TERM  {par}
+      {TERM ","}+                                 -> TERM-LIST
+      "if" TERM "then" TERM "else" TERM "fi"      -> TERM
+      "let" VAR-ID "be" TERM "in" TERM            -> TERM
+      TERM "where" VAR-ID "=" TERM                -> TERM  {right-assoc}
+      TERM "++" TERM                              -> TERM  {assoc}
+      TERM "--" TERM                              -> TERM  {left-assoc}
+      "sum" "(" TERM "," TERM ")"                 -> TERM
+      "product" "(" TERM "," TERM ")"             -> TERM
+      "head" "(" TERM ")"                         -> TERM
+      "tail" "(" TERM ")"                         -> TERM
+      "null" "(" TERM ")"                         -> TERM
+      "cons" "(" TERM "," TERM ")"                -> TERM
+      "append" "(" TERM "," TERM ")"              -> TERM
+      "reverse" "(" TERM ")"                      -> TERM
+      "length" "(" TERM ")"                       -> TERM
+      "member" "(" TERM "," TERM ")"              -> TERM
+      "union" "(" TERM "," TERM ")"               -> TERM
+      "intersection" "(" TERM "," TERM ")"        -> TERM
+      "difference" "(" TERM "," TERM ")"          -> TERM
+      "true"                                      -> TERM
+      "false"                                     -> TERM
+      "zero"                                      -> TERM
+      "succ" "(" TERM ")"                         -> TERM
+      "pred" "(" TERM ")"                         -> TERM
+      TERM "equals" TERM                          -> TERM
+      TERM "lt" TERM                              -> TERM
+      TERM "gt" TERM                              -> TERM
+      "case" TERM "of" {EQUATION ";"}+ "endcase"  -> TERM
+      "lambda" VAR-ID "." TERM                    -> TERM
+      "apply" "(" TERM "," TERM-LIST ")"          -> TERM
+      "tuple" "(" TERM-LIST ")"                   -> TERM
+      "project" "(" NAT "," TERM ")"              -> TERM
+      "map" "(" TERM "," TERM ")"                 -> TERM
+      "filter" "(" TERM "," TERM ")"              -> TERM
+      "foldl" "(" TERM "," TERM "," TERM ")"      -> TERM
+      "foldr" "(" TERM "," TERM "," TERM ")"      -> TERM
+      "zip" "(" TERM "," TERM ")"                 -> TERM
+      "domain" "(" TERM ")"                       -> TERM
+      "range" "(" TERM ")"                        -> TERM
+end ASF
+)sdf";
+
+} // namespace
+
+const std::vector<SdfSample> &ipg::sdfSamples() {
+  static const std::vector<SdfSample> Samples{
+      {"exp.sdf", ExpSdf, 37},
+      {"Exam.sdf", ExamSdf, 166},
+      {"SDF.sdf", SdfSdf, 342},
+      {"ASF.sdf", AsfSdf, 475},
+  };
+  return Samples;
+}

@@ -1,0 +1,34 @@
+//===- sdf/Samples.h - The four input sentences of §7 -----------*- C++ -*-===//
+///
+/// \file
+/// Re-authored stand-ins for the measurement inputs of §7: four SDF
+/// definitions of increasing size. The originals are lost; these are
+/// written to land close to the paper's token counts (37 / 166 / 342 /
+/// 475 — `exp.sdf`, `Exam.sdf`, `SDF.sdf`, `ASF.sdf`), with SDF.sdf being
+/// a faithful transcription of Appendix B (the SDF definition of SDF
+/// itself). EXPERIMENTS.md reports our measured counts next to the
+/// paper's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SDF_SAMPLES_H
+#define IPG_SDF_SAMPLES_H
+
+#include <string_view>
+#include <vector>
+
+namespace ipg {
+
+/// One measurement input.
+struct SdfSample {
+  std::string_view Name;       ///< e.g. "exp.sdf".
+  std::string_view Text;       ///< The SDF definition.
+  size_t PaperTokenCount;      ///< The token count reported in Fig 7.1.
+};
+
+/// The four samples, smallest first.
+const std::vector<SdfSample> &sdfSamples();
+
+} // namespace ipg
+
+#endif // IPG_SDF_SAMPLES_H

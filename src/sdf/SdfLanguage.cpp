@@ -1,0 +1,134 @@
+//===- sdf/SdfLanguage.cpp - The SDF grammar of SDF (Appendix B) ----------===//
+
+#include "sdf/SdfLanguage.h"
+
+#include "grammar/GrammarBuilder.h"
+
+using namespace ipg;
+
+SdfLanguage::SdfLanguage() {
+  GrammarBuilder B(G);
+  auto Tag = [&](RuleId Rule, SdfRuleKind Kind) { Kinds.emplace(Rule, Kind); };
+
+  // Token-class terminals produced by the SDF tokenizer.
+  SymbolId Id = B.symbol("ID");
+  SymbolId Literal = B.symbol("LITERAL");
+  SymbolId Iterator = B.symbol("ITERATOR");
+  SymbolId CharClass = B.symbol("CHAR-CLASS");
+
+  // SORT ::= ID.
+  Tag(B.rule("SORT", {"ID"}), SdfRuleKind::Sort);
+  SymbolId Sort = B.symbol("SORT");
+  SymbolId Comma = B.symbol(",");
+  SymbolId SortList = B.sepPlus(Sort, Comma); // {SORT ","}+
+
+  // SORTS-DECL ::= "sorts" {SORT ","}+ | ε.
+  Tag(B.rule("SORTS-DECL", {"sorts", "{SORT ,}+"}), SdfRuleKind::SortsDecl);
+  B.rule("SORTS-DECL", std::vector<std::string>{});
+
+  // LAYOUT ::= "layout" {SORT ","}+ | ε.
+  Tag(B.rule("LAYOUT", {"layout", "{SORT ,}+"}), SdfRuleKind::Layout);
+  B.rule("LAYOUT", std::vector<std::string>{});
+
+  // LEX-ELEM and LEXICAL-FUNCTION-DEF ::= LEX-ELEM+ "->" SORT.
+  Tag(B.rule("LEX-ELEM", {"SORT"}), SdfRuleKind::LexElemSort);
+  Tag(B.rule("LEX-ELEM", {"SORT", "ITERATOR"}), SdfRuleKind::LexElemIterated);
+  Tag(B.rule("LEX-ELEM", {"LITERAL"}), SdfRuleKind::LexElemLiteral);
+  Tag(B.rule("LEX-ELEM", {"CHAR-CLASS"}), SdfRuleKind::LexElemClass);
+  // Appendix B only iterates SORTs; iterated character classes ([a-z]+)
+  // are ubiquitous in practical SDF, so the grammar admits them too.
+  Tag(B.rule("LEX-ELEM", {"CHAR-CLASS", "ITERATOR"}),
+      SdfRuleKind::LexElemClassIterated);
+  Tag(B.rule("LEX-ELEM", {"-", "CHAR-CLASS"}), SdfRuleKind::LexElemNegClass);
+  B.plus(B.symbol("LEX-ELEM"));
+  Tag(B.rule("LEXICAL-FUNCTION-DEF", {"LEX-ELEM+", "->", "SORT"}),
+      SdfRuleKind::LexicalFunctionDef);
+  B.plus(B.symbol("LEXICAL-FUNCTION-DEF"));
+
+  // LEXICAL-FUNCTIONS ::= "functions" LEXICAL-FUNCTION-DEF+.
+  Tag(B.rule("LEXICAL-FUNCTIONS", {"functions", "LEXICAL-FUNCTION-DEF+"}),
+      SdfRuleKind::LexicalFunctions);
+
+  // LEXICAL-SYNTAX ::= "lexical" "syntax" SORTS-DECL LAYOUT
+  //                    LEXICAL-FUNCTIONS | ε.
+  Tag(B.rule("LEXICAL-SYNTAX", {"lexical", "syntax", "SORTS-DECL", "LAYOUT",
+                                "LEXICAL-FUNCTIONS"}),
+      SdfRuleKind::LexicalSyntax);
+  B.rule("LEXICAL-SYNTAX", std::vector<std::string>{});
+
+  // CF-ELEM.
+  Tag(B.rule("CF-ELEM", {"SORT"}), SdfRuleKind::CfElemSort);
+  Tag(B.rule("CF-ELEM", {"LITERAL"}), SdfRuleKind::CfElemLiteral);
+  Tag(B.rule("CF-ELEM", {"SORT", "ITERATOR"}), SdfRuleKind::CfElemIterated);
+  Tag(B.rule("CF-ELEM", {"{", "SORT", "LITERAL", "}", "ITERATOR"}),
+      SdfRuleKind::CfElemSepIterated);
+  SymbolId CfElem = B.symbol("CF-ELEM");
+  SymbolId CfElemPlus = B.plus(CfElem);
+  SymbolId CfElemStar = B.opt(CfElemPlus); // CF-ELEM* ≡ (CF-ELEM+)?
+
+  // ATTRIBUTES ::= "{" {ATTRIBUTE ","}+ "}" | ε.
+  B.rule("ATTRIBUTE", {"par"});
+  B.rule("ATTRIBUTE", {"assoc"});
+  B.rule("ATTRIBUTE", {"left-assoc"});
+  B.rule("ATTRIBUTE", {"right-assoc"});
+  B.sepPlus(B.symbol("ATTRIBUTE"), Comma);
+  B.rule("ATTRIBUTES", {"{", "{ATTRIBUTE ,}+", "}"});
+  B.rule("ATTRIBUTES", std::vector<std::string>{});
+
+  // FUNCTION-DEF ::= CF-ELEM* "->" SORT ATTRIBUTES.
+  Tag(B.rule("FUNCTION-DEF", {"CF-ELEM+?", "->", "SORT", "ATTRIBUTES"}),
+      SdfRuleKind::FunctionDef);
+  B.plus(B.symbol("FUNCTION-DEF"));
+  Tag(B.rule("FUNCTIONS", {"functions", "FUNCTION-DEF+"}),
+      SdfRuleKind::Functions);
+
+  // Priorities: ABBREV-F-DEF, ABBREV-F-LIST, PRIO-DEF.
+  B.rule("ABBREV-F-DEF", {"CF-ELEM+"});
+  B.rule("ABBREV-F-DEF", {"CF-ELEM+?", "->", "SORT"});
+  B.sepPlus(B.symbol("ABBREV-F-DEF"), Comma);
+  B.rule("ABBREV-F-LIST", {"ABBREV-F-DEF"});
+  B.rule("ABBREV-F-LIST", {"(", "{ABBREV-F-DEF ,}+", ")"});
+  SymbolId AbbrevList = B.symbol("ABBREV-F-LIST");
+  // PRIO-DEF ::= {ABBREV-F-LIST ">"}+ | {ABBREV-F-LIST "<"}2+ — the "<"
+  // chain needs two elements or the singleton would be ambiguous.
+  B.sepPlus(AbbrevList, B.symbol(">"));
+  B.rule("PRIO-DEF", {"{ABBREV-F-LIST >}+"});
+  B.rule("LT-CHAIN", {"ABBREV-F-LIST", "<", "ABBREV-F-LIST"});
+  B.rule("LT-CHAIN", {"LT-CHAIN", "<", "ABBREV-F-LIST"});
+  B.rule("PRIO-DEF", {"LT-CHAIN"});
+  B.sepPlus(B.symbol("PRIO-DEF"), Comma);
+  B.rule("PRIORITIES", {"priorities", "{PRIO-DEF ,}+"});
+  B.rule("PRIORITIES", std::vector<std::string>{});
+
+  // CONTEXT-FREE-SYNTAX ::= "context-free" "syntax" SORTS-DECL PRIORITIES
+  //                         FUNCTIONS.
+  Tag(B.rule("CONTEXT-FREE-SYNTAX",
+             {"context-free", "syntax", "SORTS-DECL", "PRIORITIES",
+              "FUNCTIONS"}),
+      SdfRuleKind::ContextFreeSyntax);
+
+  // SDF-DEFINITION ::= "module" ID "begin" LEXICAL-SYNTAX
+  //                    CONTEXT-FREE-SYNTAX "end" ID.
+  Tag(B.rule("SDF-DEFINITION", {"module", "ID", "begin", "LEXICAL-SYNTAX",
+                                "CONTEXT-FREE-SYNTAX", "end", "ID"}),
+      SdfRuleKind::Module);
+
+  B.rule("START", {"SDF-DEFINITION"});
+
+  (void)Id;
+  (void)Literal;
+  (void)Iterator;
+  (void)CharClass;
+  (void)SortList;
+  (void)CfElemStar;
+}
+
+std::pair<SymbolId, std::vector<SymbolId>>
+SdfLanguage::modificationRule() {
+  // §7: <CF-ELEM> ::= "(" <CF-ELEM>+ ")?"
+  SymbolTable &Symbols = G.symbols();
+  SymbolId CfElem = Symbols.intern("CF-ELEM");
+  return {CfElem,
+          {Symbols.intern("("), Symbols.intern("CF-ELEM+"),
+           Symbols.intern(")?")}};
+}

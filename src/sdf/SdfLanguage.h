@@ -1,0 +1,76 @@
+//===- sdf/SdfLanguage.h - The SDF grammar of SDF (Appendix B) --*- C++ -*-===//
+///
+/// \file
+/// The test grammar of §7: the context-free syntax of SDF itself, from
+/// Appendix B, desugared from SDF's iteration notation into plain BNF
+/// (X+ / X* / {X ","}+ become generated nonterminals, as the paper's
+/// "LR(1) version" of the grammar must also have done).
+///
+/// Two deliberate deviations keep the grammar deterministic under
+/// LALR(1)+Yacc resolution, mirroring the paper's unpublished LR(1)
+/// version (see DESIGN.md): the "<"-chain of PRIO-DEF requires at least
+/// one "<" (a single ABBREV-F-LIST is already derived by the ">" chain),
+/// and X* is desugared as (X+)? so the +/* pair shares one recursion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SDF_SDFLANGUAGE_H
+#define IPG_SDF_SDFLANGUAGE_H
+
+#include "grammar/Grammar.h"
+
+#include <unordered_map>
+
+namespace ipg {
+
+/// What an SDF syntax rule means to the tree walker.
+enum class SdfRuleKind {
+  Other,
+  Module,            ///< "module" ID "begin" ... "end" ID.
+  LexicalSyntax,     ///< Populated lexical section.
+  ContextFreeSyntax, ///< Populated context-free section.
+  SortsDecl,         ///< "sorts" {SORT ","}+.
+  Layout,            ///< "layout" {SORT ","}+.
+  LexicalFunctions,  ///< "functions" LEXICAL-FUNCTION-DEF+.
+  LexicalFunctionDef,///< LEX-ELEM+ "->" SORT.
+  LexElemSort,       ///< SORT.
+  LexElemIterated,   ///< SORT ITERATOR.
+  LexElemLiteral,    ///< LITERAL.
+  LexElemClass,      ///< CHAR-CLASS.
+  LexElemClassIterated, ///< CHAR-CLASS ITERATOR (see note below).
+  LexElemNegClass,   ///< "-" CHAR-CLASS.
+  Functions,         ///< "functions" FUNCTION-DEF+.
+  FunctionDef,       ///< CF-ELEM* "->" SORT ATTRIBUTES.
+  CfElemSort,        ///< SORT.
+  CfElemLiteral,     ///< LITERAL.
+  CfElemIterated,    ///< SORT ITERATOR.
+  CfElemSepIterated, ///< "{" SORT LITERAL "}" ITERATOR.
+  Sort               ///< SORT ::= ID.
+};
+
+/// Owns the SDF grammar and classifies its rules for tree walking.
+class SdfLanguage {
+public:
+  SdfLanguage();
+
+  Grammar &grammar() { return G; }
+  const Grammar &grammar() const { return G; }
+
+  SdfRuleKind kindOf(RuleId Rule) const {
+    auto It = Kinds.find(Rule);
+    return It == Kinds.end() ? SdfRuleKind::Other : It->second;
+  }
+
+  /// The Fig 7.1 modification: CF-ELEM ::= "(" CF-ELEM+ ")?" as
+  /// (LHS, RHS) symbol ids, ready for addRule/deleteRule. Non-const:
+  /// interning ")?" extends the symbol table.
+  std::pair<SymbolId, std::vector<SymbolId>> modificationRule();
+
+private:
+  Grammar G;
+  std::unordered_map<RuleId, SdfRuleKind> Kinds;
+};
+
+} // namespace ipg
+
+#endif // IPG_SDF_SDFLANGUAGE_H

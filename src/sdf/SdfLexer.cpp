@@ -1,0 +1,38 @@
+//===- sdf/SdfLexer.cpp - Tokenizer for SDF definitions -------------------===//
+
+#include "sdf/SdfLexer.h"
+
+#include <cassert>
+
+using namespace ipg;
+
+void ipg::configureSdfScanner(Scanner &S) {
+  // Keywords first: on equal-length matches the earlier rule wins, so
+  // "sorts" scans as the keyword, while "sortsOfThings" scans as ID
+  // (longest match).
+  for (const char *Keyword :
+       {"module", "begin", "end", "lexical", "syntax", "sorts", "layout",
+        "functions", "context-free", "priorities", "par", "assoc",
+        "left-assoc", "right-assoc"})
+    S.addLiteral(Keyword);
+
+  // Punctuation.
+  for (const char *Punct : {"->", "{", "}", "(", ")", ",", ">", "<", "-"})
+    S.addLiteral(Punct);
+
+  auto Must = [](Expected<bool> R) {
+    assert(R && "SDF token pattern must parse");
+    (void)R;
+  };
+  // Token classes, named after the SdfLanguage terminals.
+  Must(S.addRule("[a-zA-Z][a-zA-Z0-9\\-_]*", "ID"));
+  Must(S.addRule("\"([^\"\\\\\n]|\\\\.)*\"", "LITERAL"));
+  Must(S.addRule("[+*]", "ITERATOR"));
+  Must(S.addRule("\\[([^\\]\\\\\n]|\\\\.)*\\]", "CHAR-CLASS"));
+
+  // Layout: whitespace and `--` comments to end of line (Appendix B).
+  S.addWhitespaceLayout();
+  Must(S.addRule("--[^\n]*", "COMMENT", /*IsLayout=*/true));
+
+  S.compile();
+}

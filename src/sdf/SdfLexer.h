@@ -1,0 +1,27 @@
+//===- sdf/SdfLexer.h - Tokenizer for SDF definitions -----------*- C++ -*-===//
+///
+/// \file
+/// Configures a Scanner with the lexical syntax of SDF (Appendix B):
+/// keywords, punctuation, ID, LITERAL, ITERATOR, CHAR-CLASS, whitespace
+/// and `--` comments as layout. Token kinds match the terminal names of
+/// SdfLanguage, so the scanner output feeds the SDF parser directly.
+///
+/// §7 bypasses scanning ("the input of all parsers was a stream of
+/// lexical tokens already in memory"); the benchmarks therefore tokenize
+/// once up front and reuse the streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SDF_SDFLEXER_H
+#define IPG_SDF_SDFLEXER_H
+
+#include "lexer/Scanner.h"
+
+namespace ipg {
+
+/// Adds the SDF token rules to \p S and compiles it.
+void configureSdfScanner(Scanner &S);
+
+} // namespace ipg
+
+#endif // IPG_SDF_SDFLEXER_H

@@ -1,0 +1,323 @@
+//===- sdf/SdfToGrammar.cpp - SDF definitions into live parsers -----------===//
+
+#include "sdf/SdfToGrammar.h"
+
+#include "grammar/GrammarBuilder.h"
+
+#include <map>
+#include <set>
+
+using namespace ipg;
+
+namespace {
+
+/// Tree walker over an SDF parse tree.
+class Converter {
+public:
+  Converter(const SdfLanguage &Lang, const std::vector<ScannedToken> &Tokens,
+            Grammar &Target, Scanner *TargetScanner)
+      : Lang(Lang), Tokens(Tokens), Builder(Target),
+        TargetScanner(TargetScanner) {}
+
+  Expected<SdfConversion> run(const TreeNode *Root) {
+    // Root is START ::= SDF-DEFINITION.
+    if (Root == nullptr || Root->Children.empty())
+      return Error("empty SDF parse tree");
+    const TreeNode *Module = Root->Children[0];
+    if (Lang.kindOf(Module->Rule) != SdfRuleKind::Module)
+      return Error("parse tree does not start with an SDF module");
+
+    Result.ModuleName = leafText(Module->Children[1]);
+    const TreeNode *Lexical = Module->Children[3];
+    const TreeNode *ContextFree = Module->Children[4];
+
+    if (Lang.kindOf(Lexical->Rule) == SdfRuleKind::LexicalSyntax)
+      collectLexical(Lexical);
+    if (Lang.kindOf(ContextFree->Rule) != SdfRuleKind::ContextFreeSyntax)
+      return Error("module has no context-free syntax section");
+    if (Expected<bool> R = convertContextFree(ContextFree); !R)
+      return R.error();
+
+    if (TargetScanner != nullptr)
+      if (Expected<bool> R = buildScanner(); !R)
+        return R.error();
+    return Result;
+  }
+
+private:
+  /// The lexeme of the leftmost token under \p Node.
+  std::string leafText(const TreeNode *Node) const {
+    while (Node != nullptr && !Node->isLeaf())
+      Node = Node->Children.empty() ? nullptr : Node->Children[0];
+    if (Node == nullptr)
+      return "";
+    return Tokens[Node->TokenIndex].Text;
+  }
+
+  /// Flattens the left-recursive X+ / {X S}+ helper lists into elements.
+  void flattenList(const TreeNode *Node, std::vector<const TreeNode *> &Out) {
+    if (Node == nullptr)
+      return;
+    if (Node->Children.size() == 1) {
+      Out.push_back(Node->Children[0]);
+      return;
+    }
+    if (!Node->Children.empty()) {
+      flattenList(Node->Children[0], Out);
+      Out.push_back(Node->Children.back());
+    }
+  }
+
+  /// Unquotes an SDF LITERAL lexeme ("ab\"c" -> ab"c).
+  static std::string unquote(const std::string &Lexeme) {
+    std::string Text;
+    for (size_t I = 1; I + 1 < Lexeme.size(); ++I) {
+      if (Lexeme[I] == '\\' && I + 2 < Lexeme.size())
+        ++I;
+      Text += Lexeme[I];
+    }
+    return Text;
+  }
+
+  /// Escapes regex metacharacters so a literal matches itself.
+  static std::string escapeRegex(const std::string &Text) {
+    std::string Out;
+    for (char C : Text) {
+      if (std::string_view("()[]|*+?.\\").find(C) != std::string_view::npos)
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  }
+
+  // --- Context-free section ---------------------------------------------
+
+  Expected<bool> convertContextFree(const TreeNode *Section) {
+    // Children: "context-free" "syntax" SORTS-DECL PRIORITIES FUNCTIONS.
+    const TreeNode *SortsDecl = Section->Children[2];
+    const TreeNode *Functions = Section->Children[4];
+
+    if (Lang.kindOf(SortsDecl->Rule) == SdfRuleKind::SortsDecl) {
+      std::vector<const TreeNode *> Sorts;
+      flattenList(SortsDecl->Children[1], Sorts);
+      if (!Sorts.empty())
+        StartSort = leafText(Sorts.front());
+    }
+    if (Lang.kindOf(Functions->Rule) != SdfRuleKind::Functions)
+      return Error("module declares no context-free functions");
+
+    std::vector<const TreeNode *> Defs;
+    flattenList(Functions->Children[1], Defs);
+    for (const TreeNode *Def : Defs)
+      if (Expected<bool> R = convertFunctionDef(Def); !R)
+        return R.error();
+
+    if (StartSort.empty())
+      return Error("cannot determine a start sort");
+    Builder.rule("START", {StartSort});
+    return true;
+  }
+
+  Expected<bool> convertFunctionDef(const TreeNode *Def) {
+    // Children: CF-ELEM+? "->" SORT ATTRIBUTES.
+    std::string Lhs = leafText(Def->Children[2]);
+    if (StartSort.empty())
+      StartSort = Lhs;
+    CfSorts.insert(Lhs);
+
+    std::vector<const TreeNode *> Elems;
+    const TreeNode *OptList = Def->Children[0];
+    if (!OptList->Children.empty()) // (CF-ELEM+)? was non-empty.
+      flattenList(OptList->Children[0], Elems);
+
+    std::vector<SymbolId> Rhs;
+    for (const TreeNode *Elem : Elems) {
+      switch (Lang.kindOf(Elem->Rule)) {
+      case SdfRuleKind::CfElemSort: {
+        std::string Name = leafText(Elem);
+        CfSorts.insert(Name);
+        Rhs.push_back(Builder.symbol(Name));
+        break;
+      }
+      case SdfRuleKind::CfElemLiteral: {
+        std::string Text = unquote(leafText(Elem));
+        Keywords.insert(Text);
+        Rhs.push_back(Builder.symbol(Text));
+        break;
+      }
+      case SdfRuleKind::CfElemIterated: {
+        std::string Name = leafText(Elem->Children[0]);
+        CfSorts.insert(Name);
+        SymbolId Sort = Builder.symbol(Name);
+        bool IsPlus = leafText(Elem->Children[1]) == "+";
+        Rhs.push_back(IsPlus ? Builder.plus(Sort) : Builder.star(Sort));
+        break;
+      }
+      case SdfRuleKind::CfElemSepIterated: {
+        std::string Name = leafText(Elem->Children[1]);
+        std::string Sep = unquote(leafText(Elem->Children[2]));
+        CfSorts.insert(Name);
+        Keywords.insert(Sep);
+        SymbolId Sort = Builder.symbol(Name);
+        SymbolId SepSym = Builder.symbol(Sep);
+        bool IsPlus = leafText(Elem->Children[4]) == "+";
+        Rhs.push_back(IsPlus ? Builder.sepPlus(Sort, SepSym)
+                             : Builder.sepStar(Sort, SepSym));
+        break;
+      }
+      default:
+        return Error("unrecognized CF-ELEM form in function definition");
+      }
+    }
+    Builder.rule(Builder.symbol(Lhs), std::move(Rhs));
+    ++Result.NumCfRules;
+    return true;
+  }
+
+  // --- Lexical section ----------------------------------------------------
+
+  void collectLexical(const TreeNode *Section) {
+    // Children: "lexical" "syntax" SORTS-DECL LAYOUT LEXICAL-FUNCTIONS.
+    const TreeNode *Layout = Section->Children[3];
+    if (Lang.kindOf(Layout->Rule) == SdfRuleKind::Layout) {
+      std::vector<const TreeNode *> Sorts;
+      flattenList(Layout->Children[1], Sorts);
+      for (const TreeNode *Sort : Sorts)
+        LayoutSorts.insert(leafText(Sort));
+    }
+    const TreeNode *Functions = Section->Children[4];
+    if (Lang.kindOf(Functions->Rule) != SdfRuleKind::LexicalFunctions)
+      return;
+    std::vector<const TreeNode *> Defs;
+    flattenList(Functions->Children[1], Defs);
+    for (const TreeNode *Def : Defs) {
+      // LEX-ELEM+ "->" SORT.
+      std::string Sort = leafText(Def->Children[2]);
+      std::vector<const TreeNode *> Elems;
+      flattenList(Def->Children[0], Elems);
+      LexDefs[Sort].push_back(Elems);
+    }
+  }
+
+  /// Composes the regex for a lexical sort; empty string on cycles.
+  std::string regexOfSort(const std::string &Sort,
+                          std::set<std::string> &OnStack) {
+    auto Memo = SortRegex.find(Sort);
+    if (Memo != SortRegex.end())
+      return Memo->second;
+    auto Defs = LexDefs.find(Sort);
+    if (Defs == LexDefs.end()) {
+      Result.Warnings.push_back("lexical sort '" + Sort +
+                                "' has no definition");
+      return "";
+    }
+    if (!OnStack.insert(Sort).second) {
+      Result.Warnings.push_back("recursive lexical sort '" + Sort +
+                                "' is not regular; skipped");
+      return "";
+    }
+    std::string Alternatives;
+    for (const std::vector<const TreeNode *> &Elems : Defs->second) {
+      std::string Seq;
+      bool Ok = true;
+      for (const TreeNode *Elem : Elems) {
+        std::string Part = regexOfElem(Elem, OnStack);
+        if (Part.empty()) {
+          Ok = false;
+          break;
+        }
+        Seq += Part;
+      }
+      if (!Ok)
+        continue;
+      if (!Alternatives.empty())
+        Alternatives += "|";
+      Alternatives += Seq;
+    }
+    OnStack.erase(Sort);
+    std::string Regex =
+        Alternatives.empty() ? std::string() : "(" + Alternatives + ")";
+    SortRegex.emplace(Sort, Regex);
+    return Regex;
+  }
+
+  std::string regexOfElem(const TreeNode *Elem,
+                          std::set<std::string> &OnStack) {
+    switch (Lang.kindOf(Elem->Rule)) {
+    case SdfRuleKind::LexElemClass:
+      return leafText(Elem); // CHAR-CLASS lexemes are regex classes.
+    case SdfRuleKind::LexElemClassIterated:
+      return leafText(Elem->Children[0]) + leafText(Elem->Children[1]);
+    case SdfRuleKind::LexElemNegClass: {
+      std::string Class = leafText(Elem->Children[1]);
+      return Class.size() >= 2 ? "[^" + Class.substr(1) : "";
+    }
+    case SdfRuleKind::LexElemLiteral:
+      return escapeRegex(unquote(leafText(Elem)));
+    case SdfRuleKind::LexElemSort:
+      return regexOfSort(leafText(Elem), OnStack);
+    case SdfRuleKind::LexElemIterated: {
+      std::string Inner = regexOfSort(leafText(Elem->Children[0]), OnStack);
+      if (Inner.empty())
+        return "";
+      return Inner + leafText(Elem->Children[1]);
+    }
+    default:
+      return "";
+    }
+  }
+
+  Expected<bool> buildScanner() {
+    // Keywords first (priority over identifier-like tokens).
+    for (const std::string &Keyword : Keywords) {
+      TargetScanner->addLiteral(Keyword);
+      ++Result.NumLexRules;
+    }
+    // Token sorts: lexical sorts referenced from the context-free section.
+    std::set<std::string> OnStack;
+    for (const auto &[Sort, Defs] : LexDefs) {
+      (void)Defs;
+      if (!CfSorts.count(Sort) || LayoutSorts.count(Sort))
+        continue;
+      std::string Regex = regexOfSort(Sort, OnStack);
+      if (Regex.empty())
+        continue;
+      if (Expected<bool> R = TargetScanner->addRule(Regex, Sort); !R)
+        return Error("token sort '" + Sort + "': " + R.error().Message);
+      ++Result.NumLexRules;
+    }
+    // Layout sorts are scanned and dropped.
+    for (const std::string &Sort : LayoutSorts) {
+      std::string Regex = regexOfSort(Sort, OnStack);
+      if (Regex.empty())
+        continue;
+      if (Expected<bool> R = TargetScanner->addRule(Regex, Sort, true); !R)
+        return Error("layout sort '" + Sort + "': " + R.error().Message);
+      ++Result.NumLexRules;
+    }
+    TargetScanner->compile();
+    return true;
+  }
+
+  const SdfLanguage &Lang;
+  const std::vector<ScannedToken> &Tokens;
+  GrammarBuilder Builder;
+  Scanner *TargetScanner;
+  SdfConversion Result;
+
+  std::string StartSort;
+  std::set<std::string> CfSorts;
+  std::set<std::string> Keywords;
+  std::set<std::string> LayoutSorts;
+  std::map<std::string, std::vector<std::vector<const TreeNode *>>> LexDefs;
+  std::map<std::string, std::string> SortRegex;
+};
+
+} // namespace
+
+Expected<SdfConversion>
+ipg::convertSdfDefinition(const SdfLanguage &Lang, const TreeNode *Root,
+                          const std::vector<ScannedToken> &Tokens,
+                          Grammar &Target, Scanner *TargetScanner) {
+  return Converter(Lang, Tokens, Target, TargetScanner).run(Root);
+}

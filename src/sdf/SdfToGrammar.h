@@ -1,0 +1,49 @@
+//===- sdf/SdfToGrammar.h - SDF definitions into live parsers ---*- C++ -*-===//
+///
+/// \file
+/// Turns a *parsed* SDF definition into a working front end for the
+/// defined language: the context-free section becomes a Grammar (iteration
+/// and separated-list constructs desugared exactly like SdfLanguage), and
+/// the lexical section becomes Scanner rules (character classes and
+/// literals composed into regexes, layout sorts dropped from the token
+/// stream). This is the pipeline behind the paper's universal
+/// syntax-directed editor [Log88]: editor syntax in SDF, scanner and
+/// parser generated on the fly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SDF_SDFTOGRAMMAR_H
+#define IPG_SDF_SDFTOGRAMMAR_H
+
+#include "grammar/Tree.h"
+#include "lexer/Scanner.h"
+#include "sdf/SdfLanguage.h"
+
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// Summary of one conversion.
+struct SdfConversion {
+  std::string ModuleName;
+  size_t NumCfRules = 0;   ///< Rules added to the target grammar.
+  size_t NumLexRules = 0;  ///< Scanner rules (tokens + layout + keywords).
+  std::vector<std::string> Warnings;
+};
+
+/// Converts the SDF parse tree \p Root (built against \p Lang, with leaf
+/// text in \p Tokens) into \p Target. When \p TargetScanner is non-null
+/// the lexical section and the keyword literals are compiled into it
+/// (compile() is called — add no further rules).
+///
+/// The target start symbol: START ::= S for the first sort declared in
+/// the context-free sorts section (or the first function's result sort).
+Expected<SdfConversion>
+convertSdfDefinition(const SdfLanguage &Lang, const TreeNode *Root,
+                     const std::vector<ScannedToken> &Tokens, Grammar &Target,
+                     Scanner *TargetScanner = nullptr);
+
+} // namespace ipg
+
+#endif // IPG_SDF_SDFTOGRAMMAR_H

@@ -1,0 +1,102 @@
+//===- support/Bitset.h - Growable bitset -----------------------*- C++ -*-===//
+///
+/// \file
+/// A dynamically sized bitset used for FIRST/FOLLOW sets and the LALR(1)
+/// digraph computation. Unlike std::bitset the size is a runtime value;
+/// unlike std::vector<bool> it supports word-at-a-time union with change
+/// detection, which is what the fixpoint loops need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_BITSET_H
+#define IPG_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipg {
+
+/// Growable bitset with change-detecting union.
+class Bitset {
+public:
+  Bitset() = default;
+  explicit Bitset(size_t Size) : Words((Size + 63) / 64), NumBits(Size) {}
+
+  size_t size() const { return NumBits; }
+
+  void resize(size_t Size) {
+    Words.resize((Size + 63) / 64);
+    NumBits = Size;
+  }
+
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits && "bit index out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  /// Sets \p Bit; returns true if the bit was previously clear.
+  bool set(size_t Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    uint64_t Mask = uint64_t(1) << (Bit % 64);
+    bool Changed = !(Words[Bit / 64] & Mask);
+    Words[Bit / 64] |= Mask;
+    return Changed;
+  }
+
+  void reset(size_t Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[Bit / 64] &= ~(uint64_t(1) << (Bit % 64));
+  }
+
+  void clear() {
+    for (uint64_t &Word : Words)
+      Word = 0;
+  }
+
+  /// Unions \p Other into this set; returns true if any bit changed.
+  bool unionWith(const Bitset &Other) {
+    assert(Other.NumBits == NumBits && "bitset size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I < Words.size(); ++I) {
+      uint64_t Merged = Words[I] | Other.Words[I];
+      if (Merged != Words[I]) {
+        Words[I] = Merged;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  size_t count() const {
+    size_t Total = 0;
+    for (uint64_t Word : Words)
+      Total += __builtin_popcountll(Word);
+    return Total;
+  }
+
+  bool operator==(const Bitset &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  /// Calls \p Fn with the index of every set bit, in increasing order.
+  template <typename FnT> void forEach(FnT &&Fn) const {
+    for (size_t WordIdx = 0; WordIdx < Words.size(); ++WordIdx) {
+      uint64_t Word = Words[WordIdx];
+      while (Word) {
+        unsigned Bit = __builtin_ctzll(Word);
+        Fn(WordIdx * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_BITSET_H

@@ -1,0 +1,76 @@
+//===- support/Expected.h - Lightweight error-or-value type ----*- C++ -*-===//
+///
+/// \file
+/// A minimal Expected<T>: either a value or a textual error. The library is
+/// built without exceptions, so fallible constructors and readers return
+/// Expected and callers must test before dereferencing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_EXPECTED_H
+#define IPG_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ipg {
+
+/// A textual error with an optional source location (line/column are
+/// 1-based; 0 means "not applicable").
+struct Error {
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  Error() = default;
+  explicit Error(std::string Msg, unsigned Line = 0, unsigned Column = 0)
+      : Message(std::move(Msg)), Line(Line), Column(Column) {}
+
+  /// Renders "line:col: message" (or just the message without a location).
+  std::string str() const {
+    if (Line == 0)
+      return Message;
+    return std::to_string(Line) + ":" + std::to_string(Column) + ": " +
+           Message;
+  }
+};
+
+/// Either a T or an Error. Test with operator bool before dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error E) : Storage(std::move(E)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Error &error() const {
+    assert(!*this && "reading the error of a value Expected");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out; only valid when the Expected holds a value.
+  T take() {
+    assert(*this && "taking from an error Expected");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_EXPECTED_H

@@ -1,0 +1,44 @@
+//===- support/Hashing.h - Hash combinators ---------------------*- C++ -*-===//
+///
+/// \file
+/// FNV-1a based hashing helpers used for kernel indices, packing maps and
+/// memo tables throughout the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_HASHING_H
+#define IPG_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ipg {
+
+/// 64-bit FNV-1a over raw bytes.
+inline uint64_t hashBytes(const void *Data, size_t Size,
+                          uint64_t Seed = 0xcbf29ce484222325ULL) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+/// Mixes a new 64-bit value into an existing hash. The seed is stirred
+/// first so that combine(a, b) and combine(b, a) differ even when the
+/// values share low bytes.
+inline uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
+  uint64_t Stirred = (Hash ^ 0x9e3779b97f4a7c15ULL) * 0x100000001b3ULL;
+  return hashBytes(&Value, sizeof(Value), Stirred);
+}
+
+inline uint64_t hashString(std::string_view Str) {
+  return hashBytes(Str.data(), Str.size());
+}
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_HASHING_H

@@ -1,0 +1,73 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace ipg;
+
+std::vector<std::string_view> ipg::splitOnAny(std::string_view Text,
+                                              std::string_view Separators) {
+  std::vector<std::string_view> Pieces;
+  size_t Begin = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    bool AtEnd = I == Text.size();
+    if (!AtEnd && Separators.find(Text[I]) == std::string_view::npos)
+      continue;
+    if (I > Begin)
+      Pieces.push_back(Text.substr(Begin, I - Begin));
+    Begin = I + 1;
+  }
+  return Pieces;
+}
+
+std::vector<std::string_view> ipg::splitWords(std::string_view Text) {
+  return splitOnAny(Text, " \t\r\n");
+}
+
+std::string ipg::join(const std::vector<std::string> &Parts,
+                      std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string_view ipg::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() && std::isspace((unsigned char)Text[Begin]))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace((unsigned char)Text[End - 1]))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool ipg::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string ipg::padLeft(std::string_view Text, size_t Width) {
+  std::string Result(Text);
+  while (Result.size() < Width)
+    Result.insert(Result.begin(), ' ');
+  return Result;
+}
+
+std::string ipg::padRight(std::string_view Text, size_t Width) {
+  std::string Result(Text);
+  while (Result.size() < Width)
+    Result.push_back(' ');
+  return Result;
+}
+
+std::string ipg::formatSeconds(double Seconds, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Seconds);
+  return Buffer;
+}

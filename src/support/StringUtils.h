@@ -1,0 +1,45 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizing, joining and formatting helpers shared by the grammar readers,
+/// the diagnostics and the benchmark table printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_STRINGUTILS_H
+#define IPG_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipg {
+
+/// Splits \p Text on any character in \p Separators, dropping empty pieces.
+std::vector<std::string_view> splitOnAny(std::string_view Text,
+                                         std::string_view Separators);
+
+/// Splits \p Text into whitespace-separated words.
+std::vector<std::string_view> splitWords(std::string_view Text);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// True if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Left-pads \p Text with spaces to at least \p Width columns.
+std::string padLeft(std::string_view Text, size_t Width);
+
+/// Right-pads \p Text with spaces to at least \p Width columns.
+std::string padRight(std::string_view Text, size_t Width);
+
+/// Formats seconds as a fixed-point string, e.g. "0.0123".
+std::string formatSeconds(double Seconds, int Precision = 4);
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,54 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+///
+/// \file
+/// Small chrono wrappers used by the benchmark harness: a stopwatch and a
+/// median-of-N runner. Benchmarks report medians to damp scheduler noise,
+/// standing in for the paper's "LeLisp garbage collections were only allowed
+/// between measurements" discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_TIMER_H
+#define IPG_SUPPORT_TIMER_H
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace ipg {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Stopwatch {
+public:
+  Stopwatch() { reset(); }
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn \p Reps times and returns the median wall-clock seconds.
+template <typename FnT> double medianSeconds(int Reps, FnT &&Fn) {
+  std::vector<double> Samples;
+  Samples.reserve(Reps);
+  for (int I = 0; I < Reps; ++I) {
+    Stopwatch Watch;
+    Fn();
+    Samples.push_back(Watch.seconds());
+  }
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_TIMER_H

@@ -1,0 +1,78 @@
+//===- tests/common/GraphCanon.h - Canonical graph comparison ---*- C++ -*-===//
+///
+/// \file
+/// Canonicalizes the reachable part of a graph of item sets into a
+/// grammar-instance-independent structure (kernels and labels rendered as
+/// strings), so that graphs produced by different generation disciplines —
+/// eager, lazy, incremental-after-edits — can be compared for isomorphism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_COMMON_GRAPHCANON_H
+#define IPG_TESTS_COMMON_GRAPHCANON_H
+
+#include "lr/ItemSetGraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ipg::testing {
+
+/// Canonical form of one item set.
+struct CanonState {
+  std::map<std::string, std::string> Transitions; ///< label -> kernel key.
+  std::set<std::string> Reductions;
+  bool Accepting = false;
+
+  bool operator==(const CanonState &O) const {
+    return Transitions == O.Transitions && Reductions == O.Reductions &&
+           Accepting == O.Accepting;
+  }
+};
+
+/// Canonical form of a whole reachable graph, keyed by kernel.
+using CanonGraph = std::map<std::string, CanonState>;
+
+inline std::string canonKernel(const Kernel &K, const Grammar &G) {
+  std::vector<std::string> Parts;
+  for (const Item &I : K)
+    Parts.push_back(itemToString(I, G));
+  std::sort(Parts.begin(), Parts.end());
+  std::string Key;
+  for (const std::string &Part : Parts)
+    Key += Part + " | ";
+  return Key;
+}
+
+/// Expands (lazily, on demand) and canonicalizes everything reachable from
+/// the start set.
+inline CanonGraph canonicalize(ItemSetGraph &Graph) {
+  const Grammar &G = Graph.grammar();
+  CanonGraph Result;
+  std::vector<ItemSet *> Worklist{Graph.startSet()};
+  std::set<const ItemSet *> Seen{Graph.startSet()};
+  while (!Worklist.empty()) {
+    ItemSet *State = Worklist.back();
+    Worklist.pop_back();
+    Graph.ensureComplete(State);
+    CanonState Canon;
+    Canon.Accepting = State->isAccepting();
+    for (RuleId Rule : State->reductions())
+      Canon.Reductions.insert(G.ruleToString(Rule));
+    for (const ItemSet::Transition &T : State->transitions()) {
+      Canon.Transitions[G.symbols().name(T.Label)] =
+          canonKernel(T.Target->kernel(), G);
+      if (Seen.insert(T.Target).second)
+        Worklist.push_back(T.Target);
+    }
+    Result[canonKernel(State->kernel(), G)] = std::move(Canon);
+  }
+  return Result;
+}
+
+} // namespace ipg::testing
+
+#endif // IPG_TESTS_COMMON_GRAPHCANON_H

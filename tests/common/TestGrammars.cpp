@@ -1,0 +1,240 @@
+//===- tests/common/TestGrammars.cpp - Shared test fixtures ---------------===//
+
+#include "common/TestGrammars.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+void ipg::testing::buildBooleans(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("B", {"true"});
+  B.rule("B", {"false"});
+  B.rule("B", {"B", "or", "B"});
+  B.rule("B", {"B", "and", "B"});
+  B.rule("START", {"B"});
+}
+
+void ipg::testing::buildFig62(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("START", {"E"});
+  B.rule("E", {"c", "C"});
+  B.rule("C", {"B"});
+  B.rule("START", {"D"});
+  B.rule("D", {"a", "A"});
+  B.rule("A", {"B"});
+  B.rule("B", {"b"});
+}
+
+void ipg::testing::buildAmbiguousExpr(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("E", {"E", "+", "E"});
+  B.rule("E", {"a"});
+  B.rule("START", {"E"});
+}
+
+void ipg::testing::buildAnBn(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S", "b"});
+  B.rule("S", {});
+  B.rule("START", {"S"});
+}
+
+void ipg::testing::buildPalindromes(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S", "a"});
+  B.rule("S", {"b", "S", "b"});
+  B.rule("S", {"a"});
+  B.rule("S", {"b"});
+  B.rule("S", {});
+  B.rule("START", {"S"});
+}
+
+void ipg::testing::buildEpsilonChains(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("S", {"A", "B", "C", "x"});
+  B.rule("A", {});
+  B.rule("A", {"a"});
+  B.rule("B", {});
+  B.rule("B", {"b"});
+  B.rule("C", {});
+  B.rule("C", {"c"});
+  B.rule("START", {"S"});
+}
+
+void ipg::testing::buildCyclic(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("A", {"A"});
+  B.rule("A", {"a"});
+  B.rule("START", {"A"});
+}
+
+void ipg::testing::buildArith(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("E", {"E", "+", "T"});
+  B.rule("E", {"T"});
+  B.rule("T", {"T", "*", "F"});
+  B.rule("T", {"F"});
+  B.rule("F", {"(", "E", ")"});
+  B.rule("F", {"id"});
+  B.rule("START", {"E"});
+}
+
+void ipg::testing::buildDanglingElse(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("S", {"if", "E", "then", "S"});
+  B.rule("S", {"if", "E", "then", "S", "else", "S"});
+  B.rule("S", {"other"});
+  B.rule("E", {"cond"});
+  B.rule("START", {"S"});
+}
+
+std::vector<SymbolId>
+ipg::testing::tokens(const Grammar &G,
+                     const std::vector<std::string> &Spellings) {
+  std::vector<SymbolId> Result;
+  Result.reserve(Spellings.size());
+  for (const std::string &Spelling : Spellings) {
+    SymbolId Sym = G.symbols().lookup(Spelling);
+    assert(Sym != InvalidSymbol && "token spelling not in grammar");
+    Result.push_back(Sym);
+  }
+  return Result;
+}
+
+std::vector<SymbolId> ipg::testing::sentence(const Grammar &G,
+                                             const std::string &Text) {
+  std::vector<std::string> Spellings;
+  for (std::string_view Word : splitWords(Text))
+    Spellings.emplace_back(Word);
+  return tokens(G, Spellings);
+}
+
+namespace {
+
+/// Picks, for each nonterminal, the rule whose expansion terminates
+/// fastest (fewest nonterminals, then shortest) — used to force random
+/// derivations to converge.
+std::vector<RuleId> cheapestRules(const Grammar &G) {
+  std::vector<RuleId> Cheapest(G.symbols().size(), InvalidRule);
+  auto Cost = [&](RuleId Id) {
+    const Rule &R = G.rule(Id);
+    size_t Nonterminals = 0;
+    for (SymbolId Sym : R.Rhs)
+      Nonterminals += G.symbols().isNonterminal(Sym);
+    return Nonterminals * 100 + R.Rhs.size();
+  };
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+    for (RuleId Id : G.rulesFor(Sym))
+      if (Cheapest[Sym] == InvalidRule || Cost(Id) < Cost(Cheapest[Sym]))
+        Cheapest[Sym] = Id;
+  }
+  return Cheapest;
+}
+
+/// Randomly derives a sentence from \p Target, capped in length.
+std::vector<SymbolId> derive(const Grammar &G, SymbolId Target, Prng &Rng,
+                             const std::vector<RuleId> &Cheapest,
+                             size_t MaxLen = 40) {
+  std::vector<SymbolId> Sentential{Target};
+  size_t Budget = 200;
+  while (Budget-- > 0) {
+    // Find the leftmost nonterminal.
+    size_t At = Sentential.size();
+    for (size_t I = 0; I < Sentential.size(); ++I)
+      if (G.symbols().isNonterminal(Sentential[I])) {
+        At = I;
+        break;
+      }
+    if (At == Sentential.size())
+      return Sentential; // All terminals.
+    SymbolId N = Sentential[At];
+    const std::vector<RuleId> &Rules = G.rulesFor(N);
+    RuleId Pick = (Sentential.size() > MaxLen || Budget < 50)
+                      ? Cheapest[N]
+                      : Rules[Rng.below(Rules.size())];
+    const Rule &R = G.rule(Pick);
+    Sentential.erase(Sentential.begin() + At);
+    Sentential.insert(Sentential.begin() + At, R.Rhs.begin(), R.Rhs.end());
+  }
+  return {}; // Derivation did not converge; caller retries.
+}
+
+} // namespace
+
+RandomGrammarCase ipg::testing::buildRandomGrammar(
+    Grammar &G, uint64_t Seed, unsigned NumTerminals,
+    unsigned NumNonterminals, unsigned NumRules, unsigned NumSentences) {
+  Prng Rng(Seed);
+  GrammarBuilder B(G);
+
+  std::vector<SymbolId> Terminals;
+  for (unsigned I = 0; I < NumTerminals; ++I)
+    Terminals.push_back(B.symbol("t" + std::to_string(I)));
+  std::vector<SymbolId> Nonterminals;
+  for (unsigned I = 0; I < NumNonterminals; ++I) {
+    SymbolId N = B.symbol("N" + std::to_string(I));
+    G.symbols().markNonterminal(N);
+    Nonterminals.push_back(N);
+  }
+
+  auto RandomRhs = [&](unsigned MaxLen) {
+    std::vector<SymbolId> Rhs;
+    unsigned Len = static_cast<unsigned>(Rng.below(MaxLen + 1));
+    for (unsigned I = 0; I < Len; ++I) {
+      bool PickTerminal = Rng.below(100) < 60;
+      if (PickTerminal)
+        Rhs.push_back(Terminals[Rng.below(Terminals.size())]);
+      else
+        Rhs.push_back(Nonterminals[Rng.below(Nonterminals.size())]);
+    }
+    return Rhs;
+  };
+
+  // Every nonterminal gets one guaranteed-terminating rule, then random
+  // extra rules distribute freely.
+  for (SymbolId N : Nonterminals) {
+    std::vector<SymbolId> Rhs;
+    unsigned Len = static_cast<unsigned>(Rng.below(3));
+    for (unsigned I = 0; I < Len; ++I)
+      Rhs.push_back(Terminals[Rng.below(Terminals.size())]);
+    G.addRule(N, std::move(Rhs));
+  }
+  for (unsigned I = Nonterminals.size(); I < NumRules; ++I)
+    G.addRule(Nonterminals[Rng.below(Nonterminals.size())], RandomRhs(4));
+
+  G.addRule(G.startSymbol(), {Nonterminals[0]});
+
+  RandomGrammarCase Case;
+  std::vector<RuleId> Cheapest = cheapestRules(G);
+  unsigned Attempts = NumSentences * 4;
+  while (Case.Positive.size() < NumSentences && Attempts-- > 0) {
+    std::vector<SymbolId> S = derive(G, Nonterminals[0], Rng, Cheapest);
+    if (!S.empty() || Rng.below(4) == 0) // Allow some ε sentences through.
+      Case.Positive.push_back(std::move(S));
+  }
+
+  for (const std::vector<SymbolId> &S : Case.Positive) {
+    std::vector<SymbolId> M = S;
+    switch (Rng.below(3)) {
+    case 0: // Insert.
+      M.insert(M.begin() + Rng.below(M.size() + 1),
+               Terminals[Rng.below(Terminals.size())]);
+      break;
+    case 1: // Delete.
+      if (!M.empty())
+        M.erase(M.begin() + Rng.below(M.size()));
+      break;
+    default: // Replace.
+      if (!M.empty())
+        M[Rng.below(M.size())] = Terminals[Rng.below(Terminals.size())];
+      break;
+    }
+    Case.Mutated.push_back(std::move(M));
+  }
+  return Case;
+}

@@ -1,0 +1,96 @@
+//===- tests/common/TestGrammars.h - Shared test fixtures -------*- C++ -*-===//
+///
+/// \file
+/// The grammars of the paper's figures plus classic stress grammars and a
+/// seeded random-grammar generator used by the property-test sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_COMMON_TESTGRAMMARS_H
+#define IPG_TESTS_COMMON_TESTGRAMMARS_H
+
+#include "grammar/Grammar.h"
+#include "grammar/GrammarBuilder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg::testing {
+
+/// Fig 4.1(a): the grammar of the booleans, in the paper's rule order
+/// (0: B ::= true, 1: B ::= false, 2: B ::= B or B, 3: B ::= B and B,
+///  4: START ::= B).
+void buildBooleans(Grammar &G);
+
+/// Fig 6.2(a): the a-b/c-b grammar whose graph update is non-monotonic.
+void buildFig62(Grammar &G);
+
+/// The ambiguous expression grammar E ::= E "+" E | "a".
+void buildAmbiguousExpr(Grammar &G);
+
+/// S ::= "a" S "b" | ε (needs lookahead/GLR; not LR(0)).
+void buildAnBn(Grammar &G);
+
+/// Palindromes over {a, b}: S ::= a S a | b S b | a | b | ε.
+void buildPalindromes(Grammar &G);
+
+/// ε-chains: S ::= A B C "x", A/B/C all nullable with alternatives.
+void buildEpsilonChains(Grammar &G);
+
+/// Cyclic grammar: A ::= A | "a" (derivation cycle ⇒ infinite forests).
+void buildCyclic(Grammar &G);
+
+/// Classic non-LR(0), SLR(1) arithmetic expressions:
+/// E ::= E + T | T; T ::= T * F | F; F ::= ( E ) | id.
+void buildArith(Grammar &G);
+
+/// Dangling-else: the standard LALR shift/reduce conflict grammar.
+void buildDanglingElse(Grammar &G);
+
+/// Converts token spellings to symbol ids (interning must already have
+/// happened via the grammar builders above).
+std::vector<SymbolId> tokens(const Grammar &G,
+                             const std::vector<std::string> &Spellings);
+
+/// Splits a space-separated sentence and converts it via tokens().
+std::vector<SymbolId> sentence(const Grammar &G, const std::string &Text);
+
+/// Deterministic xorshift PRNG for reproducible property sweeps.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t below(uint64_t Bound) { return Bound == 0 ? 0 : next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+/// A randomly generated grammar plus sentences known to be derivable.
+struct RandomGrammarCase {
+  std::vector<std::vector<SymbolId>> Positive; ///< Derivable sentences.
+  std::vector<std::vector<SymbolId>> Mutated;  ///< Randomly edited copies.
+};
+
+/// Populates \p G with a random grammar (up to \p NumNonterminals
+/// nonterminals, \p NumRules rules over \p NumTerminals terminals) and
+/// derives sample sentences. All grammars are reduced enough to derive at
+/// least one sentence; ε-rules and recursion occur with the seed's whim.
+RandomGrammarCase buildRandomGrammar(Grammar &G, uint64_t Seed,
+                                     unsigned NumTerminals = 4,
+                                     unsigned NumNonterminals = 4,
+                                     unsigned NumRules = 10,
+                                     unsigned NumSentences = 5);
+
+} // namespace ipg::testing
+
+#endif // IPG_TESTS_COMMON_TESTGRAMMARS_H

@@ -1,0 +1,156 @@
+//===- tests/core/LazyTest.cpp - Lazy parser generation (§5) --------------===//
+///
+/// Goldens for Fig 5.1/5.2 and the lazy ≡ eager equivalence property.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/GraphCanon.h"
+#include "common/TestGrammars.h"
+#include "core/Ipg.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(Lazy, Fig51aGenerateParserBuildsOnlyStartSet) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  // Fig 5.1(a): one initial set of items, nothing expanded.
+  EXPECT_EQ(Gen.graph().numLive(), 1u);
+  EXPECT_EQ(Gen.graph().numComplete(), 0u);
+  EXPECT_EQ(Gen.graph().startSet()->state(), ItemSetState::Initial);
+  EXPECT_EQ(Gen.stats().Expansions, 0u);
+}
+
+TEST(Lazy, Fig51bFirstActionExpandsStartSet) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  ItemSetGraph &Graph = Gen.graph();
+  Graph.actions(Graph.startSet(), G.symbols().lookup("true"));
+  // Fig 5.1(b): sets 0..3 now exist; only 0 is complete.
+  EXPECT_EQ(Graph.numLive(), 4u);
+  EXPECT_EQ(Graph.numComplete(), 1u);
+  EXPECT_EQ(Graph.countByState(ItemSetState::Initial), 3u);
+}
+
+TEST(Lazy, Fig52ParsingTrueAndTrue) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  ASSERT_TRUE(Gen.recognize(sentence(G, "true and true")));
+  // Fig 5.2: the or-branch stays unexpanded. Expanded: the start set, the
+  // true set, the B set, the and set and the B-and-B set; initial: the
+  // false set and the or set.
+  EXPECT_EQ(Gen.graph().numComplete(), 5u);
+  EXPECT_EQ(Gen.graph().countByState(ItemSetState::Initial), 2u);
+  EXPECT_EQ(Gen.graph().numLive(), 7u);
+}
+
+TEST(Lazy, AndOnlySentencesNeedNoFurtherExpansion) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  ASSERT_TRUE(Gen.recognize(sentence(G, "true and true")));
+  uint64_t Expansions = Gen.stats().Expansions;
+  // §5.2: "All sentences that only contain 'and' and 'true', will now be
+  // parsed without further expansion of the graph of item sets."
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true and true and true")));
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true")));
+  EXPECT_EQ(Gen.stats().Expansions, Expansions);
+  // Sentences with 'or' or 'false' expand further.
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true or false")));
+  EXPECT_GT(Gen.stats().Expansions, Expansions);
+}
+
+TEST(Lazy, ParsingStartsWithZeroGenerationTime) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  // The first parse drives all expansion: before it, no EXPAND has run.
+  EXPECT_EQ(Gen.stats().Expansions, 0u);
+  EXPECT_TRUE(Gen.recognize(sentence(G, "false")));
+  EXPECT_GT(Gen.stats().Expansions, 0u);
+}
+
+TEST(Lazy, CoverageIsPartialThenFull) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  EXPECT_EQ(Gen.coverage(), 0.0);
+  Gen.recognize(sentence(G, "true and true"));
+  double Partial = Gen.coverage();
+  EXPECT_GT(Partial, 0.0);
+  EXPECT_LT(Partial, 1.0);
+  Gen.generateAll();
+  EXPECT_EQ(Gen.coverage(), 1.0);
+}
+
+TEST(Lazy, LazyGraphEqualsEagerGraph) {
+  Grammar GLazy;
+  buildBooleans(GLazy);
+  Ipg Lazy(GLazy);
+  Lazy.recognize(sentence(GLazy, "true or false"));
+
+  Grammar GEager;
+  buildBooleans(GEager);
+  ItemSetGraph Eager(GEager);
+  Eager.generateAll();
+
+  EXPECT_EQ(canonicalize(Lazy.graph()), canonicalize(Eager));
+}
+
+TEST(Lazy, TotalExpansionWorkMatchesEager) {
+  // §5.3: "The total generation time ... will not increase, since even in
+  // the worst case exactly the same amount of work has to be done."
+  Grammar GLazy;
+  buildArith(GLazy);
+  Ipg Lazy(GLazy);
+  Lazy.generateAll(); // Forcing everything through the lazy path.
+
+  Grammar GEager;
+  buildArith(GEager);
+  ItemSetGraph Eager(GEager);
+  Eager.generateAll();
+
+  EXPECT_EQ(Lazy.stats().Expansions, Eager.stats().Expansions);
+  EXPECT_EQ(Lazy.stats().ClosureItems, Eager.stats().ClosureItems);
+  EXPECT_EQ(Lazy.graph().numComplete(), Eager.numComplete());
+}
+
+TEST(Lazy, KernelsAreKeptAfterExpansion) {
+  // §5.3: the lazy generator keeps kernel fields (the incremental
+  // generator needs them again).
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  Gen.generateAll();
+  for (const ItemSet *State : Gen.graph().liveSets())
+    EXPECT_FALSE(State->kernel().empty());
+}
+
+// Property: for random grammars, the lazily generated reachable graph
+// (driven by parsing random derived sentences) is a subgraph of the eager
+// graph, and forcing full generation makes them isomorphic.
+class LazyEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LazyEquivalenceTest, LazySubsetThenEqual) {
+  Grammar GLazy;
+  RandomGrammarCase Case = buildRandomGrammar(GLazy, GetParam());
+  Ipg Lazy(GLazy);
+  for (const std::vector<SymbolId> &S : Case.Positive)
+    EXPECT_TRUE(Lazy.recognize(S));
+
+  Grammar GEager;
+  Grammar::cloneActiveRules(GLazy, GEager);
+  ItemSetGraph Eager(GEager);
+  Eager.generateAll();
+
+  EXPECT_LE(Lazy.graph().numComplete(), Eager.numComplete());
+  EXPECT_EQ(canonicalize(Lazy.graph()), canonicalize(Eager));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 26));

@@ -1,0 +1,145 @@
+//===- tests/core/ModulesTest.cpp - Modular composition (§8) --------------===//
+
+#include "common/TestGrammars.h"
+#include "core/Modules.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// Booleans split across modules: core literals, an or-extension and an
+/// and-extension, plus an "all" module importing both.
+void defineBooleanModules(ModuleSystem &Modules) {
+  Modules.define("literals")
+      .rule("B", {"true"})
+      .rule("B", {"false"})
+      .rule("START", {"B"});
+  Modules.define("or").imports("literals").rule("B", {"B", "or", "B"});
+  Modules.define("and").imports("literals").rule("B", {"B", "and", "B"});
+  Modules.define("all").imports("or").imports("and");
+}
+
+} // namespace
+
+TEST(Modules, LoadAddsTransitiveImports) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  defineBooleanModules(Modules);
+
+  Expected<size_t> Added = Modules.load("or");
+  ASSERT_TRUE(Added) << Added.error().str();
+  EXPECT_EQ(*Added, 4u) << "3 literal rules + the or rule";
+  EXPECT_TRUE(Modules.isLoaded("or"));
+  EXPECT_TRUE(Modules.isLoaded("literals"));
+  EXPECT_FALSE(Modules.isLoaded("and"));
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true or false")));
+  G.symbols().intern("and"); // A token the loaded modules don't know.
+  EXPECT_FALSE(Gen.recognize(sentence(G, "true and false")));
+}
+
+TEST(Modules, ImportExtendsSyntaxIncrementally) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  defineBooleanModules(Modules);
+  ASSERT_TRUE(Modules.load("or"));
+  ASSERT_TRUE(Gen.recognize(sentence(G, "true or true")));
+  uint64_t Expansions = Gen.stats().Expansions;
+
+  // Loading 'and' goes through ADD-RULE: the existing table is repaired,
+  // not rebuilt (re-expansions, not a fresh generation).
+  ASSERT_TRUE(Modules.load("and"));
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true and false or true")));
+  EXPECT_GT(Gen.stats().ReExpansions, 0u);
+  EXPECT_GT(Gen.stats().Expansions, Expansions);
+}
+
+TEST(Modules, SharedImportLoadedOnce) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  defineBooleanModules(Modules);
+  ASSERT_TRUE(Modules.load("all"));
+  EXPECT_EQ(G.size(), 5u) << "literals shared by both extensions";
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true or true and false")));
+}
+
+TEST(Modules, UnloadRemovesOnlyUnneededRules) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  defineBooleanModules(Modules);
+  ASSERT_TRUE(Modules.load("or"));
+  ASSERT_TRUE(Modules.load("and"));
+
+  Expected<size_t> Removed = Modules.unload("or");
+  ASSERT_TRUE(Removed) << Removed.error().str();
+  EXPECT_EQ(*Removed, 1u) << "literals still needed by 'and'";
+  EXPECT_FALSE(Gen.recognize(sentence(G, "true or true")));
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true and true")));
+  EXPECT_TRUE(Modules.isLoaded("literals"));
+
+  ASSERT_TRUE(Modules.unload("and"));
+  EXPECT_FALSE(Modules.isLoaded("literals"));
+  EXPECT_EQ(G.size(), 0u);
+}
+
+TEST(Modules, LoadIsRefcountedPerRoot) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  defineBooleanModules(Modules);
+  ASSERT_TRUE(Modules.load("or"));
+  ASSERT_TRUE(Modules.load("or"));
+  ASSERT_TRUE(Modules.unload("or"));
+  EXPECT_TRUE(Modules.isLoaded("or")) << "still loaded once";
+  EXPECT_TRUE(Gen.recognize(sentence(G, "true or true")));
+  ASSERT_TRUE(Modules.unload("or"));
+  EXPECT_FALSE(Modules.isLoaded("or"));
+}
+
+TEST(Modules, SameRuleFromTwoModules) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  Modules.define("m1").rule("S", {"x"}).rule("START", {"S"});
+  Modules.define("m2").rule("S", {"x"}).rule("S", {"y"}).rule("START", {"S"});
+  ASSERT_TRUE(Modules.load("m1"));
+  ASSERT_TRUE(Modules.load("m2"));
+  ASSERT_TRUE(Modules.unload("m2"));
+  // S ::= x contributed by both modules: must survive m2's unload.
+  EXPECT_TRUE(Gen.recognize(sentence(G, "x")));
+  EXPECT_FALSE(Gen.recognize(sentence(G, "y")));
+}
+
+TEST(Modules, UnknownModuleIsError) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  Expected<size_t> R = Modules.load("nope");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.error().Message.find("unknown module"), std::string::npos);
+}
+
+TEST(Modules, CyclicImportIsError) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  Modules.define("a").imports("b");
+  Modules.define("b").imports("a");
+  Expected<size_t> R = Modules.load("a");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.error().Message.find("cyclic import"), std::string::npos);
+}
+
+TEST(Modules, UnloadWithoutLoadIsError) {
+  Grammar G;
+  Ipg Gen(G);
+  ModuleSystem Modules(Gen);
+  Modules.define("m").rule("S", {"x"});
+  EXPECT_FALSE(Modules.unload("m"));
+}

@@ -1,0 +1,122 @@
+//===- tests/earley/EarleyTest.cpp - Earley parser tests ------------------===//
+
+#include "common/TestGrammars.h"
+#include "earley/EarleyParser.h"
+#include "glr/GlrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(Earley, BooleansBasics) {
+  Grammar G;
+  buildBooleans(G);
+  EarleyParser Parser(G);
+  EXPECT_TRUE(Parser.recognize(sentence(G, "true")));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "true or false and true")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "true or")));
+  EXPECT_FALSE(Parser.recognize({}));
+}
+
+TEST(Earley, BuildsATree) {
+  Grammar G;
+  buildBooleans(G);
+  EarleyParser Parser(G);
+  TreeArena Arena;
+  EarleyResult R = Parser.parse(sentence(G, "true or false"), Arena);
+  ASSERT_TRUE(R.Accepted);
+  ASSERT_NE(R.Tree, nullptr);
+  EXPECT_EQ(treeToString(R.Tree, G), "START(B(B(true) or B(false)))");
+  EXPECT_GT(R.ChartItems, 0u);
+}
+
+TEST(Earley, ErrorPositionReported) {
+  Grammar G;
+  buildBooleans(G);
+  EarleyParser Parser(G);
+  TreeArena Arena;
+  EarleyResult R = Parser.parse(sentence(G, "true and or"), Arena);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u);
+}
+
+TEST(Earley, EpsilonHeavyGrammars) {
+  Grammar G;
+  buildEpsilonChains(G);
+  EarleyParser Parser(G);
+  for (const char *Text : {"x", "a x", "b x", "c x", "a b x", "a b c x"})
+    EXPECT_TRUE(Parser.recognize(sentence(G, Text))) << Text;
+  EXPECT_FALSE(Parser.recognize(sentence(G, "b a x")));
+}
+
+TEST(Earley, AnBnAndEmptyInput) {
+  Grammar G;
+  buildAnBn(G);
+  EarleyParser Parser(G);
+  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a a b b")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a a b")));
+}
+
+TEST(Earley, CyclicGrammarTerminates) {
+  Grammar G;
+  buildCyclic(G);
+  EarleyParser Parser(G);
+  TreeArena Arena;
+  EarleyResult R = Parser.parse(sentence(G, "a"), Arena);
+  EXPECT_TRUE(R.Accepted);
+  ASSERT_NE(R.Tree, nullptr) << "tree extraction must dodge the cycle";
+}
+
+TEST(Earley, TracksGrammarMutationWithoutRegeneration) {
+  // §2: "Earley's algorithm does not have a separate generation phase, so
+  // it adapts easily to modifications in the grammar."
+  Grammar G;
+  buildBooleans(G);
+  G.symbols().intern("xor");
+  EarleyParser Parser(G);
+  EXPECT_FALSE(Parser.recognize(sentence(G, "true xor true")));
+  SymbolId B = G.symbols().lookup("B");
+  G.addRule(B, {B, G.symbols().intern("xor"), B});
+  EXPECT_TRUE(Parser.recognize(sentence(G, "true xor true")));
+  G.removeRule(B, {B, G.symbols().lookup("xor"), B});
+  EXPECT_FALSE(Parser.recognize(sentence(G, "true xor true")));
+}
+
+TEST(Earley, PalindromeTreeYieldMatches) {
+  Grammar G;
+  buildPalindromes(G);
+  EarleyParser Parser(G);
+  TreeArena Arena;
+  std::vector<SymbolId> Input = sentence(G, "a b b b a");
+  EarleyResult R = Parser.parse(Input, Arena);
+  ASSERT_TRUE(R.Accepted);
+  std::vector<uint32_t> Yield;
+  treeYield(R.Tree, Yield);
+  ASSERT_EQ(Yield.size(), Input.size());
+  for (size_t I = 0; I < Yield.size(); ++I)
+    EXPECT_EQ(Yield[I], I);
+}
+
+// The headline cross-check the paper skipped: Earley and the Tomita/GSS
+// parser recognize exactly the same language.
+class EarleyVsGlrTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EarleyVsGlrTest, AgreesWithGlrOnRandomGrammars) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, GetParam());
+  EarleyParser Earley(G);
+  ItemSetGraph Graph(G);
+  GlrParser Glr(Graph);
+  for (const std::vector<SymbolId> &S : Case.Positive) {
+    EXPECT_TRUE(Earley.recognize(S));
+    EXPECT_TRUE(Glr.recognize(S));
+  }
+  for (const std::vector<SymbolId> &S : Case.Mutated)
+    EXPECT_EQ(Earley.recognize(S), Glr.recognize(S))
+        << "disagreement, seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarleyVsGlrTest,
+                         ::testing::Range<uint64_t>(1, 41));

@@ -1,0 +1,138 @@
+//===- tests/glr/ForestTest.cpp - Shared packed forest tests --------------===//
+
+#include "common/TestGrammars.h"
+#include "glr/Forest.h"
+#include "glr/GlrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(Forest, TokenNodesAreUniquePerPosition) {
+  Forest F;
+  ForestNode *A = F.token(7, 3);
+  ForestNode *B = F.token(7, 3);
+  ForestNode *C = F.token(7, 4);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_TRUE(A->IsToken);
+  EXPECT_EQ(A->Start, 3u);
+  EXPECT_EQ(A->End, 4u);
+}
+
+TEST(Forest, NonterminalNodesPackOnSpan) {
+  Forest F;
+  ForestNode *A = F.nonterminal(9, 0, 2);
+  ForestNode *B = F.nonterminal(9, 0, 2);
+  ForestNode *C = F.nonterminal(9, 0, 3);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(Forest, UnpackedModeCreatesFreshNodes) {
+  Forest F(/*PackNodes=*/false);
+  ForestNode *A = F.nonterminal(9, 0, 2);
+  ForestNode *B = F.nonterminal(9, 0, 2);
+  EXPECT_NE(A, B) << "sharing disabled for the ablation";
+}
+
+TEST(Forest, AddAlternativeDeduplicates) {
+  Forest F;
+  ForestNode *T = F.token(1, 0);
+  ForestNode *N = F.nonterminal(2, 0, 1);
+  EXPECT_TRUE(F.addAlternative(N, 0, {T}));
+  EXPECT_FALSE(F.addAlternative(N, 0, {T}));
+  EXPECT_TRUE(F.addAlternative(N, 1, {T})) << "different rule is distinct";
+  EXPECT_EQ(N->Alts.size(), 2u);
+  EXPECT_TRUE(N->isAmbiguous());
+  EXPECT_EQ(F.numPackedAmbiguities(), 1u);
+}
+
+TEST(Forest, CountTreesMultipliesChildren) {
+  Forest F;
+  // Two-way ambiguous A over [0,1) and B over [1,2); S = A B has 4 trees.
+  ForestNode *TA = F.token(1, 0);
+  ForestNode *TB = F.token(2, 1);
+  ForestNode *A = F.nonterminal(3, 0, 1);
+  F.addAlternative(A, 0, {TA});
+  F.addAlternative(A, 1, {TA});
+  ForestNode *B = F.nonterminal(4, 1, 2);
+  F.addAlternative(B, 2, {TB});
+  F.addAlternative(B, 3, {TB});
+  ForestNode *S = F.nonterminal(5, 0, 2);
+  F.addAlternative(S, 4, {A, B});
+  EXPECT_EQ(F.countTrees(S), 4u);
+}
+
+TEST(Forest, CountTreesSaturatesAtCap) {
+  Forest F;
+  ForestNode *T = F.token(1, 0);
+  ForestNode *N = F.nonterminal(2, 0, 1);
+  F.addAlternative(N, 0, {T});
+  F.addAlternative(N, 1, {N}); // Cycle.
+  EXPECT_EQ(F.countTrees(N, 50), 50u);
+}
+
+TEST(Forest, EnumerateTreesProducesDistinctTrees) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(sentence(G, "a + a + a"), F);
+  ASSERT_TRUE(R.Accepted);
+  TreeArena Arena;
+  std::vector<TreeNode *> Trees;
+  F.enumerateTrees(R.Root, 100, Arena, Trees);
+  ASSERT_EQ(Trees.size(), 2u);
+  EXPECT_NE(treeToString(Trees[0], G), treeToString(Trees[1], G));
+  for (TreeNode *Tree : Trees) {
+    std::vector<uint32_t> Yield;
+    treeYield(Tree, Yield);
+    EXPECT_EQ(Yield.size(), 5u);
+  }
+}
+
+TEST(Forest, EnumerateTreesHonorsLimit) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(sentence(G, "a + a + a + a + a"), F);
+  ASSERT_TRUE(R.Accepted);
+  ASSERT_EQ(F.countTrees(R.Root), 14u);
+  TreeArena Arena;
+  std::vector<TreeNode *> Trees;
+  F.enumerateTrees(R.Root, 5, Arena, Trees);
+  EXPECT_EQ(Trees.size(), 5u);
+}
+
+TEST(Forest, FirstTreeOnNullRootIsNull) {
+  Forest F;
+  TreeArena Arena;
+  EXPECT_EQ(F.firstTree(nullptr, Arena), nullptr);
+  EXPECT_EQ(F.countTrees(nullptr), 0u);
+}
+
+TEST(Forest, SharingShrinksNodeCount) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  std::vector<SymbolId> Input = sentence(G, "a + a + a + a + a + a");
+
+  ItemSetGraph Graph1(G);
+  GlrParser P1(Graph1);
+  Forest Shared(/*PackNodes=*/true);
+  ASSERT_TRUE(P1.parse(Input, Shared).Accepted);
+
+  Grammar G2;
+  buildAmbiguousExpr(G2);
+  ItemSetGraph Graph2(G2);
+  GlrParser P2(Graph2);
+  Forest Unshared(/*PackNodes=*/false);
+  ASSERT_TRUE(P2.parse(Input, Unshared).Accepted);
+
+  EXPECT_LT(Shared.numNodes(), Unshared.numNodes())
+      << "packing must reduce forest size on ambiguous input";
+}

@@ -1,0 +1,268 @@
+//===- tests/glr/GlrParserTest.cpp - Tomita/GSS parser tests (§3.2) -------===//
+
+#include "common/TestGrammars.h"
+#include "glr/GlrParser.h"
+#include "grammar/Analyses.h"
+#include "ll/BacktrackRd.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+GlrResult parseText(Grammar &G, ItemSetGraph &Graph, const std::string &Text,
+                    Forest &F) {
+  GlrParser Parser(Graph);
+  return Parser.parse(sentence(G, Text), F);
+}
+
+} // namespace
+
+TEST(GlrParser, BooleansFig42Sentence) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Forest F;
+  GlrResult R = parseText(G, Graph, "true or false", F);
+  ASSERT_TRUE(R.Accepted);
+  TreeArena Arena;
+  TreeNode *Tree = F.firstTree(R.Root, Arena);
+  EXPECT_EQ(treeToString(Tree, G), "START(B(B(true) or B(false)))");
+}
+
+TEST(GlrParser, RejectsWithErrorIndex) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Forest F;
+  GlrResult R = parseText(G, Graph, "true or or false", F);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u);
+  EXPECT_EQ(R.Root, nullptr);
+}
+
+TEST(GlrParser, RejectsIncompleteSentence) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Forest F;
+  GlrResult R = parseText(G, Graph, "true or", F);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u);
+}
+
+TEST(GlrParser, AmbiguousSentenceHasTwoParses) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Forest F;
+  // (true or true) and false vs true or (true and false).
+  GlrResult R = parseText(G, Graph, "true or true and false", F);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(F.countTrees(R.Root), 2u);
+}
+
+TEST(GlrParser, CatalanNumbersOfParses) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  // a + a + ... + a with n 'a's has Catalan(n-1) parses.
+  const uint64_t Catalan[] = {1, 1, 2, 5, 14, 42, 132, 429};
+  for (unsigned N = 1; N <= 8; ++N) {
+    std::vector<SymbolId> Input;
+    for (unsigned I = 0; I < N; ++I) {
+      if (I != 0)
+        Input.push_back(G.symbols().lookup("+"));
+      Input.push_back(G.symbols().lookup("a"));
+    }
+    Forest F;
+    GlrResult R = Parser.parse(Input, F);
+    ASSERT_TRUE(R.Accepted) << N;
+    EXPECT_EQ(F.countTrees(R.Root), Catalan[N - 1]) << N << " operands";
+  }
+}
+
+TEST(GlrParser, EpsilonRulesAnBn) {
+  Grammar G;
+  buildAnBn(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a b")));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a a a b b b")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a a b")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "b a")));
+}
+
+TEST(GlrParser, AdjacentNullableNonterminals) {
+  Grammar G;
+  buildEpsilonChains(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  // S ::= A B C x with every combination of the optional a, b, c present.
+  for (const char *Text : {"x", "a x", "b x", "c x", "a b x", "a c x",
+                           "b c x", "a b c x"})
+    EXPECT_TRUE(Parser.recognize(sentence(G, Text))) << Text;
+  EXPECT_FALSE(Parser.recognize(sentence(G, "c a x")))
+      << "wrong order of optionals";
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a b c")));
+}
+
+TEST(GlrParser, CyclicGrammarTerminatesWithInfiniteForest) {
+  Grammar G;
+  buildCyclic(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(sentence(G, "a"), F);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(F.countTrees(R.Root, 1000), 1000u)
+      << "cycle saturates the tree count";
+  TreeArena Arena;
+  TreeNode *Tree = F.firstTree(R.Root, Arena);
+  ASSERT_NE(Tree, nullptr) << "extraction avoids the cycle";
+  std::vector<uint32_t> Yield;
+  treeYield(Tree, Yield);
+  EXPECT_EQ(Yield.size(), 1u);
+}
+
+TEST(GlrParser, PalindromesNondeterminism) {
+  Grammar G;
+  buildPalindromes(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a b a")));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a b b a")));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a")));
+  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a b")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a a b")));
+}
+
+TEST(GlrParser, WorksAgainstLazyGraphIdentically) {
+  // Parse with a lazily expanded graph, then with a fully generated one;
+  // acceptance and tree counts must agree (§5: "the efficiency of the
+  // parsing process itself remains unaffected" — and so do its results).
+  for (const char *Text : {"true", "true or true and false",
+                           "true and true and true", "or true", ""}) {
+    Grammar GLazy;
+    buildBooleans(GLazy);
+    ItemSetGraph Lazy(GLazy);
+    Forest FL;
+    GlrParser PL(Lazy);
+    GlrResult RL = PL.parse(sentence(GLazy, Text), FL);
+
+    Grammar GFull;
+    buildBooleans(GFull);
+    ItemSetGraph Full(GFull);
+    Full.generateAll();
+    Forest FF;
+    GlrParser PF(Full);
+    GlrResult RF = PF.parse(sentence(GFull, Text), FF);
+
+    EXPECT_EQ(RL.Accepted, RF.Accepted) << Text;
+    if (RL.Accepted)
+      EXPECT_EQ(FL.countTrees(RL.Root), FF.countTrees(RF.Root)) << Text;
+  }
+}
+
+TEST(GlrParser, MultipleStartRules) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("X", {"x"});
+  B.rule("Y", {"x"}); // Both derive "x": the root itself is ambiguous.
+  B.rule("START", {"X"});
+  B.rule("START", {"Y"});
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(sentence(G, "x"), F);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(F.countTrees(R.Root), 2u);
+}
+
+TEST(GlrParser, StatsArePopulated) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(sentence(G, "true and true"), F);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_GT(R.GssNodes, 0u);
+  EXPECT_GT(R.GssEdges, 0u);
+  EXPECT_EQ(R.Shifts, 3u);
+  EXPECT_GT(R.Reductions, 0u);
+}
+
+// Property sweep: GLR accepts every derived sentence of random grammars.
+class GlrRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlrRandomTest, AcceptsDerivedSentences) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, GetParam());
+  ItemSetGraph Graph(G);
+  GlrParser Parser(Graph);
+  for (const std::vector<SymbolId> &S : Case.Positive)
+    EXPECT_TRUE(Parser.recognize(S)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlrRandomTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+// Cross-check with an entirely different algorithm family: the number of
+// packed derivations equals the number of parses the OBJ-style
+// backtracking parser enumerates, on acyclic non-left-recursive grammars.
+TEST(GlrParser, TreeCountsMatchBacktrackingEnumeration) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S", "b", "S"});
+  B.rule("S", {"b", "S"});
+  B.rule("S", {});
+  B.rule("START", {"S"});
+  ItemSetGraph Graph(G);
+  GlrParser Glr(Graph);
+  BacktrackRdParser Rd(G);
+  for (const char *Text : {"a b b", "b b", "a b a b b", "a a b b b",
+                           "a b a b b a b b", ""}) {
+    std::vector<SymbolId> Input = sentence(G, Text);
+    Forest F;
+    GlrResult R = Glr.parse(Input, F);
+    RdResult Count = Rd.countParses(Input, 100000);
+    ASSERT_FALSE(Count.LimitHit) << Text;
+    EXPECT_EQ(R.Accepted, Count.Accepted) << Text;
+    if (R.Accepted)
+      EXPECT_EQ(F.countTrees(R.Root), Count.Parses) << '"' << Text << '"';
+  }
+}
+
+class GlrCountPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlrCountPropertyTest, CountsAgreeWithBacktracking) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, GetParam() * 2654435761u);
+  if (isLeftRecursive(G) || hasDerivationCycle(G))
+    GTEST_SKIP() << "enumeration diverges on this seed";
+  ItemSetGraph Graph(G);
+  GlrParser Glr(Graph);
+  BacktrackRdParser Rd(G, /*StepLimit=*/500000);
+  for (const std::vector<SymbolId> &S : Case.Positive) {
+    if (S.size() > 12)
+      continue; // Keep enumeration tractable.
+    Forest F;
+    GlrResult R = Glr.parse(S, F);
+    RdResult Count = Rd.countParses(S, 100000);
+    if (Count.LimitHit)
+      continue;
+    EXPECT_EQ(R.Accepted, Count.Accepted) << "seed " << GetParam();
+    if (R.Accepted)
+      EXPECT_EQ(F.countTrees(R.Root), Count.Parses)
+          << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlrCountPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));

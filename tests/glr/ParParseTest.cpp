@@ -1,0 +1,86 @@
+//===- tests/glr/ParParseTest.cpp - Paper-literal PAR-PARSE tests ---------===//
+
+#include "common/TestGrammars.h"
+#include "glr/GlrParser.h"
+#include "glr/ParParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(ParParse, AcceptsBooleanSentences) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParParser Parser(Graph);
+  EXPECT_TRUE(Parser.parse(sentence(G, "true")).Accepted);
+  EXPECT_TRUE(Parser.parse(sentence(G, "true or false")).Accepted);
+  EXPECT_TRUE(Parser.parse(sentence(G, "true or true and false")).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G, "true or")).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G, "or")).Accepted);
+  EXPECT_FALSE(Parser.parse({}).Accepted);
+}
+
+TEST(ParParse, SplitsOnConflicts) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParParser Parser(Graph);
+  ParParseResult R = Parser.parse(sentence(G, "true or true and true"));
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_GT(R.MaxLiveParsers, 1u) << "the conflict must fork parsers";
+}
+
+TEST(ParParse, RunsAgainstLazyGraphExercisingAppendixA) {
+  // PAR-PARSE calls GOTO without forcing expansion; under lazy generation
+  // this only works because of the Appendix A invariant. The gotoState
+  // assertion would fire if it were violated.
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParParser Parser(Graph);
+  EXPECT_EQ(Graph.numComplete(), 0u);
+  EXPECT_TRUE(Parser.parse(sentence(G, "true and true")).Accepted);
+  EXPECT_GT(Graph.numComplete(), 0u);
+  EXPECT_GT(Graph.stats().GotoCalls, 0u);
+}
+
+TEST(ParParse, AgreesWithGssParser) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParParser Cloned(Graph);
+  GlrParser Gss(Graph);
+  for (const char *Text :
+       {"true", "false and false", "true or false or true", "and", "true true",
+        "true and or false", ""}) {
+    std::vector<SymbolId> Input = sentence(G, Text);
+    EXPECT_EQ(Cloned.parse(Input).Accepted, Gss.recognize(Input))
+        << '"' << Text << '"';
+  }
+}
+
+TEST(ParParse, DivergesOnCyclicReductionsAsTomitaWould) {
+  Grammar G;
+  buildCyclic(G);
+  ItemSetGraph Graph(G);
+  ParParser Parser(Graph, /*StepLimit=*/5000);
+  ParParseResult R = Parser.parse(sentence(G, "a"));
+  EXPECT_TRUE(R.Diverged)
+      << "A ::= A reduce loops forever in the literal algorithm";
+}
+
+TEST(ParParse, ExponentialCopiesOnAmbiguity) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  ItemSetGraph Graph(G);
+  ParParser Parser(Graph);
+  ParParseResult R4 = Parser.parse(sentence(G, "a + a + a + a"));
+  ParParseResult R8 =
+      Parser.parse(sentence(G, "a + a + a + a + a + a + a + a"));
+  ASSERT_TRUE(R4.Accepted);
+  ASSERT_TRUE(R8.Accepted);
+  EXPECT_GT(R8.Copies, 4 * R4.Copies)
+      << "cloned parsers multiply super-linearly, unlike the GSS";
+}

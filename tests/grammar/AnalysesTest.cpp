@@ -1,0 +1,285 @@
+//===- tests/grammar/AnalysesTest.cpp - FIRST/FOLLOW/etc. tests -----------===//
+
+#include "common/TestGrammars.h"
+#include "grammar/Analyses.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+std::vector<std::string> names(const Grammar &G, const Bitset &Set) {
+  std::vector<std::string> Result;
+  Set.forEach([&](size_t Sym) { Result.push_back(G.symbols().name(Sym)); });
+  return Result;
+}
+
+} // namespace
+
+TEST(Analyses, NullableBasics) {
+  Grammar G;
+  buildAnBn(G);
+  GrammarAnalysis A(G);
+  EXPECT_TRUE(A.isNullable(G.symbols().lookup("S")));
+  EXPECT_FALSE(A.isNullable(G.symbols().lookup("a")));
+  EXPECT_TRUE(A.isNullable(G.startSymbol()))
+      << "START ::= S with S nullable makes START nullable";
+}
+
+TEST(Analyses, NullableChains) {
+  Grammar G;
+  buildEpsilonChains(G);
+  GrammarAnalysis A(G);
+  for (const char *Name : {"A", "B", "C"})
+    EXPECT_TRUE(A.isNullable(G.symbols().lookup(Name))) << Name;
+  EXPECT_FALSE(A.isNullable(G.symbols().lookup("S")))
+      << "S always derives at least the terminal x";
+}
+
+TEST(Analyses, FirstOfTerminalsIsSelf) {
+  Grammar G;
+  buildArith(G);
+  GrammarAnalysis A(G);
+  SymbolId Plus = G.symbols().lookup("+");
+  EXPECT_EQ(names(G, A.first(Plus)), std::vector<std::string>{"+"});
+}
+
+TEST(Analyses, FirstPropagatesThroughChains) {
+  Grammar G;
+  buildArith(G);
+  GrammarAnalysis A(G);
+  SymbolId E = G.symbols().lookup("E");
+  Bitset FirstE = A.first(E);
+  EXPECT_TRUE(FirstE.test(G.symbols().lookup("(")));
+  EXPECT_TRUE(FirstE.test(G.symbols().lookup("id")));
+  EXPECT_FALSE(FirstE.test(G.symbols().lookup("+")));
+}
+
+TEST(Analyses, FirstSkipsNullablePrefix) {
+  Grammar G;
+  buildEpsilonChains(G);
+  GrammarAnalysis A(G);
+  SymbolId S = G.symbols().lookup("S");
+  Bitset FirstS = A.first(S);
+  // S ::= A B C x with A, B, C nullable: every leading terminal shows up.
+  EXPECT_TRUE(FirstS.test(G.symbols().lookup("a")));
+  EXPECT_TRUE(FirstS.test(G.symbols().lookup("b")));
+  EXPECT_TRUE(FirstS.test(G.symbols().lookup("c")));
+  EXPECT_TRUE(FirstS.test(G.symbols().lookup("x")));
+}
+
+TEST(Analyses, FirstOfSequence) {
+  Grammar G;
+  buildEpsilonChains(G);
+  GrammarAnalysis A(G);
+  std::vector<SymbolId> Seq{G.symbols().lookup("A"), G.symbols().lookup("x")};
+  Bitset F = A.firstOfSequence(Seq);
+  EXPECT_TRUE(F.test(G.symbols().lookup("a")));
+  EXPECT_TRUE(F.test(G.symbols().lookup("x")));
+  EXPECT_TRUE(A.isNullableSequence(Seq, 2));
+  EXPECT_FALSE(A.isNullableSequence(Seq, 0));
+}
+
+TEST(Analyses, FollowClassicArith) {
+  Grammar G;
+  buildArith(G);
+  GrammarAnalysis A(G);
+  SymbolId E = G.symbols().lookup("E");
+  const Bitset &FollowE = A.follow(E);
+  EXPECT_TRUE(FollowE.test(G.symbols().lookup("+")));
+  EXPECT_TRUE(FollowE.test(G.symbols().lookup(")")));
+  EXPECT_TRUE(FollowE.test(G.endMarker()));
+  EXPECT_FALSE(FollowE.test(G.symbols().lookup("*")));
+
+  SymbolId T = G.symbols().lookup("T");
+  const Bitset &FollowT = A.follow(T);
+  EXPECT_TRUE(FollowT.test(G.symbols().lookup("*")));
+  EXPECT_TRUE(FollowT.test(G.symbols().lookup("+")));
+}
+
+TEST(Analyses, FollowOfStartHasEndMarker) {
+  Grammar G;
+  buildBooleans(G);
+  GrammarAnalysis A(G);
+  EXPECT_TRUE(A.follow(G.startSymbol()).test(G.endMarker()));
+}
+
+TEST(Analyses, ReachableSymbols) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"a"});
+  B.rule("Dead", {"b"});
+  B.rule("START", {"S"});
+  Bitset R = reachableSymbols(G);
+  EXPECT_TRUE(R.test(G.symbols().lookup("S")));
+  EXPECT_TRUE(R.test(G.symbols().lookup("a")));
+  EXPECT_FALSE(R.test(G.symbols().lookup("Dead")));
+  EXPECT_FALSE(R.test(G.symbols().lookup("b")));
+}
+
+TEST(Analyses, ProductiveNonterminals) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"a"});
+  B.rule("Loop", {"Loop", "a"}); // Only self-recursive: unproductive.
+  B.rule("START", {"S"});
+  Bitset P = productiveNonterminals(G);
+  EXPECT_TRUE(P.test(G.symbols().lookup("S")));
+  EXPECT_FALSE(P.test(G.symbols().lookup("Loop")));
+}
+
+TEST(Analyses, LeftRecursionDirect) {
+  Grammar G;
+  buildArith(G);
+  EXPECT_TRUE(isLeftRecursive(G));
+}
+
+TEST(Analyses, LeftRecursionHiddenByNullable) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("A", {});
+  B.rule("S", {"A", "S", "x"}); // A nullable => S is left-recursive.
+  B.rule("S", {"y"});
+  B.rule("START", {"S"});
+  EXPECT_TRUE(isLeftRecursive(G));
+}
+
+TEST(Analyses, NoLeftRecursion) {
+  Grammar G;
+  buildAnBn(G);
+  EXPECT_FALSE(isLeftRecursive(G));
+}
+
+TEST(Analyses, DerivationCycleDetected) {
+  Grammar G;
+  buildCyclic(G);
+  EXPECT_TRUE(hasDerivationCycle(G));
+}
+
+TEST(Analyses, NoDerivationCycleInBooleans) {
+  Grammar G;
+  buildBooleans(G);
+  EXPECT_FALSE(hasDerivationCycle(G));
+}
+
+TEST(Analyses, CycleThroughNullableContext) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("A", {"Pad", "A", "Pad"});
+  B.rule("A", {"a"});
+  B.rule("Pad", {});
+  B.rule("START", {"A"});
+  EXPECT_TRUE(hasDerivationCycle(G)) << "A => Pad A Pad => A is a cycle";
+}
+
+// FIRST is consistent with actual one-step derivations: every terminal
+// that starts some rule expansion of A (with nullable prefix skipped) is in
+// FIRST(A). Property sweep over random grammars.
+class AnalysesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnalysesPropertyTest, FirstCoversRuleFronts) {
+  Grammar G;
+  buildRandomGrammar(G, GetParam());
+  GrammarAnalysis A(G);
+  for (RuleId Id : G.activeRules()) {
+    const Rule &R = G.rule(Id);
+    for (size_t I = 0; I < R.Rhs.size(); ++I) {
+      SymbolId Sym = R.Rhs[I];
+      if (G.symbols().isTerminal(Sym)) {
+        EXPECT_TRUE(A.first(R.Lhs).test(Sym))
+            << G.ruleToString(Id) << " front terminal missing from FIRST";
+        break;
+      }
+      A.first(Sym).forEach([&](size_t T) {
+        EXPECT_TRUE(A.first(R.Lhs).test(T))
+            << "FIRST not closed under " << G.ruleToString(Id);
+      });
+      if (!A.isNullable(Sym))
+        break;
+    }
+  }
+}
+
+TEST_P(AnalysesPropertyTest, NullableMatchesEpsilonDerivability) {
+  Grammar G;
+  buildRandomGrammar(G, GetParam() ^ 0x5bd1e995);
+  GrammarAnalysis A(G);
+  // A nonterminal with an all-nullable rule must be nullable.
+  for (RuleId Id : G.activeRules()) {
+    const Rule &R = G.rule(Id);
+    if (A.isNullableSequence(R.Rhs))
+      EXPECT_TRUE(A.isNullable(R.Lhs)) << G.ruleToString(Id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysesPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(Lint, CleanGrammarHasNoFindings) {
+  Grammar G;
+  buildBooleans(G);
+  EXPECT_TRUE(lintGrammar(G).empty());
+}
+
+TEST(Lint, EmptyStartReported) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("A", {"x"}); // No START rules at all.
+  std::vector<GrammarLint> Findings = lintGrammar(G);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].Kind, GrammarLint::EmptyStart);
+}
+
+TEST(Lint, UnreachableNonterminalReported) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"x"});
+  B.rule("Orphan", {"y"});
+  B.rule("START", {"S"});
+  std::vector<GrammarLint> Findings = lintGrammar(G);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].Kind, GrammarLint::UnreachableNonterminal);
+  EXPECT_EQ(Findings[0].Symbol, G.symbols().lookup("Orphan"));
+}
+
+TEST(Lint, UnproductiveNonterminalReported) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"Loop"});
+  B.rule("Loop", {"Loop", "x"});
+  B.rule("START", {"S"});
+  std::vector<GrammarLint> Findings = lintGrammar(G);
+  bool Found = false;
+  for (const GrammarLint &F : Findings)
+    Found |= F.Kind == GrammarLint::UnproductiveNonterminal &&
+             F.Symbol == G.symbols().lookup("Loop");
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lint, DerivationCycleReported) {
+  Grammar G;
+  buildCyclic(G);
+  std::vector<GrammarLint> Findings = lintGrammar(G);
+  bool Found = false;
+  for (const GrammarLint &F : Findings)
+    Found |= F.Kind == GrammarLint::DerivationCycle;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lint, EditingIntroducesAndFixesFindings) {
+  // The interactive scenario: deleting a rule orphans part of the
+  // grammar, re-adding it heals the lint.
+  Grammar G;
+  buildArith(G);
+  EXPECT_TRUE(lintGrammar(G).empty());
+  G.removeRule(G.symbols().lookup("T"),
+               {G.symbols().lookup("F")});
+  // F is now reachable only through T *F, and T itself only recurses:
+  // T became unproductive.
+  std::vector<GrammarLint> Findings = lintGrammar(G);
+  EXPECT_FALSE(Findings.empty());
+  G.addRule(G.symbols().lookup("T"), {G.symbols().lookup("F")});
+  EXPECT_TRUE(lintGrammar(G).empty());
+}

@@ -1,0 +1,108 @@
+//===- tests/grammar/BnfReaderTest.cpp - BNF text format tests ------------===//
+
+#include "grammar/BnfReader.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+
+TEST(BnfReader, ParsesSimpleGrammar) {
+  Grammar G;
+  auto R = readBnf(G, R"(
+    %start Expr
+    Expr ::= Expr "+" Term | Term ;
+    Term ::= "a" ;
+  )");
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(*R, 3u);
+  EXPECT_EQ(G.size(), 4u) << "3 rules + START ::= Expr";
+  SymbolId Expr = G.symbols().lookup("Expr");
+  ASSERT_NE(Expr, InvalidSymbol);
+  EXPECT_TRUE(G.symbols().isNonterminal(Expr));
+  EXPECT_TRUE(G.symbols().isTerminal(G.symbols().lookup("+")));
+}
+
+TEST(BnfReader, EmptyAlternative) {
+  Grammar G;
+  auto R = readBnf(G, R"(
+    %start S
+    S ::= "a" S | %empty ;
+  )");
+  ASSERT_TRUE(R) << R.error().str();
+  SymbolId S = G.symbols().lookup("S");
+  bool HasEpsilon = false;
+  for (RuleId Id : G.rulesFor(S))
+    HasEpsilon |= G.rule(Id).Rhs.empty();
+  EXPECT_TRUE(HasEpsilon);
+}
+
+TEST(BnfReader, CommentsAreSkipped) {
+  Grammar G;
+  auto R = readBnf(G, R"(
+    // leading comment
+    %start S
+    S ::= "x" ; // trailing comment
+  )");
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(*R, 1u);
+}
+
+TEST(BnfReader, MissingStartIsError) {
+  Grammar G;
+  auto R = readBnf(G, R"(S ::= "x" ;)");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.error().Message.find("%start"), std::string::npos);
+}
+
+TEST(BnfReader, DuplicateStartIsError) {
+  Grammar G;
+  auto R = readBnf(G, "%start S %start S S ::= \"x\" ;");
+  ASSERT_FALSE(R);
+}
+
+TEST(BnfReader, UnterminatedLiteralIsError) {
+  Grammar G;
+  auto R = readBnf(G, "%start S\nS ::= \"x ;\n");
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().Line, 2u);
+}
+
+TEST(BnfReader, UnknownDirectiveIsError) {
+  Grammar G;
+  auto R = readBnf(G, "%start S\nS ::= %wat ;\n");
+  ASSERT_FALSE(R);
+}
+
+TEST(BnfReader, MixedEmptyAndSymbolsIsError) {
+  Grammar G;
+  auto R = readBnf(G, "%start S\nS ::= \"a\" %empty ;\n");
+  ASSERT_FALSE(R);
+}
+
+TEST(BnfReader, MissingDefineOpIsError) {
+  Grammar G;
+  auto R = readBnf(G, "%start S\nS \"a\" ;\n");
+  ASSERT_FALSE(R);
+}
+
+TEST(BnfReader, EscapedQuoteInLiteral) {
+  Grammar G;
+  auto R = readBnf(G, R"(
+    %start S
+    S ::= "\"quoted\"" ;
+  )");
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_NE(G.symbols().lookup("\"quoted\""), InvalidSymbol);
+}
+
+TEST(BnfReader, IdentifiersMayContainEbnfMarks) {
+  Grammar G;
+  auto R = readBnf(G, R"(
+    %start List
+    List ::= Item+ ;
+    Item+ ::= Item | Item+ Item ;
+    Item ::= "x" ;
+  )");
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_TRUE(G.symbols().isNonterminal(G.symbols().lookup("Item+")));
+}

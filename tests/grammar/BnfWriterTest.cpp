@@ -1,0 +1,119 @@
+//===- tests/grammar/BnfWriterTest.cpp - Grammar serialization tests ------===//
+
+#include "common/GraphCanon.h"
+#include "common/TestGrammars.h"
+#include "grammar/BnfReader.h"
+#include "grammar/BnfWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// Round-trips \p G through text and compares the canonical reachable
+/// item-set graphs (the strongest structural-equality notion we have).
+void expectRoundTrip(Grammar &G) {
+  std::string Text = writeBnf(G);
+  Grammar Back;
+  Expected<size_t> R = readBnf(Back, Text);
+  ASSERT_TRUE(R) << R.error().str() << "\nin:\n" << Text;
+  ItemSetGraph Original(G);
+  ItemSetGraph Reloaded(Back);
+  EXPECT_EQ(canonicalize(Original), canonicalize(Reloaded)) << Text;
+}
+
+} // namespace
+
+TEST(BnfWriter, SimpleGrammarText) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("E", {"E", "+", "T"});
+  B.rule("E", {"T"});
+  B.rule("T", {"a"});
+  B.rule("START", {"E"});
+  std::string Text = writeBnf(G);
+  EXPECT_NE(Text.find("%start E"), std::string::npos);
+  // '+' is a bare identifier character in the BNF format, so no quotes.
+  EXPECT_NE(Text.find("E ::= E + T | T ;"), std::string::npos);
+}
+
+TEST(BnfWriter, EpsilonRendersAsEmpty) {
+  Grammar G;
+  buildAnBn(G);
+  std::string Text = writeBnf(G);
+  EXPECT_NE(Text.find("%empty"), std::string::npos);
+  expectRoundTrip(G);
+}
+
+TEST(BnfWriter, MultipleStartRulesUseExplicitForm) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("X", {"x"});
+  B.rule("Y", {"y"});
+  B.rule("START", {"X"});
+  B.rule("START", {"Y"});
+  std::string Text = writeBnf(G);
+  EXPECT_EQ(Text.find("%start"), std::string::npos);
+  EXPECT_NE(Text.find("START ::= X | Y ;"), std::string::npos);
+  expectRoundTrip(G);
+}
+
+TEST(BnfWriter, GeneratedListNamesAreQuoted) {
+  Grammar G;
+  GrammarBuilder B(G);
+  SymbolId Item = B.symbol("item");
+  SymbolId Comma = B.symbol(",");
+  SymbolId List = B.sepPlus(Item, Comma); // Named "{item ,}+".
+  B.rule("S", {G.symbols().name(List)});
+  B.rule("START", {"S"});
+  std::string Text = writeBnf(G);
+  EXPECT_NE(Text.find("\"{item ,}+\""), std::string::npos)
+      << "non-identifier nonterminal names must be quoted";
+  expectRoundTrip(G);
+}
+
+TEST(BnfWriter, RoundTripsThePaperGrammars) {
+  {
+    Grammar G;
+    buildBooleans(G);
+    expectRoundTrip(G);
+  }
+  {
+    Grammar G;
+    buildFig62(G);
+    expectRoundTrip(G);
+  }
+  {
+    Grammar G;
+    buildArith(G);
+    expectRoundTrip(G);
+  }
+  {
+    Grammar G;
+    buildEpsilonChains(G);
+    expectRoundTrip(G);
+  }
+}
+
+TEST(BnfWriter, RoundTripsAfterIncrementalEdits) {
+  Grammar G;
+  buildBooleans(G);
+  SymbolId B = G.symbols().lookup("B");
+  G.addRule(B, {G.symbols().intern("unknown")});
+  G.removeRule(B, {G.symbols().lookup("false")});
+  expectRoundTrip(G);
+}
+
+// Round-trip property over random grammars.
+class BnfWriterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BnfWriterPropertyTest, RandomGrammarsRoundTrip) {
+  Grammar G;
+  buildRandomGrammar(G, GetParam());
+  expectRoundTrip(G);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnfWriterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));

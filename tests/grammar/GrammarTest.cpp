@@ -1,0 +1,176 @@
+//===- tests/grammar/GrammarTest.cpp - Grammar representation tests -------===//
+
+#include "common/TestGrammars.h"
+#include "grammar/Grammar.h"
+#include "grammar/GrammarBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(SymbolTable, InterningIsIdempotent) {
+  SymbolTable T;
+  SymbolId A = T.intern("a");
+  EXPECT_EQ(T.intern("a"), A);
+  EXPECT_NE(T.intern("b"), A);
+  EXPECT_EQ(T.name(A), "a");
+}
+
+TEST(SymbolTable, ReservedSymbols) {
+  SymbolTable T;
+  EXPECT_EQ(T.name(T.startSymbol()), "START");
+  EXPECT_EQ(T.name(T.endMarker()), "$");
+  EXPECT_TRUE(T.isNonterminal(T.startSymbol()));
+  EXPECT_TRUE(T.isTerminal(T.endMarker()));
+  EXPECT_EQ(T.lookup("START"), T.startSymbol());
+  EXPECT_EQ(T.lookup("no-such-symbol"), InvalidSymbol);
+}
+
+TEST(SymbolTable, NonterminalMarkIsSticky) {
+  SymbolTable T;
+  SymbolId A = T.intern("A");
+  EXPECT_TRUE(T.isTerminal(A));
+  T.markNonterminal(A);
+  EXPECT_TRUE(T.isNonterminal(A));
+  T.markNonterminal(A);
+  EXPECT_TRUE(T.isNonterminal(A));
+}
+
+TEST(Grammar, AddRuleMarksLhsNonterminal) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("A", {"x"});
+  EXPECT_TRUE(G.symbols().isNonterminal(G.symbols().lookup("A")));
+  EXPECT_TRUE(G.symbols().isTerminal(G.symbols().lookup("x")));
+}
+
+TEST(Grammar, StructuralInterningSurvivesDeleteReAdd) {
+  Grammar G;
+  SymbolId A = G.symbols().intern("A");
+  SymbolId X = G.symbols().intern("x");
+  auto [Id1, Added1] = G.addRule(A, {X});
+  EXPECT_TRUE(Added1);
+  auto [Id2, Removed] = G.removeRule(A, {X});
+  EXPECT_TRUE(Removed);
+  EXPECT_EQ(Id1, Id2);
+  auto [Id3, Added2] = G.addRule(A, {X});
+  EXPECT_TRUE(Added2);
+  EXPECT_EQ(Id1, Id3) << "re-added rule must keep its structural identity";
+}
+
+TEST(Grammar, DuplicateAddIsNoChange) {
+  Grammar G;
+  SymbolId A = G.symbols().intern("A");
+  SymbolId X = G.symbols().intern("x");
+  G.addRule(A, {X});
+  uint64_t V = G.version();
+  auto [Id, Added] = G.addRule(A, {X});
+  (void)Id;
+  EXPECT_FALSE(Added);
+  EXPECT_EQ(G.version(), V) << "no-op add must not bump the version";
+}
+
+TEST(Grammar, RemoveMissingIsNoChange) {
+  Grammar G;
+  SymbolId A = G.symbols().intern("A");
+  SymbolId X = G.symbols().intern("x");
+  auto [Id, Removed] = G.removeRule(A, {X});
+  EXPECT_EQ(Id, InvalidRule);
+  EXPECT_FALSE(Removed);
+}
+
+TEST(Grammar, RulesForTracksActiveOnly) {
+  Grammar G;
+  SymbolId A = G.symbols().intern("A");
+  SymbolId X = G.symbols().intern("x");
+  SymbolId Y = G.symbols().intern("y");
+  G.addRule(A, {X});
+  G.addRule(A, {Y});
+  EXPECT_EQ(G.rulesFor(A).size(), 2u);
+  G.removeRule(A, {X});
+  ASSERT_EQ(G.rulesFor(A).size(), 1u);
+  EXPECT_EQ(G.rule(G.rulesFor(A)[0]).Rhs[0], Y);
+}
+
+TEST(Grammar, EmptyRhsIsEpsilonRule) {
+  Grammar G;
+  SymbolId A = G.symbols().intern("A");
+  auto [Id, Added] = G.addRule(A, {});
+  EXPECT_TRUE(Added);
+  EXPECT_TRUE(G.rule(Id).Rhs.empty());
+  EXPECT_EQ(G.ruleToString(Id), "A ::= \xCE\xB5");
+}
+
+TEST(Grammar, VersionCountsMutations) {
+  Grammar G;
+  SymbolId A = G.symbols().intern("A");
+  SymbolId X = G.symbols().intern("x");
+  uint64_t V0 = G.version();
+  G.addRule(A, {X});
+  G.removeRule(A, {X});
+  EXPECT_EQ(G.version(), V0 + 2);
+}
+
+TEST(Grammar, ActiveRulesInIdOrder) {
+  Grammar G;
+  buildBooleans(G);
+  std::vector<RuleId> Ids = G.activeRules();
+  ASSERT_EQ(Ids.size(), 5u);
+  for (size_t I = 1; I < Ids.size(); ++I)
+    EXPECT_LT(Ids[I - 1], Ids[I]);
+}
+
+TEST(Grammar, PaperRuleNumbering) {
+  Grammar G;
+  buildBooleans(G);
+  // Fig 4.1(a): rule 0 is B ::= true ... rule 4 is START ::= B.
+  EXPECT_EQ(G.ruleToString(0), "B ::= true");
+  EXPECT_EQ(G.ruleToString(1), "B ::= false");
+  EXPECT_EQ(G.ruleToString(2), "B ::= B or B");
+  EXPECT_EQ(G.ruleToString(3), "B ::= B and B");
+  EXPECT_EQ(G.ruleToString(4), "START ::= B");
+}
+
+TEST(Grammar, CloneActiveRulesReproducesRuleSet) {
+  Grammar G;
+  buildBooleans(G);
+  G.removeRule(G.symbols().lookup("B"),
+               {G.symbols().lookup("false")});
+  Grammar Clone;
+  Grammar::cloneActiveRules(G, Clone);
+  EXPECT_EQ(Clone.size(), G.size());
+  EXPECT_EQ(Clone.rulesFor(Clone.symbols().lookup("B")).size(),
+            G.rulesFor(G.symbols().lookup("B")).size());
+}
+
+TEST(GrammarBuilder, StarPlusOpt) {
+  Grammar G;
+  GrammarBuilder B(G);
+  SymbolId X = B.symbol("x");
+  SymbolId Star = B.star(X);
+  SymbolId Plus = B.plus(X);
+  SymbolId Opt = B.opt(X);
+  EXPECT_EQ(G.symbols().name(Star), "x*");
+  EXPECT_EQ(G.symbols().name(Plus), "x+");
+  EXPECT_EQ(G.symbols().name(Opt), "x?");
+  EXPECT_EQ(G.rulesFor(Star).size(), 2u);
+  EXPECT_EQ(G.rulesFor(Plus).size(), 2u);
+  EXPECT_EQ(G.rulesFor(Opt).size(), 2u);
+  // Helpers are interned: a second request adds no rules.
+  size_t Before = G.size();
+  EXPECT_EQ(B.star(X), Star);
+  EXPECT_EQ(G.size(), Before);
+}
+
+TEST(GrammarBuilder, SeparatedLists) {
+  Grammar G;
+  GrammarBuilder B(G);
+  SymbolId X = B.symbol("x");
+  SymbolId Comma = B.symbol(",");
+  SymbolId List = B.sepPlus(X, Comma);
+  EXPECT_EQ(G.symbols().name(List), "{x ,}+");
+  ASSERT_EQ(G.rulesFor(List).size(), 2u);
+  SymbolId StarList = B.sepStar(X, Comma);
+  EXPECT_EQ(G.rulesFor(StarList).size(), 2u);
+}

@@ -1,0 +1,169 @@
+//===- tests/integration/IntegrationTest.cpp - Cross-module pipelines -----===//
+///
+/// End-to-end flows across modules: BNF text → IPG → parse; scanner →
+/// parser; editing sessions mixing all operations; and cross-parser
+/// consistency on one shared workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGrammars.h"
+#include "core/Ipg.h"
+#include "earley/EarleyParser.h"
+#include "glr/GlrParser.h"
+#include "grammar/BnfReader.h"
+#include "lalr/LalrGen.h"
+#include "lalr/SlrGen.h"
+#include "lexer/Scanner.h"
+#include "lr/LrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(Integration, BnfTextToIncrementalParser) {
+  Grammar G;
+  auto R = readBnf(G, R"bnf(
+    %start Stmt
+    Stmt ::= "print" Expr | "set" "id" "=" Expr ;
+    Expr ::= Expr "+" Term | Term ;
+    Term ::= "id" | "num" | "(" Expr ")" ;
+  )bnf");
+  ASSERT_TRUE(R) << R.error().str();
+  Ipg Gen(G);
+  EXPECT_TRUE(Gen.recognize(sentence(G, "print id + num")));
+  EXPECT_TRUE(Gen.recognize(sentence(G, "set id = ( num + id )")));
+  EXPECT_FALSE(Gen.recognize(sentence(G, "print + id")));
+  // Live editing on top of a file-loaded grammar.
+  Gen.addRule("Term", {"-", "Term"});
+  EXPECT_TRUE(Gen.recognize(sentence(G, "print - num")));
+}
+
+TEST(Integration, ScannerFeedsParser) {
+  Grammar G;
+  auto R = readBnf(G, R"bnf(
+    %start E
+    E ::= E "+" E | "num" ;
+  )bnf");
+  ASSERT_TRUE(R) << R.error().str();
+
+  Scanner S;
+  S.addLiteral("+");
+  ASSERT_TRUE(S.addRule("[0-9]+", "num"));
+  S.addWhitespaceLayout();
+  S.compile();
+
+  Expected<std::vector<SymbolId>> Tokens =
+      S.tokenizeToSymbols("12 + 3 + 456", G);
+  ASSERT_TRUE(Tokens) << Tokens.error().str();
+  Ipg Gen(G);
+  Forest F;
+  GlrResult Result = Gen.parse(*Tokens, F);
+  ASSERT_TRUE(Result.Accepted);
+  EXPECT_EQ(F.countTrees(Result.Root), 2u) << "two associativity readings";
+}
+
+TEST(Integration, FourParsersOneVerdict) {
+  // One deterministic grammar; LR(0)-conflict-free after SLR, LALR,
+  // Earley and GLR must agree verbatim on a batch of inputs.
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  ParseTable Slr = buildSlr1Table(Graph);
+  ParseTable Lalr = buildLalr1Table(Graph);
+  ASSERT_TRUE(Slr.isDeterministic());
+  ASSERT_TRUE(Lalr.isDeterministic());
+  LrParser SlrParser(Slr, G);
+  LrParser LalrParser(Lalr, G);
+  EarleyParser Earley(G);
+  GlrParser Glr(Graph);
+
+  for (const char *Text :
+       {"id", "id + id * id", "( id + id ) * id", "id *", "* id", "( )",
+        "id + ( id * ( id + id ) )", "", "id id", "( ( id ) )"}) {
+    std::vector<SymbolId> Input = sentence(G, Text);
+    bool Expected = Glr.recognize(Input);
+    EXPECT_EQ(SlrParser.recognize(Input), Expected) << Text;
+    EXPECT_EQ(LalrParser.recognize(Input), Expected) << Text;
+    EXPECT_EQ(Earley.recognize(Input), Expected) << Text;
+  }
+}
+
+TEST(Integration, EditingSessionAcrossAllOperations) {
+  // Simulates a designer session: parse, extend, parse, shrink, collect,
+  // parse — interleaved, against one generator.
+  Grammar G;
+  buildArith(G);
+  Ipg Gen(G);
+  EXPECT_TRUE(Gen.recognize(sentence(G, "id + id")));
+
+  Gen.addRule("F", {"-", "F"});
+  EXPECT_TRUE(Gen.recognize(sentence(G, "- id * id")));
+
+  Gen.addRule("T", {"T", "/", "F"});
+  EXPECT_TRUE(Gen.recognize(sentence(G, "id / - id")));
+
+  Gen.deleteRule("F", {"(", "E", ")"});
+  EXPECT_FALSE(Gen.recognize(sentence(G, "( id )")));
+  EXPECT_TRUE(Gen.recognize(sentence(G, "id / id + id")));
+
+  Gen.collectGarbage();
+  EXPECT_TRUE(Gen.recognize(sentence(G, "- id / id")));
+
+  Gen.addRule("F", {"(", "E", ")"});
+  EXPECT_TRUE(Gen.recognize(sentence(G, "( id + id ) / id")));
+}
+
+TEST(Integration, ScaleSyntheticGrammar) {
+  // A deep precedence chain: E0 ::= E0 op0 E1 | E1, ..., E19 ::= atom.
+  // Checks that generation scales, parses stay correct, and incremental
+  // repair touches only the affected neighbourhood.
+  constexpr int Levels = 20;
+  Grammar G;
+  GrammarBuilder B(G);
+  for (int L = 0; L < Levels; ++L) {
+    std::string Cur = "E" + std::to_string(L);
+    std::string Next = "E" + std::to_string(L + 1);
+    if (L + 1 < Levels) {
+      B.rule(Cur, {Cur, "op" + std::to_string(L), Next});
+      B.rule(Cur, {Next});
+    }
+  }
+  B.rule("E" + std::to_string(Levels - 1), {"atom"});
+  B.rule("E" + std::to_string(Levels - 1),
+         {"(", "E0", ")"});
+  B.rule("START", {"E0"});
+
+  Ipg Gen(G);
+  // A sentence exercising every level.
+  std::string Text = "atom";
+  for (int L = Levels - 2; L >= 0; --L)
+    Text += " op" + std::to_string(L) + " atom";
+  EXPECT_TRUE(Gen.recognize(sentence(G, Text)));
+  size_t Complete = Gen.graph().numComplete();
+  EXPECT_GT(Complete, size_t(Levels)) << "deep chain builds a deep table";
+
+  // A local modification must not dirty the whole graph.
+  Gen.addRule("E" + std::to_string(Levels - 1), {"[", "E0", "]"});
+  size_t Dirty = Gen.graph().countByState(ItemSetState::Dirty);
+  EXPECT_GT(Dirty, 0u);
+  EXPECT_LT(Dirty, Complete / 2)
+      << "MODIFY must stay local to the affected closure states";
+  EXPECT_TRUE(Gen.recognize(sentence(G, "[ atom op3 atom ]")));
+}
+
+TEST(Integration, RecognitionIsStableUnderRepeatedParses) {
+  // Parsing must be idempotent w.r.t. the graph: after the first parse of
+  // each sentence, no further expansion happens, ever.
+  Grammar G;
+  buildPalindromes(G);
+  Ipg Gen(G);
+  std::vector<std::string> Sentences{"a", "a b a", "b a a b", "", "a a"};
+  for (const std::string &Text : Sentences)
+    Gen.recognize(sentence(G, Text));
+  uint64_t Expansions = Gen.stats().Expansions;
+  for (int Round = 0; Round < 3; ++Round)
+    for (const std::string &Text : Sentences)
+      Gen.recognize(sentence(G, Text));
+  EXPECT_EQ(Gen.stats().Expansions, Expansions);
+}

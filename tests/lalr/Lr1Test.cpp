@@ -1,0 +1,129 @@
+//===- tests/lalr/Lr1Test.cpp - Canonical LR(1) generator tests -----------===//
+
+#include "common/TestGrammars.h"
+#include "glr/GlrParser.h"
+#include "lalr/LalrGen.h"
+#include "lalr/Lr1Gen.h"
+#include "lr/LrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// The classic LR(1)-but-not-LALR(1) grammar: merging the LALR cores of
+/// the e-states produces a reduce/reduce conflict.
+void buildLr1NotLalr(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "E", "c"});
+  B.rule("S", {"a", "F", "d"});
+  B.rule("S", {"b", "F", "c"});
+  B.rule("S", {"b", "E", "d"});
+  B.rule("E", {"e"});
+  B.rule("F", {"e"});
+  B.rule("START", {"S"});
+}
+
+} // namespace
+
+TEST(Lr1, ArithmeticDeterministicAndCorrect) {
+  Grammar G;
+  buildArith(G);
+  ParseTable Table = buildLr1Table(G);
+  ASSERT_TRUE(Table.isDeterministic());
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  LrParseResult R = Parser.parse(sentence(G, "id + id * id"), Arena);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(treeToString(R.Tree, G),
+            "START(E(E(T(F(id))) + T(T(F(id)) * F(id))))");
+  EXPECT_FALSE(Parser.recognize(sentence(G, "id + * id")));
+}
+
+TEST(Lr1, StrictlyStrongerThanLalr) {
+  Grammar G;
+  buildLr1NotLalr(G);
+  ItemSetGraph Graph(G);
+  ParseTable Lalr = buildLalr1Table(Graph);
+  EXPECT_FALSE(Lalr.isDeterministic())
+      << "the merged e-state must have a reduce/reduce conflict";
+
+  ParseTable Lr1 = buildLr1Table(G);
+  EXPECT_TRUE(Lr1.isDeterministic());
+  LrParser Parser(Lr1, G);
+  for (const char *Text : {"a e c", "a e d", "b e c", "b e d"})
+    EXPECT_TRUE(Parser.recognize(sentence(G, Text))) << Text;
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a e")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "e c")));
+}
+
+TEST(Lr1, HasAtLeastAsManyStatesAsLr0) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  size_t Lr0States = Graph.generateAll();
+  Lr1Stats Stats;
+  buildLr1Table(G, &Stats);
+  EXPECT_GE(Stats.NumStates, Lr0States)
+      << "canonical LR(1) splits LR(0) states, never merges them";
+  EXPECT_GT(Stats.NumItems, 0u);
+}
+
+TEST(Lr1, EpsilonRulesAndLookaheads) {
+  Grammar G;
+  buildEpsilonChains(G);
+  ParseTable Table = buildLr1Table(G);
+  ASSERT_TRUE(Table.isDeterministic());
+  LrParser Parser(Table, G);
+  for (const char *Text : {"x", "a x", "b x", "c x", "a b c x"})
+    EXPECT_TRUE(Parser.recognize(sentence(G, Text))) << Text;
+  EXPECT_FALSE(Parser.recognize(sentence(G, "x x")));
+  EXPECT_FALSE(Parser.recognize({}));
+}
+
+TEST(Lr1, AmbiguousGrammarStillConflicts) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  ParseTable Table = buildLr1Table(G);
+  EXPECT_FALSE(Table.isDeterministic())
+      << "no finite lookahead fixes genuine ambiguity";
+}
+
+TEST(Lr1, MultipleStartRules) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("X", {"x"});
+  B.rule("Y", {"y"});
+  B.rule("START", {"X"});
+  B.rule("START", {"Y"});
+  ParseTable Table = buildLr1Table(G);
+  ASSERT_TRUE(Table.isDeterministic());
+  LrParser Parser(Table, G);
+  EXPECT_TRUE(Parser.recognize(sentence(G, "x")));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "y")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "x y")));
+}
+
+// Property: wherever canonical LR(1) is deterministic, it agrees with the
+// GLR parser on random grammars' sentences.
+class Lr1PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lr1PropertyTest, AgreesWithGlr) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, GetParam() * 48611);
+  ParseTable Table = buildLr1Table(G);
+  if (!Table.isDeterministic())
+    GTEST_SKIP() << "grammar is not LR(1)";
+  LrParser Det(Table, G);
+  ItemSetGraph Graph(G);
+  GlrParser Glr(Graph);
+  for (const std::vector<SymbolId> &S : Case.Positive)
+    EXPECT_TRUE(Det.recognize(S)) << "seed " << GetParam();
+  for (const std::vector<SymbolId> &S : Case.Mutated)
+    EXPECT_EQ(Det.recognize(S), Glr.recognize(S)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lr1PropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));

@@ -1,0 +1,184 @@
+//===- tests/lalr/SlrLalrTest.cpp - SLR(1)/LALR(1) generator tests --------===//
+
+#include "common/TestGrammars.h"
+#include "lalr/LalrGen.h"
+#include "lalr/SlrGen.h"
+#include "lr/LrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(Slr, ArithmeticBecomesDeterministic) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  // LR(0) has conflicts (E ::= T vs shift on *)...
+  ParseTable Lr0 = buildLr0Table(Graph);
+  EXPECT_FALSE(Lr0.isDeterministic());
+  // ...SLR(1) resolves them all.
+  ParseTable Slr = buildSlr1Table(Graph);
+  EXPECT_TRUE(Slr.isDeterministic());
+}
+
+TEST(Slr, ParsesArithmetic) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildSlr1Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  EXPECT_TRUE(Parser.parse(sentence(G, "id + id * id"), Arena).Accepted);
+  EXPECT_TRUE(Parser.parse(sentence(G, "( id + id ) * id"), Arena).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G, "id + + id"), Arena).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G, "( id"), Arena).Accepted);
+}
+
+TEST(Slr, PrecedenceShapesTheTree) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildSlr1Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  LrParseResult R = Parser.parse(sentence(G, "id + id * id"), Arena);
+  ASSERT_TRUE(R.Accepted);
+  // E(E(T(F(id))) + T(T(F(id)) * F(id))): * binds tighter than +.
+  EXPECT_EQ(treeToString(R.Tree, G),
+            "START(E(E(T(F(id))) + T(T(F(id)) * F(id))))");
+}
+
+TEST(Lalr, ArithmeticDeterministic) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLalr1Table(Graph);
+  EXPECT_TRUE(Table.isDeterministic());
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  EXPECT_TRUE(Parser.parse(sentence(G, "id * ( id + id )"), Arena).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G, "id id"), Arena).Accepted);
+}
+
+TEST(Lalr, StrictlyStrongerThanSlr) {
+  // The classic SLR-inadequate, LALR-adequate grammar:
+  // S ::= L = R | R;  L ::= * R | id;  R ::= L.
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"L", "=", "R"});
+  B.rule("S", {"R"});
+  B.rule("L", {"*", "R"});
+  B.rule("L", {"id"});
+  B.rule("R", {"L"});
+  B.rule("START", {"S"});
+
+  ItemSetGraph Graph1(G);
+  ParseTable Slr = buildSlr1Table(Graph1);
+  EXPECT_FALSE(Slr.isDeterministic())
+      << "'=' is in FOLLOW(R), so SLR reduces R ::= L too eagerly";
+
+  Grammar G2;
+  GrammarBuilder B2(G2);
+  B2.rule("S", {"L", "=", "R"});
+  B2.rule("S", {"R"});
+  B2.rule("L", {"*", "R"});
+  B2.rule("L", {"id"});
+  B2.rule("R", {"L"});
+  B2.rule("START", {"S"});
+  ItemSetGraph Graph2(G2);
+  ParseTable Lalr = buildLalr1Table(Graph2);
+  EXPECT_TRUE(Lalr.isDeterministic());
+  LrParser Parser(Lalr, G2);
+  TreeArena Arena;
+  EXPECT_TRUE(Parser.parse(sentence(G2, "* id = id"), Arena).Accepted);
+  EXPECT_TRUE(Parser.parse(sentence(G2, "id"), Arena).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G2, "= id"), Arena).Accepted);
+}
+
+TEST(Lalr, EpsilonRulesGetCorrectLookaheads) {
+  Grammar G;
+  buildEpsilonChains(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLalr1Table(Graph);
+  EXPECT_TRUE(Table.isDeterministic());
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  for (const char *Text : {"x", "a x", "b x", "c x", "a b c x"})
+    EXPECT_TRUE(Parser.parse(sentence(G, Text), Arena).Accepted) << Text;
+  EXPECT_FALSE(Parser.parse(sentence(G, "x x"), Arena).Accepted);
+}
+
+TEST(Lalr, DanglingElseConflictAndYaccResolution) {
+  Grammar G;
+  buildDanglingElse(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLalr1Table(Graph);
+  ASSERT_FALSE(Table.isDeterministic()) << "dangling else is not LALR(1)";
+
+  std::vector<ConflictResolution> Decisions =
+      resolveConflictsYaccStyle(Table, G);
+  ASSERT_EQ(Decisions.size(), 1u);
+  EXPECT_EQ(Decisions[0].Chosen.Kind, TableAction::Shift)
+      << "Yacc prefers shift: else binds to the nearest if";
+  EXPECT_NE(Decisions[0].Note.find("shift/reduce"), std::string::npos);
+
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  LrParseResult R = Parser.parse(
+      sentence(G, "if cond then if cond then other else other"), Arena);
+  ASSERT_TRUE(R.Accepted);
+  // The else must attach to the inner if.
+  EXPECT_EQ(treeToString(R.Tree, G),
+            "START(S(if E(cond) then S(if E(cond) then S(other) else "
+            "S(other))))");
+}
+
+TEST(Lalr, ReduceReduceResolvedToEarliestRule) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("A", {"x"});
+  B.rule("Z", {"x"});
+  B.rule("S", {"A"});
+  B.rule("S", {"Z"});
+  B.rule("START", {"S"});
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLalr1Table(Graph);
+  ASSERT_FALSE(Table.isDeterministic());
+  std::vector<ConflictResolution> Decisions =
+      resolveConflictsYaccStyle(Table, G);
+  ASSERT_FALSE(Decisions.empty());
+  EXPECT_EQ(Decisions[0].Chosen.Kind, TableAction::Reduce);
+  EXPECT_EQ(Decisions[0].Chosen.Value, 0u) << "A ::= x is rule 0";
+}
+
+// Containment property: LALR(1) conflicts ⊆ SLR(1) conflicts ⊆ LR(0)
+// conflicts, over random grammars; and all three agree with GLR on
+// acceptance when the LALR table is deterministic.
+class LalrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LalrPropertyTest, ConflictContainment) {
+  Grammar G;
+  buildRandomGrammar(G, GetParam());
+  ItemSetGraph Graph(G);
+  ParseTable Lr0 = buildLr0Table(Graph);
+  ParseTable Slr = buildSlr1Table(Graph);
+  ParseTable Lalr = buildLalr1Table(Graph);
+  EXPECT_LE(Slr.conflicts().size(), Lr0.conflicts().size());
+  EXPECT_LE(Lalr.conflicts().size(), Slr.conflicts().size());
+}
+
+TEST_P(LalrPropertyTest, DeterministicTablesAcceptDerivedSentences) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, GetParam() ^ 0xabcdef);
+  ItemSetGraph Graph(G);
+  ParseTable Lalr = buildLalr1Table(Graph);
+  if (!Lalr.isDeterministic())
+    GTEST_SKIP() << "grammar is not LALR(1)";
+  LrParser Parser(Lalr, G);
+  for (const std::vector<SymbolId> &S : Case.Positive)
+    EXPECT_TRUE(Parser.recognize(S)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LalrPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));

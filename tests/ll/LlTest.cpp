@@ -1,0 +1,204 @@
+//===- tests/ll/LlTest.cpp - LL(1) and backtracking RD tests --------------===//
+
+#include "common/TestGrammars.h"
+#include "glr/GlrParser.h"
+#include "ll/BacktrackRd.h"
+#include "ll/Ll1Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// Right-factored LL(1) expression grammar.
+void buildLl1Expr(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("E", {"T", "E'"});
+  B.rule("E'", {"+", "T", "E'"});
+  B.rule("E'", {});
+  B.rule("T", {"F", "T'"});
+  B.rule("T'", {"*", "F", "T'"});
+  B.rule("T'", {});
+  B.rule("F", {"(", "E", ")"});
+  B.rule("F", {"id"});
+  B.rule("START", {"E"});
+}
+
+} // namespace
+
+TEST(Ll1, ClassicExpressionGrammarIsLl1) {
+  Grammar G;
+  buildLl1Expr(G);
+  Ll1Table Table(G);
+  EXPECT_TRUE(Table.isLl1());
+}
+
+TEST(Ll1, ParsesAndBuildsTree) {
+  Grammar G;
+  buildLl1Expr(G);
+  Ll1Table Table(G);
+  Ll1Parser Parser(Table, G);
+  TreeArena Arena;
+  Ll1Result R = Parser.parse(sentence(G, "id + id * id"), Arena);
+  ASSERT_TRUE(R.Accepted);
+  std::vector<uint32_t> Yield;
+  treeYield(R.Tree, Yield);
+  // ε-expansions contribute no leaves; the yield is exactly the input.
+  size_t TokenLeaves = 0;
+  for (uint32_t Index : Yield)
+    TokenLeaves += Index < 5 ? 1 : 0;
+  EXPECT_EQ(Yield.size(), 5u);
+  EXPECT_EQ(TokenLeaves, 5u);
+}
+
+TEST(Ll1, RejectsWithPosition) {
+  Grammar G;
+  buildLl1Expr(G);
+  Ll1Table Table(G);
+  Ll1Parser Parser(Table, G);
+  TreeArena Arena;
+  Ll1Result R = Parser.parse(sentence(G, "id + * id"), Arena);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u);
+  EXPECT_FALSE(Parser.recognize(sentence(G, "id id")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "( id")));
+}
+
+TEST(Ll1, LeftRecursionYieldsConflicts) {
+  Grammar G;
+  buildArith(G);
+  Ll1Table Table(G);
+  EXPECT_FALSE(Table.isLl1())
+      << "left-recursive grammars are never LL(1) (Fig 2.1)";
+  EXPECT_FALSE(Table.conflicts().empty());
+}
+
+TEST(Ll1, AmbiguityYieldsConflicts) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  Ll1Table Table(G);
+  EXPECT_FALSE(Table.isLl1());
+}
+
+TEST(Ll1, NullableRulesUseFollow) {
+  Grammar G;
+  buildAnBn(G);
+  Ll1Table Table(G);
+  ASSERT_TRUE(Table.isLl1());
+  Ll1Parser Parser(Table, G);
+  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(sentence(G, "a a b b")));
+  EXPECT_FALSE(Parser.recognize(sentence(G, "a b b")));
+}
+
+TEST(Ll1, RecognizeAgreesWithParse) {
+  Grammar G;
+  buildLl1Expr(G);
+  Ll1Table Table(G);
+  Ll1Parser Parser(Table, G);
+  TreeArena Arena;
+  for (const char *Text :
+       {"id", "id + id", "( id ) * id", "", "id +", ") id"}) {
+    std::vector<SymbolId> Input = sentence(G, Text);
+    EXPECT_EQ(Parser.recognize(Input), Parser.parse(Input, Arena).Accepted)
+        << '"' << Text << '"';
+  }
+}
+
+TEST(BacktrackRd, ParsesNonLeftRecursiveGrammars) {
+  Grammar G;
+  buildAnBn(G);
+  BacktrackRdParser Parser(G);
+  TreeArena Arena;
+  EXPECT_TRUE(Parser.parse(sentence(G, "a a b b"), Arena).Accepted);
+  EXPECT_TRUE(Parser.parse({}, Arena).Accepted);
+  EXPECT_FALSE(Parser.parse(sentence(G, "a b b"), Arena).Accepted);
+}
+
+TEST(BacktrackRd, FindsAllAmbiguousParsesLikeObj) {
+  // §2 on OBJ: "the backtrack parser does detect all ambiguous parses".
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S", "b", "S"});
+  B.rule("S", {"b", "S"});
+  B.rule("S", {});
+  B.rule("START", {"S"});
+  BacktrackRdParser Parser(G);
+  RdResult R = Parser.countParses(sentence(G, "a b b"), 100);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(R.Parses, 2u) << "a[bS]b[S] vs a[S]b[bS]";
+}
+
+TEST(BacktrackRd, StepsGrowOnBacktrackHeavyInput) {
+  // "Parsing can be expensive for complex expressions" [FGJM85]: the
+  // ambiguous grammar S ::= a S b S | b S | ε forces combinatorial
+  // backtracking as the input grows.
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S", "b", "S"});
+  B.rule("S", {"b", "S"});
+  B.rule("S", {});
+  B.rule("START", {"S"});
+  BacktrackRdParser Parser(G);
+  RdResult Small = Parser.countParses(sentence(G, "a b b"), 100000);
+  RdResult Large =
+      Parser.countParses(sentence(G, "a b a b b a b a b b a b b"), 100000);
+  ASSERT_TRUE(Small.Accepted);
+  ASSERT_TRUE(Large.Accepted);
+  EXPECT_GT(Large.Steps, Small.Steps * 4);
+  EXPECT_GT(Large.Parses, Small.Parses);
+}
+
+TEST(BacktrackRd, LeftRecursionHitsTheLimit) {
+  Grammar G;
+  buildArith(G);
+  BacktrackRdParser Parser(G, /*StepLimit=*/10'000);
+  TreeArena Arena;
+  RdResult R = Parser.parse(sentence(G, "id + id"), Arena);
+  EXPECT_TRUE(R.LimitHit) << "left recursion diverges in top-down parsing";
+}
+
+TEST(BacktrackRd, TreeYieldMatchesInput) {
+  Grammar G;
+  buildAnBn(G);
+  BacktrackRdParser Parser(G);
+  TreeArena Arena;
+  std::vector<SymbolId> Input = sentence(G, "a a a b b b");
+  RdResult R = Parser.parse(Input, Arena);
+  ASSERT_TRUE(R.Accepted);
+  std::vector<uint32_t> Yield;
+  treeYield(R.Tree, Yield);
+  ASSERT_EQ(Yield.size(), Input.size());
+  for (size_t I = 0; I < Yield.size(); ++I)
+    EXPECT_EQ(Yield[I], I);
+}
+
+// Agreement sweep: on non-left-recursive random grammars, RD agrees with
+// GLR; where the LL(1) table is conflict-free, LL(1) agrees too.
+class LlAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LlAgreementTest, TopDownAgreesWithGlr) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, GetParam());
+  if (isLeftRecursive(G))
+    GTEST_SKIP() << "left-recursive seed";
+  ItemSetGraph Graph(G);
+  GlrParser Glr(Graph);
+  BacktrackRdParser Rd(G);
+  Ll1Table Table(G);
+  for (const std::vector<SymbolId> &S : Case.Positive) {
+    RdResult R = Rd.countParses(S, 1);
+    if (!R.LimitHit)
+      EXPECT_TRUE(R.Accepted) << "seed " << GetParam();
+  }
+  if (Table.isLl1()) {
+    Ll1Parser Ll(Table, G);
+    for (const std::vector<SymbolId> &S : Case.Mutated)
+      EXPECT_EQ(Ll.recognize(S), Glr.recognize(S)) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LlAgreementTest,
+                         ::testing::Range<uint64_t>(1, 26));

@@ -1,0 +1,69 @@
+//===- tests/lr/DotExportTest.cpp - GraphViz export tests -----------------===//
+
+#include "common/TestGrammars.h"
+#include "lr/DotExport.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(DotExport, ContainsNodesEdgesAndAccept) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  std::string Dot = graphToDot(Graph);
+  EXPECT_NE(Dot.find("digraph itemsets"), std::string::npos);
+  EXPECT_NE(Dot.find("n0 ["), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"true\""), std::string::npos);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos) << "accept node";
+  EXPECT_NE(Dot.find("peripheries=2"), std::string::npos)
+      << "accepting set has a double border";
+  // 8 states => 8 node definition lines (no "->" on them; skip the
+  // "node [...]" default-attribute line).
+  size_t Count = 0;
+  std::istringstream Lines{Dot};
+  for (std::string Line; std::getline(Lines, Line);)
+    if (Line.rfind("  n", 0) == 0 && Line.rfind("  node ", 0) != 0 &&
+        Line.find("->") == std::string::npos)
+      ++Count;
+  EXPECT_EQ(Count, 8u);
+}
+
+TEST(DotExport, DirtySetsRenderDashedWithHistory) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  Graph.addRule(G.symbols().intern("B"), {G.symbols().intern("unknown")});
+  std::string Dot = graphToDot(Graph);
+  EXPECT_NE(Dot.find("style=dashed, color=orange"), std::string::npos)
+      << "dirty sets are highlighted";
+  EXPECT_NE(Dot.find(", style=dashed];"), std::string::npos)
+      << "their retained transitions render dashed";
+}
+
+TEST(DotExport, InitialSetsRenderDashed) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.actions(Graph.startSet(), G.symbols().lookup("true"));
+  std::string Dot = graphToDot(Graph);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, EscapesRecordMetacharacters) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"{", "x", "}"});
+  B.rule("START", {"S"});
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  std::string Dot = graphToDot(Graph);
+  EXPECT_NE(Dot.find("\\{"), std::string::npos);
+  EXPECT_EQ(Dot.find("label=\"{\""), std::string::npos)
+      << "unescaped braces would break DOT records";
+}

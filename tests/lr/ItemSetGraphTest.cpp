@@ -1,0 +1,233 @@
+//===- tests/lr/ItemSetGraphTest.cpp - Graph of item sets (§4) ------------===//
+///
+/// Golden tests against Fig 4.1 and structural invariants of CLOSURE /
+/// EXPAND / GENERATE-PARSER.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGrammars.h"
+#include "lr/GraphPrinter.h"
+#include "lr/ItemSetGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// Finds the unique transition for \p Label or fails.
+const ItemSet *follow(const ItemSet *State, const Grammar &G,
+                      const std::string &Label) {
+  SymbolId Sym = G.symbols().lookup(Label);
+  for (const ItemSet::Transition &T : State->transitions())
+    if (T.Label == Sym)
+      return T.Target;
+  ADD_FAILURE() << "no transition on " << Label << " from set "
+                << State->id();
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Closure, ExtendsKernelWithPredictedRules) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  std::vector<Item> Cl = Graph.closure(Graph.startSet()->kernel());
+  // Kernel {START ::= •B} plus the four B rules.
+  ASSERT_EQ(Cl.size(), 5u);
+  EXPECT_EQ(itemToString(Cl[0], G), "START ::= \xE2\x80\xA2 B");
+  EXPECT_EQ(itemToString(Cl[1], G), "B ::= \xE2\x80\xA2 true");
+  EXPECT_EQ(itemToString(Cl[4], G), "B ::= \xE2\x80\xA2 B and B");
+}
+
+TEST(Closure, NoDuplicatePredictions) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  // A kernel with two items predicting B must predict each rule once.
+  Kernel K{Item{2, 1}, Item{3, 1}}; // B ::= B •or B, B ::= B •and B
+  std::vector<Item> Cl = Graph.closure(K);
+  EXPECT_EQ(Cl.size(), 2u) << "dots before terminals predict nothing";
+  Kernel K2{Item{2, 2}, Item{3, 2}}; // B ::= B or •B, B ::= B and •B
+  std::vector<Item> Cl2 = Graph.closure(K2);
+  EXPECT_EQ(Cl2.size(), 2u + 4u);
+}
+
+TEST(Fig41, GraphHasEightStates) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  EXPECT_EQ(Graph.generateAll(), 8u) << "Fig 4.1(c) has item sets 0..7";
+}
+
+TEST(Fig41, StartStateStructure) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  const ItemSet *S0 = Graph.startSet();
+  ASSERT_EQ(S0->kernel().size(), 1u);
+  EXPECT_EQ(itemToString(S0->kernel()[0], G), "START ::= \xE2\x80\xA2 B");
+  EXPECT_EQ(S0->transitions().size(), 3u) << "B, true, false";
+  EXPECT_TRUE(S0->reductions().empty());
+  EXPECT_FALSE(S0->isAccepting());
+}
+
+TEST(Fig41, AcceptAndBinaryOperatorStates) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  const ItemSet *S0 = Graph.startSet();
+
+  const ItemSet *S1 = follow(S0, G, "B");
+  ASSERT_NE(S1, nullptr);
+  EXPECT_TRUE(S1->isAccepting()) << "START ::= B• yields ($ accept)";
+  EXPECT_EQ(S1->kernel().size(), 3u)
+      << "START ::= B•, B ::= B•or B, B ::= B•and B";
+  EXPECT_EQ(S1->transitions().size(), 2u) << "or and and";
+
+  const ItemSet *S2 = follow(S0, G, "true");
+  ASSERT_NE(S2, nullptr);
+  ASSERT_EQ(S2->reductions().size(), 1u);
+  EXPECT_EQ(G.ruleToString(S2->reductions()[0]), "B ::= true");
+
+  const ItemSet *S3 = follow(S0, G, "false");
+  ASSERT_NE(S3, nullptr);
+  ASSERT_EQ(S3->reductions().size(), 1u);
+  EXPECT_EQ(G.ruleToString(S3->reductions()[0]), "B ::= false");
+}
+
+TEST(Fig41, OrAndStatesShareTerminalTargets) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  const ItemSet *S0 = Graph.startSet();
+  const ItemSet *S1 = follow(S0, G, "B");
+  const ItemSet *S4 = follow(S1, G, "or");
+  const ItemSet *S5 = follow(S1, G, "and");
+  ASSERT_NE(S4, nullptr);
+  ASSERT_NE(S5, nullptr);
+  // Both re-use the true/false item sets 2 and 3 (sharing in the graph).
+  EXPECT_EQ(follow(S4, G, "true"), follow(S0, G, "true"));
+  EXPECT_EQ(follow(S5, G, "false"), follow(S0, G, "false"));
+  // Their B-targets 6 and 7 reduce the binary rules and keep or/and edges.
+  const ItemSet *S6 = follow(S4, G, "B");
+  ASSERT_EQ(S6->reductions().size(), 1u);
+  EXPECT_EQ(G.ruleToString(S6->reductions()[0]), "B ::= B or B");
+  EXPECT_EQ(follow(S6, G, "or"), S4);
+  EXPECT_EQ(follow(S6, G, "and"), S5);
+  const ItemSet *S7 = follow(S5, G, "B");
+  ASSERT_EQ(S7->reductions().size(), 1u);
+  EXPECT_EQ(G.ruleToString(S7->reductions()[0]), "B ::= B and B");
+}
+
+TEST(Fig41, ActionsMatchTableRow0) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  ItemSet *S0 = Graph.startSet();
+  // Row 0 of Fig 4.1(b): shift on true/false, error elsewhere.
+  EXPECT_EQ(Graph.actions(S0, G.symbols().lookup("true")).size(), 1u);
+  EXPECT_EQ(Graph.actions(S0, G.symbols().lookup("false")).size(), 1u);
+  EXPECT_TRUE(Graph.actions(S0, G.symbols().lookup("or")).empty());
+  EXPECT_TRUE(Graph.actions(S0, G.endMarker()).empty());
+}
+
+TEST(Fig41, ConflictRow6HasShiftAndReduce) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  ItemSet *S0 = Graph.startSet();
+  ItemSet *S1 = const_cast<ItemSet *>(follow(S0, G, "B"));
+  ItemSet *S4 = const_cast<ItemSet *>(follow(S1, G, "or"));
+  ItemSet *S6 = const_cast<ItemSet *>(follow(S4, G, "B"));
+  // Fig 4.1(b): state 6 on 'or' offers both s4 and r2 — the LR(0)
+  // ambiguity the parallel parser explores.
+  std::vector<LrAction> Actions = Graph.actions(S6, G.symbols().lookup("or"));
+  ASSERT_EQ(Actions.size(), 2u);
+  EXPECT_EQ(Graph.actions(S6, G.endMarker()).size(), 1u) << "reduce only";
+}
+
+TEST(Goto, ReturnsUniqueNonterminalTarget) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  ItemSet *S0 = Graph.startSet();
+  EXPECT_EQ(Graph.gotoState(S0, G.symbols().lookup("B")),
+            follow(S0, G, "B"));
+}
+
+TEST(GenerateAll, IsIdempotent) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  size_t N1 = Graph.generateAll();
+  uint64_t Expansions = Graph.stats().Expansions;
+  size_t N2 = Graph.generateAll();
+  EXPECT_EQ(N1, N2);
+  EXPECT_EQ(Graph.stats().Expansions, Expansions)
+      << "second generateAll must be a no-op";
+}
+
+TEST(GenerateAll, Fig62GrammarHasExpectedStates) {
+  Grammar G;
+  buildFig62(G);
+  ItemSetGraph Graph(G);
+  // Fig 6.2(b) shows 10 item sets (0..9).
+  EXPECT_EQ(Graph.generateAll(), 10u);
+}
+
+TEST(ItemSetGraph, RefCountsCountIncomingTransitions) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  for (const ItemSet *State : Graph.liveSets()) {
+    uint32_t Expected = State == Graph.startSet() ? 1 : 0;
+    for (const ItemSet *From : Graph.liveSets())
+      for (const ItemSet::Transition &T : From->transitions())
+        Expected += T.Target == State;
+    EXPECT_EQ(State->refCount(), Expected) << "set " << State->id();
+  }
+}
+
+TEST(ItemSetGraph, KernelIndexFindsEverySet) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  for (const ItemSet *State : Graph.liveSets())
+    EXPECT_EQ(Graph.findByKernel(State->kernel()), State);
+}
+
+TEST(ItemSetGraph, EpsilonRuleReducesInPredictingState) {
+  Grammar G;
+  buildAnBn(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  // The start state predicts S ::= • which is immediately complete, so the
+  // start state itself carries the ε reduction.
+  bool Found = false;
+  for (RuleId Rule : Graph.startSet()->reductions())
+    Found |= G.rule(Rule).Rhs.empty();
+  EXPECT_TRUE(Found);
+}
+
+TEST(GraphPrinter, RendersKernelAndEdges) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  std::string Text = itemSetToString(*Graph.startSet(), G);
+  EXPECT_NE(Text.find("START ::= \xE2\x80\xA2 B"), std::string::npos);
+  EXPECT_NE(Text.find("--true--> "), std::string::npos);
+  std::string All = graphToString(Graph);
+  EXPECT_NE(All.find("--$--> accept"), std::string::npos);
+}

@@ -1,0 +1,102 @@
+//===- tests/lr/LrParserTest.cpp - Deterministic LR-PARSE tests (§3.1) ----===//
+
+#include "common/TestGrammars.h"
+#include "lr/LrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// An LR(0) grammar: sequences of a's ending in b.
+void buildLr0Seq(Grammar &G) {
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S"});
+  B.rule("S", {"b"});
+  B.rule("START", {"S"});
+}
+
+} // namespace
+
+TEST(LrParser, AcceptsAndBuildsTree) {
+  Grammar G;
+  buildLr0Seq(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  ASSERT_TRUE(Table.isDeterministic());
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  LrParseResult R = Parser.parse(sentence(G, "a a b"), Arena);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(treeToString(R.Tree, G), "START(S(a S(a S(b))))");
+  EXPECT_EQ(R.NumShifts, 3u);
+  EXPECT_EQ(R.NumReduces, 3u);
+}
+
+TEST(LrParser, RejectsWithPosition) {
+  Grammar G;
+  buildLr0Seq(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  LrParseResult R = Parser.parse(sentence(G, "a b b"), Arena);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u) << "error at the second b";
+  EXPECT_EQ(R.Tree, nullptr);
+}
+
+TEST(LrParser, RejectsTruncatedInput) {
+  Grammar G;
+  buildLr0Seq(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  LrParseResult R = Parser.parse(sentence(G, "a a"), Arena);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u) << "the end marker is rejected";
+}
+
+TEST(LrParser, EmptyInputRejectedWhenNotNullable) {
+  Grammar G;
+  buildLr0Seq(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  EXPECT_FALSE(Parser.parse({}, Arena).Accepted);
+}
+
+TEST(LrParser, RecognizeAgreesWithParse) {
+  Grammar G;
+  buildLr0Seq(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  for (const char *Text : {"b", "a b", "a a a b", "a", "b a", ""}) {
+    std::vector<SymbolId> Input = sentence(G, Text);
+    EXPECT_EQ(Parser.recognize(Input), Parser.parse(Input, Arena).Accepted)
+        << '"' << Text << '"';
+  }
+}
+
+TEST(LrParser, TreeYieldMatchesInput) {
+  Grammar G;
+  buildLr0Seq(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  LrParser Parser(Table, G);
+  TreeArena Arena;
+  std::vector<SymbolId> Input = sentence(G, "a a a b");
+  LrParseResult R = Parser.parse(Input, Arena);
+  ASSERT_TRUE(R.Accepted);
+  std::vector<uint32_t> Yield;
+  treeYield(R.Tree, Yield);
+  ASSERT_EQ(Yield.size(), Input.size());
+  for (size_t I = 0; I < Yield.size(); ++I)
+    EXPECT_EQ(Yield[I], I);
+}

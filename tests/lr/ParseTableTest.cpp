@@ -1,0 +1,107 @@
+//===- tests/lr/ParseTableTest.cpp - Dense table tests (Fig 4.1(b)) -------===//
+
+#include "common/TestGrammars.h"
+#include "lr/ParseTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+TEST(ParseTable, Fig41TableShape) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  EXPECT_EQ(Table.numStates(), 8u);
+
+  SymbolId True = G.symbols().lookup("true");
+  SymbolId False = G.symbols().lookup("false");
+  SymbolId B = G.symbols().lookup("B");
+
+  // Row 0: s2 on true, s3 on false, goto 1 on B (Fig 4.1(b)).
+  EXPECT_EQ(Table.action(0, True).Kind, TableAction::Shift);
+  EXPECT_EQ(Table.action(0, True).Value, 2u);
+  EXPECT_EQ(Table.action(0, False).Value, 3u);
+  EXPECT_EQ(Table.gotoState(0, B), 1u);
+  EXPECT_EQ(Table.action(0, G.endMarker()).Kind, TableAction::Error);
+
+  // Row 1: accept on $.
+  EXPECT_EQ(Table.action(1, G.endMarker()).Kind, TableAction::Accept);
+
+  // Row 2: reduce rule 0 (B ::= true) in every terminal column.
+  for (const char *T : {"true", "false", "or", "and"}) {
+    TableAction A = Table.action(2, G.symbols().lookup(T));
+    EXPECT_EQ(A.Kind, TableAction::Reduce) << T;
+    EXPECT_EQ(A.Value, 0u) << T;
+  }
+  EXPECT_EQ(Table.action(2, G.endMarker()).Kind, TableAction::Reduce);
+}
+
+TEST(ParseTable, Fig41ConflictsAreRecorded) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  // States 6 and 7 conflict on both 'or' and 'and': 4 conflicted cells.
+  EXPECT_EQ(Table.conflicts().size(), 4u);
+  EXPECT_FALSE(Table.isDeterministic());
+  for (const TableConflict &C : Table.conflicts())
+    EXPECT_EQ(C.Actions.size(), 2u);
+}
+
+TEST(ParseTable, UnambiguousGrammarIsDeterministic) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {"a", "S"});
+  B.rule("S", {"b"});
+  B.rule("START", {"S"});
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  EXPECT_TRUE(Table.isDeterministic());
+}
+
+TEST(ParseTable, AddActionDeduplicates) {
+  ParseTable Table(2, 4);
+  Table.addAction(0, 1, {TableAction::Shift, 1});
+  Table.addAction(0, 1, {TableAction::Shift, 1});
+  EXPECT_TRUE(Table.isDeterministic()) << "identical actions do not conflict";
+  Table.addAction(0, 1, {TableAction::Reduce, 0});
+  EXPECT_EQ(Table.conflicts().size(), 1u);
+  Table.addAction(0, 1, {TableAction::Reduce, 0});
+  EXPECT_EQ(Table.conflicts()[0].Actions.size(), 2u);
+}
+
+TEST(ParseTable, ResolveActionOverwritesCell) {
+  ParseTable Table(1, 2);
+  Table.addAction(0, 0, {TableAction::Shift, 7});
+  Table.resolveAction(0, 0, {TableAction::Reduce, 3});
+  EXPECT_EQ(Table.action(0, 0).Kind, TableAction::Reduce);
+}
+
+TEST(ParseTable, SetOfStateMapsBackToItemSets) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  std::vector<const ItemSet *> Sets;
+  ParseTable Table = buildLr0Table(Graph, &Sets);
+  ASSERT_EQ(Sets.size(), Table.numStates());
+  EXPECT_EQ(Sets[0], Graph.startSet());
+}
+
+TEST(ParseTable, RenderingMatchesPaperLayout) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  std::string Text = tableToString(Table, G);
+  EXPECT_NE(Text.find("state"), std::string::npos);
+  EXPECT_NE(Text.find("s2"), std::string::npos);
+  EXPECT_NE(Text.find("acc"), std::string::npos);
+  EXPECT_NE(Text.find("/"), std::string::npos) << "conflicts render as s/r";
+}
+
+TEST(ParseTable, MemoryFootprintReported) {
+  ParseTable Table(10, 20);
+  EXPECT_GT(Table.memoryBytes(), 0u);
+}

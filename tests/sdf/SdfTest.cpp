@@ -1,0 +1,257 @@
+//===- tests/sdf/SdfTest.cpp - SDF front end tests (§7 workload) ----------===//
+
+#include "core/Ipg.h"
+#include "earley/EarleyParser.h"
+#include "glr/GlrParser.h"
+#include "lalr/LalrGen.h"
+#include "lr/LrParser.h"
+#include "sdf/Samples.h"
+#include "sdf/SdfLanguage.h"
+#include "sdf/SdfLexer.h"
+#include "sdf/SdfToGrammar.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+
+namespace {
+
+/// Tokenizes one sample against the SDF language's symbol table.
+std::vector<SymbolId> tokenizeSample(SdfLanguage &Lang, Scanner &S,
+                                     std::string_view Text,
+                                     std::vector<ScannedToken> *Raw = nullptr) {
+  Expected<std::vector<SymbolId>> Tokens =
+      S.tokenizeToSymbols(Text, Lang.grammar(), Raw);
+  EXPECT_TRUE(Tokens) << (Tokens ? "" : Tokens.error().str());
+  return Tokens ? Tokens.take() : std::vector<SymbolId>{};
+}
+
+} // namespace
+
+TEST(SdfLexer, TokenizesAllSamples) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  for (const SdfSample &Sample : sdfSamples()) {
+    std::vector<SymbolId> Tokens = tokenizeSample(Lang, S, Sample.Text);
+    EXPECT_FALSE(Tokens.empty()) << Sample.Name;
+  }
+}
+
+TEST(SdfLexer, TokenCountsNearThePapers) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  for (const SdfSample &Sample : sdfSamples()) {
+    std::vector<SymbolId> Tokens = tokenizeSample(Lang, S, Sample.Text);
+    double Ratio = double(Tokens.size()) / double(Sample.PaperTokenCount);
+    EXPECT_GT(Ratio, 0.6) << Sample.Name << ": " << Tokens.size()
+                          << " tokens vs paper " << Sample.PaperTokenCount;
+    EXPECT_LT(Ratio, 1.6) << Sample.Name << ": " << Tokens.size()
+                          << " tokens vs paper " << Sample.PaperTokenCount;
+  }
+}
+
+TEST(SdfLexer, TokenKindsMatchGrammarTerminals) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  std::vector<ScannedToken> Raw;
+  tokenizeSample(Lang, S, sdfSamples()[0].Text, &Raw);
+  bool SawId = false, SawLiteral = false, SawClass = false, SawArrow = false;
+  for (const ScannedToken &Token : Raw) {
+    SawId |= Token.Kind == "ID";
+    SawLiteral |= Token.Kind == "LITERAL";
+    SawClass |= Token.Kind == "CHAR-CLASS";
+    SawArrow |= Token.Kind == "->";
+  }
+  EXPECT_TRUE(SawId && SawLiteral && SawClass && SawArrow);
+}
+
+TEST(SdfParser, GlrAcceptsAllSamples) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  ItemSetGraph Graph(Lang.grammar());
+  GlrParser Parser(Graph);
+  for (const SdfSample &Sample : sdfSamples()) {
+    std::vector<SymbolId> Tokens = tokenizeSample(Lang, S, Sample.Text);
+    Forest F;
+    GlrResult R = Parser.parse(Tokens, F);
+    EXPECT_TRUE(R.Accepted) << Sample.Name << " rejected at token "
+                            << R.ErrorIndex;
+    if (R.Accepted)
+      EXPECT_EQ(F.countTrees(R.Root), 1u)
+          << Sample.Name << " parses ambiguously";
+  }
+}
+
+TEST(SdfParser, LazyGenerationCoversOnlyPartOfTheTable) {
+  // §5.2/§7: parsing SDF.sdf needs only ~60% of the full SDF table.
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  Ipg Gen(Lang.grammar());
+  std::vector<SymbolId> Tokens =
+      tokenizeSample(Lang, S, sdfSamples()[2].Text);
+  ASSERT_TRUE(Gen.recognize(Tokens));
+  double Coverage = Gen.coverage();
+  EXPECT_GT(Coverage, 0.25) << "implausibly little of the table generated";
+  EXPECT_LT(Coverage, 0.95) << "laziness should not build the whole table";
+}
+
+TEST(SdfParser, YaccBaselineIsDeterministicAfterResolution) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  ItemSetGraph Graph(Lang.grammar());
+  ParseTable Table = buildLalr1Table(Graph);
+  resolveConflictsYaccStyle(Table, Lang.grammar());
+  LrParser Parser(Table, Lang.grammar());
+  TreeArena Arena;
+  for (const SdfSample &Sample : sdfSamples()) {
+    std::vector<SymbolId> Tokens = tokenizeSample(Lang, S, Sample.Text);
+    LrParseResult R = Parser.parse(Tokens, Arena);
+    EXPECT_TRUE(R.Accepted) << Sample.Name << " rejected at token "
+                            << R.ErrorIndex;
+  }
+}
+
+TEST(SdfParser, EarleyAgreesOnAllSamples) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  EarleyParser Parser(Lang.grammar());
+  for (const SdfSample &Sample : sdfSamples()) {
+    std::vector<SymbolId> Tokens = tokenizeSample(Lang, S, Sample.Text);
+    EXPECT_TRUE(Parser.recognize(Tokens)) << Sample.Name;
+  }
+}
+
+TEST(SdfParser, Fig71ModificationAppliesIncrementally) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  Ipg Gen(Lang.grammar());
+  std::vector<SymbolId> Tokens =
+      tokenizeSample(Lang, S, sdfSamples()[1].Text);
+  ASSERT_TRUE(Gen.recognize(Tokens));
+
+  auto [Lhs, Rhs] = Lang.modificationRule();
+  ASSERT_TRUE(Gen.addRule(Lhs, std::vector<SymbolId>(Rhs)));
+  EXPECT_GT(Gen.graph().countByState(ItemSetState::Dirty), 0u);
+  // The old inputs still parse after the modification (the paper re-uses
+  // the same sentences), with only partial re-expansion.
+  EXPECT_TRUE(Gen.recognize(Tokens));
+  EXPECT_GT(Gen.stats().ReExpansions, 0u);
+  // And the modification is reversible.
+  ASSERT_TRUE(Gen.deleteRule(Lhs, Rhs));
+  EXPECT_TRUE(Gen.recognize(Tokens));
+}
+
+TEST(SdfConverter, ExpGrammarRoundTrip) {
+  // Parse exp.sdf, convert it, and use the result to parse expressions.
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  std::vector<ScannedToken> Raw;
+  std::vector<SymbolId> Tokens =
+      tokenizeSample(Lang, S, sdfSamples()[0].Text, &Raw);
+  ItemSetGraph Graph(Lang.grammar());
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(Tokens, F);
+  ASSERT_TRUE(R.Accepted);
+  TreeArena Arena;
+  TreeNode *Tree = F.firstTree(R.Root, Arena);
+
+  Grammar Target;
+  Scanner TargetScanner;
+  Expected<SdfConversion> Conv =
+      convertSdfDefinition(Lang, Tree, Raw, Target, &TargetScanner);
+  ASSERT_TRUE(Conv) << Conv.error().str();
+  EXPECT_EQ(Conv->ModuleName, "Exp");
+  EXPECT_EQ(Conv->NumCfRules, 3u);
+  EXPECT_GT(Conv->NumLexRules, 0u);
+
+  // The converted front end parses programs of the defined language.
+  Ipg Gen(Target);
+  Expected<std::vector<SymbolId>> Program =
+      TargetScanner.tokenizeToSymbols("foo + (bar + baz)", Target);
+  ASSERT_TRUE(Program) << Program.error().str();
+  EXPECT_TRUE(Gen.recognize(*Program));
+  Expected<std::vector<SymbolId>> Bad =
+      TargetScanner.tokenizeToSymbols("foo + + bar", Target);
+  ASSERT_TRUE(Bad);
+  EXPECT_FALSE(Gen.recognize(*Bad));
+}
+
+TEST(SdfConverter, ExamGrammarParsesPrograms) {
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  std::vector<ScannedToken> Raw;
+  std::vector<SymbolId> Tokens =
+      tokenizeSample(Lang, S, sdfSamples()[1].Text, &Raw);
+  ItemSetGraph Graph(Lang.grammar());
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(Tokens, F);
+  ASSERT_TRUE(R.Accepted);
+  TreeArena Arena;
+  TreeNode *Tree = F.firstTree(R.Root, Arena);
+
+  Grammar Target;
+  Scanner TargetScanner;
+  Expected<SdfConversion> Conv =
+      convertSdfDefinition(Lang, Tree, Raw, Target, &TargetScanner);
+  ASSERT_TRUE(Conv) << Conv.error().str();
+  EXPECT_EQ(Conv->ModuleName, "Exam");
+
+  Ipg Gen(Target);
+  const char *Program = "program demo is "
+                        "var x , y : natural ; "
+                        "begin x := 1 ; "
+                        "while x = 2 do x := x + 1 od ; "
+                        "if x and y then skip else y := 0 fi "
+                        "end";
+  Expected<std::vector<SymbolId>> Ids =
+      TargetScanner.tokenizeToSymbols(Program, Target);
+  ASSERT_TRUE(Ids) << Ids.error().str();
+  EXPECT_TRUE(Gen.recognize(*Ids));
+}
+
+TEST(SdfConverter, SdfDefinitionOfSdfDescribesItself) {
+  // The self-application of Appendix B: convert SDF.sdf and use the
+  // resulting grammar to parse exp.sdf.
+  SdfLanguage Lang;
+  Scanner S;
+  configureSdfScanner(S);
+  std::vector<ScannedToken> Raw;
+  std::vector<SymbolId> Tokens =
+      tokenizeSample(Lang, S, sdfSamples()[2].Text, &Raw);
+  ItemSetGraph Graph(Lang.grammar());
+  GlrParser Parser(Graph);
+  Forest F;
+  GlrResult R = Parser.parse(Tokens, F);
+  ASSERT_TRUE(R.Accepted);
+  TreeArena Arena;
+  TreeNode *Tree = F.firstTree(R.Root, Arena);
+
+  Grammar Target;
+  Expected<SdfConversion> Conv =
+      convertSdfDefinition(Lang, Tree, Raw, Target, nullptr);
+  ASSERT_TRUE(Conv) << Conv.error().str();
+  EXPECT_EQ(Conv->ModuleName, "SDF");
+  EXPECT_GT(Conv->NumCfRules, 30u);
+
+  // Parse exp.sdf with the *converted* grammar, using the stock SDF
+  // tokenizer (token kinds align by construction).
+  Ipg Gen(Target);
+  Scanner S2;
+  configureSdfScanner(S2);
+  Expected<std::vector<SymbolId>> ExpTokens =
+      S2.tokenizeToSymbols(sdfSamples()[0].Text, Target);
+  ASSERT_TRUE(ExpTokens) << ExpTokens.error().str();
+  EXPECT_TRUE(Gen.recognize(*ExpTokens));
+}
