@@ -1,0 +1,95 @@
+//===- tests/common/GraphCanonTest.cpp - GraphCanon sanity ----------------===//
+///
+/// \file
+/// Verifies the shared GraphCanon canonicalization helper itself: graphs
+/// produced by different generation disciplines over the same grammar
+/// canonicalize identically, and different grammars do not collide.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/GraphCanon.h"
+#include "common/TestGrammars.h"
+
+#include "gtest/gtest.h"
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+TEST(GraphCanonTest, EagerAndLazyCanonicalizeIdentically) {
+  Grammar Eager;
+  buildBooleans(Eager);
+  ItemSetGraph EagerGraph(Eager);
+  EagerGraph.generateAll();
+
+  Grammar Lazy;
+  buildBooleans(Lazy);
+  ItemSetGraph LazyGraph(Lazy);
+  // canonicalize() itself drives lazy expansion via ensureComplete.
+  EXPECT_EQ(canonicalize(EagerGraph), canonicalize(LazyGraph));
+}
+
+TEST(GraphCanonTest, CanonicalFormIsDeterministic) {
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  CanonGraph First = canonicalize(Graph);
+  CanonGraph Second = canonicalize(Graph);
+  EXPECT_EQ(First, Second);
+  EXPECT_FALSE(First.empty());
+}
+
+TEST(GraphCanonTest, DifferentGrammarsDoNotCollide) {
+  Grammar A;
+  buildBooleans(A);
+  ItemSetGraph GraphA(A);
+
+  Grammar B;
+  buildArith(B);
+  ItemSetGraph GraphB(B);
+
+  EXPECT_NE(canonicalize(GraphA), canonicalize(GraphB));
+}
+
+TEST(GraphCanonTest, KernelKeyIsOrderIndependent) {
+  // Arith has states with multi-item kernels (e.g. {E ::= T•, T ::= T•*F}).
+  Grammar G;
+  buildArith(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+
+  const Kernel *Multi = nullptr;
+  for (const ItemSet *State : Graph.liveSets())
+    if (State->kernel().size() >= 2) {
+      Multi = &State->kernel();
+      break;
+    }
+  ASSERT_NE(Multi, nullptr) << "no multi-item kernel in the arith graph";
+
+  Kernel Reversed(Multi->rbegin(), Multi->rend());
+  EXPECT_EQ(canonKernel(*Multi, G), canonKernel(Reversed, G));
+}
+
+TEST(GraphCanonTest, CanonicalGraphSurvivesIncrementalEdits) {
+  // A graph repaired incrementally must canonicalize like a fresh graph
+  // for the same final grammar — the property every incremental test
+  // in this repo leans on.
+  Grammar Edited;
+  buildBooleans(Edited);
+  ItemSetGraph EditedGraph(Edited);
+  EditedGraph.generateAll();
+  SymbolId B = Edited.symbols().intern("B");
+  SymbolId Not = Edited.symbols().intern("not");
+  EditedGraph.addRule(B, {Not, B});
+
+  Grammar Fresh;
+  buildBooleans(Fresh);
+  GrammarBuilder Builder(Fresh);
+  Builder.rule("B", {"not", "B"});
+  ItemSetGraph FreshGraph(Fresh);
+
+  EXPECT_EQ(canonicalize(EditedGraph), canonicalize(FreshGraph));
+}
+
+} // namespace

@@ -16,9 +16,10 @@ TEST(Gc, DirtySetsRetainOldTransitions) {
   Gen.generateAll();
   Gen.addRule("B", {"unknown"});
   for (const ItemSet *State : Gen.graph().liveSets())
-    if (State->state() == ItemSetState::Dirty)
+    if (State->state() == ItemSetState::Dirty) {
       EXPECT_FALSE(State->oldTransitions().empty())
           << "dirty sets keep their history for DECR-REFCOUNT";
+    }
 }
 
 TEST(Gc, ReExpansionReleasesOrphans) {

@@ -58,8 +58,9 @@ TEST(Incremental, Fig65ReExpansionReconnectsAndExtends) {
             "B ::= unknown \xE2\x80\xA2");
   // Old sets 1, 2, 3 were reused, not regenerated.
   for (const ItemSet::Transition &T : S0->transitions())
-    if (T.Label != G.symbols().lookup("unknown"))
+    if (T.Label != G.symbols().lookup("unknown")) {
       EXPECT_LT(T.Target->id(), 8u) << "pre-modification sets are reused";
+    }
 }
 
 TEST(Incremental, UnknownSentencesParseAfterUpdate) {

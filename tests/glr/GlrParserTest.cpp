@@ -164,8 +164,9 @@ TEST(GlrParser, WorksAgainstLazyGraphIdentically) {
     GlrResult RF = PF.parse(sentence(GFull, Text), FF);
 
     EXPECT_EQ(RL.Accepted, RF.Accepted) << Text;
-    if (RL.Accepted)
+    if (RL.Accepted) {
       EXPECT_EQ(FL.countTrees(RL.Root), FF.countTrees(RF.Root)) << Text;
+    }
   }
 }
 
@@ -234,8 +235,9 @@ TEST(GlrParser, TreeCountsMatchBacktrackingEnumeration) {
     RdResult Count = Rd.countParses(Input, 100000);
     ASSERT_FALSE(Count.LimitHit) << Text;
     EXPECT_EQ(R.Accepted, Count.Accepted) << Text;
-    if (R.Accepted)
+    if (R.Accepted) {
       EXPECT_EQ(F.countTrees(R.Root), Count.Parses) << '"' << Text << '"';
+    }
   }
 }
 
@@ -258,9 +260,10 @@ TEST_P(GlrCountPropertyTest, CountsAgreeWithBacktracking) {
     if (Count.LimitHit)
       continue;
     EXPECT_EQ(R.Accepted, Count.Accepted) << "seed " << GetParam();
-    if (R.Accepted)
+    if (R.Accepted) {
       EXPECT_EQ(F.countTrees(R.Root), Count.Parses)
           << "seed " << GetParam();
+    }
   }
 }
 

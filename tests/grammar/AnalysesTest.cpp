@@ -209,8 +209,9 @@ TEST_P(AnalysesPropertyTest, NullableMatchesEpsilonDerivability) {
   // A nonterminal with an all-nullable rule must be nullable.
   for (RuleId Id : G.activeRules()) {
     const Rule &R = G.rule(Id);
-    if (A.isNullableSequence(R.Rhs))
+    if (A.isNullableSequence(R.Rhs)) {
       EXPECT_TRUE(A.isNullable(R.Lhs)) << G.ruleToString(Id);
+    }
   }
 }
 

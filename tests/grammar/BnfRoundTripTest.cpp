@@ -1,0 +1,114 @@
+//===- tests/grammar/BnfRoundTripTest.cpp - write/read round-trip ---------===//
+///
+/// \file
+/// Property test: for every fixture grammar, BnfWriter's output re-read by
+/// BnfReader yields an isomorphic Grammar — same rule multiset (up to
+/// symbol re-interning) and an item-set graph that canonicalizes
+/// identically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/GraphCanon.h"
+#include "common/TestGrammars.h"
+
+#include "grammar/BnfReader.h"
+#include "grammar/BnfWriter.h"
+
+#include "gtest/gtest.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+struct Fixture {
+  const char *Name;
+  std::function<void(Grammar &)> Build;
+};
+
+const std::vector<Fixture> &fixtures() {
+  static const std::vector<Fixture> All = {
+      {"Booleans", buildBooleans},
+      {"Fig62", buildFig62},
+      {"AmbiguousExpr", buildAmbiguousExpr},
+      {"AnBn", buildAnBn},
+      {"Palindromes", buildPalindromes},
+      {"EpsilonChains", buildEpsilonChains},
+      {"Cyclic", buildCyclic},
+      {"Arith", buildArith},
+      {"DanglingElse", buildDanglingElse},
+  };
+  return All;
+}
+
+/// Renders every active rule by name so two grammars with different interned
+/// ids can be compared structurally.
+std::vector<std::string> ruleSpellings(const Grammar &G) {
+  std::vector<std::string> Result;
+  for (RuleId Id : G.activeRules())
+    Result.push_back(G.ruleToString(Id));
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+class BnfRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BnfRoundTripTest, WriteThenReadIsIsomorphic) {
+  const Fixture &F = fixtures()[GetParam()];
+  SCOPED_TRACE(F.Name);
+
+  Grammar Original;
+  F.Build(Original);
+  std::string Text = writeBnf(Original);
+
+  Grammar Reread;
+  auto Count = readBnf(Reread, Text);
+  ASSERT_TRUE(bool(Count)) << "readBnf failed on:\n"
+                           << Text << "\nerror: " << Count.error().str();
+
+  EXPECT_EQ(Original.size(), Reread.size()) << Text;
+  EXPECT_EQ(ruleSpellings(Original), ruleSpellings(Reread)) << Text;
+
+  ItemSetGraph OriginalGraph(Original);
+  ItemSetGraph RereadGraph(Reread);
+  EXPECT_EQ(canonicalize(OriginalGraph), canonicalize(RereadGraph)) << Text;
+}
+
+TEST_P(BnfRoundTripTest, SecondRoundTripIsAFixpoint) {
+  const Fixture &F = fixtures()[GetParam()];
+  SCOPED_TRACE(F.Name);
+
+  Grammar Original;
+  F.Build(Original);
+  std::string First = writeBnf(Original);
+
+  Grammar Reread;
+  ASSERT_TRUE(bool(readBnf(Reread, First)));
+  EXPECT_EQ(First, writeBnf(Reread));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtures, BnfRoundTripTest,
+                         ::testing::Range<size_t>(0, fixtures().size()),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return fixtures()[Info.param].Name;
+                         });
+
+TEST(BnfRoundTripRandomTest, RandomGrammarsRoundTrip) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    Grammar Original;
+    buildRandomGrammar(Original, Seed);
+    std::string Text = writeBnf(Original);
+
+    Grammar Reread;
+    auto Count = readBnf(Reread, Text);
+    ASSERT_TRUE(bool(Count)) << Text;
+    EXPECT_EQ(ruleSpellings(Original), ruleSpellings(Reread)) << Text;
+  }
+}
+
+} // namespace

@@ -190,8 +190,9 @@ TEST_P(LlAgreementTest, TopDownAgreesWithGlr) {
   Ll1Table Table(G);
   for (const std::vector<SymbolId> &S : Case.Positive) {
     RdResult R = Rd.countParses(S, 1);
-    if (!R.LimitHit)
+    if (!R.LimitHit) {
       EXPECT_TRUE(R.Accepted) << "seed " << GetParam();
+    }
   }
   if (Table.isLl1()) {
     Ll1Parser Ll(Table, G);

@@ -80,9 +80,10 @@ TEST(SdfParser, GlrAcceptsAllSamples) {
     GlrResult R = Parser.parse(Tokens, F);
     EXPECT_TRUE(R.Accepted) << Sample.Name << " rejected at token "
                             << R.ErrorIndex;
-    if (R.Accepted)
+    if (R.Accepted) {
       EXPECT_EQ(F.countTrees(R.Root), 1u)
           << Sample.Name << " parses ambiguously";
+    }
   }
 }
 
