@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "core/Ipg.h"
@@ -72,7 +73,8 @@ StormOutcome runStorm(bool UseMarkSweep) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("ablation_gc", argc, argv);
   std::printf("§6.2 — garbage collection under an edit storm over the SDF "
               "grammar\n(every rule deleted, reparsed, re-added, reparsed)\n\n");
 
@@ -127,20 +129,28 @@ int main() {
               "repair, %zu after mark-sweep (reclaimed %zu)\n",
               BeforeDelete, AfterRefcount, Gen.graph().numLive(), Swept);
 
+  H.report().addCounter("ablation_gc/fresh_states", FreshStates);
+  H.report().addCounter("ablation_gc/refcount/live_at_end",
+                        Refcount.LiveAtEnd);
+  H.report().addCounter("ablation_gc/refcount/collected",
+                        Refcount.Collected);
+  H.report().addScalar("ablation_gc/refcount/storm", Refcount.Seconds,
+                       "seconds");
+  H.report().addCounter("ablation_gc/mark_sweep/live_at_end",
+                        MarkSweep.LiveAtEnd);
+  H.report().addCounter("ablation_gc/mark_sweep/collected",
+                        MarkSweep.Collected);
+  H.report().addScalar("ablation_gc/mark_sweep/storm", MarkSweep.Seconds,
+                       "seconds");
+  H.report().addCounter("ablation_gc/cyclic_microcase/swept", Swept);
+
   std::printf("\nshape checks:\n");
-  int Failures = 0;
-  Failures += checkShape(Refcount.Collected > 0,
-                         "refcounting reclaims acyclic garbage");
-  Failures += checkShape(Refcount.LiveAtEnd >= MarkSweep.LiveAtEnd,
-                         "mark-and-sweep never keeps more than refcounting");
-  Failures += checkShape(MarkSweep.LiveAtEnd <= FreshStates * 3 / 2,
-                         "with mark-and-sweep the graph stays near the "
-                         "fresh footprint");
-  Failures += checkShape(Swept > 0,
-                         "refcounting strands the cyclic or-branch; "
-                         "mark-and-sweep reclaims it (§6.2)");
-  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
-                            : "\n%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  H.check(Refcount.Collected > 0, "refcounting reclaims acyclic garbage");
+  H.check(Refcount.LiveAtEnd >= MarkSweep.LiveAtEnd,
+          "mark-and-sweep never keeps more than refcounting");
+  H.check(MarkSweep.LiveAtEnd <= FreshStates * 3 / 2,
+          "with mark-and-sweep the graph stays near the fresh footprint");
+  H.check(Swept > 0, "refcounting strands the cyclic or-branch; "
+                     "mark-and-sweep reclaims it (§6.2)");
+  return H.finish();
 }

@@ -9,13 +9,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "glr/GlrParser.h"
 #include "glr/ParParse.h"
 #include "grammar/GrammarBuilder.h"
 
-#include <cassert>
 #include <cstdio>
 
 using namespace ipg;
@@ -35,12 +35,14 @@ std::vector<SymbolId> ladder(const Grammar &G, unsigned Operands) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("ablation_gss_vs_clone", argc, argv);
   std::printf("§3.2 — GSS Tomita vs the literal PAR-PARSE on E ::= E+E | a\n\n");
   TextTable Table({"operands", "GSS nodes", "GSS time", "clone copies",
                    "clone max pool", "clone time"});
 
   double LastGss = 0, LastClone = 0;
+  bool AllAccept = true;
   uint64_t Copies4 = 0, Copies8 = 0;
   for (unsigned N : {2u, 4u, 6u, 8u, 10u}) {
     Grammar G;
@@ -52,22 +54,31 @@ int main() {
     Graph.generateAll();
     std::vector<SymbolId> Input = ladder(G, N);
 
+    std::string Key =
+        "ablation_gss_vs_clone/operands_" + std::to_string(N);
+
     GlrParser Gss(Graph);
-    Stopwatch Watch;
     Forest F;
     GlrResult RG = Gss.parse(Input, F);
-    double GssTime = Watch.seconds();
-    assert(RG.Accepted);
+    AllAccept &= RG.Accepted;
+    double GssTime = H.measure(Key + "/gss", 5,
+                               [&] {
+                                 Forest Scratch;
+                                 Gss.parse(Input, Scratch);
+                               })
+                         .Median;
 
     ParParser Clone(Graph, /*StepLimit=*/200'000'000);
-    Watch.reset();
     ParParseResult RC = Clone.parse(Input);
-    double CloneTime = Watch.seconds();
-    assert(RC.Accepted && !RC.Diverged);
+    AllAccept &= RC.Accepted && !RC.Diverged;
+    double CloneTime =
+        H.measure(Key + "/clone", 5, [&] { Clone.parse(Input); }).Median;
 
     Table.addRow({std::to_string(N), std::to_string(RG.GssNodes),
                   ms(GssTime), std::to_string(RC.Copies),
                   std::to_string(RC.MaxLiveParsers), ms(CloneTime)});
+    H.report().addCounter(Key + "/gss_nodes", RG.GssNodes);
+    H.report().addCounter(Key + "/clone_copies", RC.Copies);
     LastGss = GssTime;
     LastClone = CloneTime;
     if (N == 4)
@@ -78,13 +89,9 @@ int main() {
   Table.print();
 
   std::printf("\nshape checks:\n");
-  int Failures = 0;
-  Failures += checkShape(Copies8 > Copies4 * 8,
-                         "cloned parsers multiply super-linearly");
-  Failures += checkShape(LastGss < LastClone,
-                         "the GSS beats cloning on ambiguous input");
-  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
-                            : "\n%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  H.check(AllAccept, "both formulations accept every ladder rung "
+                     "(timings measure real parses)");
+  H.check(Copies8 > Copies4 * 8, "cloned parsers multiply super-linearly");
+  H.check(LastGss < LastClone, "the GSS beats cloning on ambiguous input");
+  return H.finish();
 }

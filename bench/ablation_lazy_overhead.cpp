@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "core/Ipg.h"
@@ -39,7 +40,8 @@ std::vector<SymbolId> tokenize(SdfLanguage &Lang, std::string_view Text) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("ablation_lazy_overhead", argc, argv);
   std::printf("§5.3 — the overhead of lazy generation on the SDF grammar\n\n");
 
   // (a) Full-pipeline comparison doing identical total work: the eager
@@ -48,9 +50,9 @@ int main() {
   // case forces the remainder afterwards). Scanner setup and tokenization
   // stay outside the timed region. Any gap is the lazy overhead: ACTION's
   // state test plus interleaving effects.
-  auto TimePipeline = [](bool LazyFirst) {
+  auto TimePipeline = [&H](bool LazyFirst) {
     std::vector<double> Samples;
-    for (int I = 0; I < 7; ++I) {
+    for (int I = 0; I < H.reps(7); ++I) {
       SdfLanguage Lang;
       std::vector<SymbolId> Tokens = tokenize(Lang, sdfSamples()[2].Text);
       Stopwatch Watch;
@@ -78,15 +80,18 @@ int main() {
   ItemSetGraph EagerGraph(LangEager.grammar());
   EagerGraph.generateAll();
   GlrParser EagerParser(EagerGraph);
-  EagerParser.recognize(Input);
-  double EagerParse = medianSeconds(9, [&] { EagerParser.recognize(Input); });
+  double EagerParse =
+      H.measure("ablation_lazy_overhead/warm_parse/eager", 9,
+                [&] { EagerParser.recognize(Input); })
+          .Median;
 
   SdfLanguage LangLazy;
   std::vector<SymbolId> InputLazy = tokenize(LangLazy, sdfSamples()[3].Text);
   Ipg LazyGenr(LangLazy.grammar());
-  LazyGenr.recognize(InputLazy);
   double LazyParse =
-      medianSeconds(9, [&] { LazyGenr.recognize(InputLazy); });
+      H.measure("ablation_lazy_overhead/warm_parse/lazy", 9,
+                [&] { LazyGenr.recognize(InputLazy); })
+          .Median;
 
   // (c) Memory: the lazy/incremental graph keeps kernels (§5.3).
   size_t KernelItems = 0;
@@ -105,18 +110,20 @@ int main() {
               "%zu states\n",
               KernelItems, EagerGraph.numLive());
 
+  H.report().addScalar("ablation_lazy_overhead/pipeline/eager", EagerGen,
+                       "seconds");
+  H.report().addScalar("ablation_lazy_overhead/pipeline/lazy", LazyGen,
+                       "seconds");
+  H.report().addCounter("ablation_lazy_overhead/kernel_items_retained",
+                        KernelItems);
+
   std::printf("\nshape checks:\n");
-  int Failures = 0;
-  Failures += checkShape(LazyGen < EagerGen * 2.0,
-                         "lazy pipeline does the same total work within a "
-                         "small factor (§5.3: 'the overhead ... is small'; "
-                         "sub-ms medians carry real jitter)");
-  Failures +=
-      checkShape(LazyParse < EagerParse * 1.5,
-                 "once generated, parsing speed is effectively unaffected "
-                 "(§1: 'as efficient as a conventionally generated parser')");
-  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
-                            : "\n%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  H.check(LazyGen < EagerGen * 2.0,
+          "lazy pipeline does the same total work within a small factor "
+          "(§5.3: 'the overhead ... is small'; sub-ms medians carry real "
+          "jitter)");
+  H.check(LazyParse < EagerParse * 1.5,
+          "once generated, parsing speed is effectively unaffected (§1: "
+          "'as efficient as a conventionally generated parser')");
+  return H.finish();
 }

@@ -1,0 +1,96 @@
+//===- bench/bench_aggregate.cpp - Merge per-driver JSON documents ---------===//
+///
+/// \file
+/// Merges the `ipg-bench-v1` documents the individual drivers emit into
+/// the one suite-level document the perf trajectory tracks
+/// (`BENCH_ipg.json`):
+///
+/// \code{.json}
+///   {
+///     "schema": "ipg-bench-suite-v1",
+///     "reduced": false,
+///     "drivers": [ <ipg-bench-v1 documents, in argument order> ],
+///     "summary": { "drivers": 11, "results": 123, "checks": 45,
+///                  "failed_checks": 0 }
+///   }
+/// \endcode
+///
+/// Usage: ipg_bench_aggregate OUT.json IN1.json IN2.json ...
+/// Inputs that are missing, unparsable, or carry the wrong schema are hard
+/// errors — a silently short suite file would read as a healthy run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/PerfReport.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s OUT.json IN1.json [IN2.json ...]\n"
+                 "merges ipg-bench-v1 driver documents into the\n"
+                 "ipg-bench-suite-v1 trajectory document\n",
+                 argc > 0 ? argv[0] : "ipg_bench_aggregate");
+    return 2;
+  }
+
+  JsonValue Suite = JsonValue::object();
+  Suite.set("schema", "ipg-bench-suite-v1");
+  bool AnyReduced = false;
+  uint64_t NumResults = 0, NumChecks = 0, FailedChecks = 0;
+  JsonValue Drivers = JsonValue::array();
+
+  for (int I = 2; I < argc; ++I) {
+    const std::string Path = argv[I];
+    Expected<JsonValue> Doc = readJsonFile(Path);
+    if (!Doc) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                   Doc.error().str().c_str());
+      return 2;
+    }
+    const JsonValue *Schema = Doc->find("schema");
+    if (Schema == nullptr || Schema->kind() != JsonValue::Kind::String ||
+        Schema->asString() != PerfReport::SchemaName) {
+      std::fprintf(stderr, "error: %s: not an %s document\n", Path.c_str(),
+                   PerfReport::SchemaName);
+      return 2;
+    }
+    if (const JsonValue *Reduced = Doc->find("reduced"))
+      AnyReduced |= Reduced->kind() == JsonValue::Kind::Bool &&
+                    Reduced->asBool();
+    if (const JsonValue *Results = Doc->find("results"))
+      NumResults += Results->items().size();
+    if (const JsonValue *Checks = Doc->find("checks"))
+      NumChecks += Checks->items().size();
+    if (const JsonValue *Failed = Doc->find("failed_checks"))
+      FailedChecks += static_cast<uint64_t>(Failed->asNumber());
+    Drivers.push(Doc.take());
+  }
+
+  Suite.set("reduced", AnyReduced);
+  Suite.set("drivers", std::move(Drivers));
+  JsonValue &Summary = Suite.set("summary", JsonValue::object());
+  Summary.set("drivers", static_cast<uint64_t>(argc - 2));
+  Summary.set("results", NumResults);
+  Summary.set("checks", NumChecks);
+  Summary.set("failed_checks", FailedChecks);
+
+  Expected<size_t> Written = writeJsonFile(Suite, argv[1]);
+  if (!Written) {
+    std::fprintf(stderr, "error: %s\n", Written.error().str().c_str());
+    return 2;
+  }
+  std::printf("aggregated %d driver document(s) into %s (%zu bytes, "
+              "%llu results, %llu/%llu checks failed)\n",
+              argc - 2, argv[1], *Written,
+              (unsigned long long)NumResults,
+              (unsigned long long)FailedChecks,
+              (unsigned long long)NumChecks);
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bench/common/BenchHarness.cpp - Driver-side bench harness ----------===//
+
+#include "common/BenchHarness.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ipg;
+using namespace ipg::bench;
+
+BenchOptions ipg::bench::parseBenchOptions(int Argc, char **Argv,
+                                           bool AllowPassthrough) {
+  BenchOptions Options;
+  if (Argc > 0)
+    Options.Passthrough.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (startsWith(Arg, "--emit-json=")) {
+      Options.EmitJsonPath = std::string(Arg.substr(strlen("--emit-json=")));
+      if (Options.EmitJsonPath.empty()) {
+        std::fprintf(stderr, "error: --emit-json= needs a path\n");
+        Options.ParseError = true;
+      }
+    } else if (Arg == "--reduced") {
+      Options.Reduced = true;
+    } else if (AllowPassthrough) {
+      Options.Passthrough.push_back(Argv[I]);
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown argument '%s'\n"
+                   "usage: %s [--emit-json=PATH] [--reduced]\n",
+                   Argv[I], Argc > 0 ? Argv[0] : "bench");
+      Options.ParseError = true;
+    }
+  }
+  return Options;
+}
+
+BenchHarness::BenchHarness(std::string Driver, int Argc, char **Argv)
+    : Options(parseBenchOptions(Argc, Argv)), Report(std::move(Driver)) {
+  // Bail before any measurement runs: a typo'd flag should not cost a
+  // multi-minute benchmark pass before reporting exit code 2.
+  if (Options.ParseError)
+    std::exit(2);
+  Report.setReduced(Options.Reduced);
+}
+
+int ipg::bench::emitReport(const PerfReport &Report,
+                           const std::string &Path) {
+  if (Path.empty())
+    return 0;
+  Expected<size_t> Written = Report.writeFile(Path);
+  if (!Written) {
+    std::fprintf(stderr, "error: %s\n", Written.error().str().c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%zu bytes)\n", Path.c_str(), *Written);
+  return 0;
+}
+
+int BenchHarness::check(bool Ok, const std::string &Description) {
+  std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Description.c_str());
+  return Report.addCheck(Ok, Description);
+}
+
+int BenchHarness::finish() {
+  int Failed = Report.failedChecks();
+  if (Failed == 0)
+    std::printf("\nAll shape checks passed.\n");
+  else
+    std::printf("\n%d shape check(s) FAILED.\n", Failed);
+  if (int Err = emitReport(Report, Options.EmitJsonPath))
+    return Err;
+  return Failed == 0 ? 0 : 1;
+}

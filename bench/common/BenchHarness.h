@@ -1,0 +1,107 @@
+//===- bench/common/BenchHarness.h - Driver-side bench harness --*- C++ -*-===//
+///
+/// \file
+/// The common entry layer for all bench drivers: command-line parsing
+/// (`--emit-json=PATH`, `--reduced`), a warmup+repetition measurement
+/// runner on wall and CPU clocks (support/Timer.h), shape-check recording,
+/// and serialization of everything through support/PerfReport.h. Every
+/// driver builds one BenchHarness and funnels its numbers through it, so
+/// `ipg_bench_all` can collect a uniform `ipg-bench-v1` document from each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_BENCH_COMMON_BENCHHARNESS_H
+#define IPG_BENCH_COMMON_BENCHHARNESS_H
+
+#include "support/PerfReport.h"
+#include "support/Timer.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipg::bench {
+
+/// Options common to every bench driver.
+struct BenchOptions {
+  /// Where to write the ipg-bench-v1 document; empty = don't emit.
+  std::string EmitJsonPath;
+  /// Reduced-iteration smoke mode (CI): scale repetition counts down.
+  bool Reduced = false;
+  /// Set when an unknown argument was seen; the driver should exit 2.
+  bool ParseError = false;
+  /// Leftover argv (program name + unrecognized args), for drivers that
+  /// forward to another framework (micro_kernels -> Google Benchmark).
+  std::vector<char *> Passthrough;
+};
+
+/// Parses the shared bench flags out of argc/argv. Unrecognized arguments
+/// are collected into Passthrough; \p AllowPassthrough=false turns them
+/// into a ParseError instead.
+BenchOptions parseBenchOptions(int Argc, char **Argv,
+                               bool AllowPassthrough = false);
+
+/// Serializes \p Report to \p Path (no-op when empty) and prints the
+/// "wrote ..." confirmation. Returns 0 on success, 2 on a write error —
+/// the shared emission tail for BenchHarness::finish() and drivers that
+/// bypass the harness runner (micro_kernels).
+int emitReport(const PerfReport &Report, const std::string &Path);
+
+/// One harness per driver process: measurement + reporting + exit code.
+class BenchHarness {
+public:
+  /// Parses options; on a bad command line, prints usage to stderr and
+  /// exits with code 2 immediately (before any measurement runs).
+  BenchHarness(std::string Driver, int Argc, char **Argv);
+
+  bool reduced() const { return Options.Reduced; }
+
+  /// Scales a repetition count for smoke runs: full fidelity normally, a
+  /// floor of one repetition under --reduced.
+  int reps(int Full) const {
+    return Options.Reduced ? (Full >= 3 ? 3 : (Full > 0 ? Full : 1)) : Full;
+  }
+
+  /// The underlying report, for counters/scalars the runner cannot see.
+  PerfReport &report() { return Report; }
+
+  /// Runs \p Fn once unmeasured (warmup), then reps(FullReps) measured
+  /// times on both clocks; records the result under \p Name and returns
+  /// the wall-clock statistics.
+  template <typename FnT>
+  SampleStats measure(const std::string &Name, int FullReps, FnT &&Fn) {
+    Fn(); // Warmup: fault in code and allocator state.
+    int Reps = reps(FullReps);
+    std::vector<double> Wall, Cpu;
+    Wall.reserve(Reps);
+    Cpu.reserve(Reps);
+    for (int I = 0; I < Reps; ++I) {
+      CpuStopwatch CpuWatch;
+      Stopwatch WallWatch;
+      Fn();
+      Wall.push_back(WallWatch.seconds());
+      Cpu.push_back(CpuWatch.seconds());
+    }
+    SampleStats WallStats = SampleStats::of(std::move(Wall));
+    SampleStats CpuStats = SampleStats::of(std::move(Cpu));
+    Report.addTiming(Name, WallStats, &CpuStats);
+    return WallStats;
+  }
+
+  /// Prints "[PASS]"/"[FAIL] description", records the outcome, and
+  /// returns !Ok so callers can keep their failure arithmetic.
+  int check(bool Ok, const std::string &Description);
+
+  /// Prints the pass/fail summary, writes the JSON document when
+  /// `--emit-json` was given, and returns the process exit code:
+  /// 0 all checks passed, 1 some failed, 2 usage or write error.
+  int finish();
+
+private:
+  BenchOptions Options;
+  PerfReport Report;
+};
+
+} // namespace ipg::bench
+
+#endif // IPG_BENCH_COMMON_BENCHHARNESS_H

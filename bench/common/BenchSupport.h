@@ -1,10 +1,10 @@
 //===- bench/common/BenchSupport.h - Bench table printing ------*- C++ -*-===//
 ///
 /// \file
-/// Shared helpers for the reproduction benches: an aligned table printer
-/// for the paper-style outputs, and a shape-check reporter that asserts
-/// the qualitative relations the paper's figures show (who wins, by
-/// roughly what factor) without pinning absolute numbers.
+/// Presentation helpers for the reproduction benches: an aligned table
+/// printer for the paper-style outputs and millisecond formatting. The
+/// measurement/reporting machinery (shape checks, JSON emission) lives in
+/// BenchHarness.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,13 +58,6 @@ private:
   std::vector<std::string> Header;
   std::vector<std::vector<std::string>> Rows;
 };
-
-/// Prints PASS/FAIL for one qualitative expectation; returns !Ok so main()
-/// can sum failures into the exit code.
-inline int checkShape(bool Ok, const std::string &Description) {
-  std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Description.c_str());
-  return Ok ? 0 : 1;
-}
 
 /// Milliseconds with 3 decimals.
 inline std::string ms(double Seconds) {

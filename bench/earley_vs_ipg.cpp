@@ -10,6 +10,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "core/Ipg.h"
@@ -39,41 +40,57 @@ std::vector<SymbolId> tokenize(SdfLanguage &Lang, std::string_view Text) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("earley_vs_ipg", argc, argv);
+  const int FullReps = 5; // measure() applies the --reduced scaling.
   std::printf("§7 — Earley vs (warm) IPG vs deterministic LALR on the SDF "
               "inputs\n\n");
   TextTable Table(
       {"input", "tokens", "Earley", "IPG (warm)", "Yacc-style LR"});
 
   bool EarleyNeverWinsBig = true;
+  bool AllAccept = true;
   double EarleyFirst = 0, IpgFirst = 0;
   double EarleyLast = 0, IpgLast = 0, DetLast = 0;
   bool First = true;
   for (const SdfSample &Sample : sdfSamples()) {
     SdfLanguage Lang;
     std::vector<SymbolId> Tokens = tokenize(Lang, Sample.Text);
+    std::string Key = "earley_vs_ipg/" + std::string(Sample.Name);
 
-    // Earley: no generation phase at all, grammar-driven.
+    // Earley: no generation phase at all, grammar-driven. Acceptance is
+    // recorded as a shape check (not assert) so a Release build still
+    // refuses to publish timings over rejecting parses.
     EarleyParser Earley(Lang.grammar());
-    assert(Earley.recognize(Tokens));
+    AllAccept &= Earley.recognize(Tokens);
     double EarleyTime =
-        medianSeconds(5, [&] { Earley.recognize(Tokens); });
+        H.measure(Key + "/earley", FullReps,
+                  [&] { Earley.recognize(Tokens); })
+            .Median;
 
-    // IPG: warm (the table parts needed by this input already expanded).
+    // IPG: warm (the table parts needed by this input already expanded
+    // by this first parse).
     Ipg Gen(Lang.grammar());
-    assert(Gen.recognize(Tokens));
-    double IpgTime = medianSeconds(5, [&] { Gen.recognize(Tokens); });
+    AllAccept &= Gen.recognize(Tokens);
+    double IpgTime =
+        H.measure(Key + "/ipg_warm", FullReps,
+                  [&] { Gen.recognize(Tokens); })
+            .Median;
 
     // Deterministic floor.
     ItemSetGraph Graph(Lang.grammar());
     ParseTable LalrTable = buildLalr1Table(Graph);
     resolveConflictsYaccStyle(LalrTable, Lang.grammar());
     LrParser Det(LalrTable, Lang.grammar());
-    assert(Det.recognize(Tokens));
-    double DetTime = medianSeconds(5, [&] { Det.recognize(Tokens); });
+    AllAccept &= Det.recognize(Tokens);
+    double DetTime =
+        H.measure(Key + "/lr_deterministic", FullReps,
+                  [&] { Det.recognize(Tokens); })
+            .Median;
 
     Table.addRow({std::string(Sample.Name), std::to_string(Tokens.size()),
                   ms(EarleyTime), ms(IpgTime), ms(DetTime)});
+    H.report().addCounter(Key + "/tokens", Tokens.size());
     EarleyNeverWinsBig &= EarleyTime > IpgTime * 0.7;
     if (First) {
       EarleyFirst = EarleyTime;
@@ -97,17 +114,15 @@ int main() {
               "3-rule probe; exp.sdf below).\n");
 
   std::printf("\nshape checks:\n");
-  int Failures = 0;
-  Failures += checkShape(EarleyNeverWinsBig,
-                         "Earley never beats warm IPG by a real margin");
-  Failures += checkShape(EarleyLast > DetLast * 20,
-                         "Earley is far slower than the deterministic "
-                         "table-driven parser");
-  Failures += checkShape(EarleyFirst > IpgFirst,
-                         "on the smallest input the table-driven parser "
-                         "leads clearly");
-  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
-                            : "\n%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  H.check(AllAccept,
+          "every parser accepts every sample (timings measure real "
+          "parses)");
+  H.check(EarleyNeverWinsBig,
+          "Earley never beats warm IPG by a real margin");
+  H.check(EarleyLast > DetLast * 20,
+          "Earley is far slower than the deterministic table-driven "
+          "parser");
+  H.check(EarleyFirst > IpgFirst,
+          "on the smallest input the table-driven parser leads clearly");
+  return H.finish();
 }

@@ -23,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "core/Ipg.h"
@@ -120,10 +121,11 @@ std::string flexMark(const AlgorithmRow &Row) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("fig2_1_comparison", argc, argv);
   std::vector<AlgorithmRow> Rows;
   const size_t SpeedItems = 4000;
-  const int SpeedReps = 5;
+  const int SpeedReps = H.reps(5);
 
   // --- LALR(1) / Yacc-style --------------------------------------------
   {
@@ -255,13 +257,13 @@ int main() {
     Mod.generateAll();
     auto [MLhs, MRhs] = ModLang.modificationRule();
     Stopwatch Watch;
-    constexpr int ModReps = 20;
+    const int ModReps = H.reps(20);
     for (int I = 0; I < ModReps; ++I) {
       Mod.addRule(MLhs, std::vector<SymbolId>(MRhs));
       Mod.deleteRule(MLhs, MRhs);
     }
     double Incremental = Watch.seconds() / (2 * ModReps);
-    double Scratch = medianSeconds(5, [] {
+    double Scratch = medianSeconds(H.reps(5), [] {
       SdfLanguage Fresh;
       ItemSetGraph Graph(Fresh.grammar());
       Graph.generateAll();
@@ -286,8 +288,14 @@ int main() {
   Table.addRow({"Cigale (paper)", "", "++", "++", "+", "n/a"});
   Table.print();
 
+  for (const AlgorithmRow &Row : Rows) {
+    std::string Key = "fig2_1/" + Row.Name;
+    H.report().addScalar(Key + "/tokens_per_second", Row.TokensPerSecond,
+                         "tokens_per_second");
+    H.report().addScalar(Key + "/modify_ratio", Row.ModifyRatio, "ratio");
+  }
+
   std::printf("\nshape checks against the paper's matrix:\n");
-  int Failures = 0;
   auto Find = [&](const char *Name) -> AlgorithmRow & {
     for (AlgorithmRow &Row : Rows)
       if (Row.Name == Name)
@@ -295,24 +303,17 @@ int main() {
     static AlgorithmRow None;
     return None;
   };
-  Failures += checkShape(powerMark(Find("IPG")) == "++",
-                         "IPG is maximally powerful");
-  Failures += checkShape(powerMark(Find("Earley")) == "++",
-                         "Earley is maximally powerful");
-  Failures += checkShape(powerMark(Find("LR/LALR(1)")).empty(),
-                         "LALR(1) rejects the ambiguous probe");
-  Failures += checkShape(powerMark(Find("LL(1)")).empty(),
-                         "LL(1) rejects the ambiguous probe");
-  Failures += checkShape(Find("Earley").TokensPerSecond <
-                             Find("IPG").TokensPerSecond / 4,
-                         "Earley parses much slower than table-driven IPG");
-  Failures += checkShape(flexMark(Find("IPG")) != "",
-                         "IPG absorbs modifications cheaply");
-  Failures += checkShape(Find("LR/LALR(1)").TokensPerSecond >=
-                             Find("IPG").TokensPerSecond / 4,
-                         "deterministic LR parsing is in the top speed tier");
-  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
-                            : "\n%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  H.check(powerMark(Find("IPG")) == "++", "IPG is maximally powerful");
+  H.check(powerMark(Find("Earley")) == "++", "Earley is maximally powerful");
+  H.check(powerMark(Find("LR/LALR(1)")).empty(),
+          "LALR(1) rejects the ambiguous probe");
+  H.check(powerMark(Find("LL(1)")).empty(),
+          "LL(1) rejects the ambiguous probe");
+  H.check(Find("Earley").TokensPerSecond < Find("IPG").TokensPerSecond / 4,
+          "Earley parses much slower than table-driven IPG");
+  H.check(flexMark(Find("IPG")) != "", "IPG absorbs modifications cheaply");
+  H.check(Find("LR/LALR(1)").TokensPerSecond >=
+              Find("IPG").TokensPerSecond / 4,
+          "deterministic LR parsing is in the top speed tier");
+  return H.finish();
 }

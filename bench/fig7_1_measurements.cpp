@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "core/Ipg.h"
@@ -236,26 +237,39 @@ PhaseTimes runIpg(const Workload &W) {
   return T;
 }
 
-/// Medians per phase over repeated scenario runs.
-PhaseTimes medianPhases(PhaseTimes (*Run)(const Workload &),
-                        const Workload &W) {
+/// Full sample statistics per phase over repeated scenario runs (one
+/// warmup run first), so the emitted JSON carries the spread alongside the
+/// median the tables print.
+struct PhaseStats {
+  SampleStats Construct, Parse1, Parse2, Modify, Parse3, Parse4, Total;
+};
+
+PhaseStats samplePhases(PhaseTimes (*Run)(const Workload &),
+                        const Workload &W, int Reps) {
+  Run(W); // Warmup: fault in code and allocator state.
   std::vector<PhaseTimes> Samples;
-  for (int I = 0; I < Repetitions; ++I)
+  Samples.reserve(Reps);
+  for (int I = 0; I < Reps; ++I)
     Samples.push_back(Run(W));
-  auto MedianOf = [&](double PhaseTimes::*Member) {
+  auto StatsOf = [&](double PhaseTimes::*Member) {
     std::vector<double> Values;
+    Values.reserve(Samples.size());
     for (const PhaseTimes &S : Samples)
       Values.push_back(S.*Member);
-    std::sort(Values.begin(), Values.end());
-    return Values[Values.size() / 2];
+    return SampleStats::of(std::move(Values));
   };
-  PhaseTimes Result;
-  Result.Construct = MedianOf(&PhaseTimes::Construct);
-  Result.Parse1 = MedianOf(&PhaseTimes::Parse1);
-  Result.Parse2 = MedianOf(&PhaseTimes::Parse2);
-  Result.Modify = MedianOf(&PhaseTimes::Modify);
-  Result.Parse3 = MedianOf(&PhaseTimes::Parse3);
-  Result.Parse4 = MedianOf(&PhaseTimes::Parse4);
+  PhaseStats Result;
+  Result.Construct = StatsOf(&PhaseTimes::Construct);
+  Result.Parse1 = StatsOf(&PhaseTimes::Parse1);
+  Result.Parse2 = StatsOf(&PhaseTimes::Parse2);
+  Result.Modify = StatsOf(&PhaseTimes::Modify);
+  Result.Parse3 = StatsOf(&PhaseTimes::Parse3);
+  Result.Parse4 = StatsOf(&PhaseTimes::Parse4);
+  std::vector<double> Totals;
+  Totals.reserve(Samples.size());
+  for (const PhaseTimes &S : Samples)
+    Totals.push_back(S.total());
+  Result.Total = SampleStats::of(std::move(Totals));
   return Result;
 }
 
@@ -285,30 +299,57 @@ IpgWork measureIpgWork(const Workload &W) {
   return Work;
 }
 
-int runSection(const char *Title, const Workload &W, bool Scaled) {
+void runSection(BenchHarness &H, const char *Title, const std::string &Key,
+                const Workload &W, bool Scaled) {
   Grammar CountG;
   W.Build(CountG);
   size_t NumTokens = tokenize(CountG, W.InputText).size();
   std::printf("== %s (%zu tokens) ==\n", Title, NumTokens);
 
-  PhaseTimes Yacc = medianPhases(runYacc, W);
-  PhaseTimes Pg = medianPhases(runPg, W);
-  PhaseTimes Ipg = medianPhases(runIpg, W);
+  int Reps = H.reps(Repetitions);
+  PhaseStats Yacc = samplePhases(runYacc, W, Reps);
+  PhaseStats Pg = samplePhases(runPg, W, Reps);
+  PhaseStats Ipg = samplePhases(runIpg, W, Reps);
   IpgWork Work = measureIpgWork(W);
 
   TextTable Table({"phase", "Yacc", "PG", "IPG"});
-  auto Row = [&](const char *Name, double PhaseTimes::*M) {
-    Table.addRow({Name, ms(Yacc.*M), ms(Pg.*M), ms(Ipg.*M)});
+  struct PhaseName {
+    const char *Label;
+    const char *Slug;
+    SampleStats PhaseStats::*Member;
   };
-  Row("construct", &PhaseTimes::Construct);
-  Row("parse 1", &PhaseTimes::Parse1);
-  Row("parse 2", &PhaseTimes::Parse2);
-  Row("modify", &PhaseTimes::Modify);
-  Row("parse 3", &PhaseTimes::Parse3);
-  Row("parse 4", &PhaseTimes::Parse4);
-  Table.addRow({"total", ms(Yacc.total()), ms(Pg.total()),
-                ms(Ipg.total())});
+  const PhaseName Phases[] = {
+      {"construct", "construct", &PhaseStats::Construct},
+      {"parse 1", "parse1", &PhaseStats::Parse1},
+      {"parse 2", "parse2", &PhaseStats::Parse2},
+      {"modify", "modify", &PhaseStats::Modify},
+      {"parse 3", "parse3", &PhaseStats::Parse3},
+      {"parse 4", "parse4", &PhaseStats::Parse4},
+      {"total", "total", &PhaseStats::Total},
+  };
+  struct GeneratorColumn {
+    const char *Slug;
+    const PhaseStats *Times;
+  };
+  const GeneratorColumn Generators[] = {
+      {"yacc", &Yacc}, {"pg", &Pg}, {"ipg", &Ipg}};
+  for (const PhaseName &Phase : Phases)
+    Table.addRow({Phase.Label, ms((Yacc.*(Phase.Member)).Median),
+                  ms((Pg.*(Phase.Member)).Median),
+                  ms((Ipg.*(Phase.Member)).Median)});
   Table.print();
+  // The Fig 7.1 grid, one timing (median + spread) per (generator, phase).
+  for (const GeneratorColumn &Generator : Generators)
+    for (const PhaseName &Phase : Phases)
+      H.report().addTiming(Key + "/" + Generator.Slug + "/" + Phase.Slug,
+                           Generator.Times->*(Phase.Member));
+  H.report().addCounter(Key + "/tokens", NumTokens);
+  H.report().addCounter(Key + "/ipg/expansions_parse1",
+                        Work.ExpansionsParse1);
+  H.report().addCounter(Key + "/ipg/expansions_parse2",
+                        Work.ExpansionsParse2);
+  H.report().addCounter(Key + "/ipg/re_expansions_parse3",
+                        Work.ReExpansionsParse3);
   std::printf("IPG work: %llu expansions in parse 1, %llu in parse 2, "
               "%llu re-expansions in parse 3\n",
               (unsigned long long)Work.ExpansionsParse1,
@@ -316,65 +357,59 @@ int runSection(const char *Title, const Workload &W, bool Scaled) {
               (unsigned long long)Work.ReExpansionsParse3);
 
   std::printf("shape checks (the paper's qualitative findings):\n");
-  int Failures = 0;
-  Failures += checkShape(Ipg.Construct < Pg.Construct / 10,
-                         "IPG construction time is almost zero");
-  Failures += checkShape(Pg.Construct < Yacc.Construct,
-                         "PG (LR(0)) generates faster than Yacc (LALR(1))");
-  Failures += checkShape(Ipg.Modify < Pg.Modify / 5,
-                         "IPG modification is far cheaper than PG "
-                         "regeneration");
-  Failures += checkShape(Ipg.Modify < Yacc.Modify / 5,
-                         "IPG modification is far cheaper than Yacc "
-                         "regeneration");
-  Failures += checkShape(Work.ExpansionsParse1 > 0 &&
-                             Work.ExpansionsParse2 == 0,
-                         "the first parse generates table parts, the "
-                         "second generates none (§5)");
-  Failures += checkShape(Work.ReExpansionsParse3 > 0,
-                         "after MODIFY only re-expansions repair the "
-                         "table (§6)");
+  H.check(Ipg.Construct.Median < Pg.Construct.Median / 10,
+          "IPG construction time is almost zero");
+  H.check(Pg.Construct.Median < Yacc.Construct.Median,
+          "PG (LR(0)) generates faster than Yacc (LALR(1))");
+  H.check(Ipg.Modify.Median < Pg.Modify.Median / 5,
+          "IPG modification is far cheaper than PG regeneration");
+  H.check(Ipg.Modify.Median < Yacc.Modify.Median / 5,
+          "IPG modification is far cheaper than Yacc regeneration");
+  H.check(Work.ExpansionsParse1 > 0 && Work.ExpansionsParse2 == 0,
+          "the first parse generates table parts, the second generates "
+          "none (§5)");
+  H.check(Work.ReExpansionsParse3 > 0,
+          "after MODIFY only re-expansions repair the table (§6)");
   // The ground truth for §5's claim is the expansion counter above; the
   // timing check carries a generous noise band (sub-millisecond parses
   // on a ~100-state table jitter by tens of percent).
-  Failures += checkShape(Ipg.Parse2 <= Ipg.Parse1 * 1.4,
-                         "IPG second parse is not slower (within timing "
-                         "noise)");
-  Failures += checkShape(Yacc.Parse2 <= Pg.Parse2,
-                         "deterministic Yacc parser is at least as fast "
-                         "as the Tomita parser");
+  H.check(Ipg.Parse2.Median <= Ipg.Parse1.Median * 1.4,
+          "IPG second parse is not slower (within timing noise)");
+  H.check(Yacc.Parse2.Median <= Pg.Parse2.Median,
+          "deterministic Yacc parser is at least as fast as the Tomita "
+          "parser");
   // On the plain SDF grammar parsing dominates both totals, so IPG's
   // generation savings show as near-parity; the scaled section shows the
   // decisive win. Allow the noise band of sub-ms parse medians here.
-  Failures += checkShape(Ipg.total() <= Pg.total() * 1.2,
-                         "lazy+incremental is never beaten by conventional "
-                         "generation within the Tomita family");
+  H.check(Ipg.Total.Median <= Pg.Total.Median * 1.2,
+          "lazy+incremental is never beaten by conventional generation "
+          "within the Tomita family");
   if (Scaled) {
-    Failures += checkShape(
-        Ipg.Construct + Ipg.Parse1 < Yacc.Construct,
-        "time-to-first-parse: IPG parses before Yacc finishes generating");
-    Failures += checkShape(Ipg.total() < Yacc.total(),
-                           "IPG wins the interactive scenario end-to-end "
-                           "on a large grammar");
+    H.check(Ipg.Construct.Median + Ipg.Parse1.Median < Yacc.Construct.Median,
+            "time-to-first-parse: IPG parses before Yacc finishes "
+            "generating");
+    H.check(Ipg.Total.Median < Yacc.Total.Median,
+            "IPG wins the interactive scenario end-to-end on a large "
+            "grammar");
   }
   std::printf("\n");
-  return Failures;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("fig7_1_measurements", argc, argv);
   std::printf("Fig 7.1 — CPU time for Yacc (LALR(1)+LR), PG (LR(0)+Tomita) "
               "and IPG (lazy/incremental+Tomita)\n");
   std::printf("Phases: construct table; parse twice; modify grammar "
               "(CF-ELEM ::= \"(\" CF-ELEM+ \")?\"); parse twice.\n\n");
 
-  int Failures = 0;
   for (const SdfSample &Sample : sdfSamples()) {
     Workload W{buildSdf, Sample.Text};
     std::string Title = std::string(Sample.Name) + ", paper used " +
                         std::to_string(Sample.PaperTokenCount) + " tokens";
-    Failures += runSection(Title.c_str(), W, /*Scaled=*/false);
+    runSection(H, Title.c_str(), "fig7_1/" + std::string(Sample.Name), W,
+               /*Scaled=*/false);
   }
 
   // The regime the paper actually targets: a large grammar, small inputs.
@@ -382,11 +417,8 @@ int main() {
               "exercises one --\n");
   Workload Scaled{[](Grammar &G) { buildScaledSdf(G, 12); },
                   sdfSamples()[1].Text};
-  Failures += runSection("Exam.sdf against the 12x grammar", Scaled,
-                         /*Scaled=*/true);
+  runSection(H, "Exam.sdf against the 12x grammar", "fig7_1/scaled-12x",
+             Scaled, /*Scaled=*/true);
 
-  std::printf(Failures == 0 ? "All shape checks passed.\n"
-                            : "%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  return H.finish();
 }

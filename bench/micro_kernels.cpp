@@ -9,6 +9,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
+
 #include "core/Ipg.h"
 #include "earley/EarleyParser.h"
 #include "glr/GlrParser.h"
@@ -145,6 +147,58 @@ void BM_IncrementalModify(benchmark::State &State) {
 }
 BENCHMARK(BM_IncrementalModify);
 
+/// Console output as usual, plus capture of every run into the shared
+/// ipg-bench-v1 report (per-iteration wall/CPU seconds and the iteration
+/// count). Only members present in both the 1.7 and 1.8 Google Benchmark
+/// APIs are used.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit CapturingReporter(PerfReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+    for (const Run &R : Runs) {
+      if (R.iterations == 0)
+        continue;
+      std::string Name = R.benchmark_name();
+      double Iterations = static_cast<double>(R.iterations);
+      Report.addScalar(Name + "/real_time",
+                       R.real_accumulated_time / Iterations, "seconds");
+      Report.addScalar(Name + "/cpu_time",
+                       R.cpu_accumulated_time / Iterations, "seconds");
+      Report.addCounter(Name + "/iterations",
+                        static_cast<uint64_t>(R.iterations));
+    }
+  }
+
+private:
+  PerfReport &Report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  ipg::bench::BenchOptions Options =
+      ipg::bench::parseBenchOptions(argc, argv, /*AllowPassthrough=*/true);
+  if (Options.ParseError)
+    return 2;
+  PerfReport Report("micro_kernels");
+  Report.setReduced(Options.Reduced);
+
+  // Forward the unconsumed arguments (plus a short --benchmark_min_time
+  // under --reduced) to Google Benchmark.
+  std::vector<char *> Args = Options.Passthrough;
+  std::string MinTime = "--benchmark_min_time=0.01";
+  if (Options.Reduced)
+    Args.push_back(MinTime.data());
+  int BenchArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&BenchArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, Args.data()))
+    return 2;
+
+  CapturingReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  return ipg::bench::emitReport(Report, Options.EmitJsonPath);
+}

@@ -10,6 +10,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
 
 #include "core/Ipg.h"
@@ -35,14 +36,10 @@ std::vector<SymbolId> tokenize(SdfLanguage &Lang, std::string_view Text) {
   return Tokens.take();
 }
 
-double median(std::vector<double> Values) {
-  std::sort(Values.begin(), Values.end());
-  return Values.empty() ? 0 : Values[Values.size() / 2];
-}
-
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchHarness H("modify_cost", argc, argv);
   std::printf("§7 — ADD-RULE vs DELETE-RULE cost on the SDF grammar\n\n");
 
   SdfLanguage Lang;
@@ -77,28 +74,44 @@ int main() {
     (void)Accepted;
   }
 
-  double MedDelete = median(DeleteTimes), MedAdd = median(AddTimes);
-  double MedDeleteRepair = median(DeleteRepair),
-         MedAddRepair = median(AddRepair);
+  size_t RulesToggled = DeleteTimes.size();
+  SampleStats DeleteStats = SampleStats::of(std::move(DeleteTimes));
+  SampleStats AddStats = SampleStats::of(std::move(AddTimes));
+  SampleStats DeleteRepairStats = SampleStats::of(std::move(DeleteRepair));
+  SampleStats AddRepairStats = SampleStats::of(std::move(AddRepair));
+  H.report().addTiming("modify_cost/delete_rule", DeleteStats);
+  H.report().addTiming("modify_cost/delete_repair_parse",
+                       DeleteRepairStats);
+  H.report().addTiming("modify_cost/add_rule", AddStats);
+  H.report().addTiming("modify_cost/add_repair_parse", AddRepairStats);
+  double MedDelete = DeleteStats.Median, MedAdd = AddStats.Median;
+  double MedDeleteRepair = DeleteRepairStats.Median,
+         MedAddRepair = AddRepairStats.Median;
 
   // Non-incremental baseline for the same step: regenerate the whole
   // table, then run the same parse against it.
-  double RegenAndParse = medianSeconds(5, [&] {
-    SdfLanguage Fresh;
-    Scanner S;
-    configureSdfScanner(S);
-    Expected<std::vector<SymbolId>> Tokens =
-        S.tokenizeToSymbols(sdfSamples()[1].Text, Fresh.grammar());
-    ItemSetGraph Graph(Fresh.grammar());
-    Graph.generateAll();
-    GlrParser Parser(Graph);
-    Parser.recognize(*Tokens);
-  });
-  double RegenOnly = medianSeconds(5, [&] {
-    SdfLanguage Fresh;
-    ItemSetGraph Graph(Fresh.grammar());
-    Graph.generateAll();
-  });
+  double RegenAndParse =
+      H.measure("modify_cost/regenerate_and_parse", 5,
+                [&] {
+                  SdfLanguage Fresh;
+                  Scanner S;
+                  configureSdfScanner(S);
+                  Expected<std::vector<SymbolId>> Tokens =
+                      S.tokenizeToSymbols(sdfSamples()[1].Text,
+                                          Fresh.grammar());
+                  ItemSetGraph Graph(Fresh.grammar());
+                  Graph.generateAll();
+                  GlrParser Parser(Graph);
+                  Parser.recognize(*Tokens);
+                })
+          .Median;
+  double RegenOnly = H.measure("modify_cost/regenerate", 5,
+                               [&] {
+                                 SdfLanguage Fresh;
+                                 ItemSetGraph Graph(Fresh.grammar());
+                                 Graph.generateAll();
+                               })
+                         .Median;
 
   TextTable Table({"operation", "MODIFY (median)", "repair parse (median)"});
   Table.addRow({"DELETE-RULE", ms(MedDelete), ms(MedDeleteRepair)});
@@ -107,27 +120,24 @@ int main() {
   std::printf("\nnon-incremental baseline: regenerate %s, regenerate+parse "
               "%s\nrules toggled: %zu\n",
               ms(RegenOnly).c_str(), ms(RegenAndParse).c_str(),
-              DeleteTimes.size());
+              RulesToggled);
   std::printf("(note: the SDF table is only ~100 states on modern hardware; "
               "the paper expects\n grammars 'much larger than the grammar of "
               "SDF', where the gap widens further)\n");
 
+  H.report().addCounter("modify_cost/rules_toggled", RulesToggled);
+
   std::printf("\nshape checks:\n");
-  int Failures = 0;
   double Ratio = MedAdd > 0 && MedDelete > 0
                      ? std::max(MedAdd, MedDelete) /
                            std::min(MedAdd, MedDelete)
                      : 1.0;
-  Failures += checkShape(Ratio < 5.0,
-                         "addition and deletion cost roughly the same "
-                         "(ratio " + formatSeconds(Ratio, 2) + ")");
-  Failures += checkShape(MedAdd < RegenOnly / 5,
-                         "MODIFY itself is negligible next to regeneration");
-  Failures += checkShape(MedAdd + MedAddRepair < RegenAndParse * 2,
-                         "modify + repair-parse is within 2x of "
-                         "regenerate + parse even on this tiny table");
-  std::printf(Failures == 0 ? "\nAll shape checks passed.\n"
-                            : "\n%d shape check(s) FAILED.\n",
-              Failures);
-  return Failures == 0 ? 0 : 1;
+  H.check(Ratio < 5.0, "addition and deletion cost roughly the same "
+                       "(ratio " + formatSeconds(Ratio, 2) + ")");
+  H.check(MedAdd < RegenOnly / 5,
+          "MODIFY itself is negligible next to regeneration");
+  H.check(MedAdd + MedAddRepair < RegenAndParse * 2,
+          "modify + repair-parse is within 2x of regenerate + parse even "
+          "on this tiny table");
+  return H.finish();
 }

@@ -1,0 +1,74 @@
+# run_benchmarks.cmake — execute every bench driver with --emit-json and
+# aggregate the per-driver documents into the suite file (BENCH_ipg.json).
+#
+# Invoked by the `ipg_bench_all` target; can also be run by hand:
+#
+#   cmake -DBENCH_BIN_DIR=build/bench -DBENCH_JSON_DIR=build/bench/json \
+#         -DBENCH_OUTPUT=BENCH_ipg.json \
+#         "-DBENCH_DRIVERS=lr_family;modify_cost;..." \
+#         -P bench/run_benchmarks.cmake
+#
+# Environment:
+#   IPG_BENCH_REDUCED=1  — pass --reduced to every driver (CI smoke mode).
+#
+# A driver exiting non-zero (failed shape checks) fails the whole run after
+# all drivers have executed, so one regression does not hide another's
+# numbers.
+
+if(NOT DEFINED BENCH_BIN_DIR OR NOT DEFINED BENCH_JSON_DIR
+   OR NOT DEFINED BENCH_OUTPUT OR NOT DEFINED BENCH_DRIVERS)
+  message(FATAL_ERROR
+    "run_benchmarks.cmake needs -DBENCH_BIN_DIR, -DBENCH_JSON_DIR, "
+    "-DBENCH_OUTPUT and -DBENCH_DRIVERS")
+endif()
+
+set(reduced_flag "")
+if(DEFINED ENV{IPG_BENCH_REDUCED} AND NOT "$ENV{IPG_BENCH_REDUCED}" STREQUAL ""
+   AND NOT "$ENV{IPG_BENCH_REDUCED}" STREQUAL "0")
+  set(reduced_flag "--reduced")
+  message(STATUS "IPG_BENCH_REDUCED is set: running the smoke pass")
+endif()
+
+file(MAKE_DIRECTORY "${BENCH_JSON_DIR}")
+
+set(failed_drivers "")
+set(json_files "")
+foreach(driver IN LISTS BENCH_DRIVERS)
+  set(exe "${BENCH_BIN_DIR}/ipg_bench_${driver}")
+  set(json "${BENCH_JSON_DIR}/${driver}.json")
+  # Drop any document from a previous run first, so a driver that dies
+  # before emitting cannot smuggle stale numbers into the aggregate.
+  file(REMOVE "${json}")
+  message(STATUS "running ipg_bench_${driver}")
+  # Output streams through so the paper-style tables and [PASS] lines are
+  # visible in the build log.
+  execute_process(
+    COMMAND "${exe}" "--emit-json=${json}" ${reduced_flag}
+    RESULT_VARIABLE result)
+  if(NOT result EQUAL 0)
+    message(STATUS "ipg_bench_${driver} FAILED (exit ${result})")
+    list(APPEND failed_drivers "${driver}")
+  endif()
+  if(EXISTS "${json}")
+    list(APPEND json_files "${json}")
+  else()
+    message(STATUS "ipg_bench_${driver} emitted no JSON")
+    list(APPEND failed_drivers "${driver}-json")
+  endif()
+endforeach()
+
+# Refuse to aggregate a partial suite: overwriting ${BENCH_OUTPUT} with a
+# short document would read as a healthy (but outdated/incomplete) run.
+if(NOT failed_drivers STREQUAL "")
+  message(FATAL_ERROR "bench drivers failed: ${failed_drivers}; "
+    "${BENCH_OUTPUT} left untouched")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_BIN_DIR}/ipg_bench_aggregate" "${BENCH_OUTPUT}"
+          ${json_files}
+  RESULT_VARIABLE agg_result)
+if(NOT agg_result EQUAL 0)
+  message(FATAL_ERROR "ipg_bench_aggregate failed (exit ${agg_result})")
+endif()
+message(STATUS "benchmark suite written to ${BENCH_OUTPUT}")

@@ -53,23 +53,30 @@ void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
 std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
   // CLOSURE (§4): extend the kernel with B ::= •γ for every B that occurs
   // immediately after a dot, transitively. Predicted items all have dot 0,
-  // so presence is tracked per rule.
+  // so presence is tracked per rule. Two Bitset-backed scratch sets make
+  // the rebuild cheap: PredictedScratch replaces the per-call
+  // std::vector<bool> allocation, and MergedNtScratch lets the walk skip a
+  // nonterminal's rule list after its first occurrence instead of
+  // re-scanning it for every later item with the same symbol after the
+  // dot.
   std::vector<Item> Closure = K;
-  std::vector<bool> Predicted(G.numInternedRules(), false);
+  PredictedScratch.resize(G.numInternedRules());
+  PredictedScratch.clear();
+  MergedNtScratch.resize(G.symbols().size());
+  MergedNtScratch.clear();
   for (const Item &I : K)
     if (I.Dot == 0)
-      Predicted[I.Rule] = true;
+      PredictedScratch.set(I.Rule);
 
   for (size_t Next = 0; Next < Closure.size(); ++Next) {
     SymbolId After = symbolAfterDot(Closure[Next], G);
     if (After == InvalidSymbol || G.symbols().isTerminal(After))
       continue;
-    for (RuleId Id : G.rulesFor(After)) {
-      if (Predicted[Id])
-        continue;
-      Predicted[Id] = true;
-      Closure.push_back(Item{Id, 0});
-    }
+    if (!MergedNtScratch.set(After))
+      continue; // This nonterminal's rules were already merged.
+    for (RuleId Id : G.rulesFor(After))
+      if (PredictedScratch.set(Id))
+        Closure.push_back(Item{Id, 0});
   }
   return Closure;
 }
@@ -95,8 +102,11 @@ void ItemSetGraph::expand(ItemSet *State) {
   State->Accepting = false;
 
   // Partition the closure by the symbol after the dot (first-seen order —
-  // this reproduces the state numbering of the paper's figures).
+  // this reproduces the state numbering of the paper's figures). The
+  // symbol-indexed scratch turns the per-item group lookup into O(1).
   std::vector<std::pair<SymbolId, Kernel>> Groups;
+  if (GroupIndexScratch.size() < G.symbols().size())
+    GroupIndexScratch.resize(G.symbols().size(), 0);
   for (const Item &I : Closure) {
     SymbolId After = symbolAfterDot(I, G);
     if (After == InvalidSymbol) {
@@ -112,15 +122,15 @@ void ItemSetGraph::expand(ItemSet *State) {
       }
       continue;
     }
-    auto Group =
-        std::find_if(Groups.begin(), Groups.end(),
-                     [After](const auto &Entry) { return Entry.first == After; });
-    if (Group == Groups.end()) {
+    uint32_t &Slot = GroupIndexScratch[After];
+    if (Slot == 0) {
       Groups.emplace_back(After, Kernel{});
-      Group = std::prev(Groups.end());
+      Slot = static_cast<uint32_t>(Groups.size());
     }
-    Group->second.push_back(Item{I.Rule, I.Dot + 1});
+    Groups[Slot - 1].second.push_back(Item{I.Rule, I.Dot + 1});
   }
+  for (const auto &[Label, NewKernel] : Groups)
+    GroupIndexScratch[Label] = 0; // Reset only the touched slots.
 
   for (auto &[Label, NewKernel] : Groups) {
     canonicalizeKernel(NewKernel);

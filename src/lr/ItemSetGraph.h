@@ -25,6 +25,7 @@
 #define IPG_LR_ITEMSETGRAPH_H
 
 #include "lr/ItemSet.h"
+#include "support/Bitset.h"
 
 #include <deque>
 #include <unordered_map>
@@ -142,6 +143,15 @@ private:
   std::unordered_map<uint64_t, std::vector<ItemSet *>> ByKernel;
   ItemSet *Start = nullptr;
   ItemSetGraphStats Stats;
+
+  // Reusable scratch state for the EXPAND hot path (§4/§5): CLOSURE's
+  // per-call set rebuilds become clears of preallocated Bitsets instead of
+  // fresh heap allocations, and the symbol-indexed partition scratch makes
+  // the transition grouping O(1) per item. All are logically transient —
+  // mutable so the const CLOSURE can use them.
+  mutable Bitset PredictedScratch;   ///< Per-closure predicted-rule dedup.
+  mutable Bitset MergedNtScratch;    ///< Per-closure nonterminal dedup.
+  mutable std::vector<uint32_t> GroupIndexScratch; ///< expand() partition.
 };
 
 } // namespace ipg

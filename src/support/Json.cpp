@@ -1,0 +1,497 @@
+//===- support/Json.cpp - Minimal JSON value, writer and parser -----------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ipg;
+
+//===----------------------------------------------------------------------===//
+// Document model
+//===----------------------------------------------------------------------===//
+
+JsonValue &JsonValue::push(JsonValue Value) {
+  Items.push_back(std::move(Value));
+  return Items.back();
+}
+
+JsonValue &JsonValue::set(std::string Key, JsonValue Value) {
+  for (auto &[Name, Existing] : Fields)
+    if (Name == Key) {
+      Existing = std::move(Value);
+      return Existing;
+    }
+  Fields.emplace_back(std::move(Key), std::move(Value));
+  return Fields.back().second;
+}
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  for (const auto &[Name, Value] : Fields)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue &Other) const {
+  if (K != Other.K)
+    return false;
+  switch (K) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return BoolValue == Other.BoolValue;
+  case Kind::Number:
+    return NumberValue == Other.NumberValue;
+  case Kind::String:
+    return StringValue == Other.StringValue;
+  case Kind::Array:
+    return Items == Other.Items;
+  case Kind::Object:
+    return Fields == Other.Fields;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &Text) {
+  Out += '"';
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+      } else {
+        Out += C; // UTF-8 passes through untouched.
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendNumber(std::string &Out, double Value) {
+  // Integers in the exactly-representable range print without a fraction,
+  // so counters stay grep-able; everything else uses round-trippable %.17g.
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 9007199254740992.0 /* 2^53 */) {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%lld",
+                  static_cast<long long>(Value));
+    Out += Buffer;
+    return;
+  }
+  if (!std::isfinite(Value)) {
+    Out += "null"; // JSON has no Inf/NaN; null keeps the document valid.
+    return;
+  }
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  Out += Buffer;
+}
+
+void appendNewlineIndent(std::string &Out, int Indent, int Depth) {
+  if (Indent <= 0)
+    return;
+  Out += '\n';
+  Out.append(static_cast<size_t>(Indent) * Depth, ' ');
+}
+
+} // namespace
+
+void JsonValue::dumpTo(std::string &Out, int Indent, int Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += BoolValue ? "true" : "false";
+    return;
+  case Kind::Number:
+    appendNumber(Out, NumberValue);
+    return;
+  case Kind::String:
+    appendEscaped(Out, StringValue);
+    return;
+  case Kind::Array: {
+    if (Items.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Items.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      appendNewlineIndent(Out, Indent, Depth + 1);
+      Items[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    appendNewlineIndent(Out, Indent, Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Fields.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      appendNewlineIndent(Out, Indent, Depth + 1);
+      appendEscaped(Out, Fields[I].first);
+      Out += Indent > 0 ? ": " : ":";
+      Fields[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    appendNewlineIndent(Out, Indent, Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string JsonValue::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  Expected<JsonValue> parse() {
+    Expected<JsonValue> Value = parseValue(0);
+    if (!Value)
+      return Value;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON document");
+    return Value;
+  }
+
+private:
+  static constexpr int MaxDepth = 200;
+
+  Error makeError(const std::string &Message) const {
+    // Report 1-based line/column of the current position.
+    unsigned Line = 1, Column = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Column = 1;
+      } else {
+        ++Column;
+      }
+    }
+    return Error(Message, Line, Column);
+  }
+
+  Expected<JsonValue> fail(const std::string &Message) const {
+    return Expected<JsonValue>(makeError(Message));
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeKeyword(std::string_view Keyword) {
+    if (Text.substr(Pos, Keyword.size()) != Keyword)
+      return false;
+    Pos += Keyword.size();
+    return true;
+  }
+
+  Expected<JsonValue> parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("JSON nesting too deep");
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"') {
+      Expected<std::string> S = parseString();
+      if (!S)
+        return Expected<JsonValue>(S.error());
+      return JsonValue(S.take());
+    }
+    if (consumeKeyword("null"))
+      return JsonValue();
+    if (consumeKeyword("true"))
+      return JsonValue(true);
+    if (consumeKeyword("false"))
+      return JsonValue(false);
+    return parseNumber();
+  }
+
+  Expected<JsonValue> parseObject(int Depth) {
+    ++Pos; // '{'
+    JsonValue Object = JsonValue::object();
+    skipWhitespace();
+    if (consume('}'))
+      return Object;
+    while (true) {
+      skipWhitespace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      Expected<std::string> Key = parseString();
+      if (!Key)
+        return Expected<JsonValue>(Key.error());
+      skipWhitespace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Expected<JsonValue> Value = parseValue(Depth + 1);
+      if (!Value)
+        return Value;
+      Object.set(Key.take(), Value.take());
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Object;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<JsonValue> parseArray(int Depth) {
+    ++Pos; // '['
+    JsonValue Array = JsonValue::array();
+    skipWhitespace();
+    if (consume(']'))
+      return Array;
+    while (true) {
+      Expected<JsonValue> Value = parseValue(Depth + 1);
+      if (!Value)
+        return Value;
+      Array.push(Value.take());
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Array;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return false;
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + I];
+      uint32_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = 10 + (C - 'a');
+      else if (C >= 'A' && C <= 'F')
+        Digit = 10 + (C - 'A');
+      else
+        return false;
+      Out = Out * 16 + Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  Expected<std::string> parseString() {
+    ++Pos; // '"'
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return Out;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return Expected<std::string>(
+            makeError("unescaped control character in string"));
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos; // '\'
+      if (Pos >= Text.size())
+        break;
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        uint32_t Code;
+        if (!parseHex4(Code))
+          return Expected<std::string>(makeError("invalid \\u escape"));
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // High surrogate: a low surrogate must follow.
+          uint32_t Low;
+          if (!consumeKeyword("\\u") || !parseHex4(Low) || Low < 0xDC00 ||
+              Low > 0xDFFF)
+            return Expected<std::string>(makeError("unpaired surrogate"));
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return Expected<std::string>(makeError("unpaired surrogate"));
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return Expected<std::string>(makeError("invalid escape character"));
+      }
+    }
+    return Expected<std::string>(makeError("unterminated string"));
+  }
+
+  Expected<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto SkipDigits = [&] {
+      size_t Before = Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+      return Pos > Before;
+    };
+    if (!SkipDigits())
+      return fail("invalid number");
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!SkipDigits())
+        return fail("invalid number: missing fraction digits");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!SkipDigits())
+        return fail("invalid number: missing exponent digits");
+    }
+    std::string Literal(Text.substr(Start, Pos - Start));
+    return JsonValue(std::strtod(Literal.c_str(), nullptr));
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<JsonValue> ipg::parseJson(std::string_view Text) {
+  return JsonParser(Text).parse();
+}
+
+Expected<size_t> ipg::writeJsonFile(const JsonValue &Value,
+                                    const std::string &Path) {
+  std::string Out = Value.dump();
+  Out += '\n';
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (File == nullptr)
+    return Expected<size_t>(Error("cannot open " + Path + " for writing"));
+  size_t Written = std::fwrite(Out.data(), 1, Out.size(), File);
+  bool CloseOk = std::fclose(File) == 0;
+  if (Written != Out.size() || !CloseOk)
+    return Expected<size_t>(Error("short write to " + Path));
+  return Written;
+}
+
+Expected<JsonValue> ipg::readJsonFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (File == nullptr)
+    return Expected<JsonValue>(Error("cannot open " + Path));
+  std::string Content;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Content.append(Buffer, Read);
+  std::fclose(File);
+  return parseJson(Content);
+}

@@ -1,0 +1,116 @@
+//===- support/Json.h - Minimal JSON value, writer and parser ---*- C++ -*-===//
+///
+/// \file
+/// A small JSON document model used by the benchmark harness to emit
+/// machine-readable results (`BENCH_ipg.json`) and read them back for
+/// aggregation. Object fields keep *insertion order*, so a document built
+/// from the same calls always serializes byte-identically — the schema
+/// stability the perf-trajectory tooling relies on. The parser is a
+/// recursive-descent reader for standard JSON returning Expected, matching
+/// the library's no-exceptions error discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_JSON_H
+#define IPG_SUPPORT_JSON_H
+
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipg {
+
+/// A JSON document node: null, bool, number, string, array or object.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool Value) : K(Kind::Bool), BoolValue(Value) {}
+  JsonValue(double Value) : K(Kind::Number), NumberValue(Value) {}
+  JsonValue(int Value) : K(Kind::Number), NumberValue(Value) {}
+  JsonValue(int64_t Value)
+      : K(Kind::Number), NumberValue(static_cast<double>(Value)) {}
+  JsonValue(uint64_t Value)
+      : K(Kind::Number), NumberValue(static_cast<double>(Value)) {}
+  JsonValue(std::string Value) : K(Kind::String), StringValue(std::move(Value)) {}
+  JsonValue(std::string_view Value) : JsonValue(std::string(Value)) {}
+  JsonValue(const char *Value) : JsonValue(std::string(Value)) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+
+  bool asBool() const { return BoolValue; }
+  double asNumber() const { return NumberValue; }
+  const std::string &asString() const { return StringValue; }
+
+  /// Array elements (valid for arrays).
+  const std::vector<JsonValue> &items() const { return Items; }
+
+  /// Object fields in insertion order (valid for objects).
+  const std::vector<std::pair<std::string, JsonValue>> &fields() const {
+    return Fields;
+  }
+
+  /// Appends \p Value to an array; returns a reference to the stored copy.
+  JsonValue &push(JsonValue Value);
+
+  /// Sets object field \p Key (overwriting in place if present, appending
+  /// otherwise); returns a reference to the stored value.
+  JsonValue &set(std::string Key, JsonValue Value);
+
+  /// Pointer to the value of field \p Key, or nullptr if absent / not an
+  /// object.
+  const JsonValue *find(std::string_view Key) const;
+
+  /// Deep structural equality. Numbers compare exactly.
+  bool operator==(const JsonValue &Other) const;
+  bool operator!=(const JsonValue &Other) const { return !(*this == Other); }
+
+  /// Serializes the document. \p Indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact form. Field order is insertion
+  /// order, so equal build sequences yield byte-identical output.
+  std::string dump(int Indent = 2) const;
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K;
+  bool BoolValue = false;
+  double NumberValue = 0;
+  std::string StringValue;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// anything else after the document is an error).
+Expected<JsonValue> parseJson(std::string_view Text);
+
+/// Serializes \p Value to \p Path (with a trailing newline). Returns the
+/// number of bytes written.
+Expected<size_t> writeJsonFile(const JsonValue &Value, const std::string &Path);
+
+/// Reads and parses the JSON document at \p Path.
+Expected<JsonValue> readJsonFile(const std::string &Path);
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_JSON_H

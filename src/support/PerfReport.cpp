@@ -1,0 +1,69 @@
+//===- support/PerfReport.cpp - Machine-readable bench results ------------===//
+
+#include "support/PerfReport.h"
+
+using namespace ipg;
+
+void PerfReport::addTiming(const std::string &Name, const SampleStats &Wall,
+                           const SampleStats *Cpu) {
+  JsonValue Result = JsonValue::object();
+  Result.set("name", Name);
+  Result.set("unit", "seconds");
+  Result.set("median", Wall.Median);
+  Result.set("mean", Wall.Mean);
+  Result.set("stddev", Wall.Stddev);
+  Result.set("min", Wall.Min);
+  Result.set("max", Wall.Max);
+  Result.set("samples", static_cast<uint64_t>(Wall.Count));
+  if (Cpu != nullptr) {
+    Result.set("cpu_median", Cpu->Median);
+    Result.set("cpu_mean", Cpu->Mean);
+  }
+  Results.push_back(std::move(Result));
+}
+
+void PerfReport::addScalar(const std::string &Name, double Value,
+                           const std::string &Unit) {
+  JsonValue Result = JsonValue::object();
+  Result.set("name", Name);
+  Result.set("unit", Unit);
+  Result.set("value", Value);
+  Results.push_back(std::move(Result));
+}
+
+void PerfReport::addCounter(const std::string &Name, uint64_t Value) {
+  JsonValue Result = JsonValue::object();
+  Result.set("name", Name);
+  Result.set("unit", "count");
+  Result.set("value", Value);
+  Results.push_back(std::move(Result));
+}
+
+int PerfReport::addCheck(bool Ok, const std::string &Description) {
+  JsonValue Check = JsonValue::object();
+  Check.set("description", Description);
+  Check.set("pass", Ok);
+  Checks.push_back(std::move(Check));
+  if (!Ok)
+    ++FailedChecks;
+  return Ok ? 0 : 1;
+}
+
+JsonValue PerfReport::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", SchemaName);
+  Doc.set("driver", Driver);
+  Doc.set("reduced", Reduced);
+  JsonValue &ResultArray = Doc.set("results", JsonValue::array());
+  for (const JsonValue &Result : Results)
+    ResultArray.push(Result);
+  JsonValue &CheckArray = Doc.set("checks", JsonValue::array());
+  for (const JsonValue &Check : Checks)
+    CheckArray.push(Check);
+  Doc.set("failed_checks", FailedChecks);
+  return Doc;
+}
+
+Expected<size_t> PerfReport::writeFile(const std::string &Path) const {
+  return writeJsonFile(toJson(), Path);
+}

@@ -1,0 +1,94 @@
+//===- support/PerfReport.h - Machine-readable bench results ----*- C++ -*-===//
+///
+/// \file
+/// The stable result schema behind `BENCH_ipg.json`. Every bench driver
+/// builds one PerfReport and serializes it through support/Json.h; the
+/// aggregator merges the per-driver documents into the suite file. The
+/// schema (`ipg-bench-v1`) is deliberately flat and append-only:
+///
+/// \code{.json}
+///   {
+///     "schema": "ipg-bench-v1",
+///     "driver": "fig7_1_measurements",
+///     "reduced": false,
+///     "results": [
+///       { "name": "sdf/Exam.sdf/IPG/construct", "unit": "seconds",
+///         "median": 1.2e-05, "mean": ..., "stddev": ..., "min": ...,
+///         "max": ..., "samples": 7, "cpu_median": 1.1e-05 },
+///       { "name": "lazy/expansions_parse1", "unit": "count", "value": 66 }
+///     ],
+///     "checks": [ { "description": "...", "pass": true } ],
+///     "failed_checks": 0
+///   }
+/// \endcode
+///
+/// Field order is fixed by construction (support/Json.h objects keep
+/// insertion order), so consumers may diff documents textually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_PERFREPORT_H
+#define IPG_SUPPORT_PERFREPORT_H
+
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// Collects one bench driver's results and serializes them to the
+/// `ipg-bench-v1` JSON schema.
+class PerfReport {
+public:
+  /// The value of the top-level "schema" field.
+  static constexpr const char *SchemaName = "ipg-bench-v1";
+
+  explicit PerfReport(std::string Driver) : Driver(std::move(Driver)) {}
+
+  const std::string &driver() const { return Driver; }
+
+  /// Marks the report as produced by a reduced-iteration (smoke) run, so
+  /// trajectory tooling knows not to trend its numbers.
+  void setReduced(bool Value) { Reduced = Value; }
+  bool reduced() const { return Reduced; }
+
+  /// Records a repeated-timing result (seconds). \p Cpu, when provided,
+  /// adds the process-CPU-time view of the same repetitions.
+  void addTiming(const std::string &Name, const SampleStats &Wall,
+                 const SampleStats *Cpu = nullptr);
+
+  /// Records a single scalar measurement with an explicit \p Unit
+  /// (e.g. "seconds", "states", "bytes").
+  void addScalar(const std::string &Name, double Value,
+                 const std::string &Unit);
+
+  /// Records an integral event counter (unit "count").
+  void addCounter(const std::string &Name, uint64_t Value);
+
+  /// Records one qualitative shape-check outcome; returns !Ok so drivers
+  /// can sum failures into their exit code.
+  int addCheck(bool Ok, const std::string &Description);
+
+  size_t numResults() const { return Results.size(); }
+  int failedChecks() const { return FailedChecks; }
+
+  /// Builds the full document.
+  JsonValue toJson() const;
+
+  /// Serializes the document to \p Path.
+  Expected<size_t> writeFile(const std::string &Path) const;
+
+private:
+  std::string Driver;
+  bool Reduced = false;
+  std::vector<JsonValue> Results;
+  std::vector<JsonValue> Checks;
+  int FailedChecks = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_PERFREPORT_H

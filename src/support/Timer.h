@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <ctime>
 #include <vector>
 
 namespace ipg {
@@ -34,6 +36,61 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
+};
+
+/// Process-CPU-time stopwatch — the clock the paper's §7 tables report.
+/// Uses CLOCK_PROCESS_CPUTIME_ID where available (nanosecond granularity)
+/// and std::clock() elsewhere.
+class CpuStopwatch {
+public:
+  CpuStopwatch() { reset(); }
+
+  void reset() { Start = now(); }
+
+  /// CPU seconds consumed by the process since the last reset().
+  double seconds() const { return now() - Start; }
+
+private:
+  static double now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec Ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &Ts) == 0)
+      return Ts.tv_sec + Ts.tv_nsec * 1e-9;
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double Start = 0;
+};
+
+/// Summary statistics over repeated timing samples (seconds). Benchmarks
+/// report medians to damp scheduler noise; the spread fields let the JSON
+/// consumers judge how trustworthy a median is.
+struct SampleStats {
+  double Median = 0;
+  double Mean = 0;
+  double Stddev = 0; ///< Population standard deviation.
+  double Min = 0;
+  double Max = 0;
+  size_t Count = 0;
+
+  static SampleStats of(std::vector<double> Samples) {
+    SampleStats S;
+    S.Count = Samples.size();
+    if (Samples.empty())
+      return S;
+    std::sort(Samples.begin(), Samples.end());
+    S.Median = Samples[Samples.size() / 2];
+    S.Min = Samples.front();
+    S.Max = Samples.back();
+    for (double Value : Samples)
+      S.Mean += Value;
+    S.Mean /= Samples.size();
+    for (double Value : Samples)
+      S.Stddev += (Value - S.Mean) * (Value - S.Mean);
+    S.Stddev = std::sqrt(S.Stddev / Samples.size());
+    return S;
+  }
 };
 
 /// Runs \p Fn \p Reps times and returns the median wall-clock seconds.

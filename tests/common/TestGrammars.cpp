@@ -166,6 +166,16 @@ std::vector<SymbolId> derive(const Grammar &G, SymbolId Target, Prng &Rng,
 
 } // namespace
 
+std::vector<uint64_t> ipg::testing::seedsWhere(uint64_t Lo, uint64_t Hi,
+                                               bool (*Keep)(uint64_t Seed)) {
+  std::vector<uint64_t> Seeds;
+  for (uint64_t Seed = Lo; Seed < Hi; ++Seed)
+    if (Keep(Seed))
+      Seeds.push_back(Seed);
+  assert(!Seeds.empty() && "predicate rejected every seed in the range");
+  return Seeds;
+}
+
 RandomGrammarCase ipg::testing::buildRandomGrammar(
     Grammar &G, uint64_t Seed, unsigned NumTerminals,
     unsigned NumNonterminals, unsigned NumRules, unsigned NumSentences) {

@@ -243,11 +243,22 @@ TEST(GlrParser, TreeCountsMatchBacktrackingEnumeration) {
 
 class GlrCountPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
+/// Backtracking enumeration diverges on left recursion and derivation
+/// cycles, so the sweep is restricted to the enumerable grammar class at
+/// instantiation time — the generator is deterministic, and filtering up
+/// front keeps the skip count at zero where a sudden runtime skip would
+/// mask a regression.
+static bool seedIsEnumerable(uint64_t Seed) {
+  Grammar G;
+  buildRandomGrammar(G, Seed * 2654435761u);
+  return !isLeftRecursive(G) && !hasDerivationCycle(G);
+}
+
 TEST_P(GlrCountPropertyTest, CountsAgreeWithBacktracking) {
   Grammar G;
   RandomGrammarCase Case = buildRandomGrammar(G, GetParam() * 2654435761u);
-  if (isLeftRecursive(G) || hasDerivationCycle(G))
-    GTEST_SKIP() << "enumeration diverges on this seed";
+  ASSERT_FALSE(isLeftRecursive(G) || hasDerivationCycle(G))
+      << "seed filter out of sync";
   ItemSetGraph Graph(G);
   GlrParser Glr(Graph);
   BacktrackRdParser Rd(G, /*StepLimit=*/500000);
@@ -267,5 +278,11 @@ TEST_P(GlrCountPropertyTest, CountsAgreeWithBacktracking) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, GlrCountPropertyTest,
-                         ::testing::Range<uint64_t>(1, 26));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GlrCountPropertyTest,
+    ::testing::ValuesIn(seedsWhere(1, 26, seedIsEnumerable)));
+
+// Pins the filtered sweep size (see Lr1Test.cpp for the rationale).
+TEST(GlrCountPropertySeeds, FilterKeepsExpectedSeedCount) {
+  EXPECT_EQ(seedsWhere(1, 26, seedIsEnumerable).size(), 13u);
+}

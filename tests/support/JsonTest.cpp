@@ -1,0 +1,190 @@
+//===- tests/support/JsonTest.cpp - JSON model and bench emitter ----------===//
+///
+/// \file
+/// Covers the benchmark-result emission path end to end: the JsonValue
+/// document model and writer/parser pair (support/Json.h) and the
+/// ipg-bench-v1 schema built by support/PerfReport.h — shape, field-name
+/// determinism, and a file round-trip, since the perf-trajectory tooling
+/// diffs the emitted documents textually.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/PerfReport.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace ipg;
+
+namespace {
+
+TEST(Json, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().isNull());
+  EXPECT_EQ(JsonValue(true).kind(), JsonValue::Kind::Bool);
+  EXPECT_TRUE(JsonValue(true).asBool());
+  EXPECT_EQ(JsonValue(2.5).asNumber(), 2.5);
+  EXPECT_EQ(JsonValue(7).asNumber(), 7.0);
+  EXPECT_EQ(JsonValue("text").asString(), "text");
+}
+
+TEST(Json, ObjectFieldsKeepInsertionOrder) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("zebra", 1);
+  Doc.set("apple", 2);
+  Doc.set("mango", 3);
+  ASSERT_EQ(Doc.fields().size(), 3u);
+  EXPECT_EQ(Doc.fields()[0].first, "zebra");
+  EXPECT_EQ(Doc.fields()[1].first, "apple");
+  EXPECT_EQ(Doc.fields()[2].first, "mango");
+  // Overwrite updates in place without reordering.
+  Doc.set("apple", 9);
+  ASSERT_EQ(Doc.fields().size(), 3u);
+  EXPECT_EQ(Doc.fields()[1].first, "apple");
+  EXPECT_EQ(Doc.fields()[1].second.asNumber(), 9.0);
+}
+
+TEST(Json, FindReturnsFieldOrNull) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("present", "yes");
+  ASSERT_NE(Doc.find("present"), nullptr);
+  EXPECT_EQ(Doc.find("present")->asString(), "yes");
+  EXPECT_EQ(Doc.find("absent"), nullptr);
+  EXPECT_EQ(JsonValue(1.0).find("anything"), nullptr);
+}
+
+TEST(Json, DumpParseRoundTripPreservesStructure) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("name", "bench/closure \"quoted\" \\ path\n\ttabbed");
+  Doc.set("enabled", true);
+  Doc.set("nothing", JsonValue());
+  Doc.set("tiny", 1.25e-05);
+  JsonValue &Arr = Doc.set("values", JsonValue::array());
+  Arr.push(1);
+  Arr.push(JsonValue::object()).set("nested", -3.5);
+
+  for (int Indent : {0, 2, 4}) {
+    Expected<JsonValue> Parsed = parseJson(Doc.dump(Indent));
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << "indent " << Indent;
+    EXPECT_EQ(*Parsed, Doc) << "indent " << Indent;
+  }
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  for (const char *Bad : {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru",
+                          "1 2", "\"unterminated", "{\"a\":1,}"}) {
+    Expected<JsonValue> Parsed = parseJson(Bad);
+    EXPECT_FALSE(static_cast<bool>(Parsed)) << '"' << Bad << '"';
+  }
+}
+
+TEST(Json, EqualBuildSequencesDumpByteIdentically) {
+  auto Build = [] {
+    JsonValue Doc = JsonValue::object();
+    Doc.set("schema", "demo");
+    JsonValue &Arr = Doc.set("results", JsonValue::array());
+    Arr.push(JsonValue::object()).set("name", "x");
+    return Doc;
+  };
+  EXPECT_EQ(Build().dump(), Build().dump());
+  EXPECT_EQ(Build().dump(0), Build().dump(0));
+}
+
+/// A report with one of each result kind, as the drivers build them.
+PerfReport makeSampleReport() {
+  PerfReport Report("unit_test_driver");
+  SampleStats Wall = SampleStats::of({3e-6, 1e-6, 2e-6});
+  SampleStats Cpu = SampleStats::of({2.5e-6, 0.5e-6, 1.5e-6});
+  Report.addTiming("scenario/construct", Wall, &Cpu);
+  Report.addScalar("scenario/table_bytes", 4096.0, "bytes");
+  Report.addCounter("scenario/states", 97);
+  Report.addCheck(true, "construct faster than rebuild");
+  return Report;
+}
+
+TEST(PerfReport, SchemaShapeAndFieldOrder) {
+  JsonValue Doc = makeSampleReport().toJson();
+  ASSERT_TRUE(Doc.isObject());
+
+  // Top-level field names, in emission order: the ipg-bench-v1 contract.
+  const char *TopLevel[] = {"schema",  "driver", "reduced",
+                            "results", "checks", "failed_checks"};
+  ASSERT_EQ(Doc.fields().size(), 6u);
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(Doc.fields()[I].first, TopLevel[I]);
+
+  EXPECT_EQ(Doc.find("schema")->asString(), PerfReport::SchemaName);
+  EXPECT_EQ(Doc.find("driver")->asString(), "unit_test_driver");
+  EXPECT_FALSE(Doc.find("reduced")->asBool());
+  EXPECT_EQ(Doc.find("failed_checks")->asNumber(), 0.0);
+
+  const JsonValue &Results = *Doc.find("results");
+  ASSERT_TRUE(Results.isArray());
+  ASSERT_EQ(Results.items().size(), 3u);
+
+  // Timing result: summary statistics on both clocks.
+  const JsonValue &Timing = Results.items()[0];
+  const char *TimingFields[] = {"name", "unit",    "median",  "mean",
+                                "stddev", "min",   "max",     "samples",
+                                "cpu_median", "cpu_mean"};
+  ASSERT_EQ(Timing.fields().size(), 10u);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(Timing.fields()[I].first, TimingFields[I]);
+  EXPECT_EQ(Timing.find("unit")->asString(), "seconds");
+  EXPECT_EQ(Timing.find("median")->asNumber(), 2e-6);
+  EXPECT_EQ(Timing.find("samples")->asNumber(), 3.0);
+
+  // Scalar and counter results: name/unit/value.
+  EXPECT_EQ(Results.items()[1].find("unit")->asString(), "bytes");
+  EXPECT_EQ(Results.items()[2].find("unit")->asString(), "count");
+  EXPECT_EQ(Results.items()[2].find("value")->asNumber(), 97.0);
+
+  const JsonValue &Checks = *Doc.find("checks");
+  ASSERT_TRUE(Checks.isArray());
+  ASSERT_EQ(Checks.items().size(), 1u);
+  EXPECT_TRUE(Checks.items()[0].find("pass")->asBool());
+}
+
+TEST(PerfReport, EmissionIsDeterministic) {
+  // Two reports built by the same calls serialize byte-identically — the
+  // property the perf-trajectory diffing relies on.
+  EXPECT_EQ(makeSampleReport().toJson().dump(),
+            makeSampleReport().toJson().dump());
+}
+
+TEST(PerfReport, FailedChecksAreCounted) {
+  PerfReport Report("unit_test_driver");
+  EXPECT_EQ(Report.addCheck(true, "ok"), 0);
+  EXPECT_EQ(Report.addCheck(false, "broken"), 1);
+  EXPECT_EQ(Report.failedChecks(), 1);
+  JsonValue Doc = Report.toJson();
+  EXPECT_EQ(Doc.find("failed_checks")->asNumber(), 1.0);
+  EXPECT_FALSE(Doc.find("checks")->items()[1].find("pass")->asBool());
+}
+
+TEST(PerfReport, WrittenFileRoundTripsThroughParser) {
+  PerfReport Report = makeSampleReport();
+  std::string Path =
+      ::testing::TempDir() + "ipg_perf_report_roundtrip.json";
+  Expected<size_t> Written = Report.writeFile(Path);
+  ASSERT_TRUE(static_cast<bool>(Written));
+  EXPECT_GT(*Written, 0u);
+
+  Expected<JsonValue> Loaded = readJsonFile(Path);
+  ASSERT_TRUE(static_cast<bool>(Loaded));
+  EXPECT_EQ(*Loaded, Report.toJson());
+  std::remove(Path.c_str());
+}
+
+TEST(PerfReport, ReducedFlagSurvivesRoundTrip) {
+  PerfReport Report("smoke");
+  Report.setReduced(true);
+  Expected<JsonValue> Parsed = parseJson(Report.toJson().dump());
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  EXPECT_TRUE(Parsed->find("reduced")->asBool());
+}
+
+} // namespace
