@@ -10,7 +10,7 @@
 ///     "schema": "ipg-bench-suite-v1",
 ///     "reduced": false,
 ///     "drivers": [ <ipg-bench-v1 documents, in argument order> ],
-///     "summary": { "drivers": 11, "results": 123, "checks": 45,
+///     "summary": { "drivers": 12, "results": 123, "checks": 45,
 ///                  "failed_checks": 0 }
 ///   }
 /// \endcode

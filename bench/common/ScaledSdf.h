@@ -1,0 +1,65 @@
+//===- bench/common/ScaledSdf.h - Shared scaled-SDF workload ----*- C++ -*-===//
+///
+/// \file
+/// The "much larger than the grammar of SDF" regime of §7, shared by the
+/// drivers that measure against it (fig7_1_measurements, warm_start) so
+/// their notions of "the 12x-SDF grammar" and "the Fig 7.1 modification"
+/// cannot drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_BENCH_COMMON_SCALEDSDF_H
+#define IPG_BENCH_COMMON_SCALEDSDF_H
+
+#include "sdf/SdfLanguage.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipg::bench {
+
+/// Fills \p G with the SDF grammar plus \p Copies-1 renamed clones. Only
+/// the unprefixed copy is ever exercised by input, so the lazy generator
+/// skips the clones entirely while the batch generators must process them.
+inline void buildScaledSdf(Grammar &G, int Copies) {
+  SdfLanguage Base;
+  const Grammar &From = Base.grammar();
+  for (int Copy = 0; Copy < Copies; ++Copy) {
+    // += instead of an operator+ chain: GCC 12 -Wrestrict misfires at -O3.
+    std::string Prefix;
+    if (Copy != 0) {
+      Prefix = "M";
+      Prefix += std::to_string(Copy);
+      Prefix += "#";
+    }
+    auto Map = [&](SymbolId Sym) {
+      if (Sym == From.startSymbol())
+        return G.startSymbol();
+      SymbolId Mapped = G.symbols().intern(Prefix + From.symbols().name(Sym));
+      if (From.symbols().isNonterminal(Sym))
+        G.symbols().markNonterminal(Mapped);
+      return Mapped;
+    };
+    for (RuleId Id : From.activeRules()) {
+      const Rule &R = From.rule(Id);
+      std::vector<SymbolId> Rhs;
+      Rhs.reserve(R.Rhs.size());
+      for (SymbolId Sym : R.Rhs)
+        Rhs.push_back(Map(Sym));
+      G.addRule(Map(R.Lhs), std::move(Rhs));
+    }
+  }
+}
+
+/// The Fig 7.1 modification rule against the (unprefixed) CF-ELEM.
+inline std::pair<SymbolId, std::vector<SymbolId>>
+scaledSdfModification(Grammar &G) {
+  return {G.symbols().intern("CF-ELEM"),
+          {G.symbols().intern("("), G.symbols().intern("CF-ELEM+"),
+           G.symbols().intern(")?")}};
+}
+
+} // namespace ipg::bench
+
+#endif // IPG_BENCH_COMMON_SCALEDSDF_H

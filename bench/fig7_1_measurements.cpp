@@ -29,6 +29,7 @@
 
 #include "common/BenchHarness.h"
 #include "common/BenchSupport.h"
+#include "common/ScaledSdf.h"
 
 #include "core/Ipg.h"
 #include "glr/GlrParser.h"
@@ -70,41 +71,10 @@ void buildSdf(Grammar &G) {
   Grammar::cloneActiveRules(Lang.grammar(), G);
 }
 
-/// Fills \p G with the SDF grammar plus \p Copies-1 renamed clones — the
-/// "much larger grammar" regime of §7. Only the unprefixed copy is ever
-/// exercised by input, so the lazy generator skips the clones entirely
-/// while the batch generators must process them.
-void buildScaledSdf(Grammar &G, int Copies) {
-  SdfLanguage Base;
-  const Grammar &From = Base.grammar();
-  for (int Copy = 0; Copy < Copies; ++Copy) {
-    std::string Prefix =
-        Copy == 0 ? "" : "M" + std::to_string(Copy) + "#";
-    auto Map = [&](SymbolId Sym) {
-      if (Sym == From.startSymbol())
-        return G.startSymbol();
-      SymbolId Mapped =
-          G.symbols().intern(Prefix + From.symbols().name(Sym));
-      if (From.symbols().isNonterminal(Sym))
-        G.symbols().markNonterminal(Mapped);
-      return Mapped;
-    };
-    for (RuleId Id : From.activeRules()) {
-      const Rule &R = From.rule(Id);
-      std::vector<SymbolId> Rhs;
-      Rhs.reserve(R.Rhs.size());
-      for (SymbolId Sym : R.Rhs)
-        Rhs.push_back(Map(Sym));
-      G.addRule(Map(R.Lhs), std::move(Rhs));
-    }
-  }
-}
-
-/// The Fig 7.1 modification against the (unprefixed) CF-ELEM.
+/// The Fig 7.1 modification against the (unprefixed) CF-ELEM; the scaled
+/// grammar itself comes from the shared bench/common/ScaledSdf.h.
 std::pair<SymbolId, std::vector<SymbolId>> modification(Grammar &G) {
-  return {G.symbols().intern("CF-ELEM"),
-          {G.symbols().intern("("), G.symbols().intern("CF-ELEM+"),
-           G.symbols().intern(")?")}};
+  return scaledSdfModification(G);
 }
 
 std::vector<SymbolId> tokenize(Grammar &G, std::string_view Text) {

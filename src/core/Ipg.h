@@ -25,9 +25,12 @@
 #ifndef IPG_CORE_IPG_H
 #define IPG_CORE_IPG_H
 
+#include "core/Snapshot.h"
 #include "glr/GlrParser.h"
 #include "lr/ItemSetGraph.h"
+#include "support/Expected.h"
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -77,6 +80,23 @@ public:
 
   /// Mark-and-sweep fallback for cyclic garbage (§6.2 future work).
   size_t collectGarbage() { return Graph.collectGarbage(); }
+
+  /// Persists the current graph of item sets — including its lazy/dirty
+  /// frontier and stats — to \p Path in the `ipg-snap-v1` format
+  /// (core/Snapshot.h). Returns the bytes written. Serialization is
+  /// byte-deterministic: the same graph saves to identical bytes in every
+  /// build type.
+  Expected<size_t> saveSnapshot(const std::string &Path) const;
+
+  /// Warm-starts from a snapshot: replaces the current (typically one-node)
+  /// graph with the persisted one. When the snapshot's grammar fingerprint
+  /// matches this generator's grammar, the graph is adopted as-is; when it
+  /// does not, the snapshot's rule set is diffed against the live grammar
+  /// and the delta is replayed through ADD-RULE/DELETE-RULE, so the §6
+  /// machinery repairs the stale states instead of discarding the snapshot.
+  /// On error the generator is left as freshly constructed (grammar
+  /// unchanged up to version counts and interned-but-inactive rules).
+  Expected<SnapshotLoadResult> loadSnapshot(const std::string &Path);
 
   /// Fraction of the full table that has been generated so far: live
   /// complete sets over the size of a freshly generated full table for the

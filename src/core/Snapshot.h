@@ -1,0 +1,74 @@
+//===- core/Snapshot.h - Snapshot file format & load result -----*- C++ -*-===//
+///
+/// \file
+/// The on-disk snapshot format (`ipg-snap-v1`) and the result record of a
+/// warm start. A snapshot extends the paper's incremental story across
+/// process lifetimes: the partially-expanded graph of item sets is
+/// persisted, and a later process resumes from it instead of re-expanding
+/// from a one-node graph. Layout:
+///
+/// \code
+///   "ipg-snap-v1"                magic, version in the string
+///   u64  grammar fingerprint    (grammar/GrammarIO.h, by-name, active rules)
+///   u64  layout fingerprint     (order-sensitive: id-map fast-path check)
+///   u64  payload checksum       (FNV-1a over everything below)
+///   GRAM section                 symbol table + interned rules (+active flags)
+///   GRPH section                 live item sets, frontier, stats
+/// \endcode
+///
+/// Loading never discards a stale snapshot: when the fingerprint does not
+/// match the live grammar, the snapshot's rule set is diffed against the
+/// live one and the delta is replayed through ADD-RULE/DELETE-RULE, so the
+/// §6 MODIFY machinery repairs exactly the states the difference touches.
+///
+/// Trust model: snapshots are a cache format, not an untrusted-input
+/// format. Every read is bounds-checked and ids/indices/dots are
+/// validated, so a malformed file cannot make the *decoder* misbehave —
+/// and accidental corruption is caught up front by the checksum. But a
+/// deliberately crafted file with a recomputed checksum can still describe
+/// a graph whose transitions disagree with its reductions, which the
+/// parser would then follow off a cliff; validating that would mean
+/// re-running CLOSURE per state, i.e. regeneration. Grant snapshot files
+/// the same trust as the grammar they were saved from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_CORE_SNAPSHOT_H
+#define IPG_CORE_SNAPSHOT_H
+
+#include "support/ByteStream.h"
+
+#include <cstddef>
+
+namespace ipg {
+
+/// Magic prefix of every snapshot file; the trailing digit is the format
+/// version, so an incompatible successor bumps the whole string.
+inline constexpr const char SnapshotMagic[] = "ipg-snap-v1";
+
+/// Section tags inside a snapshot.
+inline constexpr uint32_t SnapshotGramTag = fourCC('G', 'R', 'A', 'M');
+inline constexpr uint32_t SnapshotGrphTag = fourCC('G', 'R', 'P', 'H');
+
+/// What Ipg::loadSnapshot did.
+struct SnapshotLoadResult {
+  /// The snapshot's active rule set equals the live grammar's — no repair
+  /// was needed. Established either by the layout fingerprint (fast path)
+  /// or by the rule delta coming out empty (remap path); the stored
+  /// content fingerprint below certifies the same property to tooling.
+  bool FingerprintMatched = false;
+  /// The content fingerprint stored in the snapshot header — what
+  /// grammarFingerprint() returned for the grammar at save time. Fleet
+  /// tooling keys shared snapshot caches on this without decoding bodies.
+  uint64_t SnapshotFingerprint = 0;
+  /// Item sets materialized from the snapshot.
+  size_t StatesLoaded = 0;
+  /// Live-grammar rules absent from the snapshot, replayed via ADD-RULE.
+  size_t RulesAdded = 0;
+  /// Snapshot rules absent from the live grammar, replayed via DELETE-RULE.
+  size_t RulesRemoved = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_CORE_SNAPSHOT_H

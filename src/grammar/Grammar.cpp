@@ -28,8 +28,7 @@ RuleId Grammar::findRule(SymbolId Lhs,
   return InvalidRule;
 }
 
-std::pair<RuleId, bool> Grammar::addRule(SymbolId Lhs,
-                                         std::vector<SymbolId> Rhs) {
+RuleId Grammar::internRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
   assert(Lhs < Symbols.size() && "unknown LHS symbol");
   for ([[maybe_unused]] SymbolId Sym : Rhs)
     assert(Sym != Symbols.startSymbol() &&
@@ -43,16 +42,27 @@ std::pair<RuleId, bool> Grammar::addRule(SymbolId Lhs,
     Rules.push_back(Rule{Lhs, std::move(Rhs)});
     Active.push_back(0);
   }
-  if (Active[Id])
-    return {Id, false};
+  return Id;
+}
 
+std::pair<RuleId, bool> Grammar::addRule(SymbolId Lhs,
+                                         std::vector<SymbolId> Rhs) {
+  RuleId Id = internRule(Lhs, std::move(Rhs));
+  return {Id, activateRule(Id)};
+}
+
+bool Grammar::activateRule(RuleId Id) {
+  assert(Id < Rules.size() && "unknown rule id");
+  if (Active[Id])
+    return false;
   Active[Id] = 1;
   ++NumActive;
   ++Version;
+  SymbolId Lhs = Rules[Id].Lhs;
   if (ByLhs.size() <= Lhs)
     ByLhs.resize(Symbols.size());
   ByLhs[Lhs].push_back(Id);
-  return {Id, true};
+  return true;
 }
 
 std::pair<RuleId, bool> Grammar::removeRule(SymbolId Lhs,

@@ -70,6 +70,18 @@ public:
   /// Removes an active rule by id; returns false if it was not active.
   bool removeRule(RuleId Id);
 
+  /// Interns rule \p Lhs ::= \p Rhs without activating it: the rule gets a
+  /// stable id (and \p Lhs is marked nonterminal) but is not part of the
+  /// grammar and the version is not bumped. Snapshot loading needs this to
+  /// re-establish ids for rules that item-set kernels still reference
+  /// although a DELETE-RULE has already retired them.
+  RuleId internRule(SymbolId Lhs, std::vector<SymbolId> Rhs);
+
+  /// Activates an interned rule by id, skipping the structural hash lookup
+  /// addRule pays. Returns whether the set changed (false when already
+  /// active). The by-id counterpart of removeRule(RuleId).
+  bool activateRule(RuleId Id);
+
   /// Finds the id of rule \p Lhs ::= \p Rhs whether or not it is active.
   RuleId findRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) const;
 

@@ -1,0 +1,132 @@
+//===- grammar/GrammarIO.cpp - Grammar snapshot section & fingerprint -----===//
+
+#include "grammar/GrammarIO.h"
+
+#include "support/Hashing.h"
+
+using namespace ipg;
+
+uint64_t ipg::grammarFingerprint(const Grammar &G) {
+  // One hash per active rule over names (with terminal-ness, which CLOSURE
+  // depends on), folded with + so the result is independent of rule order
+  // and id assignment. The rule count seeds the fold: it disambiguates the
+  // empty grammar and guards the commutative sum against cancellation.
+  const SymbolTable &Symbols = G.symbols();
+  auto HashSymbol = [&](uint64_t Hash, SymbolId Sym) {
+    Hash = hashCombine(Hash, hashString(Symbols.name(Sym)));
+    return hashCombine(Hash, Symbols.isNonterminal(Sym) ? 1 : 0);
+  };
+  uint64_t Fingerprint = hashCombine(0x697067736e617031ULL /* "ipgsnap1" */,
+                                     G.size());
+  for (RuleId Id : G.activeRules()) {
+    const Rule &R = G.rule(Id);
+    uint64_t RuleHash = HashSymbol(0x8ad2d2956275bd21ULL, R.Lhs);
+    RuleHash = hashCombine(RuleHash, R.Rhs.size());
+    for (SymbolId Sym : R.Rhs)
+      RuleHash = HashSymbol(RuleHash, Sym);
+    Fingerprint += RuleHash;
+  }
+  return Fingerprint;
+}
+
+uint64_t ipg::grammarLayoutFingerprint(const Grammar &G) {
+  const SymbolTable &Symbols = G.symbols();
+  uint64_t Hash = 0x697067736c617931ULL; // "ipgslay1"
+  Hash = hashCombine(Hash, Symbols.size());
+  for (SymbolId Sym = 0; Sym < Symbols.size(); ++Sym) {
+    Hash = hashCombine(Hash, hashString(Symbols.name(Sym)));
+    Hash = hashCombine(Hash, Symbols.isNonterminal(Sym) ? 1 : 0);
+  }
+  Hash = hashCombine(Hash, G.numInternedRules());
+  for (RuleId Id = 0; Id < G.numInternedRules(); ++Id) {
+    const Rule &R = G.rule(Id);
+    Hash = hashCombine(Hash, R.Lhs);
+    Hash = hashCombine(Hash, G.isActive(Id) ? 1 : 0);
+    Hash = hashCombine(Hash, R.Rhs.size());
+    for (SymbolId Sym : R.Rhs)
+      Hash = hashCombine(Hash, Sym);
+  }
+  return Hash;
+}
+
+void ipg::writeGrammarSnapshot(const Grammar &G, ByteWriter &Writer) {
+  const SymbolTable &Symbols = G.symbols();
+  Writer.writeVarint(Symbols.size());
+  for (SymbolId Sym = 0; Sym < Symbols.size(); ++Sym) {
+    Writer.writeString(Symbols.name(Sym));
+    Writer.writeU8(Symbols.isNonterminal(Sym) ? 1 : 0);
+  }
+  Writer.writeVarint(G.numInternedRules());
+  for (RuleId Id = 0; Id < G.numInternedRules(); ++Id) {
+    const Rule &R = G.rule(Id);
+    Writer.writeVarint(R.Lhs);
+    Writer.writeU8(G.isActive(Id) ? 1 : 0);
+    Writer.writeVarint(R.Rhs.size());
+    for (SymbolId Sym : R.Rhs)
+      Writer.writeVarint(Sym);
+  }
+}
+
+Expected<GrammarSnapshot> ipg::readGrammarSnapshot(ByteReader &Reader) {
+  GrammarSnapshot Snapshot;
+
+  Expected<uint64_t> NumSymbols = Reader.readVarint();
+  if (!NumSymbols)
+    return NumSymbols.error();
+  // Every symbol costs at least two bytes; anything claiming more symbols
+  // than bytes is corrupt, and rejecting it here bounds the allocation.
+  if (*NumSymbols > Reader.remaining())
+    return Error("symbol count exceeds section size");
+  Snapshot.Symbols.reserve(static_cast<size_t>(*NumSymbols));
+  for (uint64_t I = 0; I < *NumSymbols; ++I) {
+    Expected<std::string_view> Name = Reader.readStringView();
+    if (!Name)
+      return Name.error();
+    Expected<uint8_t> Flags = Reader.readU8();
+    if (!Flags)
+      return Flags.error();
+    if (*Flags > 1)
+      return Error("invalid symbol flags");
+    Snapshot.Symbols.push_back({*Name, *Flags == 1});
+  }
+
+  Expected<uint64_t> NumRules = Reader.readVarint();
+  if (!NumRules)
+    return NumRules.error();
+  if (*NumRules > Reader.remaining())
+    return Error("rule count exceeds section size");
+  Snapshot.Rules.reserve(static_cast<size_t>(*NumRules));
+  for (uint64_t I = 0; I < *NumRules; ++I) {
+    GrammarSnapshot::SnapRule SnapRule;
+    Expected<uint64_t> Lhs = Reader.readVarint();
+    if (!Lhs)
+      return Lhs.error();
+    if (*Lhs >= Snapshot.Symbols.size())
+      return Error("rule LHS references an unknown symbol");
+    SnapRule.Lhs = static_cast<uint32_t>(*Lhs);
+    Expected<uint8_t> ActiveFlag = Reader.readU8();
+    if (!ActiveFlag)
+      return ActiveFlag.error();
+    if (*ActiveFlag > 1)
+      return Error("invalid rule flags");
+    SnapRule.IsActive = *ActiveFlag == 1;
+    Expected<uint64_t> RhsSize = Reader.readVarint();
+    if (!RhsSize)
+      return RhsSize.error();
+    if (*RhsSize > Reader.remaining())
+      return Error("rule RHS length exceeds section size");
+    SnapRule.Rhs.reserve(static_cast<size_t>(*RhsSize));
+    for (uint64_t J = 0; J < *RhsSize; ++J) {
+      Expected<uint64_t> Sym = Reader.readVarint();
+      if (!Sym)
+        return Sym.error();
+      if (*Sym >= Snapshot.Symbols.size())
+        return Error("rule RHS references an unknown symbol");
+      SnapRule.Rhs.push_back(static_cast<uint32_t>(*Sym));
+    }
+    Snapshot.Rules.push_back(std::move(SnapRule));
+  }
+  if (!Reader.atEnd())
+    return Error("trailing bytes after grammar snapshot");
+  return Snapshot;
+}

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -26,6 +27,17 @@ using SymbolId = uint32_t;
 
 /// Sentinel for "no symbol".
 inline constexpr SymbolId InvalidSymbol = ~SymbolId(0);
+
+/// Transparent string hashing, so the name index can be probed with a
+/// string_view without materializing a std::string per lookup — the
+/// allocation showed up hot in snapshot warm starts, which intern every
+/// symbol of the persisted table.
+struct SymbolNameHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view Name) const {
+    return std::hash<std::string_view>{}(Name);
+  }
+};
 
 /// Interns symbol names to dense ids and tracks terminal-ness.
 ///
@@ -41,7 +53,7 @@ public:
 
   /// Returns the id for \p Name, interning it if new.
   SymbolId intern(std::string_view Name) {
-    auto It = IdByName.find(std::string(Name));
+    auto It = IdByName.find(Name);
     if (It != IdByName.end())
       return It->second;
     SymbolId Id = static_cast<SymbolId>(Names.size());
@@ -53,7 +65,7 @@ public:
 
   /// Returns the id for \p Name or InvalidSymbol if it was never interned.
   SymbolId lookup(std::string_view Name) const {
-    auto It = IdByName.find(std::string(Name));
+    auto It = IdByName.find(Name);
     return It == IdByName.end() ? InvalidSymbol : It->second;
   }
 
@@ -87,7 +99,8 @@ public:
 private:
   std::vector<std::string> Names;
   std::vector<bool> Nonterminal;
-  std::unordered_map<std::string, SymbolId> IdByName;
+  std::unordered_map<std::string, SymbolId, SymbolNameHash, std::equal_to<>>
+      IdByName;
   SymbolId StartId = InvalidSymbol;
   SymbolId EndId = InvalidSymbol;
 };

@@ -33,17 +33,23 @@ std::string ipg::graphToDot(const ItemSetGraph &Graph, bool IncludeDead) {
     for (RuleId Rule : State.reductions())
       Label += "\\nreduce " + escapeLabel(G.ruleToString(Rule));
     std::string Attrs = "label=\"" + Label + "\"";
+    // Fill color encodes the expansion state, so a snapshot's lazy/dirty
+    // frontier is visible at a glance: green = Complete (expanded),
+    // blue = Initial (lazy, never expanded), orange = Dirty (invalidated
+    // by MODIFY, awaiting re-expansion), grey = Dead (collected).
     switch (State.state()) {
     case ItemSetState::Initial:
-      Attrs += ", style=dashed";
+      Attrs += ", style=\"dashed,filled\", fillcolor=lightblue";
       break;
     case ItemSetState::Dirty:
-      Attrs += ", style=dashed, color=orange";
+      Attrs += ", style=\"dashed,filled\", color=orange, "
+               "fillcolor=navajowhite";
       break;
     case ItemSetState::Dead:
       Attrs += ", style=filled, fillcolor=grey80, color=grey50";
       break;
     case ItemSetState::Complete:
+      Attrs += ", style=filled, fillcolor=palegreen";
       break;
     }
     if (State.isAccepting())

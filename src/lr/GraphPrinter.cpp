@@ -19,9 +19,15 @@ static const char *stateMarker(ItemSetState State) {
 }
 
 std::string ipg::itemSetToString(const ItemSet &State, const Grammar &G) {
-  std::string Text = "[" + std::to_string(State.id()) + "] " +
-                     stateMarker(State.state()) +
-                     " (refcount " + std::to_string(State.refCount()) + ")\n";
+  // Built up with += (not one operator+ chain): GCC 12's -Wrestrict
+  // misfires on the temporary-reusing rvalue overloads at -O3.
+  std::string Text = "[";
+  Text += std::to_string(State.id());
+  Text += "] ";
+  Text += stateMarker(State.state());
+  Text += " (refcount ";
+  Text += std::to_string(State.refCount());
+  Text += ")\n";
   for (const Item &I : State.kernel())
     Text += "  " + itemToString(I, G) + "\n";
   if (!State.isComplete())

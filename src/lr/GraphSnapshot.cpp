@@ -1,0 +1,273 @@
+//===- lr/GraphSnapshot.cpp - Item-set graph persistence ------------------===//
+
+#include "lr/GraphSnapshot.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipg;
+
+namespace {
+
+/// On-disk lifecycle codes; Dead is never serialized.
+enum : uint8_t { StateInitial = 0, StateComplete = 1, StateDirty = 2 };
+
+uint8_t stateCode(ItemSetState State) {
+  switch (State) {
+  case ItemSetState::Initial:
+    return StateInitial;
+  case ItemSetState::Complete:
+    return StateComplete;
+  case ItemSetState::Dirty:
+    return StateDirty;
+  case ItemSetState::Dead:
+    break;
+  }
+  assert(false && "serializing a dead set of items");
+  return StateInitial;
+}
+
+} // namespace
+
+void GraphSnapshot::save(const ItemSetGraph &Graph, ByteWriter &Writer) {
+  // Dense indices for the live sets, in creation order: the serialized ids
+  // are a compaction of the pool, so a graph that went through garbage
+  // collection still snapshots into a gap-free, deterministic form.
+  std::vector<uint32_t> DenseIdx(Graph.Pool.size(), 0);
+  uint32_t NumLive = 0;
+  for (const ItemSet &State : Graph.Pool)
+    if (!State.isDead())
+      DenseIdx[State.Id] = NumLive++;
+
+  Writer.writeVarint(NumLive);
+  Writer.writeVarint(DenseIdx[Graph.Start->Id]);
+
+  auto WriteTransitions =
+      [&](const std::vector<ItemSet::Transition> &Transitions) {
+        Writer.writeVarint(Transitions.size());
+        for (const ItemSet::Transition &T : Transitions) {
+          assert(!T.Target->isDead() && "live transition to a dead set");
+          Writer.writeVarint(T.Label);
+          Writer.writeVarint(DenseIdx[T.Target->Id]);
+        }
+      };
+  auto WriteRules = [&](const std::vector<RuleId> &Rules) {
+    Writer.writeVarint(Rules.size());
+    for (RuleId Rule : Rules)
+      Writer.writeVarint(Rule);
+  };
+
+  for (const ItemSet &State : Graph.Pool) {
+    if (State.isDead())
+      continue;
+    Writer.writeU8(stateCode(State.State));
+    Writer.writeU8(State.Accepting ? 1 : 0);
+    Writer.writeVarint(State.K.size());
+    for (const Item &I : State.K) {
+      Writer.writeVarint(I.Rule);
+      Writer.writeVarint(I.Dot);
+    }
+    WriteTransitions(State.Transitions);
+    WriteRules(State.Reductions);
+    WriteRules(State.AcceptRules);
+    WriteTransitions(State.OldTransitions);
+  }
+
+  // Reference counts are not serialized: they are derivable (one per
+  // incoming transition, old or new, plus the start set's root reference)
+  // and load() re-derives them, so a snapshot cannot carry a skewed count.
+  Writer.writeVarint(Graph.Stats.Expansions);
+  Writer.writeVarint(Graph.Stats.ReExpansions);
+  Writer.writeVarint(Graph.Stats.ClosureItems);
+  Writer.writeVarint(Graph.Stats.DirtyMarks);
+  Writer.writeVarint(Graph.Stats.Collected);
+  Writer.writeVarint(Graph.Stats.GotoCalls);
+}
+
+Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
+                                     const std::vector<SymbolId> &SymbolMap,
+                                     const std::vector<RuleId> &RuleMap) {
+  const Grammar &G = Graph.G;
+  Graph.Pool.clear();
+  Graph.ByKernel.clear();
+  Graph.Start = nullptr;
+  Graph.Stats = ItemSetGraphStats();
+
+  Expected<uint64_t> NumSets = Reader.readVarint();
+  if (!NumSets)
+    return NumSets.error();
+  if (*NumSets == 0)
+    return Error("snapshot graph has no start set");
+  // Each set costs at least 7 bytes; a count above the byte budget is
+  // corrupt, and rejecting it bounds the pool allocation.
+  if (*NumSets > Reader.remaining())
+    return Error("set count exceeds section size");
+  Expected<uint64_t> StartIdx = Reader.readVarint();
+  if (!StartIdx)
+    return StartIdx.error();
+  if (*StartIdx >= *NumSets)
+    return Error("start set index out of range");
+
+  Graph.ByKernel.reserve(static_cast<size_t>(*NumSets));
+  for (uint64_t I = 0; I < *NumSets; ++I) {
+    Graph.Pool.emplace_back();
+    Graph.Pool.back().Id = static_cast<uint32_t>(I);
+  }
+
+  auto ReadTransitions = [&](std::vector<ItemSet::Transition> &Transitions,
+                             bool Allowed) -> Expected<uint8_t> {
+    Expected<uint64_t> Count = Reader.readVarint();
+    if (!Count)
+      return Count.error();
+    if (*Count != 0 && !Allowed)
+      return Error("transitions on a set whose state forbids them");
+    if (*Count > Reader.remaining())
+      return Error("transition count exceeds section size");
+    Transitions.reserve(static_cast<size_t>(*Count));
+    for (uint64_t I = 0; I < *Count; ++I) {
+      Expected<uint64_t> Label = Reader.readVarint();
+      if (!Label)
+        return Label.error();
+      if (*Label >= SymbolMap.size())
+        return Error("transition label references an unknown symbol");
+      Expected<uint64_t> Target = Reader.readVarint();
+      if (!Target)
+        return Target.error();
+      if (*Target >= *NumSets)
+        return Error("transition target out of range");
+      Transitions.push_back(ItemSet::Transition{
+          SymbolMap[static_cast<size_t>(*Label)],
+          &Graph.Pool[static_cast<size_t>(*Target)]});
+    }
+    sortTransitionsByLabel(Transitions);
+    return uint8_t{0};
+  };
+  auto ReadRules = [&](std::vector<RuleId> &Rules,
+                       bool Allowed) -> Expected<uint8_t> {
+    Expected<uint64_t> Count = Reader.readVarint();
+    if (!Count)
+      return Count.error();
+    if (*Count != 0 && !Allowed)
+      return Error("reductions on a set whose state forbids them");
+    if (*Count > Reader.remaining())
+      return Error("rule count exceeds section size");
+    Rules.reserve(static_cast<size_t>(*Count));
+    for (uint64_t I = 0; I < *Count; ++I) {
+      Expected<uint64_t> Rule = Reader.readVarint();
+      if (!Rule)
+        return Rule.error();
+      if (*Rule >= RuleMap.size())
+        return Error("reduction references an unknown rule");
+      Rules.push_back(RuleMap[static_cast<size_t>(*Rule)]);
+    }
+    return uint8_t{0};
+  };
+
+  for (uint64_t I = 0; I < *NumSets; ++I) {
+    ItemSet &State = Graph.Pool[static_cast<size_t>(I)];
+    Expected<uint8_t> Code = Reader.readU8();
+    if (!Code)
+      return Code.error();
+    switch (*Code) {
+    case StateInitial:
+      State.State = ItemSetState::Initial;
+      break;
+    case StateComplete:
+      State.State = ItemSetState::Complete;
+      break;
+    case StateDirty:
+      State.State = ItemSetState::Dirty;
+      break;
+    default:
+      return Error("invalid item-set state code");
+    }
+    bool Complete = State.State == ItemSetState::Complete;
+
+    Expected<uint8_t> Accepting = Reader.readU8();
+    if (!Accepting)
+      return Accepting.error();
+    if (*Accepting > 1 || (*Accepting == 1 && !Complete))
+      return Error("invalid accepting flag");
+    State.Accepting = *Accepting == 1;
+
+    Expected<uint64_t> KernelSize = Reader.readVarint();
+    if (!KernelSize)
+      return KernelSize.error();
+    if (*KernelSize > Reader.remaining())
+      return Error("kernel size exceeds section size");
+    State.K.reserve(static_cast<size_t>(*KernelSize));
+    for (uint64_t J = 0; J < *KernelSize; ++J) {
+      Expected<uint64_t> Rule = Reader.readVarint();
+      if (!Rule)
+        return Rule.error();
+      if (*Rule >= RuleMap.size())
+        return Error("kernel item references an unknown rule");
+      RuleId Mapped = RuleMap[static_cast<size_t>(*Rule)];
+      Expected<uint64_t> Dot = Reader.readVarint();
+      if (!Dot)
+        return Dot.error();
+      if (*Dot > G.rule(Mapped).Rhs.size())
+        return Error("kernel item dot beyond its rule");
+      State.K.push_back(Item{Mapped, static_cast<uint32_t>(*Dot)});
+    }
+    // Remapped rule ids may order differently; re-establish canonical form
+    // before hashing into the kernel index.
+    canonicalizeKernel(State.K);
+    std::vector<ItemSet *> &Bucket = Graph.ByKernel[hashKernel(State.K)];
+    for (const ItemSet *Other : Bucket)
+      if (Other->K == State.K)
+        return Error("duplicate kernel in snapshot");
+    Bucket.push_back(&State);
+
+    Expected<uint8_t> Ok = ReadTransitions(State.Transitions, Complete);
+    if (!Ok)
+      return Ok.error();
+    Ok = ReadRules(State.Reductions, Complete);
+    if (!Ok)
+      return Ok.error();
+    Ok = ReadRules(State.AcceptRules, Complete);
+    if (!Ok)
+      return Ok.error();
+    Ok = ReadTransitions(State.OldTransitions,
+                         State.State == ItemSetState::Dirty);
+    if (!Ok)
+      return Ok.error();
+  }
+
+  Graph.Start = &Graph.Pool[static_cast<size_t>(*StartIdx)];
+
+  // Re-derive the reference counts from the incoming edges (DECR-REFCOUNT
+  // bookkeeping of §6.2): one per transition — retained pre-modification
+  // ones included — plus the start set's root pin.
+  Graph.Start->RefCount = 1;
+  for (ItemSet &State : Graph.Pool) {
+    for (const ItemSet::Transition &T : State.Transitions)
+      ++T.Target->RefCount;
+    for (const ItemSet::Transition &T : State.OldTransitions)
+      ++T.Target->RefCount;
+  }
+  for (const ItemSet &State : Graph.Pool)
+    if (State.RefCount == 0)
+      return Error("orphaned set in snapshot");
+
+  uint64_t *Counters[] = {&Graph.Stats.Expansions,   &Graph.Stats.ReExpansions,
+                          &Graph.Stats.ClosureItems, &Graph.Stats.DirtyMarks,
+                          &Graph.Stats.Collected,    &Graph.Stats.GotoCalls};
+  for (uint64_t *Counter : Counters) {
+    Expected<uint64_t> Value = Reader.readVarint();
+    if (!Value)
+      return Value.error();
+    *Counter = *Value;
+  }
+  if (!Reader.atEnd())
+    return Error("trailing bytes after graph snapshot");
+  return static_cast<size_t>(*NumSets);
+}
+
+void GraphSnapshot::reset(ItemSetGraph &Graph) {
+  Graph.Pool.clear();
+  Graph.ByKernel.clear();
+  Graph.Stats = ItemSetGraphStats();
+  Graph.Start = Graph.makeItemSet(Graph.startKernel());
+  Graph.Start->RefCount = 1;
+}

@@ -1,0 +1,57 @@
+//===- lr/GraphSnapshot.h - Item-set graph persistence ----------*- C++ -*-===//
+///
+/// \file
+/// Binary persistence of the ItemSetGraph — the piece that lets the §5/§6
+/// incremental machinery outlive a process. save() serializes every live
+/// set of items (kernel, transitions, reductions, the Dirty/Initial
+/// frontier with its retained pre-modification history) plus the
+/// ItemSetGraphStats; load() rebuilds the pointer-based structure from the
+/// flat form, remapping the snapshot's symbol and rule ids onto the live
+/// grammar's and re-deriving reference counts and the kernel hash index.
+///
+/// Dead sets are dropped on save: they are only kept in the arena so stale
+/// parser-stack pointers stay valid, and no pointer survives a process
+/// boundary. Live sets are written in creation order with dense indices,
+/// so serializing the same graph twice — in any build type, on any
+/// platform — yields identical bytes (the determinism CI job's contract).
+///
+/// The id maps are supplied by the caller (core/Snapshot.cpp), which
+/// guarantees every snapshot rule is interned in the live grammar before
+/// load() runs — including retired rules that dirty kernels still mention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LR_GRAPHSNAPSHOT_H
+#define IPG_LR_GRAPHSNAPSHOT_H
+
+#include "lr/ItemSetGraph.h"
+#include "support/ByteStream.h"
+#include "support/Expected.h"
+
+namespace ipg {
+
+/// Namespaced entry points for graph persistence; a class (not free
+/// functions) so ItemSetGraph/ItemSet can befriend it wholesale.
+class GraphSnapshot {
+public:
+  /// Serializes the live part of \p Graph (sets, frontier, stats) into
+  /// \p Writer using the graph's own symbol/rule ids.
+  static void save(const ItemSetGraph &Graph, ByteWriter &Writer);
+
+  /// Rebuilds \p Graph from a section body written by save(). \p SymbolMap
+  /// and \p RuleMap translate snapshot-local ids to the live grammar's
+  /// (every entry must be valid for the live grammar). Returns the number
+  /// of sets materialized. On error the graph is left partially built —
+  /// call reset() before using it again.
+  static Expected<size_t> load(ByteReader &Reader, ItemSetGraph &Graph,
+                               const std::vector<SymbolId> &SymbolMap,
+                               const std::vector<RuleId> &RuleMap);
+
+  /// Returns \p Graph to its freshly-constructed state: a one-node graph
+  /// holding only the start kernel of the current grammar.
+  static void reset(ItemSetGraph &Graph);
+};
+
+} // namespace ipg
+
+#endif // IPG_LR_GRAPHSNAPSHOT_H

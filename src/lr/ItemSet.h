@@ -22,12 +22,14 @@
 
 #include "lr/Item.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 namespace ipg {
 
 class ItemSetGraph;
+class GraphSnapshot;
 
 /// Lifecycle state of a set of items; see file comment.
 enum class ItemSetState : uint8_t { Initial, Complete, Dirty, Dead };
@@ -79,6 +81,7 @@ public:
 
 private:
   friend class ItemSetGraph;
+  friend class GraphSnapshot;
 
   uint32_t Id = 0;
   ItemSetState State = ItemSetState::Initial;
@@ -90,6 +93,17 @@ private:
   std::vector<RuleId> AcceptRules;
   std::vector<Transition> OldTransitions;
 };
+
+/// The canonical transition order: sorted by label. EXPAND establishes it
+/// and snapshot loading re-establishes it after id remapping — one helper
+/// so the two sites (and the byte-determinism contract between them)
+/// cannot drift apart.
+inline void sortTransitionsByLabel(std::vector<ItemSet::Transition> &Ts) {
+  std::sort(Ts.begin(), Ts.end(),
+            [](const ItemSet::Transition &A, const ItemSet::Transition &B) {
+              return A.Label < B.Label;
+            });
+}
 
 } // namespace ipg
 

@@ -139,10 +139,7 @@ void ItemSetGraph::expand(ItemSet *State) {
       Target = makeItemSet(std::move(NewKernel));
     addTransition(State, Label, Target);
   }
-  std::sort(State->Transitions.begin(), State->Transitions.end(),
-            [](const ItemSet::Transition &A, const ItemSet::Transition &B) {
-              return A.Label < B.Label;
-            });
+  sortTransitionsByLabel(State->Transitions);
   State->State = ItemSetState::Complete;
 
   // RE-EXPAND (§6.2): only now release the references the dirty set held,

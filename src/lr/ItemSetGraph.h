@@ -129,6 +129,10 @@ public:
   void resetStats() { Stats = ItemSetGraphStats(); }
 
 private:
+  /// GraphSnapshot (lr/GraphSnapshot.h) rebuilds Pool/ByKernel/Start/Stats
+  /// wholesale when loading a persisted graph.
+  friend class GraphSnapshot;
+
   ItemSet *makeItemSet(Kernel K);
   void expand(ItemSet *State);
   void addTransition(ItemSet *From, SymbolId Label, ItemSet *To);

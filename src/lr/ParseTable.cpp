@@ -5,6 +5,7 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace ipg;
 
@@ -67,13 +68,18 @@ ParseTable ipg::buildLr0Table(ItemSetGraph &Graph,
 }
 
 static std::string actionToString(const TableAction &Action) {
+  // Formatted into a stack buffer rather than a string operator+ chain:
+  // GCC 12's -Wrestrict misfires on the rvalue overloads at -O3.
+  char Buffer[16];
   switch (Action.Kind) {
   case TableAction::Error:
     return "";
   case TableAction::Shift:
-    return "s" + std::to_string(Action.Value);
+    std::snprintf(Buffer, sizeof(Buffer), "s%u", Action.Value);
+    return Buffer;
   case TableAction::Reduce:
-    return "r" + std::to_string(Action.Value);
+    std::snprintf(Buffer, sizeof(Buffer), "r%u", Action.Value);
+    return Buffer;
   case TableAction::Accept:
     return "acc";
   }

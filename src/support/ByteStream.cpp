@@ -1,0 +1,35 @@
+//===- support/ByteStream.cpp - Binary snapshot encoding ------------------===//
+
+#include "support/ByteStream.h"
+
+#include <cstdio>
+
+using namespace ipg;
+
+Expected<size_t> ByteWriter::writeFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (File == nullptr)
+    return Error("cannot open '" + Path + "' for writing");
+  size_t Written =
+      Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+  bool CloseOk = std::fclose(File) == 0;
+  if (Written != Buffer.size() || !CloseOk)
+    return Error("short write to '" + Path + "'");
+  return Written;
+}
+
+Expected<std::vector<uint8_t>> ipg::readFileBytes(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (File == nullptr)
+    return Error("cannot open '" + Path + "' for reading");
+  std::vector<uint8_t> Bytes;
+  uint8_t Chunk[64 * 1024];
+  size_t Read;
+  while ((Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Bytes.insert(Bytes.end(), Chunk, Chunk + Read);
+  bool ReadOk = std::ferror(File) == 0;
+  std::fclose(File);
+  if (!ReadOk)
+    return Error("read error on '" + Path + "'");
+  return Bytes;
+}

@@ -29,10 +29,16 @@ inline uint64_t hashBytes(const void *Data, size_t Size,
 
 /// Mixes a new 64-bit value into an existing hash. The seed is stirred
 /// first so that combine(a, b) and combine(b, a) differ even when the
-/// values share low bytes.
+/// values share low bytes. The value is consumed in explicit little-endian
+/// byte order (not its native representation), so hashes — and the
+/// snapshot fingerprints built from them — are identical across
+/// architectures of either endianness.
 inline uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
   uint64_t Stirred = (Hash ^ 0x9e3779b97f4a7c15ULL) * 0x100000001b3ULL;
-  return hashBytes(&Value, sizeof(Value), Stirred);
+  unsigned char Bytes[sizeof(Value)];
+  for (size_t I = 0; I < sizeof(Value); ++I)
+    Bytes[I] = static_cast<unsigned char>(Value >> (8 * I));
+  return hashBytes(Bytes, sizeof(Bytes), Stirred);
 }
 
 inline uint64_t hashString(std::string_view Str) {

@@ -121,30 +121,39 @@ TEST(Integration, ScaleSyntheticGrammar) {
   constexpr int Levels = 20;
   Grammar G;
   GrammarBuilder B(G);
+  // Names are assembled with += (not `"E" + to_string(...)` chains): GCC
+  // 12's -Wrestrict misfires on the rvalue string operator+ at -O3.
+  auto Name = [](const char *Prefix, int L) {
+    std::string Text = Prefix;
+    Text += std::to_string(L);
+    return Text;
+  };
   for (int L = 0; L < Levels; ++L) {
-    std::string Cur = "E" + std::to_string(L);
-    std::string Next = "E" + std::to_string(L + 1);
+    std::string Cur = Name("E", L);
+    std::string Next = Name("E", L + 1);
     if (L + 1 < Levels) {
-      B.rule(Cur, {Cur, "op" + std::to_string(L), Next});
+      B.rule(Cur, {Cur, Name("op", L), Next});
       B.rule(Cur, {Next});
     }
   }
-  B.rule("E" + std::to_string(Levels - 1), {"atom"});
-  B.rule("E" + std::to_string(Levels - 1),
-         {"(", "E0", ")"});
+  B.rule(Name("E", Levels - 1), {"atom"});
+  B.rule(Name("E", Levels - 1), {"(", "E0", ")"});
   B.rule("START", {"E0"});
 
   Ipg Gen(G);
   // A sentence exercising every level.
   std::string Text = "atom";
-  for (int L = Levels - 2; L >= 0; --L)
-    Text += " op" + std::to_string(L) + " atom";
+  for (int L = Levels - 2; L >= 0; --L) {
+    Text += " ";
+    Text += Name("op", L);
+    Text += " atom";
+  }
   EXPECT_TRUE(Gen.recognize(sentence(G, Text)));
   size_t Complete = Gen.graph().numComplete();
   EXPECT_GT(Complete, size_t(Levels)) << "deep chain builds a deep table";
 
   // A local modification must not dirty the whole graph.
-  Gen.addRule("E" + std::to_string(Levels - 1), {"[", "E0", "]"});
+  Gen.addRule(Name("E", Levels - 1), {"[", "E0", "]"});
   size_t Dirty = Gen.graph().countByState(ItemSetState::Dirty);
   EXPECT_GT(Dirty, 0u);
   EXPECT_LT(Dirty, Complete / 2)

@@ -40,7 +40,8 @@ TEST(DotExport, DirtySetsRenderDashedWithHistory) {
   Graph.generateAll();
   Graph.addRule(G.symbols().intern("B"), {G.symbols().intern("unknown")});
   std::string Dot = graphToDot(Graph);
-  EXPECT_NE(Dot.find("style=dashed, color=orange"), std::string::npos)
+  EXPECT_NE(Dot.find("color=orange, fillcolor=navajowhite"),
+            std::string::npos)
       << "dirty sets are highlighted";
   EXPECT_NE(Dot.find(", style=dashed];"), std::string::npos)
       << "their retained transitions render dashed";
@@ -52,7 +53,31 @@ TEST(DotExport, InitialSetsRenderDashed) {
   ItemSetGraph Graph(G);
   Graph.actions(Graph.startSet(), G.symbols().lookup("true"));
   std::string Dot = graphToDot(Graph);
-  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(Dot.find("style=\"dashed,filled\", fillcolor=lightblue"),
+            std::string::npos);
+}
+
+TEST(DotExport, ExpansionStatesAreColorCoded) {
+  // A snapshot-frontier-style graph: some states Complete, some still
+  // Initial (lazy), some Dirty after a MODIFY — each must carry its own
+  // fill color so the frontier is visually debuggable.
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.ensureComplete(Graph.startSet());
+  // Complete the "true" successor too: it has no B-transition, so the
+  // MODIFY below leaves it green while the start set goes dirty.
+  for (const ItemSet::Transition &T : Graph.startSet()->transitions())
+    if (T.Label == G.symbols().lookup("true"))
+      Graph.ensureComplete(T.Target);
+  Graph.addRule(G.symbols().intern("B"), {G.symbols().intern("unknown")});
+  std::string Dot = graphToDot(Graph);
+  EXPECT_NE(Dot.find("fillcolor=palegreen"), std::string::npos)
+      << "complete sets are green";
+  EXPECT_NE(Dot.find("fillcolor=lightblue"), std::string::npos)
+      << "lazy (initial) sets are blue";
+  EXPECT_NE(Dot.find("fillcolor=navajowhite"), std::string::npos)
+      << "dirty sets are orange";
 }
 
 TEST(DotExport, EscapesRecordMetacharacters) {

@@ -1,0 +1,187 @@
+//===- tests/support/ByteStreamTest.cpp - Binary encoding tests -----------===//
+///
+/// The ByteWriter/ByteReader contract under the snapshot subsystem:
+/// little-endian fixed-width values, LEB128 varints, length-prefixed
+/// strings and section frames — and, just as important, that every
+/// truncated or over-long input surfaces as an Expected error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+using namespace ipg;
+
+TEST(ByteStream, FixedWidthValuesAreLittleEndian) {
+  ByteWriter W;
+  W.writeU8(0xAB);
+  W.writeU32(0x01020304u);
+  W.writeU64(0x1122334455667788ull);
+  const std::vector<uint8_t> &B = W.buffer();
+  ASSERT_EQ(B.size(), 13u);
+  EXPECT_EQ(B[0], 0xAB);
+  EXPECT_EQ(B[1], 0x04); // u32 low byte first.
+  EXPECT_EQ(B[4], 0x01);
+  EXPECT_EQ(B[5], 0x88); // u64 low byte first.
+  EXPECT_EQ(B[12], 0x11);
+
+  ByteReader R(W.buffer());
+  EXPECT_EQ(*R.readU8(), 0xAB);
+  EXPECT_EQ(*R.readU32(), 0x01020304u);
+  EXPECT_EQ(*R.readU64(), 0x1122334455667788ull);
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(ByteStream, VarintRoundTripsBoundaryValues) {
+  const uint64_t Values[] = {0,
+                             1,
+                             127,
+                             128,
+                             129,
+                             16383,
+                             16384,
+                             0xFFFFFFFFull,
+                             0x100000000ull,
+                             std::numeric_limits<uint64_t>::max()};
+  ByteWriter W;
+  for (uint64_t V : Values)
+    W.writeVarint(V);
+  ByteReader R(W.buffer());
+  for (uint64_t V : Values) {
+    Expected<uint64_t> Read = R.readVarint();
+    ASSERT_TRUE(Read);
+    EXPECT_EQ(*Read, V);
+  }
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(ByteStream, VarintEncodingIsMinimalLeb128) {
+  ByteWriter W;
+  W.writeVarint(127); // One byte.
+  W.writeVarint(128); // Two bytes.
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W.buffer()[0], 0x7F);
+  EXPECT_EQ(W.buffer()[1], 0x80);
+  EXPECT_EQ(W.buffer()[2], 0x01);
+}
+
+TEST(ByteStream, StringsRoundTripIncludingEmbeddedNul) {
+  ByteWriter W;
+  W.writeString("");
+  W.writeString(std::string_view("a\0b", 3));
+  W.writeString("CF-ELEM+");
+  ByteReader R(W.buffer());
+  EXPECT_EQ(*R.readString(), "");
+  EXPECT_EQ(*R.readString(), std::string("a\0b", 3));
+  Expected<std::string_view> View = R.readStringView();
+  ASSERT_TRUE(View);
+  EXPECT_EQ(*View, "CF-ELEM+");
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(ByteStream, TruncatedReadsReturnErrorsNotGarbage) {
+  ByteWriter W;
+  W.writeU32(42);
+  // Every strict prefix fails every larger read cleanly.
+  for (size_t Cut = 0; Cut < 4; ++Cut) {
+    ByteReader R(W.buffer().data(), Cut);
+    EXPECT_FALSE(R.readU32());
+  }
+  ByteReader R8(W.buffer().data(), 4);
+  EXPECT_FALSE(R8.readU64());
+
+  // A varint whose continuation bit promises more bytes than exist.
+  uint8_t Unterminated[] = {0x80, 0x80};
+  ByteReader RV(Unterminated, sizeof(Unterminated));
+  EXPECT_FALSE(RV.readVarint());
+
+  // A string whose declared length exceeds the remaining input.
+  ByteWriter WS;
+  WS.writeVarint(100);
+  WS.writeU8('x');
+  ByteReader RS(WS.buffer());
+  EXPECT_FALSE(RS.readString());
+}
+
+TEST(ByteStream, OverlongVarintIsRejected) {
+  // 11 continuation bytes: more than a 64-bit value can need.
+  std::vector<uint8_t> Overlong(11, 0x80);
+  ByteReader R(Overlong.data(), Overlong.size());
+  EXPECT_FALSE(R.readVarint());
+
+  // 10 bytes whose top byte overflows the 64th bit.
+  std::vector<uint8_t> Overflow(9, 0x80);
+  Overflow.push_back(0x02);
+  ByteReader R2(Overflow.data(), Overflow.size());
+  EXPECT_FALSE(R2.readVarint());
+}
+
+TEST(ByteStream, SectionFramesNestLengthsCorrectly) {
+  ByteWriter W;
+  size_t A = W.beginSection(fourCC('A', 'A', 'A', 'A'));
+  W.writeVarint(7);
+  W.writeString("body");
+  W.endSection(A);
+  size_t B = W.beginSection(fourCC('B', 'B', 'B', 'B'));
+  W.endSection(B); // Empty section.
+
+  ByteReader R(W.buffer());
+  Expected<ByteReader> BodyA = R.readSection(fourCC('A', 'A', 'A', 'A'));
+  ASSERT_TRUE(BodyA);
+  EXPECT_EQ(*BodyA->readVarint(), 7u);
+  EXPECT_EQ(*BodyA->readString(), "body");
+  EXPECT_TRUE(BodyA->atEnd());
+  Expected<ByteReader> BodyB = R.readSection(fourCC('B', 'B', 'B', 'B'));
+  ASSERT_TRUE(BodyB);
+  EXPECT_TRUE(BodyB->atEnd());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(ByteStream, SectionWithWrongTagOrShortBodyIsRejected) {
+  ByteWriter W;
+  size_t A = W.beginSection(fourCC('G', 'R', 'A', 'M'));
+  W.writeVarint(1);
+  W.endSection(A);
+
+  ByteReader Wrong(W.buffer());
+  EXPECT_FALSE(Wrong.readSection(fourCC('G', 'R', 'P', 'H')));
+
+  // Truncate inside the section body: the declared length now exceeds the
+  // remaining bytes.
+  ByteReader Short(W.buffer().data(), W.size() - 1);
+  EXPECT_FALSE(Short.readSection(fourCC('G', 'R', 'A', 'M')));
+}
+
+TEST(ByteStream, ConsumeBytesMatchesAndRestoresPosition) {
+  ByteWriter W;
+  W.writeBytes("ipg-snap-v1", 11);
+  W.writeU8(9);
+  ByteReader R(W.buffer());
+  EXPECT_FALSE(R.consumeBytes("ipg-snap-v2"));
+  EXPECT_EQ(R.position(), 0u); // Mismatch must not consume.
+  EXPECT_TRUE(R.consumeBytes("ipg-snap-v"));
+  EXPECT_TRUE(R.consumeBytes("1"));
+  EXPECT_EQ(*R.readU8(), 9);
+}
+
+TEST(ByteStream, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "bytestream_roundtrip.bin";
+  ByteWriter W;
+  W.writeVarint(12345);
+  W.writeString("persisted");
+  Expected<size_t> Written = W.writeFile(Path);
+  ASSERT_TRUE(Written);
+  EXPECT_EQ(*Written, W.size());
+
+  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  ASSERT_TRUE(Bytes);
+  EXPECT_EQ(*Bytes, W.buffer());
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(readFileBytes(Path)); // Gone now.
+  EXPECT_FALSE(W.writeFile(::testing::TempDir())); // Directory, not a file.
+}
