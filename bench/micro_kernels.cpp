@@ -125,6 +125,41 @@ void BM_ActionQueryWarm(benchmark::State &State) {
 }
 BENCHMARK(BM_ActionQueryWarm);
 
+/// The allocation-free counterpart of BM_ActionQueryWarm: same cell, same
+/// graph, queried through the view API the parser drivers use. The gap
+/// between the two is the per-query vector allocation the index removed.
+void BM_ActionQueryViewWarm(benchmark::State &State) {
+  SdfLanguage Lang;
+  ItemSetGraph Graph(Lang.grammar());
+  Graph.generateAll();
+  ItemSet *Start = Graph.startSet();
+  SymbolId Module = Lang.grammar().symbols().lookup("module");
+  for (auto _ : State) {
+    LrActionsView View = Graph.actionsView(Start, Module);
+    benchmark::DoNotOptimize(View.shiftTarget());
+  }
+}
+BENCHMARK(BM_ActionQueryViewWarm);
+
+/// GOTO via the binary-searched action index, over every nonterminal
+/// transition of the start state (SDF's widest row).
+void BM_GotoQueryWarm(benchmark::State &State) {
+  SdfLanguage Lang;
+  ItemSetGraph Graph(Lang.grammar());
+  Graph.generateAll();
+  ItemSet *Start = Graph.startSet();
+  std::vector<SymbolId> Nonterminals;
+  for (const ItemSet::Transition &T : Start->transitions())
+    if (Lang.grammar().symbols().isNonterminal(T.Label))
+      Nonterminals.push_back(T.Label);
+  for (auto _ : State)
+    for (SymbolId Sym : Nonterminals)
+      benchmark::DoNotOptimize(Graph.gotoState(Start, Sym));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Nonterminals.size()));
+}
+BENCHMARK(BM_GotoQueryWarm);
+
 void BM_ScanSdfSource(benchmark::State &State) {
   Scanner S;
   configureSdfScanner(S);

@@ -31,14 +31,10 @@ struct GssNode {
   }
 };
 
-/// A queued reduction. HasVia restricts path enumeration to paths whose
-/// first (topmost) edge is (ViaBack, ViaDeriv).
+/// A queued reduction.
 struct PendingReduce {
   GssNode *From;
   RuleId Rule;
-  GssNode *ViaBack = nullptr;
-  ForestNode *ViaDeriv = nullptr;
-  bool HasVia = false;
 };
 
 struct PendingShift {
@@ -60,37 +56,50 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
     return &NodeArena.back();
   };
 
+  // Dense frontier index keyed by item-set id, stamped by layer: "which
+  // node of this layer holds state S" is asked on every reduction path
+  // and every shift, and the flat array answers in O(1) with no hashing,
+  // no per-layer container rebuild and no per-insert allocation (the
+  // prior FindInFrontier was an O(frontier) scan per query). Lazy
+  // expansion can create new item sets mid-parse, so the array grows on
+  // demand. Stamps start at 1; 0 marks a never-touched slot.
+  std::vector<std::pair<uint64_t, GssNode *>> ByState;
+  auto FindInLayer = [&](const ItemSet *State,
+                         uint64_t Stamp) -> GssNode * {
+    size_t Id = State->id();
+    if (Id >= ByState.size() || ByState[Id].first != Stamp)
+      return nullptr;
+    return ByState[Id].second;
+  };
+  auto PutInLayer = [&](GssNode *Node, uint64_t Stamp) {
+    size_t Id = Node->State->id();
+    if (Id >= ByState.size())
+      ByState.resize(Id + 1, {0, nullptr});
+    ByState[Id] = {Stamp, Node};
+  };
+
+  std::vector<GssNode *> Frontier;
   GssNode *Root = NewNode(Graph.startSet(), 0);
-  std::vector<GssNode *> Frontier{Root};
+  Frontier.push_back(Root);
+  PutInLayer(Root, 1);
 
   for (size_t Pos = 0; Pos <= N; ++Pos) {
     SymbolId Token = Pos < N ? Input[Pos] : G.endMarker();
+    const uint64_t CurStamp = Pos + 1;
 
     std::vector<PendingReduce> Reductions;
     std::vector<PendingShift> Shifts;
     std::vector<GssNode *> Queue = Frontier;
     size_t QueueIdx = 0;
 
-    auto FindInFrontier = [&](const ItemSet *State) -> GssNode * {
-      for (GssNode *Node : Frontier)
-        if (Node->State == State)
-          return Node;
-      return nullptr;
-    };
-
     // Farshi's safety net: a new edge below an already-processed node can
-    // complete reduction paths that were enumerated too early. Re-enqueue
-    // every processed node's reductions; edge/alternative dedup makes the
-    // re-runs idempotent.
-    auto BroadcastReRuns = [&]() {
-      for (GssNode *Node : Frontier) {
-        if (!Node->Processed)
-          continue;
-        for (const LrAction &A : Graph.actions(Node->State, Token))
-          if (A.Kind == LrAction::Reduce)
-            Reductions.push_back(PendingReduce{Node, A.Rule});
-      }
-    };
+    // complete reduction paths that were enumerated too early. Instead of
+    // re-enqueueing every processed node's reductions at each such edge
+    // (which grows the queue quadratically in edge insertions), the event
+    // only raises this flag; the fixpoint loop runs one broadcast sweep
+    // per quiescence, so each storm of new edges costs one re-run round.
+    // Edge/alternative dedup makes the re-runs idempotent.
+    bool NeedsBroadcast = false;
 
     // Performs one queued reduction: enumerate stack paths of the rule's
     // length, build/pack the forest node per path, and extend the GSS.
@@ -111,12 +120,13 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
                                       static_cast<uint32_t>(Pos), PR.Rule,
                                       Deriv);
 
-        GssNode *U = FindInFrontier(Target);
+        GssNode *U = FindInLayer(Target, CurStamp);
         if (U == nullptr) {
           U = NewNode(Target, static_cast<uint32_t>(Pos));
           U->Edges.push_back(GssNode::Edge{Bottom, FN});
           ++Result.GssEdges;
           Frontier.push_back(U);
+          PutInLayer(U, CurStamp);
           Queue.push_back(U);
           return;
         }
@@ -125,7 +135,7 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
         U->Edges.push_back(GssNode::Edge{Bottom, FN});
         ++Result.GssEdges;
         if (U->Processed)
-          BroadcastReRuns();
+          NeedsBroadcast = true;
       };
 
       // DFS over stack paths; Remaining counts edges still to follow and
@@ -136,7 +146,7 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
           return;
         }
         // Snapshot: edges added during FinishPath recursion must not be
-        // traversed mid-enumeration (re-runs cover them).
+        // traversed mid-enumeration (the broadcast sweep covers them).
         size_t NumEdges = Cur->Edges.size();
         for (size_t I = 0; I < NumEdges; ++I) {
           Deriv[Remaining - 1] = Cur->Edges[I].Deriv;
@@ -144,31 +154,42 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
         }
       };
 
-      if (PR.HasVia) {
-        if (M == 0)
-          return;
-        Deriv[M - 1] = PR.ViaDeriv;
-        Walk(Walk, PR.ViaBack, M - 1);
-      } else if (M == 0) {
+      if (M == 0)
         FinishPath(PR.From);
-      } else {
+      else
         Walk(Walk, PR.From, M);
-      }
     };
 
-    // Fixpoint over node processing and reductions.
-    while (QueueIdx < Queue.size() || !Reductions.empty()) {
+    // Fixpoint over node processing, reductions, and (at quiescence) the
+    // Farshi broadcast sweeps.
+    while (QueueIdx < Queue.size() || !Reductions.empty() ||
+           NeedsBroadcast) {
       if (!Reductions.empty()) {
         PendingReduce PR = Reductions.back();
         Reductions.pop_back();
         DoReduce(PR);
         continue;
       }
+      if (QueueIdx >= Queue.size()) {
+        // Quiescent except for a pending broadcast: re-run every
+        // processed node's reductions once over the grown stack. The
+        // states are complete (they were queried when processed), so the
+        // reduction list is read straight off the item set — no repeat
+        // of the (node, token) ACTION query.
+        NeedsBroadcast = false;
+        for (GssNode *Node : Frontier)
+          if (Node->Processed)
+            for (RuleId Rule : Node->State->reductions())
+              Reductions.push_back(PendingReduce{Node, Rule});
+        continue;
+      }
       GssNode *Node = Queue[QueueIdx++];
       if (Node->Processed)
         continue;
       Node->Processed = true;
-      for (const LrAction &A : Graph.actions(Node->State, Token)) {
+      // The one ACTION query for this (node, token): an allocation-free
+      // view over the item set's action index.
+      Graph.forEachAction(Node->State, Token, [&](const LrAction &A) {
         switch (A.Kind) {
         case LrAction::Shift:
           Shifts.push_back(PendingShift{Node, A.Target});
@@ -180,7 +201,7 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
           // Resolved after the fixpoint, when the GSS is final.
           break;
         }
-      }
+      });
     }
 
     if (Pos == N) {
@@ -218,21 +239,19 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
     }
 
     // Shifter: advance every surviving parser over Token in lock-step —
-    // the paper's synchronization of the this-sweep/next-sweep pools.
+    // the paper's synchronization of the this-sweep/next-sweep pools. The
+    // next layer's stamp keys its target lookups in the same dense index.
     std::vector<GssNode *> NextFrontier;
+    const uint64_t NextStamp = Pos + 2;
     ForestNode *TokenNode = nullptr;
     for (const PendingShift &S : Shifts) {
       if (TokenNode == nullptr)
         TokenNode = F.token(Token, static_cast<uint32_t>(Pos));
-      GssNode *U = nullptr;
-      for (GssNode *Node : NextFrontier)
-        if (Node->State == S.Target) {
-          U = Node;
-          break;
-        }
+      GssNode *U = FindInLayer(S.Target, NextStamp);
       if (U == nullptr) {
         U = NewNode(S.Target, static_cast<uint32_t>(Pos + 1));
         NextFrontier.push_back(U);
+        PutInLayer(U, NextStamp);
       }
       U->Edges.push_back(GssNode::Edge{S.From, TokenNode});
       ++Result.GssEdges;

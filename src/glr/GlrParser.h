@@ -8,13 +8,18 @@
 /// Tomita did in his book" the §7 footnote alludes to; the literal
 /// PAR-PARSE lives in glr/ParParse.h for fidelity tests and ablation.
 ///
-/// The parser queries ACTION/GOTO straight off an ItemSetGraph, so it runs
+/// The parser queries ACTION/GOTO straight off an ItemSetGraph — one
+/// allocation-free forEachAction per (stack node, token) — so it runs
 /// identically against a conventionally generated, lazily generated or
 /// incrementally repaired graph — the property §5/§6 rely on.
 ///
 /// ε-rules and hidden left recursion are handled Farshi-style: when a
-/// reduction adds an edge to an already-processed stack node, the node's
-/// reductions are re-run restricted to paths through the new edge.
+/// reduction adds an edge to an already-processed stack node, a broadcast
+/// flag is raised and — once the worklists drain — every processed node's
+/// reductions are re-run in one sweep over the grown stack. Coalescing
+/// the sweeps at quiescence keeps the reduction queue linear where
+/// per-edge re-enqueueing grew it quadratically; edge/alternative dedup
+/// makes the re-runs idempotent.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -60,7 +60,10 @@ ParParseResult ParParser::parse(const std::vector<SymbolId> &Input) {
           uint64_t(ThisSweep.size() + NextSweep.size() + 1));
 
       ItemSet *State = Parser.Top->State;
-      for (const LrAction &Action : Graph.actions(State, Symbol)) {
+      // Allocation-free ACTION iteration; the pushes below only ever
+      // touch the sweep pools and the shared stack cells, never the graph,
+      // so the underlying view stays valid for the whole sweep step.
+      Graph.forEachAction(State, Symbol, [&](const LrAction &Action) {
         // parser' := copy(parser) — O(1), stacks share cells.
         LrParserObj Copy = Parser;
         ++Result.Copies;
@@ -84,7 +87,7 @@ ParParseResult ParParser::parse(const std::vector<SymbolId> &Input) {
           Result.Accepted = true;
           break;
         }
-      }
+      });
     }
   }
   return Result;

@@ -11,14 +11,6 @@ using namespace ipg;
 
 namespace {
 
-/// The target of \p State's transition on \p Label; null if absent.
-const ItemSet *findTransition(const ItemSet *State, SymbolId Label) {
-  for (const ItemSet::Transition &T : State->transitions())
-    if (T.Label == Label)
-      return T.Target;
-  return nullptr;
-}
-
 /// DeRemer–Pennello digraph algorithm: computes the smallest F with
 /// F(x) ⊇ Base(x) and F(x) ⊇ F(y) for every edge x → y in Rel, merging
 /// strongly connected components on the fly.
@@ -139,7 +131,10 @@ ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
           uint32_t Inner = TransIdx.at(TransKey(Q, Sym));
           Includes[Inner].push_back(static_cast<uint32_t>(I));
         }
-        Q = findTransition(Q, Sym);
+        // The walk follows one transition per RHS symbol; the item sets'
+        // action index makes each step a binary search instead of a
+        // re-scan of the whole transition list.
+        Q = Q->transitionTarget(Sym);
         assert(Q != nullptr && "broken walk over a predicted rule");
       }
       Lookback[LookbackKey(Q, RId)].push_back(static_cast<uint32_t>(I));

@@ -232,6 +232,12 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
                          State.State == ItemSetState::Dirty);
     if (!Ok)
       return Ok.error();
+
+    // The ACTION/GOTO index is derived, never serialized: rebuild it for
+    // adopted Complete sets so queries against a warm-started graph run
+    // the same allocation-free path as against a freshly expanded one.
+    if (Complete)
+      State.buildActionIndex();
   }
 
   Graph.Start = &Graph.Pool[static_cast<size_t>(*StartIdx)];

@@ -79,9 +79,39 @@ public:
     return OldTransitions;
   }
 
+  /// The ACTION/GOTO query index: the transition labels densely packed in
+  /// the same (label-sorted) order as transitions(). Binary searching this
+  /// 4-byte-stride array touches a fraction of the cache lines a search
+  /// over the 16-byte Transition records would. Built by EXPAND (and by
+  /// snapshot adoption), valid exactly while the set is Complete.
+  const std::vector<SymbolId> &actionLabels() const { return ActionLabels; }
+
+  /// The target of the unique transition on \p Label, or nullptr when the
+  /// set has none. O(log n) over the action index; allocation-free. Valid
+  /// only while the set is Complete.
+  ItemSet *transitionTarget(SymbolId Label) const {
+    auto It =
+        std::lower_bound(ActionLabels.begin(), ActionLabels.end(), Label);
+    if (It == ActionLabels.end() || *It != Label)
+      return nullptr;
+    return Transitions[static_cast<size_t>(It - ActionLabels.begin())].Target;
+  }
+
 private:
   friend class ItemSetGraph;
   friend class GraphSnapshot;
+
+  /// (Re)derives the action index from the label-sorted Transitions; the
+  /// tail of every EXPAND and of snapshot adoption.
+  void buildActionIndex() {
+    ActionLabels.resize(Transitions.size());
+    for (size_t I = 0; I < Transitions.size(); ++I)
+      ActionLabels[I] = Transitions[I].Label;
+  }
+
+  /// Tears the index down; paired with every Transitions.clear() so a
+  /// non-Complete set can never answer queries from stale entries.
+  void clearActionIndex() { ActionLabels.clear(); }
 
   uint32_t Id = 0;
   ItemSetState State = ItemSetState::Initial;
@@ -92,6 +122,7 @@ private:
   std::vector<RuleId> Reductions;
   std::vector<RuleId> AcceptRules;
   std::vector<Transition> OldTransitions;
+  std::vector<SymbolId> ActionLabels;
 };
 
 /// The canonical transition order: sorted by label. EXPAND establishes it

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace ipg;
 
@@ -50,7 +52,7 @@ void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
     Bucket.erase(Pos);
 }
 
-std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
+void ItemSetGraph::closureInto(const Kernel &K, std::vector<Item> &Out) const {
   // CLOSURE (§4): extend the kernel with B ::= •γ for every B that occurs
   // immediately after a dot, transitively. Predicted items all have dot 0,
   // so presence is tracked per rule. Two Bitset-backed scratch sets make
@@ -58,8 +60,9 @@ std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
   // std::vector<bool> allocation, and MergedNtScratch lets the walk skip a
   // nonterminal's rule list after its first occurrence instead of
   // re-scanning it for every later item with the same symbol after the
-  // dot.
-  std::vector<Item> Closure = K;
+  // dot. \p Out keeps its heap buffer across calls.
+  Out.clear();
+  Out.insert(Out.end(), K.begin(), K.end());
   PredictedScratch.resize(G.numInternedRules());
   PredictedScratch.clear();
   MergedNtScratch.resize(G.symbols().size());
@@ -68,16 +71,21 @@ std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
     if (I.Dot == 0)
       PredictedScratch.set(I.Rule);
 
-  for (size_t Next = 0; Next < Closure.size(); ++Next) {
-    SymbolId After = symbolAfterDot(Closure[Next], G);
+  for (size_t Next = 0; Next < Out.size(); ++Next) {
+    SymbolId After = symbolAfterDot(Out[Next], G);
     if (After == InvalidSymbol || G.symbols().isTerminal(After))
       continue;
     if (!MergedNtScratch.set(After))
       continue; // This nonterminal's rules were already merged.
     for (RuleId Id : G.rulesFor(After))
       if (PredictedScratch.set(Id))
-        Closure.push_back(Item{Id, 0});
+        Out.push_back(Item{Id, 0});
   }
+}
+
+std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
+  std::vector<Item> Closure;
+  closureInto(K, Closure);
   return Closure;
 }
 
@@ -93,7 +101,8 @@ void ItemSetGraph::expand(ItemSet *State) {
   if (WasDirty)
     ++Stats.ReExpansions;
 
-  std::vector<Item> Closure = closure(State->K);
+  closureInto(State->K, ClosureScratch);
+  const std::vector<Item> &Closure = ClosureScratch;
   Stats.ClosureItems += Closure.size();
 
   State->Transitions.clear();
@@ -103,8 +112,10 @@ void ItemSetGraph::expand(ItemSet *State) {
 
   // Partition the closure by the symbol after the dot (first-seen order —
   // this reproduces the state numbering of the paper's figures). The
-  // symbol-indexed scratch turns the per-item group lookup into O(1).
-  std::vector<std::pair<SymbolId, Kernel>> Groups;
+  // symbol-indexed scratch turns the per-item group lookup into O(1), and
+  // the group slots (including their kernels' heap buffers) are reused
+  // across expansions.
+  size_t NumGroups = 0;
   if (GroupIndexScratch.size() < G.symbols().size())
     GroupIndexScratch.resize(G.symbols().size(), 0);
   for (const Item &I : Closure) {
@@ -124,15 +135,20 @@ void ItemSetGraph::expand(ItemSet *State) {
     }
     uint32_t &Slot = GroupIndexScratch[After];
     if (Slot == 0) {
-      Groups.emplace_back(After, Kernel{});
-      Slot = static_cast<uint32_t>(Groups.size());
+      if (NumGroups == GroupScratch.size())
+        GroupScratch.emplace_back();
+      GroupScratch[NumGroups].first = After;
+      GroupScratch[NumGroups].second.clear();
+      ++NumGroups;
+      Slot = static_cast<uint32_t>(NumGroups);
     }
-    Groups[Slot - 1].second.push_back(Item{I.Rule, I.Dot + 1});
+    GroupScratch[Slot - 1].second.push_back(Item{I.Rule, I.Dot + 1});
   }
-  for (const auto &[Label, NewKernel] : Groups)
-    GroupIndexScratch[Label] = 0; // Reset only the touched slots.
+  for (size_t I = 0; I < NumGroups; ++I)
+    GroupIndexScratch[GroupScratch[I].first] = 0; // Reset touched slots only.
 
-  for (auto &[Label, NewKernel] : Groups) {
+  for (size_t I = 0; I < NumGroups; ++I) {
+    auto &[Label, NewKernel] = GroupScratch[I];
     canonicalizeKernel(NewKernel);
     ItemSet *Target = findByKernel(NewKernel);
     if (Target == nullptr)
@@ -140,6 +156,7 @@ void ItemSetGraph::expand(ItemSet *State) {
     addTransition(State, Label, Target);
   }
   sortTransitionsByLabel(State->Transitions);
+  State->buildActionIndex();
   State->State = ItemSetState::Complete;
 
   // RE-EXPAND (§6.2): only now release the references the dirty set held,
@@ -174,6 +191,7 @@ void ItemSetGraph::decrRefCount(ItemSet *State) {
     Current->OldTransitions.clear();
     Current->Reductions.clear();
     Current->AcceptRules.clear();
+    Current->clearActionIndex();
     ++Stats.Collected;
   }
 }
@@ -187,6 +205,7 @@ void ItemSetGraph::markDirty(ItemSet *State) {
   State->Transitions.clear();
   State->Reductions.clear();
   State->AcceptRules.clear();
+  State->clearActionIndex();
   State->Accepting = false;
   State->State = ItemSetState::Dirty;
   ++Stats.DirtyMarks;
@@ -204,15 +223,13 @@ void ItemSetGraph::modify(SymbolId Lhs) {
   }
   // Recognition of a rule for Lhs starts exactly in the complete sets with
   // a transition labeled Lhs — their closures contained • before an Lhs.
+  // The action index turns the per-state membership test into a binary
+  // search.
   for (ItemSet &State : Pool) {
     if (State.State != ItemSetState::Complete)
       continue;
-    for (const ItemSet::Transition &T : State.Transitions) {
-      if (T.Label == Lhs) {
-        markDirty(&State);
-        break;
-      }
-    }
+    if (State.transitionTarget(Lhs) != nullptr)
+      markDirty(&State);
   }
 }
 
@@ -240,22 +257,23 @@ void ItemSetGraph::ensureComplete(ItemSet *State) {
     expand(State);
 }
 
-std::vector<LrAction> ItemSetGraph::actions(ItemSet *State, SymbolId Symbol) {
+LrActionsView ItemSetGraph::actionsView(ItemSet *State, SymbolId Symbol) {
   assert(G.symbols().isTerminal(Symbol) &&
          "ACTION is queried with terminals only");
   ensureComplete(State);
+  // LR(0): reductions apply regardless of the lookahead symbol; the shift
+  // target is a binary search over the action index built at EXPAND time.
+  const RuleId *ReduceBegin = State->Reductions.data();
+  return LrActionsView(ReduceBegin, ReduceBegin + State->Reductions.size(),
+                       State->transitionTarget(Symbol),
+                       State->Accepting && Symbol == G.endMarker());
+}
 
+std::vector<LrAction> ItemSetGraph::actions(ItemSet *State, SymbolId Symbol) {
+  LrActionsView View = actionsView(State, Symbol);
   std::vector<LrAction> Result;
-  // LR(0): reductions apply regardless of the lookahead symbol.
-  for (RuleId Rule : State->Reductions)
-    Result.push_back(LrAction::reduce(Rule));
-  for (const ItemSet::Transition &T : State->transitions())
-    if (T.Label == Symbol) {
-      Result.push_back(LrAction::shift(T.Target));
-      break;
-    }
-  if (State->isAccepting() && Symbol == G.endMarker())
-    Result.push_back(LrAction::accept());
+  Result.reserve(View.size());
+  View.forEach([&](const LrAction &A) { Result.push_back(A); });
   return Result;
 }
 
@@ -264,11 +282,19 @@ ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
   // Appendix A: the parsing algorithms only ever call GOTO on sets that
   // have already been completed.
   assert(State->isComplete() && "GOTO called on a non-complete set of items");
-  for (const ItemSet::Transition &T : State->transitions())
-    if (T.Label == Symbol)
-      return T.Target;
-  assert(false && "GOTO: no transition for symbol (graph inconsistent)");
-  return nullptr;
+  if (ItemSet *Target = State->transitionTarget(Symbol))
+    return Target;
+  // An absent transition means the graph is inconsistent with the grammar
+  // (or the caller broke the Appendix A discipline). Fail identically in
+  // every build type: under NDEBUG a fall-through here used to hand the
+  // caller a null state to dereference.
+  std::fprintf(stderr,
+               "ipg fatal: GOTO(state %u, symbol %u '%s'): no transition "
+               "(graph inconsistent)\n",
+               State->id(), Symbol,
+               Symbol < G.symbols().size() ? G.symbols().name(Symbol).c_str()
+                                           : "<uninterned>");
+  std::abort();
 }
 
 size_t ItemSetGraph::generateAll() {
@@ -336,6 +362,7 @@ size_t ItemSetGraph::collectGarbage() {
     State.OldTransitions.clear();
     State.Reductions.clear();
     State.AcceptRules.clear();
+    State.clearActionIndex();
     State.RefCount = 0;
     ++Reclaimed;
     ++Stats.Collected;

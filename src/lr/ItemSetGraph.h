@@ -29,6 +29,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ipg {
@@ -49,6 +50,55 @@ struct LrAction {
   bool operator==(const LrAction &O) const {
     return Kind == O.Kind && Target == O.Target && Rule == O.Rule;
   }
+};
+
+/// Allocation-free ACTION(state, symbol) result (§3.1/§5): a view over the
+/// queried set's reduction array plus the unique shift target and the
+/// accept flag. Building one performs zero heap allocations; iteration
+/// order matches ItemSetGraph::actions() (reductions first, then shift,
+/// then accept). The view borrows from the item set, so it is valid until
+/// the next EXPAND / MODIFY / snapshot load of the graph.
+class LrActionsView {
+public:
+  LrActionsView() = default;
+  LrActionsView(const RuleId *ReduceBegin, const RuleId *ReduceEnd,
+                ItemSet *Shift, bool Accept)
+      : ReduceBegin(ReduceBegin), ReduceEnd(ReduceEnd), Shift(Shift),
+        Accept(Accept) {}
+
+  size_t numReductions() const {
+    return static_cast<size_t>(ReduceEnd - ReduceBegin);
+  }
+  const RuleId *reduceBegin() const { return ReduceBegin; }
+  const RuleId *reduceEnd() const { return ReduceEnd; }
+
+  /// The shift target, or nullptr when the symbol cannot be shifted.
+  ItemSet *shiftTarget() const { return Shift; }
+
+  /// True when the paper's ($ accept) applies (symbol was the end marker).
+  bool accepts() const { return Accept; }
+
+  size_t size() const {
+    return numReductions() + (Shift != nullptr ? 1 : 0) + (Accept ? 1 : 0);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Invokes \p Fn(const LrAction &) for every action, in actions() order.
+  /// The LrAction values are materialized on the stack — no allocation.
+  template <typename FnT> void forEach(FnT &&Fn) const {
+    for (const RuleId *Rule = ReduceBegin; Rule != ReduceEnd; ++Rule)
+      Fn(LrAction::reduce(*Rule));
+    if (Shift != nullptr)
+      Fn(LrAction::shift(Shift));
+    if (Accept)
+      Fn(LrAction::accept());
+  }
+
+private:
+  const RuleId *ReduceBegin = nullptr;
+  const RuleId *ReduceEnd = nullptr;
+  ItemSet *Shift = nullptr;
+  bool Accept = false;
 };
 
 /// Counters for the measurements of §7 and the ablation benches.
@@ -83,12 +133,30 @@ public:
 
   /// ACTION(state, symbol) of §5: expands \p State if needed, then returns
   /// the actions for terminal \p Symbol. An empty result is the error
-  /// action.
+  /// action. Compatibility wrapper over actionsView() — it allocates the
+  /// result vector; steady-state callers (the parser drivers) should use
+  /// actionsView()/forEachAction() instead.
   std::vector<LrAction> actions(ItemSet *State, SymbolId Symbol);
 
+  /// Allocation-free ACTION: expands \p State if needed, then returns a
+  /// view of the actions for terminal \p Symbol (valid until the next
+  /// expansion or modification of the graph). The steady-state query cost
+  /// is one binary search over the set's action index plus two flag reads.
+  LrActionsView actionsView(ItemSet *State, SymbolId Symbol);
+
+  /// Allocation-free ACTION iteration: invokes \p Fn(const LrAction &) for
+  /// each action of (\p State, \p Symbol), in actions() order.
+  template <typename FnT>
+  void forEachAction(ItemSet *State, SymbolId Symbol, FnT &&Fn) {
+    actionsView(State, Symbol).forEach(std::forward<FnT>(Fn));
+  }
+
   /// GOTO(state, symbol): the target of the unique transition on
-  /// nonterminal \p Symbol. Asserts \p State is complete — guaranteed for
-  /// (PAR-)PARSE by the invariant proved in Appendix A.
+  /// nonterminal \p Symbol, found by binary search over the action index.
+  /// \p State must be complete and the transition must exist — guaranteed
+  /// for (PAR-)PARSE by the invariant proved in Appendix A; a violation is
+  /// a hard failure (abort) in every build type, because falling through
+  /// under NDEBUG would hand the caller a null state to dereference.
   ItemSet *gotoState(ItemSet *State, SymbolId Symbol);
 
   /// EXPAND / RE-EXPAND \p State if it is not Complete.
@@ -134,6 +202,9 @@ private:
   friend class GraphSnapshot;
 
   ItemSet *makeItemSet(Kernel K);
+  /// CLOSURE into \p Out (cleared first): the allocation-reusing worker
+  /// behind the public closure().
+  void closureInto(const Kernel &K, std::vector<Item> &Out) const;
   void expand(ItemSet *State);
   void addTransition(ItemSet *From, SymbolId Label, ItemSet *To);
   void decrRefCount(ItemSet *State);
@@ -156,6 +227,10 @@ private:
   mutable Bitset PredictedScratch;   ///< Per-closure predicted-rule dedup.
   mutable Bitset MergedNtScratch;    ///< Per-closure nonterminal dedup.
   mutable std::vector<uint32_t> GroupIndexScratch; ///< expand() partition.
+  mutable std::vector<Item> ClosureScratch; ///< expand()'s closure buffer.
+  /// expand()'s partition groups. Slots (and their kernels' heap buffers)
+  /// are reused across expansions; NumGroups entries are live per call.
+  std::vector<std::pair<SymbolId, Kernel>> GroupScratch;
 };
 
 } // namespace ipg

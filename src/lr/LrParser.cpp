@@ -2,8 +2,6 @@
 
 #include "lr/LrParser.h"
 
-#include <cassert>
-
 using namespace ipg;
 
 LrParseResult LrParser::parse(const std::vector<SymbolId> &Input,
@@ -30,7 +28,12 @@ LrParseResult LrParser::parse(const std::vector<SymbolId> &Input,
       States.resize(States.size() - R.Rhs.size());
       Nodes.resize(Nodes.size() - R.Rhs.size());
       uint32_t Target = Table.gotoState(States.back(), R.Lhs);
-      assert(Target != ~0u && "GOTO undefined after a reduce");
+      if (Target == ~0u) {
+        // A table/grammar mismatch (e.g. the grammar was modified after
+        // the table was built): a parse error, not UB under NDEBUG.
+        Result.ErrorIndex = Index;
+        return Result;
+      }
       States.push_back(Target);
       Nodes.push_back(Arena.makeNode(R.Lhs, Action.Value, std::move(Children)));
       ++Result.NumReduces;
@@ -68,7 +71,8 @@ bool LrParser::recognize(const std::vector<SymbolId> &Input) const {
       const Rule &R = G.rule(Action.Value);
       States.resize(States.size() - R.Rhs.size());
       uint32_t Target = Table.gotoState(States.back(), R.Lhs);
-      assert(Target != ~0u && "GOTO undefined after a reduce");
+      if (Target == ~0u)
+        return false; // Table/grammar mismatch; see parse().
       States.push_back(Target);
       break;
     }

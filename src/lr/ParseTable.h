@@ -57,8 +57,14 @@ public:
   /// the same cell are recorded as conflicts.
   void addAction(uint32_t State, SymbolId Symbol, TableAction Action);
 
-  /// The resolved (single) action; Error when the cell is empty.
+  /// The resolved (single) action; Error when the cell is empty — or when
+  /// the query is out of range. The table is a detached copy of the graph:
+  /// a symbol interned after it was built (e.g. by addRule on the live
+  /// grammar) has no column, and indexing it unchecked would read out of
+  /// bounds, so such queries degrade to the error action instead.
   TableAction action(uint32_t State, SymbolId Symbol) const {
+    if (State >= NumStates || Symbol >= NumSymbols)
+      return TableAction{};
     return Cells[State * NumSymbols + Symbol];
   }
 
@@ -71,17 +77,28 @@ public:
     Gotos[State * NumSymbols + Nonterminal] = Target;
   }
 
-  /// GOTO(state, nonterminal); ~0u when undefined.
+  /// GOTO(state, nonterminal); ~0u when undefined or out of range (same
+  /// rationale as action()).
   uint32_t gotoState(uint32_t State, SymbolId Nonterminal) const {
+    if (State >= NumStates || Nonterminal >= NumSymbols)
+      return ~0u;
     return Gotos[State * NumSymbols + Nonterminal];
   }
 
   const std::vector<TableConflict> &conflicts() const { return Conflicts; }
   bool isDeterministic() const { return Conflicts.empty(); }
 
-  /// Approximate memory footprint in bytes (for the measurements).
+  /// Approximate memory footprint in bytes (for the measurements). The
+  /// conflict list is part of the table — LR(0) tables over real grammars
+  /// carry many conflicted cells, and omitting them understated the §7
+  /// memory numbers.
   size_t memoryBytes() const {
-    return Cells.size() * sizeof(TableAction) + Gotos.size() * sizeof(uint32_t);
+    size_t Bytes =
+        Cells.size() * sizeof(TableAction) + Gotos.size() * sizeof(uint32_t);
+    Bytes += Conflicts.size() * sizeof(TableConflict);
+    for (const TableConflict &Conflict : Conflicts)
+      Bytes += Conflict.Actions.size() * sizeof(TableAction);
+    return Bytes;
   }
 
 private:

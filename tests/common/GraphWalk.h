@@ -1,0 +1,43 @@
+//===- tests/common/GraphWalk.h - Reachability over item-set graphs -*- C++ -*-===//
+///
+/// \file
+/// Shared test-side traversal of a graph of item sets: the mutable-pointer
+/// reachability walk the suites need when they must call the query APIs
+/// (which take `ItemSet *`) on every reachable set — `liveSets()` returns
+/// const pointers and also includes live-but-unreachable sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_COMMON_GRAPHWALK_H
+#define IPG_TESTS_COMMON_GRAPHWALK_H
+
+#include "lr/ItemSetGraph.h"
+
+#include <set>
+#include <vector>
+
+namespace ipg::testing {
+
+/// Item sets reachable from the start set, in discovery order. With
+/// \p FollowOldTransitions, the retained pre-MODIFY transitions of Dirty
+/// sets are followed too (a dirty graph keeps its history reachable).
+inline std::vector<ItemSet *> reachableSets(ItemSetGraph &Graph,
+                                            bool FollowOldTransitions) {
+  std::vector<ItemSet *> Result{Graph.startSet()};
+  std::set<const ItemSet *> Seen{Graph.startSet()};
+  for (size_t Next = 0; Next < Result.size(); ++Next) {
+    auto Visit = [&](const std::vector<ItemSet::Transition> &Edges) {
+      for (const ItemSet::Transition &T : Edges)
+        if (Seen.insert(T.Target).second)
+          Result.push_back(T.Target);
+    };
+    Visit(Result[Next]->transitions());
+    if (FollowOldTransitions)
+      Visit(Result[Next]->oldTransitions());
+  }
+  return Result;
+}
+
+} // namespace ipg::testing
+
+#endif // IPG_TESTS_COMMON_GRAPHWALK_H

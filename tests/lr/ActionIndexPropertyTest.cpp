@@ -1,0 +1,159 @@
+//===- tests/lr/ActionIndexPropertyTest.cpp - Index/graph equivalence -----===//
+///
+/// \file
+/// Property sweep for the cached ACTION/GOTO index: across random
+/// ADD-RULE / DELETE-RULE / collectGarbage / parse sequences (§6 churn)
+/// and across snapshot save/load round trips, every live Complete set's
+/// index answers exactly what a linear scan of its transition list
+/// answers, and the incrementally maintained graph stays isomorphic to a
+/// graph generated from scratch for the same grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/GraphCanon.h"
+#include "common/GraphWalk.h"
+#include "common/TestGrammars.h"
+#include "core/Ipg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// The ground truth for one (state, symbol) ACTION cell, recomputed the
+/// pre-index way: reductions, then a linear scan for the shift, then the
+/// accept flag.
+std::vector<LrAction> referenceActions(const Grammar &G, ItemSet *State,
+                                       SymbolId Symbol) {
+  std::vector<LrAction> Result;
+  for (RuleId Rule : State->reductions())
+    Result.push_back(LrAction::reduce(Rule));
+  for (const ItemSet::Transition &T : State->transitions())
+    if (T.Label == Symbol) {
+      Result.push_back(LrAction::shift(T.Target));
+      break;
+    }
+  if (State->isAccepting() && Symbol == G.endMarker())
+    Result.push_back(LrAction::accept());
+  return Result;
+}
+
+/// Every live Complete set: index mirrors the transition list, the
+/// allocation-free view agrees with the reference for every terminal, and
+/// GOTO agrees with a linear scan for every outgoing nonterminal label.
+void verifyIndexEquivalence(ItemSetGraph &Graph) {
+  const Grammar &G = Graph.grammar();
+  for (ItemSet *State : reachableSets(Graph, /*FollowOldTransitions=*/true)) {
+    if (!State->isComplete())
+      continue;
+    ASSERT_EQ(State->actionLabels().size(), State->transitions().size());
+    for (size_t I = 0; I < State->transitions().size(); ++I)
+      ASSERT_EQ(State->actionLabels()[I], State->transitions()[I].Label);
+
+    for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+      if (G.symbols().isTerminal(Sym)) {
+        std::vector<LrAction> Expected = referenceActions(G, State, Sym);
+        std::vector<LrAction> Actual;
+        Graph.actionsView(State, Sym).forEach(
+            [&](const LrAction &A) { Actual.push_back(A); });
+        ASSERT_EQ(Actual, Expected)
+            << "state " << State->id() << " symbol " << G.symbols().name(Sym);
+      }
+    }
+    for (const ItemSet::Transition &T : State->transitions()) {
+      if (G.symbols().isNonterminal(T.Label)) {
+        ASSERT_EQ(Graph.gotoState(State, T.Label), T.Target);
+      }
+    }
+  }
+}
+
+/// The incrementally maintained graph answers exactly like one generated
+/// from scratch for the same grammar.
+void verifyMatchesFreshGeneration(Ipg &Gen) {
+  Grammar Fresh;
+  Grammar::cloneActiveRules(Gen.grammar(), Fresh);
+  ItemSetGraph FreshGraph(Fresh);
+  EXPECT_EQ(canonicalize(Gen.graph()), canonicalize(FreshGraph));
+}
+
+class ActionIndexSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ActionIndexSweep, IndexSurvivesRandomChurnAndSnapshots) {
+  const uint64_t Seed = GetParam();
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, Seed);
+  Ipg Gen(G);
+  Prng R(Seed ^ 0xac7101de11ULL);
+
+  // Candidate rules for ADD-RULE: short strings over the grammar's own
+  // symbols (nonterminal LHS drawn from existing LHS symbols).
+  std::vector<SymbolId> Nts, Syms;
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+    if (Sym == G.endMarker() || Sym == G.startSymbol())
+      continue; // Neither may occur in a right-hand side.
+    Syms.push_back(Sym);
+    if (G.symbols().isNonterminal(Sym))
+      Nts.push_back(Sym);
+  }
+  ASSERT_FALSE(Nts.empty());
+
+  for (int Step = 0; Step < 14; ++Step) {
+    switch (R.below(5)) {
+    case 0: { // ADD-RULE.
+      std::vector<SymbolId> Rhs;
+      for (uint64_t I = 0, N = R.below(3); I < N; ++I)
+        Rhs.push_back(Syms[R.below(Syms.size())]);
+      Gen.addRule(Nts[R.below(Nts.size())], std::move(Rhs));
+      break;
+    }
+    case 1: { // DELETE-RULE (keep at least one active rule).
+      std::vector<RuleId> Active = Gen.grammar().activeRules();
+      if (Active.size() > 1) {
+        const Rule &Victim =
+            Gen.grammar().rule(Active[R.below(Active.size())]);
+        Gen.deleteRule(Victim.Lhs, Victim.Rhs);
+      }
+      break;
+    }
+    case 2: // Mark-and-sweep collection.
+      Gen.collectGarbage();
+      break;
+    default: { // Parse: drives lazy EXPAND / RE-EXPAND.
+      const std::vector<SymbolId> &Input =
+          Case.Positive[R.below(Case.Positive.size())];
+      Gen.recognize(Input);
+      break;
+    }
+    }
+    verifyIndexEquivalence(Gen.graph());
+  }
+  verifyMatchesFreshGeneration(Gen);
+
+  // Snapshot round trip: the rebuilt-on-adoption index must answer like
+  // the one EXPAND built.
+  std::string Path = ::testing::TempDir() + "action_index_sweep_" +
+                     std::to_string(Seed) + ".snap";
+  std::remove(Path.c_str());
+  Expected<size_t> Saved = Gen.saveSnapshot(Path);
+  ASSERT_TRUE(Saved) << Saved.error().str();
+
+  Grammar G2;
+  Grammar::cloneActiveRules(Gen.grammar(), G2);
+  Ipg Loaded(G2);
+  Expected<SnapshotLoadResult> LoadResult = Loaded.loadSnapshot(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(LoadResult) << LoadResult.error().str();
+  verifyIndexEquivalence(Loaded.graph());
+  EXPECT_EQ(canonicalize(Gen.graph()), canonicalize(Loaded.graph()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrammars, ActionIndexSweep,
+                         ::testing::Range(uint64_t(1), uint64_t(33)));
+
+} // namespace

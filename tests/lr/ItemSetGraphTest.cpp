@@ -164,6 +164,103 @@ TEST(Goto, ReturnsUniqueNonterminalTarget) {
             follow(S0, G, "B"));
 }
 
+TEST(GotoDeathTest, MissingTransitionAbortsInEveryBuildType) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  ItemSet *S0 = Graph.startSet();
+  // 'true' labels a shift out of S0, but S0 has no transition on a fresh
+  // symbol. Before the hard-failure fix this fell through assert(false)
+  // to `return nullptr` under NDEBUG, so Release callers dereferenced
+  // null; now the inconsistency aborts identically in both build types.
+  SymbolId Fresh = G.symbols().intern("never-shifted");
+  G.symbols().markNonterminal(Fresh);
+  EXPECT_DEATH(Graph.gotoState(S0, Fresh), "GOTO");
+}
+
+TEST(ActionsView, MatchesVectorReturningActions) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  for (const ItemSet *Const : Graph.liveSets()) {
+    ItemSet *State = const_cast<ItemSet *>(Const);
+    for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+      if (!G.symbols().isTerminal(Sym))
+        continue;
+      std::vector<LrAction> Expected = Graph.actions(State, Sym);
+      LrActionsView View = Graph.actionsView(State, Sym);
+      ASSERT_EQ(View.size(), Expected.size());
+      EXPECT_EQ(View.empty(), Expected.empty());
+      std::vector<LrAction> Collected;
+      View.forEach([&](const LrAction &A) { Collected.push_back(A); });
+      EXPECT_EQ(Collected, Expected)
+          << "state " << State->id() << ", symbol "
+          << G.symbols().name(Sym);
+    }
+  }
+}
+
+TEST(ActionsView, DecomposedAccessorsAgreeWithFig41) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  ItemSet *S0 = Graph.startSet();
+  ItemSet *S1 = const_cast<ItemSet *>(follow(S0, G, "B"));
+  ItemSet *S4 = const_cast<ItemSet *>(follow(S1, G, "or"));
+  ItemSet *S6 = const_cast<ItemSet *>(follow(S4, G, "B"));
+
+  // Row 0 on 'true': pure shift.
+  LrActionsView Shift = Graph.actionsView(S0, G.symbols().lookup("true"));
+  EXPECT_EQ(Shift.numReductions(), 0u);
+  EXPECT_EQ(Shift.shiftTarget(), follow(S0, G, "true"));
+  EXPECT_FALSE(Shift.accepts());
+
+  // Row 1 on '$': accept only.
+  LrActionsView Accept = Graph.actionsView(S1, G.endMarker());
+  EXPECT_EQ(Accept.numReductions(), 0u);
+  EXPECT_EQ(Accept.shiftTarget(), nullptr);
+  EXPECT_TRUE(Accept.accepts());
+
+  // Row 6 on 'or': the LR(0) shift/reduce conflict.
+  LrActionsView Conflict = Graph.actionsView(S6, G.symbols().lookup("or"));
+  ASSERT_EQ(Conflict.numReductions(), 1u);
+  EXPECT_EQ(G.ruleToString(*Conflict.reduceBegin()), "B ::= B or B");
+  EXPECT_EQ(Conflict.shiftTarget(), S4);
+  EXPECT_FALSE(Conflict.accepts());
+}
+
+TEST(ActionIndex, TracksTransitionsThroughLifecycle) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+
+  auto IndexMatches = [](const ItemSet *State) {
+    ASSERT_EQ(State->actionLabels().size(), State->transitions().size());
+    for (size_t I = 0; I < State->transitions().size(); ++I)
+      EXPECT_EQ(State->actionLabels()[I], State->transitions()[I].Label);
+  };
+  for (const ItemSet *State : Graph.liveSets())
+    IndexMatches(State);
+
+  // MODIFY invalidates: the dirty set must not answer from a stale index.
+  SymbolId B = G.symbols().lookup("B");
+  Graph.addRule(B, {G.symbols().intern("maybe")});
+  for (const ItemSet *State : Graph.liveSets()) {
+    if (State->state() == ItemSetState::Dirty) {
+      EXPECT_TRUE(State->actionLabels().empty());
+    }
+  }
+
+  // RE-EXPAND rebuilds it.
+  Graph.generateAll();
+  for (const ItemSet *State : Graph.liveSets())
+    IndexMatches(State);
+}
+
 TEST(GenerateAll, IsIdempotent) {
   Grammar G;
   buildBooleans(G);

@@ -50,6 +50,49 @@ TEST(ParseTable, Fig41ConflictsAreRecorded) {
     EXPECT_EQ(C.Actions.size(), 2u);
 }
 
+TEST(ParseTable, OutOfRangeQueriesReturnErrorNotOutOfBoundsReads) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+
+  // A symbol interned *after* the table was built (the live grammar keeps
+  // evolving under the incremental generator) has no column; the query
+  // must degrade to the error action, not index out of bounds.
+  SymbolId Late = G.symbols().intern("interned-after-build");
+  ASSERT_GE(Late, Table.numSymbols());
+  EXPECT_EQ(Table.action(0, Late).Kind, TableAction::Error);
+  EXPECT_EQ(Table.gotoState(0, Late), ~0u);
+
+  // Same for an out-of-range state.
+  SymbolId True = G.symbols().lookup("true");
+  uint32_t BadState = static_cast<uint32_t>(Table.numStates());
+  EXPECT_EQ(Table.action(BadState, True).Kind, TableAction::Error);
+  EXPECT_EQ(Table.gotoState(BadState, G.symbols().lookup("B")), ~0u);
+
+  // In-range queries still answer from the table.
+  EXPECT_EQ(Table.action(0, True).Kind, TableAction::Shift);
+}
+
+TEST(ParseTable, MemoryBytesIncludesConflictList) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  ParseTable Table = buildLr0Table(Graph);
+  ASSERT_FALSE(Table.conflicts().empty());
+
+  size_t DenseBytes = Table.numStates() * Table.numSymbols() *
+                      (sizeof(TableAction) + sizeof(uint32_t));
+  size_t ConflictBytes = 0;
+  for (const TableConflict &Conflict : Table.conflicts())
+    ConflictBytes += sizeof(TableConflict) +
+                     Conflict.Actions.size() * sizeof(TableAction);
+  // Pinned: dense cells + goto cells + the conflict records §7's memory
+  // numbers used to silently omit.
+  EXPECT_EQ(Table.memoryBytes(), DenseBytes + ConflictBytes);
+  EXPECT_GT(Table.memoryBytes(), DenseBytes);
+}
+
 TEST(ParseTable, UnambiguousGrammarIsDeterministic) {
   Grammar G;
   GrammarBuilder B(G);
