@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over two ipg-bench-suite-v1 documents.
+
+Compares every *timing* result (records carrying a ``median``, in seconds)
+shared between a baseline BENCH_ipg.json and a candidate run, and fails —
+exit code 1 — when any shared benchmark's median regressed by more than
+the threshold (default 25%).
+
+Cross-machine noise: the committed baseline is produced on a different
+machine than the CI runner, so absolute medians are not comparable. The
+gate therefore normalizes by default: each benchmark's candidate/baseline
+ratio is divided by the *median ratio across all shared benchmarks*,
+cancelling the machine-speed factor. A uniform slowdown (slower runner)
+normalizes to ~1.0 everywhere; a regression in one benchmark sticks out
+as a normalized ratio > 1 + threshold. Pass ``--no-normalize`` when both
+documents come from the same machine (e.g. the bench-full workflow
+trending its own history).
+
+Run-to-run noise: reduced (smoke) passes take few repetitions, so a
+single run's median can spike upward by tens of percent on short
+benchmarks under a busy runner, and the load varies *during* the
+multi-minute suite, so one global scale cannot absorb it. Two defenses:
+``--candidate`` accepts *several* documents (the CI job runs the
+reduced pass twice) and scores each benchmark by its best median across
+the runs, collapsing one-off spikes; and the normalization scale is
+computed *per driver* (benchmarks of one driver run within seconds of
+each other, so time-varying runner load cancels locally; drivers with
+too few timing benchmarks fall back to the global scale). A genuine
+single-benchmark regression still sticks out against its driver-mates
+in every run. The trade: a regression that slows *every* benchmark of a
+driver uniformly is normalized away here — that class is caught by the
+drivers' own acceptance checks (e.g. warm_start asserts v2 load beats
+cold generation), which this gate also enforces via failed_checks.
+
+Intentional regressions are allowlisted by exact benchmark name, one per
+line (``#`` comments allowed), via ``--allowlist``; allowlisted entries
+are reported but never fail the gate. The failed-check counts of both
+documents are also compared: a candidate with failed acceptance checks
+fails the gate regardless of timings.
+
+Usage:
+  compare_bench.py --baseline BENCH_ipg.json --candidate run1.json \
+      [run2.json ...] [--threshold 0.25] \
+      [--allowlist bench/regress_allowlist.txt] \
+      [--summary out.md] [--no-normalize]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def load_timings(path: Path) -> tuple[dict[str, float], int]:
+    """Returns {benchmark name: median seconds} and the failed-check count."""
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != "ipg-bench-suite-v1":
+        sys.exit(f"error: {path} is not an ipg-bench-suite-v1 document")
+    timings: dict[str, float] = {}
+    for driver in doc.get("drivers", []):
+        for result in driver.get("results", []):
+            median = result.get("median")
+            if median is None or result.get("unit") != "seconds":
+                continue
+            if median > 0:
+                timings[result["name"]] = median
+    failed = int(doc.get("summary", {}).get("failed_checks", 0))
+    return timings, failed
+
+
+def driver_of(name: str) -> str:
+    """The driver prefix of a benchmark name (text before the first '/')."""
+    return name.split("/", 1)[0]
+
+
+def load_allowlist(path: Path | None) -> set[str]:
+    if path is None or not path.exists():
+        return set()
+    names = set()
+    for line in path.read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            names.add(line)
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--candidate", type=Path, required=True, nargs="+",
+                        help="one or more candidate documents; each "
+                             "benchmark is scored by its best median "
+                             "across them")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional regression that fails the gate "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="file of benchmark names exempt from the gate")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="write the comparison table (markdown) here")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw medians (same-machine documents)")
+    parser.add_argument("--gate-floor", type=float, default=25e-6,
+                        help="benchmarks whose baseline median is below "
+                             "this many seconds are reported but cannot "
+                             "fail the gate (default 25µs: reduced-pass "
+                             "medians below that scale are scheduler "
+                             "noise; such paths are covered by the "
+                             "committed BENCH diff and micro_kernels)")
+    args = parser.parse_args()
+
+    base, base_failed = load_timings(args.baseline)
+    cand: dict[str, float] = {}
+    cand_failed = 0
+    for path in args.candidate:
+        timings, failed = load_timings(path)
+        cand_failed += failed
+        for name, value in timings.items():
+            cand[name] = min(value, cand.get(name, value))
+    allow = load_allowlist(args.allowlist)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        sys.exit("error: no shared timing benchmarks between the documents")
+
+    ratios = {name: cand[name] / base[name] for name in shared}
+    global_scale = (1.0 if args.no_normalize
+                    else statistics.median(ratios.values()))
+
+    # Per-driver scales where a driver has enough shared benchmarks to
+    # support a median; the global scale backs up the small ones.
+    by_driver: dict[str, list[float]] = {}
+    for name in shared:
+        by_driver.setdefault(driver_of(name), []).append(ratios[name])
+    driver_scale = {
+        driver: (statistics.median(values)
+                 if len(values) >= 4 and not args.no_normalize
+                 else global_scale)
+        for driver, values in by_driver.items()
+    }
+
+    rows = []           # (name, base, cand, normalized ratio, verdict)
+    regressions = []    # names over threshold and not allowlisted
+    allowlisted_hits = []
+    for name in shared:
+        # A benchmark must look regressed under BOTH scales to fail: the
+        # driver-local scale cancels time-varying runner load, the global
+        # scale keeps a benchmark whose driver-mates merely *improved
+        # more* from being flagged relative to them.
+        norm = min(ratios[name] / driver_scale[driver_of(name)],
+                   ratios[name] / global_scale)
+        if norm > 1.0 + args.threshold:
+            if base[name] < args.gate_floor:
+                verdict = "noisy (below gate floor)"
+            elif name in allow:
+                verdict = "ALLOWLISTED"
+                allowlisted_hits.append(name)
+            else:
+                verdict = "REGRESSED"
+                regressions.append(name)
+        elif norm < 1.0 - args.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append((name, base[name], cand[name], norm, verdict))
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    lines = []
+    cand_names = ", ".join(p.name for p in args.candidate)
+    lines.append(f"# Benchmark comparison: {cand_names} "
+                 f"vs {args.baseline.name}")
+    lines.append("")
+    lines.append(f"- candidate runs (best median per benchmark): "
+                 f"{len(args.candidate)}")
+    lines.append(f"- shared timing benchmarks: {len(shared)}")
+    lines.append(f"- machine-speed scale (global median ratio): "
+                 f"{global_scale:.3f}"
+                 + (" (normalization off)" if args.no_normalize
+                    else "; per-driver scales applied"))
+    lines.append(f"- threshold: >{args.threshold:.0%} normalized median "
+                 "regression fails")
+    lines.append(f"- gate floor: benchmarks under "
+                 f"{args.gate_floor * 1e6:.0f} µs are informational only")
+    lines.append(f"- failed acceptance checks: baseline {base_failed}, "
+                 f"candidate {cand_failed}")
+    if only_base:
+        lines.append(f"- only in baseline (renamed/removed?): "
+                     f"{', '.join(only_base[:10])}"
+                     + (" …" if len(only_base) > 10 else ""))
+    if only_cand:
+        lines.append(f"- only in candidate (new): {', '.join(only_cand[:10])}"
+                     + (" …" if len(only_cand) > 10 else ""))
+    lines.append("")
+    lines.append("| benchmark | baseline | candidate | norm. ratio | verdict |")
+    lines.append("|---|---:|---:|---:|---|")
+
+    def fmt(seconds: float) -> str:
+        if seconds >= 1e-3:
+            return f"{seconds * 1e3:.3f} ms"
+        return f"{seconds * 1e6:.2f} µs"
+
+    interesting = [r for r in rows if r[4] != "ok"]
+    for name, b, c, norm, verdict in interesting + \
+            [r for r in rows if r[4] == "ok"]:
+        lines.append(f"| {name} | {fmt(b)} | {fmt(c)} | {norm:.2f} "
+                     f"| {verdict} |")
+
+    summary_text = "\n".join(lines) + "\n"
+    if args.summary:
+        args.summary.write_text(summary_text)
+
+    # Console: the header plus only the non-ok rows (full table in the
+    # summary file).
+    for line in lines[:12]:
+        print(line)
+    for name, b, c, norm, verdict in interesting:
+        print(f"  {verdict:>12}  {name}: {fmt(b)} -> {fmt(c)} "
+              f"(normalized {norm:.2f}x)")
+    if allowlisted_hits:
+        print(f"{len(allowlisted_hits)} regression(s) allowlisted: "
+              + ", ".join(allowlisted_hits))
+
+    failed = False
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}: " + ", ".join(regressions))
+        failed = True
+    if cand_failed > 0:
+        print(f"FAIL: candidate run has {cand_failed} failed acceptance "
+              "check(s)")
+        failed = True
+    if not failed:
+        print(f"OK: no benchmark regressed beyond {args.threshold:.0%} "
+              f"({len(shared)} compared)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,7 @@ std::vector<SymbolId> tokenizeSample(SdfLanguage &Lang, size_t Index) {
 void BM_ClosureOfStartKernel(benchmark::State &State) {
   SdfLanguage Lang;
   ItemSetGraph Graph(Lang.grammar());
-  const Kernel &K = Graph.startSet()->kernel();
+  KernelView K = Graph.startSet()->kernel();
   for (auto _ : State)
     benchmark::DoNotOptimize(Graph.closure(K));
 }

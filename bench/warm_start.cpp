@@ -3,15 +3,19 @@
 /// \file
 /// The snapshot subsystem's headline numbers, on the 12x-SDF grammar (the
 /// "much larger than the grammar of SDF" regime of §7): cold full
-/// generation vs. adopting a persisted graph (`Ipg::loadSnapshot`), and —
-/// the cross-process extension of §6 — repairing a *stale* snapshot whose
-/// grammar differs by one rule vs. regenerating the modified grammar from
-/// scratch. Also pins the byte-determinism contract the CI job relies on:
-/// the same graph serializes to identical bytes, and a fingerprint-matched
-/// save→load→save round trip reproduces the file exactly.
+/// generation vs. adopting a persisted graph (`Ipg::loadSnapshot`) in both
+/// on-disk encodings — v1 (varint decode) and v2 (mmap + validate +
+/// pointer fixup, the zero-copy fast path) — and, the cross-process
+/// extension of §6, repairing a *stale* snapshot whose grammar differs by
+/// one rule vs. regenerating the modified grammar from scratch. Also pins
+/// the byte-determinism contract the CI job relies on for both formats:
+/// the same graph serializes to identical bytes, and a
+/// fingerprint-matched save→load→save round trip reproduces each file
+/// exactly.
 ///
-/// The snapshot written here (`warm_start.snapshot` in the working
-/// directory) doubles as the CI determinism artifact.
+/// The snapshots written here (`warm_start.snapshot` = v1,
+/// `warm_start_v2.snapshot` = v2, in the working directory) double as the
+/// CI determinism artifacts.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,31 +55,45 @@ bool filesEqual(const std::string &A, const std::string &B) {
   return BytesA && BytesB && *BytesA == *BytesB;
 }
 
+/// Per-format save-side facts, pinned once per encoding.
+struct SaveFacts {
+  size_t Bytes = 0;
+  bool SaveOk = false;
+  bool SaveTwiceIdentical = false;
+};
+
 } // namespace
 
 int main(int argc, char **argv) {
   BenchHarness H("warm_start", argc, argv);
   std::printf("snapshot warm start — 12x-SDF grammar, Exam.sdf input\n\n");
 
-  const std::string SnapPath = "warm_start.snapshot";
+  const std::string SnapV1 = "warm_start.snapshot";
+  const std::string SnapV2 = "warm_start_v2.snapshot";
   const int Copies = 12;
   const std::string_view InputText = sdfSamples()[1].Text;
 
-  // Produce the snapshot from a fully generated graph, and pin the
-  // serialize-twice byte-determinism contract.
-  size_t ColdStates = 0, SnapshotBytes = 0;
-  bool SaveOk = false, SaveTwiceIdentical = false;
+  // Produce both snapshots from the same fully generated graph, and pin
+  // the serialize-twice byte-determinism contract per format.
+  size_t ColdStates = 0;
+  SaveFacts V1, V2;
   {
     Grammar G;
     buildScaledSdf(G, Copies);
     Ipg Gen(G);
     ColdStates = Gen.generateAll();
-    Expected<size_t> Saved = Gen.saveSnapshot(SnapPath);
-    SaveOk = static_cast<bool>(Saved);
-    SnapshotBytes = SaveOk ? *Saved : 0;
-    if (Gen.saveSnapshot("warm_start_again.snapshot"))
-      SaveTwiceIdentical = filesEqual(SnapPath, "warm_start_again.snapshot");
-    std::remove("warm_start_again.snapshot");
+    auto SaveBoth = [&](const std::string &Path, SnapshotFormat Format,
+                        SaveFacts &Facts) {
+      Expected<size_t> Saved = Gen.saveSnapshot(Path, Format);
+      Facts.SaveOk = static_cast<bool>(Saved);
+      Facts.Bytes = Facts.SaveOk ? *Saved : 0;
+      if (Gen.saveSnapshot("warm_start_again.snapshot", Format))
+        Facts.SaveTwiceIdentical =
+            filesEqual(Path, "warm_start_again.snapshot");
+      std::remove("warm_start_again.snapshot");
+    };
+    SaveBoth(SnapV1, SnapshotFormat::V1, V1);
+    SaveBoth(SnapV2, SnapshotFormat::V2, V2);
   }
 
   // Cold baseline: build the grammar and generate the full table.
@@ -86,38 +104,60 @@ int main(int argc, char **argv) {
                    Graph.generateAll();
                  }).Median;
 
-  // Warm start: same grammar, graph adopted from the snapshot.
-  bool LoadOk = true, Matched = false;
-  size_t LoadedStates = 0;
-  double Load = H.measure("warm_start/snapshot_load", 9, [&] {
-                   Grammar G;
-                   buildScaledSdf(G, Copies);
-                   Ipg Gen(G);
-                   Expected<SnapshotLoadResult> R = Gen.loadSnapshot(SnapPath);
-                   LoadOk = LoadOk && static_cast<bool>(R);
-                   if (R) {
-                     Matched = R->FingerprintMatched;
-                     LoadedStates = R->StatesLoaded;
-                   }
-                 }).Median;
+  // Warm starts: same grammar, graph adopted from each snapshot format.
+  // v1 pays a per-record varint decode; v2's layout-match path is mmap +
+  // validate + pointer fixup with borrowed record storage.
+  auto MeasureLoad = [&](const std::string &Name, const std::string &Path,
+                         bool &LoadOk, bool &Matched, size_t &LoadedStates) {
+    return H.measure(Name, 9, [&] {
+              Grammar G;
+              buildScaledSdf(G, Copies);
+              Ipg Gen(G);
+              Expected<SnapshotLoadResult> R = Gen.loadSnapshot(Path);
+              LoadOk = LoadOk && static_cast<bool>(R);
+              if (R) {
+                Matched = R->FingerprintMatched;
+                LoadedStates = R->StatesLoaded;
+              }
+            }).Median;
+  };
+  bool LoadV1Ok = true, MatchedV1 = false;
+  bool LoadV2Ok = true, MatchedV2 = false;
+  size_t LoadedStatesV1 = 0, LoadedStatesV2 = 0;
+  double LoadV1 = MeasureLoad("warm_start/snapshot_load_v1", SnapV1, LoadV1Ok,
+                              MatchedV1, LoadedStatesV1);
+  double LoadV2 = MeasureLoad("warm_start/snapshot_load_v2", SnapV2, LoadV2Ok,
+                              MatchedV2, LoadedStatesV2);
 
-  // Round-trip determinism and parse equivalence of the adopted graph.
-  bool RoundTripIdentical = false, WarmParseOk = false;
+  // Round-trip determinism and parse equivalence of the adopted graphs.
+  bool RoundTripV1 = false, RoundTripV2 = false, WarmParseOk = false;
   {
-    Grammar G;
-    buildScaledSdf(G, Copies);
-    Ipg Gen(G);
-    if (Gen.loadSnapshot(SnapPath)) {
-      if (Gen.saveSnapshot("warm_start_rt.snapshot"))
-        RoundTripIdentical = filesEqual(SnapPath, "warm_start_rt.snapshot");
-      std::remove("warm_start_rt.snapshot");
-      WarmParseOk = Gen.recognize(tokenize(G, InputText));
-    }
+    auto RoundTrip = [&](const std::string &Path, SnapshotFormat Format,
+                         bool CheckParse) {
+      Grammar G;
+      buildScaledSdf(G, Copies);
+      Ipg Gen(G);
+      bool Identical = false;
+      if (Gen.loadSnapshot(Path)) {
+        if (Gen.saveSnapshot("warm_start_rt.snapshot", Format))
+          Identical = filesEqual(Path, "warm_start_rt.snapshot");
+        std::remove("warm_start_rt.snapshot");
+        if (CheckParse)
+          WarmParseOk = Gen.recognize(tokenize(G, InputText));
+      }
+      return Identical;
+    };
+    RoundTripV1 = RoundTrip(SnapV1, SnapshotFormat::V1, false);
+    RoundTripV2 = RoundTrip(SnapV2, SnapshotFormat::V2, true);
   }
 
   // Stale repair: the live grammar gained one rule since the snapshot was
-  // taken. loadSnapshot adopts the old graph and replays the delta through
-  // ADD-RULE; the parse re-expands only what the §6 MODIFY invalidated.
+  // taken. loadSnapshot decodes the old graph and replays the delta
+  // through ADD-RULE; the parse re-expands only what the §6 MODIFY
+  // invalidated. The *timed* scenario keeps loading the v1 file so the
+  // `stale_repair_parse` trajectory stays comparable across PRs (stale
+  // loads decode either way — zero-copy needs a layout match); the v2
+  // stale path is verified untimed below with the same §6 evidence.
   std::vector<SymbolId> ModifiedTokens;
   {
     Grammar G;
@@ -136,7 +176,7 @@ int main(int argc, char **argv) {
          auto [MLhs, MRhs] = scaledSdfModification(G);
          G.addRule(MLhs, std::move(MRhs));
          Ipg Gen(G);
-         Expected<SnapshotLoadResult> R = Gen.loadSnapshot(SnapPath);
+         Expected<SnapshotLoadResult> R = Gen.loadSnapshot(SnapV1);
          StaleLoadOk = StaleLoadOk && static_cast<bool>(R);
          if (R) {
            StaleMatched = R->FingerprintMatched;
@@ -146,6 +186,26 @@ int main(int argc, char **argv) {
          StaleParseOk = StaleParseOk && Gen.recognize(ModifiedTokens);
          RepairReExpansions = Gen.stats().ReExpansions;
        }).Median;
+
+  // The v2 stale path, untimed: same one-rule delta, same bounded
+  // re-expansion contract, through the flat decode fallback.
+  bool StaleV2Ok = false, StaleV2ParseOk = false;
+  size_t RulesAddedV2 = 0;
+  uint64_t RepairReExpansionsV2 = 0;
+  {
+    Grammar G;
+    buildScaledSdf(G, Copies);
+    auto [MLhs, MRhs] = scaledSdfModification(G);
+    G.addRule(MLhs, std::move(MRhs));
+    Ipg Gen(G);
+    Expected<SnapshotLoadResult> R = Gen.loadSnapshot(SnapV2);
+    if (R) {
+      StaleV2Ok = !R->FingerprintMatched;
+      RulesAddedV2 = R->RulesAdded + R->RulesRemoved;
+      StaleV2ParseOk = Gen.recognize(ModifiedTokens);
+      RepairReExpansionsV2 = Gen.stats().ReExpansions;
+    }
+  }
 
   // The non-incremental answer to the same situation: regenerate the
   // modified grammar from scratch, then parse.
@@ -161,53 +221,64 @@ int main(int argc, char **argv) {
 
   TextTable Table({"scenario", "median", "vs cold"});
   Table.addRow({"cold generateAll", ms(Cold), "1.00x"});
-  Table.addRow({"snapshot load (matched)", ms(Load),
-                formatSeconds(Cold / Load, 2) + "x faster"});
-  Table.addRow({"stale repair + parse", ms(Repair), "-"});
+  Table.addRow({"snapshot load v1 (decode)", ms(LoadV1),
+                formatSeconds(Cold / LoadV1, 2) + "x faster"});
+  Table.addRow({"snapshot load v2 (zero-copy)", ms(LoadV2),
+                formatSeconds(Cold / LoadV2, 2) + "x faster"});
+  Table.addRow({"stale repair + parse (v1)", ms(Repair), "-"});
   Table.addRow({"regenerate + parse", ms(Regen),
                 formatSeconds(Regen / Repair, 2) + "x slower than repair"});
   Table.print();
-  std::printf("\nsnapshot: %zu bytes, %zu states; repair delta: +%zu/-%zu "
-              "rules, %llu re-expansions\n",
-              SnapshotBytes, ColdStates, RulesAdded, RulesRemoved,
+  std::printf("\nsnapshot: v1 %zu bytes, v2 %zu bytes, %zu states; repair "
+              "delta: +%zu/-%zu rules, %llu re-expansions\n",
+              V1.Bytes, V2.Bytes, ColdStates, RulesAdded, RulesRemoved,
               static_cast<unsigned long long>(RepairReExpansions));
 
-  H.report().addCounter("warm_start/snapshot_bytes", SnapshotBytes);
+  H.report().addCounter("warm_start/snapshot_bytes", V1.Bytes);
+  H.report().addCounter("warm_start/snapshot_bytes_v2", V2.Bytes);
   H.report().addCounter("warm_start/full_table_states", ColdStates);
   H.report().addCounter("warm_start/repair_rules_added", RulesAdded);
   H.report().addCounter("warm_start/repair_rules_removed", RulesRemoved);
   H.report().addCounter("warm_start/repair_re_expansions",
                         RepairReExpansions);
-  H.report().addScalar("warm_start/load_speedup_vs_cold", Cold / Load,
+  H.report().addScalar("warm_start/load_speedup_vs_cold", Cold / LoadV1,
+                       "ratio");
+  H.report().addScalar("warm_start/load_speedup_vs_cold_v2", Cold / LoadV2,
+                       "ratio");
+  H.report().addScalar("warm_start/v2_load_speedup_vs_v1", LoadV1 / LoadV2,
                        "ratio");
   H.report().addScalar("warm_start/repair_speedup_vs_regen", Regen / Repair,
                        "ratio");
 
   std::printf("\nshape checks:\n");
-  H.check(SaveOk && SnapshotBytes > 0, "snapshot written");
-  H.check(SaveTwiceIdentical,
-          "serializing the same graph twice is byte-identical");
-  H.check(LoadOk && Matched,
-          "identical grammar fingerprint-matches its snapshot");
-  H.check(LoadedStates == ColdStates,
+  H.check(V1.SaveOk && V1.Bytes > 0, "v1 snapshot written");
+  H.check(V2.SaveOk && V2.Bytes > 0, "v2 snapshot written");
+  H.check(V1.SaveTwiceIdentical,
+          "serializing the same graph twice is byte-identical (v1)");
+  H.check(V2.SaveTwiceIdentical,
+          "serializing the same graph twice is byte-identical (v2)");
+  H.check(LoadV1Ok && MatchedV1 && LoadV2Ok && MatchedV2,
+          "identical grammar fingerprint-matches both snapshot formats");
+  H.check(LoadedStatesV1 == ColdStates && LoadedStatesV2 == ColdStates,
           "snapshot load materializes the full generated table");
-  H.check(RoundTripIdentical,
-          "fingerprint-matched save->load->save reproduces the file");
+  H.check(RoundTripV1 && RoundTripV2,
+          "fingerprint-matched save->load->save reproduces each file");
   H.check(WarmParseOk, "warm-started graph parses Exam.sdf");
-  // The timing comparisons tolerate noise in the reduced (CI smoke) pass:
+  // Wall-clock comparisons tolerate noise in the reduced (CI smoke) pass:
   // three repetitions on a shared runner cannot support a strict
-  // inequality, and the trajectory numbers come from full runs anyway.
-  // Since the ACTION/GOTO hot-path work (allocation-free queries, EXPAND
-  // scratch reuse), full generation at this scale is fast enough that
-  // load and repair no longer hold the decisive wall-clock margin PR 3
-  // measured: deserialization is now the bottleneck of the warm-start
-  // path (mmap/zero-copy load is the named next step in ROADMAP.md). The
-  // §6 claim's ground truth is the bounded *work* — the re-expansion
-  // counter checked above — so the full-run wall-clock checks assert
-  // parity-or-better rather than strict victory.
+  // inequality; the trajectory numbers come from full runs. In full runs
+  // the claims are strict — and the v2 zero-copy load must restore the
+  // decisive warm-start margin over cold generation that PR 4's fast
+  // regeneration erased for v1 (v1 decode holds parity-or-better; the §6
+  // bounded-work evidence stays the re-expansion counter checked below).
   double NoiseBand = H.reduced() ? 1.5 : 1.15;
-  H.check(Load < Cold * NoiseBand,
-          "snapshot load is at least on par with cold full generation");
+  H.check(LoadV1 < Cold * NoiseBand,
+          "v1 snapshot load is at least on par with cold full generation");
+  H.check(H.reduced() ? LoadV2 < Cold * NoiseBand : Cold / LoadV2 >= 1.3,
+          "v2 zero-copy load beats cold full generation by >=1.3x "
+          "(full runs)");
+  H.check(H.reduced() || LoadV2 < LoadV1,
+          "v2 zero-copy load beats the v1 decode path (full runs)");
   H.check(StaleLoadOk && !StaleMatched && RulesAdded == 1 &&
               RulesRemoved == 0,
           "stale snapshot is repaired via the one-rule delta, not "
@@ -217,5 +288,9 @@ int main(int argc, char **argv) {
           "repair re-expands a small fraction of the table");
   H.check(Repair < Regen * NoiseBand,
           "stale-snapshot repair is at least on par with full regeneration");
+  H.check(StaleV2Ok && RulesAddedV2 == 1 && StaleV2ParseOk,
+          "stale v2 snapshot repairs via the same one-rule delta");
+  H.check(RepairReExpansionsV2 == RepairReExpansions,
+          "v2 stale repair re-expands exactly as many states as v1");
   return H.finish();
 }

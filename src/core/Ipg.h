@@ -82,16 +82,22 @@ public:
   size_t collectGarbage() { return Graph.collectGarbage(); }
 
   /// Persists the current graph of item sets — including its lazy/dirty
-  /// frontier and stats — to \p Path in the `ipg-snap-v1` format
-  /// (core/Snapshot.h). Returns the bytes written. Serialization is
-  /// byte-deterministic: the same graph saves to identical bytes in every
-  /// build type.
-  Expected<size_t> saveSnapshot(const std::string &Path) const;
+  /// frontier and stats — to \p Path (core/Snapshot.h). The default
+  /// `ipg-snap-v2` is the flat, mmap-adoptable layout whose
+  /// fingerprint-matched load is zero-copy; pass SnapshotFormat::V1 for
+  /// the varint encoding pre-v2 consumers read. Returns the bytes
+  /// written. Serialization is byte-deterministic in both formats: the
+  /// same graph saves to identical bytes in every build type.
+  Expected<size_t> saveSnapshot(const std::string &Path,
+                                SnapshotFormat Format =
+                                    SnapshotFormat::V2) const;
 
   /// Warm-starts from a snapshot: replaces the current (typically one-node)
-  /// graph with the persisted one. When the snapshot's grammar fingerprint
-  /// matches this generator's grammar, the graph is adopted as-is; when it
-  /// does not, the snapshot's rule set is diffed against the live grammar
+  /// graph with the persisted one. The format is negotiated from the file
+  /// magic — v1 decodes record by record, v2 is adopted zero-copy from a
+  /// private mapping when the layout fingerprint matches. When the
+  /// snapshot's grammar fingerprint does not match this generator's
+  /// grammar, the snapshot's rule set is diffed against the live grammar
   /// and the delta is replayed through ADD-RULE/DELETE-RULE, so the §6
   /// machinery repairs the stale states instead of discarding the snapshot.
   /// On error the generator is left as freshly constructed (grammar

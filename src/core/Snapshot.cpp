@@ -2,12 +2,17 @@
 ///
 /// Implements Ipg::saveSnapshot / Ipg::loadSnapshot (declared in
 /// core/Ipg.h) on top of the format constants of core/Snapshot.h: the
-/// grammar section and fingerprint come from grammar/GrammarIO.h, the
-/// graph section from lr/GraphSnapshot.h. The load path owns the
-/// stale-snapshot repair strategy: bring the live grammar to the
-/// snapshot's rule set, adopt the graph, then replay the rule delta
-/// through the graph-level ADD-RULE/DELETE-RULE so MODIFY (§6.1)
-/// invalidates exactly the states the difference touches.
+/// grammar sections and fingerprints come from grammar/GrammarIO.h, the
+/// graph sections from lr/GraphSnapshot.h. Both container formats are
+/// loaded out of one private file mapping (support/MappedFile.h): v1
+/// decodes the varint payload record by record, v2's fingerprint-matched
+/// fast path adopts the flat GRPH section in place — pointer fixup inside
+/// the copy-on-write mapping, borrowed record spans, header-only
+/// checksum. The load path owns the stale-snapshot repair strategy,
+/// shared by both formats: bring the live grammar to the snapshot's rule
+/// set, adopt the graph, then replay the rule delta through the
+/// graph-level ADD-RULE/DELETE-RULE so MODIFY (§6.1) invalidates exactly
+/// the states the difference touches.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,104 +20,36 @@
 
 #include "grammar/GrammarIO.h"
 #include "lr/GraphSnapshot.h"
+#include "support/FlatSection.h"
 #include "support/Hashing.h"
+#include "support/MappedFile.h"
 
+#include <cassert>
 #include <cstring>
+#include <memory>
 
 using namespace ipg;
 
-Expected<size_t> Ipg::saveSnapshot(const std::string &Path) const {
-  const Grammar &G = Graph.grammar();
+namespace {
 
-  ByteWriter Payload;
-  size_t Gram = Payload.beginSection(SnapshotGramTag);
-  writeGrammarSnapshot(G, Payload);
-  Payload.endSection(Gram);
-  size_t Grph = Payload.beginSection(SnapshotGrphTag);
-  GraphSnapshot::save(Graph, Payload);
-  Payload.endSection(Grph);
-
-  ByteWriter File;
-  File.writeBytes(SnapshotMagic, std::strlen(SnapshotMagic));
-  File.writeU64(grammarFingerprint(G));
-  File.writeU64(grammarLayoutFingerprint(G));
-  File.writeU64(hashBytes(Payload.buffer().data(), Payload.size()));
-  File.writeBytes(Payload.buffer().data(), Payload.size());
-  return File.writeFile(Path);
-}
-
-Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
-  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.error();
-  ByteReader Reader(*Bytes);
-
-  if (!Reader.consumeBytes(SnapshotMagic)) {
-    if (Reader.consumeBytes("ipg-snap-v"))
-      return Error("unsupported snapshot version (expected ipg-snap-v1)");
-    return Error("not an ipg snapshot (bad magic)");
-  }
-  Expected<uint64_t> SnapFingerprint = Reader.readU64();
-  if (!SnapFingerprint)
-    return SnapFingerprint.error();
-  Expected<uint64_t> SnapLayout = Reader.readU64();
-  if (!SnapLayout)
-    return SnapLayout.error();
-  Expected<uint64_t> PayloadHash = Reader.readU64();
-  if (!PayloadHash)
-    return PayloadHash.error();
-  // Checksum the whole payload before decoding anything: a corrupted file
-  // is rejected here, before the grammar or graph is touched.
-  if (hashBytes(Bytes->data() + Reader.position(), Reader.remaining()) !=
-      *PayloadHash)
-    return Error("snapshot payload corrupted (checksum mismatch)");
-
-  Expected<ByteReader> GramBody = Reader.readSection(SnapshotGramTag);
-  if (!GramBody)
-    return GramBody.error();
-  Expected<ByteReader> GrphBody = Reader.readSection(SnapshotGrphTag);
-  if (!GrphBody)
-    return GrphBody.error();
-  if (!Reader.atEnd())
-    return Error("trailing bytes after snapshot");
-
-  Grammar &G = Graph.grammar();
-
-  // Warm-start fast path: when the live grammar's table layout is exactly
-  // what the snapshot was saved from, both id maps are the identity and
-  // the whole by-name remapping (and the GRAM decode) can be skipped.
-  if (*SnapLayout == grammarLayoutFingerprint(G)) {
-    std::vector<SymbolId> IdentitySymbols(G.symbols().size());
-    for (SymbolId Sym = 0; Sym < IdentitySymbols.size(); ++Sym)
-      IdentitySymbols[Sym] = Sym;
-    std::vector<RuleId> IdentityRules(G.numInternedRules());
-    for (RuleId Id = 0; Id < IdentityRules.size(); ++Id)
-      IdentityRules[Id] = Id;
-    Expected<size_t> Loaded =
-        GraphSnapshot::load(*GrphBody, Graph, IdentitySymbols, IdentityRules);
-    if (!Loaded) {
-      GraphSnapshot::reset(Graph);
-      return Loaded.error();
-    }
-    SnapshotLoadResult Result;
-    Result.FingerprintMatched = true;
-    Result.SnapshotFingerprint = *SnapFingerprint;
-    Result.StatesLoaded = *Loaded;
-    return Result;
-  }
-
-  Expected<GrammarSnapshot> Snap = readGrammarSnapshot(*GramBody);
-  if (!Snap)
-    return Snap.error();
-
+/// The shared slow path: maps the decoded snapshot grammar onto the live
+/// one, brings the live grammar to the snapshot's rule set, loads the
+/// graph through \p LoadGraph(SymbolMap, RuleMap), then replays the rule
+/// delta through the graph-level §6 operations. On a failed load the
+/// grammar's active set is restored and the graph reset — the generator
+/// stays usable.
+template <typename LoadFnT>
+Expected<SnapshotLoadResult>
+remapAndRepair(Grammar &G, ItemSetGraph &Graph, const GrammarSnapshot &Snap,
+               uint64_t SnapFingerprint, LoadFnT &&LoadGraph) {
   // Map the snapshot's symbols onto the live table. Most stale snapshots
   // differ from the live grammar by a handful of appended rules, so ids
   // usually still coincide: try the in-place string compare first and fall
   // back to the hashing intern only on mismatch.
   std::vector<SymbolId> SymbolMap;
-  SymbolMap.reserve(Snap->Symbols.size());
-  for (size_t I = 0; I < Snap->Symbols.size(); ++I) {
-    const GrammarSnapshot::Symbol &Sym = Snap->Symbols[I];
+  SymbolMap.reserve(Snap.Symbols.size());
+  for (size_t I = 0; I < Snap.Symbols.size(); ++I) {
+    const GrammarSnapshot::Symbol &Sym = Snap.Symbols[I];
     SymbolId Live = I < G.symbols().size() && G.symbols().name(I) == Sym.Name
                         ? static_cast<SymbolId>(I)
                         : G.symbols().intern(Sym.Name);
@@ -120,7 +57,7 @@ Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
       G.symbols().markNonterminal(Live);
     SymbolMap.push_back(Live);
   }
-  for (const GrammarSnapshot::SnapRule &SnapRule : Snap->Rules)
+  for (const GrammarSnapshot::SnapRule &SnapRule : Snap.Rules)
     for (uint32_t Sym : SnapRule.Rhs)
       if (SymbolMap[Sym] == G.startSymbol())
         return Error("snapshot rule uses START in a right-hand side");
@@ -128,11 +65,11 @@ Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
   // Map the snapshot's rules (same in-place-first strategy), collecting
   // the live ids of its active set; nothing is activated yet.
   std::vector<RuleId> RuleMap;
-  RuleMap.reserve(Snap->Rules.size());
+  RuleMap.reserve(Snap.Rules.size());
   std::vector<RuleId> SnapActive;
   std::vector<SymbolId> Rhs;
-  for (size_t I = 0; I < Snap->Rules.size(); ++I) {
-    const GrammarSnapshot::SnapRule &SnapRule = Snap->Rules[I];
+  for (size_t I = 0; I < Snap.Rules.size(); ++I) {
+    const GrammarSnapshot::SnapRule &SnapRule = Snap.Rules[I];
     SymbolId Lhs = SymbolMap[SnapRule.Lhs];
     Rhs.clear();
     Rhs.reserve(SnapRule.Rhs.size());
@@ -168,8 +105,7 @@ Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
   for (RuleId Id : LiveOnly)
     G.removeRule(Id);
 
-  Expected<size_t> Loaded =
-      GraphSnapshot::load(*GrphBody, Graph, SymbolMap, RuleMap);
+  Expected<size_t> Loaded = LoadGraph(SymbolMap, RuleMap);
   if (!Loaded) {
     // Undo: restore the grammar's active set, reset the graph to the
     // freshly-constructed one-node state. The generator stays usable.
@@ -192,11 +128,256 @@ Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
   SnapshotLoadResult Result;
   // An empty delta means the active rule sets coincide — exactly what the
   // content fingerprint certifies (it is not recomputed here; the layout
-  // check above already handles the byte-identical fast path).
+  // check handles the byte-identical fast path before this runs).
   Result.FingerprintMatched = LiveOnly.empty() && SnapOnly.empty();
-  Result.SnapshotFingerprint = *SnapFingerprint;
+  Result.SnapshotFingerprint = SnapFingerprint;
   Result.StatesLoaded = *Loaded;
   Result.RulesAdded = LiveOnly.size();
   Result.RulesRemoved = SnapOnly.size();
   return Result;
+}
+
+/// Identity id maps for the fingerprint-matched fast paths.
+std::vector<SymbolId> identitySymbolMap(const Grammar &G) {
+  std::vector<SymbolId> Map(G.symbols().size());
+  for (SymbolId Sym = 0; Sym < Map.size(); ++Sym)
+    Map[Sym] = Sym;
+  return Map;
+}
+
+std::vector<RuleId> identityRuleMap(const Grammar &G) {
+  std::vector<RuleId> Map(G.numInternedRules());
+  for (RuleId Id = 0; Id < Map.size(); ++Id)
+    Map[Id] = Id;
+  return Map;
+}
+
+/// The v1 container: varint payload behind a whole-payload checksum.
+Expected<SnapshotLoadResult> loadV1Container(Grammar &G, ItemSetGraph &Graph,
+                                             const uint8_t *Data,
+                                             size_t Size) {
+  ByteReader Reader(Data, Size);
+  if (!Reader.consumeBytes(SnapshotMagic))
+    return Error("not an ipg snapshot (bad magic)");
+  Expected<uint64_t> SnapFingerprint = Reader.readU64();
+  if (!SnapFingerprint)
+    return SnapFingerprint.error();
+  Expected<uint64_t> SnapLayout = Reader.readU64();
+  if (!SnapLayout)
+    return SnapLayout.error();
+  Expected<uint64_t> PayloadHash = Reader.readU64();
+  if (!PayloadHash)
+    return PayloadHash.error();
+  // Checksum the whole payload before decoding anything: a corrupted file
+  // is rejected here, before the grammar or graph is touched.
+  if (hashBytes(Data + Reader.position(), Reader.remaining()) != *PayloadHash)
+    return Error("snapshot payload corrupted (checksum mismatch)");
+
+  Expected<ByteReader> GramBody = Reader.readSection(SnapshotGramTag);
+  if (!GramBody)
+    return GramBody.error();
+  Expected<ByteReader> GrphBody = Reader.readSection(SnapshotGrphTag);
+  if (!GrphBody)
+    return GrphBody.error();
+  if (!Reader.atEnd())
+    return Error("trailing bytes after snapshot");
+
+  // Warm-start fast path: when the live grammar's table layout is exactly
+  // what the snapshot was saved from, both id maps are the identity and
+  // the whole by-name remapping (and the GRAM decode) can be skipped.
+  if (*SnapLayout == grammarLayoutFingerprint(G)) {
+    Expected<size_t> Loaded = GraphSnapshot::load(
+        *GrphBody, Graph, identitySymbolMap(G), identityRuleMap(G));
+    if (!Loaded) {
+      GraphSnapshot::reset(Graph);
+      return Loaded.error();
+    }
+    SnapshotLoadResult Result;
+    Result.FingerprintMatched = true;
+    Result.SnapshotFingerprint = *SnapFingerprint;
+    Result.StatesLoaded = *Loaded;
+    return Result;
+  }
+
+  Expected<GrammarSnapshot> Snap = readGrammarSnapshot(*GramBody);
+  if (!Snap)
+    return Snap.error();
+  return remapAndRepair(G, Graph, *Snap, *SnapFingerprint,
+                        [&](const std::vector<SymbolId> &SymbolMap,
+                            const std::vector<RuleId> &RuleMap) {
+                          return GraphSnapshot::load(*GrphBody, Graph,
+                                                     SymbolMap, RuleMap);
+                        });
+}
+
+/// The v2 container: flat sections behind a header checksum (fast path)
+/// and a payload checksum (decode paths). Takes the mapping by shared_ptr
+/// because the zero-copy adoption hands it to the graph.
+Expected<SnapshotLoadResult>
+loadV2Container(Grammar &G, ItemSetGraph &Graph,
+                std::shared_ptr<MappedFile> Mapping) {
+  uint8_t *Data = Mapping->data();
+  const size_t Size = Mapping->size();
+  if (Size < SnapshotV2HeaderBytes)
+    return Error("truncated snapshot header");
+  if (Data[11] != 0)
+    return Error("unsupported snapshot version (expected ipg-snap-v1 or "
+                 "ipg-snap-v2)");
+  FlatView File(Data, Size);
+
+  // The header carries its own checksum so the fast path can trust the
+  // offsets and fingerprints without touching the payload pages.
+  Expected<uint64_t> HeaderChk = File.u64At(72);
+  if (!HeaderChk ||
+      hashBytes(Data, SnapshotV2HeaderChecksumBytes) != *HeaderChk)
+    return Error("snapshot header corrupted (checksum mismatch)");
+
+  Expected<uint32_t> HeaderBytes = File.u32At(12);
+  uint64_t Fields[7]; // fingerprint, layout, GramOff/Len, GrphOff/Len, chk.
+  for (int I = 0; I < 7; ++I) {
+    Expected<uint64_t> V = File.u64At(16 + 8 * static_cast<size_t>(I));
+    if (!V)
+      return V.error();
+    Fields[I] = *V;
+  }
+  const uint64_t SnapFingerprint = Fields[0], SnapLayout = Fields[1];
+  const uint64_t GramOff = Fields[2], GramLen = Fields[3];
+  const uint64_t GrphOff = Fields[4], GrphLen = Fields[5];
+  const uint64_t PayloadChk = Fields[6];
+  if (!HeaderBytes || *HeaderBytes < SnapshotV2HeaderBytes ||
+      *HeaderBytes > Size)
+    return Error("malformed snapshot header");
+  if (GramOff < *HeaderBytes || GramOff > Size || GramLen > Size - GramOff ||
+      GrphOff < *HeaderBytes || GrphOff > Size || GrphLen > Size - GrphOff)
+    return Error("snapshot section out of bounds");
+
+  // Warm-start fast path: layout match means identity ids, so the GRPH
+  // section can be adopted straight out of the mapping — no GRAM decode,
+  // no payload checksum (the structural validation sweep inside adoptV2
+  // is the integrity check the trust model asks of a cache format).
+  if (SnapLayout == grammarLayoutFingerprint(G)) {
+    Expected<size_t> Loaded = Error("unreachable");
+    if (GraphSnapshot::hostCanAdoptV2()) {
+      Loaded = GraphSnapshot::adoptV2(Data + GrphOff,
+                                      static_cast<size_t>(GrphLen), Graph,
+                                      Mapping);
+    } else {
+      // Big-endian / exotic-ABI hosts: same file, endian-safe decode into
+      // owned storage. Integrity then comes from the payload checksum.
+      if (hashBytes(Data + *HeaderBytes, Size - *HeaderBytes) != PayloadChk)
+        return Error("snapshot payload corrupted (checksum mismatch)");
+      Loaded = GraphSnapshot::loadV2(
+          FlatView(Data + GrphOff, static_cast<size_t>(GrphLen)), Graph,
+          identitySymbolMap(G), identityRuleMap(G));
+    }
+    if (!Loaded) {
+      GraphSnapshot::reset(Graph);
+      return Loaded.error();
+    }
+    SnapshotLoadResult Result;
+    Result.FingerprintMatched = true;
+    Result.SnapshotFingerprint = SnapFingerprint;
+    Result.StatesLoaded = *Loaded;
+    return Result;
+  }
+
+  // Remapping slow path: decodes every record anyway, so verify the whole
+  // payload up front like v1 does.
+  if (hashBytes(Data + *HeaderBytes, Size - *HeaderBytes) != PayloadChk)
+    return Error("snapshot payload corrupted (checksum mismatch)");
+  Expected<GrammarSnapshot> Snap = readGrammarSnapshotV2(
+      FlatView(Data + GramOff, static_cast<size_t>(GramLen)));
+  if (!Snap)
+    return Snap.error();
+  return remapAndRepair(
+      G, Graph, *Snap, SnapFingerprint,
+      [&](const std::vector<SymbolId> &SymbolMap,
+          const std::vector<RuleId> &RuleMap) {
+        return GraphSnapshot::loadV2(
+            FlatView(Data + GrphOff, static_cast<size_t>(GrphLen)), Graph,
+            SymbolMap, RuleMap);
+      });
+}
+
+} // namespace
+
+Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
+                                   SnapshotFormat Format) const {
+  const Grammar &G = Graph.grammar();
+
+  if (Format == SnapshotFormat::V1) {
+    ByteWriter Payload;
+    size_t Gram = Payload.beginSection(SnapshotGramTag);
+    writeGrammarSnapshot(G, Payload);
+    Payload.endSection(Gram);
+    size_t Grph = Payload.beginSection(SnapshotGrphTag);
+    GraphSnapshot::save(Graph, Payload);
+    Payload.endSection(Grph);
+
+    ByteWriter File;
+    File.writeBytes(SnapshotMagic, std::strlen(SnapshotMagic));
+    File.writeU64(grammarFingerprint(G));
+    File.writeU64(grammarLayoutFingerprint(G));
+    File.writeU64(hashBytes(Payload.buffer().data(), Payload.size()));
+    File.writeBytes(Payload.buffer().data(), Payload.size());
+    return File.writeFile(Path);
+  }
+
+  FlatWriter Gram;
+  writeGrammarSnapshotV2(G, Gram);
+  FlatWriter Grph;
+  GraphSnapshot::saveV2(Graph, Grph);
+
+  FlatWriter File;
+  File.writeBytes(SnapshotMagicV2, std::strlen(SnapshotMagicV2));
+  File.writeU8(0); // Magic NUL pad to offset 12.
+  File.writeU32(SnapshotV2HeaderBytes);
+  File.writeU64(grammarFingerprint(G));
+  File.writeU64(grammarLayoutFingerprint(G));
+  const uint64_t GramOff = SnapshotV2HeaderBytes;
+  const uint64_t GrphOff = GramOff + ((Gram.size() + 7) & ~uint64_t{7});
+  File.writeU64(GramOff);
+  File.writeU64(Gram.size());
+  File.writeU64(GrphOff);
+  File.writeU64(Grph.size());
+  size_t PayloadChkOff = File.reserve(8);
+  size_t HeaderChkOff = File.reserve(8);
+  assert(File.size() == SnapshotV2HeaderBytes &&
+         "v2 header layout drifted from SnapshotV2HeaderBytes");
+
+  File.writeBytes(Gram.buffer().data(), Gram.size());
+  File.alignTo(8);
+  assert(File.size() == GrphOff && "GRPH section not at its header offset");
+  File.writeBytes(Grph.buffer().data(), Grph.size());
+
+  File.patchU64(PayloadChkOff,
+                hashBytes(File.buffer().data() + SnapshotV2HeaderBytes,
+                          File.size() - SnapshotV2HeaderBytes));
+  File.patchU64(HeaderChkOff,
+                hashBytes(File.buffer().data(), SnapshotV2HeaderChecksumBytes));
+  return File.writeFile(Path);
+}
+
+Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
+  // Both formats load out of one private mapping: v1/v2-slow decode from
+  // it, the v2 fast path patches and borrows it (MappedFile's heap
+  // fallback keeps the contract on mmap-less hosts).
+  Expected<MappedFile> MapOrErr = MappedFile::open(Path);
+  if (!MapOrErr)
+    return MapOrErr.error();
+  auto Mapping = std::make_shared<MappedFile>(MapOrErr.take());
+  const uint8_t *Data = Mapping->data();
+  const size_t Size = Mapping->size();
+  Grammar &G = Graph.grammar();
+
+  const size_t MagicLen = std::strlen(SnapshotMagic);
+  if (Size >= MagicLen && std::memcmp(Data, SnapshotMagic, MagicLen) == 0)
+    return loadV1Container(G, Graph, Data, Size);
+  if (Size >= MagicLen && std::memcmp(Data, SnapshotMagicV2, MagicLen) == 0)
+    return loadV2Container(G, Graph, std::move(Mapping));
+  if (Size >= MagicLen - 1 &&
+      std::memcmp(Data, SnapshotMagic, MagicLen - 1) == 0)
+    return Error("unsupported snapshot version (expected ipg-snap-v1 or "
+                 "ipg-snap-v2)");
+  return Error("not an ipg snapshot (bad magic)");
 }

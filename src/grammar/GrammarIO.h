@@ -22,6 +22,7 @@
 #include "grammar/Grammar.h"
 #include "support/ByteStream.h"
 #include "support/Expected.h"
+#include "support/FlatSection.h"
 
 #include <vector>
 
@@ -65,6 +66,20 @@ void writeGrammarSnapshot(const Grammar &G, ByteWriter &Writer);
 /// Decodes a GRAM section body. Validates every symbol reference; a
 /// malformed section yields an Error, never a partial snapshot.
 Expected<GrammarSnapshot> readGrammarSnapshot(ByteReader &Reader);
+
+/// Serializes \p G as an `ipg-snap-v2` GRAM section body into \p Section
+/// (which must be empty; offsets are relative to its start, the caller
+/// places it 8-aligned in the file). Same logical content as
+/// writeGrammarSnapshot, laid out as offset-indexed fixed-width pools
+/// (symbol records, rule records, RHS ids, name bytes) so the reader
+/// never scans variable-length records to find a field.
+void writeGrammarSnapshotV2(const Grammar &G, FlatWriter &Section);
+
+/// Decodes a v2 GRAM section body (endian-safe field reads — the GRAM
+/// section is only decoded on the remapping slow path, never adopted).
+/// Names are zero-copy views into \p Section's backing buffer — keep it
+/// alive. Same validation contract as readGrammarSnapshot.
+Expected<GrammarSnapshot> readGrammarSnapshotV2(FlatView Section);
 
 } // namespace ipg
 

@@ -60,7 +60,7 @@ std::string ipg::graphToDot(const ItemSetGraph &Graph, bool IncludeDead) {
   // liveSets() excludes dead sets; walk them via a second pass when asked.
   for (const ItemSet *State : Graph.liveSets()) {
     EmitNode(*State);
-    const std::vector<ItemSet::Transition> &Edges =
+    ArrayView<ItemSet::Transition> Edges =
         State->state() == ItemSetState::Dirty ? State->oldTransitions()
                                               : State->transitions();
     bool DashedEdges = State->state() == ItemSetState::Dirty;

@@ -2,8 +2,14 @@
 
 #include "lr/GraphSnapshot.h"
 
+#include "support/MappedFile.h"
+
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
 
 using namespace ipg;
 
@@ -27,50 +33,196 @@ uint8_t stateCode(ItemSetState State) {
   return StateInitial;
 }
 
+//===----------------------------------------------------------------------===//
+// ipg-snap-v2 GRPH section layout (struct-of-arrays, little-endian,
+// natural alignment; all offsets relative to the 8-aligned section start,
+// all Off/Len pairs are element indices into the named pools).
+//
+//   GrphHeader (136 bytes)
+//   SetRec[NumSets]                48-byte fixed records
+//   Item[NumKernelItems]           {u32 Rule, u32 Dot}
+//   TransRec[NumTransitions]       {u32 Label, u32 0, u64 TargetIdx}
+//   TransRec[NumOldTransitions]    dirty sets' retained history
+//   SymbolId[NumTransitions]       action labels, parallel to TransRec
+//   RuleId[NumReductions]
+//   RuleId[NumAcceptRules]
+//
+// TransRec mirrors the in-memory ItemSet::Transition layout on LP64
+// little-endian hosts; adoption overwrites TargetIdx with the fixed-up
+// ItemSet pointer and then uses the records in place.
+//===----------------------------------------------------------------------===//
+
+struct GrphHeader {
+  uint32_t NumSets;
+  uint32_t StartIdx;
+  uint32_t NumKernelItems;
+  uint32_t NumTransitions;
+  uint32_t NumOldTransitions;
+  uint32_t NumReductions;
+  uint32_t NumAcceptRules;
+  uint32_t Reserved;
+  uint64_t Stats[6];
+  uint64_t OffSetRecs;
+  uint64_t OffKernelItems;
+  uint64_t OffTransitions;
+  uint64_t OffOldTransitions;
+  uint64_t OffActionLabels;
+  uint64_t OffReductions;
+  uint64_t OffAcceptRules;
+};
+static_assert(sizeof(GrphHeader) == 136, "v2 GRPH header layout drifted");
+
+struct SetRec {
+  uint8_t State;
+  uint8_t Accepting;
+  uint16_t Reserved;
+  uint32_t KernelOff, KernelLen;
+  uint32_t TransOff, TransLen;
+  uint32_t OldOff, OldLen;
+  uint32_t RedOff, RedLen;
+  uint32_t AccOff, AccLen;
+  uint32_t Reserved2;
+};
+static_assert(sizeof(SetRec) == 48, "v2 set record layout drifted");
+
+struct TransRec {
+  uint32_t Label;
+  uint32_t Reserved;
+  uint64_t Target;
+};
+static_assert(sizeof(TransRec) == 16, "v2 transition record layout drifted");
+
+/// The zero-copy path reinterprets mapped records as in-memory types; it
+/// is compiled in only where the layouts provably coincide. Elsewhere (or
+/// for remapping loads) the endian-safe field-by-field decoder runs.
+constexpr bool HostCanAdoptV2 =
+    std::endian::native == std::endian::little && sizeof(void *) == 8 &&
+    sizeof(Item) == 8 && alignof(Item) <= 8 &&
+    sizeof(ItemSet::Transition) == sizeof(TransRec) &&
+    alignof(ItemSet::Transition) <= 8 && sizeof(SymbolId) == 4 &&
+    sizeof(RuleId) == 4;
+
+/// Reads the fixed v2 GRPH header out of \p Section (endian-safe).
+Expected<GrphHeader> readGrphHeader(const FlatView &Section) {
+  GrphHeader H;
+  uint32_t *U32Fields[] = {&H.NumSets,         &H.StartIdx,
+                           &H.NumKernelItems,  &H.NumTransitions,
+                           &H.NumOldTransitions, &H.NumReductions,
+                           &H.NumAcceptRules,  &H.Reserved};
+  size_t Off = 0;
+  for (uint32_t *Field : U32Fields) {
+    Expected<uint32_t> V = Section.u32At(Off);
+    if (!V)
+      return V.error();
+    *Field = *V;
+    Off += 4;
+  }
+  uint64_t *U64Fields[] = {&H.Stats[0],        &H.Stats[1],
+                           &H.Stats[2],        &H.Stats[3],
+                           &H.Stats[4],        &H.Stats[5],
+                           &H.OffSetRecs,      &H.OffKernelItems,
+                           &H.OffTransitions,  &H.OffOldTransitions,
+                           &H.OffActionLabels, &H.OffReductions,
+                           &H.OffAcceptRules};
+  for (uint64_t *Field : U64Fields) {
+    Expected<uint64_t> V = Section.u64At(Off);
+    if (!V)
+      return V.error();
+    *Field = *V;
+    Off += 8;
+  }
+  return H;
+}
+
+/// Endian-safe unaligned loads for the v2 decode fallback. The compiler
+/// folds them to single loads on little-endian hosts; bounds are
+/// established once per pool before the loops run, so the hot decode path
+/// skips FlatView's per-field checks.
+inline uint32_t loadLe32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 | static_cast<uint32_t>(P[3]) << 24;
+}
+inline uint64_t loadLe64(const uint8_t *P) {
+  return static_cast<uint64_t>(loadLe32(P)) |
+         static_cast<uint64_t>(loadLe32(P + 4)) << 32;
+}
+
+/// Shared structural checks on a v2 set record against the header totals.
+Expected<uint8_t> checkSetRecShape(const SetRec &R, const GrphHeader &H) {
+  if (R.State > StateDirty)
+    return Error("invalid item-set state code");
+  bool Complete = R.State == StateComplete;
+  if (R.Accepting > 1 || (R.Accepting == 1 && !Complete))
+    return Error("invalid accepting flag");
+  auto SpanOk = [](uint32_t Off, uint32_t Len, uint32_t Total) {
+    return static_cast<uint64_t>(Off) + Len <= Total;
+  };
+  if (!SpanOk(R.KernelOff, R.KernelLen, H.NumKernelItems) ||
+      !SpanOk(R.TransOff, R.TransLen, H.NumTransitions) ||
+      !SpanOk(R.OldOff, R.OldLen, H.NumOldTransitions) ||
+      !SpanOk(R.RedOff, R.RedLen, H.NumReductions) ||
+      !SpanOk(R.AccOff, R.AccLen, H.NumAcceptRules))
+    return Error("set record span out of range");
+  if (!Complete && (R.TransLen != 0 || R.RedLen != 0 || R.AccLen != 0))
+    return Error("records on a set whose state forbids them");
+  if (R.State != StateDirty && R.OldLen != 0)
+    return Error("old transitions on a non-dirty set");
+  if (R.AccLen != 0 && R.Accepting != 1)
+    return Error("accept rules on a non-accepting set");
+  return uint8_t{0};
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// v1 (ByteStream varint encoding)
+//===----------------------------------------------------------------------===//
 
 void GraphSnapshot::save(const ItemSetGraph &Graph, ByteWriter &Writer) {
   // Dense indices for the live sets, in creation order: the serialized ids
   // are a compaction of the pool, so a graph that went through garbage
   // collection still snapshots into a gap-free, deterministic form.
-  std::vector<uint32_t> DenseIdx(Graph.Pool.size(), 0);
+  std::vector<uint32_t> DenseIdx(Graph.numSets(), 0);
   uint32_t NumLive = 0;
-  for (const ItemSet &State : Graph.Pool)
+  for (size_t I = 0, N = Graph.numSets(); I < N; ++I) {
+    const ItemSet &State = Graph.setAt(I);
     if (!State.isDead())
       DenseIdx[State.Id] = NumLive++;
+  }
 
   Writer.writeVarint(NumLive);
   Writer.writeVarint(DenseIdx[Graph.Start->Id]);
 
-  auto WriteTransitions =
-      [&](const std::vector<ItemSet::Transition> &Transitions) {
-        Writer.writeVarint(Transitions.size());
-        for (const ItemSet::Transition &T : Transitions) {
-          assert(!T.Target->isDead() && "live transition to a dead set");
-          Writer.writeVarint(T.Label);
-          Writer.writeVarint(DenseIdx[T.Target->Id]);
-        }
-      };
-  auto WriteRules = [&](const std::vector<RuleId> &Rules) {
+  auto WriteTransitions = [&](ArrayView<ItemSet::Transition> Transitions) {
+    Writer.writeVarint(Transitions.size());
+    for (const ItemSet::Transition &T : Transitions) {
+      assert(!T.Target->isDead() && "live transition to a dead set");
+      Writer.writeVarint(T.Label);
+      Writer.writeVarint(DenseIdx[T.Target->Id]);
+    }
+  };
+  auto WriteRules = [&](ArrayView<RuleId> Rules) {
     Writer.writeVarint(Rules.size());
     for (RuleId Rule : Rules)
       Writer.writeVarint(Rule);
   };
 
-  for (const ItemSet &State : Graph.Pool) {
+  for (size_t I = 0, N = Graph.numSets(); I < N; ++I) {
+    const ItemSet &State = Graph.setAt(I);
     if (State.isDead())
       continue;
     Writer.writeU8(stateCode(State.State));
     Writer.writeU8(State.Accepting ? 1 : 0);
-    Writer.writeVarint(State.K.size());
-    for (const Item &I : State.K) {
-      Writer.writeVarint(I.Rule);
-      Writer.writeVarint(I.Dot);
+    KernelView K = State.kernel();
+    Writer.writeVarint(K.size());
+    for (const Item &I2 : K) {
+      Writer.writeVarint(I2.Rule);
+      Writer.writeVarint(I2.Dot);
     }
-    WriteTransitions(State.Transitions);
-    WriteRules(State.Reductions);
-    WriteRules(State.AcceptRules);
-    WriteTransitions(State.OldTransitions);
+    WriteTransitions(State.transitions());
+    WriteRules(State.reductions());
+    WriteRules(State.acceptRules());
+    WriteTransitions(State.oldTransitions());
   }
 
   // Reference counts are not serialized: they are derivable (one per
@@ -88,8 +240,11 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
                                      const std::vector<SymbolId> &SymbolMap,
                                      const std::vector<RuleId> &RuleMap) {
   const Grammar &G = Graph.G;
+  Graph.Adopted.clear();
   Graph.Pool.clear();
   Graph.ByKernel.clear();
+  Graph.KernelIndexReady = true;
+  Graph.BorrowedStorage.reset();
   Graph.Start = nullptr;
   Graph.Stats = ItemSetGraphStats();
 
@@ -233,9 +388,9 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
     if (!Ok)
       return Ok.error();
 
-    // The ACTION/GOTO index is derived, never serialized: rebuild it for
-    // adopted Complete sets so queries against a warm-started graph run
-    // the same allocation-free path as against a freshly expanded one.
+    // The ACTION/GOTO index is derived, never serialized in v1: rebuild it
+    // for adopted Complete sets so queries against a warm-started graph
+    // run the same allocation-free path as against a freshly expanded one.
     if (Complete)
       State.buildActionIndex();
   }
@@ -270,9 +425,446 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
   return static_cast<size_t>(*NumSets);
 }
 
-void GraphSnapshot::reset(ItemSetGraph &Graph) {
+//===----------------------------------------------------------------------===//
+// v2 (FlatSection struct-of-arrays encoding)
+//===----------------------------------------------------------------------===//
+
+void GraphSnapshot::saveV2(const ItemSetGraph &Graph, FlatWriter &Section) {
+  assert(Section.size() == 0 && "v2 GRPH section must start its writer");
+
+  // Live sets in creation order with dense indices, exactly like v1.
+  std::vector<const ItemSet *> Live;
+  std::vector<uint32_t> DenseIdx(Graph.numSets(), 0);
+  for (size_t I = 0, N = Graph.numSets(); I < N; ++I) {
+    const ItemSet &State = Graph.setAt(I);
+    if (State.isDead())
+      continue;
+    DenseIdx[State.Id] = static_cast<uint32_t>(Live.size());
+    Live.push_back(&State);
+  }
+
+  uint64_t KernelItems = 0, Transitions = 0, OldTransitions = 0;
+  uint64_t Reductions = 0, AcceptRules = 0;
+  for (const ItemSet *State : Live) {
+    KernelItems += State->kernel().size();
+    Transitions += State->transitions().size();
+    OldTransitions += State->oldTransitions().size();
+    Reductions += State->reductions().size();
+    AcceptRules += State->acceptRules().size();
+  }
+
+  Section.writeU32(static_cast<uint32_t>(Live.size()));
+  Section.writeU32(DenseIdx[Graph.Start->Id]);
+  Section.writeU32(static_cast<uint32_t>(KernelItems));
+  Section.writeU32(static_cast<uint32_t>(Transitions));
+  Section.writeU32(static_cast<uint32_t>(OldTransitions));
+  Section.writeU32(static_cast<uint32_t>(Reductions));
+  Section.writeU32(static_cast<uint32_t>(AcceptRules));
+  Section.writeU32(0);
+  const uint64_t Stats[6] = {Graph.Stats.Expansions,   Graph.Stats.ReExpansions,
+                             Graph.Stats.ClosureItems, Graph.Stats.DirtyMarks,
+                             Graph.Stats.Collected,    Graph.Stats.GotoCalls};
+  for (uint64_t Stat : Stats)
+    Section.writeU64(Stat);
+  size_t OffTable = Section.reserve(7 * 8);
+
+  // SetRec array: fixed-width records with cumulative pool offsets.
+  uint64_t Offsets[7] = {0};
+  Offsets[0] = Section.size();
+  uint32_t KOff = 0, TOff = 0, OOff = 0, ROff = 0, AOff = 0;
+  for (const ItemSet *State : Live) {
+    Section.writeU8(stateCode(State->State));
+    Section.writeU8(State->Accepting ? 1 : 0);
+    Section.writeU16(0);
+    uint32_t Counts[5] = {static_cast<uint32_t>(State->kernel().size()),
+                          static_cast<uint32_t>(State->transitions().size()),
+                          static_cast<uint32_t>(State->oldTransitions().size()),
+                          static_cast<uint32_t>(State->reductions().size()),
+                          static_cast<uint32_t>(State->acceptRules().size())};
+    uint32_t *Cursors[5] = {&KOff, &TOff, &OOff, &ROff, &AOff};
+    for (int Field = 0; Field < 5; ++Field) {
+      Section.writeU32(*Cursors[Field]);
+      Section.writeU32(Counts[Field]);
+      *Cursors[Field] += Counts[Field];
+    }
+    Section.writeU32(0);
+  }
+
+  // Kernel item pool.
+  Section.alignTo(8);
+  Offsets[1] = Section.size();
+  for (const ItemSet *State : Live)
+    for (const Item &I : State->kernel()) {
+      Section.writeU32(I.Rule);
+      Section.writeU32(I.Dot);
+    }
+
+  auto WriteTransPool = [&](bool Old) {
+    for (const ItemSet *State : Live)
+      for (const ItemSet::Transition &T :
+           Old ? State->oldTransitions() : State->transitions()) {
+        assert(!T.Target->isDead() && "live transition to a dead set");
+        Section.writeU32(T.Label);
+        Section.writeU32(0);
+        Section.writeU64(DenseIdx[T.Target->Id]);
+      }
+  };
+  Section.alignTo(8);
+  Offsets[2] = Section.size();
+  WriteTransPool(false);
+  Section.alignTo(8);
+  Offsets[3] = Section.size();
+  WriteTransPool(true);
+
+  // Action labels, parallel to the transition pool: persisting the dense
+  // query index is what lets adoption skip buildActionIndex entirely.
+  Offsets[4] = Section.size();
+  for (const ItemSet *State : Live)
+    for (const ItemSet::Transition &T : State->transitions())
+      Section.writeU32(T.Label);
+
+  Offsets[5] = Section.size();
+  for (const ItemSet *State : Live)
+    for (RuleId Rule : State->reductions())
+      Section.writeU32(Rule);
+
+  Offsets[6] = Section.size();
+  for (const ItemSet *State : Live)
+    for (RuleId Rule : State->acceptRules())
+      Section.writeU32(Rule);
+  Section.alignTo(8);
+
+  for (int I = 0; I < 7; ++I)
+    Section.patchU64(OffTable + 8 * static_cast<size_t>(I), Offsets[I]);
+}
+
+Expected<size_t>
+GraphSnapshot::adoptV2(uint8_t *SectionData, size_t SectionBytes,
+                       ItemSetGraph &Graph,
+                       std::shared_ptr<const MappedFile> Backing) {
+  if constexpr (!HostCanAdoptV2)
+    return Error("zero-copy snapshot adoption requires a 64-bit "
+                 "little-endian host");
+
+  const Grammar &G = Graph.G;
+  FlatView Section(SectionData, SectionBytes);
+  Expected<GrphHeader> Header = readGrphHeader(Section);
+  if (!Header)
+    return Header.error();
+  const GrphHeader &H = *Header;
+  if (H.NumSets == 0)
+    return Error("snapshot graph has no start set");
+  if (H.StartIdx >= H.NumSets)
+    return Error("start set index out of range");
+
+  Expected<const SetRec *> Sets = Section.arrayAt<SetRec>(H.OffSetRecs,
+                                                          H.NumSets);
+  if (!Sets)
+    return Sets.error();
+  Expected<const Item *> KernelPool =
+      Section.arrayAt<Item>(H.OffKernelItems, H.NumKernelItems);
+  if (!KernelPool)
+    return KernelPool.error();
+  Expected<const TransRec *> TransPool =
+      Section.arrayAt<TransRec>(H.OffTransitions, H.NumTransitions);
+  if (!TransPool)
+    return TransPool.error();
+  Expected<const TransRec *> OldPool =
+      Section.arrayAt<TransRec>(H.OffOldTransitions, H.NumOldTransitions);
+  if (!OldPool)
+    return OldPool.error();
+  Expected<const SymbolId *> LabelPool =
+      Section.arrayAt<SymbolId>(H.OffActionLabels, H.NumTransitions);
+  if (!LabelPool)
+    return LabelPool.error();
+  Expected<const RuleId *> RedPool =
+      Section.arrayAt<RuleId>(H.OffReductions, H.NumReductions);
+  if (!RedPool)
+    return RedPool.error();
+  Expected<const RuleId *> AccPool =
+      Section.arrayAt<RuleId>(H.OffAcceptRules, H.NumAcceptRules);
+  if (!AccPool)
+    return AccPool.error();
+
+  const size_t NumSymbols = G.symbols().size();
+  const size_t NumRules = G.numInternedRules();
+
+  // From here on the graph is rebuilt in place; any validation failure
+  // leaves it partial and the caller resets. The adopted block is the one
+  // allocation of the whole load — per-set data stays in the mapping.
   Graph.Pool.clear();
   Graph.ByKernel.clear();
+  Graph.KernelIndexReady = false;
+  Graph.Start = nullptr;
+  Graph.Adopted.clear();
+  Graph.Adopted.resize(H.NumSets);
+
+  // Pointer fixup: rewrite every transition record's target index into the
+  // address of the adopted set. The records live in a private (COW)
+  // mapping, so the writes materialize only the touched pages and never
+  // reach the file. Validation rides the same sweep — labels in range and
+  // strictly ascending (the binary-search contract), targets in range,
+  // the persisted action-label array parallel to the record pool — so the
+  // pass stays O(records) with zero decode and zero allocation.
+  auto FixupTransitions = [&](const TransRec *Pool, uint32_t Off, uint32_t Len,
+                              bool RequireSorted) -> const char * {
+    SymbolId Prev = 0;
+    for (uint32_t J = 0; J < Len; ++J) {
+      TransRec *Rec =
+          const_cast<TransRec *>(Pool + Off + J); // private mapping: writable
+      if (Rec->Label >= NumSymbols)
+        return "transition label references an unknown symbol";
+      if (RequireSorted && J > 0 && Rec->Label <= Prev)
+        return "transition labels not strictly ascending";
+      Prev = Rec->Label;
+      uint64_t Target = Rec->Target;
+      if (Target >= H.NumSets)
+        return "transition target out of range";
+      ItemSet *TargetSet = &Graph.Adopted[static_cast<size_t>(Target)];
+      ++TargetSet->RefCount;
+      std::memcpy(&Rec->Target, &TargetSet, sizeof(TargetSet));
+    }
+    return nullptr;
+  };
+
+  for (uint32_t I = 0; I < H.NumSets; ++I) {
+    const SetRec &R = (*Sets)[I];
+    Expected<uint8_t> Shape = checkSetRecShape(R, H);
+    if (!Shape)
+      return Shape.error();
+    ItemSet &State = Graph.Adopted[I];
+    State.Id = I;
+    State.State = static_cast<ItemSetState>(R.State);
+    State.Accepting = R.Accepting == 1;
+
+    const Item *KernelBegin = *KernelPool + R.KernelOff;
+    for (uint32_t J = 0; J < R.KernelLen; ++J) {
+      const Item &It = KernelBegin[J];
+      if (It.Rule >= NumRules)
+        return Error("kernel item references an unknown rule");
+      if (It.Dot > G.rule(It.Rule).Rhs.size())
+        return Error("kernel item dot beyond its rule");
+    }
+    if (!isCanonicalKernel(KernelView(KernelBegin, R.KernelLen)))
+      return Error("kernel not in canonical order");
+
+    if (const char *Msg = FixupTransitions(*TransPool, R.TransOff, R.TransLen,
+                                           /*RequireSorted=*/true))
+      return Error(Msg);
+    if (const char *Msg = FixupTransitions(*OldPool, R.OldOff, R.OldLen,
+                                           /*RequireSorted=*/false))
+      return Error(Msg);
+    for (uint32_t J = 0; J < R.TransLen; ++J)
+      if ((*LabelPool)[R.TransOff + J] !=
+          (*TransPool)[R.TransOff + J].Label)
+        return Error("action-label array disagrees with transitions");
+    for (uint32_t J = 0; J < R.RedLen; ++J)
+      if ((*RedPool)[R.RedOff + J] >= NumRules)
+        return Error("reduction references an unknown rule");
+    for (uint32_t J = 0; J < R.AccLen; ++J)
+      if ((*AccPool)[R.AccOff + J] >= NumRules)
+        return Error("accept rule references an unknown rule");
+
+    // The mapped records now hold real pointers; hand the set borrowed
+    // spans over them.
+    State.Borrowed = true;
+    State.BorrowedK = KernelView(KernelBegin, R.KernelLen);
+    State.BorrowedTrans = ArrayView<ItemSet::Transition>(
+        std::launder(
+            reinterpret_cast<const ItemSet::Transition *>(*TransPool +
+                                                          R.TransOff)),
+        R.TransLen);
+    State.BorrowedOld = ArrayView<ItemSet::Transition>(
+        std::launder(reinterpret_cast<const ItemSet::Transition *>(*OldPool +
+                                                                   R.OldOff)),
+        R.OldLen);
+    State.BorrowedLabels =
+        ArrayView<SymbolId>(*LabelPool + R.TransOff, R.TransLen);
+    State.BorrowedRed = ArrayView<RuleId>(*RedPool + R.RedOff, R.RedLen);
+    State.BorrowedAcc = ArrayView<RuleId>(*AccPool + R.AccOff, R.AccLen);
+  }
+
+  Graph.Start = &Graph.Adopted[H.StartIdx];
+  ++Graph.Start->RefCount; // The root pin.
+  for (const ItemSet &State : Graph.Adopted)
+    if (State.RefCount == 0)
+      return Error("orphaned set in snapshot");
+
+  Graph.Stats.Expansions = H.Stats[0];
+  Graph.Stats.ReExpansions = H.Stats[1];
+  Graph.Stats.ClosureItems = H.Stats[2];
+  Graph.Stats.DirtyMarks = H.Stats[3];
+  Graph.Stats.Collected = H.Stats[4];
+  Graph.Stats.GotoCalls = H.Stats[5];
+  Graph.BorrowedStorage = std::move(Backing);
+  return H.NumSets;
+}
+
+Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
+                                       const std::vector<SymbolId> &SymbolMap,
+                                       const std::vector<RuleId> &RuleMap) {
+  const Grammar &G = Graph.G;
+  Expected<GrphHeader> Header = readGrphHeader(Section);
+  if (!Header)
+    return Header.error();
+  const GrphHeader &H = *Header;
+  if (H.NumSets == 0)
+    return Error("snapshot graph has no start set");
+  if (H.StartIdx >= H.NumSets)
+    return Error("start set index out of range");
+  // The flat record arrays must fit the section before any per-set work
+  // (overflow-safe: offset checked before the product is subtracted).
+  // This is what lets the decode loops below read through raw pointers,
+  // and it also bounds every allocation.
+  auto PoolFits = [&](uint64_t Off, uint64_t Stride, uint64_t Count) {
+    return Off <= Section.size() && Stride * Count <= Section.size() - Off;
+  };
+  if (!PoolFits(H.OffSetRecs, 48, H.NumSets) ||
+      !PoolFits(H.OffKernelItems, 8, H.NumKernelItems) ||
+      !PoolFits(H.OffTransitions, 16, H.NumTransitions) ||
+      !PoolFits(H.OffOldTransitions, 16, H.NumOldTransitions) ||
+      !PoolFits(H.OffActionLabels, 4, H.NumTransitions) ||
+      !PoolFits(H.OffReductions, 4, H.NumReductions) ||
+      !PoolFits(H.OffAcceptRules, 4, H.NumAcceptRules))
+    return Error("flat section: array out of bounds");
+
+  Graph.Adopted.clear();
+  Graph.Pool.clear();
+  Graph.ByKernel.clear();
+  Graph.KernelIndexReady = true;
+  Graph.BorrowedStorage.reset();
+  Graph.Start = nullptr;
+  Graph.Stats = ItemSetGraphStats();
+
+  Graph.ByKernel.reserve(H.NumSets);
+  for (uint32_t I = 0; I < H.NumSets; ++I) {
+    Graph.Pool.emplace_back();
+    Graph.Pool.back().Id = I;
+  }
+
+  // Field-by-field reads (endian-safe on every host): the decode cost the
+  // zero-copy path avoids, paid here only for stale snapshots that need
+  // their ids remapped anyway. The loops read through raw LE loads — the
+  // up-front pool bounds above cover every access.
+  const uint8_t *Base = Section.data();
+  auto ReadTransitions = [&](uint64_t PoolOff, uint32_t Off, uint32_t Len,
+                             std::vector<ItemSet::Transition> &Out)
+      -> const char * {
+    Out.reserve(Len);
+    const uint8_t *Rec = Base + PoolOff + uint64_t{16} * Off;
+    for (uint32_t J = 0; J < Len; ++J, Rec += 16) {
+      uint32_t Label = loadLe32(Rec);
+      uint64_t Target = loadLe64(Rec + 8);
+      if (Label >= SymbolMap.size())
+        return "transition label references an unknown symbol";
+      if (Target >= H.NumSets)
+        return "transition target out of range";
+      Out.push_back(ItemSet::Transition{
+          SymbolMap[Label], &Graph.Pool[static_cast<size_t>(Target)]});
+    }
+    sortTransitionsByLabel(Out);
+    return nullptr;
+  };
+  auto ReadRules = [&](uint64_t PoolOff, uint32_t Off, uint32_t Len,
+                       std::vector<RuleId> &Out) -> const char * {
+    Out.reserve(Len);
+    const uint8_t *Rec = Base + PoolOff + uint64_t{4} * Off;
+    for (uint32_t J = 0; J < Len; ++J, Rec += 4) {
+      uint32_t Rule = loadLe32(Rec);
+      if (Rule >= RuleMap.size())
+        return "reduction references an unknown rule";
+      Out.push_back(RuleMap[Rule]);
+    }
+    return nullptr;
+  };
+
+  for (uint32_t I = 0; I < H.NumSets; ++I) {
+    const uint8_t *RecBytes = Base + H.OffSetRecs + uint64_t{48} * I;
+    SetRec R;
+    uint32_t Word0 = loadLe32(RecBytes);
+    R.State = static_cast<uint8_t>(Word0 & 0xFF);
+    R.Accepting = static_cast<uint8_t>((Word0 >> 8) & 0xFF);
+    R.Reserved = 0;
+    uint32_t *Fields[] = {&R.KernelOff, &R.KernelLen, &R.TransOff,
+                          &R.TransLen,  &R.OldOff,    &R.OldLen,
+                          &R.RedOff,    &R.RedLen,    &R.AccOff,
+                          &R.AccLen};
+    for (size_t F = 0; F < 10; ++F)
+      *Fields[F] = loadLe32(RecBytes + 4 * (F + 1));
+    R.Reserved2 = 0;
+    Expected<uint8_t> Shape = checkSetRecShape(R, H);
+    if (!Shape)
+      return Shape.error();
+
+    ItemSet &State = Graph.Pool[I];
+    State.State = static_cast<ItemSetState>(R.State);
+    State.Accepting = R.Accepting == 1;
+
+    State.K.reserve(R.KernelLen);
+    const uint8_t *ItemBytes =
+        Base + H.OffKernelItems + uint64_t{8} * R.KernelOff;
+    for (uint32_t J = 0; J < R.KernelLen; ++J, ItemBytes += 8) {
+      uint32_t Rule = loadLe32(ItemBytes);
+      uint32_t Dot = loadLe32(ItemBytes + 4);
+      if (Rule >= RuleMap.size())
+        return Error("kernel item references an unknown rule");
+      RuleId Mapped = RuleMap[Rule];
+      if (Dot > G.rule(Mapped).Rhs.size())
+        return Error("kernel item dot beyond its rule");
+      State.K.push_back(Item{Mapped, Dot});
+    }
+    canonicalizeKernel(State.K);
+    std::vector<ItemSet *> &Bucket = Graph.ByKernel[hashKernel(State.K)];
+    for (const ItemSet *Other : Bucket)
+      if (Other->K == State.K)
+        return Error("duplicate kernel in snapshot");
+    Bucket.push_back(&State);
+
+    if (const char *Msg = ReadTransitions(H.OffTransitions, R.TransOff,
+                                          R.TransLen, State.Transitions))
+      return Error(Msg);
+    if (const char *Msg = ReadTransitions(H.OffOldTransitions, R.OldOff,
+                                          R.OldLen, State.OldTransitions))
+      return Error(Msg);
+    if (const char *Msg =
+            ReadRules(H.OffReductions, R.RedOff, R.RedLen, State.Reductions))
+      return Error(Msg);
+    if (const char *Msg =
+            ReadRules(H.OffAcceptRules, R.AccOff, R.AccLen, State.AcceptRules))
+      return Error(Msg);
+    if (State.State == ItemSetState::Complete)
+      State.buildActionIndex();
+  }
+
+  Graph.Start = &Graph.Pool[H.StartIdx];
+  Graph.Start->RefCount = 1;
+  for (ItemSet &State : Graph.Pool) {
+    for (const ItemSet::Transition &T : State.Transitions)
+      ++T.Target->RefCount;
+    for (const ItemSet::Transition &T : State.OldTransitions)
+      ++T.Target->RefCount;
+  }
+  for (const ItemSet &State : Graph.Pool)
+    if (State.RefCount == 0)
+      return Error("orphaned set in snapshot");
+
+  Graph.Stats.Expansions = H.Stats[0];
+  Graph.Stats.ReExpansions = H.Stats[1];
+  Graph.Stats.ClosureItems = H.Stats[2];
+  Graph.Stats.DirtyMarks = H.Stats[3];
+  Graph.Stats.Collected = H.Stats[4];
+  Graph.Stats.GotoCalls = H.Stats[5];
+  return H.NumSets;
+}
+
+bool GraphSnapshot::hostCanAdoptV2() { return HostCanAdoptV2; }
+
+void GraphSnapshot::reset(ItemSetGraph &Graph) {
+  Graph.Adopted.clear();
+  Graph.Pool.clear();
+  Graph.ByKernel.clear();
+  Graph.KernelIndexReady = true;
+  Graph.BorrowedStorage.reset();
   Graph.Stats = ItemSetGraphStats();
   Graph.Start = Graph.makeItemSet(Graph.startKernel());
   Graph.Start->RefCount = 1;

@@ -2,12 +2,21 @@
 ///
 /// \file
 /// Binary persistence of the ItemSetGraph — the piece that lets the §5/§6
-/// incremental machinery outlive a process. save() serializes every live
-/// set of items (kernel, transitions, reductions, the Dirty/Initial
-/// frontier with its retained pre-modification history) plus the
-/// ItemSetGraphStats; load() rebuilds the pointer-based structure from the
-/// flat form, remapping the snapshot's symbol and rule ids onto the live
-/// grammar's and re-deriving reference counts and the kernel hash index.
+/// incremental machinery outlive a process. Two on-disk encodings share
+/// the same logical content (kernels, sorted transitions, action labels,
+/// reductions, frontier states, stats):
+///
+///   * v1 (save/load): the ByteStream varint encoding — dense, decoded
+///     record by record into owned storage;
+///   * v2 (saveV2/adoptV2/loadV2): the FlatSection struct-of-arrays
+///     layout — fixed-width little-endian records at natural alignment,
+///     addressed through an offset table. adoptV2 is the zero-copy path:
+///     after bounds/kind validation it patches transition target indices
+///     into pointers in place (the backing mapping is copy-on-write) and
+///     hands every item set borrowed spans of the mapped region — zero
+///     per-record decode, zero per-set allocation. loadV2 is the decode
+///     fallback for stale snapshots whose symbol/rule ids must be
+///     remapped onto the live grammar.
 ///
 /// Dead sets are dropped on save: they are only kept in the arena so stale
 /// parser-stack pointers stay valid, and no pointer survives a process
@@ -27,15 +36,21 @@
 #include "lr/ItemSetGraph.h"
 #include "support/ByteStream.h"
 #include "support/Expected.h"
+#include "support/FlatSection.h"
+
+#include <memory>
 
 namespace ipg {
+
+class MappedFile;
 
 /// Namespaced entry points for graph persistence; a class (not free
 /// functions) so ItemSetGraph/ItemSet can befriend it wholesale.
 class GraphSnapshot {
 public:
   /// Serializes the live part of \p Graph (sets, frontier, stats) into
-  /// \p Writer using the graph's own symbol/rule ids.
+  /// \p Writer using the graph's own symbol/rule ids (`ipg-snap-v1`
+  /// GRPH section body).
   static void save(const ItemSetGraph &Graph, ByteWriter &Writer);
 
   /// Rebuilds \p Graph from a section body written by save(). \p SymbolMap
@@ -46,6 +61,41 @@ public:
   static Expected<size_t> load(ByteReader &Reader, ItemSetGraph &Graph,
                                const std::vector<SymbolId> &SymbolMap,
                                const std::vector<RuleId> &RuleMap);
+
+  /// Serializes the live part of \p Graph as an `ipg-snap-v2` GRPH
+  /// section body into \p Section (which must be empty; offsets are
+  /// relative to its start, the caller places it 8-aligned in the file).
+  static void saveV2(const ItemSetGraph &Graph, FlatWriter &Section);
+
+  /// Zero-copy adoption of a v2 GRPH section whose symbol/rule ids equal
+  /// the live grammar's (layout-fingerprint match): validates the layout,
+  /// patches transition target indices into pointers inside the mapped
+  /// region, and points the item sets at borrowed spans. \p SectionData
+  /// must live inside \p Backing, whose private mapping absorbs the
+  /// patches; \p Backing is retained by the graph until reset/reload.
+  /// Performs no per-set allocation. Unlike load()/loadV2(), does NOT
+  /// check cross-set kernel uniqueness: that needs a hash set — exactly
+  /// the per-set allocation this path exists to avoid — so an in-range
+  /// corruption colliding two kernels is adopted rather than rejected
+  /// (core/Snapshot.h trust model; the decode paths still reject it).
+  /// On error the graph is left partially built — call reset().
+  static Expected<size_t> adoptV2(uint8_t *SectionData, size_t SectionBytes,
+                                  ItemSetGraph &Graph,
+                                  std::shared_ptr<const MappedFile> Backing);
+
+  /// Decode fallback for v2 sections that need id remapping (stale
+  /// snapshots): reads the flat records field by field (endian-safe on
+  /// any host) into owned storage, like load() does for v1. Same error
+  /// contract.
+  static Expected<size_t> loadV2(FlatView Section, ItemSetGraph &Graph,
+                                 const std::vector<SymbolId> &SymbolMap,
+                                 const std::vector<RuleId> &RuleMap);
+
+  /// True when this host can run adoptV2 (64-bit little-endian with
+  /// in-memory record layouts matching the on-disk ones); otherwise
+  /// fingerprint-matched v2 loads must fall back to loadV2 with identity
+  /// id maps.
+  static bool hostCanAdoptV2();
 
   /// Returns \p Graph to its freshly-constructed state: a one-node graph
   /// holding only the start kernel of the current grammar.

@@ -12,6 +12,7 @@
 #define IPG_LR_ITEM_H
 
 #include "grammar/Grammar.h"
+#include "support/ArrayView.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -32,20 +33,39 @@ struct Item {
 /// Canonical item-set kernel: sorted, duplicate-free items.
 using Kernel = std::vector<Item>;
 
+/// Non-owning view of a kernel — what ItemSet::kernel() returns, whether
+/// the items live in the set's own vector or in a mapped snapshot region.
+/// Implicitly constructible from a Kernel, so callers can pass either.
+using KernelView = ArrayView<Item>;
+
 /// Sorts and dedupes \p K in place, establishing the canonical form.
 inline void canonicalizeKernel(Kernel &K) {
   std::sort(K.begin(), K.end());
   K.erase(std::unique(K.begin(), K.end()), K.end());
 }
 
+/// True when \p K is sorted and duplicate-free (the canonical form the
+/// zero-copy snapshot loader verifies instead of re-establishing).
+inline bool isCanonicalKernel(KernelView K) {
+  for (size_t I = 1; I < K.size(); ++I)
+    if (!(K[I - 1] < K[I]))
+      return false;
+  return true;
+}
+
 /// Hash of a canonical kernel.
-inline uint64_t hashKernel(const Kernel &K) {
+inline uint64_t hashKernel(KernelView K) {
   uint64_t Hash = 0x51ed270b4d2c3f31ULL;
   for (const Item &I : K) {
     Hash = hashCombine(Hash, I.Rule);
     Hash = hashCombine(Hash, I.Dot);
   }
   return Hash;
+}
+
+/// Element-wise kernel equality across storage modes.
+inline bool kernelEquals(KernelView A, KernelView B) {
+  return A.size() == B.size() && std::equal(A.begin(), A.end(), B.begin());
 }
 
 /// True if the dot of \p I is at the end of its rule.

@@ -15,12 +15,24 @@
 /// The transition ($ accept) of the paper is represented by the Accepting
 /// flag rather than an edge, since `accept` is not an item set.
 ///
+/// Storage comes in two modes. In *owned* mode (everything created by
+/// EXPAND or a v1 snapshot load) the kernel, transitions, reductions and
+/// action labels live in the set's own vectors. In *borrowed* mode (a set
+/// adopted from an `ipg-snap-v2` mapped snapshot) they are spans into the
+/// mapped region — zero per-set allocation at load. Borrowed storage is
+/// immutable; any operation that must mutate the set (EXPAND, the MODIFY
+/// dirty-marking) first calls materializeOwned(), which copies the spans
+/// into the vectors — the copy-on-MODIFY discipline that keeps §6 repair
+/// working on adopted graphs. All accessors return ArrayViews, so callers
+/// never see the difference.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPG_LR_ITEMSET_H
 #define IPG_LR_ITEMSET_H
 
 #include "lr/Item.h"
+#include "support/ArrayView.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -38,7 +50,11 @@ enum class ItemSetState : uint8_t { Initial, Complete, Dirty, Dead };
 class ItemSet {
 public:
   /// A labeled edge to another set of items. Terminal labels are shift
-  /// actions, nonterminal labels are GOTO transitions.
+  /// actions, nonterminal labels are GOTO transitions. The record layout
+  /// (4-byte label, padding, 8-byte pointer) is mirrored by the
+  /// `ipg-snap-v2` on-disk transition record, whose target index is
+  /// patched into a pointer at load so mapped records serve directly as
+  /// Transitions.
   struct Transition {
     SymbolId Label;
     ItemSet *Target;
@@ -52,15 +68,28 @@ public:
   bool isComplete() const { return State == ItemSetState::Complete; }
   bool isDead() const { return State == ItemSetState::Dead; }
 
+  /// True while the set's records live in a mapped snapshot region rather
+  /// than its own vectors.
+  bool isBorrowed() const { return Borrowed; }
+
   /// The canonical kernel. The lazy generator keeps kernels even for
   /// complete sets: the incremental generator needs them again (§5.3).
-  const Kernel &kernel() const { return K; }
+  KernelView kernel() const {
+    return Borrowed ? BorrowedK : KernelView(K.data(), K.size());
+  }
 
   /// Valid only when Complete. Sorted by label for binary search.
-  const std::vector<Transition> &transitions() const { return Transitions; }
+  ArrayView<Transition> transitions() const {
+    return Borrowed ? BorrowedTrans
+                    : ArrayView<Transition>(Transitions.data(),
+                                            Transitions.size());
+  }
 
   /// Rules recognized completely in this state (valid only when Complete).
-  const std::vector<RuleId> &reductions() const { return Reductions; }
+  ArrayView<RuleId> reductions() const {
+    return Borrowed ? BorrowedRed
+                    : ArrayView<RuleId>(Reductions.data(), Reductions.size());
+  }
 
   /// True if the closure contains START ::= β • — the paper's ($ accept).
   bool isAccepting() const { return Accepting; }
@@ -68,33 +97,56 @@ public:
   /// The START rules completed in this state (nonempty iff isAccepting()).
   /// The paper's ($ accept) transition carries no rule; the parsers here
   /// need it to build a START-rooted parse tree.
-  const std::vector<RuleId> &acceptRules() const { return AcceptRules; }
+  ArrayView<RuleId> acceptRules() const {
+    return Borrowed
+               ? BorrowedAcc
+               : ArrayView<RuleId>(AcceptRules.data(), AcceptRules.size());
+  }
 
   /// Number of transitions referring to this set (plus 1 for the start
   /// set's implicit root reference).
   uint32_t refCount() const { return RefCount; }
 
   /// The transitions this set held before it was marked Dirty.
-  const std::vector<Transition> &oldTransitions() const {
-    return OldTransitions;
+  ArrayView<Transition> oldTransitions() const {
+    return Borrowed ? BorrowedOld
+                    : ArrayView<Transition>(OldTransitions.data(),
+                                            OldTransitions.size());
   }
 
   /// The ACTION/GOTO query index: the transition labels densely packed in
   /// the same (label-sorted) order as transitions(). Binary searching this
   /// 4-byte-stride array touches a fraction of the cache lines a search
-  /// over the 16-byte Transition records would. Built by EXPAND (and by
-  /// snapshot adoption), valid exactly while the set is Complete.
-  const std::vector<SymbolId> &actionLabels() const { return ActionLabels; }
+  /// over the 16-byte Transition records would. Built by EXPAND (and
+  /// persisted/adopted by snapshots), valid exactly while the set is
+  /// Complete.
+  ArrayView<SymbolId> actionLabels() const {
+    return Borrowed
+               ? BorrowedLabels
+               : ArrayView<SymbolId>(ActionLabels.data(), ActionLabels.size());
+  }
 
   /// The target of the unique transition on \p Label, or nullptr when the
   /// set has none. O(log n) over the action index; allocation-free. Valid
-  /// only while the set is Complete.
+  /// only while the set is Complete. Resolves the storage mode once up
+  /// front — this sits on the MODIFY probe and every GOTO, where going
+  /// through two accessor branches measurably costs.
   ItemSet *transitionTarget(SymbolId Label) const {
-    auto It =
-        std::lower_bound(ActionLabels.begin(), ActionLabels.end(), Label);
-    if (It == ActionLabels.end() || *It != Label)
+    const SymbolId *LabelsBegin, *LabelsEnd;
+    const Transition *Trans;
+    if (Borrowed) {
+      LabelsBegin = BorrowedLabels.begin();
+      LabelsEnd = BorrowedLabels.end();
+      Trans = BorrowedTrans.data();
+    } else {
+      LabelsBegin = ActionLabels.data();
+      LabelsEnd = LabelsBegin + ActionLabels.size();
+      Trans = Transitions.data();
+    }
+    const SymbolId *It = std::lower_bound(LabelsBegin, LabelsEnd, Label);
+    if (It == LabelsEnd || *It != Label)
       return nullptr;
-    return Transitions[static_cast<size_t>(It - ActionLabels.begin())].Target;
+    return Trans[It - LabelsBegin].Target;
   }
 
 private:
@@ -102,7 +154,7 @@ private:
   friend class GraphSnapshot;
 
   /// (Re)derives the action index from the label-sorted Transitions; the
-  /// tail of every EXPAND and of snapshot adoption.
+  /// tail of every EXPAND and of v1 snapshot adoption. Owned mode only.
   void buildActionIndex() {
     ActionLabels.resize(Transitions.size());
     for (size_t I = 0; I < Transitions.size(); ++I)
@@ -113,16 +165,70 @@ private:
   /// non-Complete set can never answer queries from stale entries.
   void clearActionIndex() { ActionLabels.clear(); }
 
+  /// Copy-on-MODIFY: copies borrowed spans into the owned vectors so the
+  /// set can be mutated. No-op in owned mode.
+  void materializeOwned() {
+    if (!Borrowed)
+      return;
+    K.assign(BorrowedK.begin(), BorrowedK.end());
+    Transitions.assign(BorrowedTrans.begin(), BorrowedTrans.end());
+    Reductions.assign(BorrowedRed.begin(), BorrowedRed.end());
+    AcceptRules.assign(BorrowedAcc.begin(), BorrowedAcc.end());
+    OldTransitions.assign(BorrowedOld.begin(), BorrowedOld.end());
+    ActionLabels.assign(BorrowedLabels.begin(), BorrowedLabels.end());
+    dropBorrowed();
+  }
+
+  /// Drops all record storage (owned and borrowed) — the Dead path, which
+  /// never needs the data again.
+  void releaseStorage() {
+    Transitions.clear();
+    OldTransitions.clear();
+    Reductions.clear();
+    AcceptRules.clear();
+    ActionLabels.clear();
+    dropBorrowed();
+  }
+
+  void dropBorrowed() {
+    Borrowed = false;
+    BorrowedK = KernelView();
+    BorrowedTrans = ArrayView<Transition>();
+    BorrowedOld = ArrayView<Transition>();
+    BorrowedRed = ArrayView<RuleId>();
+    BorrowedAcc = ArrayView<RuleId>();
+    BorrowedLabels = ArrayView<SymbolId>();
+  }
+
+  // Field order is perf-relevant: the MODIFY probe and GOTO touch the
+  // scalars plus the action index/transitions of *every* complete set, so
+  // those live in the leading cache lines; the rarely-scanned record
+  // arrays follow.
   uint32_t Id = 0;
   ItemSetState State = ItemSetState::Initial;
   bool Accepting = false;
+  bool Borrowed = false;
   uint32_t RefCount = 0;
-  Kernel K;
+
+  // Owned storage (valid when !Borrowed), hot part.
+  std::vector<SymbolId> ActionLabels;
   std::vector<Transition> Transitions;
+  // Borrowed storage (spans into a mapped `ipg-snap-v2` region, valid
+  // when Borrowed; the owning graph keeps the mapping alive), hot part.
+  ArrayView<SymbolId> BorrowedLabels;
+  ArrayView<Transition> BorrowedTrans;
+
+  // Owned storage, cold part.
+  Kernel K;
   std::vector<RuleId> Reductions;
   std::vector<RuleId> AcceptRules;
   std::vector<Transition> OldTransitions;
-  std::vector<SymbolId> ActionLabels;
+
+  // Borrowed storage, cold part.
+  KernelView BorrowedK;
+  ArrayView<Transition> BorrowedOld;
+  ArrayView<RuleId> BorrowedRed;
+  ArrayView<RuleId> BorrowedAcc;
 };
 
 /// The canonical transition order: sorted by label. EXPAND establishes it

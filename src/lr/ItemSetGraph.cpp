@@ -23,27 +23,45 @@ Kernel ItemSetGraph::startKernel() const {
   return K;
 }
 
+void ItemSetGraph::ensureKernelIndex() {
+  if (KernelIndexReady)
+    return;
+  KernelIndexReady = true;
+  ByKernel.reserve(numSets());
+  for (size_t I = 0, N = numSets(); I < N; ++I) {
+    ItemSet &State = setAt(I);
+    if (!State.isDead())
+      ByKernel[hashKernel(State.kernel())].push_back(&State);
+  }
+}
+
 ItemSet *ItemSetGraph::makeItemSet(Kernel K) {
+  ensureKernelIndex();
   Pool.emplace_back();
   ItemSet *State = &Pool.back();
-  State->Id = static_cast<uint32_t>(Pool.size() - 1);
+  State->Id = static_cast<uint32_t>(numSets() - 1);
   State->K = std::move(K);
   ByKernel[hashKernel(State->K)].push_back(State);
   return State;
 }
 
-ItemSet *ItemSetGraph::findByKernel(const Kernel &K) {
+ItemSet *ItemSetGraph::findByKernel(KernelView K) {
+  ensureKernelIndex();
   auto It = ByKernel.find(hashKernel(K));
   if (It == ByKernel.end())
     return nullptr;
   for (ItemSet *State : It->second)
-    if (State->K == K)
+    if (kernelEquals(State->kernel(), K))
       return State;
   return nullptr;
 }
 
 void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
-  auto It = ByKernel.find(hashKernel(State->K));
+  // With a deferred index there is nothing to unlink: when the index is
+  // eventually built, it only picks up live sets.
+  if (!KernelIndexReady)
+    return;
+  auto It = ByKernel.find(hashKernel(State->kernel()));
   if (It == ByKernel.end())
     return;
   std::vector<ItemSet *> &Bucket = It->second;
@@ -52,7 +70,7 @@ void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
     Bucket.erase(Pos);
 }
 
-void ItemSetGraph::closureInto(const Kernel &K, std::vector<Item> &Out) const {
+void ItemSetGraph::closureInto(KernelView K, std::vector<Item> &Out) const {
   // CLOSURE (§4): extend the kernel with B ::= •γ for every B that occurs
   // immediately after a dot, transitively. Predicted items all have dot 0,
   // so presence is tracked per rule. Two Bitset-backed scratch sets make
@@ -83,7 +101,7 @@ void ItemSetGraph::closureInto(const Kernel &K, std::vector<Item> &Out) const {
   }
 }
 
-std::vector<Item> ItemSetGraph::closure(const Kernel &K) const {
+std::vector<Item> ItemSetGraph::closure(KernelView K) const {
   std::vector<Item> Closure;
   closureInto(K, Closure);
   return Closure;
@@ -96,6 +114,9 @@ void ItemSetGraph::addTransition(ItemSet *From, SymbolId Label, ItemSet *To) {
 
 void ItemSetGraph::expand(ItemSet *State) {
   assert(!State->isDead() && "expanding a collected set of items");
+  // EXPAND mutates the set wholesale; an adopted set first copies its
+  // borrowed records into owned storage (copy-on-MODIFY).
+  State->materializeOwned();
   bool WasDirty = State->State == ItemSetState::Dirty;
   ++Stats.Expansions;
   if (WasDirty)
@@ -181,17 +202,13 @@ void ItemSetGraph::decrRefCount(ItemSet *State) {
     if (--Current->RefCount != 0)
       continue;
     unlinkFromIndex(Current);
-    const std::vector<ItemSet::Transition> &Held =
-        Current->State == ItemSetState::Dirty ? Current->OldTransitions
-                                              : Current->Transitions;
+    ArrayView<ItemSet::Transition> Held =
+        Current->State == ItemSetState::Dirty ? Current->oldTransitions()
+                                              : Current->transitions();
     for (const ItemSet::Transition &T : Held)
       Worklist.push_back(T.Target);
     Current->State = ItemSetState::Dead;
-    Current->Transitions.clear();
-    Current->OldTransitions.clear();
-    Current->Reductions.clear();
-    Current->AcceptRules.clear();
-    Current->clearActionIndex();
+    Current->releaseStorage();
     ++Stats.Collected;
   }
 }
@@ -201,6 +218,9 @@ void ItemSetGraph::markDirty(ItemSet *State) {
   // pre-modification history.
   if (State->State != ItemSetState::Complete)
     return;
+  // Copy-on-MODIFY: an adopted set materializes its borrowed records
+  // before they are rearranged, so §6 repair works on mapped graphs.
+  State->materializeOwned();
   State->OldTransitions = std::move(State->Transitions);
   State->Transitions.clear();
   State->Reductions.clear();
@@ -215,6 +235,8 @@ void ItemSetGraph::modify(SymbolId Lhs) {
   // MODIFY (§6.1). The grammar has already been updated by the caller.
   if (Lhs == G.startSymbol()) {
     // Only the start set can hold START ::= •β in its kernel.
+    ensureKernelIndex();
+    Start->materializeOwned();
     unlinkFromIndex(Start);
     Start->K = startKernel();
     ByKernel[hashKernel(Start->K)].push_back(Start);
@@ -224,13 +246,17 @@ void ItemSetGraph::modify(SymbolId Lhs) {
   // Recognition of a rule for Lhs starts exactly in the complete sets with
   // a transition labeled Lhs — their closures contained • before an Lhs.
   // The action index turns the per-state membership test into a binary
-  // search.
-  for (ItemSet &State : Pool) {
-    if (State.State != ItemSetState::Complete)
-      continue;
-    if (State.transitionTarget(Lhs) != nullptr)
+  // search. The two storage pools are walked directly (not through the
+  // setAt branch): this probe loop dominates ADD/DELETE-RULE latency.
+  auto Probe = [&](ItemSet &State) {
+    if (State.State == ItemSetState::Complete &&
+        State.transitionTarget(Lhs) != nullptr)
       markDirty(&State);
-  }
+  };
+  for (ItemSet &State : Adopted)
+    Probe(State);
+  for (ItemSet &State : Pool)
+    Probe(State);
 }
 
 bool ItemSetGraph::addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
@@ -263,8 +289,8 @@ LrActionsView ItemSetGraph::actionsView(ItemSet *State, SymbolId Symbol) {
   ensureComplete(State);
   // LR(0): reductions apply regardless of the lookahead symbol; the shift
   // target is a binary search over the action index built at EXPAND time.
-  const RuleId *ReduceBegin = State->Reductions.data();
-  return LrActionsView(ReduceBegin, ReduceBegin + State->Reductions.size(),
+  ArrayView<RuleId> Reduce = State->reductions();
+  return LrActionsView(Reduce.begin(), Reduce.end(),
                        State->transitionTarget(Symbol),
                        State->Accepting && Symbol == G.endMarker());
 }
@@ -300,8 +326,8 @@ ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
 size_t ItemSetGraph::generateAll() {
   // A single index pass suffices: EXPAND only appends new Initial sets,
   // which the growing loop bound picks up.
-  for (size_t Index = 0; Index < Pool.size(); ++Index) {
-    ItemSet &State = Pool[Index];
+  for (size_t Index = 0; Index < numSets(); ++Index) {
+    ItemSet &State = setAt(Index);
     if (State.State == ItemSetState::Initial ||
         State.State == ItemSetState::Dirty)
       expand(&State);
@@ -311,74 +337,76 @@ size_t ItemSetGraph::generateAll() {
 
 std::vector<const ItemSet *> ItemSetGraph::liveSets() const {
   std::vector<const ItemSet *> Result;
-  for (const ItemSet &State : Pool)
+  for (size_t I = 0, N = numSets(); I < N; ++I) {
+    const ItemSet &State = setAt(I);
     if (!State.isDead())
       Result.push_back(&State);
+  }
   return Result;
 }
 
 size_t ItemSetGraph::countByState(ItemSetState S) const {
   size_t Count = 0;
-  for (const ItemSet &State : Pool)
-    Count += State.State == S;
+  for (size_t I = 0, N = numSets(); I < N; ++I)
+    Count += setAt(I).State == S;
   return Count;
 }
 
 size_t ItemSetGraph::numLive() const {
   size_t Count = 0;
-  for (const ItemSet &State : Pool)
-    Count += !State.isDead();
+  for (size_t I = 0, N = numSets(); I < N; ++I)
+    Count += !setAt(I).isDead();
   return Count;
 }
 
 size_t ItemSetGraph::collectGarbage() {
   // Mark phase: reachable from the start set, following live transitions
   // and the retained pre-modification transitions of dirty sets.
-  std::vector<bool> Marked(Pool.size(), false);
+  std::vector<bool> Marked(numSets(), false);
   std::vector<ItemSet *> Worklist{Start};
   Marked[Start->Id] = true;
   while (!Worklist.empty()) {
     ItemSet *State = Worklist.back();
     Worklist.pop_back();
-    auto Visit = [&](const std::vector<ItemSet::Transition> &Edges) {
+    auto Visit = [&](ArrayView<ItemSet::Transition> Edges) {
       for (const ItemSet::Transition &T : Edges)
         if (!Marked[T.Target->Id]) {
           Marked[T.Target->Id] = true;
           Worklist.push_back(T.Target);
         }
     };
-    Visit(State->Transitions);
-    Visit(State->OldTransitions);
+    Visit(State->transitions());
+    Visit(State->oldTransitions());
   }
 
   // Sweep phase.
   size_t Reclaimed = 0;
-  for (ItemSet &State : Pool) {
+  for (size_t I = 0, N = numSets(); I < N; ++I) {
+    ItemSet &State = setAt(I);
     if (State.isDead() || Marked[State.Id])
       continue;
     unlinkFromIndex(&State);
     State.State = ItemSetState::Dead;
-    State.Transitions.clear();
-    State.OldTransitions.clear();
-    State.Reductions.clear();
-    State.AcceptRules.clear();
-    State.clearActionIndex();
+    State.releaseStorage();
     State.RefCount = 0;
     ++Reclaimed;
     ++Stats.Collected;
   }
 
   // Restore exact reference counts for the survivors.
-  for (ItemSet &State : Pool)
+  for (size_t I = 0, N = numSets(); I < N; ++I) {
+    ItemSet &State = setAt(I);
     if (!State.isDead())
       State.RefCount = 0;
+  }
   Start->RefCount = 1;
-  for (ItemSet &State : Pool) {
+  for (size_t I = 0, N = numSets(); I < N; ++I) {
+    ItemSet &State = setAt(I);
     if (State.isDead())
       continue;
-    for (const ItemSet::Transition &T : State.Transitions)
+    for (const ItemSet::Transition &T : State.transitions())
       ++T.Target->RefCount;
-    for (const ItemSet::Transition &T : State.OldTransitions)
+    for (const ItemSet::Transition &T : State.oldTransitions())
       ++T.Target->RefCount;
   }
   return Reclaimed;

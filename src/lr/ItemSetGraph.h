@@ -28,11 +28,14 @@
 #include "support/Bitset.h"
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace ipg {
+
+class MappedFile;
 
 /// One entry of an ACTION(state, symbol) result set (§3.1). LR-PARSE
 /// requires at most one; PAR-PARSE handles any number.
@@ -163,7 +166,7 @@ public:
   void ensureComplete(ItemSet *State);
 
   /// CLOSURE of §4, exposed for tests and the LALR generator.
-  std::vector<Item> closure(const Kernel &K) const;
+  std::vector<Item> closure(KernelView K) const;
 
   /// ADD-RULE (§6): adds the rule to the grammar and updates the graph.
   /// Returns false if the rule was already present (no change).
@@ -191,7 +194,7 @@ public:
   size_t numLive() const;
 
   /// Looks up a live set of items by kernel; nullptr if absent.
-  ItemSet *findByKernel(const Kernel &K);
+  ItemSet *findByKernel(KernelView K);
 
   const ItemSetGraphStats &stats() const { return Stats; }
   void resetStats() { Stats = ItemSetGraphStats(); }
@@ -201,10 +204,24 @@ private:
   /// wholesale when loading a persisted graph.
   friend class GraphSnapshot;
 
+  /// Total sets ever created (dense id space: adopted block first, then
+  /// the growth pool).
+  size_t numSets() const { return Adopted.size() + Pool.size(); }
+  ItemSet &setAt(size_t I) {
+    return I < Adopted.size() ? Adopted[I] : Pool[I - Adopted.size()];
+  }
+  const ItemSet &setAt(size_t I) const {
+    return I < Adopted.size() ? Adopted[I] : Pool[I - Adopted.size()];
+  }
+
+  /// Populates ByKernel from the live sets if a zero-copy snapshot load
+  /// deferred it. Every ByKernel consumer calls this first.
+  void ensureKernelIndex();
+
   ItemSet *makeItemSet(Kernel K);
   /// CLOSURE into \p Out (cleared first): the allocation-reusing worker
   /// behind the public closure().
-  void closureInto(const Kernel &K, std::vector<Item> &Out) const;
+  void closureInto(KernelView K, std::vector<Item> &Out) const;
   void expand(ItemSet *State);
   void addTransition(ItemSet *From, SymbolId Label, ItemSet *To);
   void decrRefCount(ItemSet *State);
@@ -214,8 +231,21 @@ private:
   Kernel startKernel() const;
 
   Grammar &G;
+  /// Sets adopted wholesale from an `ipg-snap-v2` snapshot: one contiguous
+  /// block, sized exactly at load, never resized afterwards (so pointers
+  /// stay stable). Empty unless the graph was warm-started zero-copy.
+  std::vector<ItemSet> Adopted;
+  /// Sets created one by one (EXPAND, v1 loads); deque for stable
+  /// pointers under growth. Ids continue after the adopted block.
   std::deque<ItemSet> Pool;
   std::unordered_map<uint64_t, std::vector<ItemSet *>> ByKernel;
+  /// False after a zero-copy adoption until the first ByKernel consumer
+  /// rebuilds the index — pure queries against a fully complete adopted
+  /// graph never need it.
+  bool KernelIndexReady = true;
+  /// Keeps the mapped snapshot region alive while adopted sets borrow
+  /// spans from it. Released on reset()/re-load.
+  std::shared_ptr<const MappedFile> BorrowedStorage;
   ItemSet *Start = nullptr;
   ItemSetGraphStats Stats;
 

@@ -1,0 +1,50 @@
+//===- support/ArrayView.h - Non-owning contiguous range view ---*- C++ -*-===//
+///
+/// \file
+/// A minimal non-owning view over a contiguous array of T, in the spirit of
+/// std::span<const T>. It is the storage-neutral currency of the item-set
+/// layer: an ItemSet answers its accessor queries with ArrayViews whether
+/// the underlying records live in its own heap vectors (owned mode) or in
+/// an `ipg-snap-v2` mapped snapshot region (borrowed mode). Implicitly
+/// constructible from std::vector so existing call sites keep compiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_ARRAYVIEW_H
+#define IPG_SUPPORT_ARRAYVIEW_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ipg {
+
+template <typename T> class ArrayView {
+public:
+  ArrayView() = default;
+  ArrayView(const T *Data, size_t Size) : Ptr(Data), Len(Size) {}
+  /// Implicit on purpose: APIs that took `const std::vector<T> &` before
+  /// the borrowed-storage refactor keep accepting vectors unchanged.
+  ArrayView(const std::vector<T> &V) : Ptr(V.data()), Len(V.size()) {}
+
+  const T *data() const { return Ptr; }
+  const T *begin() const { return Ptr; }
+  const T *end() const { return Ptr + Len; }
+  size_t size() const { return Len; }
+  bool empty() const { return Len == 0; }
+
+  const T &operator[](size_t I) const {
+    assert(I < Len && "ArrayView index out of range");
+    return Ptr[I];
+  }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Len - 1]; }
+
+private:
+  const T *Ptr = nullptr;
+  size_t Len = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_ARRAYVIEW_H

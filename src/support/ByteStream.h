@@ -205,6 +205,16 @@ private:
 /// Reads a whole file into memory.
 Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
 
+/// Writes \p Size bytes at \p Data to \p Path *atomically*: the bytes go
+/// to a temporary sibling first, which is renamed over \p Path only after
+/// a complete write. Readers (and live MAP_PRIVATE mappings of the old
+/// file — the zero-copy snapshot loader keeps those) always see either
+/// the complete old inode or the complete new one, never a truncated
+/// in-between. Shared by ByteWriter::writeFile and FlatWriter::writeFile.
+/// Returns the byte count written.
+Expected<size_t> writeBytesToFileAtomic(const std::string &Path,
+                                        const void *Data, size_t Size);
+
 /// Packs four characters into a section tag ("GRAM" etc.).
 constexpr uint32_t fourCC(char A, char B, char C, char D) {
   return static_cast<uint32_t>(static_cast<uint8_t>(A)) |

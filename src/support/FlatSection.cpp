@@ -1,0 +1,11 @@
+//===- support/FlatSection.cpp - Flat, aligned binary sections ------------===//
+
+#include "support/FlatSection.h"
+
+#include "support/ByteStream.h"
+
+using namespace ipg;
+
+Expected<size_t> FlatWriter::writeFile(const std::string &Path) const {
+  return writeBytesToFileAtomic(Path, Buffer.data(), Buffer.size());
+}

@@ -1,0 +1,74 @@
+//===- support/MappedFile.h - Private file mapping for snapshots *- C++ -*-===//
+///
+/// \file
+/// A whole-file memory mapping with copy-on-write semantics, the backing
+/// store of the `ipg-snap-v2` zero-copy snapshot load. The file is mapped
+/// MAP_PRIVATE and read-write: the loader patches item-set transition
+/// records in place (index -> pointer fixup), and the kernel materializes
+/// only the touched pages — everything else stays a clean page backed by
+/// the file. On platforms without mmap the whole file is read into an
+/// 8-byte-aligned heap buffer instead; the adoption contract (stable bytes
+/// for the lifetime of this object, writable in place) is identical.
+///
+/// Lifetime contract: item sets adopted from a mapping borrow spans of its
+/// bytes. The graph that adopted a MappedFile keeps it alive (shared_ptr)
+/// until the graph is reset or replaced; never destroy a mapping while a
+/// graph still borrows from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_MAPPEDFILE_H
+#define IPG_SUPPORT_MAPPEDFILE_H
+
+#include "support/Expected.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ipg {
+
+class MappedFile {
+public:
+  /// Maps \p Path privately (copy-on-write). Fails on missing, unreadable,
+  /// or empty files.
+  static Expected<MappedFile> open(const std::string &Path);
+
+  MappedFile() = default;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  MappedFile(MappedFile &&Other) noexcept { *this = std::move(Other); }
+  MappedFile &operator=(MappedFile &&Other) noexcept {
+    if (this != &Other) {
+      unmap();
+      Base = Other.Base;
+      Bytes = Other.Bytes;
+      HeapFallback = Other.HeapFallback;
+      Other.Base = nullptr;
+      Other.Bytes = 0;
+      Other.HeapFallback = false;
+    }
+    return *this;
+  }
+  ~MappedFile() { unmap(); }
+
+  /// The mapped bytes; writable (writes never reach the file — the mapping
+  /// is private). Page-aligned base.
+  uint8_t *data() const { return Base; }
+  size_t size() const { return Bytes; }
+  bool valid() const { return Base != nullptr; }
+
+private:
+  void unmap();
+  /// Releases a heap-fallback buffer with the allocator that made it
+  /// (MSVC's _aligned_malloc blocks must not go through free()).
+  static void freeHeapBuffer(void *Ptr);
+
+  uint8_t *Base = nullptr;
+  size_t Bytes = 0;
+  bool HeapFallback = false;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_MAPPEDFILE_H

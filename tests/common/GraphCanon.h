@@ -36,7 +36,7 @@ struct CanonState {
 /// Canonical form of a whole reachable graph, keyed by kernel.
 using CanonGraph = std::map<std::string, CanonState>;
 
-inline std::string canonKernel(const Kernel &K, const Grammar &G) {
+inline std::string canonKernel(KernelView K, const Grammar &G) {
   std::vector<std::string> Parts;
   for (const Item &I : K)
     Parts.push_back(itemToString(I, G));

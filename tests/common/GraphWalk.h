@@ -26,7 +26,7 @@ inline std::vector<ItemSet *> reachableSets(ItemSetGraph &Graph,
   std::vector<ItemSet *> Result{Graph.startSet()};
   std::set<const ItemSet *> Seen{Graph.startSet()};
   for (size_t Next = 0; Next < Result.size(); ++Next) {
-    auto Visit = [&](const std::vector<ItemSet::Transition> &Edges) {
+    auto Visit = [&](ArrayView<ItemSet::Transition> Edges) {
       for (const ItemSet::Transition &T : Edges)
         if (Seen.insert(T.Target).second)
           Result.push_back(T.Target);

@@ -1,10 +1,14 @@
 //===- tests/core/SnapshotTest.cpp - Snapshot persistence (cross-process §5/§6) -===//
 ///
-/// The snapshot subsystem end to end: byte-deterministic round trips that
-/// preserve the graph (frontier states, stats, parse behaviour), the
-/// fingerprint-keyed warm start, §6-powered repair of stale snapshots, and
-/// rejection of truncated / corrupted / wrong-version files. Property
-/// sweeps run the same claims over the seeded random grammars.
+/// The snapshot subsystem end to end over the `ipg-snap-v1` encoding
+/// (saves pass SnapshotFormat::V1 explicitly — v1's byte-level contract
+/// includes a whole-payload checksum, which the corruption sweeps here
+/// pin; the v2 contract lives in SnapshotV2Test.cpp): byte-deterministic
+/// round trips that preserve the graph (frontier states, stats, parse
+/// behaviour), the fingerprint-keyed warm start, §6-powered repair of
+/// stale snapshots, and rejection of truncated / corrupted /
+/// wrong-version files. Property sweeps run the same claims over the
+/// seeded random grammars.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,7 +68,7 @@ TEST(Snapshot, PartialGraphRoundTripPreservesFrontierAndStats) {
   ASSERT_TRUE(Gen.recognize(sentence(G, "true and true")));
   ASSERT_GT(Gen.graph().countByState(ItemSetState::Initial), 0u);
   ItemSetGraphStats Before = Gen.stats();
-  Expected<size_t> Saved = Gen.saveSnapshot(File.path());
+  Expected<size_t> Saved = Gen.saveSnapshot(File.path(), SnapshotFormat::V1);
   ASSERT_TRUE(Saved) << Saved.error().str();
   EXPECT_GT(*Saved, 0u);
 
@@ -98,7 +102,7 @@ TEST(Snapshot, ActionsMatchAfterRoundTrip) {
   buildArith(G);
   Ipg Gen(G);
   Gen.generateAll();
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
 
   Grammar G2;
   buildArith(G2);
@@ -126,8 +130,8 @@ TEST(Snapshot, SerializationIsByteDeterministic) {
   buildBooleans(G);
   Ipg Gen(G);
   Gen.recognize(sentence(G, "true or false"));
-  ASSERT_TRUE(Gen.saveSnapshot(A.path()));
-  ASSERT_TRUE(Gen.saveSnapshot(B.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(A.path(), SnapshotFormat::V1));
+  ASSERT_TRUE(Gen.saveSnapshot(B.path(), SnapshotFormat::V1));
   EXPECT_EQ(fileBytes(A.path()), fileBytes(B.path()))
       << "same graph must serialize to identical bytes";
 
@@ -136,7 +140,7 @@ TEST(Snapshot, SerializationIsByteDeterministic) {
   buildBooleans(G2);
   Ipg Loaded(G2);
   ASSERT_TRUE(Loaded.loadSnapshot(A.path()));
-  ASSERT_TRUE(Loaded.saveSnapshot(C.path()));
+  ASSERT_TRUE(Loaded.saveSnapshot(C.path(), SnapshotFormat::V1));
   EXPECT_EQ(fileBytes(A.path()), fileBytes(C.path()));
 }
 
@@ -150,7 +154,7 @@ TEST(Snapshot, DirtyFrontierSurvivesRoundTrip) {
   ASSERT_TRUE(Gen.addRule("B", {"not", "B"}));
   size_t DirtyBefore = Gen.graph().countByState(ItemSetState::Dirty);
   ASSERT_GT(DirtyBefore, 0u);
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
 
   Grammar G2;
   buildBooleans(G2);
@@ -176,7 +180,7 @@ TEST(Snapshot, RetiredRuleInLiveKernelsRoundTrips) {
   // it stay live until their dirty parents re-expand. Snapshot this
   // in-between state — the GRAM section must carry inactive rules too.
   ASSERT_TRUE(Gen.deleteRule("B", {"true"}));
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
 
   Grammar G2;
   buildBooleans(G2);
@@ -197,7 +201,7 @@ TEST(Snapshot, StaleSnapshotIsRepairedWhenLiveGrammarGainedARule) {
     buildBooleans(G);
     Ipg Gen(G);
     Gen.generateAll();
-    ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+    ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
   }
   // The live grammar moved on: it has one extra alternative.
   Grammar G;
@@ -227,7 +231,7 @@ TEST(Snapshot, StaleSnapshotIsRepairedWhenLiveGrammarLostARule) {
     buildBooleans(G);
     Ipg Gen(G);
     Gen.generateAll();
-    ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+    ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
   }
   Grammar G;
   buildBooleans(G);
@@ -256,7 +260,7 @@ TEST(Snapshot, StartRuleDeltaIsRepaired) {
     buildBooleans(G);
     Ipg Gen(G);
     Gen.generateAll();
-    ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+    ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
   }
   // The live grammar adds a second START alternative — the delta touches
   // the start kernel itself.
@@ -289,7 +293,7 @@ TEST(Snapshot, DifferentInterningOrderStillFingerprintMatches) {
     buildBooleans(G);
     Ipg Gen(G);
     Gen.generateAll();
-    ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+    ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
   }
   // Same rules, interned in a different order: the layout fast path cannot
   // apply, but the content fingerprint (by name) must still match and the
@@ -373,7 +377,7 @@ TEST(Snapshot, RejectsEveryTruncation) {
   buildBooleans(G);
   Ipg Gen(G);
   Gen.generateAll();
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
   std::vector<uint8_t> Full = fileBytes(File.path());
   ASSERT_GT(Full.size(), 0u);
 
@@ -397,7 +401,7 @@ TEST(Snapshot, RejectsEverySingleByteCorruption) {
   buildBooleans(G);
   Ipg Gen(G);
   Gen.recognize(sentence(G, "true and true"));
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
   std::vector<uint8_t> Full = fileBytes(File.path());
 
   // Flipping any payload byte must trip the checksum; flipping header
@@ -462,7 +466,7 @@ TEST(Snapshot, SaveToUnwritablePathFails) {
   Grammar G;
   buildBooleans(G);
   Ipg Gen(G);
-  Expected<size_t> R = Gen.saveSnapshot(::testing::TempDir());
+  Expected<size_t> R = Gen.saveSnapshot(::testing::TempDir(), SnapshotFormat::V1);
   EXPECT_FALSE(R);
 }
 
@@ -479,7 +483,7 @@ TEST_P(SnapshotRoundTripTest, RoundTripIsParseEquivalentAndDeterministic) {
   for (const std::vector<SymbolId> &S : Case.Positive)
     EXPECT_TRUE(Gen.recognize(S));
   ItemSetGraphStats Before = Gen.stats();
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
 
   Grammar G2;
   Grammar::cloneActiveRules(G, G2);
@@ -495,7 +499,7 @@ TEST_P(SnapshotRoundTripTest, RoundTripIsParseEquivalentAndDeterministic) {
   // expands it further) reproduces the file exactly.
   SnapshotFile Again("snap_sweep_again_" + std::to_string(GetParam()) +
                      ".bin");
-  ASSERT_TRUE(Loaded.saveSnapshot(Again.path()));
+  ASSERT_TRUE(Loaded.saveSnapshot(Again.path(), SnapshotFormat::V1));
   EXPECT_EQ(fileBytes(File.path()), fileBytes(Again.path()));
 
   // recognize() equivalence on derivable sentences and random mutations.
@@ -517,7 +521,7 @@ TEST_P(SnapshotRoundTripTest, StaleRepairMatchesFromScratchGeneration) {
   RandomGrammarCase Case = buildRandomGrammar(G, GetParam());
   Ipg Gen(G);
   Gen.generateAll();
-  ASSERT_TRUE(Gen.saveSnapshot(File.path()));
+  ASSERT_TRUE(Gen.saveSnapshot(File.path(), SnapshotFormat::V1));
 
   // The live grammar differs by one extra alternative for an existing
   // nonterminal (plus a fresh terminal, exercising the symbol remap).
