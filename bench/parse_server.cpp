@@ -1,0 +1,231 @@
+//===- bench/parse_server.cpp - Concurrent grammar server throughput ------===//
+///
+/// \file
+/// The concurrent grammar server on the 12x-SDF grammar, Exam.sdf input —
+/// the multi-user regime §2's "grammar server" sketch implies but the
+/// paper never measures. Three questions:
+///
+///   * What does a warm single-session parse cost through the server
+///     (epoch acquire + shared-graph GLR) vs. a plain `Ipg` parse? This is
+///     the only wall-clock *timing* the regression gate tracks.
+///   * How does parse throughput scale when 2 and 4 sessions share ONE
+///     lazily-expanded item-set graph? Readers take no locks on the
+///     Complete fast path, so scaling should be near-linear; the 4-thread
+///     speedup is the headline shape check.
+///   * What survives a mixed parse/modify workload — readers parsing at
+///     full rate while a writer repeatedly forks new epochs through the
+///     copy-on-write MODIFY path? Every parse must still accept: the base
+///     language is present in every generation, and in-flight sessions
+///     finish against their pinned epoch.
+///
+/// Thread-count throughputs are emitted as gate-exempt scalars
+/// (parses_per_sec): multi-thread wall clock on a shared CI runner is too
+/// noisy for the 25% regression band, which gates `unit == "seconds"`
+/// medians only.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchHarness.h"
+#include "common/BenchSupport.h"
+#include "common/ScaledSdf.h"
+
+#include "core/Ipg.h"
+#include "sdf/Samples.h"
+#include "sdf/SdfLanguage.h"
+#include "sdf/SdfLexer.h"
+#include "server/GrammarServer.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::bench;
+
+namespace {
+
+std::vector<SymbolId> tokenize(Grammar &G, std::string_view Text) {
+  Scanner S;
+  configureSdfScanner(S);
+  Expected<std::vector<SymbolId>> Tokens = S.tokenizeToSymbols(Text, G);
+  if (!Tokens) {
+    std::fprintf(stderr, "sample must tokenize: %s\n",
+                 Tokens.error().str().c_str());
+    std::exit(2);
+  }
+  return Tokens.take();
+}
+
+/// Wall-clock parse throughput with \p Threads sessions over one shared
+/// (pre-warmed) graph: every thread parses \p PerThread times; all start
+/// together on a latch. Returns parses per second.
+double throughputAt(GrammarServer &Server, const std::vector<SymbolId> &Input,
+                    unsigned Threads, int PerThread, std::atomic<int> &Failures) {
+  std::latch Go(Threads + 1);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&] {
+      ParseSession S = Server.openSession();
+      Go.arrive_and_wait();
+      for (int I = 0; I < PerThread; ++I)
+        if (!S.recognize(Input))
+          Failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  Go.arrive_and_wait();
+  Stopwatch W;
+  for (std::thread &T : Workers)
+    T.join();
+  double Seconds = W.seconds();
+  return Seconds > 0 ? (double(Threads) * PerThread) / Seconds : 0.0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchHarness H("parse_server", argc, argv);
+  std::printf("concurrent grammar server — 12x-SDF grammar, Exam.sdf input\n\n");
+
+  const int Copies = 12;
+  const std::string_view InputText = sdfSamples()[1].Text;
+  const unsigned Hw = std::thread::hardware_concurrency();
+  const int PerThread = H.reduced() ? 15 : 150;
+  const int Edits = H.reduced() ? 2 : 6;
+
+  // One grammar feeds everything: the modification symbols are interned
+  // BEFORE the server clones it, so the (id-preserving) epochs all speak
+  // the same symbol ids and the token stream stays valid throughout.
+  Grammar G;
+  buildScaledSdf(G, Copies);
+  auto [MLhs, MRhs] = scaledSdfModification(G);
+  std::vector<SymbolId> Input = tokenize(G, InputText);
+
+  // Ground truth for the accept answer, single-threaded plain Ipg.
+  bool SoloOk = false;
+  {
+    Grammar G1;
+    buildScaledSdf(G1, Copies);
+    Ipg Solo(G1);
+    SoloOk = Solo.recognize(Input);
+  }
+
+  GrammarServer Server(G);
+
+  // Warm the shared graph once, then time the steady-state session parse.
+  // This is the gated wall-clock number: single-threaded, deterministic.
+  bool WarmOk = false;
+  {
+    ParseSession S = Server.openSession();
+    WarmOk = S.recognize(Input);
+  }
+  double WarmParse = H.measure("parse_server/warm_session_parse", 9, [&] {
+                        ParseSession S = Server.openSession();
+                        S.recognize(Input);
+                      }).Median;
+
+  // Parse throughput at 1/2/4 sessions over the one warm graph. Scalars,
+  // not gated timings (see file comment).
+  std::atomic<int> Failures{0};
+  double Tput1 = throughputAt(Server, Input, 1, PerThread, Failures);
+  double Tput2 = throughputAt(Server, Input, 2, PerThread, Failures);
+  double Tput4 = throughputAt(Server, Input, 4, PerThread, Failures);
+  double Speedup2 = Tput1 > 0 ? Tput2 / Tput1 : 0.0;
+  double Speedup4 = Tput1 > 0 ? Tput4 / Tput1 : 0.0;
+
+  // Mixed parse/modify: readers parse flat out while the writer forks
+  // epochs by toggling the Fig 7.1 rule. The base language is active in
+  // every generation, so every parse must accept whichever epoch the
+  // session pinned.
+  std::atomic<int> MixedFailures{0};
+  std::atomic<long> MixedParses{0};
+  double MixedSeconds = 0.0;
+  uint64_t GenBefore = Server.generation();
+  {
+    unsigned Readers = Hw >= 4 ? 3 : 1;
+    std::atomic<bool> Done{false};
+    std::latch Go(Readers + 1);
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < Readers; ++T) {
+      Threads.emplace_back([&] {
+        Go.arrive_and_wait();
+        while (!Done.load(std::memory_order_acquire)) {
+          ParseSession S = Server.openSession();
+          if (!S.recognize(Input))
+            MixedFailures.fetch_add(1, std::memory_order_relaxed);
+          MixedParses.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    Go.arrive_and_wait();
+    Stopwatch W;
+    for (int E = 0; E < Edits; ++E) {
+      bool Changed = (E % 2 == 0)
+                         ? Server.addRule(MLhs, std::vector<SymbolId>(MRhs))
+                         : Server.removeRule(MLhs, MRhs);
+      if (!Changed)
+        MixedFailures.fetch_add(1, std::memory_order_relaxed);
+    }
+    Done.store(true, std::memory_order_release);
+    for (std::thread &T : Threads)
+      T.join();
+    MixedSeconds = W.seconds();
+  }
+  uint64_t GenAfter = Server.generation();
+
+  TextTable Table({"scenario", "result"});
+  Table.addRow({"warm session parse (1 thread)", ms(WarmParse)});
+  Table.addRow({"throughput 1 thread",
+                formatSeconds(Tput1, 1) + " parses/s"});
+  Table.addRow({"throughput 2 threads", formatSeconds(Tput2, 1) +
+                                            " parses/s (" +
+                                            formatSeconds(Speedup2, 2) + "x)"});
+  Table.addRow({"throughput 4 threads", formatSeconds(Tput4, 1) +
+                                            " parses/s (" +
+                                            formatSeconds(Speedup4, 2) + "x)"});
+  Table.addRow({"mixed parse/modify",
+                std::to_string(MixedParses.load()) + " parses across " +
+                    std::to_string(GenAfter - GenBefore) + " epoch forks"});
+  Table.print();
+  std::printf("\nhardware threads: %u; live epochs at exit: %zu\n", Hw,
+              Server.liveEpochs());
+
+  H.report().addScalar("parse_server/throughput_1t", Tput1, "parses_per_sec");
+  H.report().addScalar("parse_server/throughput_2t", Tput2, "parses_per_sec");
+  H.report().addScalar("parse_server/throughput_4t", Tput4, "parses_per_sec");
+  H.report().addScalar("parse_server/speedup_2t", Speedup2, "ratio");
+  H.report().addScalar("parse_server/speedup_4t", Speedup4, "ratio");
+  H.report().addScalar("parse_server/mixed_parses_per_sec",
+                       MixedSeconds > 0 ? MixedParses.load() / MixedSeconds
+                                        : 0.0,
+                       "parses_per_sec");
+  H.report().addCounter("parse_server/mixed_epoch_forks", GenAfter - GenBefore);
+
+  std::printf("\nshape checks:\n");
+  H.check(SoloOk, "plain Ipg accepts Exam.sdf on the 12x-SDF grammar");
+  H.check(WarmOk, "server session accepts the same input");
+  H.check(Failures.load() == 0,
+          "every throughput-phase parse accepted on the shared graph");
+  // Scaling claims need the cores to exist, and the reduced (CI smoke)
+  // pass runs too little work per thread to support a strict bound on a
+  // shared runner; full runs assert the headline >=2x at 4 threads.
+  if (Hw >= 4 && !H.reduced()) {
+    H.check(Speedup4 >= 2.0,
+            "4 sessions over one graph reach >=2x the 1-session throughput");
+    H.check(Speedup2 >= 1.3,
+            "2 sessions over one graph reach >=1.3x the 1-session throughput");
+  } else {
+    H.check(Tput4 > 0, "4-session throughput measured (scaling bound needs "
+                       ">=4 hardware threads and a full run)");
+  }
+  H.check(MixedFailures.load() == 0,
+          "every parse during live modification accepted its pinned epoch");
+  H.check(GenAfter - GenBefore == uint64_t(Edits),
+          "every writer edit forked exactly one epoch");
+  H.check(Server.liveEpochs() == 1,
+          "displaced epochs were reclaimed once sessions drained");
+  return H.finish();
+}

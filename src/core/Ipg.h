@@ -110,7 +110,7 @@ public:
   /// laziness is unaffected). The §5.2 measurement.
   double coverage() const;
 
-  const ItemSetGraphStats &stats() const { return Graph.stats(); }
+  ItemSetGraphStats stats() const { return Graph.stats(); }
 
 private:
   ItemSetGraph Graph;

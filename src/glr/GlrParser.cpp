@@ -2,6 +2,7 @@
 
 #include "glr/GlrParser.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
@@ -63,6 +64,12 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
   // prior FindInFrontier was an O(frontier) scan per query). Lazy
   // expansion can create new item sets mid-parse, so the array grows on
   // demand. Stamps start at 1; 0 marks a never-touched slot.
+  //
+  // Sizing is driven purely by the ids this parse actually meets — never
+  // by the graph's set count, which another session expanding the shared
+  // graph (server/GrammarServer.h) can grow at any instant. Growth is
+  // amortized (doubling) so a concurrent expander interleaving new ids
+  // with ours cannot force a reallocation per shift.
   std::vector<std::pair<uint64_t, GssNode *>> ByState;
   auto FindInLayer = [&](const ItemSet *State,
                          uint64_t Stamp) -> GssNode * {
@@ -74,7 +81,7 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
   auto PutInLayer = [&](GssNode *Node, uint64_t Stamp) {
     size_t Id = Node->State->id();
     if (Id >= ByState.size())
-      ByState.resize(Id + 1, {0, nullptr});
+      ByState.resize(std::max(Id + 1, ByState.size() * 2), {0, nullptr});
     ByState[Id] = {Stamp, Node};
   };
 

@@ -117,6 +117,22 @@ void Grammar::cloneActiveRules(const Grammar &From, Grammar &To) {
   }
 }
 
+void Grammar::cloneExact(const Grammar &From, Grammar &To) {
+  assert(To.Rules.empty() && To.Version == 0 &&
+         "cloneExact requires a freshly constructed target");
+  // Member-wise value copy: every member is copyable even though Grammar
+  // itself is not (SymbolTable's name index owns its key strings, so the
+  // copied map does not alias \p From). Ids, the interned-but-inactive
+  // rule tail, and the version counter all carry over verbatim.
+  To.Symbols = From.Symbols;
+  To.Rules = From.Rules;
+  To.Active = From.Active;
+  To.NumActive = From.NumActive;
+  To.Version = From.Version;
+  To.RuleIndex = From.RuleIndex;
+  To.ByLhs = From.ByLhs;
+}
+
 std::string Grammar::ruleToString(RuleId Id) const {
   const Rule &R = rule(Id);
   std::string Text = Symbols.name(R.Lhs) + " ::=";

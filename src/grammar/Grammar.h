@@ -116,6 +116,15 @@ public:
   /// generated table when measuring lazy coverage.
   static void cloneActiveRules(const Grammar &From, Grammar &To);
 
+  /// Makes \p To an exact replica of \p From: same SymbolIds, same RuleIds
+  /// (including interned-but-inactive rules), same version. \p To must be
+  /// freshly constructed. This is the grammar half of a copy-on-write epoch
+  /// fork (server/GrammarServer.h): id preservation is what keeps tokenized
+  /// input and snapshot-referenced kernels valid across epochs, which
+  /// cloneActiveRules — re-interning by name in active-rule order — cannot
+  /// guarantee.
+  static void cloneExact(const Grammar &From, Grammar &To);
+
 private:
   uint64_t hashRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) const;
 

@@ -228,12 +228,13 @@ void GraphSnapshot::save(const ItemSetGraph &Graph, ByteWriter &Writer) {
   // Reference counts are not serialized: they are derivable (one per
   // incoming transition, old or new, plus the start set's root reference)
   // and load() re-derives them, so a snapshot cannot carry a skewed count.
-  Writer.writeVarint(Graph.Stats.Expansions);
-  Writer.writeVarint(Graph.Stats.ReExpansions);
-  Writer.writeVarint(Graph.Stats.ClosureItems);
-  Writer.writeVarint(Graph.Stats.DirtyMarks);
-  Writer.writeVarint(Graph.Stats.Collected);
-  Writer.writeVarint(Graph.Stats.GotoCalls);
+  const ItemSetGraphStats S = Graph.stats();
+  Writer.writeVarint(S.Expansions);
+  Writer.writeVarint(S.ReExpansions);
+  Writer.writeVarint(S.ClosureItems);
+  Writer.writeVarint(S.DirtyMarks);
+  Writer.writeVarint(S.Collected);
+  Writer.writeVarint(S.GotoCalls);
 }
 
 Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
@@ -246,7 +247,7 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
   Graph.KernelIndexReady = true;
   Graph.BorrowedStorage.reset();
   Graph.Start = nullptr;
-  Graph.Stats = ItemSetGraphStats();
+  Graph.storeStats(ItemSetGraphStats());
 
   Expected<uint64_t> NumSets = Reader.readVarint();
   if (!NumSets)
@@ -411,15 +412,17 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
     if (State.RefCount == 0)
       return Error("orphaned set in snapshot");
 
-  uint64_t *Counters[] = {&Graph.Stats.Expansions,   &Graph.Stats.ReExpansions,
-                          &Graph.Stats.ClosureItems, &Graph.Stats.DirtyMarks,
-                          &Graph.Stats.Collected,    &Graph.Stats.GotoCalls};
+  ItemSetGraphStats Loaded;
+  uint64_t *Counters[] = {&Loaded.Expansions,   &Loaded.ReExpansions,
+                          &Loaded.ClosureItems, &Loaded.DirtyMarks,
+                          &Loaded.Collected,    &Loaded.GotoCalls};
   for (uint64_t *Counter : Counters) {
     Expected<uint64_t> Value = Reader.readVarint();
     if (!Value)
       return Value.error();
     *Counter = *Value;
   }
+  Graph.storeStats(Loaded);
   if (!Reader.atEnd())
     return Error("trailing bytes after graph snapshot");
   return static_cast<size_t>(*NumSets);
@@ -461,9 +464,10 @@ void GraphSnapshot::saveV2(const ItemSetGraph &Graph, FlatWriter &Section) {
   Section.writeU32(static_cast<uint32_t>(Reductions));
   Section.writeU32(static_cast<uint32_t>(AcceptRules));
   Section.writeU32(0);
-  const uint64_t Stats[6] = {Graph.Stats.Expansions,   Graph.Stats.ReExpansions,
-                             Graph.Stats.ClosureItems, Graph.Stats.DirtyMarks,
-                             Graph.Stats.Collected,    Graph.Stats.GotoCalls};
+  const ItemSetGraphStats Snap = Graph.stats();
+  const uint64_t Stats[6] = {Snap.Expansions, Snap.ReExpansions,
+                             Snap.ClosureItems, Snap.DirtyMarks,
+                             Snap.Collected, Snap.GotoCalls};
   for (uint64_t Stat : Stats)
     Section.writeU64(Stat);
   size_t OffTable = Section.reserve(7 * 8);
@@ -690,12 +694,14 @@ GraphSnapshot::adoptV2(uint8_t *SectionData, size_t SectionBytes,
     if (State.RefCount == 0)
       return Error("orphaned set in snapshot");
 
-  Graph.Stats.Expansions = H.Stats[0];
-  Graph.Stats.ReExpansions = H.Stats[1];
-  Graph.Stats.ClosureItems = H.Stats[2];
-  Graph.Stats.DirtyMarks = H.Stats[3];
-  Graph.Stats.Collected = H.Stats[4];
-  Graph.Stats.GotoCalls = H.Stats[5];
+  ItemSetGraphStats Loaded;
+  Loaded.Expansions = H.Stats[0];
+  Loaded.ReExpansions = H.Stats[1];
+  Loaded.ClosureItems = H.Stats[2];
+  Loaded.DirtyMarks = H.Stats[3];
+  Loaded.Collected = H.Stats[4];
+  Loaded.GotoCalls = H.Stats[5];
+  Graph.storeStats(Loaded);
   Graph.BorrowedStorage = std::move(Backing);
   return H.NumSets;
 }
@@ -734,7 +740,7 @@ Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
   Graph.KernelIndexReady = true;
   Graph.BorrowedStorage.reset();
   Graph.Start = nullptr;
-  Graph.Stats = ItemSetGraphStats();
+  Graph.storeStats(ItemSetGraphStats());
 
   Graph.ByKernel.reserve(H.NumSets);
   for (uint32_t I = 0; I < H.NumSets; ++I) {
@@ -848,12 +854,14 @@ Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
     if (State.RefCount == 0)
       return Error("orphaned set in snapshot");
 
-  Graph.Stats.Expansions = H.Stats[0];
-  Graph.Stats.ReExpansions = H.Stats[1];
-  Graph.Stats.ClosureItems = H.Stats[2];
-  Graph.Stats.DirtyMarks = H.Stats[3];
-  Graph.Stats.Collected = H.Stats[4];
-  Graph.Stats.GotoCalls = H.Stats[5];
+  ItemSetGraphStats Loaded;
+  Loaded.Expansions = H.Stats[0];
+  Loaded.ReExpansions = H.Stats[1];
+  Loaded.ClosureItems = H.Stats[2];
+  Loaded.DirtyMarks = H.Stats[3];
+  Loaded.Collected = H.Stats[4];
+  Loaded.GotoCalls = H.Stats[5];
+  Graph.storeStats(Loaded);
   return H.NumSets;
 }
 
@@ -865,7 +873,7 @@ void GraphSnapshot::reset(ItemSetGraph &Graph) {
   Graph.ByKernel.clear();
   Graph.KernelIndexReady = true;
   Graph.BorrowedStorage.reset();
-  Graph.Stats = ItemSetGraphStats();
+  Graph.storeStats(ItemSetGraphStats());
   Graph.Start = Graph.makeItemSet(Graph.startKernel());
   Graph.Start->RefCount = 1;
 }

@@ -35,6 +35,7 @@
 #include "support/ArrayView.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -64,9 +65,24 @@ public:
   /// figures for identical construction orders.
   uint32_t id() const { return Id; }
 
-  ItemSetState state() const { return State; }
-  bool isComplete() const { return State == ItemSetState::Complete; }
-  bool isDead() const { return State == ItemSetState::Dead; }
+  /// The lifecycle flag is read concurrently in shared-graph mode
+  /// (server/GrammarServer.h), so every read goes through an atomic_ref.
+  /// Relaxed is enough here: on the reader fast path the *ordering* load
+  /// is stateAcquire() below; these accessors answer "what state is it
+  /// in" without implying the set's records are visible. A relaxed 1-byte
+  /// atomic load compiles to the plain load the field read used to be.
+  ItemSetState state() const { return loadState(std::memory_order_relaxed); }
+  bool isComplete() const { return state() == ItemSetState::Complete; }
+  bool isDead() const { return state() == ItemSetState::Dead; }
+
+  /// The reader-side publication load: pairs with publishComplete() so a
+  /// thread observing Complete also observes the transitions, reductions,
+  /// action index and accept flag EXPAND wrote before publishing. Within
+  /// one graph epoch a Complete set never leaves that state (MODIFY forks
+  /// a new epoch instead of reverting sets), so the answer is stable.
+  ItemSetState stateAcquire() const {
+    return loadState(std::memory_order_acquire);
+  }
 
   /// True while the set's records live in a mapped snapshot region rather
   /// than its own vectors.
@@ -152,6 +168,24 @@ public:
 private:
   friend class ItemSetGraph;
   friend class GraphSnapshot;
+
+  ItemSetState loadState(std::memory_order Order) const {
+    // atomic_ref<const T> arrives in C++26; until then the const accessor
+    // casts constness away for the (read-only) atomic view.
+    return std::atomic_ref<ItemSetState>(const_cast<ItemSet *>(this)->State)
+        .load(Order);
+  }
+
+  void storeState(ItemSetState S, std::memory_order Order) {
+    std::atomic_ref<ItemSetState>(State).store(S, Order);
+  }
+
+  /// The writer-side publication store: EXPAND's final act. Everything the
+  /// expansion wrote into this set happens-before any stateAcquire() that
+  /// reads Complete.
+  void publishComplete() {
+    storeState(ItemSetState::Complete, std::memory_order_release);
+  }
 
   /// (Re)derives the action index from the label-sorted Transitions; the
   /// tail of every EXPAND and of v1 snapshot adoption. Owned mode only.

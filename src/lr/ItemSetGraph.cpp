@@ -2,12 +2,36 @@
 
 #include "lr/ItemSetGraph.h"
 
+#include "support/Bitset.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace ipg;
+
+/// Reusable scratch for the EXPAND hot path (§4/§5): CLOSURE's per-call
+/// set rebuilds become clears of preallocated Bitsets instead of fresh
+/// heap allocations, and the symbol-indexed partition scratch makes the
+/// transition grouping O(1) per item. One instance per *thread* (not per
+/// graph): const CLOSURE queries mutate no graph state, so concurrent
+/// expanders of a shared graph never contend — and the memoization win
+/// survives, per thread.
+struct ItemSetGraph::ExpandScratch {
+  Bitset Predicted;                 ///< Per-closure predicted-rule dedup.
+  Bitset MergedNt;                  ///< Per-closure nonterminal dedup.
+  std::vector<uint32_t> GroupIndex; ///< expand() partition (symbol->slot).
+  std::vector<Item> Closure;        ///< expand()'s closure buffer.
+  /// expand()'s partition groups. Slots (and their kernels' heap buffers)
+  /// are reused across expansions; NumGroups entries are live per call.
+  std::vector<std::pair<SymbolId, Kernel>> Groups;
+
+  static ExpandScratch &get() {
+    static thread_local ExpandScratch S;
+    return S;
+  }
+};
 
 ItemSetGraph::ItemSetGraph(Grammar &G) : G(G) {
   Start = makeItemSet(startKernel());
@@ -24,18 +48,23 @@ Kernel ItemSetGraph::startKernel() const {
 }
 
 void ItemSetGraph::ensureKernelIndex() {
-  if (KernelIndexReady)
+  // Once-flag publication: exclusive-mode callers may reach this without
+  // any lock, so the flag is checked with an acquire load and only set
+  // (release) after the buckets are fully built. Shared-mode callers
+  // additionally hold StructureMutex, which serializes the build itself.
+  if (KernelIndexReady.load(std::memory_order_acquire))
     return;
-  KernelIndexReady = true;
   ByKernel.reserve(numSets());
   for (size_t I = 0, N = numSets(); I < N; ++I) {
     ItemSet &State = setAt(I);
     if (!State.isDead())
       ByKernel[hashKernel(State.kernel())].push_back(&State);
   }
+  KernelIndexReady.store(true, std::memory_order_release);
 }
 
 ItemSet *ItemSetGraph::makeItemSet(Kernel K) {
+  // Caller holds StructureMutex in shared mode (expansion's target loop).
   ensureKernelIndex();
   Pool.emplace_back();
   ItemSet *State = &Pool.back();
@@ -45,7 +74,7 @@ ItemSet *ItemSetGraph::makeItemSet(Kernel K) {
   return State;
 }
 
-ItemSet *ItemSetGraph::findByKernel(KernelView K) {
+ItemSet *ItemSetGraph::findByKernelLocked(KernelView K) {
   ensureKernelIndex();
   auto It = ByKernel.find(hashKernel(K));
   if (It == ByKernel.end())
@@ -56,10 +85,15 @@ ItemSet *ItemSetGraph::findByKernel(KernelView K) {
   return nullptr;
 }
 
+ItemSet *ItemSetGraph::findByKernel(KernelView K) {
+  auto Lock = structureLock();
+  return findByKernelLocked(K);
+}
+
 void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
   // With a deferred index there is nothing to unlink: when the index is
   // eventually built, it only picks up live sets.
-  if (!KernelIndexReady)
+  if (!KernelIndexReady.load(std::memory_order_acquire))
     return;
   auto It = ByKernel.find(hashKernel(State->kernel()));
   if (It == ByKernel.end())
@@ -70,61 +104,84 @@ void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
     Bucket.erase(Pos);
 }
 
-void ItemSetGraph::closureInto(KernelView K, std::vector<Item> &Out) const {
+void ItemSetGraph::closureInto(KernelView K, ExpandScratch &S,
+                               std::vector<Item> &Out) const {
   // CLOSURE (§4): extend the kernel with B ::= •γ for every B that occurs
   // immediately after a dot, transitively. Predicted items all have dot 0,
   // so presence is tracked per rule. Two Bitset-backed scratch sets make
-  // the rebuild cheap: PredictedScratch replaces the per-call
-  // std::vector<bool> allocation, and MergedNtScratch lets the walk skip a
+  // the rebuild cheap: S.Predicted replaces the per-call
+  // std::vector<bool> allocation, and S.MergedNt lets the walk skip a
   // nonterminal's rule list after its first occurrence instead of
   // re-scanning it for every later item with the same symbol after the
-  // dot. \p Out keeps its heap buffer across calls.
+  // dot. \p Out keeps its heap buffer across calls. Reads only the
+  // (frozen-during-parsing) grammar — never graph state.
   Out.clear();
   Out.insert(Out.end(), K.begin(), K.end());
-  PredictedScratch.resize(G.numInternedRules());
-  PredictedScratch.clear();
-  MergedNtScratch.resize(G.symbols().size());
-  MergedNtScratch.clear();
+  S.Predicted.resize(G.numInternedRules());
+  S.Predicted.clear();
+  S.MergedNt.resize(G.symbols().size());
+  S.MergedNt.clear();
   for (const Item &I : K)
     if (I.Dot == 0)
-      PredictedScratch.set(I.Rule);
+      S.Predicted.set(I.Rule);
 
   for (size_t Next = 0; Next < Out.size(); ++Next) {
     SymbolId After = symbolAfterDot(Out[Next], G);
     if (After == InvalidSymbol || G.symbols().isTerminal(After))
       continue;
-    if (!MergedNtScratch.set(After))
+    if (!S.MergedNt.set(After))
       continue; // This nonterminal's rules were already merged.
     for (RuleId Id : G.rulesFor(After))
-      if (PredictedScratch.set(Id))
+      if (S.Predicted.set(Id))
         Out.push_back(Item{Id, 0});
   }
 }
 
 std::vector<Item> ItemSetGraph::closure(KernelView K) const {
   std::vector<Item> Closure;
-  closureInto(K, Closure);
+  closureInto(K, ExpandScratch::get(), Closure);
   return Closure;
 }
 
 void ItemSetGraph::addTransition(ItemSet *From, SymbolId Label, ItemSet *To) {
+  // Caller holds StructureMutex in shared mode (the RefCount bump).
   From->Transitions.push_back(ItemSet::Transition{Label, To});
   ++To->RefCount;
 }
 
 void ItemSetGraph::expand(ItemSet *State) {
+  // Shared mode: the expansion gate (held shared) orders this expansion
+  // against COW-fork freezes, and the set's stripe makes racing
+  // expansions of the same set mutually exclusive — the loser blocks on
+  // the stripe, re-checks, and adopts the winner's published set.
+  std::shared_lock<std::shared_mutex> Gate;
+  std::unique_lock<std::mutex> Stripe;
+  if (Concurrent) {
+    Gate = std::shared_lock<std::shared_mutex>(ExpandGate);
+    Stripe = std::unique_lock<std::mutex>(ExpandStripes.forId(State->id()));
+    if (State->stateAcquire() == ItemSetState::Complete)
+      return; // Lost the publication race; adopt the winner's set.
+  }
   assert(!State->isDead() && "expanding a collected set of items");
-  // EXPAND mutates the set wholesale; an adopted set first copies its
-  // borrowed records into owned storage (copy-on-MODIFY).
-  State->materializeOwned();
-  bool WasDirty = State->State == ItemSetState::Dirty;
-  ++Stats.Expansions;
-  if (WasDirty)
-    ++Stats.ReExpansions;
+  ExpandScratch &S = ExpandScratch::get();
 
-  closureInto(State->K, ClosureScratch);
-  const std::vector<Item> &Closure = ClosureScratch;
-  Stats.ClosureItems += Closure.size();
+  bool WasDirty;
+  {
+    // EXPAND mutates the set wholesale; an adopted set first copies its
+    // borrowed records into owned storage (copy-on-MODIFY). That moves
+    // the kernel bytes concurrent findByKernel scans read, so it happens
+    // under the structure lock like every other kernel/index access.
+    auto Lock = structureLock();
+    State->materializeOwned();
+    WasDirty = State->state() == ItemSetState::Dirty;
+  }
+  Stats.bump(ScExpansions);
+  if (WasDirty)
+    Stats.bump(ScReExpansions);
+
+  closureInto(State->K, S, S.Closure);
+  const std::vector<Item> &Closure = S.Closure;
+  Stats.bump(ScClosureItems, Closure.size());
 
   State->Transitions.clear();
   State->Reductions.clear();
@@ -135,10 +192,10 @@ void ItemSetGraph::expand(ItemSet *State) {
   // this reproduces the state numbering of the paper's figures). The
   // symbol-indexed scratch turns the per-item group lookup into O(1), and
   // the group slots (including their kernels' heap buffers) are reused
-  // across expansions.
+  // across this thread's expansions.
   size_t NumGroups = 0;
-  if (GroupIndexScratch.size() < G.symbols().size())
-    GroupIndexScratch.resize(G.symbols().size(), 0);
+  if (S.GroupIndex.size() < G.symbols().size())
+    S.GroupIndex.resize(G.symbols().size(), 0);
   for (const Item &I : Closure) {
     SymbolId After = symbolAfterDot(I, G);
     if (After == InvalidSymbol) {
@@ -154,37 +211,52 @@ void ItemSetGraph::expand(ItemSet *State) {
       }
       continue;
     }
-    uint32_t &Slot = GroupIndexScratch[After];
+    uint32_t &Slot = S.GroupIndex[After];
     if (Slot == 0) {
-      if (NumGroups == GroupScratch.size())
-        GroupScratch.emplace_back();
-      GroupScratch[NumGroups].first = After;
-      GroupScratch[NumGroups].second.clear();
+      if (NumGroups == S.Groups.size())
+        S.Groups.emplace_back();
+      S.Groups[NumGroups].first = After;
+      S.Groups[NumGroups].second.clear();
       ++NumGroups;
       Slot = static_cast<uint32_t>(NumGroups);
     }
-    GroupScratch[Slot - 1].second.push_back(Item{I.Rule, I.Dot + 1});
+    S.Groups[Slot - 1].second.push_back(Item{I.Rule, I.Dot + 1});
   }
   for (size_t I = 0; I < NumGroups; ++I)
-    GroupIndexScratch[GroupScratch[I].first] = 0; // Reset touched slots only.
+    S.GroupIndex[S.Groups[I].first] = 0; // Reset touched slots only.
 
-  for (size_t I = 0; I < NumGroups; ++I) {
-    auto &[Label, NewKernel] = GroupScratch[I];
-    canonicalizeKernel(NewKernel);
-    ItemSet *Target = findByKernel(NewKernel);
-    if (Target == nullptr)
-      Target = makeItemSet(std::move(NewKernel));
-    addTransition(State, Label, Target);
+  {
+    // One structure-lock hold covers the whole target-resolution loop:
+    // the lookups, the creations, and the RefCount increments they imply.
+    // Holding it across the loop (not per group) closes the resurrection
+    // race — a target this expansion found cannot be killed by a
+    // concurrent RE-EXPAND's DECR-REFCOUNT before its count is bumped,
+    // because that decrement serializes behind this hold.
+    auto Lock = structureLock();
+    for (size_t I = 0; I < NumGroups; ++I) {
+      auto &[Label, NewKernel] = S.Groups[I];
+      canonicalizeKernel(NewKernel);
+      ItemSet *Target = findByKernelLocked(NewKernel);
+      if (Target == nullptr)
+        Target = makeItemSet(std::move(NewKernel));
+      addTransition(State, Label, Target);
+    }
   }
   sortTransitionsByLabel(State->Transitions);
   State->buildActionIndex();
-  State->State = ItemSetState::Complete;
+  // Publication: everything written above happens-before any reader that
+  // observes Complete through stateAcquire().
+  State->publishComplete();
 
   // RE-EXPAND (§6.2): only now release the references the dirty set held,
   // so targets reused by the new expansion never transiently hit zero.
+  // Targets reachable only through these old records were never visible
+  // to readers (a Dirty set answers no queries), so collecting them under
+  // the structure lock cannot invalidate any session's stack.
   if (WasDirty) {
     std::vector<ItemSet::Transition> Old = std::move(State->OldTransitions);
     State->OldTransitions.clear();
+    auto Lock = structureLock();
     for (const ItemSet::Transition &T : Old)
       decrRefCount(T.Target);
   }
@@ -192,7 +264,9 @@ void ItemSetGraph::expand(ItemSet *State) {
 
 void ItemSetGraph::decrRefCount(ItemSet *State) {
   // Iterative DECR-REFCOUNT (§6.2): when a count reaches zero the set is
-  // removed and the references it holds are released in turn.
+  // removed and the references it holds are released in turn. Caller
+  // holds StructureMutex in shared mode — the whole decrement-and-kill is
+  // atomic with respect to concurrent expansions re-linking the set.
   std::vector<ItemSet *> Worklist{State};
   while (!Worklist.empty()) {
     ItemSet *Current = Worklist.back();
@@ -203,20 +277,20 @@ void ItemSetGraph::decrRefCount(ItemSet *State) {
       continue;
     unlinkFromIndex(Current);
     ArrayView<ItemSet::Transition> Held =
-        Current->State == ItemSetState::Dirty ? Current->oldTransitions()
-                                              : Current->transitions();
+        Current->state() == ItemSetState::Dirty ? Current->oldTransitions()
+                                                : Current->transitions();
     for (const ItemSet::Transition &T : Held)
       Worklist.push_back(T.Target);
-    Current->State = ItemSetState::Dead;
+    Current->storeState(ItemSetState::Dead, std::memory_order_relaxed);
     Current->releaseStorage();
-    ++Stats.Collected;
+    Stats.bump(ScCollected);
   }
 }
 
 void ItemSetGraph::markDirty(ItemSet *State) {
   // Initial sets need no invalidation; Dirty sets already carry their
   // pre-modification history.
-  if (State->State != ItemSetState::Complete)
+  if (State->state() != ItemSetState::Complete)
     return;
   // Copy-on-MODIFY: an adopted set materializes its borrowed records
   // before they are rearranged, so §6 repair works on mapped graphs.
@@ -227,12 +301,16 @@ void ItemSetGraph::markDirty(ItemSet *State) {
   State->AcceptRules.clear();
   State->clearActionIndex();
   State->Accepting = false;
-  State->State = ItemSetState::Dirty;
-  ++Stats.DirtyMarks;
+  State->storeState(ItemSetState::Dirty, std::memory_order_relaxed);
+  Stats.bump(ScDirtyMarks);
 }
 
 void ItemSetGraph::modify(SymbolId Lhs) {
   // MODIFY (§6.1). The grammar has already been updated by the caller.
+  // Never a shared-mode operation: a server MODIFY edits a private COW
+  // fork and publishes it as a new epoch (server/GrammarServer.h).
+  assert(!Concurrent &&
+         "MODIFY on a published shared graph — fork a new epoch instead");
   if (Lhs == G.startSymbol()) {
     // Only the start set can hold START ::= •β in its kernel.
     ensureKernelIndex();
@@ -249,7 +327,7 @@ void ItemSetGraph::modify(SymbolId Lhs) {
   // search. The two storage pools are walked directly (not through the
   // setAt branch): this probe loop dominates ADD/DELETE-RULE latency.
   auto Probe = [&](ItemSet &State) {
-    if (State.State == ItemSetState::Complete &&
+    if (State.state() == ItemSetState::Complete &&
         State.transitionTarget(Lhs) != nullptr)
       markDirty(&State);
   };
@@ -278,9 +356,14 @@ bool ItemSetGraph::removeRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) {
 }
 
 void ItemSetGraph::ensureComplete(ItemSet *State) {
+  // Lock-free fast path — the whole reader-side contract is this one
+  // acquire load: within an epoch a Complete set never leaves that state,
+  // so observing Complete is a stable fact and the set's records are
+  // visible (publication pairing in lr/ItemSet.h).
+  if (State->stateAcquire() == ItemSetState::Complete)
+    return;
   assert(!State->isDead() && "querying a collected set of items");
-  if (!State->isComplete())
-    expand(State);
+  expand(State);
 }
 
 LrActionsView ItemSetGraph::actionsView(ItemSet *State, SymbolId Symbol) {
@@ -304,7 +387,7 @@ std::vector<LrAction> ItemSetGraph::actions(ItemSet *State, SymbolId Symbol) {
 }
 
 ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
-  ++Stats.GotoCalls;
+  Stats.bump(ScGotoCalls);
   // Appendix A: the parsing algorithms only ever call GOTO on sets that
   // have already been completed.
   assert(State->isComplete() && "GOTO called on a non-complete set of items");
@@ -325,11 +408,13 @@ ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
 
 size_t ItemSetGraph::generateAll() {
   // A single index pass suffices: EXPAND only appends new Initial sets,
-  // which the growing loop bound picks up.
+  // which the growing loop bound picks up. Exclusive-mode only: the scan
+  // of numSets() cannot race concurrent growth.
+  assert(!Concurrent && "generateAll on a published shared graph");
   for (size_t Index = 0; Index < numSets(); ++Index) {
     ItemSet &State = setAt(Index);
-    if (State.State == ItemSetState::Initial ||
-        State.State == ItemSetState::Dirty)
+    if (State.state() == ItemSetState::Initial ||
+        State.state() == ItemSetState::Dirty)
       expand(&State);
   }
   return numComplete();
@@ -348,7 +433,7 @@ std::vector<const ItemSet *> ItemSetGraph::liveSets() const {
 size_t ItemSetGraph::countByState(ItemSetState S) const {
   size_t Count = 0;
   for (size_t I = 0, N = numSets(); I < N; ++I)
-    Count += setAt(I).State == S;
+    Count += setAt(I).state() == S;
   return Count;
 }
 
@@ -360,6 +445,8 @@ size_t ItemSetGraph::numLive() const {
 }
 
 size_t ItemSetGraph::collectGarbage() {
+  // Whole-graph walk; exclusive-mode only (see generateAll).
+  assert(!Concurrent && "collectGarbage on a published shared graph");
   // Mark phase: reachable from the start set, following live transitions
   // and the retained pre-modification transitions of dirty sets.
   std::vector<bool> Marked(numSets(), false);
@@ -386,11 +473,11 @@ size_t ItemSetGraph::collectGarbage() {
     if (State.isDead() || Marked[State.Id])
       continue;
     unlinkFromIndex(&State);
-    State.State = ItemSetState::Dead;
+    State.storeState(ItemSetState::Dead, std::memory_order_relaxed);
     State.releaseStorage();
     State.RefCount = 0;
     ++Reclaimed;
-    ++Stats.Collected;
+    Stats.bump(ScCollected);
   }
 
   // Restore exact reference counts for the survivors.

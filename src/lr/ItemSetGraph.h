@@ -25,10 +25,13 @@
 #define IPG_LR_ITEMSETGRAPH_H
 
 #include "lr/ItemSet.h"
-#include "support/Bitset.h"
+#include "support/Concurrency.h"
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -59,8 +62,10 @@ struct LrAction {
 /// queried set's reduction array plus the unique shift target and the
 /// accept flag. Building one performs zero heap allocations; iteration
 /// order matches ItemSetGraph::actions() (reductions first, then shift,
-/// then accept). The view borrows from the item set, so it is valid until
-/// the next EXPAND / MODIFY / snapshot load of the graph.
+/// then accept). The view borrows from the *queried set's* storage: it
+/// stays valid until that set is re-expanded or the graph is reloaded —
+/// expansion of other sets (including concurrent expansion by another
+/// session in shared mode) never invalidates it.
 class LrActionsView {
 public:
   LrActionsView() = default;
@@ -104,7 +109,12 @@ private:
   bool Accept = false;
 };
 
-/// Counters for the measurements of §7 and the ablation benches.
+/// Counters for the measurements of §7 and the ablation benches. This is
+/// the *snapshot* type handed out by ItemSetGraph::stats(); internally the
+/// graph accumulates into sharded relaxed-atomic cells
+/// (support/Concurrency.h) so reader threads of a shared graph never
+/// write-share a cache line. Values are exact for single-threaded use and
+/// statistically accurate under concurrency.
 struct ItemSetGraphStats {
   uint64_t Expansions = 0;    ///< EXPAND calls (including re-expansions).
   uint64_t ReExpansions = 0;  ///< EXPANDs of Dirty sets.
@@ -115,6 +125,28 @@ struct ItemSetGraphStats {
 };
 
 /// The graph of item sets; owns its item sets for its whole lifetime.
+///
+/// Threading model. A graph starts in exclusive mode: every member may be
+/// called from one thread, nothing locks. beginConcurrent() switches it to
+/// *shared mode* — the state a grammar server epoch publishes in — with a
+/// read-mostly discipline:
+///
+///   * Queries against Complete sets (actionsView, gotoState,
+///     forEachAction, ensureComplete's fast path) take no locks: one
+///     acquire load of the set's lifecycle flag, paired with the release
+///     publication at the end of EXPAND.
+///   * EXPAND/RE-EXPAND of Initial/Dirty sets takes the expansion gate
+///     shared plus a per-set striped mutex; a loser racing an expansion
+///     blocks on the stripe and then adopts the winner's published set.
+///     Structural shared state (the set pools, the kernel index,
+///     reference counts) is touched only under StructureMutex.
+///   * Grammar modification (addRule/removeRule), generateAll,
+///     collectGarbage and the other whole-graph walks are *not* shared-
+///     mode operations: a server MODIFY forks a copy-on-write successor
+///     graph (FreezeGuard + lr/GraphSnapshot.h), edits it privately, and
+///     publishes it as a new epoch. In-flight parses finish against the
+///     epoch they pinned — within an epoch a Complete set never reverts,
+///     which is what makes the lock-free read path sound.
 class ItemSetGraph {
 public:
   /// GENERATE-PARSER of §5: creates only the start set of items, with
@@ -196,8 +228,41 @@ public:
   /// Looks up a live set of items by kernel; nullptr if absent.
   ItemSet *findByKernel(KernelView K);
 
-  const ItemSetGraphStats &stats() const { return Stats; }
-  void resetStats() { Stats = ItemSetGraphStats(); }
+  /// Switches the graph into shared (concurrent) mode; see the class
+  /// comment. Called by the grammar server after an epoch's graph is fully
+  /// constructed/repaired and before it is published — never the other
+  /// way: once shared, a graph stays shared, and grammar modification on
+  /// it is a contract violation (asserted).
+  void beginConcurrent() { Concurrent = true; }
+  bool isConcurrent() const { return Concurrent; }
+
+  /// Blocks new EXPANDs and waits out in-flight ones for the guard's
+  /// lifetime — the quiescence window in which a COW fork serializes this
+  /// graph (GraphSnapshot::saveV2). Queries against already-Complete sets
+  /// proceed unhindered: parsing threads only stall if they need a set
+  /// expanded while the freeze holds. Meaningful for shared-mode graphs;
+  /// in exclusive mode EXPAND takes no gate, so there is nothing to
+  /// freeze.
+  class [[nodiscard]] FreezeGuard {
+  public:
+    explicit FreezeGuard(ItemSetGraph &Graph) : Gate(Graph.ExpandGate) {}
+
+  private:
+    std::unique_lock<std::shared_mutex> Gate;
+  };
+
+  /// A by-value snapshot of the sharded counters (see ItemSetGraphStats).
+  ItemSetGraphStats stats() const {
+    ItemSetGraphStats S;
+    S.Expansions = Stats.total(ScExpansions);
+    S.ReExpansions = Stats.total(ScReExpansions);
+    S.ClosureItems = Stats.total(ScClosureItems);
+    S.DirtyMarks = Stats.total(ScDirtyMarks);
+    S.Collected = Stats.total(ScCollected);
+    S.GotoCalls = Stats.total(ScGotoCalls);
+    return S;
+  }
+  void resetStats() { storeStats(ItemSetGraphStats()); }
 
 private:
   /// GraphSnapshot (lr/GraphSnapshot.h) rebuilds Pool/ByKernel/Start/Stats
@@ -214,14 +279,52 @@ private:
     return I < Adopted.size() ? Adopted[I] : Pool[I - Adopted.size()];
   }
 
+  /// Named indices into the sharded stats counters.
+  enum StatCounter : size_t {
+    ScExpansions,
+    ScReExpansions,
+    ScClosureItems,
+    ScDirtyMarks,
+    ScCollected,
+    ScGotoCalls,
+    ScNumCounters
+  };
+
+  /// Restores persisted counter values (snapshot loads, resetStats).
+  void storeStats(const ItemSetGraphStats &S) {
+    Stats.store(ScExpansions, S.Expansions);
+    Stats.store(ScReExpansions, S.ReExpansions);
+    Stats.store(ScClosureItems, S.ClosureItems);
+    Stats.store(ScDirtyMarks, S.DirtyMarks);
+    Stats.store(ScCollected, S.Collected);
+    Stats.store(ScGotoCalls, S.GotoCalls);
+  }
+
+  /// StructureMutex when shared, nothing when exclusive: the lock guard
+  /// around every access to Pool/Adopted growth, ByKernel, kernel-storage
+  /// materialization and reference counts.
+  std::unique_lock<std::mutex> structureLock() const {
+    return Concurrent ? std::unique_lock<std::mutex>(StructureMutex)
+                      : std::unique_lock<std::mutex>();
+  }
+
   /// Populates ByKernel from the live sets if a zero-copy snapshot load
-  /// deferred it. Every ByKernel consumer calls this first.
+  /// deferred it. Every ByKernel consumer calls this first. Caller holds
+  /// StructureMutex in shared mode.
   void ensureKernelIndex();
 
+  /// Per-expansion scratch buffers (one set per thread; ItemSetGraph.cpp).
+  struct ExpandScratch;
+
   ItemSet *makeItemSet(Kernel K);
+  /// findByKernel without the structure lock; expansion's inner loop,
+  /// which already holds it.
+  ItemSet *findByKernelLocked(KernelView K);
   /// CLOSURE into \p Out (cleared first): the allocation-reusing worker
-  /// behind the public closure().
-  void closureInto(KernelView K, std::vector<Item> &Out) const;
+  /// behind the public closure(). Genuinely read-only on the graph — all
+  /// mutable state lives in the caller-provided scratch.
+  void closureInto(KernelView K, ExpandScratch &S,
+                   std::vector<Item> &Out) const;
   void expand(ItemSet *State);
   void addTransition(ItemSet *From, SymbolId Label, ItemSet *To);
   void decrRefCount(ItemSet *State);
@@ -241,26 +344,29 @@ private:
   std::unordered_map<uint64_t, std::vector<ItemSet *>> ByKernel;
   /// False after a zero-copy adoption until the first ByKernel consumer
   /// rebuilds the index — pure queries against a fully complete adopted
-  /// graph never need it.
-  bool KernelIndexReady = true;
+  /// graph never need it. Atomic once-flag: the built index is published
+  /// with a release store so an unlocked exclusive-mode reader that sees
+  /// `true` also sees the buckets (shared-mode consumers additionally
+  /// hold StructureMutex, which makes the build itself race-free).
+  std::atomic<bool> KernelIndexReady{true};
   /// Keeps the mapped snapshot region alive while adopted sets borrow
-  /// spans from it. Released on reset()/re-load.
+  /// spans from it. Released on reset()/re-load. In a server this is the
+  /// COW fork's in-memory serialization of the predecessor epoch.
   std::shared_ptr<const MappedFile> BorrowedStorage;
   ItemSet *Start = nullptr;
-  ItemSetGraphStats Stats;
+  ShardedCounters<ScNumCounters> Stats;
 
-  // Reusable scratch state for the EXPAND hot path (§4/§5): CLOSURE's
-  // per-call set rebuilds become clears of preallocated Bitsets instead of
-  // fresh heap allocations, and the symbol-indexed partition scratch makes
-  // the transition grouping O(1) per item. All are logically transient —
-  // mutable so the const CLOSURE can use them.
-  mutable Bitset PredictedScratch;   ///< Per-closure predicted-rule dedup.
-  mutable Bitset MergedNtScratch;    ///< Per-closure nonterminal dedup.
-  mutable std::vector<uint32_t> GroupIndexScratch; ///< expand() partition.
-  mutable std::vector<Item> ClosureScratch; ///< expand()'s closure buffer.
-  /// expand()'s partition groups. Slots (and their kernels' heap buffers)
-  /// are reused across expansions; NumGroups entries are live per call.
-  std::vector<std::pair<SymbolId, Kernel>> GroupScratch;
+  // Shared-mode machinery; see the class comment. All no-ops while
+  // Concurrent is false, so exclusive-mode graphs pay nothing but the
+  // predictable branch.
+  bool Concurrent = false;
+  /// Held shared by every EXPAND, exclusive by FreezeGuard (COW forks).
+  mutable std::shared_mutex ExpandGate;
+  /// Per-set expansion publication locks, striped by set id.
+  StripedMutexes<64> ExpandStripes;
+  /// Guards Pool/Adopted growth, ByKernel, kernel-storage mutation
+  /// (materializeOwned) and all RefCount arithmetic in shared mode.
+  mutable std::mutex StructureMutex;
 };
 
 } // namespace ipg

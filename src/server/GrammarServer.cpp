@@ -1,0 +1,194 @@
+//===- server/GrammarServer.cpp - Concurrent grammar server ---------------===//
+
+#include "server/GrammarServer.h"
+
+#include "lr/GraphSnapshot.h"
+#include "support/FlatSection.h"
+#include "support/MappedFile.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace ipg;
+
+namespace {
+
+/// Identity id maps for the non-adopting loadV2 fallback: an exact clone
+/// shares every id with its source, so no remapping is ever needed.
+std::vector<SymbolId> identitySymbolMap(const Grammar &G) {
+  std::vector<SymbolId> Map(G.symbols().size());
+  for (SymbolId Sym = 0; Sym < Map.size(); ++Sym)
+    Map[Sym] = Sym;
+  return Map;
+}
+
+std::vector<RuleId> identityRuleMap(const Grammar &G) {
+  std::vector<RuleId> Map(G.numInternedRules());
+  for (RuleId Id = 0; Id < Map.size(); ++Id)
+    Map[Id] = Id;
+  return Map;
+}
+
+} // namespace
+
+GrammarServer::GrammarServer(const Grammar &Initial) {
+  auto First = std::shared_ptr<GraphEpoch>(new GraphEpoch(NextGeneration++));
+  Grammar::cloneExact(Initial, First->G);
+  // The epoch's graph was constructed against the then-empty grammar;
+  // rebuild its start set now that the rules exist.
+  GraphSnapshot::reset(First->Graph);
+  First->Graph.beginConcurrent();
+  History.push_back(First);
+  Published.publish(std::move(First));
+}
+
+std::shared_ptr<GraphEpoch> GrammarServer::forkOf(GraphEpoch &Cur) {
+  auto Next = std::shared_ptr<GraphEpoch>(new GraphEpoch(NextGeneration++));
+  Grammar::cloneExact(Cur.grammar(), Next->G);
+
+  // Serialize the predecessor's graph under an expansion freeze. saveV2
+  // only reads, and queries against Complete sets keep running — a parse
+  // thread stalls during the fork only if it needs a set *expanded*.
+  FlatWriter Section;
+  {
+    ItemSetGraph::FreezeGuard Freeze(Cur.graph());
+    GraphSnapshot::saveV2(Cur.graph(), Section);
+  }
+
+  // Materialize the serialization as an anonymous private "mapping" and
+  // adopt it zero-copy: the successor's sets borrow spans of this buffer
+  // until a MODIFY or EXPAND of a given set copies it out (the same
+  // copy-on-write seam warm starts use). Fall back to the endian-safe
+  // decode where adoption is unavailable, and to a cold one-node graph if
+  // both fail — correctness never depends on the fast path.
+  Next->Adopted = false;
+  bool Loaded = false;
+  Expected<MappedFile> Buffer =
+      MappedFile::copyOf(Section.buffer().data(), Section.size());
+  if (Buffer) {
+    if (GraphSnapshot::hostCanAdoptV2()) {
+      auto Backing = std::make_shared<const MappedFile>(std::move(*Buffer));
+      Expected<size_t> N = GraphSnapshot::adoptV2(
+          Backing->data(), Backing->size(), Next->Graph, Backing);
+      Next->Adopted = Loaded = bool(N);
+    } else {
+      Expected<size_t> N = GraphSnapshot::loadV2(
+          FlatView(Buffer->data(), Buffer->size()), Next->Graph,
+          identitySymbolMap(Next->G), identityRuleMap(Next->G));
+      Loaded = bool(N);
+    }
+  }
+  if (!Loaded)
+    GraphSnapshot::reset(Next->Graph);
+  return Next;
+}
+
+void GrammarServer::publish(std::shared_ptr<GraphEpoch> Next) {
+  Next->Graph.beginConcurrent();
+  History.push_back(Next);
+  Published.publish(std::move(Next));
+  // Prune reclaimed epochs so History stays proportional to *live* epochs,
+  // not to the server's total edit count.
+  std::erase_if(History,
+                [](const std::weak_ptr<GraphEpoch> &E) { return E.expired(); });
+}
+
+bool GrammarServer::addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+  std::shared_ptr<GraphEpoch> Cur = Published.acquire();
+  // No-op pre-check against the current grammar: an already-active rule
+  // must not cost a fork (ADD-RULE's "no change" contract, §6.1).
+  RuleId Existing = Cur->grammar().findRule(Lhs, Rhs);
+  if (Existing != InvalidRule && Cur->grammar().isActive(Existing))
+    return false;
+  std::shared_ptr<GraphEpoch> Next = forkOf(*Cur);
+  bool Changed = Next->Graph.addRule(Lhs, std::move(Rhs));
+  assert(Changed && "pre-checked edit did not change the fork");
+  LastForkAdopted = Next->Adopted;
+  publish(std::move(Next));
+  return Changed;
+}
+
+bool GrammarServer::removeRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+  std::shared_ptr<GraphEpoch> Cur = Published.acquire();
+  RuleId Existing = Cur->grammar().findRule(Lhs, Rhs);
+  if (Existing == InvalidRule || !Cur->grammar().isActive(Existing))
+    return false;
+  std::shared_ptr<GraphEpoch> Next = forkOf(*Cur);
+  bool Changed = Next->Graph.removeRule(Lhs, Rhs);
+  assert(Changed && "pre-checked edit did not change the fork");
+  LastForkAdopted = Next->Adopted;
+  publish(std::move(Next));
+  return Changed;
+}
+
+bool GrammarServer::addRule(std::string_view Lhs,
+                            std::initializer_list<std::string_view> Rhs) {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+  std::shared_ptr<GraphEpoch> Cur = Published.acquire();
+  // Resolve names against the current epoch without interning (ids are
+  // stable across epochs, so a hit means the same ids in the fork). Any
+  // unknown name means the rule cannot be active yet.
+  const SymbolTable &Syms = Cur->grammar().symbols();
+  SymbolId LhsId = Syms.lookup(Lhs);
+  std::vector<SymbolId> RhsIds;
+  RhsIds.reserve(Rhs.size());
+  bool AllKnown = LhsId != InvalidSymbol;
+  for (std::string_view Name : Rhs) {
+    SymbolId Id = AllKnown ? Syms.lookup(Name) : InvalidSymbol;
+    AllKnown = AllKnown && Id != InvalidSymbol;
+    RhsIds.push_back(Id);
+  }
+  if (AllKnown) {
+    RuleId Existing = Cur->grammar().findRule(LhsId, RhsIds);
+    if (Existing != InvalidRule && Cur->grammar().isActive(Existing))
+      return false;
+  }
+  // New symbols are interned into the *fork's* grammar; the published
+  // epoch is never touched. Interning grows the id space monotonically,
+  // preserving every existing id.
+  std::shared_ptr<GraphEpoch> Next = forkOf(*Cur);
+  SymbolTable &NextSyms = Next->G.symbols();
+  LhsId = NextSyms.intern(Lhs);
+  RhsIds.clear();
+  for (std::string_view Name : Rhs)
+    RhsIds.push_back(NextSyms.intern(Name));
+  bool Changed = Next->Graph.addRule(LhsId, std::move(RhsIds));
+  assert(Changed && "pre-checked edit did not change the fork");
+  LastForkAdopted = Next->Adopted;
+  publish(std::move(Next));
+  return Changed;
+}
+
+bool GrammarServer::removeRule(std::string_view Lhs,
+                               std::initializer_list<std::string_view> Rhs) {
+  // Deletion never interns: resolve eagerly and bail on unknown names.
+  std::shared_ptr<GraphEpoch> Cur = Published.acquire();
+  const SymbolTable &Syms = Cur->grammar().symbols();
+  SymbolId LhsId = Syms.lookup(Lhs);
+  if (LhsId == InvalidSymbol)
+    return false;
+  std::vector<SymbolId> RhsIds;
+  RhsIds.reserve(Rhs.size());
+  for (std::string_view Name : Rhs) {
+    SymbolId Id = Syms.lookup(Name);
+    if (Id == InvalidSymbol)
+      return false;
+    RhsIds.push_back(Id);
+  }
+  return removeRule(LhsId, RhsIds);
+}
+
+size_t GrammarServer::liveEpochs() const {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+  size_t Live = 0;
+  for (const std::weak_ptr<GraphEpoch> &E : History)
+    Live += !E.expired();
+  return Live;
+}
+
+bool GrammarServer::lastForkAdopted() const {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+  return LastForkAdopted;
+}

@@ -1,0 +1,130 @@
+//===- support/Concurrency.h - Publication & counter primitives -*- C++ -*-===//
+///
+/// \file
+/// The small concurrency toolbox behind the grammar server's read-mostly
+/// discipline (server/GrammarServer.h) and the shared-graph mode of
+/// lr/ItemSetGraph.h:
+///
+///   * threadSlot()     — a dense per-thread index for shard selection;
+///   * ShardedCounters  — statistics counters spread over cache lines so a
+///                        per-GOTO increment never bounces a line between
+///                        reader threads;
+///   * StripedMutexes   — a fixed pool of mutexes addressed by id, the
+///                        publication locks for racing EXPANDers;
+///   * EpochPublisher   — mutex-swapped shared_ptr publication ("RCU
+///                        lite"): readers pin the current epoch with one
+///                        shared_ptr copy, writers swap in a successor,
+///                        and the last pin dropping reclaims the epoch.
+///
+/// Memory-ordering contract used throughout (documented once here, relied
+/// on by ItemSetGraph): a writer that fills in a structure and then
+/// performs a release store of its publication flag/pointer guarantees
+/// that any reader observing the flag via an acquire load also observes
+/// the structure. All counters are relaxed — they order nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_CONCURRENCY_H
+#define IPG_SUPPORT_CONCURRENCY_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace ipg {
+
+/// A small dense index for the calling thread, assigned on first use.
+/// Distinct live threads get distinct slots until the process has created
+/// more threads than a shard array has entries; after that, slots recycle
+/// modulo the array size and shard writers may collide (see
+/// ShardedCounters for why that is tolerated).
+inline unsigned threadSlot() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Slot = Next.fetch_add(1, std::memory_order_relaxed);
+  return Slot;
+}
+
+/// Event counters sharded over cache lines. Each thread bumps the shard
+/// selected by its threadSlot(), using a relaxed atomic load + store pair
+/// rather than an atomic read-modify-write: on x86 that compiles to a
+/// plain add with no lock prefix, which keeps a per-GOTO counter off the
+/// parse hot path's critical cost. The trade: if more threads than shards
+/// ever run (slots wrap), two threads can share a shard and an increment
+/// can be lost. Counters are therefore *exact single-threaded* and
+/// *statistically accurate concurrent* — acceptable for §7-style
+/// instrumentation, never used for correctness decisions.
+template <size_t NumCounters, size_t NumShards = 16> class ShardedCounters {
+public:
+  void bump(size_t Counter, uint64_t Delta = 1) {
+    std::atomic<uint64_t> &Cell =
+        Shards[threadSlot() % NumShards].Cells[Counter];
+    Cell.store(Cell.load(std::memory_order_relaxed) + Delta,
+               std::memory_order_relaxed);
+  }
+
+  uint64_t total(size_t Counter) const {
+    uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.Cells[Counter].load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  /// Zeroes every shard and deposits \p Value in shard 0 — the restore
+  /// path for persisted counter snapshots.
+  void store(size_t Counter, uint64_t Value) {
+    for (Shard &S : Shards)
+      S.Cells[Counter].store(0, std::memory_order_relaxed);
+    Shards[0].Cells[Counter].store(Value, std::memory_order_relaxed);
+  }
+
+private:
+  /// One cache line per shard so reader threads never write-share.
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, NumCounters> Cells{};
+  };
+  std::array<Shard, NumShards> Shards{};
+};
+
+/// A fixed pool of mutexes addressed by an integer id — the per-item-set
+/// expansion locks. Striping bounds memory (64 mutexes serve any graph)
+/// at the cost of false sharing between sets that hash to the same
+/// stripe, which only delays one of two concurrent EXPANDs of *different*
+/// sets — never correctness.
+template <size_t NumStripes = 64> class StripedMutexes {
+public:
+  std::mutex &forId(size_t Id) { return Stripes[Id % NumStripes]; }
+
+private:
+  std::array<std::mutex, NumStripes> Stripes;
+};
+
+/// Mutex-swapped shared_ptr publication. acquire() pins the current value
+/// (one refcount bump under the lock — off every parse hot path; sessions
+/// acquire once, not per token), publish() installs a successor and
+/// returns the displaced value. Readers holding a pin keep their epoch
+/// alive arbitrarily long after it was displaced; destruction of the last
+/// pin is the reclamation point.
+template <typename T> class EpochPublisher {
+public:
+  std::shared_ptr<T> acquire() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Current;
+  }
+
+  std::shared_ptr<T> publish(std::shared_ptr<T> Next) {
+    std::lock_guard<std::mutex> Lock(M);
+    std::swap(Current, Next);
+    return Next; // The displaced epoch.
+  }
+
+private:
+  mutable std::mutex M;
+  std::shared_ptr<T> Current;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_CONCURRENCY_H

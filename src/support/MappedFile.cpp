@@ -89,6 +89,28 @@ Expected<MappedFile> MappedFile::open(const std::string &Path) {
 #endif
 }
 
+Expected<MappedFile> MappedFile::copyOf(const void *Data, size_t Size) {
+  if (Size == 0)
+    return Error("cannot map an empty buffer");
+  // Same allocation discipline as open()'s heap fallback: 8-byte-aligned
+  // for the flat layout's record alignment, sized up to a multiple of 8
+  // because aligned_alloc requires it.
+  size_t Rounded = (Size + 7) & ~size_t(7);
+#if defined(_MSC_VER)
+  void *Base = _aligned_malloc(Rounded, 8);
+#else
+  void *Base = std::aligned_alloc(8, Rounded);
+#endif
+  if (Base == nullptr)
+    return Error("out of memory copying a snapshot buffer");
+  std::memcpy(Base, Data, Size);
+  MappedFile File;
+  File.Base = static_cast<uint8_t *>(Base);
+  File.Bytes = Size;
+  File.HeapFallback = true;
+  return File;
+}
+
 void MappedFile::freeHeapBuffer(void *Ptr) {
 #if defined(_MSC_VER)
   _aligned_free(Ptr);

@@ -34,6 +34,14 @@ public:
   /// or empty files.
   static Expected<MappedFile> open(const std::string &Path);
 
+  /// An anonymous in-memory "mapping": copies \p Size bytes from \p Data
+  /// into an 8-byte-aligned heap buffer with the same stable-bytes /
+  /// writable-in-place adoption contract as a file mapping. This is how a
+  /// grammar-server epoch fork materializes its predecessor's serialized
+  /// graph without touching the filesystem. Fails only on Size == 0 or
+  /// allocation failure.
+  static Expected<MappedFile> copyOf(const void *Data, size_t Size);
+
   MappedFile() = default;
   MappedFile(const MappedFile &) = delete;
   MappedFile &operator=(const MappedFile &) = delete;

@@ -1,0 +1,281 @@
+//===- tests/server/ThreadStressTest.cpp - Shared-graph stress ------------===//
+///
+/// \file
+/// Concurrency stress for the shared item-set graph and the epoch-forking
+/// server, designed to run under ThreadSanitizer (the CI tsan job runs
+/// exactly this binary plus the server test):
+///
+///   * RacingExpanders — N threads cold-start the SAME epoch and parse
+///     overlapping inputs, so the same Initial sets race to EXPAND; losers
+///     must adopt the winner's publication. Ground truth: a single-
+///     threaded parse of the same inputs, and graph isomorphism against a
+///     fresh generation afterwards.
+///   * GrowthBetweenGlrLayers — one session repeatedly parses a long
+///     ambiguous input while other sessions keep completing *new* item
+///     sets, so the graph (and its set-id space) grows between the GLR
+///     driver's shift layers; the dense frontier index must never read
+///     stale sizing off the shared graph.
+///   * MixedParseModify — readers parse while one writer replays an
+///     ADD/DELETE-RULE script through the server. Every observed
+///     (generation, input) recognition must equal the single-threaded
+///     ground truth for that generation's exact rule set, computed by
+///     replaying the same script through the plain §6 machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/GraphCanon.h"
+#include "common/TestGrammars.h"
+#include "core/Ipg.h"
+#include "server/GrammarServer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+unsigned stressThreads() {
+  // Floor at 4: even on a 1-core host, oversubscribed threads give TSan's
+  // happens-before analysis real interleavings to check.
+  return std::clamp(std::thread::hardware_concurrency(), 4u, 8u);
+}
+
+TEST(ThreadStress, RacingExpandersConverge) {
+  // Sweep a few random grammars; each round every thread parses every
+  // sample against a COLD shared graph, so first-token expansion of the
+  // start set (and everything after it) races on purpose.
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    Grammar G;
+    RandomGrammarCase Case = buildRandomGrammar(G, Seed);
+
+    // Single-threaded ground truth.
+    std::vector<bool> Expect;
+    {
+      Grammar G1;
+      RandomGrammarCase Same = buildRandomGrammar(G1, Seed);
+      Ipg Solo(G1);
+      for (const std::vector<SymbolId> &Input : Same.Positive)
+        Expect.push_back(Solo.recognize(Input));
+    }
+
+    GrammarServer Server(G);
+    std::atomic<int> Failures{0};
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < stressThreads(); ++T) {
+      Threads.emplace_back([&Server, &Case, &Expect, &Failures] {
+        ParseSession S = Server.openSession();
+        for (int Round = 0; Round < 8; ++Round)
+          for (size_t I = 0; I < Case.Positive.size(); ++I)
+            if (S.recognize(Case.Positive[I]) != Expect[I])
+              Failures.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+    ASSERT_EQ(Failures.load(), 0) << "seed " << Seed;
+
+    // Whatever the race interleaving, the one shared graph must be
+    // isomorphic to a from-scratch generation.
+    std::shared_ptr<GraphEpoch> Epoch = Server.epoch();
+    Grammar Fresh;
+    Grammar::cloneActiveRules(Epoch->grammar(), Fresh);
+    ItemSetGraph FreshGraph(Fresh);
+    ASSERT_EQ(canonicalize(Epoch->graph()), canonicalize(FreshGraph))
+        << "seed " << Seed;
+  }
+}
+
+TEST(ThreadStress, GrowthBetweenGlrLayers) {
+  // Palindromes keep many GSS stacks alive across layers; the arithmetic
+  // inputs force the graph to keep completing sets with ever-higher ids
+  // while the palindrome parses are mid-flight.
+  Grammar G;
+  buildPalindromes(G);
+  // Graft an arithmetic sub-language onto fresh nonterminals so both
+  // workloads share one graph but meet mostly different item sets.
+  GrammarBuilder B(G);
+  B.rule("E", {"E", "+", "T"});
+  B.rule("E", {"T"});
+  B.rule("T", {"T", "*", "F"});
+  B.rule("T", {"F"});
+  B.rule("F", {"(", "E", ")"});
+  B.rule("F", {"id"});
+  B.rule("START", {"E"});
+
+  GrammarServer Server(G);
+  const Grammar &Served = Server.epoch()->grammar();
+
+  // A genuine 81-token palindrome: left half, "a" pivot, mirrored half.
+  std::vector<std::string> Left;
+  for (int I = 0; I < 40; ++I)
+    Left.push_back(I % 3 ? "a" : "b");
+  std::vector<std::string> Spellings = Left;
+  Spellings.push_back("a");
+  Spellings.insert(Spellings.end(), Left.rbegin(), Left.rend());
+  std::vector<SymbolId> Palindrome = tokens(Served, Spellings);
+
+  std::vector<std::vector<SymbolId>> Growers = {
+      sentence(Served, "id + id * id"),
+      sentence(Served, "( id + id ) * ( id )"),
+      sentence(Served, "id * id * id + id"),
+  };
+
+  std::atomic<int> Failures{0};
+  std::atomic<bool> Done{false};
+  std::thread Palindromist([&] {
+    ParseSession S = Server.openSession();
+    for (int Round = 0; Round < 12; ++Round)
+      if (!S.recognize(Palindrome))
+        Failures.fetch_add(1, std::memory_order_relaxed);
+    Done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < std::max(1u, stressThreads() - 1); ++T) {
+    Threads.emplace_back([&] {
+      ParseSession S = Server.openSession();
+      while (!Done.load(std::memory_order_acquire))
+        for (const std::vector<SymbolId> &Input : Growers)
+          if (!S.recognize(Input))
+            Failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  Palindromist.join();
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(ThreadStress, MixedParseModifyMatchesGroundTruthPerGeneration) {
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, /*Seed=*/11);
+
+  // Pre-generate the edit script over the grammar's own symbols, exactly
+  // like the §6 churn property sweep (ActionIndexPropertyTest).
+  std::vector<SymbolId> Nts, Syms;
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+    if (Sym == G.endMarker() || Sym == G.startSymbol())
+      continue;
+    Syms.push_back(Sym);
+    if (G.symbols().isNonterminal(Sym))
+      Nts.push_back(Sym);
+  }
+  ASSERT_FALSE(Nts.empty());
+
+  struct Edit {
+    bool Add;
+    SymbolId Lhs;
+    std::vector<SymbolId> Rhs;
+  };
+  std::vector<Edit> Script;
+  {
+    // Build the script against a scratch replica so DELETEs can pick
+    // rules that will actually be active at that point.
+    Grammar Scratch;
+    buildRandomGrammar(Scratch, /*Seed=*/11);
+    Prng R(0xd1ce5eedULL);
+    for (int Step = 0; Step < 24; ++Step) {
+      if (R.below(2) == 0) {
+        std::vector<SymbolId> Rhs;
+        for (uint64_t I = 0, N = R.below(3); I < N; ++I)
+          Rhs.push_back(Syms[R.below(Syms.size())]);
+        SymbolId Lhs = Nts[R.below(Nts.size())];
+        if (Scratch.addRule(Lhs, Rhs).second)
+          Script.push_back(Edit{true, Lhs, std::move(Rhs)});
+      } else {
+        std::vector<RuleId> Active = Scratch.activeRules();
+        if (Active.size() <= 1)
+          continue;
+        const Rule &Victim = Scratch.rule(Active[R.below(Active.size())]);
+        if (Victim.Lhs == Scratch.symbols().startSymbol())
+          continue; // Keep the language rooted.
+        Edit E{false, Victim.Lhs, Victim.Rhs};
+        if (Scratch.removeRule(Victim.Lhs, Victim.Rhs).second)
+          Script.push_back(std::move(E));
+      }
+    }
+  }
+  ASSERT_GT(Script.size(), 4u);
+
+  // Ground truth: generation g is the initial grammar plus Script[0..g).
+  // Replay through the single-threaded §6 machinery and record every
+  // input's recognition per generation.
+  std::vector<std::vector<bool>> ExpectByGen;
+  {
+    Grammar G1;
+    RandomGrammarCase Same = buildRandomGrammar(G1, /*Seed=*/11);
+    Ipg Solo(G1);
+    auto Snap = [&] {
+      std::vector<bool> Row;
+      for (const std::vector<SymbolId> &Input : Same.Positive)
+        Row.push_back(Solo.recognize(Input));
+      return Row;
+    };
+    ExpectByGen.push_back(Snap());
+    for (const Edit &E : Script) {
+      ASSERT_TRUE(E.Add ? Solo.addRule(E.Lhs, E.Rhs)
+                        : Solo.deleteRule(E.Lhs, E.Rhs));
+      ExpectByGen.push_back(Snap());
+    }
+  }
+
+  // Concurrent run: readers record (generation, input, result) while the
+  // writer replays the script. Each reader re-pins per round so it
+  // observes several generations.
+  GrammarServer Server(G);
+  struct Observation {
+    uint64_t Generation;
+    size_t Input;
+    bool Accepted;
+  };
+  std::atomic<bool> WriterDone{false};
+  std::vector<std::vector<Observation>> PerThread(stressThreads());
+  std::vector<std::thread> Readers;
+  for (unsigned T = 0; T < stressThreads(); ++T) {
+    Readers.emplace_back([&, T] {
+      std::vector<Observation> &Log = PerThread[T];
+      do {
+        ParseSession S = Server.openSession();
+        for (size_t I = 0; I < Case.Positive.size(); ++I)
+          Log.push_back(Observation{S.generation(), I,
+                                    S.recognize(Case.Positive[I])});
+      } while (!WriterDone.load(std::memory_order_acquire));
+    });
+  }
+  for (const Edit &E : Script) {
+    ASSERT_TRUE(E.Add ? Server.addRule(E.Lhs, std::vector<SymbolId>(E.Rhs))
+                      : Server.removeRule(E.Lhs, E.Rhs));
+  }
+  WriterDone.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+
+  // Every observation must match its generation's ground truth — a parse
+  // never sees a half-applied MODIFY or a torn graph.
+  size_t Observations = 0;
+  for (const std::vector<Observation> &Log : PerThread) {
+    for (const Observation &O : Log) {
+      ASSERT_LT(O.Generation, ExpectByGen.size());
+      ASSERT_EQ(O.Accepted, ExpectByGen[O.Generation][O.Input])
+          << "generation " << O.Generation << " input " << O.Input;
+      ++Observations;
+    }
+  }
+  EXPECT_GT(Observations, 0u);
+  EXPECT_EQ(Server.generation(), Script.size());
+
+  // And the final epoch's graph is isomorphic to a fresh generation.
+  std::shared_ptr<GraphEpoch> Epoch = Server.epoch();
+  Grammar Fresh;
+  Grammar::cloneActiveRules(Epoch->grammar(), Fresh);
+  ItemSetGraph FreshGraph(Fresh);
+  EXPECT_EQ(canonicalize(Epoch->graph()), canonicalize(FreshGraph));
+}
+
+} // namespace
