@@ -1,0 +1,120 @@
+//===- bench/corpus_parse.cpp - Parse timings over the test corpus --------===//
+///
+/// \file
+/// Times warm IPG and Earley on pumped inputs for every checked-in corpus
+/// grammar carrying a `//! bench:` directive (tests/data/corpus/*.bnf).
+/// The corpus spans real languages (JSON, a C subset, SQL SELECT) and
+/// pathological ambiguity, so this driver tracks parse cost on exactly
+/// the grammars the differential test suite proves the engines agree on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchHarness.h"
+#include "common/BenchSupport.h"
+#include "common/Corpus.h"
+
+#include "core/Ipg.h"
+#include "earley/EarleyParser.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::bench;
+using namespace ipg::testing;
+
+namespace {
+
+/// Builds the pumped sentence Prefix + Unit*Repeat + Suffix and resolves
+/// each spelling; false when a word is not a symbol of \p G.
+bool pumpTokens(const Grammar &G, const BenchPump &Pump, unsigned Repeat,
+                std::vector<SymbolId> &Out) {
+  std::string Text = Pump.Prefix;
+  for (unsigned I = 0; I < Repeat; ++I) {
+    Text += ' ';
+    Text += Pump.Unit;
+  }
+  Text += ' ';
+  Text += Pump.Suffix;
+  Out.clear();
+  for (std::string_view Word : splitWords(Text)) {
+    SymbolId Sym = G.symbols().lookup(Word);
+    if (Sym == InvalidSymbol)
+      return false;
+    Out.push_back(Sym);
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchHarness H("corpus_parse", argc, argv);
+  const int FullReps = 5;
+
+  Expected<std::vector<CorpusCase>> Corpus = loadCorpusDir(IPG_CORPUS_DIR);
+  if (!Corpus) {
+    std::fprintf(stderr, "corpus load failed: %s\n",
+                 Corpus.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("Parse cost over the differential-test corpus (pumped "
+              "inputs)\n\n");
+  TextTable Table({"grammar", "class", "tokens", "IPG (warm)", "Earley"});
+
+  size_t Benched = 0;
+  bool AllTokenized = true;
+  bool AllAccepted = true;
+  for (const CorpusCase &Case : *Corpus) {
+    if (Case.Bench.Repeat == 0)
+      continue; // No bench directive for this grammar.
+    Grammar G;
+    Expected<size_t> Built = Case.build(G);
+    if (!Built) {
+      std::fprintf(stderr, "%s: %s\n", Case.Name.c_str(),
+                   Built.error().str().c_str());
+      return 1;
+    }
+    // Ambiguous pumps (Catalan-sized forests) stay affordable because
+    // recognize() drives the GSS without materializing trees; the pump
+    // repeat in the directive is already sized for that.
+    unsigned Repeat = H.reduced()
+                          ? std::max(1u, Case.Bench.Repeat / 10)
+                          : Case.Bench.Repeat;
+    std::vector<SymbolId> Tokens;
+    if (!pumpTokens(G, Case.Bench, Repeat, Tokens)) {
+      AllTokenized = false;
+      continue;
+    }
+    std::string Key = "corpus_parse/" + Case.Name;
+
+    Ipg Gen(G);
+    AllAccepted &= Gen.recognize(Tokens);
+    double IpgTime =
+        H.measure(Key + "/ipg_warm", FullReps, [&] { Gen.recognize(Tokens); })
+            .Median;
+
+    EarleyParser Earley(G);
+    AllAccepted &= Earley.recognize(Tokens);
+    double EarleyTime =
+        H.measure(Key + "/earley", FullReps, [&] { Earley.recognize(Tokens); })
+            .Median;
+
+    Table.addRow({Case.Name, Case.Class, std::to_string(Tokens.size()),
+                  ms(IpgTime), ms(EarleyTime)});
+    H.report().addCounter(Key + "/tokens", Tokens.size());
+    ++Benched;
+  }
+  Table.print();
+
+  std::printf("\nshape checks:\n");
+  H.check(Benched >= 4, "at least four corpus grammars carry bench pumps");
+  H.check(AllTokenized, "every pump resolves to symbols of its grammar");
+  H.check(AllAccepted,
+          "both engines accept every pumped input (timings measure real "
+          "parses)");
+  return H.finish();
+}

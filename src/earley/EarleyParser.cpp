@@ -109,10 +109,132 @@ private:
   std::unordered_set<uint64_t> OnStack;
 };
 
+/// Counts distinct derivation trees over the completed spans, saturating
+/// at Cap. The span table records every completable span, but a split the
+/// counter explores may still fail partway through a rule's RHS; a span
+/// re-entered while still being computed therefore does not always mean a
+/// real derivation cycle. Returning Cap at the re-entry point is safe (a
+/// non-completable path gets multiplied by 0 before it reaches a total),
+/// but caching any value computed under such a provisional Cap is not. So
+/// spans track Tarjan-style lowlinks: a total is memoized only when its
+/// computation depended on no span that was still open above it; tainted
+/// totals are recomputed once their ancestors settle.
+class DerivationCounter {
+public:
+  DerivationCounter(const Grammar &G, const std::vector<SymbolId> &Input,
+                    const SpanTable &Spans, uint64_t Cap)
+      : G(G), Input(Input), Spans(Spans), Cap(Cap),
+        SeqMemoUsable(Input.size() < (1u << 18)) {}
+
+  uint64_t count(SymbolId Sym, uint32_t Start, uint32_t End) {
+    uint64_t Key = spanKey(Sym, Start, End);
+    auto Recorded = Spans.Rules.find(Key);
+    if (Recorded == Spans.Rules.end())
+      return 0;
+    auto Done = Memo.find(Key);
+    if (Done != Memo.end())
+      return Done->second;
+    auto Open = OpenDepth.find(Key);
+    if (Open != OpenDepth.end()) {
+      // Re-entered while still computing: provisionally infinite. Whether
+      // the cycle is real is decided by the factors multiplied in above.
+      Low = std::min(Low, Open->second);
+      return Cap;
+    }
+    uint32_t MyDepth = NextDepth++;
+    OpenDepth.emplace(Key, MyDepth);
+    uint32_t OuterLow = Low;
+    Low = kNoDep;
+    uint64_t Total = 0;
+    for (RuleId Rule : Recorded->second)
+      Total = satAdd(Total, seq(Rule, G.rule(Rule).Rhs, 0, Start, End));
+    OpenDepth.erase(Key);
+    if (Low >= MyDepth) {
+      Memo.emplace(Key, Total); // Depended on nothing still open above.
+      Low = OuterLow;
+    } else {
+      Low = std::min(OuterLow, Low);
+    }
+    return Total;
+  }
+
+private:
+  static constexpr uint32_t kNoDep = ~uint32_t(0);
+
+  uint64_t seq(RuleId Rule, const std::vector<SymbolId> &Rhs, size_t Idx,
+               uint32_t Pos, uint32_t End) {
+    if (Idx == Rhs.size())
+      return Pos == End ? 1 : 0;
+    bool Memoizable = SeqMemoUsable && Rule < (1u << 20) && Idx < (1u << 8);
+    uint64_t Key = 0;
+    if (Memoizable) {
+      Key = (uint64_t(Rule) << 44) | (uint64_t(Idx) << 36) |
+            (uint64_t(Pos) << 18) | End;
+      auto It = SeqMemo.find(Key);
+      if (It != SeqMemo.end())
+        return It->second;
+    }
+    uint32_t OuterLow = Low;
+    Low = kNoDep;
+    uint64_t Total = seqCompute(Rule, Rhs, Idx, Pos, End);
+    if (Memoizable && Low == kNoDep)
+      SeqMemo.emplace(Key, Total);
+    Low = std::min(OuterLow, Low);
+    return Total;
+  }
+
+  uint64_t seqCompute(RuleId Rule, const std::vector<SymbolId> &Rhs,
+                      size_t Idx, uint32_t Pos, uint32_t End) {
+    SymbolId Sym = Rhs[Idx];
+    if (G.symbols().isTerminal(Sym)) {
+      if (Pos >= End || Input[Pos] != Sym)
+        return 0;
+      return seq(Rule, Rhs, Idx + 1, Pos + 1, End);
+    }
+    auto It = Spans.Ends.find(hashCombine(Sym, Pos));
+    if (It == Spans.Ends.end())
+      return 0;
+    uint64_t Total = 0;
+    for (uint32_t SubEnd : It->second) {
+      if (SubEnd > End)
+        break;
+      uint64_t Sub = count(Sym, Pos, SubEnd);
+      if (Sub == 0)
+        continue;
+      Total = satAdd(Total, satMul(Sub, seq(Rule, Rhs, Idx + 1, SubEnd, End)));
+    }
+    return Total;
+  }
+
+  uint64_t satAdd(uint64_t A, uint64_t B) const {
+    return std::min(Cap, A + B); // A, B <= Cap <= 2^63-1: no overflow.
+  }
+
+  uint64_t satMul(uint64_t A, uint64_t B) const {
+    if (A == 0 || B == 0)
+      return 0;
+    if (A > Cap / B)
+      return Cap;
+    return std::min(Cap, A * B);
+  }
+
+  const Grammar &G;
+  const std::vector<SymbolId> &Input;
+  const SpanTable &Spans;
+  const uint64_t Cap;
+  const bool SeqMemoUsable;
+  std::unordered_map<uint64_t, uint64_t> Memo;
+  std::unordered_map<uint64_t, uint64_t> SeqMemo;
+  std::unordered_map<uint64_t, uint32_t> OpenDepth;
+  uint32_t NextDepth = 0;
+  uint32_t Low = kNoDep;
+};
+
 } // namespace
 
 EarleyResult EarleyParser::run(const std::vector<SymbolId> &Input,
-                               TreeArena *Arena) {
+                               TreeArena *Arena, uint64_t *TreeCount,
+                               uint64_t Cap) {
   EarleyResult Result;
   GrammarAnalysis Analysis(G); // Recomputed per parse: grammar-driven.
   const uint32_t N = static_cast<uint32_t>(Input.size());
@@ -184,6 +306,11 @@ EarleyResult EarleyParser::run(const std::vector<SymbolId> &Input,
     TreeBuilder Builder(G, Input, Spans, *Arena);
     Result.Tree = Builder.build(G.startSymbol(), 0, N);
   }
+  if (TreeCount != nullptr) {
+    DerivationCounter Counter(G, Input, Spans, Cap);
+    *TreeCount =
+        Counter.count(G.startSymbol(), 0, N);
+  }
   return Result;
 }
 
@@ -194,4 +321,12 @@ EarleyResult EarleyParser::parse(const std::vector<SymbolId> &Input,
 
 bool EarleyParser::recognize(const std::vector<SymbolId> &Input) {
   return run(Input, nullptr).Accepted;
+}
+
+uint64_t EarleyParser::countDerivations(const std::vector<SymbolId> &Input,
+                                        uint64_t Cap) {
+  Cap = std::min<uint64_t>(Cap, ~0ull >> 1); // satAdd: Cap+Cap must not wrap.
+  uint64_t Count = 0;
+  run(Input, nullptr, &Count, Cap);
+  return Count;
 }

@@ -49,6 +49,14 @@ public:
   /// Recognition only.
   bool recognize(const std::vector<SymbolId> &Input);
 
+  /// Counts the distinct derivation trees of \p Input, saturating at
+  /// \p Cap. Cyclic derivations (a nonterminal deriving itself over the
+  /// same span) have infinitely many trees and also count as \p Cap, the
+  /// same convention as Forest::countTrees so the two engines can be
+  /// differentially compared. Returns 0 when the input is rejected.
+  uint64_t countDerivations(const std::vector<SymbolId> &Input,
+                            uint64_t Cap = ~0ull >> 1);
+
 private:
   struct ChartItem {
     RuleId Rule;
@@ -60,7 +68,8 @@ private:
     }
   };
 
-  EarleyResult run(const std::vector<SymbolId> &Input, TreeArena *Arena);
+  EarleyResult run(const std::vector<SymbolId> &Input, TreeArena *Arena,
+                   uint64_t *TreeCount = nullptr, uint64_t Cap = 0);
 
   const Grammar &G;
 };

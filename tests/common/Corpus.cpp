@@ -1,0 +1,281 @@
+//===- tests/common/Corpus.cpp - Real-grammar corpus loader ---------------===//
+
+#include "common/Corpus.h"
+
+#include "common/TestGrammars.h"
+#include "grammar/BnfReader.h"
+#include "grammar/GrammarBuilder.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// Splits on the literal token "::" and trims each piece.
+std::vector<std::string> splitOnDoubleColon(std::string_view Text) {
+  std::vector<std::string> Pieces;
+  size_t Pos = 0;
+  while (true) {
+    size_t At = Text.find("::", Pos);
+    if (At == std::string_view::npos) {
+      Pieces.emplace_back(trim(Text.substr(Pos)));
+      return Pieces;
+    }
+    Pieces.emplace_back(trim(Text.substr(Pos, At - Pos)));
+    Pos = At + 2;
+  }
+}
+
+/// Parses a base-10 unsigned integer; returns false on any non-digit.
+bool parseUnsigned(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + unsigned(C - '0');
+  }
+  return true;
+}
+
+/// Applies one `//!` directive line (already stripped of the marker).
+bool applyDirective(CorpusCase &Case, std::string_view Body,
+                    std::string &ErrorOut) {
+  size_t Colon = Body.find(':');
+  if (Colon == std::string_view::npos) {
+    ErrorOut = "directive has no key";
+    return false;
+  }
+  std::string_view Key = trim(Body.substr(0, Colon));
+  std::string_view Value = trim(Body.substr(Colon + 1));
+  if (Key == "name") {
+    Case.Name = std::string(Value);
+  } else if (Key == "class") {
+    Case.Class = std::string(Value);
+  } else if (Key == "accept") {
+    Case.Accept.emplace_back(Value);
+  } else if (Key == "reject") {
+    Case.Reject.emplace_back(Value);
+  } else if (Key == "probe") {
+    Case.Probe.emplace_back(Value);
+  } else if (Key == "trees") {
+    std::vector<std::string> Pieces = splitOnDoubleColon(Value);
+    if (Pieces.size() != 2) {
+      ErrorOut = "trees directive wants '<count> :: <input>'";
+      return false;
+    }
+    TreeExpectation E;
+    E.Input = Pieces[1];
+    if (Pieces[0] == "inf") {
+      E.Infinite = true;
+    } else if (!parseUnsigned(Pieces[0], E.Trees)) {
+      ErrorOut = "trees count is neither a number nor 'inf'";
+      return false;
+    }
+    Case.TreeCounts.push_back(std::move(E));
+  } else if (Key == "bench") {
+    std::vector<std::string> Pieces = splitOnDoubleColon(Value);
+    uint64_t Repeat = 0;
+    if (Pieces.size() != 4 || !parseUnsigned(Pieces[0], Repeat)) {
+      ErrorOut = "bench directive wants '<repeat> :: <prefix> :: <unit> :: <suffix>'";
+      return false;
+    }
+    Case.Bench.Repeat = static_cast<unsigned>(Repeat);
+    Case.Bench.Prefix = Pieces[1];
+    Case.Bench.Unit = Pieces[2];
+    Case.Bench.Suffix = Pieces[3];
+  } else {
+    ErrorOut = "unknown directive key '" + std::string(Key) + "'";
+    return false;
+  }
+  return true;
+}
+
+/// The seeded conflict-density grammar family. Every nonterminal keeps one
+/// guaranteed-terminating rule with a distinct first token; each extra rule
+/// is conflict-inducing with probability Density (ambiguous
+/// self-concatenation, simultaneous left+right recursion, or nullability)
+/// and an LR-friendly terminal-prefixed chain rule otherwise.
+void buildConflictFamilyGrammar(Grammar &G, uint64_t Seed, double Density) {
+  Prng Rng(Seed * 0x9e3779b97f4a7c15ULL + 0x1d);
+  GrammarBuilder B(G);
+  const unsigned NumT = 5, NumN = 5, ExtraRules = 9;
+  std::vector<SymbolId> T, N;
+  for (unsigned I = 0; I < NumT; ++I)
+    T.push_back(B.symbol("c" + std::to_string(I)));
+  for (unsigned I = 0; I < NumN; ++I) {
+    SymbolId Sym = B.symbol("M" + std::to_string(I));
+    G.symbols().markNonterminal(Sym);
+    N.push_back(Sym);
+  }
+  for (unsigned I = 0; I < NumN; ++I)
+    G.addRule(N[I], {T[I]});
+  const uint64_t Threshold = uint64_t(Density * 1000.0);
+  for (unsigned I = 0; I < ExtraRules; ++I) {
+    SymbolId Target = N[Rng.below(NumN)];
+    if (Rng.below(1000) < Threshold) {
+      switch (Rng.below(3)) {
+      case 0:
+        G.addRule(Target, {Target, Target});
+        break;
+      case 1: {
+        SymbolId Tok = T[Rng.below(NumT)];
+        G.addRule(Target, {Target, Tok});
+        G.addRule(Target, {Tok, Target});
+        break;
+      }
+      default:
+        G.addRule(Target, {});
+        break;
+      }
+    } else {
+      G.addRule(Target, {T[Rng.below(NumT)], N[Rng.below(NumN)]});
+    }
+  }
+  G.addRule(G.startSymbol(), {N[0]});
+}
+
+std::string render(const Grammar &G, const std::vector<SymbolId> &Syms) {
+  std::string Out;
+  for (size_t I = 0; I < Syms.size(); ++I) {
+    if (I > 0)
+      Out += ' ';
+    Out += G.symbols().name(Syms[I]);
+  }
+  return Out;
+}
+
+} // namespace
+
+Expected<size_t> CorpusCase::build(Grammar &G) const {
+  if (!Bnf.empty())
+    return readBnf(G, Bnf);
+  buildConflictFamilyGrammar(G, Seed, ConflictDensity);
+  return Expected<size_t>(G.activeRules().size());
+}
+
+Expected<CorpusCase> ipg::testing::readCorpusFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error("cannot open corpus file " + Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  CorpusCase Case;
+  Case.Bnf = Buffer.str();
+  std::string_view Rest = Case.Bnf;
+  unsigned LineNo = 0;
+  while (!Rest.empty()) {
+    ++LineNo;
+    size_t Eol = Rest.find('\n');
+    std::string_view Line = trim(Rest.substr(0, Eol));
+    Rest = Eol == std::string_view::npos ? std::string_view()
+                                         : Rest.substr(Eol + 1);
+    if (!startsWith(Line, "//!"))
+      continue;
+    std::string Problem;
+    if (!applyDirective(Case, Line.substr(3), Problem))
+      return Error(Path + ": " + Problem, LineNo);
+  }
+  if (Case.Name.empty())
+    return Error(Path + ": corpus file has no '//! name:' directive");
+  if (Case.Class.empty())
+    return Error(Path + ": corpus file has no '//! class:' directive");
+  return Case;
+}
+
+Expected<std::vector<CorpusCase>>
+ipg::testing::loadCorpusDir(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, Ec))
+    if (Entry.path().extension() == ".bnf")
+      Paths.push_back(Entry.path().string());
+  if (Ec)
+    return Error("cannot list corpus directory " + Dir + ": " + Ec.message());
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<CorpusCase> Cases;
+  for (const std::string &Path : Paths) {
+    Expected<CorpusCase> Case = readCorpusFile(Path);
+    if (!Case)
+      return Case.error();
+    Cases.push_back(Case.take());
+  }
+  std::sort(Cases.begin(), Cases.end(),
+            [](const CorpusCase &A, const CorpusCase &B) {
+              return A.Name < B.Name;
+            });
+  return Cases;
+}
+
+CorpusCase ipg::testing::makeRandomFamilyCase(uint64_t Seed,
+                                              double ConflictDensity) {
+  CorpusCase Case;
+  Case.Name = "random_d" +
+              std::to_string(static_cast<int>(ConflictDensity * 100)) + "_s" +
+              std::to_string(Seed);
+  Case.Class = "random";
+  Case.Seed = Seed;
+  Case.ConflictDensity = ConflictDensity;
+
+  Grammar G;
+  buildConflictFamilyGrammar(G, Seed, ConflictDensity);
+  Prng Rng(Seed ^ 0x5deece66dULL);
+  std::vector<RuleId> Cheapest = cheapestRules(G);
+  SymbolId Root = G.symbols().lookup("M0");
+
+  unsigned Attempts = 32;
+  while (Case.Accept.size() < 6 && Attempts-- > 0) {
+    std::vector<SymbolId> S = deriveSentence(G, Root, Rng, Cheapest, 16);
+    if (S.empty())
+      continue; // Non-convergent draw (or ε, indistinguishable): skip.
+    std::string Text = render(G, S);
+    if (std::find(Case.Accept.begin(), Case.Accept.end(), Text) ==
+        Case.Accept.end())
+      Case.Accept.push_back(std::move(Text));
+  }
+
+  // Mutated copies carry no expected verdict (the mutation may still be in
+  // the language); the harness only demands cross-engine agreement.
+  for (const std::string &Text : Case.Accept) {
+    std::vector<std::string> Words;
+    for (std::string_view W : splitWords(Text))
+      Words.emplace_back(W);
+    std::string Tok = "c" + std::to_string(Rng.below(5));
+    switch (Rng.below(3)) {
+    case 0:
+      Words.insert(Words.begin() + Rng.below(Words.size() + 1), Tok);
+      break;
+    case 1:
+      if (!Words.empty())
+        Words.erase(Words.begin() + Rng.below(Words.size()));
+      break;
+    default:
+      if (!Words.empty())
+        Words[Rng.below(Words.size())] = Tok;
+      break;
+    }
+    Case.Probe.push_back(join(Words, " "));
+  }
+  return Case;
+}
+
+Expected<std::vector<CorpusCase>>
+ipg::testing::loadFullCorpus(const std::string &Dir) {
+  Expected<std::vector<CorpusCase>> Cases = loadCorpusDir(Dir);
+  if (!Cases)
+    return Cases;
+  for (double Density : {0.0, 0.35, 0.75})
+    for (uint64_t Seed : {uint64_t(1), uint64_t(2)})
+      Cases->push_back(makeRandomFamilyCase(Seed, Density));
+  return Cases;
+}

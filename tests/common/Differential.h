@@ -1,0 +1,62 @@
+//===- tests/common/Differential.h - Cross-engine differential --*- C++ -*-===//
+///
+/// \file
+/// Runs one corpus grammar through every engine stack in the repo — the
+/// lazy-LR/IPG core, an eagerly generated GLR stack, the Earley parser,
+/// and the SLR(1)/LR(1)/LALR(1) table generators with the deterministic
+/// LR driver — and cross-checks:
+///
+///  - accept/reject verdicts agree across all engines (the deterministic
+///    tables participate only when they are conflict-free for the
+///    grammar; Yacc-style resolution changes the accepted language);
+///  - distinct-parse-tree counts agree between the GLR packed forest
+///    (lazy and eager) and the Earley span counter, and match any
+///    `//! trees:` expectation from the corpus file (cyclic derivations
+///    saturate at the cap on both sides);
+///  - snapshots round-trip: saving the lazy graph in both formats,
+///    loading each into a fresh generator, re-checking every verdict and
+///    the canonicalized graph, and demanding byte-identical re-saves.
+///
+/// Divergences come back as human-readable strings; an empty list is the
+/// pass condition. Deliberately gtest-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_COMMON_DIFFERENTIAL_H
+#define IPG_TESTS_COMMON_DIFFERENTIAL_H
+
+#include "common/Corpus.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg::testing {
+
+struct DifferentialOptions {
+  /// Saturation cap for tree counting (both engines use the same cap, so
+  /// "infinitely many" compares equal).
+  uint64_t TreeCap = 1000000;
+  /// Also exercise v1+v2 snapshot round-trips (needs a writable temp dir).
+  bool CheckSnapshots = true;
+};
+
+struct DifferentialReport {
+  std::string GrammarName;
+  size_t Inputs = 0;           ///< Distinct inputs exercised.
+  size_t EngineChecks = 0;     ///< Individual engine verdicts compared.
+  unsigned DeterministicTables = 0; ///< Conflict-free of {SLR, LR1, LALR}.
+  std::vector<std::string> Divergences;
+
+  bool ok() const { return Divergences.empty(); }
+  /// All divergences, newline-joined (empty when ok).
+  std::string str() const;
+};
+
+/// Runs the full cross-check for one corpus grammar.
+DifferentialReport runDifferential(const CorpusCase &Case,
+                                   const DifferentialOptions &Opts = {});
+
+} // namespace ipg::testing
+
+#endif // IPG_TESTS_COMMON_DIFFERENTIAL_H

@@ -1,0 +1,82 @@
+//===- tests/common/IndexCheck.h - Graph/index ground-truth checks -*-C++-*-===//
+///
+/// \file
+/// The ground-truth verifiers shared by the ACTION/GOTO index property
+/// sweep and the MODIFY edit-script fuzzer: per-state index-vs-linear-scan
+/// equivalence, and whole-graph isomorphism against a from-scratch
+/// generation for the same grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_COMMON_INDEXCHECK_H
+#define IPG_TESTS_COMMON_INDEXCHECK_H
+
+#include "common/GraphCanon.h"
+#include "common/GraphWalk.h"
+#include "core/Ipg.h"
+
+#include <gtest/gtest.h>
+
+namespace ipg::testing {
+
+/// The ground truth for one (state, symbol) ACTION cell, recomputed the
+/// pre-index way: reductions, then a linear scan for the shift, then the
+/// accept flag.
+inline std::vector<LrAction> referenceActions(const Grammar &G,
+                                              ItemSet *State,
+                                              SymbolId Symbol) {
+  std::vector<LrAction> Result;
+  for (RuleId Rule : State->reductions())
+    Result.push_back(LrAction::reduce(Rule));
+  for (const ItemSet::Transition &T : State->transitions())
+    if (T.Label == Symbol) {
+      Result.push_back(LrAction::shift(T.Target));
+      break;
+    }
+  if (State->isAccepting() && Symbol == G.endMarker())
+    Result.push_back(LrAction::accept());
+  return Result;
+}
+
+/// Every live Complete set: index mirrors the transition list, the
+/// allocation-free view agrees with the reference for every terminal, and
+/// GOTO agrees with a linear scan for every outgoing nonterminal label.
+inline void verifyIndexEquivalence(ItemSetGraph &Graph) {
+  const Grammar &G = Graph.grammar();
+  for (ItemSet *State : reachableSets(Graph, /*FollowOldTransitions=*/true)) {
+    if (!State->isComplete())
+      continue;
+    ASSERT_EQ(State->actionLabels().size(), State->transitions().size());
+    for (size_t I = 0; I < State->transitions().size(); ++I)
+      ASSERT_EQ(State->actionLabels()[I], State->transitions()[I].Label);
+
+    for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
+      if (G.symbols().isTerminal(Sym)) {
+        std::vector<LrAction> Expected = referenceActions(G, State, Sym);
+        std::vector<LrAction> Actual;
+        Graph.actionsView(State, Sym).forEach(
+            [&](const LrAction &A) { Actual.push_back(A); });
+        ASSERT_EQ(Actual, Expected)
+            << "state " << State->id() << " symbol " << G.symbols().name(Sym);
+      }
+    }
+    for (const ItemSet::Transition &T : State->transitions()) {
+      if (G.symbols().isNonterminal(T.Label)) {
+        ASSERT_EQ(Graph.gotoState(State, T.Label), T.Target);
+      }
+    }
+  }
+}
+
+/// The incrementally maintained graph answers exactly like one generated
+/// from scratch for the same grammar.
+inline void verifyMatchesFreshGeneration(Ipg &Gen) {
+  Grammar Fresh;
+  Grammar::cloneActiveRules(Gen.grammar(), Fresh);
+  ItemSetGraph FreshGraph(Fresh);
+  EXPECT_EQ(canonicalize(Gen.graph()), canonicalize(FreshGraph));
+}
+
+} // namespace ipg::testing
+
+#endif // IPG_TESTS_COMMON_INDEXCHECK_H

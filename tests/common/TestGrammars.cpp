@@ -114,12 +114,7 @@ std::vector<SymbolId> ipg::testing::sentence(const Grammar &G,
   return tokens(G, Spellings);
 }
 
-namespace {
-
-/// Picks, for each nonterminal, the rule whose expansion terminates
-/// fastest (fewest nonterminals, then shortest) — used to force random
-/// derivations to converge.
-std::vector<RuleId> cheapestRules(const Grammar &G) {
+std::vector<RuleId> ipg::testing::cheapestRules(const Grammar &G) {
   std::vector<RuleId> Cheapest(G.symbols().size(), InvalidRule);
   auto Cost = [&](RuleId Id) {
     const Rule &R = G.rule(Id);
@@ -136,10 +131,10 @@ std::vector<RuleId> cheapestRules(const Grammar &G) {
   return Cheapest;
 }
 
-/// Randomly derives a sentence from \p Target, capped in length.
-std::vector<SymbolId> derive(const Grammar &G, SymbolId Target, Prng &Rng,
+std::vector<SymbolId>
+ipg::testing::deriveSentence(const Grammar &G, SymbolId Target, Prng &Rng,
                              const std::vector<RuleId> &Cheapest,
-                             size_t MaxLen = 40) {
+                             size_t MaxLen) {
   std::vector<SymbolId> Sentential{Target};
   size_t Budget = 200;
   while (Budget-- > 0) {
@@ -163,8 +158,6 @@ std::vector<SymbolId> derive(const Grammar &G, SymbolId Target, Prng &Rng,
   }
   return {}; // Derivation did not converge; caller retries.
 }
-
-} // namespace
 
 std::vector<uint64_t> ipg::testing::seedsWhere(uint64_t Lo, uint64_t Hi,
                                                bool (*Keep)(uint64_t Seed)) {
@@ -223,7 +216,7 @@ RandomGrammarCase ipg::testing::buildRandomGrammar(
   std::vector<RuleId> Cheapest = cheapestRules(G);
   unsigned Attempts = NumSentences * 4;
   while (Case.Positive.size() < NumSentences && Attempts-- > 0) {
-    std::vector<SymbolId> S = derive(G, Nonterminals[0], Rng, Cheapest);
+    std::vector<SymbolId> S = deriveSentence(G, Nonterminals[0], Rng, Cheapest);
     if (!S.empty() || Rng.below(4) == 0) // Allow some ε sentences through.
       Case.Positive.push_back(std::move(S));
   }

@@ -75,6 +75,20 @@ private:
   uint64_t State;
 };
 
+/// Picks, for each nonterminal, the rule whose expansion terminates
+/// fastest (fewest nonterminals, then shortest) — used to force random
+/// derivations to converge.
+std::vector<RuleId> cheapestRules(const Grammar &G);
+
+/// Randomly derives a sentence from \p Target with leftmost expansion,
+/// capped in length; returns an empty vector when the derivation fails to
+/// converge within its budget (callers retry with a different draw).
+/// \p Cheapest comes from cheapestRules().
+std::vector<SymbolId> deriveSentence(const Grammar &G, SymbolId Target,
+                                     Prng &Rng,
+                                     const std::vector<RuleId> &Cheapest,
+                                     size_t MaxLen = 40);
+
 /// A randomly generated grammar plus sentences known to be derivable.
 struct RandomGrammarCase {
   std::vector<std::vector<SymbolId>> Positive; ///< Derivable sentences.

@@ -120,3 +120,105 @@ TEST_P(EarleyVsGlrTest, AgreesWithGlrOnRandomGrammars) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EarleyVsGlrTest,
                          ::testing::Range<uint64_t>(1, 41));
+
+// ---- countDerivations: the Earley-side ambiguity counter ----------------
+
+TEST(EarleyCountTest, UnambiguousGrammarCountsOne) {
+  Grammar G;
+  buildArith(G);
+  EarleyParser Parser(G);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "id + id * ( id + id )")), 1u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "id")), 1u);
+}
+
+TEST(EarleyCountTest, RejectedInputCountsZero) {
+  Grammar G;
+  buildArith(G);
+  EarleyParser Parser(G);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "id +")), 0u);
+  EXPECT_EQ(Parser.countDerivations({}), 0u);
+}
+
+TEST(EarleyCountTest, CatalanCountsOnAmbiguousExpr) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  EarleyParser Parser(G);
+  // n operators => Catalan(n) parses: 1, 1, 2, 5, 14, 42.
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a")), 1u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a + a")), 1u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a + a + a")), 2u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a + a + a + a")), 5u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a + a + a + a + a")), 14u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a + a + a + a + a + a")),
+            42u);
+}
+
+TEST(EarleyCountTest, CountSaturatesAtCap) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  EarleyParser Parser(G);
+  std::vector<SymbolId> Input = sentence(G, "a + a + a + a + a + a");
+  EXPECT_EQ(Parser.countDerivations(Input, 10), 10u); // True count is 42.
+}
+
+TEST(EarleyCountTest, CyclicDerivationSaturates) {
+  Grammar G;
+  buildCyclic(G); // A ::= A | "a": infinitely many trees for "a".
+  EarleyParser Parser(G);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a"), 1000), 1000u);
+}
+
+TEST(EarleyCountTest, EpsilonSentenceCounts) {
+  Grammar G;
+  buildAnBn(G);
+  EarleyParser Parser(G);
+  EXPECT_EQ(Parser.countDerivations({}), 1u);
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "a a b b")), 1u);
+}
+
+// Regression pin for the counter's cycle handling: re-entering a span that
+// is still being computed must NOT poison the values of spans computed
+// underneath it. Here A's exploration of "B x" re-enters A through B on a
+// split that can never complete (there is no "x"), so neither A nor B is
+// actually cyclic — a counter that caches B's provisional
+// infinite-through-A value would report saturation instead of B's true
+// count of 2 ("w" directly, or through A).
+TEST(EarleyCountTest, NonCompletableCyclePathDoesNotPoisonCounts) {
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("A", {"B", "x"});
+  B.rule("A", {"w"});
+  B.rule("B", {"A"});
+  B.rule("B", {"w"});
+  B.rule("START", {"B"});
+  EarleyParser Parser(G);
+  const uint64_t Cap = 1000;
+  EXPECT_EQ(Parser.countDerivations(sentence(G, "w"), Cap), 2u);
+
+  // And the GLR packed forest agrees (its edges only ever record
+  // completable derivations, so it is immune by construction).
+  ItemSetGraph Graph(G);
+  GlrParser Glr(Graph);
+  Forest F;
+  GlrResult R = Glr.parse(sentence(G, "w"), F);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(F.countTrees(R.Root, Cap), 2u);
+}
+
+TEST(EarleyCountTest, CountAgreesWithGlrForestOnRandomGrammars) {
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    Grammar G;
+    RandomGrammarCase Case = buildRandomGrammar(G, Seed);
+    EarleyParser Earley(G);
+    ItemSetGraph Graph(G);
+    GlrParser Glr(Graph);
+    const uint64_t Cap = 100000;
+    for (const std::vector<SymbolId> &S : Case.Positive) {
+      Forest F;
+      GlrResult R = Glr.parse(S, F);
+      ASSERT_TRUE(R.Accepted) << "seed " << Seed;
+      EXPECT_EQ(Earley.countDerivations(S, Cap), F.countTrees(R.Root, Cap))
+          << "seed " << Seed;
+    }
+  }
+}

@@ -1,0 +1,97 @@
+//===- tests/integration/DifferentialCorpusTest.cpp -----------------------===//
+///
+/// \file
+/// Runs every corpus grammar — the checked-in real/ambiguous/pathological
+/// files under tests/data/corpus/ plus the seeded random conflict-density
+/// families — through the cross-engine differential harness. One test per
+/// grammar so a divergence names its grammar in the failing test id.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/Corpus.h"
+#include "common/Differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+std::string &corpusLoadError() {
+  static std::string Problem;
+  return Problem;
+}
+
+const std::vector<CorpusCase> &corpus() {
+  static std::vector<CorpusCase> Cases = [] {
+    Expected<std::vector<CorpusCase>> Loaded = loadFullCorpus(IPG_CORPUS_DIR);
+    if (!Loaded) {
+      corpusLoadError() = Loaded.error().str();
+      return std::vector<CorpusCase>();
+    }
+    return Loaded.take();
+  }();
+  return Cases;
+}
+
+size_t countClass(const char *Class) {
+  return std::count_if(corpus().begin(), corpus().end(),
+                       [&](const CorpusCase &Case) {
+                         return Case.Class == Class;
+                       });
+}
+
+// The corpus contract the acceptance criteria pin: at least 3 real
+// languages, 2 ambiguous grammars, 3 randomized families, 8 grammars
+// total, and every grammar must actually build.
+TEST(CorpusShape, MeetsMinimums) {
+  ASSERT_TRUE(corpusLoadError().empty()) << corpusLoadError();
+  EXPECT_GE(corpus().size(), 8u);
+  EXPECT_GE(countClass("real"), 3u);
+  EXPECT_GE(countClass("ambiguous"), 2u);
+  EXPECT_GE(countClass("random"), 3u);
+  for (const CorpusCase &Case : corpus()) {
+    Grammar G;
+    Expected<size_t> Built = Case.build(G);
+    ASSERT_TRUE(static_cast<bool>(Built))
+        << Case.Name << ": " << Built.error().str();
+    EXPECT_GT(*Built, 0u) << Case.Name;
+    EXPECT_FALSE(Case.Accept.empty()) << Case.Name;
+  }
+}
+
+TEST(CorpusShape, ReadCorpusFileReportsMissingFile) {
+  Expected<CorpusCase> Missing = readCorpusFile("/nonexistent/nope.bnf");
+  EXPECT_FALSE(static_cast<bool>(Missing));
+}
+
+TEST(CorpusShape, RandomFamiliesAreDeterministic) {
+  CorpusCase A = makeRandomFamilyCase(7, 0.5);
+  CorpusCase B = makeRandomFamilyCase(7, 0.5);
+  EXPECT_EQ(A.Accept, B.Accept);
+  EXPECT_EQ(A.Probe, B.Probe);
+  Grammar GA, GB;
+  ASSERT_TRUE(static_cast<bool>(A.build(GA)));
+  ASSERT_TRUE(static_cast<bool>(B.build(GB)));
+  EXPECT_EQ(GA.activeRules().size(), GB.activeRules().size());
+}
+
+class DifferentialCorpus : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(DifferentialCorpus, EnginesAgree) {
+  DifferentialReport Report = runDifferential(GetParam());
+  EXPECT_TRUE(Report.ok()) << Report.str();
+  EXPECT_GT(Report.Inputs, 0u);
+  EXPECT_GT(Report.EngineChecks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DifferentialCorpus, ::testing::ValuesIn(corpus()),
+    [](const ::testing::TestParamInfo<CorpusCase> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace
