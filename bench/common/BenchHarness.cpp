@@ -3,6 +3,7 @@
 #include "common/BenchHarness.h"
 
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,12 @@ BenchOptions ipg::bench::parseBenchOptions(int Argc, char **Argv,
         std::fprintf(stderr, "error: --emit-json= needs a path\n");
         Options.ParseError = true;
       }
+    } else if (startsWith(Arg, "--trace=")) {
+      Options.TracePath = std::string(Arg.substr(strlen("--trace=")));
+      if (Options.TracePath.empty()) {
+        std::fprintf(stderr, "error: --trace= needs a path\n");
+        Options.ParseError = true;
+      }
     } else if (Arg == "--reduced") {
       Options.Reduced = true;
     } else if (AllowPassthrough) {
@@ -31,7 +38,7 @@ BenchOptions ipg::bench::parseBenchOptions(int Argc, char **Argv,
     } else {
       std::fprintf(stderr,
                    "error: unknown argument '%s'\n"
-                   "usage: %s [--emit-json=PATH] [--reduced]\n",
+                   "usage: %s [--emit-json=PATH] [--trace=PATH] [--reduced]\n",
                    Argv[I], Argc > 0 ? Argv[0] : "bench");
       Options.ParseError = true;
     }
@@ -46,6 +53,15 @@ BenchHarness::BenchHarness(std::string Driver, int Argc, char **Argv)
   if (Options.ParseError)
     std::exit(2);
   Report.setReduced(Options.Reduced);
+  if (!Options.TracePath.empty()) {
+    if (trace::compiledIn())
+      trace::start();
+    else
+      std::fprintf(stderr,
+                   "warning: --trace requested but the tracer is compiled "
+                   "out (rebuild with -DIPG_TRACING=ON); writing an empty "
+                   "trace\n");
+  }
 }
 
 int ipg::bench::emitReport(const PerfReport &Report,
@@ -72,6 +88,18 @@ int BenchHarness::finish() {
     std::printf("\nAll shape checks passed.\n");
   else
     std::printf("\n%d shape check(s) FAILED.\n", Failed);
+  if (!Options.TracePath.empty()) {
+    trace::stop();
+    Expected<size_t> Written = trace::writeChromeTrace(Options.TracePath);
+    if (!Written) {
+      std::fprintf(stderr, "error: %s\n", Written.error().str().c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu bytes, %llu trace events, %llu dropped)\n",
+                Options.TracePath.c_str(), *Written,
+                (unsigned long long)trace::eventCount(),
+                (unsigned long long)trace::droppedCount());
+  }
   if (int Err = emitReport(Report, Options.EmitJsonPath))
     return Err;
   return Failed == 0 ? 0 : 1;

@@ -26,6 +26,10 @@ namespace ipg::bench {
 struct BenchOptions {
   /// Where to write the ipg-bench-v1 document; empty = don't emit.
   std::string EmitJsonPath;
+  /// Where to write a Chrome trace of the whole run (`--trace=PATH`);
+  /// empty = tracing untouched. Requires an IPG_TRACING build — a
+  /// tracing-disabled driver warns and writes an empty document.
+  std::string TracePath;
   /// Reduced-iteration smoke mode (CI): scale repetition counts down.
   bool Reduced = false;
   /// Set when an unknown argument was seen; the driver should exit 2.

@@ -19,6 +19,8 @@
 #include "sdf/Samples.h"
 #include "sdf/SdfLanguage.h"
 #include "sdf/SdfLexer.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -181,6 +183,31 @@ void BM_IncrementalModify(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_IncrementalModify);
+
+/// The cost of one metrics bump through the cached-static idiom the
+/// library's instrumentation sites use — the per-event price of the
+/// always-on registry (a relaxed load+store on a thread-sharded line).
+void BM_MetricsCounterBump(benchmark::State &State) {
+  static MetricCounter &C =
+      MetricsRegistry::process().counter("bench.micro.bump");
+  for (auto _ : State)
+    C.bump();
+  benchmark::DoNotOptimize(C.total());
+}
+BENCHMARK(BM_MetricsCounterBump);
+
+/// The cost of an IPG_TRACE_SPAN when tracing is compiled in but not
+/// recording — the steady-state price every instrumented site pays. The
+/// zero-overhead contract says this is one predictable branch; in
+/// tracing-off builds the macro is `((void)0)` and this measures an
+/// empty loop.
+void BM_TraceSpanDisabled(benchmark::State &State) {
+  for (auto _ : State) {
+    IPG_TRACE_SPAN(Sp, "bench.micro.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
 
 /// Console output as usual, plus capture of every run into the shared
 /// ipg-bench-v1 report (per-iteration wall/CPU seconds and the iteration

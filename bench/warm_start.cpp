@@ -28,6 +28,7 @@
 #include "sdf/SdfLanguage.h"
 #include "sdf/SdfLexer.h"
 #include "support/ByteStream.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <string>
@@ -188,10 +189,15 @@ int main(int argc, char **argv) {
        }).Median;
 
   // The v2 stale path, untimed: same one-rule delta, same bounded
-  // re-expansion contract, through the flat decode fallback.
+  // re-expansion contract, through the flat decode fallback. Under
+  // --trace, every §6 re-expansion emits an "lr.reexpand" span, so the
+  // tracer must agree with the sharded counter — the cross-check that
+  // keeps the trace trustworthy as §6 evidence.
   bool StaleV2Ok = false, StaleV2ParseOk = false;
   size_t RulesAddedV2 = 0;
   uint64_t RepairReExpansionsV2 = 0;
+  uint64_t ReExpandSpansBefore =
+      trace::enabled() ? trace::eventCount("lr.reexpand") : 0;
   {
     Grammar G;
     buildScaledSdf(G, Copies);
@@ -292,5 +298,12 @@ int main(int argc, char **argv) {
           "stale v2 snapshot repairs via the same one-rule delta");
   H.check(RepairReExpansionsV2 == RepairReExpansions,
           "v2 stale repair re-expands exactly as many states as v1");
+  if (trace::enabled()) {
+    uint64_t ReExpandSpans =
+        trace::eventCount("lr.reexpand") - ReExpandSpansBefore;
+    H.check(ReExpandSpans == RepairReExpansionsV2,
+            "trace lr.reexpand span count equals the v2 stale probe's "
+            "re-expansion counter");
+  }
   return H.finish();
 }

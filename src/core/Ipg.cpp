@@ -2,6 +2,8 @@
 
 #include "core/Ipg.h"
 
+#include "support/Metrics.h"
+
 using namespace ipg;
 
 bool Ipg::addRule(std::string_view Lhs,
@@ -32,4 +34,23 @@ double Ipg::coverage() const {
   if (Total == 0)
     return 1.0;
   return double(Graph.numComplete()) / double(Total);
+}
+
+JsonValue Ipg::metricsJson() const {
+  JsonValue Doc = JsonValue::object();
+  ItemSetGraphStats S = Graph.stats();
+  JsonValue &GraphDoc = Doc.set("graph", JsonValue::object());
+  GraphDoc.set("expansions", S.Expansions);
+  GraphDoc.set("re_expansions", S.ReExpansions);
+  GraphDoc.set("closure_items", S.ClosureItems);
+  GraphDoc.set("dirty_marks", S.DirtyMarks);
+  GraphDoc.set("collected", S.Collected);
+  GraphDoc.set("goto_calls", S.GotoCalls);
+  // Set-count walks are fine here: an Ipg graph is exclusive-mode (the
+  // shared-graph server reports through GrammarServer::metricsJson(),
+  // which must not walk a concurrently-growing pool).
+  GraphDoc.set("live_sets", uint64_t(Graph.numLive()));
+  GraphDoc.set("complete_sets", uint64_t(Graph.numComplete()));
+  Doc.set("process", MetricsRegistry::process().toJson());
+  return Doc;
 }

@@ -29,6 +29,7 @@
 #include "glr/GlrParser.h"
 #include "lr/ItemSetGraph.h"
 #include "support/Expected.h"
+#include "support/Json.h"
 
 #include <string>
 #include <string_view>
@@ -111,6 +112,12 @@ public:
   double coverage() const;
 
   ItemSetGraphStats stats() const { return Graph.stats(); }
+
+  /// A point-in-time observability document: this graph's counters plus
+  /// derived set counts (live/complete/dirty — exclusive-mode walks) and
+  /// the process-wide metrics registry (docs/OBSERVABILITY.md). For the
+  /// shared-graph equivalent see GrammarServer::metricsJson().
+  JsonValue metricsJson() const;
 
 private:
   ItemSetGraph Graph;

@@ -23,6 +23,8 @@
 #include "support/FlatSection.h"
 #include "support/Hashing.h"
 #include "support/MappedFile.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstring>
@@ -31,6 +33,31 @@
 using namespace ipg;
 
 namespace {
+
+/// Process-wide snapshot observables (catalog in docs/OBSERVABILITY.md):
+/// the v1-decode vs v2-adopt split the warm-start story rests on, plus
+/// the §6 stale-repair replay volume.
+struct SnapMetrics {
+  MetricsRegistry &R = MetricsRegistry::process();
+  MetricCounter &Saves = R.counter("ipg.snapshot.saves");
+  MetricCounter &SaveBytes = R.counter("ipg.snapshot.save_bytes");
+  MetricCounter &LoadsV1 = R.counter("ipg.snapshot.loads_v1");
+  MetricCounter &V2Adopted = R.counter("ipg.snapshot.v2_adopted");
+  MetricCounter &V2Decoded = R.counter("ipg.snapshot.v2_decoded");
+  /// Loads whose snapshot was stale (nonzero rule delta) and went through
+  /// the §6 replay, and the rules replayed across all of them.
+  MetricCounter &StaleRepairs = R.counter("ipg.snapshot.stale_repairs");
+  MetricCounter &RulesReplayed = R.counter("ipg.snapshot.rules_replayed");
+  LatencyHistogram &SaveLatency = R.histogram("ipg.snapshot.save");
+  LatencyHistogram &LoadV1Latency = R.histogram("ipg.snapshot.load_v1");
+  LatencyHistogram &LoadV2AdoptLatency = R.histogram("ipg.snapshot.load_v2_adopt");
+  LatencyHistogram &LoadV2DecodeLatency = R.histogram("ipg.snapshot.load_v2_decode");
+
+  static SnapMetrics &get() {
+    static SnapMetrics M;
+    return M;
+  }
+};
 
 /// The shared slow path: maps the decoded snapshot grammar onto the live
 /// one, brings the live grammar to the snapshot's rule set, loads the
@@ -120,10 +147,18 @@ remapAndRepair(Grammar &G, ItemSetGraph &Graph, const GrammarSnapshot &Snap,
   // §6 repair: replay the snapshot→live delta through the graph-level
   // operations, so MODIFY re-marks exactly the affected states Dirty and
   // the lazy machinery re-expands them by need.
-  for (RuleId Id : SnapOnly)
-    Graph.removeRule(G.rule(Id).Lhs, G.rule(Id).Rhs);
-  for (RuleId Id : LiveOnly)
-    Graph.addRule(G.rule(Id).Lhs, std::vector<SymbolId>(G.rule(Id).Rhs));
+  if (!SnapOnly.empty() || !LiveOnly.empty()) {
+    SnapMetrics::get().StaleRepairs.bump();
+    SnapMetrics::get().RulesReplayed.bump(SnapOnly.size() + LiveOnly.size());
+  }
+  {
+    IPG_TRACE_SPAN(Sp, "snap.repair_delta");
+    IPG_TRACE_SPAN_ARG(Sp, SnapOnly.size() + LiveOnly.size());
+    for (RuleId Id : SnapOnly)
+      Graph.removeRule(G.rule(Id).Lhs, G.rule(Id).Rhs);
+    for (RuleId Id : LiveOnly)
+      Graph.addRule(G.rule(Id).Lhs, std::vector<SymbolId>(G.rule(Id).Rhs));
+  }
 
   SnapshotLoadResult Result;
   // An empty delta means the active rule sets coincide — exactly what the
@@ -156,6 +191,9 @@ std::vector<RuleId> identityRuleMap(const Grammar &G) {
 Expected<SnapshotLoadResult> loadV1Container(Grammar &G, ItemSetGraph &Graph,
                                              const uint8_t *Data,
                                              size_t Size) {
+  IPG_TRACE_SPAN(Sp, "snap.load.v1");
+  ScopedLatency Lat(SnapMetrics::get().LoadV1Latency);
+  SnapMetrics::get().LoadsV1.bump();
   ByteReader Reader(Data, Size);
   if (!Reader.consumeBytes(SnapshotMagic))
     return Error("not an ipg snapshot (bad magic)");
@@ -258,17 +296,25 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
   if (SnapLayout == grammarLayoutFingerprint(G)) {
     Expected<size_t> Loaded = Error("unreachable");
     if (GraphSnapshot::hostCanAdoptV2()) {
+      IPG_TRACE_SPAN(Sp, "snap.load.v2_adopt");
+      ScopedLatency Lat(SnapMetrics::get().LoadV2AdoptLatency);
       Loaded = GraphSnapshot::adoptV2(Data + GrphOff,
                                       static_cast<size_t>(GrphLen), Graph,
                                       Mapping);
+      if (Loaded)
+        SnapMetrics::get().V2Adopted.bump();
     } else {
       // Big-endian / exotic-ABI hosts: same file, endian-safe decode into
       // owned storage. Integrity then comes from the payload checksum.
+      IPG_TRACE_SPAN(Sp, "snap.load.v2_decode");
+      ScopedLatency Lat(SnapMetrics::get().LoadV2DecodeLatency);
       if (hashBytes(Data + *HeaderBytes, Size - *HeaderBytes) != PayloadChk)
         return Error("snapshot payload corrupted (checksum mismatch)");
       Loaded = GraphSnapshot::loadV2(
           FlatView(Data + GrphOff, static_cast<size_t>(GrphLen)), Graph,
           identitySymbolMap(G), identityRuleMap(G));
+      if (Loaded)
+        SnapMetrics::get().V2Decoded.bump();
     }
     if (!Loaded) {
       GraphSnapshot::reset(Graph);
@@ -283,6 +329,9 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
 
   // Remapping slow path: decodes every record anyway, so verify the whole
   // payload up front like v1 does.
+  IPG_TRACE_SPAN(Sp, "snap.load.v2_remap");
+  ScopedLatency Lat(SnapMetrics::get().LoadV2DecodeLatency);
+  SnapMetrics::get().V2Decoded.bump();
   if (hashBytes(Data + *HeaderBytes, Size - *HeaderBytes) != PayloadChk)
     return Error("snapshot payload corrupted (checksum mismatch)");
   Expected<GrammarSnapshot> Snap = readGrammarSnapshotV2(
@@ -304,6 +353,10 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
 Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
                                    SnapshotFormat Format) const {
   const Grammar &G = Graph.grammar();
+  IPG_TRACE_SPAN(Sp, Format == SnapshotFormat::V1 ? "snap.save.v1"
+                                                  : "snap.save.v2");
+  ScopedLatency Lat(SnapMetrics::get().SaveLatency);
+  SnapMetrics::get().Saves.bump();
 
   if (Format == SnapshotFormat::V1) {
     ByteWriter Payload;
@@ -320,7 +373,10 @@ Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
     File.writeU64(grammarLayoutFingerprint(G));
     File.writeU64(hashBytes(Payload.buffer().data(), Payload.size()));
     File.writeBytes(Payload.buffer().data(), Payload.size());
-    return File.writeFile(Path);
+    Expected<size_t> Written = File.writeFile(Path);
+    if (Written)
+      SnapMetrics::get().SaveBytes.bump(*Written);
+    return Written;
   }
 
   FlatWriter Gram;
@@ -355,7 +411,10 @@ Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
                           File.size() - SnapshotV2HeaderBytes));
   File.patchU64(HeaderChkOff,
                 hashBytes(File.buffer().data(), SnapshotV2HeaderChecksumBytes));
-  return File.writeFile(Path);
+  Expected<size_t> Written = File.writeFile(Path);
+  if (Written)
+    SnapMetrics::get().SaveBytes.bump(*Written);
+  return Written;
 }
 
 Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {

@@ -3,6 +3,8 @@
 #include "lr/ItemSetGraph.h"
 
 #include "support/Bitset.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -10,6 +12,39 @@
 #include <cstdlib>
 
 using namespace ipg;
+
+namespace {
+
+/// Process-wide mirrors of the interesting graph events (catalog in
+/// docs/OBSERVABILITY.md). The per-graph ItemSetGraphStats counters are
+/// part of the persisted snapshot format and cannot grow fields without a
+/// format break; everything new lands here instead, aggregated across all
+/// graphs in the process. References are resolved once (registration
+/// locks); a bump afterwards is the usual sharded relaxed add.
+struct GraphMetrics {
+  MetricsRegistry &R = MetricsRegistry::process();
+  MetricCounter &Expansions = R.counter("ipg.expand.total");
+  MetricCounter &ReExpansions = R.counter("ipg.expand.reexpansions");
+  MetricCounter &ClosureItems = R.counter("ipg.expand.closure_items");
+  /// Shared-mode EXPAND races lost: the loser blocked on the stripe and
+  /// adopted the winner's published set (stripe-contention observable).
+  MetricCounter &RaceAdoptions = R.counter("ipg.expand.race_adoptions");
+  MetricCounter &DirtyMarks = R.counter("ipg.modify.dirty_marks");
+  MetricCounter &Edits = R.counter("ipg.modify.edits");
+  MetricCounter &Collected = R.counter("ipg.gc.collected");
+  /// Borrowed (mmap-backed) sets copied into owned storage, the
+  /// copy-on-MODIFY cost of the zero-copy snapshot load.
+  MetricCounter &Materialized = R.counter("ipg.snapshot.materialize_owned");
+  LatencyHistogram &ModifyLatency = R.histogram("ipg.modify.repair");
+  LatencyHistogram &GcLatency = R.histogram("ipg.gc.sweep");
+
+  static GraphMetrics &get() {
+    static GraphMetrics M;
+    return M;
+  }
+};
+
+} // namespace
 
 /// Reusable scratch for the EXPAND hot path (§4/§5): CLOSURE's per-call
 /// set rebuilds become clears of preallocated Bitsets instead of fresh
@@ -154,13 +189,19 @@ void ItemSetGraph::expand(ItemSet *State) {
   // against COW-fork freezes, and the set's stripe makes racing
   // expansions of the same set mutually exclusive — the loser blocks on
   // the stripe, re-checks, and adopts the winner's published set.
+  IPG_TRACE_SPAN(Sp, "lr.expand");
+  IPG_TRACE_SPAN_ARG(Sp, State->id());
   std::shared_lock<std::shared_mutex> Gate;
   std::unique_lock<std::mutex> Stripe;
   if (Concurrent) {
     Gate = std::shared_lock<std::shared_mutex>(ExpandGate);
     Stripe = std::unique_lock<std::mutex>(ExpandStripes.forId(State->id()));
-    if (State->stateAcquire() == ItemSetState::Complete)
-      return; // Lost the publication race; adopt the winner's set.
+    if (State->stateAcquire() == ItemSetState::Complete) {
+      // Lost the publication race; adopt the winner's set.
+      IPG_TRACE_SPAN_RENAME(Sp, "lr.expand.adopted");
+      GraphMetrics::get().RaceAdoptions.bump();
+      return;
+    }
   }
   assert(!State->isDead() && "expanding a collected set of items");
   ExpandScratch &S = ExpandScratch::get();
@@ -172,16 +213,25 @@ void ItemSetGraph::expand(ItemSet *State) {
     // the kernel bytes concurrent findByKernel scans read, so it happens
     // under the structure lock like every other kernel/index access.
     auto Lock = structureLock();
+    if (State->isBorrowed())
+      GraphMetrics::get().Materialized.bump();
     State->materializeOwned();
     WasDirty = State->state() == ItemSetState::Dirty;
   }
   Stats.bump(ScExpansions);
-  if (WasDirty)
+  GraphMetrics::get().Expansions.bump();
+  if (WasDirty) {
     Stats.bump(ScReExpansions);
+    GraphMetrics::get().ReExpansions.bump();
+    // The §6 repair observable: one span per state actually re-expanded
+    // (warm_start cross-checks this count against the stats counter).
+    IPG_TRACE_SPAN_RENAME(Sp, "lr.reexpand");
+  }
 
   closureInto(State->K, S, S.Closure);
   const std::vector<Item> &Closure = S.Closure;
   Stats.bump(ScClosureItems, Closure.size());
+  GraphMetrics::get().ClosureItems.bump(Closure.size());
 
   State->Transitions.clear();
   State->Reductions.clear();
@@ -284,6 +334,7 @@ void ItemSetGraph::decrRefCount(ItemSet *State) {
     Current->storeState(ItemSetState::Dead, std::memory_order_relaxed);
     Current->releaseStorage();
     Stats.bump(ScCollected);
+    GraphMetrics::get().Collected.bump();
   }
 }
 
@@ -294,6 +345,8 @@ void ItemSetGraph::markDirty(ItemSet *State) {
     return;
   // Copy-on-MODIFY: an adopted set materializes its borrowed records
   // before they are rearranged, so §6 repair works on mapped graphs.
+  if (State->isBorrowed())
+    GraphMetrics::get().Materialized.bump();
   State->materializeOwned();
   State->OldTransitions = std::move(State->Transitions);
   State->Transitions.clear();
@@ -303,6 +356,7 @@ void ItemSetGraph::markDirty(ItemSet *State) {
   State->Accepting = false;
   State->storeState(ItemSetState::Dirty, std::memory_order_relaxed);
   Stats.bump(ScDirtyMarks);
+  GraphMetrics::get().DirtyMarks.bump();
 }
 
 void ItemSetGraph::modify(SymbolId Lhs) {
@@ -311,6 +365,14 @@ void ItemSetGraph::modify(SymbolId Lhs) {
   // fork and publishes it as a new epoch (server/GrammarServer.h).
   assert(!Concurrent &&
          "MODIFY on a published shared graph — fork a new epoch instead");
+  // The paper's headline number, per edit: how long the dirty-marking
+  // probe takes and how many sets it invalidated (re-expansion happens
+  // lazily later, counted by the lr.reexpand spans).
+  IPG_TRACE_SPAN(Sp, "lr.modify");
+  ScopedLatency Lat(GraphMetrics::get().ModifyLatency);
+  GraphMetrics::get().Edits.bump();
+  uint64_t MarksBefore = Stats.total(ScDirtyMarks);
+  (void)MarksBefore;
   if (Lhs == G.startSymbol()) {
     // Only the start set can hold START ::= •β in its kernel.
     ensureKernelIndex();
@@ -319,6 +381,7 @@ void ItemSetGraph::modify(SymbolId Lhs) {
     Start->K = startKernel();
     ByKernel[hashKernel(Start->K)].push_back(Start);
     markDirty(Start);
+    IPG_TRACE_SPAN_ARG(Sp, Stats.total(ScDirtyMarks) - MarksBefore);
     return;
   }
   // Recognition of a rule for Lhs starts exactly in the complete sets with
@@ -335,6 +398,7 @@ void ItemSetGraph::modify(SymbolId Lhs) {
     Probe(State);
   for (ItemSet &State : Pool)
     Probe(State);
+  IPG_TRACE_SPAN_ARG(Sp, Stats.total(ScDirtyMarks) - MarksBefore);
 }
 
 bool ItemSetGraph::addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
@@ -447,6 +511,8 @@ size_t ItemSetGraph::numLive() const {
 size_t ItemSetGraph::collectGarbage() {
   // Whole-graph walk; exclusive-mode only (see generateAll).
   assert(!Concurrent && "collectGarbage on a published shared graph");
+  IPG_TRACE_SPAN(Sp, "lr.gc");
+  ScopedLatency Lat(GraphMetrics::get().GcLatency);
   // Mark phase: reachable from the start set, following live transitions
   // and the retained pre-modification transitions of dirty sets.
   std::vector<bool> Marked(numSets(), false);
@@ -478,7 +544,9 @@ size_t ItemSetGraph::collectGarbage() {
     State.RefCount = 0;
     ++Reclaimed;
     Stats.bump(ScCollected);
+    GraphMetrics::get().Collected.bump();
   }
+  IPG_TRACE_SPAN_ARG(Sp, Reclaimed);
 
   // Restore exact reference counts for the survivors.
   for (size_t I = 0, N = numSets(); I < N; ++I) {

@@ -5,13 +5,31 @@
 #include "lr/GraphSnapshot.h"
 #include "support/FlatSection.h"
 #include "support/MappedFile.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 using namespace ipg;
 
 namespace {
+
+/// Process-wide server observables (catalog in docs/OBSERVABILITY.md).
+struct ServerMetrics {
+  MetricsRegistry &R = MetricsRegistry::process();
+  MetricCounter &Sessions = R.counter("ipg.server.sessions");
+  MetricCounter &Forks = R.counter("ipg.server.forks");
+  MetricCounter &ForksAdopted = R.counter("ipg.server.forks_adopted");
+  MetricGauge &LiveEpochs = R.gauge("ipg.server.live_epochs");
+  LatencyHistogram &ForkLatency = R.histogram("ipg.server.fork");
+
+  static ServerMetrics &get() {
+    static ServerMetrics M;
+    return M;
+  }
+};
 
 /// Identity id maps for the non-adopting loadV2 fallback: an exact clone
 /// shares every id with its source, so no remapping is ever needed.
@@ -40,9 +58,19 @@ GrammarServer::GrammarServer(const Grammar &Initial) {
   First->Graph.beginConcurrent();
   History.push_back(First);
   Published.publish(std::move(First));
+  ServerMetrics::get().LiveEpochs.set(1);
+}
+
+ParseSession GrammarServer::openSession() const {
+  ServerMetrics::get().Sessions.bump();
+  return ParseSession(epoch());
 }
 
 std::shared_ptr<GraphEpoch> GrammarServer::forkOf(GraphEpoch &Cur) {
+  IPG_TRACE_SPAN(Sp, "server.fork");
+  IPG_TRACE_SPAN_ARG(Sp, Cur.generation());
+  ScopedLatency Lat(ServerMetrics::get().ForkLatency);
+  ServerMetrics::get().Forks.bump();
   auto Next = std::shared_ptr<GraphEpoch>(new GraphEpoch(NextGeneration++));
   Grammar::cloneExact(Cur.grammar(), Next->G);
 
@@ -80,6 +108,8 @@ std::shared_ptr<GraphEpoch> GrammarServer::forkOf(GraphEpoch &Cur) {
   }
   if (!Loaded)
     GraphSnapshot::reset(Next->Graph);
+  if (Next->Adopted)
+    ServerMetrics::get().ForksAdopted.bump();
   return Next;
 }
 
@@ -91,6 +121,10 @@ void GrammarServer::publish(std::shared_ptr<GraphEpoch> Next) {
   // not to the server's total edit count.
   std::erase_if(History,
                 [](const std::weak_ptr<GraphEpoch> &E) { return E.expired(); });
+  // Everything left is live (pruned moments ago); reclamation-lag gauge
+  // and trace track of the epoch population over time.
+  ServerMetrics::get().LiveEpochs.set(int64_t(History.size()));
+  IPG_TRACE_COUNTER("server.live_epochs", History.size());
 }
 
 bool GrammarServer::addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
@@ -191,4 +225,45 @@ size_t GrammarServer::liveEpochs() const {
 bool GrammarServer::lastForkAdopted() const {
   std::lock_guard<std::mutex> Writer(WriterMutex);
   return LastForkAdopted;
+}
+
+JsonValue GrammarServer::metricsJson() const {
+  // Concurrency discipline: this reads (a) the pinned current epoch's
+  // atomic/sharded counters, (b) WriterMutex-guarded server state, and
+  // (c) the process metrics registry. It never walks Pool/Adopted of a
+  // graph that sessions may be growing — set counts are exclusive-mode
+  // observables (Ipg::metricsJson() has them; a server graph does not).
+  std::shared_ptr<GraphEpoch> Cur = Published.acquire();
+  JsonValue Doc = JsonValue::object();
+  Doc.set("generation", Cur->generation());
+  Doc.set("epoch_parses", Cur->parses());
+  Doc.set("epoch_adopted", Cur->adopted());
+  {
+    std::lock_guard<std::mutex> Writer(WriterMutex);
+    uint64_t Live = 0, LiveParses = 0;
+    uint64_t Oldest = Cur->generation();
+    for (const std::weak_ptr<GraphEpoch> &W : History)
+      if (std::shared_ptr<GraphEpoch> E = W.lock()) {
+        ++Live;
+        LiveParses += E->parses();
+        Oldest = std::min(Oldest, E->generation());
+      }
+    Doc.set("live_epochs", Live);
+    Doc.set("oldest_live_generation", Oldest);
+    // How far reclamation trails publication: 0 when every displaced
+    // epoch has drained, N when a session still pins generation Cur-N.
+    Doc.set("reclamation_lag", Cur->generation() - Oldest);
+    Doc.set("live_epoch_parses", LiveParses);
+    Doc.set("last_fork_adopted", LastForkAdopted);
+  }
+  ItemSetGraphStats S = Cur->graph().stats();
+  JsonValue &GraphDoc = Doc.set("graph", JsonValue::object());
+  GraphDoc.set("expansions", S.Expansions);
+  GraphDoc.set("re_expansions", S.ReExpansions);
+  GraphDoc.set("closure_items", S.ClosureItems);
+  GraphDoc.set("dirty_marks", S.DirtyMarks);
+  GraphDoc.set("collected", S.Collected);
+  GraphDoc.set("goto_calls", S.GotoCalls);
+  Doc.set("process", MetricsRegistry::process().toJson());
+  return Doc;
 }

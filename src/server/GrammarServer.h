@@ -44,7 +44,9 @@
 #include "glr/GlrParser.h"
 #include "lr/ItemSetGraph.h"
 #include "support/Concurrency.h"
+#include "support/Json.h"
 
+#include <atomic>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
@@ -77,8 +79,13 @@ public:
   /// predecessor's serialization (vs the decode/cold-start fallbacks).
   bool adopted() const { return Adopted; }
 
+  /// Parses served against this epoch (all sessions; relaxed counter).
+  /// The per-epoch utilization observable of metricsJson().
+  uint64_t parses() const { return Parses.load(std::memory_order_relaxed); }
+
 private:
   friend class GrammarServer;
+  friend class ParseSession;
 
   explicit GraphEpoch(uint64_t Generation) : Generation(Generation), Graph(G) {}
 
@@ -86,6 +93,7 @@ private:
   Grammar G;
   ItemSetGraph Graph;
   bool Adopted = false;
+  std::atomic<uint64_t> Parses{0};
 };
 
 /// A parse session: a Tomita parser pinned to one epoch. Sessions are
@@ -104,11 +112,13 @@ public:
 
   /// Parses \p Input (terminals, no end marker) into \p F.
   GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+    Epoch->Parses.fetch_add(1, std::memory_order_relaxed);
     return Parser.parse(Input, F);
   }
 
   /// Recognition only (the forest is still built; §7 measurement style).
   bool recognize(const std::vector<SymbolId> &Input) {
+    Epoch->Parses.fetch_add(1, std::memory_order_relaxed);
     return Parser.recognize(Input);
   }
 
@@ -128,8 +138,9 @@ public:
   GrammarServer(const GrammarServer &) = delete;
   GrammarServer &operator=(const GrammarServer &) = delete;
 
-  /// Pins the current epoch into a new session.
-  ParseSession openSession() const { return ParseSession(epoch()); }
+  /// Pins the current epoch into a new session. Out of line for the
+  /// session-count metric (keeps support/Metrics.h out of this header).
+  ParseSession openSession() const;
 
   /// The current epoch (pinned). Successive calls may return different
   /// epochs; one session's view is stable because the *session* pins.
@@ -165,6 +176,14 @@ public:
   /// zero-copy (introspection for tests; false before the first fork and
   /// on the decode/cold-start fallbacks).
   bool lastForkAdopted() const;
+
+  /// A point-in-time observability document: current generation, live
+  /// epochs and reclamation lag, the current epoch's parse count and
+  /// sharded graph statistics, plus the process-wide metrics registry.
+  /// Safe to call from any thread while sessions parse and writers fork:
+  /// it reads only sharded/atomic counters and WriterMutex-guarded state,
+  /// never walking a concurrently-growing graph.
+  JsonValue metricsJson() const;
 
 private:
   /// Builds and publishes the successor epoch; caller holds WriterMutex

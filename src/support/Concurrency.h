@@ -66,18 +66,25 @@ public:
   }
 
   uint64_t total(size_t Counter) const {
-    uint64_t Sum = 0;
+    uint64_t Sum = Bases[Counter].load(std::memory_order_relaxed);
     for (const Shard &S : Shards)
       Sum += S.Cells[Counter].load(std::memory_order_relaxed);
     return Sum;
   }
 
-  /// Zeroes every shard and deposits \p Value in shard 0 — the restore
-  /// path for persisted counter snapshots.
+  /// Replaces the counter's value: zeroes every shard and deposits
+  /// \p Value in a base cell that bump() never writes — the restore path
+  /// for persisted counter snapshots. Depositing into shard 0 instead
+  /// would race a concurrent bump on shard 0 (its relaxed load+store pair
+  /// could overwrite the deposit with a stale pre-store value, losing the
+  /// entire restored base). With a dedicated base cell the worst case
+  /// under concurrent bumping is the usual statistical one: increments in
+  /// flight across the shard zeroing may survive or vanish, but the base
+  /// is never lost and total() stays within [Value, Value + bumps].
   void store(size_t Counter, uint64_t Value) {
     for (Shard &S : Shards)
       S.Cells[Counter].store(0, std::memory_order_relaxed);
-    Shards[0].Cells[Counter].store(Value, std::memory_order_relaxed);
+    Bases[Counter].store(Value, std::memory_order_relaxed);
   }
 
 private:
@@ -86,6 +93,8 @@ private:
     std::array<std::atomic<uint64_t>, NumCounters> Cells{};
   };
   std::array<Shard, NumShards> Shards{};
+  /// store()-only cells (see store()); bump() never touches these.
+  std::array<std::atomic<uint64_t>, NumCounters> Bases{};
 };
 
 /// A fixed pool of mutexes addressed by an integer id — the per-item-set

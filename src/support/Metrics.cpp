@@ -1,0 +1,177 @@
+//===- support/Metrics.cpp - Process-wide metrics registry ----------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace ipg;
+
+uint64_t LatencyHistogram::bucketUpperMicros(size_t I) {
+  if (I == 0)
+    return 1;
+  if (I >= NumBuckets - 1)
+    return UINT64_MAX;
+  return uint64_t(1) << I;
+}
+
+size_t LatencyHistogram::bucketIndexForNanos(uint64_t Nanos) {
+  uint64_t Micros = Nanos / 1000;
+  if (Micros == 0)
+    return 0;
+  return std::min<size_t>(std::bit_width(Micros), NumBuckets - 1);
+}
+
+template <typename T>
+T &MetricsRegistry::lookup(std::deque<Named<T>> &Store, std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (Named<T> &Entry : Store)
+    if (Entry.Name == Name)
+      return Entry.Metric;
+  // emplace + assign: the metric types hold atomics and cannot be moved
+  // into place.
+  Store.emplace_back();
+  Store.back().Name = std::string(Name);
+  return Store.back().Metric;
+}
+
+MetricCounter &MetricsRegistry::counter(std::string_view Name) {
+  return lookup(Counters, Name);
+}
+
+MetricGauge &MetricsRegistry::gauge(std::string_view Name) {
+  return lookup(Gauges, Name);
+}
+
+LatencyHistogram &MetricsRegistry::histogram(std::string_view Name) {
+  return lookup(Histograms, Name);
+}
+
+MetricsRegistry &MetricsRegistry::process() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+namespace {
+
+/// Stable export order: names sorted, not registration order, so two
+/// processes that registered in different interleavings emit comparable
+/// documents.
+template <typename T>
+std::vector<const T *> sortedByName(const std::deque<T> &Store) {
+  std::vector<const T *> Sorted;
+  Sorted.reserve(Store.size());
+  for (const T &Entry : Store)
+    Sorted.push_back(&Entry);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const T *A, const T *B) { return A->Name < B->Name; });
+  return Sorted;
+}
+
+} // namespace
+
+JsonValue MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  JsonValue Doc = JsonValue::object();
+
+  JsonValue &CounterObj = Doc.set("counters", JsonValue::object());
+  for (const auto *Entry : sortedByName(Counters))
+    CounterObj.set(Entry->Name, Entry->Metric.total());
+
+  JsonValue &GaugeObj = Doc.set("gauges", JsonValue::object());
+  for (const auto *Entry : sortedByName(Gauges))
+    GaugeObj.set(Entry->Name, int64_t(Entry->Metric.value()));
+
+  JsonValue &HistObj = Doc.set("histograms", JsonValue::object());
+  for (const auto *Entry : sortedByName(Histograms)) {
+    const LatencyHistogram &H = Entry->Metric;
+    JsonValue HistDoc = JsonValue::object();
+    uint64_t Count = H.count();
+    HistDoc.set("count", Count);
+    HistDoc.set("sum_nanos", H.sumNanos());
+    HistDoc.set("max_nanos", H.maxNanos());
+    HistDoc.set("mean_nanos",
+                Count ? double(H.sumNanos()) / double(Count) : 0.0);
+    // Non-empty buckets only, as [exclusive-upper-bound-µs, count]; the
+    // unbounded last bucket reports upper bound 0 (JSON has no +Inf).
+    JsonValue &BucketArr = HistDoc.set("buckets_le_micros", JsonValue::array());
+    for (size_t I = 0; I < LatencyHistogram::NumBuckets; ++I) {
+      uint64_t BucketHits = H.bucketCount(I);
+      if (BucketHits == 0)
+        continue;
+      JsonValue Pair = JsonValue::array();
+      uint64_t Upper = LatencyHistogram::bucketUpperMicros(I);
+      Pair.push(Upper == UINT64_MAX ? uint64_t(0) : Upper);
+      Pair.push(BucketHits);
+      BucketArr.push(std::move(Pair));
+    }
+    HistObj.set(Entry->Name, std::move(HistDoc));
+  }
+  return Doc;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names map dots (and anything else) to underscores.
+std::string prometheusName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (!((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+          (C >= '0' && C <= '9') || C == '_'))
+      C = '_';
+  return Out;
+}
+
+void appendLine(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::prometheusText() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+
+  for (const auto *Entry : sortedByName(Counters)) {
+    std::string N = prometheusName(Entry->Name) + "_total";
+    appendLine(Out, "# TYPE %s counter\n", N.c_str());
+    appendLine(Out, "%s %llu\n", N.c_str(),
+               (unsigned long long)Entry->Metric.total());
+  }
+
+  for (const auto *Entry : sortedByName(Gauges)) {
+    std::string N = prometheusName(Entry->Name);
+    appendLine(Out, "# TYPE %s gauge\n", N.c_str());
+    appendLine(Out, "%s %lld\n", N.c_str(), (long long)Entry->Metric.value());
+  }
+
+  for (const auto *Entry : sortedByName(Histograms)) {
+    const LatencyHistogram &H = Entry->Metric;
+    std::string N = prometheusName(Entry->Name) + "_seconds";
+    appendLine(Out, "# TYPE %s histogram\n", N.c_str());
+    uint64_t Cumulative = 0;
+    for (size_t I = 0; I < LatencyHistogram::NumBuckets; ++I) {
+      Cumulative += H.bucketCount(I);
+      uint64_t UpperMicros = LatencyHistogram::bucketUpperMicros(I);
+      if (UpperMicros == UINT64_MAX)
+        appendLine(Out, "%s_bucket{le=\"+Inf\"} %llu\n", N.c_str(),
+                   (unsigned long long)Cumulative);
+      else
+        appendLine(Out, "%s_bucket{le=\"%g\"} %llu\n", N.c_str(),
+                   double(UpperMicros) * 1e-6, (unsigned long long)Cumulative);
+    }
+    appendLine(Out, "%s_sum %g\n", N.c_str(), double(H.sumNanos()) * 1e-9);
+    appendLine(Out, "%s_count %llu\n", N.c_str(),
+               (unsigned long long)H.count());
+  }
+  return Out;
+}

@@ -1,0 +1,178 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+///
+/// \file
+/// Always-on observability counters for the lazy/incremental machinery:
+/// a process-wide registry of named counters, gauges and fixed-bucket
+/// latency histograms, exportable as JSON (support/Json.h) and as
+/// Prometheus text exposition. `Ipg::metricsJson()` and
+/// `GrammarServer::metricsJson()` embed the registry; docs/OBSERVABILITY.md
+/// catalogs the names the library registers.
+///
+/// Cost discipline (why this can be always-on):
+///
+///   * MetricCounter is a ShardedCounters<1> — a bump is one relaxed
+///     load+store on a thread-sharded cache line, the same price the
+///     ItemSetGraph statistics already pay. Counters are exact
+///     single-threaded and statistically accurate concurrent (see
+///     support/Concurrency.h).
+///   * MetricGauge is a single relaxed atomic — for values that are *set*
+///     (live epochs), not accumulated, and set on rare paths.
+///   * LatencyHistogram::record is a handful of relaxed RMWs — cheap, but
+///     not sharded, so histograms belong on rare events (a MODIFY repair,
+///     a snapshot load, an epoch fork), never per ACTION/GOTO query.
+///   * Registration (`registry.counter("name")`) takes a mutex and may
+///     allocate; hot sites cache the returned reference in a static.
+///
+/// Returned references are stable for the registry's lifetime (deque
+/// storage, metrics are never removed), so the cached-static idiom is
+/// safe:
+///
+///   static MetricCounter &C = MetricsRegistry::process().counter("x");
+///   C.bump();
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_METRICS_H
+#define IPG_SUPPORT_METRICS_H
+
+#include "support/Concurrency.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ipg {
+
+/// A monotone event counter. See the file comment for the cost contract.
+class MetricCounter {
+public:
+  void bump(uint64_t Delta = 1) { Cells.bump(0, Delta); }
+  uint64_t total() const { return Cells.total(0); }
+  /// Replaces the value (restore path); never lost to concurrent bumps.
+  void store(uint64_t Value) { Cells.store(0, Value); }
+
+private:
+  ShardedCounters<1> Cells;
+};
+
+/// A point-in-time value (live epochs, resident sessions). Set on rare
+/// paths; reads are one relaxed load.
+class MetricGauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  void add(int64_t Delta) { Value.fetch_add(Delta, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// A fixed-bucket latency histogram over power-of-two microsecond
+/// boundaries: bucket 0 is sub-microsecond, bucket i (1 <= i < 27) covers
+/// [2^(i-1), 2^i) microseconds, and the last bucket absorbs everything
+/// from ~67 seconds up (overflow clamp — no sample is ever dropped).
+/// record() is a few relaxed fetch_adds: fine for rare events, not for
+/// per-query paths.
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 28;
+
+  void record(uint64_t Nanos) {
+    Buckets[bucketIndexForNanos(Nanos)].fetch_add(1, std::memory_order_relaxed);
+    Observations.fetch_add(1, std::memory_order_relaxed);
+    TotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
+    uint64_t Peak = PeakNanos.load(std::memory_order_relaxed);
+    while (Nanos > Peak &&
+           !PeakNanos.compare_exchange_weak(Peak, Nanos,
+                                            std::memory_order_relaxed))
+      ;
+  }
+  void recordSeconds(double Seconds) {
+    record(Seconds > 0 ? static_cast<uint64_t>(Seconds * 1e9) : 0);
+  }
+
+  uint64_t count() const {
+    return Observations.load(std::memory_order_relaxed);
+  }
+  uint64_t sumNanos() const { return TotalNanos.load(std::memory_order_relaxed); }
+  uint64_t maxNanos() const { return PeakNanos.load(std::memory_order_relaxed); }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Exclusive upper bound of bucket \p I in microseconds; the last
+  /// bucket is unbounded and reports UINT64_MAX ("+Inf").
+  static uint64_t bucketUpperMicros(size_t I);
+  /// The bucket a sample of \p Nanos lands in (0, boundary and
+  /// saturating cases included — see the class comment).
+  static size_t bucketIndexForNanos(uint64_t Nanos);
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Observations{0};
+  std::atomic<uint64_t> TotalNanos{0};
+  std::atomic<uint64_t> PeakNanos{0};
+};
+
+/// RAII latency sample: records the enclosing scope's wall time into the
+/// histogram at destruction. For the rare-event paths only.
+class ScopedLatency {
+public:
+  explicit ScopedLatency(LatencyHistogram &Hist) : Hist(Hist) {}
+  ScopedLatency(const ScopedLatency &) = delete;
+  ScopedLatency &operator=(const ScopedLatency &) = delete;
+  ~ScopedLatency() { Hist.recordSeconds(Watch.seconds()); }
+
+private:
+  LatencyHistogram &Hist;
+  Stopwatch Watch;
+};
+
+/// The named-metric registry. Lookup-or-create by name; references stay
+/// valid forever (deque storage, no removal). One process-wide instance
+/// (`process()`) carries the library's own instrumentation; tests may
+/// build private registries.
+class MetricsRegistry {
+public:
+  MetricCounter &counter(std::string_view Name);
+  MetricGauge &gauge(std::string_view Name);
+  LatencyHistogram &histogram(std::string_view Name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted so the export is deterministic regardless of registration
+  /// order. Histograms carry count/sum/max/mean plus the non-empty
+  /// buckets as [upper-bound-µs, count] pairs.
+  JsonValue toJson() const;
+
+  /// Prometheus text exposition (one # TYPE line per metric, names
+  /// mangled to [a-z0-9_], histograms as cumulative le-labeled series in
+  /// seconds with +Inf/_sum/_count).
+  std::string prometheusText() const;
+
+  /// The process-wide registry the library instruments into.
+  static MetricsRegistry &process();
+
+private:
+  template <typename T> struct Named {
+    std::string Name;
+    T Metric;
+  };
+  template <typename T>
+  T &lookup(std::deque<Named<T>> &Store, std::string_view Name);
+
+  mutable std::mutex M;
+  std::deque<Named<MetricCounter>> Counters;
+  std::deque<Named<MetricGauge>> Gauges;
+  std::deque<Named<LatencyHistogram>> Histograms;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_METRICS_H

@@ -1,0 +1,211 @@
+//===- support/Trace.cpp - Per-thread ring-buffer event tracer ------------===//
+
+#include "support/Trace.h"
+
+#if IPG_TRACING
+#include "support/Concurrency.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+#endif
+
+using namespace ipg;
+
+#if IPG_TRACING
+
+std::atomic<bool> trace::detail::Recording{false};
+
+uint64_t trace::nowNanos() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+namespace {
+
+/// One thread's preallocated event ring. Single writer (the owning
+/// thread); Head counts events ever recorded, so Head > capacity means
+/// wrap and the live window is the last `capacity` events.
+struct ThreadRing {
+  std::vector<trace::detail::Event> Events;
+  std::atomic<uint64_t> Head{0};
+  uint32_t Tid = 0;
+};
+
+/// All rings ever created. Rings live until process exit (threads may
+/// die; their events remain drainable), so the thread_local pointer
+/// below never dangles.
+struct RingRegistry {
+  std::mutex M;
+  std::vector<std::unique_ptr<ThreadRing>> Rings;
+  size_t Capacity = size_t(1) << 16;
+};
+
+RingRegistry &registry() {
+  static RingRegistry R;
+  return R;
+}
+
+thread_local ThreadRing *MyRing = nullptr;
+
+/// The live window of \p Ring as (first index, count).
+std::pair<uint64_t, uint64_t> liveWindow(const ThreadRing &Ring) {
+  uint64_t Head = Ring.Head.load(std::memory_order_acquire);
+  uint64_t Size = Ring.Events.size();
+  uint64_t Count = std::min(Head, Size);
+  return {Head - Count, Count};
+}
+
+} // namespace
+
+void trace::detail::record(const Event &E) {
+  ThreadRing *Ring = MyRing;
+  if (!Ring) {
+    // First event on this thread: register a ring (the only allocation
+    // the tracer ever performs on a recording thread).
+    RingRegistry &Reg = registry();
+    std::lock_guard<std::mutex> Lock(Reg.M);
+    Reg.Rings.push_back(std::make_unique<ThreadRing>());
+    Ring = Reg.Rings.back().get();
+    Ring->Events.resize(Reg.Capacity);
+    Ring->Tid = threadSlot();
+    MyRing = Ring;
+  }
+  uint64_t Head = Ring->Head.load(std::memory_order_relaxed);
+  Event &Slot = Ring->Events[Head % Ring->Events.size()];
+  Slot = E;
+  Slot.Tid = Ring->Tid;
+  Ring->Head.store(Head + 1, std::memory_order_release);
+}
+
+void trace::start(size_t RingCapacity) {
+  RingRegistry &Reg = registry();
+  {
+    std::lock_guard<std::mutex> Lock(Reg.M);
+    Reg.Capacity = RingCapacity ? RingCapacity : 1;
+  }
+  detail::Recording.store(true, std::memory_order_relaxed);
+}
+
+void trace::stop() {
+  detail::Recording.store(false, std::memory_order_relaxed);
+}
+
+void trace::clear() {
+  RingRegistry &Reg = registry();
+  std::lock_guard<std::mutex> Lock(Reg.M);
+  for (auto &Ring : Reg.Rings)
+    Ring->Head.store(0, std::memory_order_release);
+}
+
+uint64_t trace::eventCount() {
+  RingRegistry &Reg = registry();
+  std::lock_guard<std::mutex> Lock(Reg.M);
+  uint64_t Count = 0;
+  for (auto &Ring : Reg.Rings)
+    Count += liveWindow(*Ring).second;
+  return Count;
+}
+
+uint64_t trace::eventCount(const char *Name) {
+  RingRegistry &Reg = registry();
+  std::lock_guard<std::mutex> Lock(Reg.M);
+  uint64_t Count = 0;
+  for (auto &Ring : Reg.Rings) {
+    auto [First, N] = liveWindow(*Ring);
+    for (uint64_t I = 0; I < N; ++I) {
+      const detail::Event &E = Ring->Events[(First + I) % Ring->Events.size()];
+      if (E.Name == Name || std::strcmp(E.Name, Name) == 0)
+        ++Count;
+    }
+  }
+  return Count;
+}
+
+uint64_t trace::droppedCount() {
+  RingRegistry &Reg = registry();
+  std::lock_guard<std::mutex> Lock(Reg.M);
+  uint64_t Dropped = 0;
+  for (auto &Ring : Reg.Rings) {
+    uint64_t Head = Ring->Head.load(std::memory_order_acquire);
+    uint64_t Size = Ring->Events.size();
+    if (Head > Size)
+      Dropped += Head - Size;
+  }
+  return Dropped;
+}
+
+JsonValue trace::drainChromeJson() {
+  std::vector<detail::Event> All;
+  uint64_t Dropped = 0;
+  {
+    RingRegistry &Reg = registry();
+    std::lock_guard<std::mutex> Lock(Reg.M);
+    for (auto &Ring : Reg.Rings) {
+      auto [First, N] = liveWindow(*Ring);
+      for (uint64_t I = 0; I < N; ++I)
+        All.push_back(Ring->Events[(First + I) % Ring->Events.size()]);
+      uint64_t Head = Ring->Head.load(std::memory_order_acquire);
+      if (Head > Ring->Events.size())
+        Dropped += Head - Ring->Events.size();
+    }
+  }
+  std::sort(All.begin(), All.end(),
+            [](const detail::Event &A, const detail::Event &B) {
+              return A.StartNanos < B.StartNanos;
+            });
+  uint64_t Epoch = All.empty() ? 0 : All.front().StartNanos;
+
+  JsonValue Doc = JsonValue::object();
+  JsonValue &Events = Doc.set("traceEvents", JsonValue::array());
+  for (const detail::Event &E : All) {
+    JsonValue Ev = JsonValue::object();
+    Ev.set("name", E.Name);
+    Ev.set("ph", E.Phase == 0 ? "X" : (E.Phase == 1 ? "i" : "C"));
+    Ev.set("ts", double(E.StartNanos - Epoch) * 1e-3);
+    if (E.Phase == 0)
+      Ev.set("dur", double(E.DurNanos) * 1e-3);
+    Ev.set("pid", 1);
+    Ev.set("tid", uint64_t(E.Tid));
+    if (E.Phase == 1)
+      Ev.set("s", "t"); // Thread-scoped instant.
+    if (E.HasArg) {
+      JsonValue &Args = Ev.set("args", JsonValue::object());
+      // Counter tracks plot their named series; spans carry one payload.
+      Args.set(E.Phase == 2 ? "value" : "arg", E.Arg);
+    }
+    Events.push(std::move(Ev));
+  }
+  Doc.set("displayTimeUnit", "ms");
+  JsonValue &Other = Doc.set("otherData", JsonValue::object());
+  Other.set("dropped_events", Dropped);
+  return Doc;
+}
+
+#else // !IPG_TRACING
+
+void trace::start(size_t) {}
+void trace::stop() {}
+void trace::clear() {}
+uint64_t trace::eventCount() { return 0; }
+uint64_t trace::eventCount(const char *) { return 0; }
+uint64_t trace::droppedCount() { return 0; }
+
+JsonValue trace::drainChromeJson() {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("traceEvents", JsonValue::array());
+  Doc.set("displayTimeUnit", "ms");
+  JsonValue &Other = Doc.set("otherData", JsonValue::object());
+  Other.set("dropped_events", uint64_t(0));
+  return Doc;
+}
+
+#endif // IPG_TRACING
+
+Expected<size_t> trace::writeChromeTrace(const std::string &Path) {
+  return writeJsonFile(drainChromeJson(), Path);
+}

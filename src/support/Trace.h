@@ -1,0 +1,182 @@
+//===- support/Trace.h - Per-thread ring-buffer event tracer ----*- C++ -*-===//
+///
+/// \file
+/// A compile-time-gated event tracer for the §5/§6 machinery: RAII spans
+/// record into fixed-size per-thread rings, drained on demand into Chrome
+/// `trace_event` JSON (loadable in chrome://tracing and ui.perfetto.dev).
+/// docs/OBSERVABILITY.md documents the span names the library emits and
+/// the drain workflow.
+///
+/// Overhead contract (pinned by HotPathAllocTest and BM_TraceSpanDisabled):
+///
+///   * Compiled out (`-DIPG_TRACING=OFF`): every macro expands to nothing.
+///   * Compiled in, runtime-disabled (the default): a span is one relaxed
+///     atomic load and a predictable never-taken branch — no allocation,
+///     no clock read, no ring write. The steady-state ACTION/GOTO query
+///     path carries no span at all, so it is unaffected either way.
+///   * Enabled: a span is two steady-clock reads and one store into a
+///     preallocated per-thread ring (~40 bytes/event, no allocation after
+///     a thread's first event). When a ring fills it wraps, dropping the
+///     oldest events and counting the overflow (droppedCount()).
+///
+/// Threading: recording is thread-local and lock-free; start()/stop()
+/// flip one atomic. clear()/eventCount()/drainChromeJson() walk every
+/// thread's ring under the registry lock and expect recording to be
+/// quiescent (tracing stopped, or all recording threads joined) — the
+/// drain is an offline operation, not a concurrent consumer.
+///
+/// Span names must be string literals (or otherwise outlive the drain):
+/// the ring stores the pointer, never a copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_TRACE_H
+#define IPG_SUPPORT_TRACE_H
+
+#include "support/Expected.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#ifndef IPG_TRACING
+#define IPG_TRACING 0
+#endif
+
+namespace ipg::trace {
+
+/// True when the tracer is compiled in (CMake option IPG_TRACING, default
+/// ON; the definition propagates to consumers through the ipg target).
+constexpr bool compiledIn() { return IPG_TRACING != 0; }
+
+#if IPG_TRACING
+namespace detail {
+extern std::atomic<bool> Recording;
+} // namespace detail
+/// True between start() and stop(). One relaxed load.
+inline bool enabled() {
+  return detail::Recording.load(std::memory_order_relaxed);
+}
+#else
+constexpr bool enabled() { return false; }
+#endif
+
+/// Begins recording. \p RingCapacity sizes the per-thread rings, in
+/// events; rings already created by earlier recording keep their size,
+/// new threads get the new capacity. No-op when compiled out.
+void start(size_t RingCapacity = size_t(1) << 16);
+
+/// Stops recording (events are retained for draining).
+void stop();
+
+/// Discards all recorded events and the dropped-event tally. Call only
+/// while recording is quiescent (see file comment).
+void clear();
+
+/// Events currently held across all rings; with \p Name, only events
+/// whose name matches. Quiescence expected.
+uint64_t eventCount();
+uint64_t eventCount(const char *Name);
+
+/// Events lost to ring wrap since the last clear().
+uint64_t droppedCount();
+
+/// The held events as a Chrome trace_event document:
+///   {"traceEvents": [{"name","ph","ts","dur","pid","tid","args"}...],
+///    "displayTimeUnit": "ms", "otherData": {"dropped_events": N}}
+/// Timestamps are microseconds rebased to the earliest event; events are
+/// sorted by start time. Does not clear the rings. Quiescence expected.
+JsonValue drainChromeJson();
+
+/// drainChromeJson() serialized to \p Path; returns bytes written.
+Expected<size_t> writeChromeTrace(const std::string &Path);
+
+#if IPG_TRACING
+
+/// Steady-clock nanoseconds (the tracer's timebase).
+uint64_t nowNanos();
+
+namespace detail {
+/// One recorded event. Phase: 0 = complete span ("X"), 1 = instant
+/// ("i"), 2 = counter sample ("C").
+struct Event {
+  const char *Name;
+  uint64_t StartNanos;
+  uint64_t DurNanos;
+  uint64_t Arg;
+  uint32_t Tid;
+  uint8_t Phase;
+  bool HasArg;
+};
+void record(const Event &E);
+} // namespace detail
+
+/// RAII span: captures the start time at construction when tracing is
+/// enabled, records one complete event at destruction. rename() lets a
+/// scope refine the event name once the outcome is known (e.g. an EXPAND
+/// that turns out to be a §6 re-expansion); arg() attaches one integer
+/// payload. Use through the IPG_TRACE_* macros so the whole thing
+/// disappears in compiled-out builds.
+class Span {
+public:
+  explicit Span(const char *Name) : Name(Name) {
+    if (enabled()) {
+      Live = true;
+      StartNanos = nowNanos();
+    }
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span() {
+    if (Live)
+      detail::record(
+          {Name, StartNanos, nowNanos() - StartNanos, ArgValue, 0, 0, HasArg});
+  }
+
+  void rename(const char *NewName) { Name = NewName; }
+  void arg(uint64_t Value) {
+    ArgValue = Value;
+    HasArg = true;
+  }
+
+private:
+  const char *Name;
+  uint64_t StartNanos = 0;
+  uint64_t ArgValue = 0;
+  bool HasArg = false;
+  bool Live = false;
+};
+
+/// A point event with no duration.
+inline void instant(const char *Name) {
+  if (enabled())
+    detail::record({Name, nowNanos(), 0, 0, 0, 1, false});
+}
+
+/// A sampled value over time (renders as a counter track).
+inline void counter(const char *Name, uint64_t Value) {
+  if (enabled())
+    detail::record({Name, nowNanos(), 0, Value, 0, 2, true});
+}
+
+#endif // IPG_TRACING
+
+} // namespace ipg::trace
+
+#if IPG_TRACING
+#define IPG_TRACE_SPAN(Var, Name) ::ipg::trace::Span Var(Name)
+#define IPG_TRACE_SPAN_RENAME(Var, Name) (Var).rename(Name)
+#define IPG_TRACE_SPAN_ARG(Var, Value) (Var).arg(uint64_t(Value))
+#define IPG_TRACE_INSTANT(Name) ::ipg::trace::instant(Name)
+#define IPG_TRACE_COUNTER(Name, Value) ::ipg::trace::counter(Name, uint64_t(Value))
+#else
+#define IPG_TRACE_SPAN(Var, Name) ((void)0)
+#define IPG_TRACE_SPAN_RENAME(Var, Name) ((void)0)
+#define IPG_TRACE_SPAN_ARG(Var, Value) ((void)0)
+#define IPG_TRACE_INSTANT(Name) ((void)0)
+#define IPG_TRACE_COUNTER(Name, Value) ((void)0)
+#endif
+
+#endif // IPG_SUPPORT_TRACE_H

@@ -108,10 +108,16 @@ void buildConflictFamilyGrammar(Grammar &G, uint64_t Seed, double Density) {
   GrammarBuilder B(G);
   const unsigned NumT = 5, NumN = 5, ExtraRules = 9;
   std::vector<SymbolId> T, N;
-  for (unsigned I = 0; I < NumT; ++I)
-    T.push_back(B.symbol("c" + std::to_string(I)));
+  // (Two-step concats: "c" + to_string trips GCC-12 -Wrestrict at -O3.)
+  for (unsigned I = 0; I < NumT; ++I) {
+    std::string Name = "c";
+    Name += std::to_string(I);
+    T.push_back(B.symbol(Name));
+  }
   for (unsigned I = 0; I < NumN; ++I) {
-    SymbolId Sym = B.symbol("M" + std::to_string(I));
+    std::string Name = "M";
+    Name += std::to_string(I);
+    SymbolId Sym = B.symbol(Name);
     G.symbols().markNonterminal(Sym);
     N.push_back(Sym);
   }
@@ -250,7 +256,8 @@ CorpusCase ipg::testing::makeRandomFamilyCase(uint64_t Seed,
     std::vector<std::string> Words;
     for (std::string_view W : splitWords(Text))
       Words.emplace_back(W);
-    std::string Tok = "c" + std::to_string(Rng.below(5));
+    std::string Tok = "c";
+    Tok += std::to_string(Rng.below(5));
     switch (Rng.below(3)) {
     case 0:
       Words.insert(Words.begin() + Rng.below(Words.size() + 1), Tok);

@@ -176,11 +176,17 @@ RandomGrammarCase ipg::testing::buildRandomGrammar(
   GrammarBuilder B(G);
 
   std::vector<SymbolId> Terminals;
-  for (unsigned I = 0; I < NumTerminals; ++I)
-    Terminals.push_back(B.symbol("t" + std::to_string(I)));
+  // (Two-step concats: "t" + to_string trips GCC-12 -Wrestrict at -O3.)
+  for (unsigned I = 0; I < NumTerminals; ++I) {
+    std::string Name = "t";
+    Name += std::to_string(I);
+    Terminals.push_back(B.symbol(Name));
+  }
   std::vector<SymbolId> Nonterminals;
   for (unsigned I = 0; I < NumNonterminals; ++I) {
-    SymbolId N = B.symbol("N" + std::to_string(I));
+    std::string Name = "N";
+    Name += std::to_string(I);
+    SymbolId N = B.symbol(Name);
     G.symbols().markNonterminal(N);
     Nonterminals.push_back(N);
   }

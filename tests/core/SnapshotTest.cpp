@@ -94,6 +94,13 @@ TEST(Snapshot, PartialGraphRoundTripPreservesFrontierAndStats) {
   EXPECT_TRUE(Loaded.recognize(sentence(G2, "true and true")));
   EXPECT_TRUE(Loaded.recognize(sentence(G2, "false or true")));
   EXPECT_FALSE(Loaded.recognize(sentence(G2, "true true")));
+
+  // The storeStats() regression: those post-restore parses bumped the
+  // sharded counters, and the bumps must ADD ON TOP of the restored base,
+  // not vanish into it (restore deposits a base the bump shards never
+  // touch — support/Concurrency.h).
+  EXPECT_GT(Loaded.stats().Expansions, Before.Expansions);
+  EXPECT_GE(Loaded.stats().GotoCalls, Before.GotoCalls);
 }
 
 TEST(Snapshot, ActionsMatchAfterRoundTrip) {

@@ -32,6 +32,8 @@
 #include "core/Ipg.h"
 #include "earley/EarleyParser.h"
 #include "server/GrammarServer.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -97,8 +99,12 @@ struct Script {
 RandomGrammarCase buildBaseGrammar(Grammar &G, uint64_t Seed) {
   RandomGrammarCase Case = buildRandomGrammar(G, Seed);
   GrammarBuilder B(G);
-  for (int I = 0; I < 4; ++I)
-    B.symbol("x" + std::to_string(I));
+  // (Two-step concat: "x" + to_string trips GCC-12 -Wrestrict at -O3.)
+  for (int I = 0; I < 4; ++I) {
+    std::string Name = "x";
+    Name += std::to_string(I);
+    B.symbol(Name);
+  }
   return Case;
 }
 
@@ -310,24 +316,55 @@ void replayServer(const Script &S) {
       << "seed " << S.Seed;
 }
 
+/// Per-seed observability capture: when IPG_FUZZ_ARTIFACT_DIR is set (and
+/// the tracer is compiled in), each replay records into a fresh trace
+/// ring, so a failing seed can dump the event history of exactly its own
+/// replay next to failing_seeds.txt. Construct at the top of a test body;
+/// recordIfFailed() stops recording before any drain.
+struct SeedArtifacts {
+  SeedArtifacts() {
+    if (std::getenv("IPG_FUZZ_ARTIFACT_DIR") != nullptr &&
+        trace::compiledIn()) {
+      trace::stop();
+      trace::clear();
+      trace::start();
+    }
+  }
+  ~SeedArtifacts() { trace::stop(); }
+};
+
 /// Prints the repro line and records the seed for the CI artifact
-/// upload (the fuzz-long workflow collects failing_seeds.txt).
+/// upload (the fuzz-long workflow collects failing_seeds.txt), plus the
+/// failing replay's trace ring and the process metrics registry — the
+/// docs/TESTING.md triage bundle.
 void recordIfFailed(uint64_t Seed) {
+  const char *Dir = std::getenv("IPG_FUZZ_ARTIFACT_DIR");
+  if (Dir != nullptr)
+    trace::stop(); // Quiesce before any drain below.
   if (!::testing::Test::HasFailure())
     return;
   std::cerr << "[ModifyFuzz] failing seed " << Seed
             << " (reproduce: IPG_FUZZ_STEPS=" << fuzzSteps()
             << " ./ipg_modify_fuzz_test --gtest_filter='*ModifyFuzz*/"
             << (Seed - 1) << "')\n";
-  if (const char *Dir = std::getenv("IPG_FUZZ_ARTIFACT_DIR")) {
-    std::ofstream Out(std::string(Dir) + "/failing_seeds.txt", std::ios::app);
+  if (Dir == nullptr)
+    return;
+  std::string Prefix = std::string(Dir) + "/";
+  {
+    std::ofstream Out(Prefix + "failing_seeds.txt", std::ios::app);
     Out << Seed << "\n";
   }
+  std::string SeedTag = "seed-" + std::to_string(Seed);
+  writeJsonFile(MetricsRegistry::process().toJson(),
+                Prefix + "metrics-" + SeedTag + ".json");
+  if (trace::compiledIn())
+    trace::writeChromeTrace(Prefix + "trace-" + SeedTag + ".json");
 }
 
 class ModifyFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ModifyFuzz, PlainGraphReplay) {
+  SeedArtifacts Artifacts;
   Script S = makeScript(GetParam(), fuzzSteps());
   ASSERT_EQ(S.Ops.size(), fuzzSteps());
   replayPlain(S, /*CheckEvery=*/25);
@@ -335,6 +372,7 @@ TEST_P(ModifyFuzz, PlainGraphReplay) {
 }
 
 TEST_P(ModifyFuzz, ServerEpochReplay) {
+  SeedArtifacts Artifacts;
   Script S = makeScript(GetParam(), fuzzSteps());
   replayServer(S);
   recordIfFailed(GetParam());

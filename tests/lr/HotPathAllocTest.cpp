@@ -13,6 +13,8 @@
 #include "common/TestGrammars.h"
 #include "core/Ipg.h"
 #include "lr/ItemSetGraph.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -188,6 +190,83 @@ TEST(HotPathAlloc, LazyFirstQueryMayAllocateButSecondDoesNot) {
       Graph.actionsView(Graph.startSet(), True);
   });
   EXPECT_EQ(WarmAllocs, 0ull);
+}
+
+// The always-on metrics contract: a counter bump through the cached
+// reference is heap-free (it is a sharded relaxed load+store), so the
+// library may bump on EXPAND/MODIFY paths without violating this suite.
+TEST(HotPathAlloc, MetricsCounterBumpIsAllocationFree) {
+  MetricCounter &C =
+      MetricsRegistry::process().counter("test.hotpath.bump"); // May alloc.
+  LatencyHistogram &H =
+      MetricsRegistry::process().histogram("test.hotpath.hist");
+  unsigned long long Allocs = allocationsDuring([&] {
+    for (int I = 0; I < 1000; ++I)
+      C.bump();
+    H.record(1500);
+  });
+  EXPECT_EQ(Allocs, 0ull) << "metric updates must not touch the heap";
+  EXPECT_EQ(C.total(), 1000u);
+}
+
+// The tracing-side contract. Compiled out, the macros are nothing and the
+// claim is vacuous; compiled in, (a) dormant spans cost no allocation and
+// record no event, and (b) even *recording* spans stay heap-free once the
+// thread's ring exists (the ring itself is the tracer's only allocation).
+TEST(HotPathAlloc, TraceSpansAreAllocationFree) {
+  if (!trace::compiledIn()) {
+    SUCCEED() << "tracer compiled out; macros expand to nothing";
+    return;
+  }
+  trace::stop();
+  unsigned long long DormantAllocs = allocationsDuring([] {
+    for (int I = 0; I < 1000; ++I) {
+      IPG_TRACE_SPAN(Sp, "hotpath.dormant");
+    }
+  });
+  EXPECT_EQ(DormantAllocs, 0ull)
+      << "a dormant span must not touch the heap";
+  EXPECT_EQ(trace::eventCount("hotpath.dormant"), 0u);
+
+  trace::clear();
+  trace::start();
+  { IPG_TRACE_SPAN(Warm, "hotpath.preheat"); } // Creates this thread's ring.
+  unsigned long long RecordingAllocs = allocationsDuring([] {
+    for (int I = 0; I < 100; ++I) {
+      IPG_TRACE_SPAN(Sp, "hotpath.recording");
+      IPG_TRACE_SPAN_ARG(Sp, I);
+    }
+  });
+  trace::stop();
+  EXPECT_EQ(RecordingAllocs, 0ull)
+      << "recording into a preheated ring must not allocate";
+  EXPECT_EQ(trace::eventCount("hotpath.recording"), 100u);
+  trace::clear();
+}
+
+// The combined claim the observability PR rides on: with tracing compiled
+// in but dormant and metrics registered, the steady-state ACTION/GOTO
+// sweep of SteadyStateActionAndGotoQueriesAreAllocationFree still holds —
+// the instrumentation added to EXPAND/MODIFY left the query path with
+// zero new instructions, allocations, or events.
+TEST(HotPathAlloc, SteadyStateQueriesStayCleanUnderDormantTracing) {
+  Grammar G;
+  buildBooleans(G);
+  ItemSetGraph Graph(G);
+  Graph.generateAll();
+  SymbolId True = G.symbols().lookup("true");
+  Graph.actionsView(Graph.startSet(), True); // Warm up.
+
+  uint64_t EventsBefore = trace::eventCount();
+  unsigned long long Allocs = allocationsDuring([&] {
+    for (int I = 0; I < 1000; ++I) {
+      Graph.actionsView(Graph.startSet(), True);
+      Graph.gotoState(Graph.startSet(), True);
+    }
+  });
+  EXPECT_EQ(Allocs, 0ull);
+  EXPECT_EQ(trace::eventCount(), EventsBefore)
+      << "steady-state queries must record no trace events";
 }
 
 TEST(HotPathAlloc, CompatibilityActionsWrapperStillAllocatesItsVector) {

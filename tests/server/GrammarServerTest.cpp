@@ -235,4 +235,51 @@ TEST(GrammarServer, ConcurrentSessionsShareOneGraph) {
   EXPECT_EQ(canonicalize(Cur->graph()), canonicalize(FreshGraph));
 }
 
+TEST(GrammarServer, MetricsJsonShape) {
+  Grammar G;
+  buildBooleans(G);
+  GrammarServer Server(G);
+
+  // Serve a couple of parses, then fork once so the document has real
+  // values in every field. The session lives in a scope so its epoch pin
+  // can be released for the reclamation check at the end.
+  JsonValue Doc;
+  {
+    ParseSession S = Server.openSession();
+    std::vector<SymbolId> Input = sentence(Server.epoch()->grammar(), "true");
+    EXPECT_TRUE(S.recognize(Input));
+    EXPECT_TRUE(S.recognize(Input));
+    ASSERT_TRUE(Server.addRule("B", {"not", "B"}));
+    Doc = Server.metricsJson();
+  }
+  ASSERT_TRUE(Doc.isObject());
+  EXPECT_EQ(Doc.find("generation")->asNumber(), 1.0);
+  // The pinned session holds generation 0 alive alongside generation 1.
+  EXPECT_EQ(Doc.find("live_epochs")->asNumber(), 2.0);
+  EXPECT_EQ(Doc.find("oldest_live_generation")->asNumber(), 0.0);
+  EXPECT_EQ(Doc.find("reclamation_lag")->asNumber(), 1.0);
+  // Both parses hit the displaced epoch; the live tally still sees them.
+  EXPECT_EQ(Doc.find("live_epoch_parses")->asNumber(), 2.0);
+  EXPECT_EQ(Doc.find("epoch_parses")->asNumber(), 0.0);
+  const JsonValue *GraphDoc = Doc.find("graph");
+  ASSERT_NE(GraphDoc, nullptr);
+  ASSERT_NE(GraphDoc->find("expansions"), nullptr);
+  ASSERT_NE(GraphDoc->find("dirty_marks"), nullptr);
+  // The process registry rides along, with the server's own counters.
+  const JsonValue *Counters = Doc.find("process")->find("counters");
+  ASSERT_NE(Counters, nullptr);
+  const JsonValue *Sessions = Counters->find("ipg.server.sessions");
+  ASSERT_NE(Sessions, nullptr);
+  EXPECT_GE(Sessions->asNumber(), 1.0);
+  ASSERT_NE(Counters->find("ipg.server.forks"), nullptr);
+  ASSERT_NE(Doc.find("process")->find("histograms")->find("ipg.server.fork"),
+            nullptr);
+
+  // With the pinned session gone the displaced epoch reclaims; the
+  // document converges back to one live epoch with zero lag.
+  JsonValue After = Server.metricsJson();
+  EXPECT_EQ(After.find("live_epochs")->asNumber(), 1.0);
+  EXPECT_EQ(After.find("reclamation_lag")->asNumber(), 0.0);
+}
+
 } // namespace

@@ -20,6 +20,10 @@
 ///     (generation, input) recognition must equal the single-threaded
 ///     ground truth for that generation's exact rule set, computed by
 ///     replaying the same script through the plain §6 machinery.
+///   * Metrics — sharded counters keep restored bases under concurrent
+///     bumps, the registry exports while writers bump, and
+///     GrammarServer::metricsJson() stays clean while sessions parse and
+///     a writer forks epochs (the observability PR's tsan contract).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,7 @@
 #include "common/TestGrammars.h"
 #include "core/Ipg.h"
 #include "server/GrammarServer.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -276,6 +281,148 @@ TEST(ThreadStress, MixedParseModifyMatchesGroundTruthPerGeneration) {
   Grammar::cloneActiveRules(Epoch->grammar(), Fresh);
   ItemSetGraph FreshGraph(Fresh);
   EXPECT_EQ(canonicalize(Epoch->graph()), canonicalize(FreshGraph));
+}
+
+TEST(ThreadStress, CounterStoreKeepsBaseUnderConcurrentBumps) {
+  // The resetStats()/storeStats() interplay, concurrently: while N
+  // threads bump, the main thread repeatedly store()s a large base. A
+  // store must never be *lost* to a racing bump — after the dust settles
+  // the total is the last stored base plus at most the bumps that landed
+  // after it, never less than the base.
+  const uint64_t Base = 1'000'000'000;
+  const unsigned NumThreads = stressThreads();
+  const int BumpsPerThread = 20'000;
+  MetricCounter C;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I < BumpsPerThread; ++I)
+        C.bump();
+    });
+  for (int I = 0; I < 100; ++I)
+    C.store(Base);
+  for (std::thread &T : Threads)
+    T.join();
+  uint64_t Total = C.total();
+  EXPECT_GE(Total, Base) << "a concurrent bump overwrote the stored base";
+  EXPECT_LE(Total, Base + uint64_t(NumThreads) * BumpsPerThread);
+}
+
+TEST(ThreadStress, RegistryExportsWhileWritersBump) {
+  // Writers hammer counters/gauges/histograms while readers render both
+  // export formats; tsan checks the synchronization, the asserts check
+  // the exports stay structurally sound mid-flight.
+  MetricsRegistry R;
+  // Register up front so the reader below always has content to export
+  // (and a failed ASSERT can never skip the joins).
+  R.counter("stress.c0");
+  R.counter("stress.c1");
+  R.gauge("stress.g");
+  R.histogram("stress.h");
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T < std::max(2u, stressThreads() / 2); ++T)
+    Writers.emplace_back([&R, &Done, T] {
+      MetricCounter &C = R.counter("stress.c" + std::to_string(T % 2));
+      MetricGauge &G = R.gauge("stress.g");
+      LatencyHistogram &H = R.histogram("stress.h");
+      uint64_t N = 0;
+      while (!Done.load(std::memory_order_acquire)) {
+        C.bump();
+        G.set(int64_t(++N));
+        H.record(N * 97);
+      }
+    });
+  for (int I = 0; I < 200; ++I) {
+    JsonValue Doc = R.toJson();
+    ASSERT_TRUE(Doc.isObject());
+    ASSERT_NE(Doc.find("counters"), nullptr);
+    ASSERT_FALSE(R.prometheusText().empty());
+  }
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Writers)
+    T.join();
+  // Exactness after quiescence: every bump is accounted for.
+  uint64_t Sum = R.counter("stress.c0").total() +
+                 R.counter("stress.c1").total();
+  EXPECT_EQ(Sum, R.histogram("stress.h").count());
+}
+
+TEST(ThreadStress, ServerMetricsJsonWhileParsingAndForking) {
+  // The acceptance contract: GrammarServer::metricsJson() from a free
+  // thread while four sessions parse and a writer forks epochs — no torn
+  // reads, no walks of a concurrently-growing graph, and every document
+  // structurally complete.
+  Grammar G;
+  RandomGrammarCase Case = buildRandomGrammar(G, /*Seed=*/7);
+  GrammarServer Server(G);
+
+  SymbolId ProbeLhs = InvalidSymbol;
+  for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym)
+    if (G.symbols().isNonterminal(Sym) && Sym != G.startSymbol()) {
+      ProbeLhs = Sym;
+      break;
+    }
+  ASSERT_NE(ProbeLhs, InvalidSymbol);
+
+  std::atomic<bool> Done{false};
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Parsers;
+  for (unsigned T = 0; T < 4; ++T)
+    Parsers.emplace_back([&] {
+      while (!Done.load(std::memory_order_acquire)) {
+        ParseSession S = Server.openSession();
+        for (const std::vector<SymbolId> &Input : Case.Positive)
+          S.recognize(Input);
+      }
+    });
+  std::thread Writer([&] {
+    // Toggle one probe rule: every iteration forks two epochs.
+    for (int I = 0; I < 12; ++I) {
+      std::vector<SymbolId> Rhs{ProbeLhs, ProbeLhs};
+      if (!Server.addRule(ProbeLhs, std::vector<SymbolId>(Rhs)) ||
+          !Server.removeRule(ProbeLhs, Rhs))
+        Failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Violations are tallied, not ASSERTed, so the joins below always run
+  // (a mid-loop ASSERT would leave joinable threads -> std::terminate).
+  uint64_t LastGeneration = 0;
+  int DocViolations = 0;
+  for (int I = 0; I < 200; ++I) {
+    JsonValue Doc = Server.metricsJson();
+    const JsonValue *Generation = Doc.find("generation");
+    const JsonValue *Live = Doc.find("live_epochs");
+    const JsonValue *GraphDoc = Doc.find("graph");
+    const JsonValue *Process = Doc.find("process");
+    if (!Doc.isObject() || Generation == nullptr || Live == nullptr ||
+        Live->asNumber() < 1.0 || Doc.find("reclamation_lag") == nullptr ||
+        GraphDoc == nullptr || GraphDoc->find("expansions") == nullptr ||
+        Process == nullptr || Process->find("counters") == nullptr) {
+      ++DocViolations;
+      continue;
+    }
+    // Generations move monotonically even sampled mid-fork.
+    uint64_t Gen = uint64_t(Generation->asNumber());
+    if (Gen < LastGeneration)
+      ++DocViolations;
+    LastGeneration = Gen;
+  }
+
+  Writer.join();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Parsers)
+    T.join();
+  EXPECT_EQ(DocViolations, 0);
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(Server.generation(), 24u);
+  // Post-quiescence: the registry saw every fork.
+  JsonValue Final = Server.metricsJson();
+  const JsonValue *Forks =
+      Final.find("process")->find("counters")->find("ipg.server.forks");
+  ASSERT_NE(Forks, nullptr);
+  EXPECT_GE(Forks->asNumber(), 24.0);
 }
 
 } // namespace

@@ -1,0 +1,172 @@
+//===- tests/support/MetricsTest.cpp - Metrics registry tests -------------===//
+///
+/// \file
+/// The always-on metrics registry of support/Metrics.h: counter
+/// exactness and the store()-under-residue regression, histogram bucket
+/// boundary arithmetic (zero, exact boundaries, overflow clamp), registry
+/// lookup identity, and the JSON / Prometheus export shapes that
+/// docs/OBSERVABILITY.md documents.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "gtest/gtest.h"
+
+using namespace ipg;
+
+namespace {
+
+TEST(MetricCounter, BumpAndTotal) {
+  MetricCounter C;
+  EXPECT_EQ(C.total(), 0u);
+  C.bump();
+  C.bump(41);
+  EXPECT_EQ(C.total(), 42u);
+}
+
+// The satellite regression: store() must fully replace the value even
+// when earlier bumps landed on non-zero shards (threadSlot spreads
+// threads across shards, so single-threaded residue sits wherever this
+// thread's slot is — before the Bases fix, store() deposited into shard
+// 0 and a restored value could be overwritten by that shard's counter).
+TEST(MetricCounter, StoreReplacesResidueThenAccumulates) {
+  MetricCounter C;
+  C.bump(7);
+  C.store(100);
+  EXPECT_EQ(C.total(), 100u);
+  C.bump(3);
+  EXPECT_EQ(C.total(), 103u);
+  C.store(5); // Restoring downward must also stick.
+  EXPECT_EQ(C.total(), 5u);
+  C.store(0);
+  EXPECT_EQ(C.total(), 0u);
+}
+
+TEST(MetricGauge, SetAndAdd) {
+  MetricGauge G;
+  EXPECT_EQ(G.value(), 0);
+  G.set(12);
+  G.add(-5);
+  EXPECT_EQ(G.value(), 7);
+  G.set(-3); // Gauges are signed (a lag can be negative transiently).
+  EXPECT_EQ(G.value(), -3);
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Bucket 0 is sub-microsecond, including zero.
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(999), 0u);
+  // 1µs is the first sample past bucket 0's upper bound.
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(1000), 1u);
+  // Boundary samples land in the bucket whose *lower* bound they are:
+  // bucket i covers [2^(i-1), 2^i) µs.
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(2000), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(3999), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(4000), 3u);
+  // The last bucket absorbs everything up to UINT64_MAX (overflow clamp).
+  EXPECT_EQ(LatencyHistogram::bucketIndexForNanos(UINT64_MAX),
+            LatencyHistogram::NumBuckets - 1);
+  // Upper bounds: bucket 0 ends at 1µs; the last is unbounded.
+  EXPECT_EQ(LatencyHistogram::bucketUpperMicros(0), 1u);
+  EXPECT_EQ(LatencyHistogram::bucketUpperMicros(1), 2u);
+  EXPECT_EQ(
+      LatencyHistogram::bucketUpperMicros(LatencyHistogram::NumBuckets - 1),
+      UINT64_MAX);
+}
+
+TEST(LatencyHistogram, RecordAccumulates) {
+  LatencyHistogram H;
+  H.record(0);
+  H.record(1500);        // bucket 1
+  H.record(UINT64_MAX);  // overflow clamp; also the peak
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(LatencyHistogram::NumBuckets - 1), 1u);
+  EXPECT_EQ(H.maxNanos(), UINT64_MAX);
+  // recordSeconds clamps negatives (clock skew) to zero, never drops.
+  H.recordSeconds(-1.0);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+}
+
+TEST(MetricsRegistry, LookupIsIdentityStable) {
+  MetricsRegistry R;
+  MetricCounter &A = R.counter("x");
+  MetricCounter &B = R.counter("x");
+  EXPECT_EQ(&A, &B);
+  // Distinct kinds under the same name are distinct metrics.
+  MetricGauge &G = R.gauge("x");
+  LatencyHistogram &H = R.histogram("x");
+  EXPECT_NE(static_cast<void *>(&A), static_cast<void *>(&G));
+  EXPECT_NE(static_cast<void *>(&G), static_cast<void *>(&H));
+  // References survive arbitrarily many later registrations (deque).
+  // (Two-step concat: "c" + to_string trips GCC-12 -Wrestrict at -O3.)
+  for (int I = 0; I < 1000; ++I) {
+    std::string Name = "c";
+    Name += std::to_string(I);
+    R.counter(Name);
+  }
+  A.bump();
+  EXPECT_EQ(R.counter("x").total(), 1u);
+}
+
+TEST(MetricsRegistry, JsonShape) {
+  MetricsRegistry R;
+  R.counter("b.count").bump(2);
+  R.counter("a.count").bump(1);
+  R.gauge("g").set(-4);
+  R.histogram("h").record(1500);
+  JsonValue Doc = R.toJson();
+  ASSERT_TRUE(Doc.isObject());
+  const JsonValue *Counters = Doc.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  // Sorted by name regardless of registration order.
+  ASSERT_EQ(Counters->fields().size(), 2u);
+  EXPECT_EQ(Counters->fields()[0].first, "a.count");
+  EXPECT_EQ(Counters->fields()[1].first, "b.count");
+  EXPECT_EQ(Counters->fields()[1].second.asNumber(), 2.0);
+  const JsonValue *Gauges = Doc.find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  EXPECT_EQ(Gauges->find("g")->asNumber(), -4.0);
+  const JsonValue *H = Doc.find("histograms")->find("h");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->find("count")->asNumber(), 1.0);
+  EXPECT_EQ(H->find("sum_nanos")->asNumber(), 1500.0);
+  // One non-empty bucket: [upper-µs, count] = [2, 1].
+  const JsonValue *Buckets = H->find("buckets_le_micros");
+  ASSERT_NE(Buckets, nullptr);
+  ASSERT_EQ(Buckets->items().size(), 1u);
+  EXPECT_EQ(Buckets->items()[0].items()[0].asNumber(), 2.0);
+  EXPECT_EQ(Buckets->items()[0].items()[1].asNumber(), 1.0);
+}
+
+TEST(MetricsRegistry, PrometheusShape) {
+  MetricsRegistry R;
+  R.counter("ipg.expand.total").bump(3);
+  R.gauge("ipg.server.live_epochs").set(2);
+  R.histogram("ipg.modify.repair").record(1500);
+  std::string Text = R.prometheusText();
+  // Dots mangle to underscores; counters get _total, histograms _seconds.
+  EXPECT_NE(Text.find("# TYPE ipg_expand_total_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("ipg_expand_total_total 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("ipg_server_live_epochs 2\n"), std::string::npos);
+  EXPECT_NE(Text.find("ipg_modify_repair_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("ipg_modify_repair_seconds_count 1\n"),
+            std::string::npos);
+}
+
+// The process registry carries the library's instrumentation; it must be
+// one instance and usable from any test without setup.
+TEST(MetricsRegistry, ProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::process(), &MetricsRegistry::process());
+  MetricCounter &C = MetricsRegistry::process().counter("test.metrics.probe");
+  uint64_t Before = C.total();
+  C.bump();
+  EXPECT_EQ(C.total(), Before + 1);
+}
+
+} // namespace

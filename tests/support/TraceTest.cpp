@@ -1,0 +1,155 @@
+//===- tests/support/TraceTest.cpp - Event tracer tests -------------------===//
+///
+/// \file
+/// The ring-buffer tracer of support/Trace.h: recording gates, span
+/// rename/arg payloads, ring overflow accounting, and the Chrome
+/// trace_event document shape. The functional body is IPG_TRACING-gated
+/// (the default build compiles it in); the drain-is-well-formed test runs
+/// in every build because compiled-out builds still promise an empty but
+/// valid document.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+
+using namespace ipg;
+
+namespace {
+
+// In every build: the drain yields a well-formed document, even when
+// nothing was ever recorded or the tracer is compiled out entirely.
+TEST(Trace, DrainIsAlwaysWellFormed) {
+  JsonValue Doc = trace::drainChromeJson();
+  ASSERT_TRUE(Doc.isObject());
+  const JsonValue *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_TRUE(Events->isArray());
+  ASSERT_NE(Doc.find("displayTimeUnit"), nullptr);
+  EXPECT_EQ(Doc.find("displayTimeUnit")->asString(), "ms");
+  const JsonValue *Other = Doc.find("otherData");
+  ASSERT_NE(Other, nullptr);
+  EXPECT_NE(Other->find("dropped_events"), nullptr);
+}
+
+#if IPG_TRACING
+
+/// Serializes the tracing tests: they share the process-global recording
+/// flag and rings, so each test starts from a cleared, stopped tracer and
+/// leaves it that way (with the default ring capacity restored).
+class TraceFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    trace::stop();
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::stop();
+    trace::clear();
+    trace::start(); // Restore the default ring capacity for later tests.
+    trace::stop();
+  }
+};
+
+TEST_F(TraceFixture, DisabledRecordsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  {
+    IPG_TRACE_SPAN(Sp, "quiet");
+    IPG_TRACE_SPAN_ARG(Sp, 7);
+  }
+  IPG_TRACE_INSTANT("quiet.instant");
+  EXPECT_EQ(trace::eventCount(), 0u);
+}
+
+TEST_F(TraceFixture, SpanRecordsCompleteEvent) {
+  trace::start();
+  {
+    IPG_TRACE_SPAN(Sp, "outer");
+    IPG_TRACE_SPAN_ARG(Sp, 42);
+    { IPG_TRACE_SPAN(Inner, "inner"); }
+  }
+  IPG_TRACE_INSTANT("mark");
+  IPG_TRACE_COUNTER("level", 3);
+  trace::stop();
+  EXPECT_EQ(trace::eventCount(), 4u);
+  EXPECT_EQ(trace::eventCount("outer"), 1u);
+  EXPECT_EQ(trace::eventCount("inner"), 1u);
+  EXPECT_EQ(trace::eventCount("absent"), 0u);
+
+  JsonValue Doc = trace::drainChromeJson();
+  const JsonValue &Events = *Doc.find("traceEvents");
+  ASSERT_EQ(Events.items().size(), 4u);
+  // Sorted by start: "inner" closed first but "outer" *started* first.
+  const JsonValue &First = Events.items()[0];
+  EXPECT_EQ(First.find("name")->asString(), "outer");
+  EXPECT_EQ(First.find("ph")->asString(), "X");
+  EXPECT_EQ(First.find("ts")->asNumber(), 0.0); // Rebased to earliest.
+  EXPECT_GE(First.find("dur")->asNumber(),
+            Events.items()[1].find("dur")->asNumber());
+  EXPECT_EQ(First.find("args")->find("arg")->asNumber(), 42.0);
+  EXPECT_EQ(Events.items()[1].find("name")->asString(), "inner");
+  // The instant and the counter carry their phases and payloads.
+  EXPECT_EQ(Events.items()[2].find("ph")->asString(), "i");
+  EXPECT_EQ(Events.items()[3].find("ph")->asString(), "C");
+  EXPECT_EQ(Events.items()[3].find("args")->find("value")->asNumber(), 3.0);
+}
+
+TEST_F(TraceFixture, RenameRefinesTheEventName) {
+  trace::start();
+  {
+    IPG_TRACE_SPAN(Sp, "lr.expand");
+    IPG_TRACE_SPAN_RENAME(Sp, "lr.reexpand");
+  }
+  trace::stop();
+  EXPECT_EQ(trace::eventCount("lr.expand"), 0u);
+  EXPECT_EQ(trace::eventCount("lr.reexpand"), 1u);
+}
+
+TEST_F(TraceFixture, RingWrapDropsOldestAndCounts) {
+  // A fresh thread gets the tiny capacity configured here; the events it
+  // records beyond 8 evict the oldest and tally as dropped.
+  trace::start(8);
+  std::thread Recorder([] {
+    for (int I = 0; I < 20; ++I)
+      IPG_TRACE_INSTANT("spin");
+  });
+  Recorder.join();
+  trace::stop();
+  EXPECT_EQ(trace::eventCount("spin"), 8u);
+  EXPECT_EQ(trace::droppedCount(), 12u);
+  JsonValue Doc = trace::drainChromeJson();
+  EXPECT_EQ(Doc.find("otherData")->find("dropped_events")->asNumber(), 12.0);
+  trace::clear();
+  EXPECT_EQ(trace::eventCount(), 0u);
+  EXPECT_EQ(trace::droppedCount(), 0u);
+}
+
+TEST_F(TraceFixture, StopFreezesTheRing) {
+  trace::start();
+  IPG_TRACE_INSTANT("kept");
+  trace::stop();
+  IPG_TRACE_INSTANT("ignored");
+  EXPECT_EQ(trace::eventCount(), 1u);
+  EXPECT_EQ(trace::eventCount("kept"), 1u);
+}
+
+TEST_F(TraceFixture, MultipleThreadsGetDistinctTids) {
+  trace::start();
+  std::thread A([] { IPG_TRACE_INSTANT("from.a"); });
+  std::thread B([] { IPG_TRACE_INSTANT("from.b"); });
+  A.join();
+  B.join();
+  trace::stop();
+  JsonValue Doc = trace::drainChromeJson();
+  const JsonValue &Events = *Doc.find("traceEvents");
+  ASSERT_EQ(Events.items().size(), 2u);
+  EXPECT_NE(Events.items()[0].find("tid")->asNumber(),
+            Events.items()[1].find("tid")->asNumber());
+}
+
+#endif // IPG_TRACING
+
+} // namespace
