@@ -96,7 +96,7 @@ int main(int argc, char **argv) {
   // (c) Memory: the lazy/incremental graph keeps kernels (§5.3).
   size_t KernelItems = 0;
   for (const ItemSet *State : EagerGraph.liveSets())
-    KernelItems += State->kernel().size();
+    KernelItems += EagerGraph.kernel(State).size();
 
   // Tokenizing the lazy-gen scenario includes scanner time; report the
   // generation-only comparison and the warm-parse comparison.

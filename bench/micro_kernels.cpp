@@ -39,7 +39,7 @@ std::vector<SymbolId> tokenizeSample(SdfLanguage &Lang, size_t Index) {
 void BM_ClosureOfStartKernel(benchmark::State &State) {
   SdfLanguage Lang;
   ItemSetGraph Graph(Lang.grammar());
-  KernelView K = Graph.startSet()->kernel();
+  KernelView K = Graph.kernel(Graph.startSet());
   for (auto _ : State)
     benchmark::DoNotOptimize(Graph.closure(K));
 }
@@ -151,7 +151,7 @@ void BM_GotoQueryWarm(benchmark::State &State) {
   Graph.generateAll();
   ItemSet *Start = Graph.startSet();
   std::vector<SymbolId> Nonterminals;
-  for (const ItemSet::Transition &T : Start->transitions())
+  for (ItemSet::Transition T : Graph.transitions(Start))
     if (Lang.grammar().symbols().isNonterminal(T.Label))
       Nonterminals.push_back(T.Label);
   for (auto _ : State)
@@ -183,6 +183,87 @@ void BM_IncrementalModify(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_IncrementalModify);
+
+/// Edge workload for the LALR digraph-allocation pair below: one
+/// deterministic (from, to) multiset shaped like the reads/includes
+/// relations — many low-degree nodes, a few dense hubs — over the node
+/// count of the SDF graph's nonterminal transitions.
+std::vector<std::pair<uint32_t, uint32_t>> digraphEdgeWorkload(uint32_t Nodes) {
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  uint64_t S = 0x9e3779b97f4a7c15ULL;
+  auto Next = [&S] {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  };
+  for (uint32_t From = 0; From < Nodes; ++From) {
+    uint32_t Degree = From % 16 == 0 ? 24 : From % 3;
+    for (uint32_t I = 0; I < Degree; ++I)
+      Edges.emplace_back(From, static_cast<uint32_t>(Next() % Nodes));
+  }
+  return Edges;
+}
+
+/// BEFORE shape of the LALR lookahead digraph adjacency: one std::vector
+/// per node, appended in edge order — per-node headers plus geometric
+/// regrowth for every hub.
+void BM_LalrDigraphAllocVectors(benchmark::State &State) {
+  SdfLanguage Lang;
+  ItemSetGraph Graph(Lang.grammar());
+  Graph.generateAll();
+  uint32_t Nodes = 0;
+  for (const ItemSet *Set : Graph.liveSets())
+    for (ItemSet::Transition T : Graph.transitions(Set))
+      Nodes += Lang.grammar().symbols().isNonterminal(T.Label);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = digraphEdgeWorkload(Nodes);
+  for (auto _ : State) {
+    std::vector<std::vector<uint32_t>> Succ(Nodes);
+    for (const auto &[From, To] : Edges)
+      Succ[From].push_back(To);
+    uint64_t Sum = 0;
+    for (const std::vector<uint32_t> &Row : Succ)
+      for (uint32_t To : Row)
+        Sum += To;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Edges.size()));
+}
+BENCHMARK(BM_LalrDigraphAllocVectors);
+
+/// AFTER shape (what lalr/LalrGen.cpp's FlatRelation does): accumulate
+/// pairs in one flat vector, then counting-sort into CSR offset/edge
+/// arrays — three allocations total regardless of node count.
+void BM_LalrDigraphAllocFlat(benchmark::State &State) {
+  SdfLanguage Lang;
+  ItemSetGraph Graph(Lang.grammar());
+  Graph.generateAll();
+  uint32_t Nodes = 0;
+  for (const ItemSet *Set : Graph.liveSets())
+    for (ItemSet::Transition T : Graph.transitions(Set))
+      Nodes += Lang.grammar().symbols().isNonterminal(T.Label);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = digraphEdgeWorkload(Nodes);
+  for (auto _ : State) {
+    std::vector<std::pair<uint32_t, uint32_t>> Pairs(Edges);
+    std::vector<uint32_t> Offsets(Nodes + 1, 0);
+    for (const auto &[From, To] : Pairs)
+      ++Offsets[From + 1];
+    for (size_t I = 1; I <= Nodes; ++I)
+      Offsets[I] += Offsets[I - 1];
+    std::vector<uint32_t> Flat(Pairs.size());
+    std::vector<uint32_t> Fill(Offsets.begin(), Offsets.end() - 1);
+    for (const auto &[From, To] : Pairs)
+      Flat[Fill[From]++] = To;
+    uint64_t Sum = 0;
+    for (uint32_t To : Flat)
+      Sum += To;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Edges.size()));
+}
+BENCHMARK(BM_LalrDigraphAllocFlat);
 
 /// The cost of one metrics bump through the cached-static idiom the
 /// library's instrumentation sites use — the per-event price of the

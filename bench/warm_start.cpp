@@ -4,8 +4,8 @@
 /// The snapshot subsystem's headline numbers, on the 12x-SDF grammar (the
 /// "much larger than the grammar of SDF" regime of §7): cold full
 /// generation vs. adopting a persisted graph (`Ipg::loadSnapshot`) in both
-/// on-disk encodings — v1 (varint decode) and v2 (mmap + validate +
-/// pointer fixup, the zero-copy fast path) — and, the cross-process
+/// on-disk encodings — v1 (varint decode) and v2 (mmap + validate + pool
+/// adoption, the zero-copy fast path) — and, the cross-process
 /// extension of §6, repairing a *stale* snapshot whose grammar differs by
 /// one rule vs. regenerating the modified grammar from scratch. Also pins
 /// the byte-determinism contract the CI job relies on for both formats:
@@ -15,7 +15,11 @@
 ///
 /// The snapshots written here (`warm_start.snapshot` = v1,
 /// `warm_start_v2.snapshot` = v2, in the working directory) double as the
-/// CI determinism artifacts.
+/// CI determinism artifacts, alongside `warm_start_resaved.snapshot` /
+/// `warm_start_v2_resaved.snapshot` — each format's save-after-load
+/// output, which the CI job cmps against the original file (with the
+/// flat-arena layout, save-after-load identity is a layout invariant,
+/// not just a decode-encode symmetry).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -97,6 +101,26 @@ int main(int argc, char **argv) {
     SaveBoth(SnapV2, SnapshotFormat::V2, V2);
   }
 
+  // Save cost per format, on a separate fully generated graph. v1 walks
+  // every live set through a dense-index remap; v2 is a header plus a
+  // memcpy of the pools — the flat-arena layout's save-side win.
+  double SaveV1 = 0, SaveV2 = 0;
+  {
+    Grammar G;
+    buildScaledSdf(G, Copies);
+    Ipg Gen(G);
+    Gen.generateAll();
+    SaveV1 = H.measure("warm_start/snapshot_save_v1", 9, [&] {
+                (void)Gen.saveSnapshot("warm_start_save_probe.snapshot",
+                                       SnapshotFormat::V1);
+              }).Median;
+    SaveV2 = H.measure("warm_start/snapshot_save_v2", 9, [&] {
+                (void)Gen.saveSnapshot("warm_start_save_probe.snapshot",
+                                       SnapshotFormat::V2);
+              }).Median;
+    std::remove("warm_start_save_probe.snapshot");
+  }
+
   // Cold baseline: build the grammar and generate the full table.
   double Cold = H.measure("warm_start/cold_generate", 9, [&] {
                    Grammar G;
@@ -107,7 +131,7 @@ int main(int argc, char **argv) {
 
   // Warm starts: same grammar, graph adopted from each snapshot format.
   // v1 pays a per-record varint decode; v2's layout-match path is mmap +
-  // validate + pointer fixup with borrowed record storage.
+  // validate + adopting the mapped arrays as the graph's pool bases.
   auto MeasureLoad = [&](const std::string &Name, const std::string &Path,
                          bool &LoadOk, bool &Matched, size_t &LoadedStates) {
     return H.measure(Name, 9, [&] {
@@ -133,23 +157,27 @@ int main(int argc, char **argv) {
   // Round-trip determinism and parse equivalence of the adopted graphs.
   bool RoundTripV1 = false, RoundTripV2 = false, WarmParseOk = false;
   {
-    auto RoundTrip = [&](const std::string &Path, SnapshotFormat Format,
-                         bool CheckParse) {
+    // The resaved files are left in place on purpose: the CI
+    // snapshot-determinism job cmps them against the originals.
+    auto RoundTrip = [&](const std::string &Path, const std::string &Resaved,
+                         SnapshotFormat Format, bool CheckParse) {
       Grammar G;
       buildScaledSdf(G, Copies);
       Ipg Gen(G);
       bool Identical = false;
       if (Gen.loadSnapshot(Path)) {
-        if (Gen.saveSnapshot("warm_start_rt.snapshot", Format))
-          Identical = filesEqual(Path, "warm_start_rt.snapshot");
-        std::remove("warm_start_rt.snapshot");
+        if (Gen.saveSnapshot(Resaved, Format))
+          Identical = filesEqual(Path, Resaved);
         if (CheckParse)
           WarmParseOk = Gen.recognize(tokenize(G, InputText));
       }
       return Identical;
     };
-    RoundTripV1 = RoundTrip(SnapV1, SnapshotFormat::V1, false);
-    RoundTripV2 = RoundTrip(SnapV2, SnapshotFormat::V2, true);
+    RoundTripV1 =
+        RoundTrip(SnapV1, "warm_start_resaved.snapshot", SnapshotFormat::V1,
+                  false);
+    RoundTripV2 = RoundTrip(SnapV2, "warm_start_v2_resaved.snapshot",
+                            SnapshotFormat::V2, true);
   }
 
   // Stale repair: the live grammar gained one rule since the snapshot was
@@ -227,6 +255,9 @@ int main(int argc, char **argv) {
 
   TextTable Table({"scenario", "median", "vs cold"});
   Table.addRow({"cold generateAll", ms(Cold), "1.00x"});
+  Table.addRow({"snapshot save v1 (varint encode)", ms(SaveV1), "-"});
+  Table.addRow({"snapshot save v2 (pool memcpy)", ms(SaveV2),
+                formatSeconds(SaveV1 / SaveV2, 2) + "x vs v1"});
   Table.addRow({"snapshot load v1 (decode)", ms(LoadV1),
                 formatSeconds(Cold / LoadV1, 2) + "x faster"});
   Table.addRow({"snapshot load v2 (zero-copy)", ms(LoadV2),
@@ -255,6 +286,8 @@ int main(int argc, char **argv) {
                        "ratio");
   H.report().addScalar("warm_start/repair_speedup_vs_regen", Regen / Repair,
                        "ratio");
+  H.report().addScalar("warm_start/v2_save_speedup_vs_v1", SaveV1 / SaveV2,
+                       "ratio");
 
   std::printf("\nshape checks:\n");
   H.check(V1.SaveOk && V1.Bytes > 0, "v1 snapshot written");
@@ -270,6 +303,13 @@ int main(int argc, char **argv) {
   H.check(RoundTripV1 && RoundTripV2,
           "fingerprint-matched save->load->save reproduces each file");
   H.check(WarmParseOk, "warm-started graph parses Exam.sdf");
+  // Both formats share the container overhead (fingerprints, checksum,
+  // atomic file write), and v1's varint body is smaller on disk, so the
+  // formats finish within noise of each other end-to-end; what the flat
+  // arena guarantees is that v2's graph serialization is a memcpy, i.e.
+  // save cost can never blow past v1's per-record encode.
+  H.check(H.reduced() || SaveV2 < 2 * SaveV1,
+          "v2 pool-memcpy save stays within 2x of the v1 varint encode");
   // Wall-clock comparisons tolerate noise in the reduced (CI smoke) pass:
   // three repetitions on a shared runner cannot support a strict
   // inequality; the trajectory numbers come from full runs. In full runs

@@ -187,6 +187,16 @@ std::vector<RuleId> identityRuleMap(const Grammar &G) {
   return Map;
 }
 
+/// New snapshots store hashBytesFast(payload); files written before the
+/// checksum migration stored byte-at-a-time FNV-1a. Accept either so
+/// existing snapshots (including the checked-in goldens) keep loading —
+/// a corrupted payload still fails both comparisons.
+bool payloadChecksumMatches(const uint8_t *Data, size_t Size,
+                            uint64_t Expected) {
+  return hashBytesFast(Data, Size) == Expected ||
+         hashBytes(Data, Size) == Expected;
+}
+
 /// The v1 container: varint payload behind a whole-payload checksum.
 Expected<SnapshotLoadResult> loadV1Container(Grammar &G, ItemSetGraph &Graph,
                                              const uint8_t *Data,
@@ -208,7 +218,8 @@ Expected<SnapshotLoadResult> loadV1Container(Grammar &G, ItemSetGraph &Graph,
     return PayloadHash.error();
   // Checksum the whole payload before decoding anything: a corrupted file
   // is rejected here, before the grammar or graph is touched.
-  if (hashBytes(Data + Reader.position(), Reader.remaining()) != *PayloadHash)
+  if (!payloadChecksumMatches(Data + Reader.position(), Reader.remaining(),
+                              *PayloadHash))
     return Error("snapshot payload corrupted (checksum mismatch)");
 
   Expected<ByteReader> GramBody = Reader.readSection(SnapshotGramTag);
@@ -293,9 +304,16 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
   // section can be adopted straight out of the mapping — no GRAM decode,
   // no payload checksum (the structural validation sweep inside adoptV2
   // is the integrity check the trust model asks of a cache format).
+  // Adoption additionally needs the flat-arena GRPH layout (the Reserved
+  // word of the GRPH header, byte 28 into the section); pre-refactor
+  // sections wrote 0 there and go through the endian-safe decoder.
   if (SnapLayout == grammarLayoutFingerprint(G)) {
+    FlatView Grph(Data + GrphOff, static_cast<size_t>(GrphLen));
+    Expected<uint32_t> GrphLayout = Grph.u32At(28);
+    if (!GrphLayout)
+      return Error("truncated graph section");
     Expected<size_t> Loaded = Error("unreachable");
-    if (GraphSnapshot::hostCanAdoptV2()) {
+    if (GraphSnapshot::hostCanAdoptV2() && *GrphLayout == 1) {
       IPG_TRACE_SPAN(Sp, "snap.load.v2_adopt");
       ScopedLatency Lat(SnapMetrics::get().LoadV2AdoptLatency);
       Loaded = GraphSnapshot::adoptV2(Data + GrphOff,
@@ -304,11 +322,13 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
       if (Loaded)
         SnapMetrics::get().V2Adopted.bump();
     } else {
-      // Big-endian / exotic-ABI hosts: same file, endian-safe decode into
-      // owned storage. Integrity then comes from the payload checksum.
+      // Big-endian / exotic-ABI hosts, or a pre-refactor (legacy layout)
+      // section: same file, endian-safe decode into owned storage.
+      // Integrity then comes from the payload checksum.
       IPG_TRACE_SPAN(Sp, "snap.load.v2_decode");
       ScopedLatency Lat(SnapMetrics::get().LoadV2DecodeLatency);
-      if (hashBytes(Data + *HeaderBytes, Size - *HeaderBytes) != PayloadChk)
+      if (!payloadChecksumMatches(Data + *HeaderBytes, Size - *HeaderBytes,
+                              PayloadChk))
         return Error("snapshot payload corrupted (checksum mismatch)");
       Loaded = GraphSnapshot::loadV2(
           FlatView(Data + GrphOff, static_cast<size_t>(GrphLen)), Graph,
@@ -332,7 +352,8 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
   IPG_TRACE_SPAN(Sp, "snap.load.v2_remap");
   ScopedLatency Lat(SnapMetrics::get().LoadV2DecodeLatency);
   SnapMetrics::get().V2Decoded.bump();
-  if (hashBytes(Data + *HeaderBytes, Size - *HeaderBytes) != PayloadChk)
+  if (!payloadChecksumMatches(Data + *HeaderBytes, Size - *HeaderBytes,
+                              PayloadChk))
     return Error("snapshot payload corrupted (checksum mismatch)");
   Expected<GrammarSnapshot> Snap = readGrammarSnapshotV2(
       FlatView(Data + GramOff, static_cast<size_t>(GramLen)));
@@ -371,7 +392,7 @@ Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
     File.writeBytes(SnapshotMagic, std::strlen(SnapshotMagic));
     File.writeU64(grammarFingerprint(G));
     File.writeU64(grammarLayoutFingerprint(G));
-    File.writeU64(hashBytes(Payload.buffer().data(), Payload.size()));
+    File.writeU64(hashBytesFast(Payload.buffer().data(), Payload.size()));
     File.writeBytes(Payload.buffer().data(), Payload.size());
     Expected<size_t> Written = File.writeFile(Path);
     if (Written)
@@ -379,36 +400,36 @@ Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
     return Written;
   }
 
-  FlatWriter Gram;
-  writeGrammarSnapshotV2(G, Gram);
-  FlatWriter Grph;
-  GraphSnapshot::saveV2(Graph, Grph);
-
+  // Both sections serialize straight into the file buffer — no staging
+  // writers, no second copy of ~100KB of pool bytes. Their offsets and
+  // lengths land in the header by patching the slots reserved here.
   FlatWriter File;
   File.writeBytes(SnapshotMagicV2, std::strlen(SnapshotMagicV2));
   File.writeU8(0); // Magic NUL pad to offset 12.
   File.writeU32(SnapshotV2HeaderBytes);
   File.writeU64(grammarFingerprint(G));
   File.writeU64(grammarLayoutFingerprint(G));
-  const uint64_t GramOff = SnapshotV2HeaderBytes;
-  const uint64_t GrphOff = GramOff + ((Gram.size() + 7) & ~uint64_t{7});
-  File.writeU64(GramOff);
-  File.writeU64(Gram.size());
-  File.writeU64(GrphOff);
-  File.writeU64(Grph.size());
+  size_t SectionTableOff = File.reserve(4 * 8); // GramOff/Len, GrphOff/Len.
   size_t PayloadChkOff = File.reserve(8);
   size_t HeaderChkOff = File.reserve(8);
   assert(File.size() == SnapshotV2HeaderBytes &&
          "v2 header layout drifted from SnapshotV2HeaderBytes");
 
-  File.writeBytes(Gram.buffer().data(), Gram.size());
+  const uint64_t GramOff = File.size();
+  writeGrammarSnapshotV2(G, File);
+  const uint64_t GramLen = File.size() - GramOff;
   File.alignTo(8);
-  assert(File.size() == GrphOff && "GRPH section not at its header offset");
-  File.writeBytes(Grph.buffer().data(), Grph.size());
+  const uint64_t GrphOff = File.size();
+  GraphSnapshot::saveV2(Graph, File);
+  const uint64_t GrphLen = File.size() - GrphOff;
+  File.patchU64(SectionTableOff, GramOff);
+  File.patchU64(SectionTableOff + 8, GramLen);
+  File.patchU64(SectionTableOff + 16, GrphOff);
+  File.patchU64(SectionTableOff + 24, GrphLen);
 
   File.patchU64(PayloadChkOff,
-                hashBytes(File.buffer().data() + SnapshotV2HeaderBytes,
-                          File.size() - SnapshotV2HeaderBytes));
+                hashBytesFast(File.buffer().data() + SnapshotV2HeaderBytes,
+                              File.size() - SnapshotV2HeaderBytes));
   File.patchU64(HeaderChkOff,
                 hashBytes(File.buffer().data(), SnapshotV2HeaderChecksumBytes));
   Expected<size_t> Written = File.writeFile(Path);

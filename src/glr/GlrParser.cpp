@@ -186,7 +186,7 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
         NeedsBroadcast = false;
         for (GssNode *Node : Frontier)
           if (Node->Processed)
-            for (RuleId Rule : Node->State->reductions())
+            for (RuleId Rule : Graph.reductions(Node->State))
               Reductions.push_back(PendingReduce{Node, Rule});
         continue;
       }
@@ -217,7 +217,7 @@ GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
       for (GssNode *Node : Frontier) {
         if (!Node->State->isAccepting())
           continue;
-        for (RuleId RId : Node->State->acceptRules()) {
+        for (RuleId RId : Graph.acceptRules(Node->State)) {
           const Rule &R = G.rule(RId);
           const size_t M = R.Rhs.size();
           std::vector<ForestNode *> Deriv(M);

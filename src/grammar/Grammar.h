@@ -15,6 +15,7 @@
 
 #include "grammar/Symbol.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -108,6 +109,34 @@ public:
   /// Bumped on every successful addRule/removeRule.
   uint64_t version() const { return Version; }
 
+  /// Monotonic stamp covering everything the snapshot fingerprints hash:
+  /// symbol interning and nonterminal flips, rule interning (which does
+  /// not bump version()), and active-set changes (which do). Any content
+  /// mutation strictly increases it.
+  uint64_t fingerprintStamp() const {
+    return Symbols.revision() + Version + Rules.size();
+  }
+
+  /// Memoizes \p Compute(*this) keyed on fingerprintStamp(), in one of two
+  /// cache slots (0 = content fingerprint, 1 = layout fingerprint). The
+  /// stamp is stored with release ordering after the value, so a
+  /// concurrent reader that observes a matching stamp also observes the
+  /// value; racing recomputes are harmless because the hash is a pure
+  /// function of the grammar at that stamp. Saves on large grammars were
+  /// re-hashing every symbol name and rule body twice per snapshot, which
+  /// dominated the v2 save path once the graph section became a memcpy.
+  uint64_t memoizedFingerprint(int Slot,
+                               uint64_t (*Compute)(const Grammar &)) const {
+    CachedHash &Cache = Slot == 0 ? ContentHashCache : LayoutHashCache;
+    const uint64_t Stamp = fingerprintStamp();
+    if (Cache.Stamp.load(std::memory_order_acquire) == Stamp)
+      return Cache.Value.load(std::memory_order_relaxed);
+    const uint64_t Value = Compute(*this);
+    Cache.Value.store(Value, std::memory_order_relaxed);
+    Cache.Stamp.store(Stamp, std::memory_order_release);
+    return Value;
+  }
+
   /// Renders a rule as "A ::= b C d" (ε-rules render as "A ::= ε").
   std::string ruleToString(RuleId Id) const;
 
@@ -136,6 +165,14 @@ private:
   std::unordered_map<uint64_t, std::vector<RuleId>> RuleIndex;
   // Active rules per LHS symbol; grows with the symbol table.
   mutable std::vector<std::vector<RuleId>> ByLhs;
+  // Fingerprint memoization (memoizedFingerprint). Not carried by
+  // cloneExact: a fresh replica just recomputes on its first save.
+  struct CachedHash {
+    std::atomic<uint64_t> Stamp{~uint64_t{0}};
+    std::atomic<uint64_t> Value{0};
+  };
+  mutable CachedHash ContentHashCache;
+  mutable CachedHash LayoutHashCache;
 };
 
 } // namespace ipg

@@ -8,7 +8,9 @@
 
 using namespace ipg;
 
-uint64_t ipg::grammarFingerprint(const Grammar &G) {
+namespace {
+
+uint64_t computeGrammarFingerprint(const Grammar &G) {
   // One hash per active rule over names (with terminal-ness, which CLOSURE
   // depends on), folded with + so the result is independent of rule order
   // and id assignment. The rule count seeds the fold: it disambiguates the
@@ -31,7 +33,7 @@ uint64_t ipg::grammarFingerprint(const Grammar &G) {
   return Fingerprint;
 }
 
-uint64_t ipg::grammarLayoutFingerprint(const Grammar &G) {
+uint64_t computeGrammarLayoutFingerprint(const Grammar &G) {
   const SymbolTable &Symbols = G.symbols();
   uint64_t Hash = 0x697067736c617931ULL; // "ipgslay1"
   Hash = hashCombine(Hash, Symbols.size());
@@ -49,6 +51,19 @@ uint64_t ipg::grammarLayoutFingerprint(const Grammar &G) {
       Hash = hashCombine(Hash, Sym);
   }
   return Hash;
+}
+
+} // namespace
+
+// Both fingerprints walk every symbol name and rule body, which is too
+// slow to redo on every save of a large, unchanged grammar — the Grammar
+// memoizes them keyed on its mutation stamp.
+uint64_t ipg::grammarFingerprint(const Grammar &G) {
+  return G.memoizedFingerprint(0, computeGrammarFingerprint);
+}
+
+uint64_t ipg::grammarLayoutFingerprint(const Grammar &G) {
+  return G.memoizedFingerprint(1, computeGrammarLayoutFingerprint);
 }
 
 void ipg::writeGrammarSnapshot(const Grammar &G, ByteWriter &Writer) {
@@ -86,7 +101,11 @@ void ipg::writeGrammarSnapshot(const Grammar &G, ByteWriter &Writer) {
 //===----------------------------------------------------------------------===//
 
 void ipg::writeGrammarSnapshotV2(const Grammar &G, FlatWriter &Section) {
-  assert(Section.size() == 0 && "v2 GRAM section must start its writer");
+  // The section may be appended directly into a larger file writer; all
+  // recorded offsets are relative to this base, which must be 8-aligned
+  // so the in-section alignTo calls keep their meaning.
+  const size_t Base = Section.size();
+  assert(Base % 8 == 0 && "v2 GRAM section must start 8-aligned");
   const SymbolTable &Symbols = G.symbols();
 
   uint64_t RhsPoolLen = 0, NameBytes = 0;
@@ -95,6 +114,9 @@ void ipg::writeGrammarSnapshotV2(const Grammar &G, FlatWriter &Section) {
   for (RuleId Id = 0; Id < G.numInternedRules(); ++Id)
     RhsPoolLen += G.rule(Id).Rhs.size();
 
+  Section.reserveCapacity(Base + 48 + size_t{12} * Symbols.size() +
+                          size_t{16} * G.numInternedRules() + 4 * RhsPoolLen +
+                          NameBytes + 8);
   Section.writeU32(Symbols.size());
   Section.writeU32(G.numInternedRules());
   Section.writeU32(static_cast<uint32_t>(RhsPoolLen));
@@ -102,33 +124,44 @@ void ipg::writeGrammarSnapshotV2(const Grammar &G, FlatWriter &Section) {
   size_t OffTable = Section.reserve(4 * 8);
   uint64_t Offsets[4] = {0};
 
-  Offsets[0] = Section.size();
+  // Record fields are staged into one flat u32 scratch per table and
+  // appended with the bulk writer — per-field writeU32 calls were the
+  // hottest part of the save path on large grammars.
+  std::vector<uint32_t> Scratch;
+
+  Offsets[0] = Section.size() - Base;
+  Scratch.reserve(size_t{3} * Symbols.size());
   uint32_t NameOff = 0;
   for (SymbolId Sym = 0; Sym < Symbols.size(); ++Sym) {
     uint32_t Len = static_cast<uint32_t>(Symbols.name(Sym).size());
-    Section.writeU32(NameOff);
-    Section.writeU32(Len);
-    Section.writeU32(Symbols.isNonterminal(Sym) ? 1 : 0);
+    Scratch.push_back(NameOff);
+    Scratch.push_back(Len);
+    Scratch.push_back(Symbols.isNonterminal(Sym) ? 1 : 0);
     NameOff += Len;
   }
+  Section.writeU32Array(Scratch.data(), Scratch.size());
 
-  Offsets[1] = Section.size();
+  Offsets[1] = Section.size() - Base;
+  Scratch.clear();
+  Scratch.reserve(size_t{4} * G.numInternedRules());
   uint32_t RhsOff = 0;
   for (RuleId Id = 0; Id < G.numInternedRules(); ++Id) {
     const Rule &R = G.rule(Id);
-    Section.writeU32(R.Lhs);
-    Section.writeU32(G.isActive(Id) ? 1 : 0);
-    Section.writeU32(RhsOff);
-    Section.writeU32(static_cast<uint32_t>(R.Rhs.size()));
+    Scratch.push_back(R.Lhs);
+    Scratch.push_back(G.isActive(Id) ? 1 : 0);
+    Scratch.push_back(RhsOff);
+    Scratch.push_back(static_cast<uint32_t>(R.Rhs.size()));
     RhsOff += static_cast<uint32_t>(R.Rhs.size());
   }
+  Section.writeU32Array(Scratch.data(), Scratch.size());
 
-  Offsets[2] = Section.size();
-  for (RuleId Id = 0; Id < G.numInternedRules(); ++Id)
-    for (SymbolId Sym : G.rule(Id).Rhs)
-      Section.writeU32(Sym);
+  Offsets[2] = Section.size() - Base;
+  for (RuleId Id = 0; Id < G.numInternedRules(); ++Id) {
+    const Rule &R = G.rule(Id);
+    Section.writeU32Array(R.Rhs.data(), R.Rhs.size());
+  }
 
-  Offsets[3] = Section.size();
+  Offsets[3] = Section.size() - Base;
   for (SymbolId Sym = 0; Sym < Symbols.size(); ++Sym) {
     const std::string &Name = Symbols.name(Sym);
     Section.writeBytes(Name.data(), Name.size());

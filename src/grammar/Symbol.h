@@ -60,6 +60,7 @@ public:
     Names.emplace_back(Name);
     Nonterminal.push_back(false);
     IdByName.emplace(Names.back(), Id);
+    ++Revision;
     return Id;
   }
 
@@ -77,7 +78,10 @@ public:
   /// Declares \p Id a nonterminal (idempotent; never reverts).
   void markNonterminal(SymbolId Id) {
     assert(Id < Names.size() && "unknown symbol id");
-    Nonterminal[Id] = true;
+    if (!Nonterminal[Id]) {
+      Nonterminal[Id] = true;
+      ++Revision;
+    }
   }
 
   bool isNonterminal(SymbolId Id) const {
@@ -96,9 +100,15 @@ public:
   /// The distinguished end marker `$` (a terminal, never part of a rule).
   SymbolId endMarker() const { return EndId; }
 
+  /// Monotonic count of content changes (new interns, nonterminal flips).
+  /// Feeds Grammar::fingerprintStamp so the snapshot fingerprints can be
+  /// memoized across repeated saves of an unchanged grammar.
+  uint64_t revision() const { return Revision; }
+
 private:
   std::vector<std::string> Names;
   std::vector<bool> Nonterminal;
+  uint64_t Revision = 0;
   std::unordered_map<std::string, SymbolId, SymbolNameHash, std::equal_to<>>
       IdByName;
   SymbolId StartId = InvalidSymbol;

@@ -11,13 +11,51 @@ using namespace ipg;
 
 namespace {
 
+/// Flat CSR adjacency for the digraph relations (reads / includes).
+/// Edges accumulate as (from, to) pairs in ONE flat vector and seal()
+/// counting-sorts them into offset/edge arrays — three flat allocations
+/// for the whole relation, replacing the per-node std::vector headers and
+/// geometric regrowth of the old vector-of-vectors representation
+/// (BM_LalrDigraphAlloc in bench/micro_kernels measures the difference).
+class FlatRelation {
+public:
+  explicit FlatRelation(size_t NumNodes) : NumNodes(NumNodes) {}
+
+  void addEdge(uint32_t From, uint32_t To) { Pairs.emplace_back(From, To); }
+
+  /// Seals the accumulated edges into CSR form; addEdge is over.
+  void seal() {
+    Offsets.assign(NumNodes + 1, 0);
+    for (const auto &[From, To] : Pairs)
+      ++Offsets[From + 1];
+    for (size_t I = 1; I <= NumNodes; ++I)
+      Offsets[I] += Offsets[I - 1];
+    Edges.resize(Pairs.size());
+    std::vector<uint32_t> Fill(Offsets.begin(), Offsets.end() - 1);
+    for (const auto &[From, To] : Pairs)
+      Edges[Fill[From]++] = To;
+    Pairs.clear();
+    Pairs.shrink_to_fit();
+  }
+
+  ArrayView<uint32_t> successors(uint32_t X) const {
+    return ArrayView<uint32_t>(Edges.data() + Offsets[X],
+                               Offsets[X + 1] - Offsets[X]);
+  }
+
+private:
+  size_t NumNodes;
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  std::vector<uint32_t> Offsets;
+  std::vector<uint32_t> Edges;
+};
+
 /// DeRemer–Pennello digraph algorithm: computes the smallest F with
 /// F(x) ⊇ Base(x) and F(x) ⊇ F(y) for every edge x → y in Rel, merging
 /// strongly connected components on the fly.
 class Digraph {
 public:
-  Digraph(const std::vector<std::vector<uint32_t>> &Rel,
-          std::vector<Bitset> &F)
+  Digraph(const FlatRelation &Rel, std::vector<Bitset> &F)
       : Rel(Rel), F(F), Depth(F.size(), 0) {}
 
   void run() {
@@ -33,7 +71,7 @@ private:
     Stack.push_back(X);
     uint32_t D = static_cast<uint32_t>(Stack.size());
     Depth[X] = D;
-    for (uint32_t Y : Rel[X]) {
+    for (uint32_t Y : Rel.successors(X)) {
       if (Depth[Y] == 0)
         traverse(Y);
       Depth[X] = std::min(Depth[X], Depth[Y]);
@@ -52,7 +90,7 @@ private:
     }
   }
 
-  const std::vector<std::vector<uint32_t>> &Rel;
+  const FlatRelation &Rel;
   std::vector<Bitset> &F;
   std::vector<uint32_t> Depth;
   std::vector<uint32_t> Stack;
@@ -84,7 +122,7 @@ ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
     return (uint64_t(StateOf.at(State)) << 32) | A;
   };
   for (const ItemSet *Set : Sets)
-    for (const ItemSet::Transition &T : Set->transitions())
+    for (ItemSet::Transition T : Graph.transitions(Set))
       if (G.symbols().isNonterminal(T.Label)) {
         TransIdx.emplace(TransKey(Set, T.Label),
                          static_cast<uint32_t>(Trans.size()));
@@ -95,7 +133,7 @@ ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
   // marker is readable exactly when the target accepts (START ::= β •).
   std::vector<Bitset> Follow(Trans.size(), Bitset(NumSymbols));
   for (size_t I = 0; I < Trans.size(); ++I) {
-    for (const ItemSet::Transition &T : Trans[I].To->transitions())
+    for (ItemSet::Transition T : Graph.transitions(Trans[I].To))
       if (G.symbols().isTerminal(T.Label))
         Follow[I].set(T.Label);
     if (Trans[I].To->isAccepting())
@@ -104,17 +142,19 @@ ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
 
   // reads: (p, A) → (r, C) when r = GOTO(p, A) has a transition on a
   // nullable nonterminal C.
-  std::vector<std::vector<uint32_t>> Reads(Trans.size());
+  FlatRelation Reads(Trans.size());
   for (size_t I = 0; I < Trans.size(); ++I)
-    for (const ItemSet::Transition &T : Trans[I].To->transitions())
+    for (ItemSet::Transition T : Graph.transitions(Trans[I].To))
       if (G.symbols().isNonterminal(T.Label) && Analysis.isNullable(T.Label))
-        Reads[I].push_back(TransIdx.at(TransKey(Trans[I].To, T.Label)));
+        Reads.addEdge(static_cast<uint32_t>(I),
+                      TransIdx.at(TransKey(Trans[I].To, T.Label)));
+  Reads.seal();
   Digraph(Reads, Follow).run(); // Follow now holds the Read sets.
 
   // includes: (p_i, ω_i) → (p', B) for B ::= ω with a nullable suffix
   // after position i, walking ω from every state p' owning a B-transition.
   // lookback: (q, B ::= ω) ← (p', B) with q the end of the walk.
-  std::vector<std::vector<uint32_t>> Includes(Trans.size());
+  FlatRelation Includes(Trans.size());
   std::unordered_map<uint64_t, std::vector<uint32_t>> Lookback;
   auto LookbackKey = [&](const ItemSet *State, RuleId Rule) {
     return (uint64_t(StateOf.at(State)) << 32) | Rule;
@@ -129,24 +169,25 @@ ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
         if (G.symbols().isNonterminal(Sym) &&
             Analysis.isNullableSequence(R.Rhs, Pos + 1)) {
           uint32_t Inner = TransIdx.at(TransKey(Q, Sym));
-          Includes[Inner].push_back(static_cast<uint32_t>(I));
+          Includes.addEdge(Inner, static_cast<uint32_t>(I));
         }
-        // The walk follows one transition per RHS symbol; the item sets'
-        // action index makes each step a binary search instead of a
+        // The walk follows one transition per RHS symbol; the sorted
+        // label span makes each step a binary search instead of a
         // re-scan of the whole transition list.
-        Q = Q->transitionTarget(Sym);
+        Q = Graph.transitionTarget(Q, Sym);
         assert(Q != nullptr && "broken walk over a predicted rule");
       }
       Lookback[LookbackKey(Q, RId)].push_back(static_cast<uint32_t>(I));
     }
   }
+  Includes.seal();
   Digraph(Includes, Follow).run(); // Follow now holds the Follow sets.
 
   // Assemble the table: LA(q, A ::= ω) = ∪ Follow(p, A) over lookback.
   ParseTable Table(Sets.size(), NumSymbols);
   for (const ItemSet *Set : Sets) {
     uint32_t State = StateOf.at(Set);
-    for (RuleId Rule : Set->reductions()) {
+    for (RuleId Rule : Graph.reductions(Set)) {
       Bitset La(NumSymbols);
       auto It = Lookback.find(LookbackKey(Set, Rule));
       if (It != Lookback.end())
@@ -157,14 +198,14 @@ ParseTable ipg::buildLalr1Table(ItemSetGraph &Graph,
                         {TableAction::Reduce, Rule});
       });
     }
-    for (const ItemSet::Transition &T : Set->transitions()) {
+    for (ItemSet::Transition T : Graph.transitions(Set)) {
       if (G.symbols().isTerminal(T.Label))
         Table.addAction(State, T.Label,
                         {TableAction::Shift, StateOf.at(T.Target)});
       else
         Table.setGoto(State, T.Label, StateOf.at(T.Target));
     }
-    for (RuleId Rule : Set->acceptRules())
+    for (RuleId Rule : Graph.acceptRules(Set))
       Table.addAction(State, G.endMarker(), {TableAction::Accept, Rule});
   }
   if (SetOfState != nullptr)

@@ -21,21 +21,21 @@ ParseTable ipg::buildSlr1Table(ItemSetGraph &Graph,
   ParseTable Table(Sets.size(), G.symbols().size());
   for (const ItemSet *Set : Sets) {
     uint32_t State = StateOf.at(Set);
-    for (RuleId Rule : Set->reductions()) {
+    for (RuleId Rule : Graph.reductions(Set)) {
       // SLR(1): reduce A ::= β only on terminals in FOLLOW(A).
       Analysis.follow(G.rule(Rule).Lhs).forEach([&](size_t Sym) {
         Table.addAction(State, static_cast<SymbolId>(Sym),
                         {TableAction::Reduce, Rule});
       });
     }
-    for (const ItemSet::Transition &T : Set->transitions()) {
+    for (ItemSet::Transition T : Graph.transitions(Set)) {
       if (G.symbols().isTerminal(T.Label))
         Table.addAction(State, T.Label,
                         {TableAction::Shift, StateOf.at(T.Target)});
       else
         Table.setGoto(State, T.Label, StateOf.at(T.Target));
     }
-    for (RuleId Rule : Set->acceptRules())
+    for (RuleId Rule : Graph.acceptRules(Set))
       Table.addAction(State, G.endMarker(), {TableAction::Accept, Rule});
   }
   if (SetOfState != nullptr)

@@ -28,9 +28,9 @@ std::string ipg::graphToDot(const ItemSetGraph &Graph, bool IncludeDead) {
 
   auto EmitNode = [&](const ItemSet &State) {
     std::string Label = std::to_string(State.id());
-    for (const Item &I : State.kernel())
+    for (const Item &I : Graph.kernel(&State))
       Label += "\\n" + escapeLabel(itemToString(I, G));
-    for (RuleId Rule : State.reductions())
+    for (RuleId Rule : Graph.reductions(&State))
       Label += "\\nreduce " + escapeLabel(G.ruleToString(Rule));
     std::string Attrs = "label=\"" + Label + "\"";
     // Fill color encodes the expansion state, so a snapshot's lazy/dirty
@@ -60,11 +60,11 @@ std::string ipg::graphToDot(const ItemSetGraph &Graph, bool IncludeDead) {
   // liveSets() excludes dead sets; walk them via a second pass when asked.
   for (const ItemSet *State : Graph.liveSets()) {
     EmitNode(*State);
-    ArrayView<ItemSet::Transition> Edges =
-        State->state() == ItemSetState::Dirty ? State->oldTransitions()
-                                              : State->transitions();
+    TransitionRange Edges = State->state() == ItemSetState::Dirty
+                                ? Graph.oldTransitions(State)
+                                : Graph.transitions(State);
     bool DashedEdges = State->state() == ItemSetState::Dirty;
-    for (const ItemSet::Transition &T : Edges)
+    for (ItemSet::Transition T : Edges)
       Dot += "  n" + std::to_string(State->id()) + " -> n" +
              std::to_string(T.Target->id()) + " [label=\"" +
              escapeLabel(G.symbols().name(T.Label)) + "\"" +

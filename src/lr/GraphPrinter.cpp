@@ -18,7 +18,9 @@ static const char *stateMarker(ItemSetState State) {
   return "?";
 }
 
-std::string ipg::itemSetToString(const ItemSet &State, const Grammar &G) {
+std::string ipg::itemSetToString(const ItemSet &State,
+                                 const ItemSetGraph &Graph) {
+  const Grammar &G = Graph.grammar();
   // Built up with += (not one operator+ chain): GCC 12's -Wrestrict
   // misfires on the temporary-reusing rvalue overloads at -O3.
   std::string Text = "[";
@@ -28,14 +30,14 @@ std::string ipg::itemSetToString(const ItemSet &State, const Grammar &G) {
   Text += " (refcount ";
   Text += std::to_string(State.refCount());
   Text += ")\n";
-  for (const Item &I : State.kernel())
+  for (const Item &I : Graph.kernel(&State))
     Text += "  " + itemToString(I, G) + "\n";
   if (!State.isComplete())
     return Text;
-  for (const ItemSet::Transition &T : State.transitions())
+  for (ItemSet::Transition T : Graph.transitions(&State))
     Text += "  --" + G.symbols().name(T.Label) + "--> " +
             std::to_string(T.Target->id()) + "\n";
-  for (RuleId Rule : State.reductions())
+  for (RuleId Rule : Graph.reductions(&State))
     Text += "  reduce " + G.ruleToString(Rule) + "\n";
   if (State.isAccepting())
     Text += "  --$--> accept\n";
@@ -45,6 +47,6 @@ std::string ipg::itemSetToString(const ItemSet &State, const Grammar &G) {
 std::string ipg::graphToString(const ItemSetGraph &Graph) {
   std::string Text;
   for (const ItemSet *State : Graph.liveSets())
-    Text += itemSetToString(*State, Graph.grammar());
+    Text += itemSetToString(*State, Graph);
   return Text;
 }

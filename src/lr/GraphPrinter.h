@@ -16,8 +16,10 @@
 
 namespace ipg {
 
-/// Renders one set of items as a multi-line block.
-std::string itemSetToString(const ItemSet &State, const Grammar &G);
+/// Renders one set of items as a multi-line block. Takes the owning graph
+/// (not just the grammar): the set's kernel and record spans live in the
+/// graph's pools.
+std::string itemSetToString(const ItemSet &State, const ItemSetGraph &Graph);
 
 /// Renders every live set of items in creation order.
 std::string graphToString(const ItemSetGraph &Graph);

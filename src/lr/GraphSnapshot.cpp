@@ -9,47 +9,62 @@
 #include <cassert>
 #include <cstddef>
 #include <cstring>
-#include <new>
 
 using namespace ipg;
 
 namespace {
 
-/// On-disk lifecycle codes; Dead is never serialized.
-enum : uint8_t { StateInitial = 0, StateComplete = 1, StateDirty = 2 };
+/// On-disk lifecycle codes == the ItemSetState values (lr/ItemSet.h pins
+/// them). Dead appears only in the flat-arena layout, as a tombstone.
+enum : uint8_t {
+  StateInitial = 0,
+  StateComplete = 1,
+  StateDirty = 2,
+  StateDead = 3
+};
 
+/// GRPH section layout flags (GrphHeader.Reserved). Legacy sections wrote
+/// 0 here, which is what makes the flag retrofittable.
+enum : uint32_t { LayoutLegacy = 0, LayoutFlatArena = 1 };
+
+/// v1 state byte; v1 compacts Dead sets away, so it never writes one.
 uint8_t stateCode(ItemSetState State) {
-  switch (State) {
-  case ItemSetState::Initial:
-    return StateInitial;
-  case ItemSetState::Complete:
-    return StateComplete;
-  case ItemSetState::Dirty:
-    return StateDirty;
-  case ItemSetState::Dead:
-    break;
-  }
-  assert(false && "serializing a dead set of items");
-  return StateInitial;
+  assert(State != ItemSetState::Dead && "serializing a dead set of items");
+  return static_cast<uint8_t>(State);
 }
 
 //===----------------------------------------------------------------------===//
 // ipg-snap-v2 GRPH section layout (struct-of-arrays, little-endian,
-// natural alignment; all offsets relative to the 8-aligned section start,
+// 8-aligned pools; all offsets relative to the 8-aligned section start,
 // all Off/Len pairs are element indices into the named pools).
 //
+// Flat-arena layout (Reserved == 1) — the live graph's pools verbatim:
+//
 //   GrphHeader (136 bytes)
-//   SetRec[NumSets]                48-byte fixed records
+//   ItemSet[NumSets]               52-byte records == the in-memory type
 //   Item[NumKernelItems]           {u32 Rule, u32 Dot}
+//   u32[NumTransitions]            transition target indices
+//   SymbolId[NumTransitions]       labels, strictly parallel to targets
+//   RuleId[NumReductions]
+//   RuleId[NumAcceptRules]
+//
+// NumSets counts every record, Dead tombstones included (the record index
+// space is the transition target space); the pools may contain abandoned
+// ("garbage") spans no live record references — save does not compact, so
+// save is a memcpy and save-after-load is byte-identical. Old spans of
+// Dirty sets live in the same target/label pools as live spans, so
+// NumOldTransitions and OffOldTransitions are 0.
+//
+// Legacy layout (Reserved == 0), decode-only for old files:
+//
+//   GrphHeader (136 bytes)
+//   SetRec[NumSets]                48-byte records, live sets only
+//   Item[NumKernelItems]
 //   TransRec[NumTransitions]       {u32 Label, u32 0, u64 TargetIdx}
 //   TransRec[NumOldTransitions]    dirty sets' retained history
 //   SymbolId[NumTransitions]       action labels, parallel to TransRec
 //   RuleId[NumReductions]
 //   RuleId[NumAcceptRules]
-//
-// TransRec mirrors the in-memory ItemSet::Transition layout on LP64
-// little-endian hosts; adoption overwrites TargetIdx with the fixed-up
-// ItemSet pointer and then uses the records in place.
 //===----------------------------------------------------------------------===//
 
 struct GrphHeader {
@@ -72,6 +87,7 @@ struct GrphHeader {
 };
 static_assert(sizeof(GrphHeader) == 136, "v2 GRPH header layout drifted");
 
+/// Legacy (Reserved == 0) per-set record.
 struct SetRec {
   uint8_t State;
   uint8_t Accepting;
@@ -83,24 +99,26 @@ struct SetRec {
   uint32_t AccOff, AccLen;
   uint32_t Reserved2;
 };
-static_assert(sizeof(SetRec) == 48, "v2 set record layout drifted");
+static_assert(sizeof(SetRec) == 48, "legacy v2 set record layout drifted");
 
+/// Legacy (Reserved == 0) transition record.
 struct TransRec {
   uint32_t Label;
   uint32_t Reserved;
   uint64_t Target;
 };
-static_assert(sizeof(TransRec) == 16, "v2 transition record layout drifted");
+static_assert(sizeof(TransRec) == 16,
+              "legacy v2 transition record layout drifted");
 
-/// The zero-copy path reinterprets mapped records as in-memory types; it
-/// is compiled in only where the layouts provably coincide. Elsewhere (or
-/// for remapping loads) the endian-safe field-by-field decoder runs.
+/// The zero-copy path reinterprets mapped arrays as the in-memory pool
+/// element types; it runs only where the layouts provably coincide.
+/// Elsewhere (or for remapping loads) the endian-safe field-by-field
+/// decoder runs. No pointer is ever serialized, so word size no longer
+/// matters — only endianness and the field widths.
 constexpr bool HostCanAdoptV2 =
-    std::endian::native == std::endian::little && sizeof(void *) == 8 &&
-    sizeof(Item) == 8 && alignof(Item) <= 8 &&
-    sizeof(ItemSet::Transition) == sizeof(TransRec) &&
-    alignof(ItemSet::Transition) <= 8 && sizeof(SymbolId) == 4 &&
-    sizeof(RuleId) == 4;
+    std::endian::native == std::endian::little && sizeof(ItemSet) == 52 &&
+    alignof(ItemSet) <= 8 && sizeof(Item) == 8 && alignof(Item) <= 8 &&
+    sizeof(SymbolId) == 4 && sizeof(RuleId) == 4;
 
 /// Reads the fixed v2 GRPH header out of \p Section (endian-safe).
 Expected<GrphHeader> readGrphHeader(const FlatView &Section) {
@@ -147,7 +165,8 @@ inline uint64_t loadLe64(const uint8_t *P) {
          static_cast<uint64_t>(loadLe32(P + 4)) << 32;
 }
 
-/// Shared structural checks on a v2 set record against the header totals.
+/// Shared structural checks on a legacy v2 set record against the header
+/// totals.
 Expected<uint8_t> checkSetRecShape(const SetRec &R, const GrphHeader &H) {
   if (R.State > StateDirty)
     return Error("invalid item-set state code");
@@ -172,6 +191,66 @@ Expected<uint8_t> checkSetRecShape(const SetRec &R, const GrphHeader &H) {
   return uint8_t{0};
 }
 
+/// Flat-arena (Reserved == 1) per-set record — the ItemSet field layout
+/// spelled out as plain integers, so validation and decode can inspect a
+/// record without ItemSet friend access. HostCanAdoptV2 plus these
+/// static_asserts pin the two layouts together.
+struct FlatRec {
+  uint32_t Id;
+  uint8_t State;
+  uint8_t Accepting;
+  uint16_t Pad;
+  uint32_t RefCount;
+  uint32_t KernelOff, KernelLen;
+  uint32_t TransOff, TransLen;
+  uint32_t OldOff, OldLen;
+  uint32_t RedOff, RedLen;
+  uint32_t AccOff, AccLen;
+};
+static_assert(sizeof(FlatRec) == 52 && sizeof(FlatRec) == sizeof(ItemSet),
+              "flat v2 set record layout drifted");
+
+/// Structural checks on a flat-arena set record against the header totals.
+/// Old spans index the same target/label pools as live spans.
+const char *checkFlatRecShape(const FlatRec &R, uint32_t Index,
+                              const GrphHeader &H) {
+  if (R.State > StateDead)
+    return "invalid item-set state code";
+  if (R.Id != Index)
+    return "set record id does not match its index";
+  if (R.Pad != 0)
+    return "nonzero padding in set record";
+  if (R.State == StateDead) {
+    // Tombstone: everything zero. Keeping the shape canonical is what
+    // makes re-serialization deterministic.
+    if (R.Accepting != 0 || R.RefCount != 0 || R.KernelOff != 0 ||
+        R.KernelLen != 0 || R.TransOff != 0 || R.TransLen != 0 ||
+        R.OldOff != 0 || R.OldLen != 0 || R.RedOff != 0 || R.RedLen != 0 ||
+        R.AccOff != 0 || R.AccLen != 0)
+      return "dead set record is not a tombstone";
+    return nullptr;
+  }
+  bool Complete = R.State == StateComplete;
+  if (R.Accepting > 1 || (R.Accepting == 1 && !Complete))
+    return "invalid accepting flag";
+  auto SpanOk = [](uint32_t Off, uint32_t Len, uint32_t Total) {
+    return static_cast<uint64_t>(Off) + Len <= Total;
+  };
+  if (!SpanOk(R.KernelOff, R.KernelLen, H.NumKernelItems) ||
+      !SpanOk(R.TransOff, R.TransLen, H.NumTransitions) ||
+      !SpanOk(R.OldOff, R.OldLen, H.NumTransitions) ||
+      !SpanOk(R.RedOff, R.RedLen, H.NumReductions) ||
+      !SpanOk(R.AccOff, R.AccLen, H.NumAcceptRules))
+    return "set record span out of range";
+  if (!Complete && (R.TransLen != 0 || R.RedLen != 0 || R.AccLen != 0))
+    return "records on a set whose state forbids them";
+  if (R.State != StateDirty && R.OldLen != 0)
+    return "old transitions on a non-dirty set";
+  if (R.AccLen != 0 && R.Accepting != 1)
+    return "accept rules on a non-accepting set";
+  return nullptr;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -193,9 +272,9 @@ void GraphSnapshot::save(const ItemSetGraph &Graph, ByteWriter &Writer) {
   Writer.writeVarint(NumLive);
   Writer.writeVarint(DenseIdx[Graph.Start->Id]);
 
-  auto WriteTransitions = [&](ArrayView<ItemSet::Transition> Transitions) {
+  auto WriteTransitions = [&](TransitionRange Transitions) {
     Writer.writeVarint(Transitions.size());
-    for (const ItemSet::Transition &T : Transitions) {
+    for (ItemSet::Transition T : Transitions) {
       assert(!T.Target->isDead() && "live transition to a dead set");
       Writer.writeVarint(T.Label);
       Writer.writeVarint(DenseIdx[T.Target->Id]);
@@ -212,20 +291,20 @@ void GraphSnapshot::save(const ItemSetGraph &Graph, ByteWriter &Writer) {
     if (State.isDead())
       continue;
     Writer.writeU8(stateCode(State.State));
-    Writer.writeU8(State.Accepting ? 1 : 0);
-    KernelView K = State.kernel();
+    Writer.writeU8(State.Accepting != 0 ? 1 : 0);
+    KernelView K = Graph.kernel(&State);
     Writer.writeVarint(K.size());
     for (const Item &I2 : K) {
       Writer.writeVarint(I2.Rule);
       Writer.writeVarint(I2.Dot);
     }
-    WriteTransitions(State.transitions());
-    WriteRules(State.reductions());
-    WriteRules(State.acceptRules());
-    WriteTransitions(State.oldTransitions());
+    WriteTransitions(Graph.transitions(&State));
+    WriteRules(Graph.reductions(&State));
+    WriteRules(Graph.acceptRules(&State));
+    WriteTransitions(Graph.oldTransitions(&State));
   }
 
-  // Reference counts are not serialized: they are derivable (one per
+  // Reference counts are not serialized in v1: they are derivable (one per
   // incoming transition, old or new, plus the start set's root reference)
   // and load() re-derives them, so a snapshot cannot carry a skewed count.
   const ItemSetGraphStats S = Graph.stats();
@@ -241,13 +320,7 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
                                      const std::vector<SymbolId> &SymbolMap,
                                      const std::vector<RuleId> &RuleMap) {
   const Grammar &G = Graph.G;
-  Graph.Adopted.clear();
-  Graph.Pool.clear();
-  Graph.ByKernel.clear();
-  Graph.KernelIndexReady = true;
-  Graph.BorrowedStorage.reset();
-  Graph.Start = nullptr;
-  Graph.storeStats(ItemSetGraphStats());
+  clearStorage(Graph);
 
   Expected<uint64_t> NumSets = Reader.readVarint();
   if (!NumSets)
@@ -265,12 +338,35 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
     return Error("start set index out of range");
 
   Graph.ByKernel.reserve(static_cast<size_t>(*NumSets));
-  for (uint64_t I = 0; I < *NumSets; ++I) {
-    Graph.Pool.emplace_back();
-    Graph.Pool.back().Id = static_cast<uint32_t>(I);
-  }
+  Graph.Sets.appendZeroed(static_cast<size_t>(*NumSets));
+  for (uint64_t I = 0; I < *NumSets; ++I)
+    Graph.setAt(static_cast<size_t>(I)).Id = static_cast<uint32_t>(I);
 
-  auto ReadTransitions = [&](std::vector<ItemSet::Transition> &Transitions,
+  // Decode scratch, reused across sets. Edges are staged and sorted by
+  // (remapped) label before the paired Trans/Labels appends — the pools
+  // advance in lockstep so one offset addresses both.
+  std::vector<std::pair<SymbolId, uint32_t>> Edges;
+  std::vector<SymbolId> TmpLabels;
+  std::vector<uint32_t> TmpTargets;
+  std::vector<RuleId> TmpRules;
+  Kernel K;
+
+  auto AppendEdges = [&](uint32_t &OutOff, uint32_t &OutLen) {
+    std::sort(Edges.begin(), Edges.end());
+    TmpLabels.clear();
+    TmpTargets.clear();
+    for (const auto &[Label, Target] : Edges) {
+      TmpLabels.push_back(Label);
+      TmpTargets.push_back(Target);
+    }
+    OutOff = Graph.Trans.append(TmpTargets.data(), TmpTargets.size());
+    uint32_t LOff = Graph.Labels.append(TmpLabels.data(), TmpLabels.size());
+    assert(OutOff == LOff && "Trans/Labels pools out of lockstep");
+    (void)LOff;
+    OutLen = static_cast<uint32_t>(Edges.size());
+  };
+
+  auto ReadTransitions = [&](uint32_t &OutOff, uint32_t &OutLen,
                              bool Allowed) -> Expected<uint8_t> {
     Expected<uint64_t> Count = Reader.readVarint();
     if (!Count)
@@ -279,7 +375,7 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
       return Error("transitions on a set whose state forbids them");
     if (*Count > Reader.remaining())
       return Error("transition count exceeds section size");
-    Transitions.reserve(static_cast<size_t>(*Count));
+    Edges.clear();
     for (uint64_t I = 0; I < *Count; ++I) {
       Expected<uint64_t> Label = Reader.readVarint();
       if (!Label)
@@ -291,15 +387,14 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
         return Target.error();
       if (*Target >= *NumSets)
         return Error("transition target out of range");
-      Transitions.push_back(ItemSet::Transition{
-          SymbolMap[static_cast<size_t>(*Label)],
-          &Graph.Pool[static_cast<size_t>(*Target)]});
+      Edges.emplace_back(SymbolMap[static_cast<size_t>(*Label)],
+                         static_cast<uint32_t>(*Target));
     }
-    sortTransitionsByLabel(Transitions);
+    AppendEdges(OutOff, OutLen);
     return uint8_t{0};
   };
-  auto ReadRules = [&](std::vector<RuleId> &Rules,
-                       bool Allowed) -> Expected<uint8_t> {
+  auto ReadRules = [&](PoolArena<RuleId> &Pool, uint32_t &OutOff,
+                       uint32_t &OutLen, bool Allowed) -> Expected<uint8_t> {
     Expected<uint64_t> Count = Reader.readVarint();
     if (!Count)
       return Count.error();
@@ -307,36 +402,28 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
       return Error("reductions on a set whose state forbids them");
     if (*Count > Reader.remaining())
       return Error("rule count exceeds section size");
-    Rules.reserve(static_cast<size_t>(*Count));
+    TmpRules.clear();
     for (uint64_t I = 0; I < *Count; ++I) {
       Expected<uint64_t> Rule = Reader.readVarint();
       if (!Rule)
         return Rule.error();
       if (*Rule >= RuleMap.size())
         return Error("reduction references an unknown rule");
-      Rules.push_back(RuleMap[static_cast<size_t>(*Rule)]);
+      TmpRules.push_back(RuleMap[static_cast<size_t>(*Rule)]);
     }
+    OutOff = Pool.append(TmpRules.data(), TmpRules.size());
+    OutLen = static_cast<uint32_t>(TmpRules.size());
     return uint8_t{0};
   };
 
   for (uint64_t I = 0; I < *NumSets; ++I) {
-    ItemSet &State = Graph.Pool[static_cast<size_t>(I)];
+    ItemSet &State = Graph.setAt(static_cast<size_t>(I));
     Expected<uint8_t> Code = Reader.readU8();
     if (!Code)
       return Code.error();
-    switch (*Code) {
-    case StateInitial:
-      State.State = ItemSetState::Initial;
-      break;
-    case StateComplete:
-      State.State = ItemSetState::Complete;
-      break;
-    case StateDirty:
-      State.State = ItemSetState::Dirty;
-      break;
-    default:
+    if (*Code > StateDirty)
       return Error("invalid item-set state code");
-    }
+    State.State = static_cast<ItemSetState>(*Code);
     bool Complete = State.State == ItemSetState::Complete;
 
     Expected<uint8_t> Accepting = Reader.readU8();
@@ -344,14 +431,15 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
       return Accepting.error();
     if (*Accepting > 1 || (*Accepting == 1 && !Complete))
       return Error("invalid accepting flag");
-    State.Accepting = *Accepting == 1;
+    State.Accepting = *Accepting;
 
     Expected<uint64_t> KernelSize = Reader.readVarint();
     if (!KernelSize)
       return KernelSize.error();
     if (*KernelSize > Reader.remaining())
       return Error("kernel size exceeds section size");
-    State.K.reserve(static_cast<size_t>(*KernelSize));
+    K.clear();
+    K.reserve(static_cast<size_t>(*KernelSize));
     for (uint64_t J = 0; J < *KernelSize; ++J) {
       Expected<uint64_t> Rule = Reader.readVarint();
       if (!Rule)
@@ -364,52 +452,50 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
         return Dot.error();
       if (*Dot > G.rule(Mapped).Rhs.size())
         return Error("kernel item dot beyond its rule");
-      State.K.push_back(Item{Mapped, static_cast<uint32_t>(*Dot)});
+      K.push_back(Item{Mapped, static_cast<uint32_t>(*Dot)});
     }
     // Remapped rule ids may order differently; re-establish canonical form
     // before hashing into the kernel index.
-    canonicalizeKernel(State.K);
-    std::vector<ItemSet *> &Bucket = Graph.ByKernel[hashKernel(State.K)];
+    canonicalizeKernel(K);
+    std::vector<ItemSet *> &Bucket = Graph.ByKernel[hashKernel(K)];
     for (const ItemSet *Other : Bucket)
-      if (Other->K == State.K)
+      if (kernelEquals(Graph.kernel(Other), K))
         return Error("duplicate kernel in snapshot");
+    State.KernelOff = Graph.Kernels.append(K.data(), K.size());
+    State.KernelLen = static_cast<uint32_t>(K.size());
     Bucket.push_back(&State);
 
-    Expected<uint8_t> Ok = ReadTransitions(State.Transitions, Complete);
+    Expected<uint8_t> Ok =
+        ReadTransitions(State.TransOff, State.TransLen, Complete);
     if (!Ok)
       return Ok.error();
-    Ok = ReadRules(State.Reductions, Complete);
+    Ok = ReadRules(Graph.Reds, State.RedOff, State.RedLen, Complete);
     if (!Ok)
       return Ok.error();
-    Ok = ReadRules(State.AcceptRules, Complete);
+    Ok = ReadRules(Graph.Accs, State.AccOff, State.AccLen, Complete);
     if (!Ok)
       return Ok.error();
-    Ok = ReadTransitions(State.OldTransitions,
+    Ok = ReadTransitions(State.OldOff, State.OldLen,
                          State.State == ItemSetState::Dirty);
     if (!Ok)
       return Ok.error();
-
-    // The ACTION/GOTO index is derived, never serialized in v1: rebuild it
-    // for adopted Complete sets so queries against a warm-started graph
-    // run the same allocation-free path as against a freshly expanded one.
-    if (Complete)
-      State.buildActionIndex();
   }
 
-  Graph.Start = &Graph.Pool[static_cast<size_t>(*StartIdx)];
+  Graph.Start = &Graph.setAt(static_cast<size_t>(*StartIdx));
 
   // Re-derive the reference counts from the incoming edges (DECR-REFCOUNT
   // bookkeeping of §6.2): one per transition — retained pre-modification
   // ones included — plus the start set's root pin.
   Graph.Start->RefCount = 1;
-  for (ItemSet &State : Graph.Pool) {
-    for (const ItemSet::Transition &T : State.Transitions)
+  for (uint64_t I = 0; I < *NumSets; ++I) {
+    const ItemSet &State = Graph.setAt(static_cast<size_t>(I));
+    for (ItemSet::Transition T : Graph.transitions(&State))
       ++T.Target->RefCount;
-    for (const ItemSet::Transition &T : State.OldTransitions)
+    for (ItemSet::Transition T : Graph.oldTransitions(&State))
       ++T.Target->RefCount;
   }
-  for (const ItemSet &State : Graph.Pool)
-    if (State.RefCount == 0)
+  for (uint64_t I = 0; I < *NumSets; ++I)
+    if (Graph.setAt(static_cast<size_t>(I)).RefCount == 0)
       return Error("orphaned set in snapshot");
 
   ItemSetGraphStats Loaded;
@@ -432,38 +518,55 @@ Expected<size_t> GraphSnapshot::load(ByteReader &Reader, ItemSetGraph &Graph,
 // v2 (FlatSection struct-of-arrays encoding)
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Emits a pool's bytes: on little-endian hosts two raw memcpys (base
+/// segment, then grow segment — that concatenation IS the offset space);
+/// elsewhere the per-element writer runs so the file stays little-endian.
+template <typename T, typename WriteElem>
+void emitPool(FlatWriter &Section, const PoolArena<T> &Pool,
+              WriteElem &&Write) {
+  if constexpr (std::endian::native == std::endian::little) {
+    if (Pool.baseSize() != 0)
+      Section.writeBytes(reinterpret_cast<const uint8_t *>(Pool.baseData()),
+                         Pool.baseSize() * sizeof(T));
+    if (Pool.growSize() != 0)
+      Section.writeBytes(reinterpret_cast<const uint8_t *>(Pool.growData()),
+                         Pool.growSize() * sizeof(T));
+  } else {
+    for (size_t I = 0, N = Pool.size(); I < N; ++I)
+      Write(*Pool.at(static_cast<uint32_t>(I)));
+  }
+}
+
+} // namespace
+
 void GraphSnapshot::saveV2(const ItemSetGraph &Graph, FlatWriter &Section) {
-  assert(Section.size() == 0 && "v2 GRPH section must start its writer");
+  // The section may be appended directly into a larger file writer; all
+  // recorded offsets are relative to this base, which must be 8-aligned
+  // so the in-section alignTo calls keep their meaning.
+  const size_t Base = Section.size();
+  assert(Base % 8 == 0 && "v2 GRPH section must start 8-aligned");
+  // Exact body size plus per-pool alignment slop: one reservation, no
+  // reallocation while the pools memcpy through.
+  Section.reserveCapacity(Base + 136 + sizeof(ItemSet) * Graph.numSets() +
+                          sizeof(Item) * Graph.Kernels.size() +
+                          4 * (Graph.Trans.size() + Graph.Labels.size() +
+                               Graph.Reds.size() + Graph.Accs.size()) +
+                          6 * 8);
 
-  // Live sets in creation order with dense indices, exactly like v1.
-  std::vector<const ItemSet *> Live;
-  std::vector<uint32_t> DenseIdx(Graph.numSets(), 0);
-  for (size_t I = 0, N = Graph.numSets(); I < N; ++I) {
-    const ItemSet &State = Graph.setAt(I);
-    if (State.isDead())
-      continue;
-    DenseIdx[State.Id] = static_cast<uint32_t>(Live.size());
-    Live.push_back(&State);
-  }
-
-  uint64_t KernelItems = 0, Transitions = 0, OldTransitions = 0;
-  uint64_t Reductions = 0, AcceptRules = 0;
-  for (const ItemSet *State : Live) {
-    KernelItems += State->kernel().size();
-    Transitions += State->transitions().size();
-    OldTransitions += State->oldTransitions().size();
-    Reductions += State->reductions().size();
-    AcceptRules += State->acceptRules().size();
-  }
-
-  Section.writeU32(static_cast<uint32_t>(Live.size()));
-  Section.writeU32(DenseIdx[Graph.Start->Id]);
-  Section.writeU32(static_cast<uint32_t>(KernelItems));
-  Section.writeU32(static_cast<uint32_t>(Transitions));
-  Section.writeU32(static_cast<uint32_t>(OldTransitions));
-  Section.writeU32(static_cast<uint32_t>(Reductions));
-  Section.writeU32(static_cast<uint32_t>(AcceptRules));
-  Section.writeU32(0);
+  // The header counts are pool *lengths* — tombstones and abandoned spans
+  // included. No dense remap, no compaction: the body below is the live
+  // pools verbatim, which is what makes save ~memcpy and save-after-load
+  // byte-identical.
+  Section.writeU32(static_cast<uint32_t>(Graph.numSets()));
+  Section.writeU32(Graph.Start->Id);
+  Section.writeU32(static_cast<uint32_t>(Graph.Kernels.size()));
+  Section.writeU32(static_cast<uint32_t>(Graph.Trans.size()));
+  Section.writeU32(0); // Old spans share the transition pool.
+  Section.writeU32(static_cast<uint32_t>(Graph.Reds.size()));
+  Section.writeU32(static_cast<uint32_t>(Graph.Accs.size()));
+  Section.writeU32(LayoutFlatArena);
   const ItemSetGraphStats Snap = Graph.stats();
   const uint64_t Stats[6] = {Snap.Expansions, Snap.ReExpansions,
                              Snap.ClosureItems, Snap.DirtyMarks,
@@ -472,70 +575,46 @@ void GraphSnapshot::saveV2(const ItemSetGraph &Graph, FlatWriter &Section) {
     Section.writeU64(Stat);
   size_t OffTable = Section.reserve(7 * 8);
 
-  // SetRec array: fixed-width records with cumulative pool offsets.
   uint64_t Offsets[7] = {0};
-  Offsets[0] = Section.size();
-  uint32_t KOff = 0, TOff = 0, OOff = 0, ROff = 0, AOff = 0;
-  for (const ItemSet *State : Live) {
-    Section.writeU8(stateCode(State->State));
-    Section.writeU8(State->Accepting ? 1 : 0);
+  Offsets[0] = Section.size() - Base;
+  emitPool(Section, Graph.Sets, [&](const ItemSet &R) {
+    Section.writeU32(R.Id);
+    Section.writeU8(static_cast<uint8_t>(R.State));
+    Section.writeU8(R.Accepting);
     Section.writeU16(0);
-    uint32_t Counts[5] = {static_cast<uint32_t>(State->kernel().size()),
-                          static_cast<uint32_t>(State->transitions().size()),
-                          static_cast<uint32_t>(State->oldTransitions().size()),
-                          static_cast<uint32_t>(State->reductions().size()),
-                          static_cast<uint32_t>(State->acceptRules().size())};
-    uint32_t *Cursors[5] = {&KOff, &TOff, &OOff, &ROff, &AOff};
-    for (int Field = 0; Field < 5; ++Field) {
-      Section.writeU32(*Cursors[Field]);
-      Section.writeU32(Counts[Field]);
-      *Cursors[Field] += Counts[Field];
-    }
-    Section.writeU32(0);
-  }
-
-  // Kernel item pool.
+    Section.writeU32(R.RefCount);
+    const uint32_t Spans[10] = {R.KernelOff, R.KernelLen, R.TransOff,
+                                R.TransLen,  R.OldOff,    R.OldLen,
+                                R.RedOff,    R.RedLen,    R.AccOff,
+                                R.AccLen};
+    for (uint32_t Span : Spans)
+      Section.writeU32(Span);
+  });
   Section.alignTo(8);
-  Offsets[1] = Section.size();
-  for (const ItemSet *State : Live)
-    for (const Item &I : State->kernel()) {
-      Section.writeU32(I.Rule);
-      Section.writeU32(I.Dot);
-    }
 
-  auto WriteTransPool = [&](bool Old) {
-    for (const ItemSet *State : Live)
-      for (const ItemSet::Transition &T :
-           Old ? State->oldTransitions() : State->transitions()) {
-        assert(!T.Target->isDead() && "live transition to a dead set");
-        Section.writeU32(T.Label);
-        Section.writeU32(0);
-        Section.writeU64(DenseIdx[T.Target->Id]);
-      }
-  };
+  Offsets[1] = Section.size() - Base;
+  emitPool(Section, Graph.Kernels, [&](const Item &I) {
+    Section.writeU32(I.Rule);
+    Section.writeU32(I.Dot);
+  });
+
+  Offsets[2] = Section.size() - Base;
+  emitPool(Section, Graph.Trans,
+           [&](uint32_t Target) { Section.writeU32(Target); });
   Section.alignTo(8);
-  Offsets[2] = Section.size();
-  WriteTransPool(false);
+  Offsets[3] = 0; // No separate old-transition pool in this layout.
+
+  Offsets[4] = Section.size() - Base;
+  emitPool(Section, Graph.Labels,
+           [&](SymbolId Label) { Section.writeU32(Label); });
   Section.alignTo(8);
-  Offsets[3] = Section.size();
-  WriteTransPool(true);
 
-  // Action labels, parallel to the transition pool: persisting the dense
-  // query index is what lets adoption skip buildActionIndex entirely.
-  Offsets[4] = Section.size();
-  for (const ItemSet *State : Live)
-    for (const ItemSet::Transition &T : State->transitions())
-      Section.writeU32(T.Label);
+  Offsets[5] = Section.size() - Base;
+  emitPool(Section, Graph.Reds, [&](RuleId Rule) { Section.writeU32(Rule); });
+  Section.alignTo(8);
 
-  Offsets[5] = Section.size();
-  for (const ItemSet *State : Live)
-    for (RuleId Rule : State->reductions())
-      Section.writeU32(Rule);
-
-  Offsets[6] = Section.size();
-  for (const ItemSet *State : Live)
-    for (RuleId Rule : State->acceptRules())
-      Section.writeU32(Rule);
+  Offsets[6] = Section.size() - Base;
+  emitPool(Section, Graph.Accs, [&](RuleId Rule) { Section.writeU32(Rule); });
   Section.alignTo(8);
 
   for (int I = 0; I < 7; ++I)
@@ -547,8 +626,8 @@ GraphSnapshot::adoptV2(uint8_t *SectionData, size_t SectionBytes,
                        ItemSetGraph &Graph,
                        std::shared_ptr<const MappedFile> Backing) {
   if constexpr (!HostCanAdoptV2)
-    return Error("zero-copy snapshot adoption requires a 64-bit "
-                 "little-endian host");
+    return Error("zero-copy snapshot adoption requires a little-endian host "
+                 "with the on-disk record layout");
 
   const Grammar &G = Graph.G;
   FlatView Section(SectionData, SectionBytes);
@@ -556,92 +635,69 @@ GraphSnapshot::adoptV2(uint8_t *SectionData, size_t SectionBytes,
   if (!Header)
     return Header.error();
   const GrphHeader &H = *Header;
+  if (H.Reserved != LayoutFlatArena)
+    return Error("v2 section is not in the flat-arena layout");
   if (H.NumSets == 0)
     return Error("snapshot graph has no start set");
   if (H.StartIdx >= H.NumSets)
     return Error("start set index out of range");
+  if (H.NumOldTransitions != 0 || H.OffOldTransitions != 0)
+    return Error("flat-arena layout carries old spans in the transition pool");
 
-  Expected<const SetRec *> Sets = Section.arrayAt<SetRec>(H.OffSetRecs,
-                                                          H.NumSets);
-  if (!Sets)
-    return Sets.error();
-  Expected<const Item *> KernelPool =
-      Section.arrayAt<Item>(H.OffKernelItems, H.NumKernelItems);
-  if (!KernelPool)
-    return KernelPool.error();
-  Expected<const TransRec *> TransPool =
-      Section.arrayAt<TransRec>(H.OffTransitions, H.NumTransitions);
-  if (!TransPool)
-    return TransPool.error();
-  Expected<const TransRec *> OldPool =
-      Section.arrayAt<TransRec>(H.OffOldTransitions, H.NumOldTransitions);
-  if (!OldPool)
-    return OldPool.error();
-  Expected<const SymbolId *> LabelPool =
-      Section.arrayAt<SymbolId>(H.OffActionLabels, H.NumTransitions);
-  if (!LabelPool)
-    return LabelPool.error();
-  Expected<const RuleId *> RedPool =
-      Section.arrayAt<RuleId>(H.OffReductions, H.NumReductions);
-  if (!RedPool)
-    return RedPool.error();
-  Expected<const RuleId *> AccPool =
-      Section.arrayAt<RuleId>(H.OffAcceptRules, H.NumAcceptRules);
-  if (!AccPool)
-    return AccPool.error();
+  // Every pool is written 8-aligned; reject a nudged offset table before
+  // any pointer arithmetic. (The legacy layout got this for free from its
+  // 16-byte transition records; the flat pools are only 4-strided, so the
+  // check is explicit.)
+  const uint64_t PoolOffs[6] = {H.OffSetRecs,      H.OffKernelItems,
+                                H.OffTransitions,  H.OffActionLabels,
+                                H.OffReductions,   H.OffAcceptRules};
+  for (uint64_t Off : PoolOffs)
+    if (Off % 8 != 0)
+      return Error("flat section: misaligned pool");
+  // Counts are u32 and strides <= 52, so the products cannot overflow u64.
+  auto PoolFits = [&](uint64_t Off, uint64_t Stride, uint64_t Count) {
+    return Off <= SectionBytes && Stride * Count <= SectionBytes - Off;
+  };
+  if (!PoolFits(H.OffSetRecs, sizeof(ItemSet), H.NumSets) ||
+      !PoolFits(H.OffKernelItems, sizeof(Item), H.NumKernelItems) ||
+      !PoolFits(H.OffTransitions, 4, H.NumTransitions) ||
+      !PoolFits(H.OffActionLabels, 4, H.NumTransitions) ||
+      !PoolFits(H.OffReductions, 4, H.NumReductions) ||
+      !PoolFits(H.OffAcceptRules, 4, H.NumAcceptRules))
+    return Error("flat section: array out of bounds");
+
+  const uint8_t *RecBytes = SectionData + H.OffSetRecs;
+  const Item *KernelPool =
+      reinterpret_cast<const Item *>(SectionData + H.OffKernelItems);
+  const uint32_t *TransPool =
+      reinterpret_cast<const uint32_t *>(SectionData + H.OffTransitions);
+  const SymbolId *LabelPool =
+      reinterpret_cast<const SymbolId *>(SectionData + H.OffActionLabels);
+  const RuleId *RedPool =
+      reinterpret_cast<const RuleId *>(SectionData + H.OffReductions);
+  const RuleId *AccPool =
+      reinterpret_cast<const RuleId *>(SectionData + H.OffAcceptRules);
 
   const size_t NumSymbols = G.symbols().size();
   const size_t NumRules = G.numInternedRules();
 
-  // From here on the graph is rebuilt in place; any validation failure
-  // leaves it partial and the caller resets. The adopted block is the one
-  // allocation of the whole load — per-set data stays in the mapping.
-  Graph.Pool.clear();
-  Graph.ByKernel.clear();
-  Graph.KernelIndexReady = false;
-  Graph.Start = nullptr;
-  Graph.Adopted.clear();
-  Graph.Adopted.resize(H.NumSets);
-
-  // Pointer fixup: rewrite every transition record's target index into the
-  // address of the adopted set. The records live in a private (COW)
-  // mapping, so the writes materialize only the touched pages and never
-  // reach the file. Validation rides the same sweep — labels in range and
-  // strictly ascending (the binary-search contract), targets in range,
-  // the persisted action-label array parallel to the record pool — so the
-  // pass stays O(records) with zero decode and zero allocation.
-  auto FixupTransitions = [&](const TransRec *Pool, uint32_t Off, uint32_t Len,
-                              bool RequireSorted) -> const char * {
-    SymbolId Prev = 0;
-    for (uint32_t J = 0; J < Len; ++J) {
-      TransRec *Rec =
-          const_cast<TransRec *>(Pool + Off + J); // private mapping: writable
-      if (Rec->Label >= NumSymbols)
-        return "transition label references an unknown symbol";
-      if (RequireSorted && J > 0 && Rec->Label <= Prev)
-        return "transition labels not strictly ascending";
-      Prev = Rec->Label;
-      uint64_t Target = Rec->Target;
-      if (Target >= H.NumSets)
-        return "transition target out of range";
-      ItemSet *TargetSet = &Graph.Adopted[static_cast<size_t>(Target)];
-      ++TargetSet->RefCount;
-      std::memcpy(&Rec->Target, &TargetSet, sizeof(TargetSet));
-    }
-    return nullptr;
-  };
-
+  // Read-only validation sweep — the graph is not touched until every
+  // check has passed, so an error leaves it exactly as it was. The three
+  // scratch vectors are the only allocations of the whole adoption.
+  std::vector<uint8_t> StateOf(H.NumSets);
+  std::vector<uint32_t> HaveRef(H.NumSets);
+  std::vector<uint32_t> WantRef(H.NumSets, 0);
   for (uint32_t I = 0; I < H.NumSets; ++I) {
-    const SetRec &R = (*Sets)[I];
-    Expected<uint8_t> Shape = checkSetRecShape(R, H);
-    if (!Shape)
-      return Shape.error();
-    ItemSet &State = Graph.Adopted[I];
-    State.Id = I;
-    State.State = static_cast<ItemSetState>(R.State);
-    State.Accepting = R.Accepting == 1;
+    FlatRec R;
+    std::memcpy(&R, RecBytes + size_t{sizeof(FlatRec)} * I, sizeof(FlatRec));
+    if (const char *Msg = checkFlatRecShape(R, I, H))
+      return Error(Msg);
+    StateOf[I] = R.State;
+    HaveRef[I] = R.RefCount;
+    if (R.State == StateDead)
+      continue;
 
-    const Item *KernelBegin = *KernelPool + R.KernelOff;
+    const Item *KernelBegin = KernelPool + R.KernelOff;
     for (uint32_t J = 0; J < R.KernelLen; ++J) {
       const Item &It = KernelBegin[J];
       if (It.Rule >= NumRules)
@@ -652,47 +708,65 @@ GraphSnapshot::adoptV2(uint8_t *SectionData, size_t SectionBytes,
     if (!isCanonicalKernel(KernelView(KernelBegin, R.KernelLen)))
       return Error("kernel not in canonical order");
 
-    if (const char *Msg = FixupTransitions(*TransPool, R.TransOff, R.TransLen,
-                                           /*RequireSorted=*/true))
-      return Error(Msg);
-    if (const char *Msg = FixupTransitions(*OldPool, R.OldOff, R.OldLen,
-                                           /*RequireSorted=*/false))
-      return Error(Msg);
-    for (uint32_t J = 0; J < R.TransLen; ++J)
-      if ((*LabelPool)[R.TransOff + J] !=
-          (*TransPool)[R.TransOff + J].Label)
-        return Error("action-label array disagrees with transitions");
+    // Live spans carry the binary-search contract (labels strictly
+    // ascending); old spans were live spans once, but only their target
+    // references matter now, so just range-check them.
+    for (uint32_t J = 0; J < R.TransLen; ++J) {
+      SymbolId Label = LabelPool[R.TransOff + J];
+      if (Label >= NumSymbols)
+        return Error("transition label references an unknown symbol");
+      if (J > 0 && Label <= LabelPool[R.TransOff + J - 1])
+        return Error("transition labels not strictly ascending");
+      if (TransPool[R.TransOff + J] >= H.NumSets)
+        return Error("transition target out of range");
+      ++WantRef[TransPool[R.TransOff + J]];
+    }
+    for (uint32_t J = 0; J < R.OldLen; ++J) {
+      if (LabelPool[R.OldOff + J] >= NumSymbols)
+        return Error("transition label references an unknown symbol");
+      if (TransPool[R.OldOff + J] >= H.NumSets)
+        return Error("transition target out of range");
+      ++WantRef[TransPool[R.OldOff + J]];
+    }
     for (uint32_t J = 0; J < R.RedLen; ++J)
-      if ((*RedPool)[R.RedOff + J] >= NumRules)
+      if (RedPool[R.RedOff + J] >= NumRules)
         return Error("reduction references an unknown rule");
     for (uint32_t J = 0; J < R.AccLen; ++J)
-      if ((*AccPool)[R.AccOff + J] >= NumRules)
+      if (AccPool[R.AccOff + J] >= NumRules)
         return Error("accept rule references an unknown rule");
-
-    // The mapped records now hold real pointers; hand the set borrowed
-    // spans over them.
-    State.Borrowed = true;
-    State.BorrowedK = KernelView(KernelBegin, R.KernelLen);
-    State.BorrowedTrans = ArrayView<ItemSet::Transition>(
-        std::launder(
-            reinterpret_cast<const ItemSet::Transition *>(*TransPool +
-                                                          R.TransOff)),
-        R.TransLen);
-    State.BorrowedOld = ArrayView<ItemSet::Transition>(
-        std::launder(reinterpret_cast<const ItemSet::Transition *>(*OldPool +
-                                                                   R.OldOff)),
-        R.OldLen);
-    State.BorrowedLabels =
-        ArrayView<SymbolId>(*LabelPool + R.TransOff, R.TransLen);
-    State.BorrowedRed = ArrayView<RuleId>(*RedPool + R.RedOff, R.RedLen);
-    State.BorrowedAcc = ArrayView<RuleId>(*AccPool + R.AccOff, R.AccLen);
+  }
+  if (StateOf[H.StartIdx] == StateDead)
+    return Error("start set is dead");
+  ++WantRef[H.StartIdx]; // The root pin.
+  // Reference counts are persisted in this layout; cross-check them
+  // against the incoming edges instead of trusting or rebuilding them.
+  for (uint32_t I = 0; I < H.NumSets; ++I) {
+    if (StateOf[I] == StateDead) {
+      if (WantRef[I] != 0)
+        return Error("transition to a dead set");
+      continue;
+    }
+    if (WantRef[I] == 0)
+      return Error("orphaned set in snapshot");
+    if (HaveRef[I] != WantRef[I])
+      return Error("reference count disagrees with incoming transitions");
   }
 
-  Graph.Start = &Graph.Adopted[H.StartIdx];
-  ++Graph.Start->RefCount; // The root pin.
-  for (const ItemSet &State : Graph.Adopted)
-    if (State.RefCount == 0)
-      return Error("orphaned set in snapshot");
+  // Validation passed: install. The record block is memcpyd into the set
+  // pool (so the id->record map stays one add off a single segment); the
+  // five data pools adopt the mapped arrays zero-copy as base segments.
+  clearStorage(Graph);
+  Graph.Sets.append(reinterpret_cast<const ItemSet *>(RecBytes), H.NumSets);
+  Graph.Kernels.adoptBase(KernelPool, H.NumKernelItems);
+  Graph.Trans.adoptBase(TransPool, H.NumTransitions);
+  Graph.Labels.adoptBase(LabelPool, H.NumTransitions);
+  Graph.Reds.adoptBase(RedPool, H.NumReductions);
+  Graph.Accs.adoptBase(AccPool, H.NumAcceptRules);
+  Graph.AdoptedSets = H.NumSets;
+  // The kernel index is deferred: pure queries against a fully complete
+  // adopted graph never need it.
+  Graph.KernelIndexReady.store(false, std::memory_order_release);
+  Graph.Start = &Graph.setAt(H.StartIdx);
 
   ItemSetGraphStats Loaded;
   Loaded.Expansions = H.Stats[0];
@@ -714,10 +788,15 @@ Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
   if (!Header)
     return Header.error();
   const GrphHeader &H = *Header;
+  if (H.Reserved > LayoutFlatArena)
+    return Error("unknown v2 graph layout");
+  const bool Flat = H.Reserved == LayoutFlatArena;
   if (H.NumSets == 0)
     return Error("snapshot graph has no start set");
   if (H.StartIdx >= H.NumSets)
     return Error("start set index out of range");
+  if (Flat && (H.NumOldTransitions != 0 || H.OffOldTransitions != 0))
+    return Error("flat-arena layout carries old spans in the transition pool");
   // The flat record arrays must fit the section before any per-set work
   // (overflow-safe: offset checked before the product is subtracted).
   // This is what lets the decode loops below read through raw pointers,
@@ -725,88 +804,153 @@ Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
   auto PoolFits = [&](uint64_t Off, uint64_t Stride, uint64_t Count) {
     return Off <= Section.size() && Stride * Count <= Section.size() - Off;
   };
-  if (!PoolFits(H.OffSetRecs, 48, H.NumSets) ||
+  if (!PoolFits(H.OffSetRecs, Flat ? 52 : 48, H.NumSets) ||
       !PoolFits(H.OffKernelItems, 8, H.NumKernelItems) ||
-      !PoolFits(H.OffTransitions, 16, H.NumTransitions) ||
+      !PoolFits(H.OffTransitions, Flat ? 4 : 16, H.NumTransitions) ||
       !PoolFits(H.OffOldTransitions, 16, H.NumOldTransitions) ||
       !PoolFits(H.OffActionLabels, 4, H.NumTransitions) ||
       !PoolFits(H.OffReductions, 4, H.NumReductions) ||
       !PoolFits(H.OffAcceptRules, 4, H.NumAcceptRules))
     return Error("flat section: array out of bounds");
 
-  Graph.Adopted.clear();
-  Graph.Pool.clear();
-  Graph.ByKernel.clear();
-  Graph.KernelIndexReady = true;
-  Graph.BorrowedStorage.reset();
-  Graph.Start = nullptr;
-  Graph.storeStats(ItemSetGraphStats());
-
+  clearStorage(Graph);
   Graph.ByKernel.reserve(H.NumSets);
-  for (uint32_t I = 0; I < H.NumSets; ++I) {
-    Graph.Pool.emplace_back();
-    Graph.Pool.back().Id = I;
-  }
+  Graph.Sets.appendZeroed(H.NumSets);
+  for (uint32_t I = 0; I < H.NumSets; ++I)
+    Graph.setAt(I).Id = I;
 
   // Field-by-field reads (endian-safe on every host): the decode cost the
   // zero-copy path avoids, paid here only for stale snapshots that need
-  // their ids remapped anyway. The loops read through raw LE loads — the
-  // up-front pool bounds above cover every access.
+  // their ids remapped anyway — and for legacy-layout files. The loops
+  // read through raw LE loads; the up-front pool bounds above cover every
+  // access. Abandoned span bytes are compacted away (only referenced
+  // spans are copied), but Dead tombstones are preserved: the record
+  // index space is the transition target space.
   const uint8_t *Base = Section.data();
-  auto ReadTransitions = [&](uint64_t PoolOff, uint32_t Off, uint32_t Len,
-                             std::vector<ItemSet::Transition> &Out)
-      -> const char * {
-    Out.reserve(Len);
-    const uint8_t *Rec = Base + PoolOff + uint64_t{16} * Off;
-    for (uint32_t J = 0; J < Len; ++J, Rec += 16) {
-      uint32_t Label = loadLe32(Rec);
-      uint64_t Target = loadLe64(Rec + 8);
+  std::vector<std::pair<SymbolId, uint32_t>> Edges;
+  std::vector<SymbolId> TmpLabels;
+  std::vector<uint32_t> TmpTargets;
+  std::vector<RuleId> TmpRules;
+  Kernel K;
+
+  auto AppendEdges = [&](uint32_t &OutOff, uint32_t &OutLen) {
+    std::sort(Edges.begin(), Edges.end());
+    TmpLabels.clear();
+    TmpTargets.clear();
+    for (const auto &[Label, Target] : Edges) {
+      TmpLabels.push_back(Label);
+      TmpTargets.push_back(Target);
+    }
+    OutOff = Graph.Trans.append(TmpTargets.data(), TmpTargets.size());
+    uint32_t LOff = Graph.Labels.append(TmpLabels.data(), TmpLabels.size());
+    assert(OutOff == LOff && "Trans/Labels pools out of lockstep");
+    (void)LOff;
+    OutLen = static_cast<uint32_t>(Edges.size());
+  };
+
+  /// Legacy pools: 16-byte records at \p PoolOff. Flat pools: parallel
+  /// 4-byte target/label arrays.
+  auto ReadEdgeSpan = [&](uint32_t Off, uint32_t Len, uint64_t LegacyPoolOff,
+                          uint32_t &OutOff,
+                          uint32_t &OutLen) -> const char * {
+    Edges.clear();
+    for (uint32_t J = 0; J < Len; ++J) {
+      uint32_t Label;
+      uint64_t Target;
+      if (Flat) {
+        Label = loadLe32(Base + H.OffActionLabels + uint64_t{4} * (Off + J));
+        Target = loadLe32(Base + H.OffTransitions + uint64_t{4} * (Off + J));
+      } else {
+        const uint8_t *Rec = Base + LegacyPoolOff + uint64_t{16} * (Off + J);
+        Label = loadLe32(Rec);
+        Target = loadLe64(Rec + 8);
+      }
       if (Label >= SymbolMap.size())
         return "transition label references an unknown symbol";
       if (Target >= H.NumSets)
         return "transition target out of range";
-      Out.push_back(ItemSet::Transition{
-          SymbolMap[Label], &Graph.Pool[static_cast<size_t>(Target)]});
+      Edges.emplace_back(SymbolMap[Label], static_cast<uint32_t>(Target));
     }
-    sortTransitionsByLabel(Out);
+    AppendEdges(OutOff, OutLen);
     return nullptr;
   };
-  auto ReadRules = [&](uint64_t PoolOff, uint32_t Off, uint32_t Len,
-                       std::vector<RuleId> &Out) -> const char * {
-    Out.reserve(Len);
+  auto ReadRuleSpan = [&](PoolArena<RuleId> &Pool, uint64_t PoolOff,
+                          uint32_t Off, uint32_t Len, uint32_t &OutOff,
+                          uint32_t &OutLen) -> const char * {
+    TmpRules.clear();
     const uint8_t *Rec = Base + PoolOff + uint64_t{4} * Off;
     for (uint32_t J = 0; J < Len; ++J, Rec += 4) {
       uint32_t Rule = loadLe32(Rec);
       if (Rule >= RuleMap.size())
         return "reduction references an unknown rule";
-      Out.push_back(RuleMap[Rule]);
+      TmpRules.push_back(RuleMap[Rule]);
     }
+    OutOff = Pool.append(TmpRules.data(), TmpRules.size());
+    OutLen = static_cast<uint32_t>(TmpRules.size());
     return nullptr;
   };
 
   for (uint32_t I = 0; I < H.NumSets; ++I) {
-    const uint8_t *RecBytes = Base + H.OffSetRecs + uint64_t{48} * I;
-    SetRec R;
-    uint32_t Word0 = loadLe32(RecBytes);
-    R.State = static_cast<uint8_t>(Word0 & 0xFF);
-    R.Accepting = static_cast<uint8_t>((Word0 >> 8) & 0xFF);
-    R.Reserved = 0;
-    uint32_t *Fields[] = {&R.KernelOff, &R.KernelLen, &R.TransOff,
-                          &R.TransLen,  &R.OldOff,    &R.OldLen,
-                          &R.RedOff,    &R.RedLen,    &R.AccOff,
-                          &R.AccLen};
-    for (size_t F = 0; F < 10; ++F)
-      *Fields[F] = loadLe32(RecBytes + 4 * (F + 1));
-    R.Reserved2 = 0;
-    Expected<uint8_t> Shape = checkSetRecShape(R, H);
-    if (!Shape)
-      return Shape.error();
+    // Decode the per-set record into the common FlatRec shape. The flat
+    // record is 52 bytes led by the id; the legacy record is 48 bytes
+    // without it.
+    FlatRec R;
+    std::memset(&R, 0, sizeof(R));
+    if (Flat) {
+      const uint8_t *RecBytes = Base + H.OffSetRecs + uint64_t{52} * I;
+      R.Id = loadLe32(RecBytes);
+      R.State = RecBytes[4];
+      R.Accepting = RecBytes[5];
+      R.Pad = static_cast<uint16_t>(loadLe32(RecBytes + 4) >> 16);
+      R.RefCount = loadLe32(RecBytes + 8);
+      uint32_t *Fields[] = {&R.KernelOff, &R.KernelLen, &R.TransOff,
+                            &R.TransLen,  &R.OldOff,    &R.OldLen,
+                            &R.RedOff,    &R.RedLen,    &R.AccOff,
+                            &R.AccLen};
+      for (size_t F = 0; F < 10; ++F)
+        *Fields[F] = loadLe32(RecBytes + 12 + 4 * F);
+      if (const char *Msg = checkFlatRecShape(R, I, H))
+        return Error(Msg);
+    } else {
+      const uint8_t *RecBytes = Base + H.OffSetRecs + uint64_t{48} * I;
+      SetRec L;
+      uint32_t Word0 = loadLe32(RecBytes);
+      L.State = static_cast<uint8_t>(Word0 & 0xFF);
+      L.Accepting = static_cast<uint8_t>((Word0 >> 8) & 0xFF);
+      L.Reserved = 0;
+      uint32_t *Fields[] = {&L.KernelOff, &L.KernelLen, &L.TransOff,
+                            &L.TransLen,  &L.OldOff,    &L.OldLen,
+                            &L.RedOff,    &L.RedLen,    &L.AccOff,
+                            &L.AccLen};
+      for (size_t F = 0; F < 10; ++F)
+        *Fields[F] = loadLe32(RecBytes + 4 * (F + 1));
+      L.Reserved2 = 0;
+      Expected<uint8_t> Shape = checkSetRecShape(L, H);
+      if (!Shape)
+        return Shape.error();
+      R.Id = I;
+      R.State = L.State;
+      R.Accepting = L.Accepting;
+      R.KernelOff = L.KernelOff;
+      R.KernelLen = L.KernelLen;
+      R.TransOff = L.TransOff;
+      R.TransLen = L.TransLen;
+      R.OldOff = L.OldOff;
+      R.OldLen = L.OldLen;
+      R.RedOff = L.RedOff;
+      R.RedLen = L.RedLen;
+      R.AccOff = L.AccOff;
+      R.AccLen = L.AccLen;
+    }
 
-    ItemSet &State = Graph.Pool[I];
+    ItemSet &State = Graph.setAt(I);
     State.State = static_cast<ItemSetState>(R.State);
-    State.Accepting = R.Accepting == 1;
+    if (R.State == StateDead)
+      continue; // Tombstone: keep the zeroed record (id already set).
+    State.Accepting = R.Accepting;
 
-    State.K.reserve(R.KernelLen);
+    K.clear();
+    K.reserve(R.KernelLen);
     const uint8_t *ItemBytes =
         Base + H.OffKernelItems + uint64_t{8} * R.KernelOff;
     for (uint32_t J = 0; J < R.KernelLen; ++J, ItemBytes += 8) {
@@ -817,42 +961,61 @@ Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
       RuleId Mapped = RuleMap[Rule];
       if (Dot > G.rule(Mapped).Rhs.size())
         return Error("kernel item dot beyond its rule");
-      State.K.push_back(Item{Mapped, Dot});
+      K.push_back(Item{Mapped, Dot});
     }
-    canonicalizeKernel(State.K);
-    std::vector<ItemSet *> &Bucket = Graph.ByKernel[hashKernel(State.K)];
+    canonicalizeKernel(K);
+    std::vector<ItemSet *> &Bucket = Graph.ByKernel[hashKernel(K)];
     for (const ItemSet *Other : Bucket)
-      if (Other->K == State.K)
+      if (kernelEquals(Graph.kernel(Other), K))
         return Error("duplicate kernel in snapshot");
+    State.KernelOff = Graph.Kernels.append(K.data(), K.size());
+    State.KernelLen = static_cast<uint32_t>(K.size());
     Bucket.push_back(&State);
 
-    if (const char *Msg = ReadTransitions(H.OffTransitions, R.TransOff,
-                                          R.TransLen, State.Transitions))
+    if (const char *Msg = ReadEdgeSpan(R.TransOff, R.TransLen,
+                                       H.OffTransitions, State.TransOff,
+                                       State.TransLen))
       return Error(Msg);
-    if (const char *Msg = ReadTransitions(H.OffOldTransitions, R.OldOff,
-                                          R.OldLen, State.OldTransitions))
+    if (const char *Msg = ReadEdgeSpan(R.OldOff, R.OldLen,
+                                       H.OffOldTransitions, State.OldOff,
+                                       State.OldLen))
       return Error(Msg);
-    if (const char *Msg =
-            ReadRules(H.OffReductions, R.RedOff, R.RedLen, State.Reductions))
+    if (const char *Msg = ReadRuleSpan(Graph.Reds, H.OffReductions, R.RedOff,
+                                       R.RedLen, State.RedOff, State.RedLen))
       return Error(Msg);
-    if (const char *Msg =
-            ReadRules(H.OffAcceptRules, R.AccOff, R.AccLen, State.AcceptRules))
+    if (const char *Msg = ReadRuleSpan(Graph.Accs, H.OffAcceptRules, R.AccOff,
+                                       R.AccLen, State.AccOff, State.AccLen))
       return Error(Msg);
-    if (State.State == ItemSetState::Complete)
-      State.buildActionIndex();
   }
 
-  Graph.Start = &Graph.Pool[H.StartIdx];
+  Graph.Start = &Graph.setAt(H.StartIdx);
+  if (Graph.Start->isDead())
+    return Error("start set is dead");
+  // Re-derive reference counts (see load()); persisted flat-layout counts
+  // are not carried through a remap.
   Graph.Start->RefCount = 1;
-  for (ItemSet &State : Graph.Pool) {
-    for (const ItemSet::Transition &T : State.Transitions)
-      ++T.Target->RefCount;
-    for (const ItemSet::Transition &T : State.OldTransitions)
-      ++T.Target->RefCount;
+  for (uint32_t I = 0; I < H.NumSets; ++I) {
+    const ItemSet &State = Graph.setAt(I);
+    if (State.isDead())
+      continue;
+    auto Bump = [&](TransitionRange Range) -> const char * {
+      for (ItemSet::Transition T : Range) {
+        if (T.Target->isDead())
+          return "transition to a dead set";
+        ++T.Target->RefCount;
+      }
+      return nullptr;
+    };
+    if (const char *Msg = Bump(Graph.transitions(&State)))
+      return Error(Msg);
+    if (const char *Msg = Bump(Graph.oldTransitions(&State)))
+      return Error(Msg);
   }
-  for (const ItemSet &State : Graph.Pool)
-    if (State.RefCount == 0)
+  for (uint32_t I = 0; I < H.NumSets; ++I) {
+    const ItemSet &State = Graph.setAt(I);
+    if (!State.isDead() && State.RefCount == 0)
       return Error("orphaned set in snapshot");
+  }
 
   ItemSetGraphStats Loaded;
   Loaded.Expansions = H.Stats[0];
@@ -867,13 +1030,23 @@ Expected<size_t> GraphSnapshot::loadV2(FlatView Section, ItemSetGraph &Graph,
 
 bool GraphSnapshot::hostCanAdoptV2() { return HostCanAdoptV2; }
 
-void GraphSnapshot::reset(ItemSetGraph &Graph) {
-  Graph.Adopted.clear();
-  Graph.Pool.clear();
+void GraphSnapshot::clearStorage(ItemSetGraph &Graph) {
+  Graph.Sets.clear();
+  Graph.Kernels.clear();
+  Graph.Trans.clear();
+  Graph.Labels.clear();
+  Graph.Reds.clear();
+  Graph.Accs.clear();
   Graph.ByKernel.clear();
   Graph.KernelIndexReady = true;
   Graph.BorrowedStorage.reset();
+  Graph.AdoptedSets = 0;
+  Graph.Start = nullptr;
   Graph.storeStats(ItemSetGraphStats());
+}
+
+void GraphSnapshot::reset(ItemSetGraph &Graph) {
+  clearStorage(Graph);
   Graph.Start = Graph.makeItemSet(Graph.startKernel());
   Graph.Start->RefCount = 1;
 }

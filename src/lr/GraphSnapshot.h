@@ -6,23 +6,27 @@
 /// the same logical content (kernels, sorted transitions, action labels,
 /// reductions, frontier states, stats):
 ///
-///   * v1 (save/load): the ByteStream varint encoding — dense, decoded
-///     record by record into owned storage;
+///   * v1 (save/load): the ByteStream varint encoding — dense, dead sets
+///     dropped and live ids compacted, decoded record by record into the
+///     graph's pools;
 ///   * v2 (saveV2/adoptV2/loadV2): the FlatSection struct-of-arrays
-///     layout — fixed-width little-endian records at natural alignment,
-///     addressed through an offset table. adoptV2 is the zero-copy path:
-///     after bounds/kind validation it patches transition target indices
-///     into pointers in place (the backing mapping is copy-on-write) and
-///     hands every item set borrowed spans of the mapped region — zero
-///     per-record decode, zero per-set allocation. loadV2 is the decode
-///     fallback for stale snapshots whose symbol/rule ids must be
-///     remapped onto the live grammar.
-///
-/// Dead sets are dropped on save: they are only kept in the arena so stale
-/// parser-stack pointers stay valid, and no pointer survives a process
-/// boundary. Live sets are written in creation order with dense indices,
-/// so serializing the same graph twice — in any build type, on any
-/// platform — yields identical bytes (the determinism CI job's contract).
+///     layout. Since the flat-arena refactor the live graph's pools ARE
+///     this layout (GrphHeader.Reserved == 1, the *flat-arena* layout):
+///     saveV2 writes the header and then memcpys the pools — set records,
+///     kernel items, transition targets, labels, reductions, accept rules
+///     — verbatim, tombstoned Dead records and abandoned spans included,
+///     so no dense-index remap happens and serializing the same graph
+///     twice yields identical bytes (the determinism CI contract, now
+///     strengthened to save-after-load == original). adoptV2 is the
+///     zero-copy inverse: after a read-only validation sweep it memcpys
+///     the 52-byte set records into the graph's set pool and points the
+///     five data pools' base segments at the mapped arrays — no pointer
+///     fixup, no per-record decode, no write to the mapping at all.
+///     loadV2 is the decode fallback for stale snapshots whose
+///     symbol/rule ids must be remapped onto the live grammar; it also
+///     decodes the pre-refactor layout (Reserved == 0, 48-byte records
+///     with embedded 16-byte transition records) so old snapshot files
+///     keep loading.
 ///
 /// The id maps are supplied by the caller (core/Snapshot.cpp), which
 /// guarantees every snapshot rule is interned in the live grammar before
@@ -62,36 +66,42 @@ public:
                                const std::vector<SymbolId> &SymbolMap,
                                const std::vector<RuleId> &RuleMap);
 
-  /// Serializes the live part of \p Graph as an `ipg-snap-v2` GRPH
-  /// section body into \p Section (which must be empty; offsets are
-  /// relative to its start, the caller places it 8-aligned in the file).
+  /// Serializes \p Graph as an `ipg-snap-v2` GRPH section body (flat-arena
+  /// layout) into \p Section (which must be empty; offsets are relative to
+  /// its start, the caller places it 8-aligned in the file). The section
+  /// body is the graph's pool bytes verbatim.
   static void saveV2(const ItemSetGraph &Graph, FlatWriter &Section);
 
-  /// Zero-copy adoption of a v2 GRPH section whose symbol/rule ids equal
-  /// the live grammar's (layout-fingerprint match): validates the layout,
-  /// patches transition target indices into pointers inside the mapped
-  /// region, and points the item sets at borrowed spans. \p SectionData
-  /// must live inside \p Backing, whose private mapping absorbs the
-  /// patches; \p Backing is retained by the graph until reset/reload.
-  /// Performs no per-set allocation. Unlike load()/loadV2(), does NOT
-  /// check cross-set kernel uniqueness: that needs a hash set — exactly
-  /// the per-set allocation this path exists to avoid — so an in-range
-  /// corruption colliding two kernels is adopted rather than rejected
-  /// (core/Snapshot.h trust model; the decode paths still reject it).
-  /// On error the graph is left partially built — call reset().
+  /// Zero-copy adoption of a flat-arena v2 GRPH section whose symbol/rule
+  /// ids equal the live grammar's (layout-fingerprint match): validates
+  /// the section read-only (shape, spans, kernel canonicity, label order,
+  /// target liveness, a full reference-count cross-check against the
+  /// incoming edges), then memcpys the set records into the graph's set
+  /// pool and adopts the five data arrays as the pools' base segments.
+  /// \p SectionData must live inside \p Backing, which is retained by the
+  /// graph until reset/reload. The mapping is never written. Unlike
+  /// load()/loadV2(), does NOT check cross-set kernel uniqueness: that
+  /// needs a hash set — exactly the per-set allocation this path exists
+  /// to avoid — so an in-range corruption colliding two kernels is
+  /// adopted rather than rejected (core/Snapshot.h trust model; the
+  /// decode paths still reject it). Validation precedes installation, so
+  /// on error the graph is untouched. Rejects pre-refactor (Reserved==0)
+  /// sections — route those to loadV2.
   static Expected<size_t> adoptV2(uint8_t *SectionData, size_t SectionBytes,
                                   ItemSetGraph &Graph,
                                   std::shared_ptr<const MappedFile> Backing);
 
   /// Decode fallback for v2 sections that need id remapping (stale
-  /// snapshots): reads the flat records field by field (endian-safe on
-  /// any host) into owned storage, like load() does for v1. Same error
-  /// contract.
+  /// snapshots) or come from the pre-refactor layout: reads the records
+  /// field by field (endian-safe on any host) into the graph's pools,
+  /// compacting abandoned span bytes but preserving Dead tombstones (the
+  /// record index space is the transition target space). On error the
+  /// graph is left partially built — call reset().
   static Expected<size_t> loadV2(FlatView Section, ItemSetGraph &Graph,
                                  const std::vector<SymbolId> &SymbolMap,
                                  const std::vector<RuleId> &RuleMap);
 
-  /// True when this host can run adoptV2 (64-bit little-endian with
+  /// True when this host can run adoptV2 (little-endian with the
   /// in-memory record layouts matching the on-disk ones); otherwise
   /// fingerprint-matched v2 loads must fall back to loadV2 with identity
   /// id maps.
@@ -100,6 +110,10 @@ public:
   /// Returns \p Graph to its freshly-constructed state: a one-node graph
   /// holding only the start kernel of the current grammar.
   static void reset(ItemSetGraph &Graph);
+
+private:
+  /// Empties every pool and index of \p Graph (no start set is created).
+  static void clearStorage(ItemSetGraph &Graph);
 };
 
 } // namespace ipg

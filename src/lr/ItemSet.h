@@ -15,16 +15,19 @@
 /// The transition ($ accept) of the paper is represented by the Accepting
 /// flag rather than an edge, since `accept` is not an item set.
 ///
-/// Storage comes in two modes. In *owned* mode (everything created by
-/// EXPAND or a v1 snapshot load) the kernel, transitions, reductions and
-/// action labels live in the set's own vectors. In *borrowed* mode (a set
-/// adopted from an `ipg-snap-v2` mapped snapshot) they are spans into the
-/// mapped region — zero per-set allocation at load. Borrowed storage is
-/// immutable; any operation that must mutate the set (EXPAND, the MODIFY
-/// dirty-marking) first calls materializeOwned(), which copies the spans
-/// into the vectors — the copy-on-MODIFY discipline that keeps §6 repair
-/// working on adopted graphs. All accessors return ArrayViews, so callers
-/// never see the difference.
+/// An ItemSet is a 52-byte trivially-copyable record of offset/length
+/// spans into the owning ItemSetGraph's flat pools (support/PoolArena.h):
+/// kernel items, transition targets, transition labels, reductions and
+/// accept rules all live pool-side. The record layout IS the `ipg-snap-v2`
+/// on-disk set record, so saving a graph memcpys the live records and
+/// adopting a mapped snapshot installs them without any per-set decode —
+/// there is no owned-vs-borrowed storage split anymore; a warm-started
+/// graph and a freshly expanded one are the same bytes.
+///
+/// Record data is reached through the graph (ItemSetGraph::kernel,
+/// ::transitions, ::reductions, ...), which resolves the spans against its
+/// pools; the set itself only answers questions its own 52 bytes can
+/// (id, lifecycle state, accept flag, reference count).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,37 +35,43 @@
 #define IPG_LR_ITEMSET_H
 
 #include "lr/Item.h"
-#include "support/ArrayView.h"
 
-#include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <vector>
+#include <type_traits>
 
 namespace ipg {
 
 class ItemSetGraph;
 class GraphSnapshot;
 
-/// Lifecycle state of a set of items; see file comment.
-enum class ItemSetState : uint8_t { Initial, Complete, Dirty, Dead };
+/// Lifecycle state of a set of items; see file comment. The numeric values
+/// are the on-disk `ipg-snap-v2` state codes — do not reorder.
+enum class ItemSetState : uint8_t {
+  Initial = 0,
+  Complete = 1,
+  Dirty = 2,
+  Dead = 3
+};
 
-/// A set of items: one node in the graph of item sets.
+/// A set of items: one node in the graph of item sets, as a flat record of
+/// spans into the graph's pools.
 class ItemSet {
 public:
-  /// A labeled edge to another set of items. Terminal labels are shift
-  /// actions, nonterminal labels are GOTO transitions. The record layout
-  /// (4-byte label, padding, 8-byte pointer) is mirrored by the
-  /// `ipg-snap-v2` on-disk transition record, whose target index is
-  /// patched into a pointer at load so mapped records serve directly as
-  /// Transitions.
+  /// A labeled edge to another set of items, materialized by value when a
+  /// transition span is iterated (lr/ItemSetGraph.h TransitionRange).
+  /// Terminal labels are shift actions, nonterminal labels are GOTO
+  /// transitions. Pool-side a transition is a 4-byte target index parallel
+  /// to a 4-byte label — this struct exists so loop bodies keep their
+  /// `T.Label` / `T.Target` shape.
   struct Transition {
     SymbolId Label;
     ItemSet *Target;
   };
 
-  /// Stable creation index; matches the circled numbers in the paper's
-  /// figures for identical construction orders.
+  /// Stable creation index == the record's index in the graph's set pool;
+  /// matches the circled numbers in the paper's figures for identical
+  /// construction orders.
   uint32_t id() const { return Id; }
 
   /// The lifecycle flag is read concurrently in shared-graph mode
@@ -76,94 +85,21 @@ public:
   bool isDead() const { return state() == ItemSetState::Dead; }
 
   /// The reader-side publication load: pairs with publishComplete() so a
-  /// thread observing Complete also observes the transitions, reductions,
-  /// action index and accept flag EXPAND wrote before publishing. Within
-  /// one graph epoch a Complete set never leaves that state (MODIFY forks
-  /// a new epoch instead of reverting sets), so the answer is stable.
+  /// thread observing Complete also observes the span fields and pool
+  /// records EXPAND wrote before publishing. Within one graph epoch a
+  /// Complete set never leaves that state (MODIFY forks a new epoch
+  /// instead of reverting sets), so the answer is stable.
   ItemSetState stateAcquire() const {
     return loadState(std::memory_order_acquire);
   }
 
-  /// True while the set's records live in a mapped snapshot region rather
-  /// than its own vectors.
-  bool isBorrowed() const { return Borrowed; }
-
-  /// The canonical kernel. The lazy generator keeps kernels even for
-  /// complete sets: the incremental generator needs them again (§5.3).
-  KernelView kernel() const {
-    return Borrowed ? BorrowedK : KernelView(K.data(), K.size());
-  }
-
-  /// Valid only when Complete. Sorted by label for binary search.
-  ArrayView<Transition> transitions() const {
-    return Borrowed ? BorrowedTrans
-                    : ArrayView<Transition>(Transitions.data(),
-                                            Transitions.size());
-  }
-
-  /// Rules recognized completely in this state (valid only when Complete).
-  ArrayView<RuleId> reductions() const {
-    return Borrowed ? BorrowedRed
-                    : ArrayView<RuleId>(Reductions.data(), Reductions.size());
-  }
-
   /// True if the closure contains START ::= β • — the paper's ($ accept).
-  bool isAccepting() const { return Accepting; }
-
-  /// The START rules completed in this state (nonempty iff isAccepting()).
-  /// The paper's ($ accept) transition carries no rule; the parsers here
-  /// need it to build a START-rooted parse tree.
-  ArrayView<RuleId> acceptRules() const {
-    return Borrowed
-               ? BorrowedAcc
-               : ArrayView<RuleId>(AcceptRules.data(), AcceptRules.size());
-  }
+  bool isAccepting() const { return Accepting != 0; }
 
   /// Number of transitions referring to this set (plus 1 for the start
-  /// set's implicit root reference).
+  /// set's implicit root reference). Persisted verbatim in snapshots and
+  /// cross-checked against the incoming edges at adoption.
   uint32_t refCount() const { return RefCount; }
-
-  /// The transitions this set held before it was marked Dirty.
-  ArrayView<Transition> oldTransitions() const {
-    return Borrowed ? BorrowedOld
-                    : ArrayView<Transition>(OldTransitions.data(),
-                                            OldTransitions.size());
-  }
-
-  /// The ACTION/GOTO query index: the transition labels densely packed in
-  /// the same (label-sorted) order as transitions(). Binary searching this
-  /// 4-byte-stride array touches a fraction of the cache lines a search
-  /// over the 16-byte Transition records would. Built by EXPAND (and
-  /// persisted/adopted by snapshots), valid exactly while the set is
-  /// Complete.
-  ArrayView<SymbolId> actionLabels() const {
-    return Borrowed
-               ? BorrowedLabels
-               : ArrayView<SymbolId>(ActionLabels.data(), ActionLabels.size());
-  }
-
-  /// The target of the unique transition on \p Label, or nullptr when the
-  /// set has none. O(log n) over the action index; allocation-free. Valid
-  /// only while the set is Complete. Resolves the storage mode once up
-  /// front — this sits on the MODIFY probe and every GOTO, where going
-  /// through two accessor branches measurably costs.
-  ItemSet *transitionTarget(SymbolId Label) const {
-    const SymbolId *LabelsBegin, *LabelsEnd;
-    const Transition *Trans;
-    if (Borrowed) {
-      LabelsBegin = BorrowedLabels.begin();
-      LabelsEnd = BorrowedLabels.end();
-      Trans = BorrowedTrans.data();
-    } else {
-      LabelsBegin = ActionLabels.data();
-      LabelsEnd = LabelsBegin + ActionLabels.size();
-      Trans = Transitions.data();
-    }
-    const SymbolId *It = std::lower_bound(LabelsBegin, LabelsEnd, Label);
-    if (It == LabelsEnd || *It != Label)
-      return nullptr;
-    return Trans[It - LabelsBegin].Target;
-  }
 
 private:
   friend class ItemSetGraph;
@@ -181,100 +117,34 @@ private:
   }
 
   /// The writer-side publication store: EXPAND's final act. Everything the
-  /// expansion wrote into this set happens-before any stateAcquire() that
-  /// reads Complete.
+  /// expansion wrote into this record and the pools happens-before any
+  /// stateAcquire() that reads Complete.
   void publishComplete() {
     storeState(ItemSetState::Complete, std::memory_order_release);
   }
 
-  /// (Re)derives the action index from the label-sorted Transitions; the
-  /// tail of every EXPAND and of v1 snapshot adoption. Owned mode only.
-  void buildActionIndex() {
-    ActionLabels.resize(Transitions.size());
-    for (size_t I = 0; I < Transitions.size(); ++I)
-      ActionLabels[I] = Transitions[I].Label;
-  }
-
-  /// Tears the index down; paired with every Transitions.clear() so a
-  /// non-Complete set can never answer queries from stale entries.
-  void clearActionIndex() { ActionLabels.clear(); }
-
-  /// Copy-on-MODIFY: copies borrowed spans into the owned vectors so the
-  /// set can be mutated. No-op in owned mode.
-  void materializeOwned() {
-    if (!Borrowed)
-      return;
-    K.assign(BorrowedK.begin(), BorrowedK.end());
-    Transitions.assign(BorrowedTrans.begin(), BorrowedTrans.end());
-    Reductions.assign(BorrowedRed.begin(), BorrowedRed.end());
-    AcceptRules.assign(BorrowedAcc.begin(), BorrowedAcc.end());
-    OldTransitions.assign(BorrowedOld.begin(), BorrowedOld.end());
-    ActionLabels.assign(BorrowedLabels.begin(), BorrowedLabels.end());
-    dropBorrowed();
-  }
-
-  /// Drops all record storage (owned and borrowed) — the Dead path, which
-  /// never needs the data again.
-  void releaseStorage() {
-    Transitions.clear();
-    OldTransitions.clear();
-    Reductions.clear();
-    AcceptRules.clear();
-    ActionLabels.clear();
-    dropBorrowed();
-  }
-
-  void dropBorrowed() {
-    Borrowed = false;
-    BorrowedK = KernelView();
-    BorrowedTrans = ArrayView<Transition>();
-    BorrowedOld = ArrayView<Transition>();
-    BorrowedRed = ArrayView<RuleId>();
-    BorrowedAcc = ArrayView<RuleId>();
-    BorrowedLabels = ArrayView<SymbolId>();
-  }
-
-  // Field order is perf-relevant: the MODIFY probe and GOTO touch the
-  // scalars plus the action index/transitions of *every* complete set, so
-  // those live in the leading cache lines; the rarely-scanned record
-  // arrays follow.
-  uint32_t Id = 0;
-  ItemSetState State = ItemSetState::Initial;
-  bool Accepting = false;
-  bool Borrowed = false;
-  uint32_t RefCount = 0;
-
-  // Owned storage (valid when !Borrowed), hot part.
-  std::vector<SymbolId> ActionLabels;
-  std::vector<Transition> Transitions;
-  // Borrowed storage (spans into a mapped `ipg-snap-v2` region, valid
-  // when Borrowed; the owning graph keeps the mapping alive), hot part.
-  ArrayView<SymbolId> BorrowedLabels;
-  ArrayView<Transition> BorrowedTrans;
-
-  // Owned storage, cold part.
-  Kernel K;
-  std::vector<RuleId> Reductions;
-  std::vector<RuleId> AcceptRules;
-  std::vector<Transition> OldTransitions;
-
-  // Borrowed storage, cold part.
-  KernelView BorrowedK;
-  ArrayView<Transition> BorrowedOld;
-  ArrayView<RuleId> BorrowedRed;
-  ArrayView<RuleId> BorrowedAcc;
+  // The record: 52 little-endian bytes, identical on disk and in memory.
+  // No default member initializers — the type must stay trivial so a
+  // mapped snapshot's records can be memcpy-adopted; the graph zero-fills
+  // fresh records at creation. All Off/Len pairs are element spans into
+  // the graph's pools: Kernel* into the Item pool; Trans*/Old* into the
+  // parallel target/label pools (one offset addresses both); Red*/Acc*
+  // into the two RuleId pools.
+  uint32_t Id;
+  ItemSetState State;
+  uint8_t Accepting;
+  uint16_t Pad;
+  uint32_t RefCount;
+  uint32_t KernelOff, KernelLen;
+  uint32_t TransOff, TransLen;
+  uint32_t OldOff, OldLen;
+  uint32_t RedOff, RedLen;
+  uint32_t AccOff, AccLen;
 };
 
-/// The canonical transition order: sorted by label. EXPAND establishes it
-/// and snapshot loading re-establishes it after id remapping — one helper
-/// so the two sites (and the byte-determinism contract between them)
-/// cannot drift apart.
-inline void sortTransitionsByLabel(std::vector<ItemSet::Transition> &Ts) {
-  std::sort(Ts.begin(), Ts.end(),
-            [](const ItemSet::Transition &A, const ItemSet::Transition &B) {
-              return A.Label < B.Label;
-            });
-}
+static_assert(sizeof(ItemSet) == 52 && std::is_trivially_copyable_v<ItemSet>,
+              "ItemSet is the ipg-snap-v2 on-disk set record; its layout "
+              "is load-bearing");
 
 } // namespace ipg
 

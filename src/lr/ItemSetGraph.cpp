@@ -32,9 +32,6 @@ struct GraphMetrics {
   MetricCounter &DirtyMarks = R.counter("ipg.modify.dirty_marks");
   MetricCounter &Edits = R.counter("ipg.modify.edits");
   MetricCounter &Collected = R.counter("ipg.gc.collected");
-  /// Borrowed (mmap-backed) sets copied into owned storage, the
-  /// copy-on-MODIFY cost of the zero-copy snapshot load.
-  MetricCounter &Materialized = R.counter("ipg.snapshot.materialize_owned");
   LatencyHistogram &ModifyLatency = R.histogram("ipg.modify.repair");
   LatencyHistogram &GcLatency = R.histogram("ipg.gc.sweep");
 
@@ -48,11 +45,13 @@ struct GraphMetrics {
 
 /// Reusable scratch for the EXPAND hot path (§4/§5): CLOSURE's per-call
 /// set rebuilds become clears of preallocated Bitsets instead of fresh
-/// heap allocations, and the symbol-indexed partition scratch makes the
-/// transition grouping O(1) per item. One instance per *thread* (not per
-/// graph): const CLOSURE queries mutate no graph state, so concurrent
-/// expanders of a shared graph never contend — and the memoization win
-/// survives, per thread.
+/// heap allocations, the symbol-indexed partition scratch makes the
+/// transition grouping O(1) per item, and the staging vectors collect one
+/// expansion's edge/rule records so they land in the graph's pools as
+/// single contiguous appends. One instance per *thread* (not per graph):
+/// const CLOSURE queries mutate no graph state, so concurrent expanders
+/// of a shared graph never contend — and the memoization win survives,
+/// per thread.
 struct ItemSetGraph::ExpandScratch {
   Bitset Predicted;                 ///< Per-closure predicted-rule dedup.
   Bitset MergedNt;                  ///< Per-closure nonterminal dedup.
@@ -61,6 +60,13 @@ struct ItemSetGraph::ExpandScratch {
   /// expand()'s partition groups. Slots (and their kernels' heap buffers)
   /// are reused across expansions; NumGroups entries are live per call.
   std::vector<std::pair<SymbolId, Kernel>> Groups;
+  /// One expansion's resolved edges, staged (label, target id) and sorted
+  /// by label before the paired pool appends.
+  std::vector<std::pair<SymbolId, uint32_t>> StagedEdges;
+  std::vector<SymbolId> StagedLabels;   ///< Split of StagedEdges: labels.
+  std::vector<uint32_t> StagedTargets;  ///< Split of StagedEdges: targets.
+  std::vector<RuleId> StagedReds;       ///< One expansion's reductions.
+  std::vector<RuleId> StagedAccs;       ///< One expansion's accept rules.
 
   static ExpandScratch &get() {
     static thread_local ExpandScratch S;
@@ -69,6 +75,9 @@ struct ItemSetGraph::ExpandScratch {
 };
 
 ItemSetGraph::ItemSetGraph(Grammar &G) : G(G) {
+  // The id->record map is one add off this pointer; PoolArena reserves its
+  // whole range up front, so it is fixed for the graph's lifetime.
+  SetsBase = Sets.growData();
   Start = makeItemSet(startKernel());
   // The root reference: the start set is pinned for the graph's lifetime.
   Start->RefCount = 1;
@@ -93,19 +102,24 @@ void ItemSetGraph::ensureKernelIndex() {
   for (size_t I = 0, N = numSets(); I < N; ++I) {
     ItemSet &State = setAt(I);
     if (!State.isDead())
-      ByKernel[hashKernel(State.kernel())].push_back(&State);
+      ByKernel[hashKernel(kernel(&State))].push_back(&State);
   }
   KernelIndexReady.store(true, std::memory_order_release);
 }
 
-ItemSet *ItemSetGraph::makeItemSet(Kernel K) {
+ItemSet *ItemSetGraph::makeItemSet(const Kernel &K) {
   // Caller holds StructureMutex in shared mode (expansion's target loop).
-  ensureKernelIndex();
-  Pool.emplace_back();
-  ItemSet *State = &Pool.back();
-  State->Id = static_cast<uint32_t>(numSets() - 1);
-  State->K = std::move(K);
-  ByKernel[hashKernel(State->K)].push_back(State);
+  uint32_t Idx = Sets.appendZeroed(1); // Zero record: Initial, no spans.
+  ItemSet *State = SetsBase + Idx;
+  State->Id = Idx;
+  State->KernelOff = Kernels.append(K.data(), K.size());
+  State->KernelLen = static_cast<uint32_t>(K.size());
+  // While the index is deferred (fresh or just-adopted graph) the live
+  // scan in ensureKernelIndex picks this set up later; indexing it now
+  // would force the map allocation into GENERATE-PARSER's "almost zero"
+  // construction budget (§5).
+  if (KernelIndexReady.load(std::memory_order_acquire))
+    ByKernel[hashKernel(kernel(State))].push_back(State);
   return State;
 }
 
@@ -115,7 +129,7 @@ ItemSet *ItemSetGraph::findByKernelLocked(KernelView K) {
   if (It == ByKernel.end())
     return nullptr;
   for (ItemSet *State : It->second)
-    if (kernelEquals(State->kernel(), K))
+    if (kernelEquals(kernel(State), K))
       return State;
   return nullptr;
 }
@@ -127,10 +141,11 @@ ItemSet *ItemSetGraph::findByKernel(KernelView K) {
 
 void ItemSetGraph::unlinkFromIndex(ItemSet *State) {
   // With a deferred index there is nothing to unlink: when the index is
-  // eventually built, it only picks up live sets.
+  // eventually built, it only picks up live sets. Must run before the
+  // set's kernel span is zeroed — the bucket key is the kernel hash.
   if (!KernelIndexReady.load(std::memory_order_acquire))
     return;
-  auto It = ByKernel.find(hashKernel(State->kernel()));
+  auto It = ByKernel.find(hashKernel(kernel(State)));
   if (It == ByKernel.end())
     return;
   std::vector<ItemSet *> &Bucket = It->second;
@@ -178,12 +193,6 @@ std::vector<Item> ItemSetGraph::closure(KernelView K) const {
   return Closure;
 }
 
-void ItemSetGraph::addTransition(ItemSet *From, SymbolId Label, ItemSet *To) {
-  // Caller holds StructureMutex in shared mode (the RefCount bump).
-  From->Transitions.push_back(ItemSet::Transition{Label, To});
-  ++To->RefCount;
-}
-
 void ItemSetGraph::expand(ItemSet *State) {
   // Shared mode: the expansion gate (held shared) orders this expansion
   // against COW-fork freezes, and the set's stripe makes racing
@@ -206,18 +215,9 @@ void ItemSetGraph::expand(ItemSet *State) {
   assert(!State->isDead() && "expanding a collected set of items");
   ExpandScratch &S = ExpandScratch::get();
 
-  bool WasDirty;
-  {
-    // EXPAND mutates the set wholesale; an adopted set first copies its
-    // borrowed records into owned storage (copy-on-MODIFY). That moves
-    // the kernel bytes concurrent findByKernel scans read, so it happens
-    // under the structure lock like every other kernel/index access.
-    auto Lock = structureLock();
-    if (State->isBorrowed())
-      GraphMetrics::get().Materialized.bump();
-    State->materializeOwned();
-    WasDirty = State->state() == ItemSetState::Dirty;
-  }
+  // Only this thread mutates this record (exclusive mode, or the stripe is
+  // held), so its non-atomic fields are safe to read and stage from here.
+  const bool WasDirty = State->state() == ItemSetState::Dirty;
   Stats.bump(ScExpansions);
   GraphMetrics::get().Expansions.bump();
   if (WasDirty) {
@@ -228,15 +228,14 @@ void ItemSetGraph::expand(ItemSet *State) {
     IPG_TRACE_SPAN_RENAME(Sp, "lr.reexpand");
   }
 
-  closureInto(State->K, S, S.Closure);
+  closureInto(kernel(State), S, S.Closure);
   const std::vector<Item> &Closure = S.Closure;
   Stats.bump(ScClosureItems, Closure.size());
   GraphMetrics::get().ClosureItems.bump(Closure.size());
 
-  State->Transitions.clear();
-  State->Reductions.clear();
-  State->AcceptRules.clear();
-  State->Accepting = false;
+  S.StagedReds.clear();
+  S.StagedAccs.clear();
+  bool Accepting = false;
 
   // Partition the closure by the symbol after the dot (first-seen order —
   // this reproduces the state numbering of the paper's figures). The
@@ -251,13 +250,13 @@ void ItemSetGraph::expand(ItemSet *State) {
     if (After == InvalidSymbol) {
       // Dot at the end: accept for START, a reduction otherwise.
       if (G.rule(I.Rule).Lhs == G.startSymbol()) {
-        State->Accepting = true;
-        if (std::find(State->AcceptRules.begin(), State->AcceptRules.end(),
-                      I.Rule) == State->AcceptRules.end())
-          State->AcceptRules.push_back(I.Rule);
-      } else if (std::find(State->Reductions.begin(), State->Reductions.end(),
-                           I.Rule) == State->Reductions.end()) {
-        State->Reductions.push_back(I.Rule);
+        Accepting = true;
+        if (std::find(S.StagedAccs.begin(), S.StagedAccs.end(), I.Rule) ==
+            S.StagedAccs.end())
+          S.StagedAccs.push_back(I.Rule);
+      } else if (std::find(S.StagedReds.begin(), S.StagedReds.end(),
+                           I.Rule) == S.StagedReds.end()) {
+        S.StagedReds.push_back(I.Rule);
       }
       continue;
     }
@@ -274,26 +273,51 @@ void ItemSetGraph::expand(ItemSet *State) {
   }
   for (size_t I = 0; I < NumGroups; ++I)
     S.GroupIndex[S.Groups[I].first] = 0; // Reset touched slots only.
+  for (size_t I = 0; I < NumGroups; ++I)
+    canonicalizeKernel(S.Groups[I].second); // Pure; outside the lock.
 
   {
-    // One structure-lock hold covers the whole target-resolution loop:
-    // the lookups, the creations, and the RefCount increments they imply.
-    // Holding it across the loop (not per group) closes the resurrection
-    // race — a target this expansion found cannot be killed by a
-    // concurrent RE-EXPAND's DECR-REFCOUNT before its count is bumped,
-    // because that decrement serializes behind this hold.
+    // One structure-lock hold covers the whole target-resolution loop
+    // (the lookups, the creations, the RefCount increments they imply)
+    // and the pool appends. Holding it across the loop (not per group)
+    // closes the resurrection race — a target this expansion found
+    // cannot be killed by a concurrent RE-EXPAND's DECR-REFCOUNT before
+    // its count is bumped, because that decrement serializes behind this
+    // hold.
     auto Lock = structureLock();
+    S.StagedEdges.clear();
     for (size_t I = 0; I < NumGroups; ++I) {
       auto &[Label, NewKernel] = S.Groups[I];
-      canonicalizeKernel(NewKernel);
       ItemSet *Target = findByKernelLocked(NewKernel);
       if (Target == nullptr)
-        Target = makeItemSet(std::move(NewKernel));
-      addTransition(State, Label, Target);
+        Target = makeItemSet(NewKernel);
+      ++Target->RefCount;
+      S.StagedEdges.emplace_back(Label, Target->Id);
     }
+    // Transition spans are binary-searched by label (ACTION/GOTO), so
+    // they land in the pools sorted. Labels are unique per set — the
+    // partition produced one group per symbol.
+    std::sort(S.StagedEdges.begin(), S.StagedEdges.end());
+    S.StagedLabels.clear();
+    S.StagedTargets.clear();
+    for (const auto &[Label, TargetId] : S.StagedEdges) {
+      S.StagedLabels.push_back(Label);
+      S.StagedTargets.push_back(TargetId);
+    }
+    // The Trans/Labels pools advance in lockstep: one offset addresses
+    // both halves of the edge span.
+    uint32_t EdgeOff = Trans.append(S.StagedTargets.data(), NumGroups);
+    uint32_t LabelOff = Labels.append(S.StagedLabels.data(), NumGroups);
+    assert(EdgeOff == LabelOff && "Trans/Labels pools out of lockstep");
+    (void)LabelOff;
+    State->TransOff = EdgeOff;
+    State->TransLen = static_cast<uint32_t>(NumGroups);
+    State->RedOff = Reds.append(S.StagedReds.data(), S.StagedReds.size());
+    State->RedLen = static_cast<uint32_t>(S.StagedReds.size());
+    State->AccOff = Accs.append(S.StagedAccs.data(), S.StagedAccs.size());
+    State->AccLen = static_cast<uint32_t>(S.StagedAccs.size());
+    State->Accepting = Accepting ? 1 : 0;
   }
-  sortTransitionsByLabel(State->Transitions);
-  State->buildActionIndex();
   // Publication: everything written above happens-before any reader that
   // observes Complete through stateAcquire().
   State->publishComplete();
@@ -302,13 +326,17 @@ void ItemSetGraph::expand(ItemSet *State) {
   // so targets reused by the new expansion never transiently hit zero.
   // Targets reachable only through these old records were never visible
   // to readers (a Dirty set answers no queries), so collecting them under
-  // the structure lock cannot invalidate any session's stack.
+  // the structure lock cannot invalidate any session's stack. The old
+  // span's pool bytes are simply abandoned — append-only pools never
+  // reclaim — which is what keeps every previously handed-out view valid.
   if (WasDirty) {
-    std::vector<ItemSet::Transition> Old = std::move(State->OldTransitions);
-    State->OldTransitions.clear();
+    uint32_t OldOff = State->OldOff, OldLen = State->OldLen;
+    State->OldOff = 0;
+    State->OldLen = 0;
     auto Lock = structureLock();
-    for (const ItemSet::Transition &T : Old)
-      decrRefCount(T.Target);
+    const uint32_t *OldTargets = Trans.at(OldOff);
+    for (uint32_t I = 0; I < OldLen; ++I)
+      decrRefCount(SetsBase + OldTargets[I]);
   }
 }
 
@@ -325,14 +353,25 @@ void ItemSetGraph::decrRefCount(ItemSet *State) {
     assert(Current->RefCount > 0 && "refcount underflow");
     if (--Current->RefCount != 0)
       continue;
+    // Unlink first: the index bucket is keyed by the kernel hash, which
+    // the tombstoning below zeroes away.
     unlinkFromIndex(Current);
-    ArrayView<ItemSet::Transition> Held =
-        Current->state() == ItemSetState::Dirty ? Current->oldTransitions()
-                                                : Current->transitions();
-    for (const ItemSet::Transition &T : Held)
-      Worklist.push_back(T.Target);
+    const bool HeldOld = Current->state() == ItemSetState::Dirty;
+    uint32_t Off = HeldOld ? Current->OldOff : Current->TransOff;
+    uint32_t Len = HeldOld ? Current->OldLen : Current->TransLen;
+    const uint32_t *Targets = Trans.at(Off);
+    for (uint32_t I = 0; I < Len; ++I)
+      Worklist.push_back(SetsBase + Targets[I]);
+    // Tombstone: a Dead record persists (id space stays dense, stale
+    // pointers in old parser stacks stay valid) with every span zeroed —
+    // the exact shape the snapshot writes and adoption validates.
+    Current->KernelOff = Current->KernelLen = 0;
+    Current->TransOff = Current->TransLen = 0;
+    Current->OldOff = Current->OldLen = 0;
+    Current->RedOff = Current->RedLen = 0;
+    Current->AccOff = Current->AccLen = 0;
+    Current->Accepting = 0;
     Current->storeState(ItemSetState::Dead, std::memory_order_relaxed);
-    Current->releaseStorage();
     Stats.bump(ScCollected);
     GraphMetrics::get().Collected.bump();
   }
@@ -343,17 +382,20 @@ void ItemSetGraph::markDirty(ItemSet *State) {
   // pre-modification history.
   if (State->state() != ItemSetState::Complete)
     return;
-  // Copy-on-MODIFY: an adopted set materializes its borrowed records
-  // before they are rearranged, so §6 repair works on mapped graphs.
-  if (State->isBorrowed())
-    GraphMetrics::get().Materialized.bump();
-  State->materializeOwned();
-  State->OldTransitions = std::move(State->Transitions);
-  State->Transitions.clear();
-  State->Reductions.clear();
-  State->AcceptRules.clear();
-  State->clearActionIndex();
-  State->Accepting = false;
+  // Pure offset move: the transition span becomes the old span (§6.2
+  // needs it to release references at RE-EXPAND), the result spans are
+  // dropped. No pool bytes move or are touched — MODIFY's per-set cost
+  // is these ten field writes regardless of the set's size or whether
+  // its spans resolve into a mapped snapshot.
+  State->OldOff = State->TransOff;
+  State->OldLen = State->TransLen;
+  State->TransOff = 0;
+  State->TransLen = 0;
+  State->RedOff = 0;
+  State->RedLen = 0;
+  State->AccOff = 0;
+  State->AccLen = 0;
+  State->Accepting = 0;
   State->storeState(ItemSetState::Dirty, std::memory_order_relaxed);
   Stats.bump(ScDirtyMarks);
   GraphMetrics::get().DirtyMarks.bump();
@@ -374,30 +416,30 @@ void ItemSetGraph::modify(SymbolId Lhs) {
   uint64_t MarksBefore = Stats.total(ScDirtyMarks);
   (void)MarksBefore;
   if (Lhs == G.startSymbol()) {
-    // Only the start set can hold START ::= •β in its kernel.
+    // Only the start set can hold START ::= •β in its kernel. The new
+    // kernel is appended to the pool (the old span is abandoned) and the
+    // index bucket re-keyed.
     ensureKernelIndex();
-    Start->materializeOwned();
     unlinkFromIndex(Start);
-    Start->K = startKernel();
-    ByKernel[hashKernel(Start->K)].push_back(Start);
+    Kernel K = startKernel();
+    Start->KernelOff = Kernels.append(K.data(), K.size());
+    Start->KernelLen = static_cast<uint32_t>(K.size());
+    ByKernel[hashKernel(kernel(Start))].push_back(Start);
     markDirty(Start);
     IPG_TRACE_SPAN_ARG(Sp, Stats.total(ScDirtyMarks) - MarksBefore);
     return;
   }
   // Recognition of a rule for Lhs starts exactly in the complete sets with
   // a transition labeled Lhs — their closures contained • before an Lhs.
-  // The action index turns the per-state membership test into a binary
-  // search. The two storage pools are walked directly (not through the
-  // setAt branch): this probe loop dominates ADD/DELETE-RULE latency.
-  auto Probe = [&](ItemSet &State) {
+  // One linear sweep over the dense record pool, one binary search over
+  // each complete set's label slice: this probe loop dominates
+  // ADD/DELETE-RULE latency.
+  for (size_t I = 0, N = numSets(); I < N; ++I) {
+    ItemSet &State = setAt(I);
     if (State.state() == ItemSetState::Complete &&
-        State.transitionTarget(Lhs) != nullptr)
+        transitionTarget(&State, Lhs) != nullptr)
       markDirty(&State);
-  };
-  for (ItemSet &State : Adopted)
-    Probe(State);
-  for (ItemSet &State : Pool)
-    Probe(State);
+  }
   IPG_TRACE_SPAN_ARG(Sp, Stats.total(ScDirtyMarks) - MarksBefore);
 }
 
@@ -435,11 +477,11 @@ LrActionsView ItemSetGraph::actionsView(ItemSet *State, SymbolId Symbol) {
          "ACTION is queried with terminals only");
   ensureComplete(State);
   // LR(0): reductions apply regardless of the lookahead symbol; the shift
-  // target is a binary search over the action index built at EXPAND time.
-  ArrayView<RuleId> Reduce = State->reductions();
+  // target is a binary search over the set's label slice.
+  ArrayView<RuleId> Reduce = reductions(State);
   return LrActionsView(Reduce.begin(), Reduce.end(),
-                       State->transitionTarget(Symbol),
-                       State->Accepting && Symbol == G.endMarker());
+                       transitionTarget(State, Symbol),
+                       State->Accepting != 0 && Symbol == G.endMarker());
 }
 
 std::vector<LrAction> ItemSetGraph::actions(ItemSet *State, SymbolId Symbol) {
@@ -455,7 +497,7 @@ ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
   // Appendix A: the parsing algorithms only ever call GOTO on sets that
   // have already been completed.
   assert(State->isComplete() && "GOTO called on a non-complete set of items");
-  if (ItemSet *Target = State->transitionTarget(Symbol))
+  if (ItemSet *Target = transitionTarget(State, Symbol))
     return Target;
   // An absent transition means the graph is inconsistent with the grammar
   // (or the caller broke the Appendix A discipline). Fail identically in
@@ -516,32 +558,38 @@ size_t ItemSetGraph::collectGarbage() {
   // Mark phase: reachable from the start set, following live transitions
   // and the retained pre-modification transitions of dirty sets.
   std::vector<bool> Marked(numSets(), false);
-  std::vector<ItemSet *> Worklist{Start};
+  std::vector<uint32_t> Worklist{Start->Id};
   Marked[Start->Id] = true;
   while (!Worklist.empty()) {
-    ItemSet *State = Worklist.back();
+    ItemSet &State = setAt(Worklist.back());
     Worklist.pop_back();
-    auto Visit = [&](ArrayView<ItemSet::Transition> Edges) {
-      for (const ItemSet::Transition &T : Edges)
-        if (!Marked[T.Target->Id]) {
-          Marked[T.Target->Id] = true;
-          Worklist.push_back(T.Target);
+    auto Visit = [&](uint32_t Off, uint32_t Len) {
+      const uint32_t *Targets = Trans.at(Off);
+      for (uint32_t I = 0; I < Len; ++I)
+        if (!Marked[Targets[I]]) {
+          Marked[Targets[I]] = true;
+          Worklist.push_back(Targets[I]);
         }
     };
-    Visit(State->transitions());
-    Visit(State->oldTransitions());
+    Visit(State.TransOff, State.TransLen);
+    Visit(State.OldOff, State.OldLen);
   }
 
-  // Sweep phase.
+  // Sweep phase: tombstone the unreachable (see decrRefCount).
   size_t Reclaimed = 0;
   for (size_t I = 0, N = numSets(); I < N; ++I) {
     ItemSet &State = setAt(I);
     if (State.isDead() || Marked[State.Id])
       continue;
     unlinkFromIndex(&State);
-    State.storeState(ItemSetState::Dead, std::memory_order_relaxed);
-    State.releaseStorage();
+    State.KernelOff = State.KernelLen = 0;
+    State.TransOff = State.TransLen = 0;
+    State.OldOff = State.OldLen = 0;
+    State.RedOff = State.RedLen = 0;
+    State.AccOff = State.AccLen = 0;
+    State.Accepting = 0;
     State.RefCount = 0;
+    State.storeState(ItemSetState::Dead, std::memory_order_relaxed);
     ++Reclaimed;
     Stats.bump(ScCollected);
     GraphMetrics::get().Collected.bump();
@@ -559,10 +607,13 @@ size_t ItemSetGraph::collectGarbage() {
     ItemSet &State = setAt(I);
     if (State.isDead())
       continue;
-    for (const ItemSet::Transition &T : State.transitions())
-      ++T.Target->RefCount;
-    for (const ItemSet::Transition &T : State.oldTransitions())
-      ++T.Target->RefCount;
+    auto Count = [&](uint32_t Off, uint32_t Len) {
+      const uint32_t *Targets = Trans.at(Off);
+      for (uint32_t J = 0; J < Len; ++J)
+        ++setAt(Targets[J]).RefCount;
+    };
+    Count(State.TransOff, State.TransLen);
+    Count(State.OldOff, State.OldLen);
   }
   return Reclaimed;
 }

@@ -19,16 +19,27 @@
 /// the kernel fields during parsing, so a detached tabular copy would not
 /// suffice (§4, "we shall not use these parse tables further").
 ///
+/// Storage: the graph IS the `ipg-snap-v2` snapshot. Six append-only flat
+/// pools (support/PoolArena.h) hold the 52-byte set records, kernel items,
+/// transition targets, transition labels, reductions and accept rules;
+/// every ItemSet is a record of spans into them. EXPAND appends, MODIFY
+/// moves span offsets, save memcpys the pools, and a mapped snapshot's
+/// pools are adopted as the graph's own base segments — one storage story
+/// for cold, warm and forked graphs. Pool elements never move, so
+/// `ItemSet *` and every span handed out stay valid across unbounded
+/// growth (the GSS and concurrent-reader stability contract).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPG_LR_ITEMSETGRAPH_H
 #define IPG_LR_ITEMSETGRAPH_H
 
 #include "lr/ItemSet.h"
+#include "support/ArrayView.h"
 #include "support/Concurrency.h"
+#include "support/PoolArena.h"
 
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -59,13 +70,14 @@ struct LrAction {
 };
 
 /// Allocation-free ACTION(state, symbol) result (§3.1/§5): a view over the
-/// queried set's reduction array plus the unique shift target and the
+/// queried set's reduction span plus the unique shift target and the
 /// accept flag. Building one performs zero heap allocations; iteration
 /// order matches ItemSetGraph::actions() (reductions first, then shift,
-/// then accept). The view borrows from the *queried set's* storage: it
-/// stays valid until that set is re-expanded or the graph is reloaded —
+/// then accept). The view borrows from the graph's pools: it stays valid
+/// until the queried set is re-expanded or the graph is reloaded —
 /// expansion of other sets (including concurrent expansion by another
-/// session in shared mode) never invalidates it.
+/// session in shared mode) never invalidates it, because pool elements
+/// never move.
 class LrActionsView {
 public:
   LrActionsView() = default;
@@ -109,6 +121,65 @@ private:
   bool Accept = false;
 };
 
+/// A lazily-materializing view over one set's transition span: the pool
+/// stores 4-byte target indices parallel to 4-byte labels; iterating (or
+/// indexing) yields by-value ItemSet::Transition records, so loop bodies
+/// keep their `T.Label` / `T.Target` shape with zero allocation and
+/// 8 bytes of pool traffic per edge.
+class TransitionRange {
+public:
+  class Iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ItemSet::Transition;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = ItemSet::Transition;
+
+    Iterator(const SymbolId *Labels, const uint32_t *Targets, ItemSet *Base)
+        : Labels(Labels), Targets(Targets), Base(Base) {}
+    ItemSet::Transition operator*() const {
+      return ItemSet::Transition{*Labels, Base + *Targets};
+    }
+    Iterator &operator++() {
+      ++Labels;
+      ++Targets;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator Old = *this;
+      ++*this;
+      return Old;
+    }
+    bool operator==(const Iterator &O) const { return Targets == O.Targets; }
+    bool operator!=(const Iterator &O) const { return Targets != O.Targets; }
+
+  private:
+    const SymbolId *Labels;
+    const uint32_t *Targets;
+    ItemSet *Base;
+  };
+
+  TransitionRange() = default;
+  TransitionRange(const SymbolId *Labels, const uint32_t *Targets,
+                  ItemSet *Base, size_t Len)
+      : Labels(Labels), Targets(Targets), Base(Base), Len(Len) {}
+
+  Iterator begin() const { return Iterator(Labels, Targets, Base); }
+  Iterator end() const { return Iterator(Labels + Len, Targets + Len, Base); }
+  size_t size() const { return Len; }
+  bool empty() const { return Len == 0; }
+  ItemSet::Transition operator[](size_t I) const {
+    return ItemSet::Transition{Labels[I], Base + Targets[I]};
+  }
+
+private:
+  const SymbolId *Labels = nullptr;
+  const uint32_t *Targets = nullptr;
+  ItemSet *Base = nullptr;
+  size_t Len = 0;
+};
+
 /// Counters for the measurements of §7 and the ablation benches. This is
 /// the *snapshot* type handed out by ItemSetGraph::stats(); internally the
 /// graph accumulates into sharded relaxed-atomic cells
@@ -134,11 +205,12 @@ struct ItemSetGraphStats {
 ///   * Queries against Complete sets (actionsView, gotoState,
 ///     forEachAction, ensureComplete's fast path) take no locks: one
 ///     acquire load of the set's lifecycle flag, paired with the release
-///     publication at the end of EXPAND.
+///     publication at the end of EXPAND. Published pool bytes are never
+///     rewritten or moved, so these reads race nothing.
 ///   * EXPAND/RE-EXPAND of Initial/Dirty sets takes the expansion gate
 ///     shared plus a per-set striped mutex; a loser racing an expansion
 ///     blocks on the stripe and then adopts the winner's published set.
-///     Structural shared state (the set pools, the kernel index,
+///     Structural shared state (the pools' append ends, the kernel index,
 ///     reference counts) is touched only under StructureMutex.
 ///   * Grammar modification (addRule/removeRule), generateAll,
 ///     collectGarbage and the other whole-graph walks are *not* shared-
@@ -162,6 +234,63 @@ public:
   /// The state in which parsing starts (root of the graph).
   ItemSet *startSet() { return Start; }
 
+  //===--------------------------------------------------------------------===//
+  // Record access: an ItemSet is spans into this graph's pools; the graph
+  // resolves them. All views/ranges stay valid for the set's lifetime —
+  // pool elements never move.
+  //===--------------------------------------------------------------------===//
+
+  /// The canonical kernel. The lazy generator keeps kernels even for
+  /// complete sets: the incremental generator needs them again (§5.3).
+  KernelView kernel(const ItemSet *State) const {
+    return KernelView(Kernels.at(State->KernelOff), State->KernelLen);
+  }
+
+  /// Valid only when Complete. Sorted by label for binary search.
+  TransitionRange transitions(const ItemSet *State) const {
+    return TransitionRange(Labels.at(State->TransOff),
+                           Trans.at(State->TransOff), SetsBase,
+                           State->TransLen);
+  }
+
+  /// The transitions the set held before it was marked Dirty (§6.2).
+  TransitionRange oldTransitions(const ItemSet *State) const {
+    return TransitionRange(Labels.at(State->OldOff), Trans.at(State->OldOff),
+                           SetsBase, State->OldLen);
+  }
+
+  /// Rules recognized completely in the state (valid only when Complete).
+  ArrayView<RuleId> reductions(const ItemSet *State) const {
+    return ArrayView<RuleId>(Reds.at(State->RedOff), State->RedLen);
+  }
+
+  /// The START rules completed in the state (nonempty iff isAccepting()).
+  ArrayView<RuleId> acceptRules(const ItemSet *State) const {
+    return ArrayView<RuleId>(Accs.at(State->AccOff), State->AccLen);
+  }
+
+  /// The ACTION/GOTO query index: the set's transition labels, a
+  /// 4-byte-stride slice of the label pool parallel to the target slice.
+  ArrayView<SymbolId> actionLabels(const ItemSet *State) const {
+    return ArrayView<SymbolId>(Labels.at(State->TransOff), State->TransLen);
+  }
+
+  /// The target of the unique transition on \p Label, or nullptr when the
+  /// set has none. O(log n) binary search over the label slice;
+  /// allocation-free. Valid only while the set is Complete.
+  ItemSet *transitionTarget(const ItemSet *State, SymbolId Label) const {
+    const SymbolId *Begin = Labels.at(State->TransOff);
+    const SymbolId *End = Begin + State->TransLen;
+    const SymbolId *It = std::lower_bound(Begin, End, Label);
+    if (It == End || *It != Label)
+      return nullptr;
+    return SetsBase + Trans.at(State->TransOff)[It - Begin];
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Generation, queries, modification (§4–§6).
+  //===--------------------------------------------------------------------===//
+
   /// §4 GENERATE-PARSER: expands item sets until none is Initial/Dirty.
   /// Returns the number of complete sets.
   size_t generateAll();
@@ -175,8 +304,8 @@ public:
 
   /// Allocation-free ACTION: expands \p State if needed, then returns a
   /// view of the actions for terminal \p Symbol (valid until the next
-  /// expansion or modification of the graph). The steady-state query cost
-  /// is one binary search over the set's action index plus two flag reads.
+  /// expansion or modification of that set). The steady-state query cost
+  /// is one binary search over the set's label slice plus two flag reads.
   LrActionsView actionsView(ItemSet *State, SymbolId Symbol);
 
   /// Allocation-free ACTION iteration: invokes \p Fn(const LrAction &) for
@@ -187,7 +316,7 @@ public:
   }
 
   /// GOTO(state, symbol): the target of the unique transition on
-  /// nonterminal \p Symbol, found by binary search over the action index.
+  /// nonterminal \p Symbol, found by binary search over the label slice.
   /// \p State must be complete and the transition must exist — guaranteed
   /// for (PAR-)PARSE by the invariant proved in Appendix A; a violation is
   /// a hard failure (abort) in every build type, because falling through
@@ -224,6 +353,12 @@ public:
 
   /// Total live sets.
   size_t numLive() const;
+
+  /// Number of set records installed by the last zero-copy snapshot
+  /// adoption (0 for cold graphs): those sets' kernel/transition/rule
+  /// spans resolve into the adopted mapping rather than this graph's own
+  /// appends — the observable that replaces the old per-set borrowed flag.
+  size_t numAdoptedSets() const { return AdoptedSets; }
 
   /// Looks up a live set of items by kernel; nullptr if absent.
   ItemSet *findByKernel(KernelView K);
@@ -265,19 +400,33 @@ public:
   void resetStats() { storeStats(ItemSetGraphStats()); }
 
 private:
-  /// GraphSnapshot (lr/GraphSnapshot.h) rebuilds Pool/ByKernel/Start/Stats
-  /// wholesale when loading a persisted graph.
+  /// GraphSnapshot (lr/GraphSnapshot.h) rebuilds the pools, the kernel
+  /// index, Start and Stats wholesale when loading a persisted graph.
   friend class GraphSnapshot;
 
-  /// Total sets ever created (dense id space: adopted block first, then
-  /// the growth pool).
-  size_t numSets() const { return Adopted.size() + Pool.size(); }
-  ItemSet &setAt(size_t I) {
-    return I < Adopted.size() ? Adopted[I] : Pool[I - Adopted.size()];
+  // Pool reservations (element counts). Virtual address space only —
+  // physical pages materialize on touch — so the headroom over any real
+  // workload (12x-SDF uses well under 1%) is free. Exhaustion aborts
+  // loudly in PoolArena.
+  static constexpr size_t MaxSets = size_t{1} << 21;
+  static constexpr size_t MaxKernelItems = size_t{1} << 24;
+  static constexpr size_t MaxEdges = size_t{1} << 25;
+  static constexpr size_t MaxRuleRefs = size_t{1} << 23;
+
+  /// Size of the single reservation backing all six pools; must mirror
+  /// the carve() sequence in the member initializers below.
+  static constexpr size_t reservedBytes() {
+    return ArenaReservation::regionBytes(MaxSets, sizeof(ItemSet)) +
+           ArenaReservation::regionBytes(MaxKernelItems, sizeof(Item)) +
+           ArenaReservation::regionBytes(MaxEdges, sizeof(uint32_t)) +
+           ArenaReservation::regionBytes(MaxEdges, sizeof(SymbolId)) +
+           ArenaReservation::regionBytes(MaxRuleRefs, sizeof(RuleId)) * 2;
   }
-  const ItemSet &setAt(size_t I) const {
-    return I < Adopted.size() ? Adopted[I] : Pool[I - Adopted.size()];
-  }
+
+  /// Total set records ever created (dense id space; tombstones included).
+  size_t numSets() const { return Sets.size(); }
+  ItemSet &setAt(size_t I) { return SetsBase[I]; }
+  const ItemSet &setAt(size_t I) const { return SetsBase[I]; }
 
   /// Named indices into the sharded stats counters.
   enum StatCounter : size_t {
@@ -301,8 +450,8 @@ private:
   }
 
   /// StructureMutex when shared, nothing when exclusive: the lock guard
-  /// around every access to Pool/Adopted growth, ByKernel, kernel-storage
-  /// materialization and reference counts.
+  /// around every append to the pools, ByKernel access and all RefCount
+  /// arithmetic in shared mode.
   std::unique_lock<std::mutex> structureLock() const {
     return Concurrent ? std::unique_lock<std::mutex>(StructureMutex)
                       : std::unique_lock<std::mutex>();
@@ -316,7 +465,7 @@ private:
   /// Per-expansion scratch buffers (one set per thread; ItemSetGraph.cpp).
   struct ExpandScratch;
 
-  ItemSet *makeItemSet(Kernel K);
+  ItemSet *makeItemSet(const Kernel &K);
   /// findByKernel without the structure lock; expansion's inner loop,
   /// which already holds it.
   ItemSet *findByKernelLocked(KernelView K);
@@ -326,7 +475,6 @@ private:
   void closureInto(KernelView K, ExpandScratch &S,
                    std::vector<Item> &Out) const;
   void expand(ItemSet *State);
-  void addTransition(ItemSet *From, SymbolId Label, ItemSet *To);
   void decrRefCount(ItemSet *State);
   void markDirty(ItemSet *State);
   void unlinkFromIndex(ItemSet *State);
@@ -334,24 +482,44 @@ private:
   Kernel startKernel() const;
 
   Grammar &G;
-  /// Sets adopted wholesale from an `ipg-snap-v2` snapshot: one contiguous
-  /// block, sized exactly at load, never resized afterwards (so pointers
-  /// stay stable). Empty unless the graph was warm-started zero-copy.
-  std::vector<ItemSet> Adopted;
-  /// Sets created one by one (EXPAND, v1 loads); deque for stable
-  /// pointers under growth. Ids continue after the adopted block.
-  std::deque<ItemSet> Pool;
+
+  // The six pools, all carved from one contiguous reservation (a single
+  // syscall pair per graph — constructing a lazy graph must stay "almost
+  // zero" cost, §5). Set records always live in the Sets arena's own
+  // segment (snapshot adoption memcpys them in — 52 bytes per set); the
+  // five data pools adopt a mapped snapshot's arrays zero-copy as their
+  // base segment. Trans and Labels are strictly parallel: every append
+  // lands in both, so one offset addresses a target slice and its label
+  // slice.
+  ArenaReservation Storage{reservedBytes()};
+  PoolArena<ItemSet> Sets{Storage.carve<ItemSet>(MaxSets), MaxSets};
+  PoolArena<Item> Kernels{Storage.carve<Item>(MaxKernelItems),
+                          MaxKernelItems};
+  PoolArena<uint32_t> Trans{Storage.carve<uint32_t>(MaxEdges), MaxEdges};
+  PoolArena<SymbolId> Labels{Storage.carve<SymbolId>(MaxEdges), MaxEdges};
+  PoolArena<RuleId> Reds{Storage.carve<RuleId>(MaxRuleRefs), MaxRuleRefs};
+  PoolArena<RuleId> Accs{Storage.carve<RuleId>(MaxRuleRefs), MaxRuleRefs};
+  /// Sets.growData(), cached: the id->record mapping is one add. Fixed for
+  /// the graph's lifetime (the reservation never moves).
+  ItemSet *SetsBase = nullptr;
+  /// Records installed by the last adoptV2 (see numAdoptedSets()).
+  size_t AdoptedSets = 0;
+
   std::unordered_map<uint64_t, std::vector<ItemSet *>> ByKernel;
-  /// False after a zero-copy adoption until the first ByKernel consumer
-  /// rebuilds the index — pure queries against a fully complete adopted
-  /// graph never need it. Atomic once-flag: the built index is published
-  /// with a release store so an unlocked exclusive-mode reader that sees
-  /// `true` also sees the buckets (shared-mode consumers additionally
-  /// hold StructureMutex, which makes the build itself race-free).
-  std::atomic<bool> KernelIndexReady{true};
-  /// Keeps the mapped snapshot region alive while adopted sets borrow
-  /// spans from it. Released on reset()/re-load. In a server this is the
-  /// COW fork's in-memory serialization of the predecessor epoch.
+  /// False from construction and after a zero-copy adoption until the
+  /// first ByKernel consumer rebuilds the index from the live sets — pure
+  /// queries against a fully complete adopted graph never need it, and a
+  /// fresh graph's constructor must not pay the map allocation (§5's
+  /// "almost zero" construction). Atomic once-flag: the built index is
+  /// published with a release store so an unlocked exclusive-mode reader
+  /// that sees `true` also sees the buckets (shared-mode consumers
+  /// additionally hold StructureMutex, which makes the build itself
+  /// race-free).
+  std::atomic<bool> KernelIndexReady{false};
+  /// Keeps the mapped snapshot region alive while the data pools' base
+  /// segments point into it. Released on reset()/re-load. In a server
+  /// this is the COW fork's in-memory serialization of the predecessor
+  /// epoch.
   std::shared_ptr<const MappedFile> BorrowedStorage;
   ItemSet *Start = nullptr;
   ShardedCounters<ScNumCounters> Stats;
@@ -364,8 +532,8 @@ private:
   mutable std::shared_mutex ExpandGate;
   /// Per-set expansion publication locks, striped by set id.
   StripedMutexes<64> ExpandStripes;
-  /// Guards Pool/Adopted growth, ByKernel, kernel-storage mutation
-  /// (materializeOwned) and all RefCount arithmetic in shared mode.
+  /// Guards pool appends, ByKernel and all RefCount arithmetic in shared
+  /// mode.
   mutable std::mutex StructureMutex;
 };
 

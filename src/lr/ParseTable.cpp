@@ -48,18 +48,18 @@ ParseTable ipg::buildLr0Table(ItemSetGraph &Graph,
   for (const ItemSet *Set : Sets) {
     uint32_t State = StateOf.at(Set);
     // LR(0): a recognized rule may be reduced under any lookahead.
-    for (RuleId Rule : Set->reductions())
+    for (RuleId Rule : Graph.reductions(Set))
       for (SymbolId Sym = 0; Sym < NumSymbols; ++Sym)
         if (G.symbols().isTerminal(Sym))
           Table.addAction(State, Sym, {TableAction::Reduce, Rule});
-    for (const ItemSet::Transition &T : Set->transitions()) {
+    for (ItemSet::Transition T : Graph.transitions(Set)) {
       if (G.symbols().isTerminal(T.Label))
         Table.addAction(State, T.Label,
                         {TableAction::Shift, StateOf.at(T.Target)});
       else
         Table.setGoto(State, T.Label, StateOf.at(T.Target));
     }
-    for (RuleId Rule : Set->acceptRules())
+    for (RuleId Rule : Graph.acceptRules(Set))
       Table.addAction(State, G.endMarker(), {TableAction::Accept, Rule});
   }
   if (SetOfState != nullptr)

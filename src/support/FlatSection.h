@@ -24,6 +24,7 @@
 
 #include "support/Expected.h"
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -46,6 +47,10 @@ public:
       Buffer.resize(Buffer.size() + (Alignment - Rem), 0);
   }
 
+  /// Pre-sizes the underlying buffer's capacity (not its size) so a
+  /// document whose final size is known appends without reallocating.
+  void reserveCapacity(size_t Bytes) { Buffer.reserve(Bytes); }
+
   void writeU8(uint8_t Value) { Buffer.push_back(Value); }
   void writeU16(uint16_t Value) { appendLe(Value, 2); }
   void writeU32(uint32_t Value) { appendLe(Value, 4); }
@@ -56,6 +61,18 @@ public:
     size_t Old = Buffer.size();
     Buffer.resize(Old + Size);
     std::memcpy(Buffer.data() + Old, Bytes, Size);
+  }
+
+  /// Appends \p Count little-endian u32 values: one memcpy on LE hosts,
+  /// per-element writes elsewhere. The bulk path is what keeps record
+  /// tables (snapshot sections) off the one-resize-per-field cost.
+  void writeU32Array(const uint32_t *Values, size_t Count) {
+    if constexpr (std::endian::native == std::endian::little) {
+      writeBytes(Values, Count * 4);
+    } else {
+      for (size_t I = 0; I < Count; ++I)
+        writeU32(Values[I]);
+    }
   }
 
   /// Reserves \p Size zero bytes at the current position and returns their

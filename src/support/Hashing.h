@@ -9,8 +9,10 @@
 #ifndef IPG_SUPPORT_HASHING_H
 #define IPG_SUPPORT_HASHING_H
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace ipg {
@@ -24,6 +26,40 @@ inline uint64_t hashBytes(const void *Data, size_t Size,
     Hash ^= Bytes[I];
     Hash *= 0x100000001b3ULL;
   }
+  return Hash;
+}
+
+/// Word-at-a-time 64-bit hash for bulk integrity checksums (snapshot
+/// payloads). Consumes eight bytes per multiply instead of FNV-1a's one,
+/// which matters when the payload is a ~100KB pool image on the save hot
+/// path. Words are assembled in explicit little-endian byte order (the
+/// compiler folds the assembly into a single load on LE hosts), so the
+/// value is identical across architectures. NOT FNV-compatible: snapshot
+/// loaders accept either this or the legacy hashBytes value, so files
+/// written before the migration still verify.
+inline uint64_t hashBytesFast(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  const uint64_t Mul = 0x9e3779b97f4a7c15ULL;
+  uint64_t Hash = 0x2545f4914f6cdd1dULL ^ (static_cast<uint64_t>(Size) * Mul);
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Word;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&Word, Bytes + I, 8);
+    } else {
+      Word = 0;
+      for (size_t B = 0; B < 8; ++B)
+        Word |= static_cast<uint64_t>(Bytes[I + B]) << (8 * B);
+    }
+    Hash = (Hash ^ Word) * Mul;
+  }
+  uint64_t Tail = 0;
+  for (size_t B = 0; I + B < Size; ++B)
+    Tail |= static_cast<uint64_t>(Bytes[I + B]) << (8 * B);
+  Hash = (Hash ^ Tail) * Mul;
+  Hash ^= Hash >> 32;
+  Hash *= 0x100000001b3ULL;
+  Hash ^= Hash >> 29;
   return Hash;
 }
 

@@ -60,15 +60,15 @@ inline CanonGraph canonicalize(ItemSetGraph &Graph) {
     Graph.ensureComplete(State);
     CanonState Canon;
     Canon.Accepting = State->isAccepting();
-    for (RuleId Rule : State->reductions())
+    for (RuleId Rule : Graph.reductions(State))
       Canon.Reductions.insert(G.ruleToString(Rule));
-    for (const ItemSet::Transition &T : State->transitions()) {
+    for (ItemSet::Transition T : Graph.transitions(State)) {
       Canon.Transitions[G.symbols().name(T.Label)] =
-          canonKernel(T.Target->kernel(), G);
+          canonKernel(Graph.kernel(T.Target), G);
       if (Seen.insert(T.Target).second)
         Worklist.push_back(T.Target);
     }
-    Result[canonKernel(State->kernel(), G)] = std::move(Canon);
+    Result[canonKernel(Graph.kernel(State), G)] = std::move(Canon);
   }
   return Result;
 }

@@ -61,8 +61,8 @@ TEST(GraphCanonTest, KernelKeyIsOrderIndependent) {
 
   KernelView Multi;
   for (const ItemSet *State : Graph.liveSets())
-    if (State->kernel().size() >= 2) {
-      Multi = State->kernel();
+    if (Graph.kernel(State).size() >= 2) {
+      Multi = Graph.kernel(State);
       break;
     }
   ASSERT_GE(Multi.size(), 2u) << "no multi-item kernel in the arith graph";

@@ -26,14 +26,14 @@ inline std::vector<ItemSet *> reachableSets(ItemSetGraph &Graph,
   std::vector<ItemSet *> Result{Graph.startSet()};
   std::set<const ItemSet *> Seen{Graph.startSet()};
   for (size_t Next = 0; Next < Result.size(); ++Next) {
-    auto Visit = [&](ArrayView<ItemSet::Transition> Edges) {
-      for (const ItemSet::Transition &T : Edges)
+    auto Visit = [&](TransitionRange Edges) {
+      for (ItemSet::Transition T : Edges)
         if (Seen.insert(T.Target).second)
           Result.push_back(T.Target);
     };
-    Visit(Result[Next]->transitions());
+    Visit(Graph.transitions(Result[Next]));
     if (FollowOldTransitions)
-      Visit(Result[Next]->oldTransitions());
+      Visit(Graph.oldTransitions(Result[Next]));
   }
   return Result;
 }

@@ -22,13 +22,14 @@ namespace ipg::testing {
 /// The ground truth for one (state, symbol) ACTION cell, recomputed the
 /// pre-index way: reductions, then a linear scan for the shift, then the
 /// accept flag.
-inline std::vector<LrAction> referenceActions(const Grammar &G,
+inline std::vector<LrAction> referenceActions(const ItemSetGraph &Graph,
                                               ItemSet *State,
                                               SymbolId Symbol) {
+  const Grammar &G = Graph.grammar();
   std::vector<LrAction> Result;
-  for (RuleId Rule : State->reductions())
+  for (RuleId Rule : Graph.reductions(State))
     Result.push_back(LrAction::reduce(Rule));
-  for (const ItemSet::Transition &T : State->transitions())
+  for (ItemSet::Transition T : Graph.transitions(State))
     if (T.Label == Symbol) {
       Result.push_back(LrAction::shift(T.Target));
       break;
@@ -46,13 +47,15 @@ inline void verifyIndexEquivalence(ItemSetGraph &Graph) {
   for (ItemSet *State : reachableSets(Graph, /*FollowOldTransitions=*/true)) {
     if (!State->isComplete())
       continue;
-    ASSERT_EQ(State->actionLabels().size(), State->transitions().size());
-    for (size_t I = 0; I < State->transitions().size(); ++I)
-      ASSERT_EQ(State->actionLabels()[I], State->transitions()[I].Label);
+    ASSERT_EQ(Graph.actionLabels(State).size(),
+              Graph.transitions(State).size());
+    for (size_t I = 0; I < Graph.transitions(State).size(); ++I)
+      ASSERT_EQ(Graph.actionLabels(State)[I],
+                Graph.transitions(State)[I].Label);
 
     for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
       if (G.symbols().isTerminal(Sym)) {
-        std::vector<LrAction> Expected = referenceActions(G, State, Sym);
+        std::vector<LrAction> Expected = referenceActions(Graph, State, Sym);
         std::vector<LrAction> Actual;
         Graph.actionsView(State, Sym).forEach(
             [&](const LrAction &A) { Actual.push_back(A); });
@@ -60,7 +63,7 @@ inline void verifyIndexEquivalence(ItemSetGraph &Graph) {
             << "state " << State->id() << " symbol " << G.symbols().name(Sym);
       }
     }
-    for (const ItemSet::Transition &T : State->transitions()) {
+    for (ItemSet::Transition T : Graph.transitions(State)) {
       if (G.symbols().isNonterminal(T.Label)) {
         ASSERT_EQ(Graph.gotoState(State, T.Label), T.Target);
       }

@@ -17,7 +17,7 @@ TEST(Gc, DirtySetsRetainOldTransitions) {
   Gen.addRule("B", {"unknown"});
   for (const ItemSet *State : Gen.graph().liveSets())
     if (State->state() == ItemSetState::Dirty) {
-      EXPECT_FALSE(State->oldTransitions().empty())
+      EXPECT_FALSE(Gen.graph().oldTransitions(State).empty())
           << "dirty sets keep their history for DECR-REFCOUNT";
     }
 }
@@ -132,9 +132,9 @@ TEST(Gc, RefcountsRemainConsistentAfterCollection) {
   for (const ItemSet *State : Gen.graph().liveSets()) {
     uint32_t Expected = State == Gen.graph().startSet() ? 1 : 0;
     for (const ItemSet *From : Gen.graph().liveSets()) {
-      for (const ItemSet::Transition &T : From->transitions())
+      for (ItemSet::Transition T : Gen.graph().transitions(From))
         Expected += T.Target == State;
-      for (const ItemSet::Transition &T : From->oldTransitions())
+      for (ItemSet::Transition T : Gen.graph().oldTransitions(From))
         Expected += T.Target == State;
     }
     EXPECT_EQ(State->refCount(), Expected) << "set " << State->id();

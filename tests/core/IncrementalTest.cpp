@@ -47,17 +47,17 @@ TEST(Incremental, Fig65ReExpansionReconnectsAndExtends) {
   Graph.actions(Graph.startSet(), G.symbols().lookup("unknown"));
   EXPECT_EQ(Gen.stats().ReExpansions, 1u);
   const ItemSet *S0 = Graph.startSet();
-  ASSERT_EQ(S0->transitions().size(), 4u) << "B, true, false, unknown";
+  ASSERT_EQ(Graph.transitions(S0).size(), 4u) << "B, true, false, unknown";
   const ItemSet *UnknownTarget = nullptr;
-  for (const ItemSet::Transition &T : S0->transitions())
+  for (const ItemSet::Transition &T : Graph.transitions(S0))
     if (T.Label == G.symbols().lookup("unknown"))
       UnknownTarget = T.Target;
   ASSERT_NE(UnknownTarget, nullptr);
-  ASSERT_EQ(UnknownTarget->kernel().size(), 1u);
-  EXPECT_EQ(itemToString(UnknownTarget->kernel()[0], G),
+  ASSERT_EQ(Graph.kernel(UnknownTarget).size(), 1u);
+  EXPECT_EQ(itemToString(Graph.kernel(UnknownTarget)[0], G),
             "B ::= unknown \xE2\x80\xA2");
   // Old sets 1, 2, 3 were reused, not regenerated.
-  for (const ItemSet::Transition &T : S0->transitions())
+  for (const ItemSet::Transition &T : Graph.transitions(S0))
     if (T.Label != G.symbols().lookup("unknown")) {
       EXPECT_LT(T.Target->id(), 8u) << "pre-modification sets are reused";
     }
@@ -94,7 +94,7 @@ TEST(Incremental, Fig63AddRuleSplitsSharedBState) {
   ItemSet *CState = Graph.gotoState(S0, G.symbols().lookup("c"));
   ItemSet *AState = Graph.gotoState(S0, G.symbols().lookup("a"));
   auto BTarget = [&](ItemSet *From) -> const ItemSet * {
-    for (const ItemSet::Transition &T : From->transitions())
+    for (const ItemSet::Transition &T : Graph.transitions(From))
       if (T.Label == G.symbols().lookup("b"))
         return T.Target;
     return nullptr;
@@ -104,8 +104,8 @@ TEST(Incremental, Fig63AddRuleSplitsSharedBState) {
   ASSERT_NE(CB, nullptr);
   ASSERT_NE(AB, nullptr);
   EXPECT_NE(CB, AB) << "Fig 6.3: the shared b-state must split";
-  EXPECT_EQ(CB->kernel().size(), 1u);
-  EXPECT_EQ(AB->kernel().size(), 2u) << "{B ::= b•, A ::= b•}";
+  EXPECT_EQ(Graph.kernel(CB).size(), 1u);
+  EXPECT_EQ(Graph.kernel(AB).size(), 2u) << "{B ::= b•, A ::= b•}";
   EXPECT_LT(CB->id(), 10u) << "set 7 is not affected by this modification";
   // Both sentences of the extended language parse.
   EXPECT_TRUE(Gen.recognize(sentence(G, "a b")));

@@ -128,7 +128,7 @@ TEST(Lazy, KernelsAreKeptAfterExpansion) {
   Ipg Gen(G);
   Gen.generateAll();
   for (const ItemSet *State : Gen.graph().liveSets())
-    EXPECT_FALSE(State->kernel().empty());
+    EXPECT_FALSE(Gen.graph().kernel(State).empty());
 }
 
 // Property: for random grammars, the lazily generated reachable graph

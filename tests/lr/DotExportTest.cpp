@@ -67,7 +67,7 @@ TEST(DotExport, ExpansionStatesAreColorCoded) {
   Graph.ensureComplete(Graph.startSet());
   // Complete the "true" successor too: it has no B-transition, so the
   // MODIFY below leaves it green while the start set goes dirty.
-  for (const ItemSet::Transition &T : Graph.startSet()->transitions())
+  for (ItemSet::Transition T : Graph.transitions(Graph.startSet()))
     if (T.Label == G.symbols().lookup("true"))
       Graph.ensureComplete(T.Target);
   Graph.addRule(G.symbols().intern("B"), {G.symbols().intern("unknown")});

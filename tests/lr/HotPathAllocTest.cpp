@@ -141,7 +141,7 @@ TEST(HotPathAlloc, SteadyStateActionAndGotoQueriesAreAllocationFree) {
       Terminals.push_back(Sym);
   std::vector<std::pair<ItemSet *, SymbolId>> Gotos;
   for (ItemSet *State : Sets)
-    for (const ItemSet::Transition &T : State->transitions())
+    for (ItemSet::Transition T : Graph.transitions(State))
       if (G.symbols().isNonterminal(T.Label))
         Gotos.emplace_back(State, T.Label);
   ASSERT_FALSE(Sets.empty());

@@ -11,16 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace ipg;
 using namespace ipg::testing;
 
 namespace {
 
 /// Finds the unique transition for \p Label or fails.
-const ItemSet *follow(const ItemSet *State, const Grammar &G,
+const ItemSet *follow(const ItemSetGraph &Graph, const ItemSet *State,
                       const std::string &Label) {
+  const Grammar &G = Graph.grammar();
   SymbolId Sym = G.symbols().lookup(Label);
-  for (const ItemSet::Transition &T : State->transitions())
+  for (ItemSet::Transition T : Graph.transitions(State))
     if (T.Label == Sym)
       return T.Target;
   ADD_FAILURE() << "no transition on " << Label << " from set "
@@ -34,7 +37,7 @@ TEST(Closure, ExtendsKernelWithPredictedRules) {
   Grammar G;
   buildBooleans(G);
   ItemSetGraph Graph(G);
-  std::vector<Item> Cl = Graph.closure(Graph.startSet()->kernel());
+  std::vector<Item> Cl = Graph.closure(Graph.kernel(Graph.startSet()));
   // Kernel {START ::= •B} plus the four B rules.
   ASSERT_EQ(Cl.size(), 5u);
   EXPECT_EQ(itemToString(Cl[0], G), "START ::= \xE2\x80\xA2 B");
@@ -68,10 +71,10 @@ TEST(Fig41, StartStateStructure) {
   ItemSetGraph Graph(G);
   Graph.generateAll();
   const ItemSet *S0 = Graph.startSet();
-  ASSERT_EQ(S0->kernel().size(), 1u);
-  EXPECT_EQ(itemToString(S0->kernel()[0], G), "START ::= \xE2\x80\xA2 B");
-  EXPECT_EQ(S0->transitions().size(), 3u) << "B, true, false";
-  EXPECT_TRUE(S0->reductions().empty());
+  ASSERT_EQ(Graph.kernel(S0).size(), 1u);
+  EXPECT_EQ(itemToString(Graph.kernel(S0)[0], G), "START ::= \xE2\x80\xA2 B");
+  EXPECT_EQ(Graph.transitions(S0).size(), 3u) << "B, true, false";
+  EXPECT_TRUE(Graph.reductions(S0).empty());
   EXPECT_FALSE(S0->isAccepting());
 }
 
@@ -82,22 +85,22 @@ TEST(Fig41, AcceptAndBinaryOperatorStates) {
   Graph.generateAll();
   const ItemSet *S0 = Graph.startSet();
 
-  const ItemSet *S1 = follow(S0, G, "B");
+  const ItemSet *S1 = follow(Graph, S0, "B");
   ASSERT_NE(S1, nullptr);
   EXPECT_TRUE(S1->isAccepting()) << "START ::= B• yields ($ accept)";
-  EXPECT_EQ(S1->kernel().size(), 3u)
+  EXPECT_EQ(Graph.kernel(S1).size(), 3u)
       << "START ::= B•, B ::= B•or B, B ::= B•and B";
-  EXPECT_EQ(S1->transitions().size(), 2u) << "or and and";
+  EXPECT_EQ(Graph.transitions(S1).size(), 2u) << "or and and";
 
-  const ItemSet *S2 = follow(S0, G, "true");
+  const ItemSet *S2 = follow(Graph, S0, "true");
   ASSERT_NE(S2, nullptr);
-  ASSERT_EQ(S2->reductions().size(), 1u);
-  EXPECT_EQ(G.ruleToString(S2->reductions()[0]), "B ::= true");
+  ASSERT_EQ(Graph.reductions(S2).size(), 1u);
+  EXPECT_EQ(G.ruleToString(Graph.reductions(S2)[0]), "B ::= true");
 
-  const ItemSet *S3 = follow(S0, G, "false");
+  const ItemSet *S3 = follow(Graph, S0, "false");
   ASSERT_NE(S3, nullptr);
-  ASSERT_EQ(S3->reductions().size(), 1u);
-  EXPECT_EQ(G.ruleToString(S3->reductions()[0]), "B ::= false");
+  ASSERT_EQ(Graph.reductions(S3).size(), 1u);
+  EXPECT_EQ(G.ruleToString(Graph.reductions(S3)[0]), "B ::= false");
 }
 
 TEST(Fig41, OrAndStatesShareTerminalTargets) {
@@ -106,23 +109,23 @@ TEST(Fig41, OrAndStatesShareTerminalTargets) {
   ItemSetGraph Graph(G);
   Graph.generateAll();
   const ItemSet *S0 = Graph.startSet();
-  const ItemSet *S1 = follow(S0, G, "B");
-  const ItemSet *S4 = follow(S1, G, "or");
-  const ItemSet *S5 = follow(S1, G, "and");
+  const ItemSet *S1 = follow(Graph, S0, "B");
+  const ItemSet *S4 = follow(Graph, S1, "or");
+  const ItemSet *S5 = follow(Graph, S1, "and");
   ASSERT_NE(S4, nullptr);
   ASSERT_NE(S5, nullptr);
   // Both re-use the true/false item sets 2 and 3 (sharing in the graph).
-  EXPECT_EQ(follow(S4, G, "true"), follow(S0, G, "true"));
-  EXPECT_EQ(follow(S5, G, "false"), follow(S0, G, "false"));
+  EXPECT_EQ(follow(Graph, S4, "true"), follow(Graph, S0, "true"));
+  EXPECT_EQ(follow(Graph, S5, "false"), follow(Graph, S0, "false"));
   // Their B-targets 6 and 7 reduce the binary rules and keep or/and edges.
-  const ItemSet *S6 = follow(S4, G, "B");
-  ASSERT_EQ(S6->reductions().size(), 1u);
-  EXPECT_EQ(G.ruleToString(S6->reductions()[0]), "B ::= B or B");
-  EXPECT_EQ(follow(S6, G, "or"), S4);
-  EXPECT_EQ(follow(S6, G, "and"), S5);
-  const ItemSet *S7 = follow(S5, G, "B");
-  ASSERT_EQ(S7->reductions().size(), 1u);
-  EXPECT_EQ(G.ruleToString(S7->reductions()[0]), "B ::= B and B");
+  const ItemSet *S6 = follow(Graph, S4, "B");
+  ASSERT_EQ(Graph.reductions(S6).size(), 1u);
+  EXPECT_EQ(G.ruleToString(Graph.reductions(S6)[0]), "B ::= B or B");
+  EXPECT_EQ(follow(Graph, S6, "or"), S4);
+  EXPECT_EQ(follow(Graph, S6, "and"), S5);
+  const ItemSet *S7 = follow(Graph, S5, "B");
+  ASSERT_EQ(Graph.reductions(S7).size(), 1u);
+  EXPECT_EQ(G.ruleToString(Graph.reductions(S7)[0]), "B ::= B and B");
 }
 
 TEST(Fig41, ActionsMatchTableRow0) {
@@ -144,9 +147,9 @@ TEST(Fig41, ConflictRow6HasShiftAndReduce) {
   ItemSetGraph Graph(G);
   Graph.generateAll();
   ItemSet *S0 = Graph.startSet();
-  ItemSet *S1 = const_cast<ItemSet *>(follow(S0, G, "B"));
-  ItemSet *S4 = const_cast<ItemSet *>(follow(S1, G, "or"));
-  ItemSet *S6 = const_cast<ItemSet *>(follow(S4, G, "B"));
+  ItemSet *S1 = const_cast<ItemSet *>(follow(Graph, S0, "B"));
+  ItemSet *S4 = const_cast<ItemSet *>(follow(Graph, S1, "or"));
+  ItemSet *S6 = const_cast<ItemSet *>(follow(Graph, S4, "B"));
   // Fig 4.1(b): state 6 on 'or' offers both s4 and r2 — the LR(0)
   // ambiguity the parallel parser explores.
   std::vector<LrAction> Actions = Graph.actions(S6, G.symbols().lookup("or"));
@@ -161,7 +164,7 @@ TEST(Goto, ReturnsUniqueNonterminalTarget) {
   Graph.generateAll();
   ItemSet *S0 = Graph.startSet();
   EXPECT_EQ(Graph.gotoState(S0, G.symbols().lookup("B")),
-            follow(S0, G, "B"));
+            follow(Graph, S0, "B"));
 }
 
 TEST(GotoDeathTest, MissingTransitionAbortsInEveryBuildType) {
@@ -208,14 +211,14 @@ TEST(ActionsView, DecomposedAccessorsAgreeWithFig41) {
   ItemSetGraph Graph(G);
   Graph.generateAll();
   ItemSet *S0 = Graph.startSet();
-  ItemSet *S1 = const_cast<ItemSet *>(follow(S0, G, "B"));
-  ItemSet *S4 = const_cast<ItemSet *>(follow(S1, G, "or"));
-  ItemSet *S6 = const_cast<ItemSet *>(follow(S4, G, "B"));
+  ItemSet *S1 = const_cast<ItemSet *>(follow(Graph, S0, "B"));
+  ItemSet *S4 = const_cast<ItemSet *>(follow(Graph, S1, "or"));
+  ItemSet *S6 = const_cast<ItemSet *>(follow(Graph, S4, "B"));
 
   // Row 0 on 'true': pure shift.
   LrActionsView Shift = Graph.actionsView(S0, G.symbols().lookup("true"));
   EXPECT_EQ(Shift.numReductions(), 0u);
-  EXPECT_EQ(Shift.shiftTarget(), follow(S0, G, "true"));
+  EXPECT_EQ(Shift.shiftTarget(), follow(Graph, S0, "true"));
   EXPECT_FALSE(Shift.accepts());
 
   // Row 1 on '$': accept only.
@@ -238,10 +241,10 @@ TEST(ActionIndex, TracksTransitionsThroughLifecycle) {
   ItemSetGraph Graph(G);
   Graph.generateAll();
 
-  auto IndexMatches = [](const ItemSet *State) {
-    ASSERT_EQ(State->actionLabels().size(), State->transitions().size());
-    for (size_t I = 0; I < State->transitions().size(); ++I)
-      EXPECT_EQ(State->actionLabels()[I], State->transitions()[I].Label);
+  auto IndexMatches = [&Graph](const ItemSet *State) {
+    ASSERT_EQ(Graph.actionLabels(State).size(), Graph.transitions(State).size());
+    for (size_t I = 0; I < Graph.transitions(State).size(); ++I)
+      EXPECT_EQ(Graph.actionLabels(State)[I], Graph.transitions(State)[I].Label);
   };
   for (const ItemSet *State : Graph.liveSets())
     IndexMatches(State);
@@ -251,7 +254,7 @@ TEST(ActionIndex, TracksTransitionsThroughLifecycle) {
   Graph.addRule(B, {G.symbols().intern("maybe")});
   for (const ItemSet *State : Graph.liveSets()) {
     if (State->state() == ItemSetState::Dirty) {
-      EXPECT_TRUE(State->actionLabels().empty());
+      EXPECT_TRUE(Graph.actionLabels(State).empty());
     }
   }
 
@@ -289,7 +292,7 @@ TEST(ItemSetGraph, RefCountsCountIncomingTransitions) {
   for (const ItemSet *State : Graph.liveSets()) {
     uint32_t Expected = State == Graph.startSet() ? 1 : 0;
     for (const ItemSet *From : Graph.liveSets())
-      for (const ItemSet::Transition &T : From->transitions())
+      for (const ItemSet::Transition &T : Graph.transitions(From))
         Expected += T.Target == State;
     EXPECT_EQ(State->refCount(), Expected) << "set " << State->id();
   }
@@ -301,7 +304,7 @@ TEST(ItemSetGraph, KernelIndexFindsEverySet) {
   ItemSetGraph Graph(G);
   Graph.generateAll();
   for (const ItemSet *State : Graph.liveSets())
-    EXPECT_EQ(Graph.findByKernel(State->kernel()), State);
+    EXPECT_EQ(Graph.findByKernel(Graph.kernel(State)), State);
 }
 
 TEST(ItemSetGraph, EpsilonRuleReducesInPredictingState) {
@@ -312,7 +315,7 @@ TEST(ItemSetGraph, EpsilonRuleReducesInPredictingState) {
   // The start state predicts S ::= • which is immediately complete, so the
   // start state itself carries the ε reduction.
   bool Found = false;
-  for (RuleId Rule : Graph.startSet()->reductions())
+  for (RuleId Rule : Graph.reductions(Graph.startSet()))
     Found |= G.rule(Rule).Rhs.empty();
   EXPECT_TRUE(Found);
 }
@@ -322,9 +325,71 @@ TEST(GraphPrinter, RendersKernelAndEdges) {
   buildBooleans(G);
   ItemSetGraph Graph(G);
   Graph.generateAll();
-  std::string Text = itemSetToString(*Graph.startSet(), G);
+  std::string Text = itemSetToString(*Graph.startSet(), Graph);
   EXPECT_NE(Text.find("START ::= \xE2\x80\xA2 B"), std::string::npos);
   EXPECT_NE(Text.find("--true--> "), std::string::npos);
   std::string All = graphToString(Graph);
   EXPECT_NE(All.find("--$--> accept"), std::string::npos);
+}
+
+TEST(ItemSetGraph, PoolGrowthKeepsSpansAndViewsStable) {
+  // PoolArena's lifetime contract: elements never move, so a view taken
+  // from an early set stays valid — same data pointer, same contents —
+  // after EXPAND-driven growth has appended every other set's kernels and
+  // edges behind it. Sweep random grammars; capture after expanding only
+  // the start set, then force full generation.
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Grammar G;
+    buildRandomGrammar(G, Seed);
+    ItemSetGraph Graph(G);
+    Graph.actions(Graph.startSet(), G.endMarker()); // Expands the start set.
+    ASSERT_EQ(Graph.startSet()->state(), ItemSetState::Complete);
+
+    struct Snapshot {
+      const ItemSet *Set;
+      const Item *KernelData;
+      std::vector<Item> Kernel;
+      bool Complete;
+      const SymbolId *LabelData = nullptr; // Only set for Complete sets.
+      std::vector<std::pair<SymbolId, uint32_t>> Edges;
+    };
+    std::vector<Snapshot> Caps;
+    for (const ItemSet *Set : Graph.liveSets()) {
+      Snapshot Cap;
+      Cap.Set = Set;
+      KernelView K = Graph.kernel(Set);
+      Cap.KernelData = K.data();
+      Cap.Kernel.assign(K.begin(), K.end());
+      Cap.Complete = Set->state() == ItemSetState::Complete;
+      if (Cap.Complete) {
+        Cap.LabelData = Graph.actionLabels(Set).data();
+        for (ItemSet::Transition T : Graph.transitions(Set))
+          Cap.Edges.emplace_back(T.Label, T.Target->id());
+      }
+      Caps.push_back(std::move(Cap));
+    }
+    size_t LiveBefore = Graph.numLive();
+    Graph.generateAll();
+    ASSERT_GE(Graph.numLive(), LiveBefore);
+
+    for (const Snapshot &Cap : Caps) {
+      KernelView K = Graph.kernel(Cap.Set);
+      EXPECT_EQ(K.data(), Cap.KernelData)
+          << "seed " << Seed << " set " << Cap.Set->id()
+          << ": kernel span moved under growth";
+      ASSERT_EQ(K.size(), Cap.Kernel.size());
+      EXPECT_TRUE(std::equal(K.begin(), K.end(), Cap.Kernel.begin()));
+      if (!Cap.Complete)
+        continue;
+      EXPECT_EQ(Graph.actionLabels(Cap.Set).data(), Cap.LabelData)
+          << "seed " << Seed << " set " << Cap.Set->id()
+          << ": label span moved under growth";
+      TransitionRange Edges = Graph.transitions(Cap.Set);
+      ASSERT_EQ(Edges.size(), Cap.Edges.size());
+      for (size_t I = 0; I < Edges.size(); ++I) {
+        EXPECT_EQ(Edges[I].Label, Cap.Edges[I].first);
+        EXPECT_EQ(Edges[I].Target->id(), Cap.Edges[I].second);
+      }
+    }
+  }
 }

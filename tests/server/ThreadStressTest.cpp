@@ -157,6 +157,111 @@ TEST(ThreadStress, GrowthBetweenGlrLayers) {
   EXPECT_EQ(Failures.load(), 0);
 }
 
+TEST(ThreadStress, PoolGrowthKeepsSpansStableUnderConcurrentExpanders) {
+  // The flat-arena lifetime contract under fire: spans captured from
+  // already-Complete sets must keep reading the same bytes while the
+  // server's concurrent expanders append thousands of pool elements
+  // behind them (PoolArena reserves address space up front — growth never
+  // moves existing elements, so the captured views race with nothing).
+  Grammar G;
+  buildPalindromes(G);
+  GrammarBuilder B(G);
+  B.rule("E", {"E", "+", "T"});
+  B.rule("E", {"T"});
+  B.rule("T", {"T", "*", "F"});
+  B.rule("T", {"F"});
+  B.rule("F", {"(", "E", ")"});
+  B.rule("F", {"id"});
+  B.rule("START", {"E"});
+
+  GrammarServer Server(G);
+  const Grammar &Served = Server.epoch()->grammar();
+
+  // Warm just the arithmetic corner of the shared graph.
+  ParseSession Warm = Server.openSession();
+  ASSERT_TRUE(Warm.recognize(sentence(Served, "id + id")));
+  const ItemSetGraph &Graph = Warm.epoch().graph();
+
+  struct Captured {
+    const ItemSet *Set;
+    const Item *KernelData;
+    std::vector<Item> Kernel;
+    std::vector<std::pair<SymbolId, uint32_t>> Edges;
+  };
+  std::vector<Captured> Caps;
+  for (const ItemSet *Set : Graph.liveSets()) {
+    if (Set->state() != ItemSetState::Complete)
+      continue;
+    Captured Cap;
+    Cap.Set = Set;
+    KernelView K = Graph.kernel(Set);
+    Cap.KernelData = K.data();
+    Cap.Kernel.assign(K.begin(), K.end());
+    for (ItemSet::Transition T : Graph.transitions(Set))
+      Cap.Edges.emplace_back(T.Label, T.Target->id());
+    Caps.push_back(std::move(Cap));
+  }
+  ASSERT_FALSE(Caps.empty());
+
+  // Growers drive palindrome expansion (a disjoint region of the graph,
+  // so none of the captured Complete sets is ever re-expanded) while the
+  // checker thread re-derives every captured view mid-growth.
+  std::vector<std::string> Left;
+  for (int I = 0; I < 24; ++I)
+    Left.push_back(I % 3 ? "a" : "b");
+  std::vector<std::string> Spellings = Left;
+  Spellings.push_back("a");
+  Spellings.insert(Spellings.end(), Left.rbegin(), Left.rend());
+  std::vector<SymbolId> Palindrome = tokens(Served, Spellings);
+
+  std::atomic<bool> Done{false};
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Growers;
+  for (unsigned T = 0; T < std::max(2u, stressThreads() - 1); ++T) {
+    Growers.emplace_back([&] {
+      ParseSession S = Server.openSession();
+      for (int Round = 0; Round < 6; ++Round)
+        if (!S.recognize(Palindrome))
+          Failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::thread Checker([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      for (const Captured &Cap : Caps) {
+        KernelView K = Graph.kernel(Cap.Set);
+        if (K.data() != Cap.KernelData || K.size() != Cap.Kernel.size() ||
+            !std::equal(K.begin(), K.end(), Cap.Kernel.begin())) {
+          Failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        TransitionRange Edges = Graph.transitions(Cap.Set);
+        if (Edges.size() != Cap.Edges.size()) {
+          Failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (size_t I = 0; I < Edges.size(); ++I)
+          if (Edges[I].Label != Cap.Edges[I].first ||
+              Edges[I].Target->id() != Cap.Edges[I].second)
+            Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::thread &T : Growers)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Checker.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Growth actually happened behind the captured spans, and they still
+  // read the original bytes afterwards.
+  for (const Captured &Cap : Caps) {
+    EXPECT_EQ(Graph.kernel(Cap.Set).data(), Cap.KernelData);
+    EXPECT_TRUE(std::equal(Graph.kernel(Cap.Set).begin(),
+                           Graph.kernel(Cap.Set).end(), Cap.Kernel.begin()));
+  }
+  EXPECT_GT(Graph.numLive(), Caps.size());
+}
+
 TEST(ThreadStress, MixedParseModifyMatchesGroundTruthPerGeneration) {
   Grammar G;
   RandomGrammarCase Case = buildRandomGrammar(G, /*Seed=*/11);
