@@ -66,13 +66,19 @@ public:
                   std::initializer_list<std::string_view> Rhs);
 
   /// Parses \p Input with the Tomita parser, growing the table on demand.
-  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+  GlrResult parse(TokenView Input, Forest &F) {
     return Parser.parse(Input, F);
   }
 
   /// Recognition only (the forest is still built, as in §7's measurements).
+  bool recognize(TokenView Input) { return Parser.recognize(Input); }
+
+  // Thin forwarding overloads for pre-TokenView call sites.
+  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+    return parse(TokenView(Input), F);
+  }
   bool recognize(const std::vector<SymbolId> &Input) {
-    return Parser.recognize(Input);
+    return recognize(TokenView(Input));
   }
 
   /// Forces full generation (the conventional PG behaviour of §4);
@@ -90,6 +96,17 @@ public:
   /// written. Serialization is byte-deterministic in both formats: the
   /// same graph saves to identical bytes in every build type.
   Expected<size_t> saveSnapshot(const std::string &Path,
+                                SnapshotFormat Format =
+                                    SnapshotFormat::V2) const;
+
+  /// As above, appending \p Extras as opaque tagged sections behind the
+  /// GRPH payload (core/Snapshot.h: the carrier of suspended parses and
+  /// future riders). Extras are covered by the payload checksum but absent
+  /// from the header's section table, so pre-extra v2 readers load the
+  /// file unchanged. V1 cannot carry extras (its loader rejects trailing
+  /// bytes); requesting it with a non-empty \p Extras is an error.
+  Expected<size_t> saveSnapshot(const std::string &Path,
+                                const std::vector<SnapshotExtraSection> &Extras,
                                 SnapshotFormat Format =
                                     SnapshotFormat::V2) const;
 

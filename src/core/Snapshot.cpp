@@ -373,6 +373,13 @@ loadV2Container(Grammar &G, ItemSetGraph &Graph,
 
 Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
                                    SnapshotFormat Format) const {
+  return saveSnapshot(Path, std::vector<SnapshotExtraSection>(), Format);
+}
+
+Expected<size_t>
+Ipg::saveSnapshot(const std::string &Path,
+                  const std::vector<SnapshotExtraSection> &Extras,
+                  SnapshotFormat Format) const {
   const Grammar &G = Graph.grammar();
   IPG_TRACE_SPAN(Sp, Format == SnapshotFormat::V1 ? "snap.save.v1"
                                                   : "snap.save.v2");
@@ -380,6 +387,8 @@ Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
   SnapMetrics::get().Saves.bump();
 
   if (Format == SnapshotFormat::V1) {
+    if (!Extras.empty())
+      return Error("extra sections require the v2 snapshot format");
     ByteWriter Payload;
     size_t Gram = Payload.beginSection(SnapshotGramTag);
     writeGrammarSnapshot(G, Payload);
@@ -427,6 +436,18 @@ Expected<size_t> Ipg::saveSnapshot(const std::string &Path,
   File.patchU64(SectionTableOff + 16, GrphOff);
   File.patchU64(SectionTableOff + 24, GrphLen);
 
+  // Extras trail the section table's world: each is 8-aligned and
+  // self-framed (tag, reserved, length, bytes), found by walking from the
+  // end of GRPH. They land before the checksum patches so the payload
+  // checksum covers them.
+  for (const SnapshotExtraSection &Extra : Extras) {
+    File.alignTo(8);
+    File.writeU32(Extra.Tag);
+    File.writeU32(0);
+    File.writeU64(Extra.Bytes.size());
+    File.writeBytes(Extra.Bytes.data(), Extra.Bytes.size());
+  }
+
   File.patchU64(PayloadChkOff,
                 hashBytesFast(File.buffer().data() + SnapshotV2HeaderBytes,
                               File.size() - SnapshotV2HeaderBytes));
@@ -460,4 +481,56 @@ Expected<SnapshotLoadResult> Ipg::loadSnapshot(const std::string &Path) {
     return Error("unsupported snapshot version (expected ipg-snap-v1 or "
                  "ipg-snap-v2)");
   return Error("not an ipg snapshot (bad magic)");
+}
+
+Expected<std::vector<uint8_t>>
+ipg::readSnapshotExtraSection(const std::string &Path, uint32_t Tag) {
+  Expected<MappedFile> MapOrErr = MappedFile::open(Path);
+  if (!MapOrErr)
+    return MapOrErr.error();
+  MappedFile Mapping = MapOrErr.take();
+  const uint8_t *Data = Mapping.data();
+  const size_t Size = Mapping.size();
+  const size_t MagicLen = std::strlen(SnapshotMagicV2);
+  if (Size < SnapshotV2HeaderBytes ||
+      std::memcmp(Data, SnapshotMagicV2, MagicLen) != 0 || Data[11] != 0)
+    return Error("not an ipg-snap-v2 snapshot (extra sections are v2-only)");
+  FlatView File(Data, Size);
+
+  Expected<uint64_t> HeaderChk = File.u64At(72);
+  if (!HeaderChk ||
+      hashBytes(Data, SnapshotV2HeaderChecksumBytes) != *HeaderChk)
+    return Error("snapshot header corrupted (checksum mismatch)");
+  Expected<uint32_t> HeaderBytes = File.u32At(12);
+  Expected<uint64_t> GrphOff = File.u64At(48);
+  Expected<uint64_t> GrphLen = File.u64At(56);
+  Expected<uint64_t> PayloadChk = File.u64At(64);
+  if (!HeaderBytes || !GrphOff || !GrphLen || !PayloadChk ||
+      *HeaderBytes < SnapshotV2HeaderBytes || *HeaderBytes > Size)
+    return Error("malformed snapshot header");
+  if (*GrphOff < *HeaderBytes || *GrphOff > Size ||
+      *GrphLen > Size - *GrphOff)
+    return Error("snapshot section out of bounds");
+  // A suspended parse is a one-shot artifact, not a hot cache: whole-file
+  // integrity up front is cheap relative to the resume it gates.
+  if (!payloadChecksumMatches(Data + *HeaderBytes, Size - *HeaderBytes,
+                              *PayloadChk))
+    return Error("snapshot payload corrupted (checksum mismatch)");
+
+  // Walk the 8-aligned extra frames behind GRPH. Unknown tags are skipped
+  // — coexisting riders from newer writers are expected, not errors.
+  uint64_t Off = (*GrphOff + *GrphLen + 7) & ~uint64_t(7);
+  while (Off + 16 <= Size) {
+    Expected<uint32_t> FrameTag = File.u32At(static_cast<size_t>(Off));
+    Expected<uint64_t> FrameLen = File.u64At(static_cast<size_t>(Off) + 8);
+    if (!FrameTag || !FrameLen)
+      return Error("snapshot extra section out of bounds");
+    if (*FrameLen > Size - Off - 16)
+      return Error("snapshot extra section out of bounds");
+    if (*FrameTag == Tag)
+      return std::vector<uint8_t>(Data + Off + 16,
+                                  Data + Off + 16 + *FrameLen);
+    Off = (Off + 16 + *FrameLen + 7) & ~uint64_t(7);
+  }
+  return Error("snapshot has no such extra section");
 }

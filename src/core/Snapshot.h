@@ -98,6 +98,27 @@ enum class SnapshotFormat : uint8_t {
 inline constexpr uint32_t SnapshotGramTag = fourCC('G', 'R', 'A', 'M');
 inline constexpr uint32_t SnapshotGrphTag = fourCC('G', 'R', 'P', 'H');
 
+/// Tag of the suspended-parse section (incremental/ParseSnapshot.h).
+inline constexpr uint32_t SnapshotParsTag = fourCC('P', 'A', 'R', 'S');
+
+/// An opaque tagged section appended after GRPH in an `ipg-snap-v2` file.
+/// Extra sections ride behind the standard payload — readers that do not
+/// know a tag never reach it (the header's section table does not mention
+/// extras), while the payload checksum still covers every byte. Each is
+/// framed 8-aligned as `u32 tag, u32 reserved(0), u64 length, bytes`.
+struct SnapshotExtraSection {
+  uint32_t Tag = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Reads the first extra section tagged \p Tag out of the v2 snapshot at
+/// \p Path, after validating the header checksum and the payload checksum
+/// (extras are loaded rarely and whole-file integrity is cheap insurance
+/// against a truncated or bit-flipped suspended parse). Errors when the
+/// file is not v2, is corrupted, or has no such section.
+Expected<std::vector<uint8_t>>
+readSnapshotExtraSection(const std::string &Path, uint32_t Tag);
+
 /// What Ipg::loadSnapshot did.
 struct SnapshotLoadResult {
   /// The snapshot's active rule set equals the live grammar's — no repair

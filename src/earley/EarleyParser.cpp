@@ -45,7 +45,7 @@ struct SpanTable {
 /// Rebuilds one derivation tree top-down from completed spans.
 class TreeBuilder {
 public:
-  TreeBuilder(const Grammar &G, const std::vector<SymbolId> &Input,
+  TreeBuilder(const Grammar &G, ArrayView<SymbolId> Input,
               const SpanTable &Spans, TreeArena &Arena)
       : G(G), Input(Input), Spans(Spans), Arena(Arena) {}
 
@@ -103,7 +103,7 @@ private:
   }
 
   const Grammar &G;
-  const std::vector<SymbolId> &Input;
+  ArrayView<SymbolId> Input;
   const SpanTable &Spans;
   TreeArena &Arena;
   std::unordered_set<uint64_t> OnStack;
@@ -121,7 +121,7 @@ private:
 /// totals are recomputed once their ancestors settle.
 class DerivationCounter {
 public:
-  DerivationCounter(const Grammar &G, const std::vector<SymbolId> &Input,
+  DerivationCounter(const Grammar &G, ArrayView<SymbolId> Input,
                     const SpanTable &Spans, uint64_t Cap)
       : G(G), Input(Input), Spans(Spans), Cap(Cap),
         SeqMemoUsable(Input.size() < (1u << 18)) {}
@@ -219,7 +219,7 @@ private:
   }
 
   const Grammar &G;
-  const std::vector<SymbolId> &Input;
+  ArrayView<SymbolId> Input;
   const SpanTable &Spans;
   const uint64_t Cap;
   const bool SeqMemoUsable;
@@ -232,9 +232,8 @@ private:
 
 } // namespace
 
-EarleyResult EarleyParser::run(const std::vector<SymbolId> &Input,
-                               TreeArena *Arena, uint64_t *TreeCount,
-                               uint64_t Cap) {
+EarleyResult EarleyParser::run(ArrayView<SymbolId> Input, TreeArena *Arena,
+                               uint64_t *TreeCount, uint64_t Cap) {
   EarleyResult Result;
   GrammarAnalysis Analysis(G); // Recomputed per parse: grammar-driven.
   const uint32_t N = static_cast<uint32_t>(Input.size());
@@ -314,19 +313,23 @@ EarleyResult EarleyParser::run(const std::vector<SymbolId> &Input,
   return Result;
 }
 
-EarleyResult EarleyParser::parse(const std::vector<SymbolId> &Input,
-                                 TreeArena &Arena) {
-  return run(Input, &Arena);
+EarleyResult EarleyParser::parse(TokenView Input, TreeArena &Arena) {
+  return run(ArrayView<SymbolId>(Input.data() + Input.cursor(),
+                                 Input.remaining()),
+             &Arena);
 }
 
-bool EarleyParser::recognize(const std::vector<SymbolId> &Input) {
-  return run(Input, nullptr).Accepted;
+bool EarleyParser::recognize(TokenView Input) {
+  return run(ArrayView<SymbolId>(Input.data() + Input.cursor(),
+                                 Input.remaining()),
+             nullptr)
+      .Accepted;
 }
 
-uint64_t EarleyParser::countDerivations(const std::vector<SymbolId> &Input,
-                                        uint64_t Cap) {
+uint64_t EarleyParser::countDerivations(TokenView Input, uint64_t Cap) {
   Cap = std::min<uint64_t>(Cap, ~0ull >> 1); // satAdd: Cap+Cap must not wrap.
   uint64_t Count = 0;
-  run(Input, nullptr, &Count, Cap);
+  run(ArrayView<SymbolId>(Input.data() + Input.cursor(), Input.remaining()),
+      nullptr, &Count, Cap);
   return Count;
 }

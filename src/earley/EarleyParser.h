@@ -21,6 +21,7 @@
 
 #include "grammar/Analyses.h"
 #include "grammar/Tree.h"
+#include "support/TokenView.h"
 
 #include <vector>
 
@@ -43,19 +44,31 @@ class EarleyParser {
 public:
   explicit EarleyParser(const Grammar &G) : G(G) {}
 
-  /// Parses \p Input and builds a tree in \p Arena (any one derivation).
-  EarleyResult parse(const std::vector<SymbolId> &Input, TreeArena &Arena);
+  /// Parses \p Input (cursor to end) and builds a tree in \p Arena (any
+  /// one derivation).
+  EarleyResult parse(TokenView Input, TreeArena &Arena);
 
   /// Recognition only.
-  bool recognize(const std::vector<SymbolId> &Input);
+  bool recognize(TokenView Input);
 
   /// Counts the distinct derivation trees of \p Input, saturating at
   /// \p Cap. Cyclic derivations (a nonterminal deriving itself over the
   /// same span) have infinitely many trees and also count as \p Cap, the
   /// same convention as Forest::countTrees so the two engines can be
   /// differentially compared. Returns 0 when the input is rejected.
+  uint64_t countDerivations(TokenView Input, uint64_t Cap = ~0ull >> 1);
+
+  // Thin forwarding overloads for pre-TokenView call sites.
+  EarleyResult parse(const std::vector<SymbolId> &Input, TreeArena &Arena) {
+    return parse(TokenView(Input), Arena);
+  }
+  bool recognize(const std::vector<SymbolId> &Input) {
+    return recognize(TokenView(Input));
+  }
   uint64_t countDerivations(const std::vector<SymbolId> &Input,
-                            uint64_t Cap = ~0ull >> 1);
+                            uint64_t Cap = ~0ull >> 1) {
+    return countDerivations(TokenView(Input), Cap);
+  }
 
 private:
   struct ChartItem {
@@ -68,7 +81,7 @@ private:
     }
   };
 
-  EarleyResult run(const std::vector<SymbolId> &Input, TreeArena *Arena,
+  EarleyResult run(ArrayView<SymbolId> Input, TreeArena *Arena,
                    uint64_t *TreeCount = nullptr, uint64_t Cap = 0);
 
   const Grammar &G;

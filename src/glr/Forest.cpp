@@ -16,16 +16,30 @@ static uint64_t spanKey(SymbolId Sym, uint32_t Start, uint32_t End,
 
 ForestNode *Forest::make(SymbolId Sym, uint32_t Start, uint32_t End,
                          bool IsToken) {
-  Nodes.push_back(ForestNode{Sym, Start, End, IsToken, {}});
+  Nodes.push_back(ForestNode{Sym, Start, End, IsToken, CurEpoch, {}});
   return &Nodes.back();
+}
+
+ForestNode *Forest::restoreNode(SymbolId Sym, uint32_t Start, uint32_t End,
+                                bool IsToken) {
+  return make(Sym, Start, End, IsToken);
+}
+
+void Forest::indexRestored(ForestNode *Node) {
+  Node->Epoch = CurEpoch;
+  Index[spanKey(Node->Sym, Node->Start, Node->End, Node->IsToken)].push_back(
+      Node);
 }
 
 ForestNode *Forest::token(SymbolId Sym, uint32_t Index) {
   uint64_t Key = spanKey(Sym, Index, Index + 1, /*IsToken=*/true);
   std::vector<ForestNode *> &Bucket = this->Index[Key];
   for (ForestNode *Node : Bucket)
-    if (Node->Sym == Sym && Node->Start == Index && Node->IsToken)
+    if (Node->Sym == Sym && Node->Start == Index && Node->IsToken &&
+        validHit(Node)) {
+      Node->Epoch = CurEpoch;
       return Node;
+    }
   ForestNode *Node = make(Sym, Index, Index + 1, /*IsToken=*/true);
   Bucket.push_back(Node);
   return Node;
@@ -38,8 +52,10 @@ ForestNode *Forest::nonterminal(SymbolId Sym, uint32_t Start, uint32_t End) {
   std::vector<ForestNode *> &Bucket = Index[Key];
   for (ForestNode *Node : Bucket)
     if (Node->Sym == Sym && Node->Start == Start && Node->End == End &&
-        !Node->IsToken)
+        !Node->IsToken && validHit(Node)) {
+      Node->Epoch = CurEpoch;
       return Node;
+    }
   ForestNode *Node = make(Sym, Start, End, /*IsToken=*/false);
   Bucket.push_back(Node);
   return Node;
@@ -75,8 +91,11 @@ ForestNode *Forest::derivation(SymbolId Sym, uint32_t Start, uint32_t End,
   for (ForestNode *Node : Bucket)
     if (Node->Sym == Sym && Node->Start == Start && Node->End == End &&
         !Node->IsToken && Node->Alts.size() == 1 &&
-        Node->Alts[0].Rule == Rule && Node->Alts[0].Children == Children)
+        Node->Alts[0].Rule == Rule && Node->Alts[0].Children == Children &&
+        validHit(Node)) {
+      Node->Epoch = CurEpoch;
       return Node;
+    }
   ForestNode *Node = make(Sym, Start, End, /*IsToken=*/false);
   Node->Alts.push_back(ForestNode::Alternative{Rule, Children});
   ++TotalAlternatives;

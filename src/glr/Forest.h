@@ -19,6 +19,7 @@
 #include "grammar/Tree.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
@@ -33,6 +34,11 @@ struct ForestNode {
   uint32_t Start = 0; ///< First token index covered.
   uint32_t End = 0;   ///< One past the last token index covered.
   bool IsToken = false;
+
+  /// Packing-epoch stamp (see Forest::beginEpoch): the edit generation
+  /// this node was created or last revalidated in. 0 for every node of a
+  /// never-edited forest.
+  uint32_t Epoch = 0;
 
   /// One derivation: a rule and one child per right-hand-side symbol.
   struct Alternative {
@@ -89,14 +95,60 @@ public:
   void enumerateTrees(const ForestNode *Root, size_t Limit, TreeArena &Arena,
                       std::vector<TreeNode *> &Out) const;
 
+  //===--------------------------------------------------------------------===//
+  // Edit epochs (incremental/ParseDocument.h).
+  //
+  // After a document edit at token position EditStart, nodes whose span
+  // reaches past EditStart describe the *old* content: the packing lookups
+  // must not find them, or a re-parse would merge fresh derivations into
+  // stale nodes as spurious ambiguity. beginEpoch() advances a generation
+  // stamp and lowers the valid-prefix watermark; a lookup then accepts a
+  // node iff it was made this epoch or lies entirely inside the watermark
+  // prefix (End <= watermark — untouched by every edit since the node's
+  // epoch, because the watermark is the running minimum of edit starts).
+  // The watermark only ever decreases, which can over-invalidate long-ago
+  // prefixes — that costs sharing (a duplicate structurally-identical
+  // node), never correctness.
+  //===--------------------------------------------------------------------===//
+
+  /// Starts a new edit epoch whose damage begins at token \p EditStart.
+  void beginEpoch(uint32_t EditStart) {
+    ++CurEpoch;
+    Watermark = std::min(Watermark, EditStart);
+  }
+  uint32_t epoch() const { return CurEpoch; }
+
+  /// Creates a node bypassing the packing lookup — the suspended-parse
+  /// deserializer and the bounded re-parse's forest graft rebuild nodes
+  /// 1:1 and must keep intentionally-distinct duplicates distinct. The
+  /// node is NOT put in the packing index; call indexRestored() once it
+  /// is complete (a graft that aborts midway must leave no half-built
+  /// node where a later packing lookup could find it). Alternatives are
+  /// attached with addAlternative().
+  ForestNode *restoreNode(SymbolId Sym, uint32_t Start, uint32_t End,
+                          bool IsToken);
+
+  /// Publishes a restoreNode()d node to the packing index (stamped with
+  /// the current epoch) so subsequent derivations pack onto it.
+  void indexRestored(ForestNode *Node);
+
+  /// All nodes ever made, in creation order (serialization walk).
+  const std::deque<ForestNode> &nodes() const { return Nodes; }
+
 private:
   ForestNode *make(SymbolId Sym, uint32_t Start, uint32_t End, bool IsToken);
+  /// Epoch validity of a packing-lookup hit (see beginEpoch).
+  bool validHit(ForestNode *Node) const {
+    return Node->Epoch == CurEpoch || Node->End <= Watermark;
+  }
 
   bool PackNodes;
   std::deque<ForestNode> Nodes;
   std::unordered_map<uint64_t, std::vector<ForestNode *>> Index;
   size_t TotalAlternatives = 0;
   size_t PackedAmbiguities = 0;
+  uint32_t CurEpoch = 0;
+  uint32_t Watermark = ~0u;
 };
 
 } // namespace ipg

@@ -2,278 +2,17 @@
 
 #include "glr/GlrParser.h"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
-
 using namespace ipg;
 
-namespace {
-
-/// One node of the graph-structured stack: an item set plus the input
-/// layer it was created in. Edges point towards the bottom of the stack
-/// and carry the forest node derived over the spanned input.
-struct GssNode {
-  ItemSet *State;
-  uint32_t Layer;
-  bool Processed = false;
-
-  struct Edge {
-    GssNode *Back;
-    ForestNode *Deriv;
-  };
-  std::vector<Edge> Edges;
-
-  bool hasEdge(const GssNode *Back, const ForestNode *Deriv) const {
-    for (const Edge &E : Edges)
-      if (E.Back == Back && E.Deriv == Deriv)
-        return true;
-    return false;
-  }
-};
-
-/// A queued reduction.
-struct PendingReduce {
-  GssNode *From;
-  RuleId Rule;
-};
-
-struct PendingShift {
-  GssNode *From;
-  ItemSet *Target;
-};
-
-} // namespace
-
-GlrResult GlrParser::parse(const std::vector<SymbolId> &Input, Forest &F) {
-  GlrResult Result;
-  Grammar &G = Graph.grammar();
-  const size_t N = Input.size();
-
-  std::deque<GssNode> NodeArena;
-  auto NewNode = [&](ItemSet *State, uint32_t Layer) -> GssNode * {
-    NodeArena.push_back(GssNode{State, Layer, false, {}});
-    ++Result.GssNodes;
-    return &NodeArena.back();
-  };
-
-  // Dense frontier index keyed by item-set id, stamped by layer: "which
-  // node of this layer holds state S" is asked on every reduction path
-  // and every shift, and the flat array answers in O(1) with no hashing,
-  // no per-layer container rebuild and no per-insert allocation (the
-  // prior FindInFrontier was an O(frontier) scan per query). Lazy
-  // expansion can create new item sets mid-parse, so the array grows on
-  // demand. Stamps start at 1; 0 marks a never-touched slot.
-  //
-  // Sizing is driven purely by the ids this parse actually meets — never
-  // by the graph's set count, which another session expanding the shared
-  // graph (server/GrammarServer.h) can grow at any instant. Growth is
-  // amortized (doubling) so a concurrent expander interleaving new ids
-  // with ours cannot force a reallocation per shift.
-  std::vector<std::pair<uint64_t, GssNode *>> ByState;
-  auto FindInLayer = [&](const ItemSet *State,
-                         uint64_t Stamp) -> GssNode * {
-    size_t Id = State->id();
-    if (Id >= ByState.size() || ByState[Id].first != Stamp)
-      return nullptr;
-    return ByState[Id].second;
-  };
-  auto PutInLayer = [&](GssNode *Node, uint64_t Stamp) {
-    size_t Id = Node->State->id();
-    if (Id >= ByState.size())
-      ByState.resize(std::max(Id + 1, ByState.size() * 2), {0, nullptr});
-    ByState[Id] = {Stamp, Node};
-  };
-
-  std::vector<GssNode *> Frontier;
-  GssNode *Root = NewNode(Graph.startSet(), 0);
-  Frontier.push_back(Root);
-  PutInLayer(Root, 1);
-
-  for (size_t Pos = 0; Pos <= N; ++Pos) {
-    SymbolId Token = Pos < N ? Input[Pos] : G.endMarker();
-    const uint64_t CurStamp = Pos + 1;
-
-    std::vector<PendingReduce> Reductions;
-    std::vector<PendingShift> Shifts;
-    std::vector<GssNode *> Queue = Frontier;
-    size_t QueueIdx = 0;
-
-    // Farshi's safety net: a new edge below an already-processed node can
-    // complete reduction paths that were enumerated too early. Instead of
-    // re-enqueueing every processed node's reductions at each such edge
-    // (which grows the queue quadratically in edge insertions), the event
-    // only raises this flag; the fixpoint loop runs one broadcast sweep
-    // per quiescence, so each storm of new edges costs one re-run round.
-    // Edge/alternative dedup makes the re-runs idempotent.
-    bool NeedsBroadcast = false;
-
-    // Performs one queued reduction: enumerate stack paths of the rule's
-    // length, build/pack the forest node per path, and extend the GSS.
-    auto DoReduce = [&](const PendingReduce &PR) {
-      const Rule &R = G.rule(PR.Rule);
-      const size_t M = R.Rhs.size();
-      ++Result.Reductions;
-
-      std::vector<ForestNode *> Deriv(M);
-      auto FinishPath = [&](GssNode *Bottom) {
-        ++Result.ReductionPaths;
-        // Nodes below the frontier were completed in their own layer, but
-        // with lazy generation a goto target created this layer may still
-        // be initial; complete it before GOTO (see header).
-        Graph.ensureComplete(Bottom->State);
-        ItemSet *Target = Graph.gotoState(Bottom->State, R.Lhs);
-        ForestNode *FN = F.derivation(R.Lhs, Bottom->Layer,
-                                      static_cast<uint32_t>(Pos), PR.Rule,
-                                      Deriv);
-
-        GssNode *U = FindInLayer(Target, CurStamp);
-        if (U == nullptr) {
-          U = NewNode(Target, static_cast<uint32_t>(Pos));
-          U->Edges.push_back(GssNode::Edge{Bottom, FN});
-          ++Result.GssEdges;
-          Frontier.push_back(U);
-          PutInLayer(U, CurStamp);
-          Queue.push_back(U);
-          return;
-        }
-        if (U->hasEdge(Bottom, FN))
-          return;
-        U->Edges.push_back(GssNode::Edge{Bottom, FN});
-        ++Result.GssEdges;
-        if (U->Processed)
-          NeedsBroadcast = true;
-      };
-
-      // DFS over stack paths; Remaining counts edges still to follow and
-      // doubles as the child slot (topmost edge = rightmost child).
-      auto Walk = [&](auto &&Self, GssNode *Cur, size_t Remaining) -> void {
-        if (Remaining == 0) {
-          FinishPath(Cur);
-          return;
-        }
-        // Snapshot: edges added during FinishPath recursion must not be
-        // traversed mid-enumeration (the broadcast sweep covers them).
-        size_t NumEdges = Cur->Edges.size();
-        for (size_t I = 0; I < NumEdges; ++I) {
-          Deriv[Remaining - 1] = Cur->Edges[I].Deriv;
-          Self(Self, Cur->Edges[I].Back, Remaining - 1);
-        }
-      };
-
-      if (M == 0)
-        FinishPath(PR.From);
-      else
-        Walk(Walk, PR.From, M);
-    };
-
-    // Fixpoint over node processing, reductions, and (at quiescence) the
-    // Farshi broadcast sweeps.
-    while (QueueIdx < Queue.size() || !Reductions.empty() ||
-           NeedsBroadcast) {
-      if (!Reductions.empty()) {
-        PendingReduce PR = Reductions.back();
-        Reductions.pop_back();
-        DoReduce(PR);
-        continue;
-      }
-      if (QueueIdx >= Queue.size()) {
-        // Quiescent except for a pending broadcast: re-run every
-        // processed node's reductions once over the grown stack. The
-        // states are complete (they were queried when processed), so the
-        // reduction list is read straight off the item set — no repeat
-        // of the (node, token) ACTION query.
-        NeedsBroadcast = false;
-        for (GssNode *Node : Frontier)
-          if (Node->Processed)
-            for (RuleId Rule : Graph.reductions(Node->State))
-              Reductions.push_back(PendingReduce{Node, Rule});
-        continue;
-      }
-      GssNode *Node = Queue[QueueIdx++];
-      if (Node->Processed)
-        continue;
-      Node->Processed = true;
-      // The one ACTION query for this (node, token): an allocation-free
-      // view over the item set's action index.
-      Graph.forEachAction(Node->State, Token, [&](const LrAction &A) {
-        switch (A.Kind) {
-        case LrAction::Shift:
-          Shifts.push_back(PendingShift{Node, A.Target});
-          break;
-        case LrAction::Reduce:
-          Reductions.push_back(PendingReduce{Node, A.Rule});
-          break;
-        case LrAction::Accept:
-          // Resolved after the fixpoint, when the GSS is final.
-          break;
-        }
-      });
-    }
-
-    if (Pos == N) {
-      // Acceptance: enumerate START ::= β• paths back to the root node and
-      // pack them into one START forest node spanning the whole input.
-      for (GssNode *Node : Frontier) {
-        if (!Node->State->isAccepting())
-          continue;
-        for (RuleId RId : Graph.acceptRules(Node->State)) {
-          const Rule &R = G.rule(RId);
-          const size_t M = R.Rhs.size();
-          std::vector<ForestNode *> Deriv(M);
-          auto Walk = [&](auto &&Self, GssNode *Cur, size_t Remaining) -> void {
-            if (Remaining == 0) {
-              if (Cur != Root)
-                return;
-              ForestNode *StartNode = F.derivation(
-                  G.startSymbol(), 0, static_cast<uint32_t>(N), RId, Deriv);
-              if (Result.Root == nullptr)
-                Result.Root = StartNode;
-              Result.Accepted = true;
-              return;
-            }
-            for (const GssNode::Edge &E : Cur->Edges) {
-              Deriv[Remaining - 1] = E.Deriv;
-              Self(Self, E.Back, Remaining - 1);
-            }
-          };
-          Walk(Walk, Node, M);
-        }
-      }
-      if (!Result.Accepted)
-        Result.ErrorIndex = N;
-      return Result;
-    }
-
-    // Shifter: advance every surviving parser over Token in lock-step —
-    // the paper's synchronization of the this-sweep/next-sweep pools. The
-    // next layer's stamp keys its target lookups in the same dense index.
-    std::vector<GssNode *> NextFrontier;
-    const uint64_t NextStamp = Pos + 2;
-    ForestNode *TokenNode = nullptr;
-    for (const PendingShift &S : Shifts) {
-      if (TokenNode == nullptr)
-        TokenNode = F.token(Token, static_cast<uint32_t>(Pos));
-      GssNode *U = FindInLayer(S.Target, NextStamp);
-      if (U == nullptr) {
-        U = NewNode(S.Target, static_cast<uint32_t>(Pos + 1));
-        NextFrontier.push_back(U);
-        PutInLayer(U, NextStamp);
-      }
-      U->Edges.push_back(GssNode::Edge{S.From, TokenNode});
-      ++Result.GssEdges;
-      ++Result.Shifts;
-    }
-    if (NextFrontier.empty()) {
-      Result.ErrorIndex = Pos;
-      return Result;
-    }
-    Frontier = std::move(NextFrontier);
-  }
-  return Result; // Unreachable; the Pos == N branch returns.
+GlrResult GlrParser::parse(TokenView Input, Forest &F) {
+  Engine.begin(F);
+  for (size_t Pos = Input.cursor(), N = Input.size(); Pos < N; ++Pos)
+    if (!Engine.step(Input[Pos]))
+      return Engine.result();
+  return Engine.finish();
 }
 
-bool GlrParser::recognize(const std::vector<SymbolId> &Input) {
+bool GlrParser::recognize(TokenView Input) {
   Forest F;
   return parse(Input, F).Accepted;
 }

@@ -8,18 +8,10 @@
 /// Tomita did in his book" the §7 footnote alludes to; the literal
 /// PAR-PARSE lives in glr/ParParse.h for fidelity tests and ablation.
 ///
-/// The parser queries ACTION/GOTO straight off an ItemSetGraph — one
-/// allocation-free forEachAction per (stack node, token) — so it runs
-/// identically against a conventionally generated, lazily generated or
-/// incrementally repaired graph — the property §5/§6 rely on.
-///
-/// ε-rules and hidden left recursion are handled Farshi-style: when a
-/// reduction adds an edge to an already-processed stack node, a broadcast
-/// flag is raised and — once the worklists drain — every processed node's
-/// reductions are re-run in one sweep over the grown stack. Coalescing
-/// the sweeps at quiescence keeps the reduction queue linear where
-/// per-edge re-enqueueing grew it quadratically; edge/alternative dedup
-/// makes the re-runs idempotent.
+/// The stepping machinery itself lives in glr/GssEngine.h — a resumable
+/// stepper the incremental layer drives token by token. This class is the
+/// one-shot convenience over it: feed a whole TokenView, return the
+/// verdict and forest.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,46 +19,40 @@
 #define IPG_GLR_GLRPARSER_H
 
 #include "glr/Forest.h"
+#include "glr/GssEngine.h"
 #include "lr/ItemSetGraph.h"
+#include "support/TokenView.h"
 
-#include <deque>
 #include <vector>
 
 namespace ipg {
 
-/// Outcome of a GLR parse.
-struct GlrResult {
-  bool Accepted = false;
-  /// Packed START node spanning the whole input; null on rejection.
-  ForestNode *Root = nullptr;
-  /// Token index at which all stacks died; == input size when the end
-  /// marker was rejected.
-  size_t ErrorIndex = 0;
-
-  // Statistics for the measurements and ablations.
-  uint64_t GssNodes = 0;
-  uint64_t GssEdges = 0;
-  uint64_t Shifts = 0;
-  uint64_t Reductions = 0;
-  uint64_t ReductionPaths = 0;
-};
-
 /// Tomita parser over a (possibly still growing) graph of item sets.
 class GlrParser {
 public:
-  explicit GlrParser(ItemSetGraph &Graph) : Graph(Graph) {}
+  explicit GlrParser(ItemSetGraph &Graph) : Engine(Graph) {}
 
-  /// Parses \p Input (terminals, no end marker), building derivations in
-  /// \p F. Expands the item-set graph on demand via ACTION.
-  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F);
+  /// Parses the tokens of \p Input from its cursor to the end (terminals,
+  /// no end marker), building derivations in \p F. Expands the item-set
+  /// graph on demand via ACTION.
+  GlrResult parse(TokenView Input, Forest &F);
 
   /// Convenience: parse and report acceptance only (still builds the
   /// forest, as the paper's measurements do — "the parsers constructed a
   /// parse tree but did not print it").
-  bool recognize(const std::vector<SymbolId> &Input);
+  bool recognize(TokenView Input);
+
+  // Thin forwarding overloads so pre-TokenView vector call sites keep
+  // compiling (and out-of-tree find_package(ipg) consumers).
+  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+    return parse(TokenView(Input), F);
+  }
+  bool recognize(const std::vector<SymbolId> &Input) {
+    return recognize(TokenView(Input));
+  }
 
 private:
-  ItemSetGraph &Graph;
+  GssEngine Engine;
 };
 
 } // namespace ipg

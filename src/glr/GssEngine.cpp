@@ -1,0 +1,371 @@
+//===- glr/GssEngine.cpp - Resumable graph-structured-stack stepper -------===//
+
+#include "glr/GssEngine.h"
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipg;
+
+namespace {
+
+/// A queued reduction.
+struct PendingReduce {
+  GssNode *From;
+  RuleId Rule;
+};
+
+MetricCounter &gssNodeCounter() {
+  static MetricCounter &C =
+      MetricsRegistry::process().counter("glr.gss.nodes_constructed");
+  return C;
+}
+
+} // namespace
+
+GssNode *GssEngine::newNode(ItemSet *State, uint32_t Layer) {
+  NodeArena.push_back(GssNode{State, Layer, false, {}});
+  ++Result.GssNodes;
+  gssNodeCounter().bump();
+  return &NodeArena.back();
+}
+
+GssNode *GssEngine::restoreNode(ItemSet *State, uint32_t Layer) {
+  // Deserialization rebuild: not a construction the incremental-evidence
+  // metric should see.
+  NodeArena.push_back(GssNode{State, Layer, true, {}});
+  return &NodeArena.back();
+}
+
+void GssEngine::beginRestore(Forest &Forst) {
+  F = &Forst;
+  NodeArena.clear();
+  Records.clear();
+  Frontier.clear();
+  PendingShifts.clear();
+  Result = GlrResult();
+  Root = nullptr;
+  Pos = 0;
+  Resumed = false;
+  CurStamp = ++StampCounter;
+}
+
+void GssEngine::seatRestored(std::deque<GssLayerRecord> Recs,
+                             std::vector<GssNode *> Front, GssNode *NewRoot,
+                             size_t Position, bool WasResumed,
+                             GlrResult Stats) {
+  Records = std::move(Recs);
+  Frontier = std::move(Front);
+  Root = NewRoot;
+  Pos = Position;
+  Resumed = WasResumed;
+  Result = Stats;
+  CurStamp = ++StampCounter;
+  if (!Resumed) {
+    // A pre-fixpoint frontier: the next step()'s reduction round asks
+    // the layer index "which node holds state S", so re-register it, and
+    // clear Processed so the fixpoint actually queries ACTION for these
+    // nodes (restoreNode marks everything processed; only a pre-fixpoint
+    // frontier still has work pending).
+    for (GssNode *Node : Frontier) {
+      Node->Processed = false;
+      size_t Id = Node->State->id();
+      if (Id >= ByState.size())
+        ByState.resize(std::max(Id + 1, ByState.size() * 2), {0, nullptr});
+      ByState[Id] = {CurStamp, Node};
+    }
+  }
+}
+
+void GssEngine::begin(Forest &Forst) {
+  F = &Forst;
+  NodeArena.clear();
+  Records.clear();
+  Frontier.clear();
+  // ByState keeps its capacity; the monotone stamps make stale entries
+  // unmatchable.
+  Result = GlrResult();
+  Pos = 0;
+  Resumed = false;
+  CurStamp = ++StampCounter;
+
+  Root = newNode(Graph->startSet(), 0);
+  Frontier.push_back(Root);
+  size_t Id = Root->State->id();
+  if (Id >= ByState.size())
+    ByState.resize(std::max(Id + 1, ByState.size() * 2), {0, nullptr});
+  ByState[Id] = {CurStamp, Root};
+}
+
+void GssEngine::recordLayer(const std::vector<GssNode *> &Front) {
+  assert(Records.size() == Pos && "layer recorded out of order");
+  GssLayerRecord Rec;
+  Rec.Nodes = Front;
+  std::sort(Rec.Nodes.begin(), Rec.Nodes.end(),
+            [](const GssNode *A, const GssNode *B) {
+              return A->State->id() < B->State->id();
+            });
+  Records.push_back(std::move(Rec));
+}
+
+void GssEngine::restore(size_t Layer) {
+  assert(Layer < Records.size() && "no record for restore layer");
+  Records.resize(Layer + 1);
+  Frontier = Records[Layer].Nodes;
+  Pos = Layer;
+  Resumed = true;
+  CurStamp = ++StampCounter;
+  Result.Accepted = false;
+  Result.Root = nullptr;
+  Result.ErrorIndex = 0;
+}
+
+void GssEngine::adoptTail(std::deque<GssLayerRecord> &&Tail, size_t EndPos) {
+  for (GssLayerRecord &Rec : Tail)
+    Records.push_back(std::move(Rec));
+  assert(!Records.empty());
+  Frontier = Records.back().Nodes;
+  Pos = EndPos;
+  Resumed = true;
+  CurStamp = ++StampCounter;
+}
+
+bool GssEngine::rebindGraph(ItemSetGraph &New) {
+  // Verify-then-commit, so a failed migration leaves every pointer on the
+  // old graph. ByState needs no fixup: it is keyed by stable id and holds
+  // node pointers, both graph-independent.
+  for (const GssNode &Node : NodeArena)
+    if (New.setById(Node.State->id()) == nullptr)
+      return false;
+  for (GssNode &Node : NodeArena)
+    Node.State = New.setById(Node.State->id());
+  Graph = &New;
+  return true;
+}
+
+void GssEngine::runFixpoint(SymbolId Token, std::vector<GssNode *> &Front) {
+  std::vector<PendingReduce> Reductions;
+  std::vector<GssNode *> Queue = Front;
+  size_t QueueIdx = 0;
+
+  // Farshi's safety net: a new edge below an already-processed node can
+  // complete reduction paths that were enumerated too early. Instead of
+  // re-enqueueing every processed node's reductions at each such edge
+  // (which grows the queue quadratically in edge insertions), the event
+  // only raises this flag; the fixpoint loop runs one broadcast sweep
+  // per quiescence, so each storm of new edges costs one re-run round.
+  // Edge/alternative dedup makes the re-runs idempotent.
+  bool NeedsBroadcast = false;
+
+  auto FindInLayer = [&](const ItemSet *State) -> GssNode * {
+    size_t Id = State->id();
+    if (Id >= ByState.size() || ByState[Id].first != CurStamp)
+      return nullptr;
+    return ByState[Id].second;
+  };
+  auto PutInLayer = [&](GssNode *Node) {
+    size_t Id = Node->State->id();
+    if (Id >= ByState.size())
+      ByState.resize(std::max(Id + 1, ByState.size() * 2), {0, nullptr});
+    ByState[Id] = {CurStamp, Node};
+  };
+
+  // Performs one queued reduction: enumerate stack paths of the rule's
+  // length, build/pack the forest node per path, and extend the GSS.
+  auto DoReduce = [&](const PendingReduce &PR) {
+    const Rule &R = Graph->grammar().rule(PR.Rule);
+    const size_t M = R.Rhs.size();
+    ++Result.Reductions;
+
+    std::vector<ForestNode *> Deriv(M);
+    auto FinishPath = [&](GssNode *Bottom) {
+      ++Result.ReductionPaths;
+      // Nodes below the frontier were completed in their own layer, but
+      // with lazy generation a goto target created this layer may still
+      // be initial; complete it before GOTO (see header).
+      Graph->ensureComplete(Bottom->State);
+      ItemSet *Target = Graph->gotoState(Bottom->State, R.Lhs);
+      ForestNode *FN = F->derivation(R.Lhs, Bottom->Layer,
+                                     static_cast<uint32_t>(Pos), PR.Rule,
+                                     Deriv);
+
+      GssNode *U = FindInLayer(Target);
+      if (U == nullptr) {
+        U = newNode(Target, static_cast<uint32_t>(Pos));
+        U->Edges.push_back(GssNode::Edge{Bottom, FN});
+        ++Result.GssEdges;
+        Front.push_back(U);
+        PutInLayer(U);
+        Queue.push_back(U);
+        return;
+      }
+      if (U->hasEdge(Bottom, FN))
+        return;
+      U->Edges.push_back(GssNode::Edge{Bottom, FN});
+      ++Result.GssEdges;
+      if (U->Processed)
+        NeedsBroadcast = true;
+    };
+
+    // DFS over stack paths; Remaining counts edges still to follow and
+    // doubles as the child slot (topmost edge = rightmost child).
+    auto Walk = [&](auto &&Self, GssNode *Cur, size_t Remaining) -> void {
+      if (Remaining == 0) {
+        FinishPath(Cur);
+        return;
+      }
+      // Snapshot: edges added during FinishPath recursion must not be
+      // traversed mid-enumeration (the broadcast sweep covers them).
+      size_t NumEdges = Cur->Edges.size();
+      for (size_t I = 0; I < NumEdges; ++I) {
+        Deriv[Remaining - 1] = Cur->Edges[I].Deriv;
+        Self(Self, Cur->Edges[I].Back, Remaining - 1);
+      }
+    };
+
+    if (M == 0)
+      FinishPath(PR.From);
+    else
+      Walk(Walk, PR.From, M);
+  };
+
+  // Fixpoint over node processing, reductions, and (at quiescence) the
+  // Farshi broadcast sweeps.
+  while (QueueIdx < Queue.size() || !Reductions.empty() || NeedsBroadcast) {
+    if (!Reductions.empty()) {
+      PendingReduce PR = Reductions.back();
+      Reductions.pop_back();
+      DoReduce(PR);
+      continue;
+    }
+    if (QueueIdx >= Queue.size()) {
+      // Quiescent except for a pending broadcast: re-run every processed
+      // node's reductions once over the grown stack. The states are
+      // complete (they were queried when processed), so the reduction
+      // list is read straight off the item set — no repeat of the
+      // (node, token) ACTION query.
+      NeedsBroadcast = false;
+      for (GssNode *Node : Front)
+        if (Node->Processed)
+          for (RuleId Rule : Graph->reductions(Node->State))
+            Reductions.push_back(PendingReduce{Node, Rule});
+      continue;
+    }
+    GssNode *Node = Queue[QueueIdx++];
+    if (Node->Processed)
+      continue;
+    Node->Processed = true;
+    // The one ACTION query for this (node, token): an allocation-free
+    // view over the item set's action index.
+    Graph->forEachAction(Node->State, Token, [&](const LrAction &A) {
+      switch (A.Kind) {
+      case LrAction::Shift:
+        PendingShifts.push_back({Node, A.Target});
+        break;
+      case LrAction::Reduce:
+        Reductions.push_back(PendingReduce{Node, A.Rule});
+        break;
+      case LrAction::Accept:
+        // Resolved in finish(), when the GSS is final.
+        break;
+      }
+    });
+  }
+}
+
+bool GssEngine::step(SymbolId Token) {
+  PendingShifts.clear();
+  if (!Resumed) {
+    runFixpoint(Token, Frontier);
+    recordLayer(Frontier);
+  } else {
+    // The restored frontier is already post-fixpoint (reductions are
+    // token-independent under LR(0)); only the shift decision depends on
+    // the new token, so re-query ACTION for shifts alone.
+    Resumed = false;
+    for (GssNode *Node : Frontier)
+      Graph->forEachAction(Node->State, Token, [&](const LrAction &A) {
+        if (A.Kind == LrAction::Shift)
+          PendingShifts.push_back({Node, A.Target});
+      });
+  }
+
+  // Shifter: advance every surviving parser over Token in lock-step —
+  // the paper's synchronization of the this-sweep/next-sweep pools. The
+  // next layer's stamp keys its target lookups in the same dense index.
+  std::vector<GssNode *> NextFrontier;
+  const uint64_t NextStamp = ++StampCounter;
+  ForestNode *TokenNode = nullptr;
+  for (const auto &S : PendingShifts) {
+    if (TokenNode == nullptr)
+      TokenNode = F->token(Token, static_cast<uint32_t>(Pos));
+    size_t Id = S.Target->id();
+    GssNode *U = nullptr;
+    if (Id < ByState.size() && ByState[Id].first == NextStamp)
+      U = ByState[Id].second;
+    if (U == nullptr) {
+      U = newNode(S.Target, static_cast<uint32_t>(Pos + 1));
+      NextFrontier.push_back(U);
+      if (Id >= ByState.size())
+        ByState.resize(std::max(Id + 1, ByState.size() * 2), {0, nullptr});
+      ByState[Id] = {NextStamp, U};
+    }
+    U->Edges.push_back(GssNode::Edge{S.From, TokenNode});
+    ++Result.GssEdges;
+    ++Result.Shifts;
+  }
+  PendingShifts.clear();
+  if (NextFrontier.empty()) {
+    Result.ErrorIndex = Pos;
+    return false;
+  }
+  Frontier = std::move(NextFrontier);
+  CurStamp = NextStamp;
+  ++Pos;
+  return true;
+}
+
+GlrResult GssEngine::finish() {
+  Grammar &G = Graph->grammar();
+  PendingShifts.clear();
+  if (!Resumed) {
+    runFixpoint(G.endMarker(), Frontier);
+    recordLayer(Frontier);
+    PendingShifts.clear();
+  }
+
+  // Acceptance: enumerate START ::= β• paths back to the root node and
+  // pack them into one START forest node spanning the whole input.
+  const size_t N = Pos;
+  for (GssNode *Node : Frontier) {
+    if (!Node->State->isAccepting())
+      continue;
+    for (RuleId RId : Graph->acceptRules(Node->State)) {
+      const Rule &R = G.rule(RId);
+      const size_t M = R.Rhs.size();
+      std::vector<ForestNode *> Deriv(M);
+      auto Walk = [&](auto &&Self, GssNode *Cur, size_t Remaining) -> void {
+        if (Remaining == 0) {
+          if (Cur != Root)
+            return;
+          ForestNode *StartNode = F->derivation(
+              G.startSymbol(), 0, static_cast<uint32_t>(N), RId, Deriv);
+          if (Result.Root == nullptr)
+            Result.Root = StartNode;
+          Result.Accepted = true;
+          return;
+        }
+        for (const GssNode::Edge &E : Cur->Edges) {
+          Deriv[Remaining - 1] = E.Deriv;
+          Self(Self, E.Back, Remaining - 1);
+        }
+      };
+      Walk(Walk, Node, M);
+    }
+  }
+  if (!Result.Accepted)
+    Result.ErrorIndex = N;
+  return Result;
+}

@@ -22,7 +22,7 @@ struct LrParserObj {
 
 } // namespace
 
-ParParseResult ParParser::parse(const std::vector<SymbolId> &Input) {
+ParParseResult ParParser::parse(TokenView Input) {
   ParParseResult Result;
   Grammar &G = Graph.grammar();
   std::deque<StackCell> Cells;
@@ -35,7 +35,7 @@ ParParseResult ParParser::parse(const std::vector<SymbolId> &Input) {
   std::vector<LrParserObj> NextSweep{
       LrParserObj{Push(Graph.startSet(), nullptr)}};
 
-  size_t Pos = 0;
+  size_t Pos = Input.cursor();
   while (!NextSweep.empty()) {
     // symbol, sentence := head(sentence), tail(sentence)
     SymbolId Symbol = Pos < Input.size() ? Input[Pos] : G.endMarker();

@@ -21,6 +21,7 @@
 #define IPG_GLR_PARPARSE_H
 
 #include "lr/ItemSetGraph.h"
+#include "support/TokenView.h"
 
 #include <vector>
 
@@ -43,7 +44,12 @@ public:
       : Graph(Graph), StepLimit(StepLimit) {}
 
   /// Runs PAR-PARSE on \p Input (terminals, no end marker).
-  ParParseResult parse(const std::vector<SymbolId> &Input);
+  ParParseResult parse(TokenView Input);
+
+  // Thin forwarding overload for pre-TokenView call sites.
+  ParParseResult parse(const std::vector<SymbolId> &Input) {
+    return parse(TokenView(Input));
+  }
 
 private:
   ItemSetGraph &Graph;

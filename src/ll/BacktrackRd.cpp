@@ -11,7 +11,7 @@ namespace {
 /// the search.
 class Enumerator {
 public:
-  Enumerator(const Grammar &G, const std::vector<SymbolId> &Input,
+  Enumerator(const Grammar &G, ArrayView<SymbolId> Input,
              TreeArena *Arena, uint64_t StepLimit)
       : G(G), Input(Input), Arena(Arena), StepLimit(StepLimit) {}
 
@@ -67,7 +67,7 @@ private:
   static constexpr size_t MaxDepth = 4'000;
 
   const Grammar &G;
-  const std::vector<SymbolId> &Input;
+  ArrayView<SymbolId> Input;
   TreeArena *Arena;
   uint64_t StepLimit;
   uint64_t Steps = 0;
@@ -77,8 +77,8 @@ private:
 
 } // namespace
 
-RdResult BacktrackRdParser::run(const std::vector<SymbolId> &Input,
-                                TreeArena *Arena, uint64_t ParseLimit) {
+RdResult BacktrackRdParser::run(ArrayView<SymbolId> Input, TreeArena *Arena,
+                                uint64_t ParseLimit) {
   RdResult Result;
   Enumerator E(G, Input, Arena, StepLimit);
   E.deriveSymbol(G.startSymbol(), 0, [&](size_t End, TreeNode *Tree) {
@@ -97,12 +97,14 @@ RdResult BacktrackRdParser::run(const std::vector<SymbolId> &Input,
   return Result;
 }
 
-RdResult BacktrackRdParser::parse(const std::vector<SymbolId> &Input,
-                                  TreeArena &Arena) {
-  return run(Input, &Arena, 1);
+RdResult BacktrackRdParser::parse(TokenView Input, TreeArena &Arena) {
+  return run(ArrayView<SymbolId>(Input.data() + Input.cursor(),
+                                 Input.remaining()),
+             &Arena, 1);
 }
 
-RdResult BacktrackRdParser::countParses(const std::vector<SymbolId> &Input,
-                                        uint64_t Limit) {
-  return run(Input, nullptr, Limit);
+RdResult BacktrackRdParser::countParses(TokenView Input, uint64_t Limit) {
+  return run(ArrayView<SymbolId>(Input.data() + Input.cursor(),
+                                 Input.remaining()),
+             nullptr, Limit);
 }

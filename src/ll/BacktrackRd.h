@@ -14,6 +14,7 @@
 #define IPG_LL_BACKTRACKRD_H
 
 #include "grammar/Tree.h"
+#include "support/TokenView.h"
 
 #include <functional>
 #include <vector>
@@ -40,13 +41,21 @@ public:
       : G(G), StepLimit(StepLimit) {}
 
   /// Finds the first parse (leftmost rule order) and its tree.
-  RdResult parse(const std::vector<SymbolId> &Input, TreeArena &Arena);
+  RdResult parse(TokenView Input, TreeArena &Arena);
 
   /// Counts complete parses, stopping at \p Limit.
-  RdResult countParses(const std::vector<SymbolId> &Input, uint64_t Limit);
+  RdResult countParses(TokenView Input, uint64_t Limit);
+
+  // Thin forwarding overloads for pre-TokenView call sites.
+  RdResult parse(const std::vector<SymbolId> &Input, TreeArena &Arena) {
+    return parse(TokenView(Input), Arena);
+  }
+  RdResult countParses(const std::vector<SymbolId> &Input, uint64_t Limit) {
+    return countParses(TokenView(Input), Limit);
+  }
 
 private:
-  RdResult run(const std::vector<SymbolId> &Input, TreeArena *Arena,
+  RdResult run(ArrayView<SymbolId> Input, TreeArena *Arena,
                uint64_t ParseLimit);
 
   const Grammar &G;

@@ -33,12 +33,11 @@ Ll1Table::Ll1Table(const Grammar &G) : NumSymbols(G.symbols().size()) {
   }
 }
 
-Ll1Result Ll1Parser::parse(const std::vector<SymbolId> &Input,
-                           TreeArena &Arena) const {
+Ll1Result Ll1Parser::parse(TokenView Input, TreeArena &Arena) const {
   Ll1Result Result;
   TreeNode *Root = Arena.makeNode(G.startSymbol(), InvalidRule, {});
   std::vector<TreeNode *> Stack{Root};
-  size_t Index = 0;
+  size_t Index = Input.cursor();
 
   while (!Stack.empty()) {
     TreeNode *Node = Stack.back();
@@ -78,9 +77,9 @@ Ll1Result Ll1Parser::parse(const std::vector<SymbolId> &Input,
   return Result;
 }
 
-bool Ll1Parser::recognize(const std::vector<SymbolId> &Input) const {
+bool Ll1Parser::recognize(TokenView Input) const {
   std::vector<SymbolId> Stack{G.startSymbol()};
-  size_t Index = 0;
+  size_t Index = Input.cursor();
   while (!Stack.empty()) {
     SymbolId Top = Stack.back();
     Stack.pop_back();

@@ -13,6 +13,7 @@
 
 #include "grammar/Analyses.h"
 #include "grammar/Tree.h"
+#include "support/TokenView.h"
 
 #include <string>
 #include <vector>
@@ -64,8 +65,16 @@ class Ll1Parser {
 public:
   Ll1Parser(const Ll1Table &Table, const Grammar &G) : Table(Table), G(G) {}
 
-  Ll1Result parse(const std::vector<SymbolId> &Input, TreeArena &Arena) const;
-  bool recognize(const std::vector<SymbolId> &Input) const;
+  Ll1Result parse(TokenView Input, TreeArena &Arena) const;
+  bool recognize(TokenView Input) const;
+
+  // Thin forwarding overloads for pre-TokenView call sites.
+  Ll1Result parse(const std::vector<SymbolId> &Input, TreeArena &Arena) const {
+    return parse(TokenView(Input), Arena);
+  }
+  bool recognize(const std::vector<SymbolId> &Input) const {
+    return recognize(TokenView(Input));
+  }
 
 private:
   const Ll1Table &Table;

@@ -484,14 +484,6 @@ LrActionsView ItemSetGraph::actionsView(ItemSet *State, SymbolId Symbol) {
                        State->Accepting != 0 && Symbol == G.endMarker());
 }
 
-std::vector<LrAction> ItemSetGraph::actions(ItemSet *State, SymbolId Symbol) {
-  LrActionsView View = actionsView(State, Symbol);
-  std::vector<LrAction> Result;
-  Result.reserve(View.size());
-  View.forEach([&](const LrAction &A) { Result.push_back(A); });
-  return Result;
-}
-
 ItemSet *ItemSetGraph::gotoState(ItemSet *State, SymbolId Symbol) {
   Stats.bump(ScGotoCalls);
   // Appendix A: the parsing algorithms only ever call GOTO on sets that

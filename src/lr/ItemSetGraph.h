@@ -72,7 +72,7 @@ struct LrAction {
 /// Allocation-free ACTION(state, symbol) result (§3.1/§5): a view over the
 /// queried set's reduction span plus the unique shift target and the
 /// accept flag. Building one performs zero heap allocations; iteration
-/// order matches ItemSetGraph::actions() (reductions first, then shift,
+/// order is fixed (reductions first, then shift,
 /// then accept). The view borrows from the graph's pools: it stays valid
 /// until the queried set is re-expanded or the graph is reloaded —
 /// expansion of other sets (including concurrent expansion by another
@@ -295,21 +295,18 @@ public:
   /// Returns the number of complete sets.
   size_t generateAll();
 
-  /// ACTION(state, symbol) of §5: expands \p State if needed, then returns
-  /// the actions for terminal \p Symbol. An empty result is the error
-  /// action. Compatibility wrapper over actionsView() — it allocates the
-  /// result vector; steady-state callers (the parser drivers) should use
-  /// actionsView()/forEachAction() instead.
-  std::vector<LrAction> actions(ItemSet *State, SymbolId Symbol);
-
-  /// Allocation-free ACTION: expands \p State if needed, then returns a
-  /// view of the actions for terminal \p Symbol (valid until the next
-  /// expansion or modification of that set). The steady-state query cost
-  /// is one binary search over the set's label slice plus two flag reads.
+  /// ACTION(state, symbol) of §5 — the allocation-free query and the only
+  /// one: expands \p State if needed, then returns a view of the actions
+  /// for terminal \p Symbol (valid until the next expansion or
+  /// modification of that set). An empty view is the error action. The
+  /// steady-state query cost is one binary search over the set's label
+  /// slice plus two flag reads. (The PR-4-era vector-returning actions()
+  /// compatibility wrapper is gone; materialize with forEach if a
+  /// container is really wanted.)
   LrActionsView actionsView(ItemSet *State, SymbolId Symbol);
 
   /// Allocation-free ACTION iteration: invokes \p Fn(const LrAction &) for
-  /// each action of (\p State, \p Symbol), in actions() order.
+  /// each action of (\p State, \p Symbol), in view order.
   template <typename FnT>
   void forEachAction(ItemSet *State, SymbolId Symbol, FnT &&Fn) {
     actionsView(State, Symbol).forEach(std::forward<FnT>(Fn));
@@ -344,6 +341,20 @@ public:
 
   /// Live (non-Dead) sets, in creation order. Invalidated by expansion.
   std::vector<const ItemSet *> liveSets() const;
+
+  /// Total set records ever created — the dense id space (tombstones
+  /// included). Ids are stable within a graph and preserved by the v2
+  /// snapshot round trip.
+  size_t numSetIds() const { return Sets.size(); }
+
+  /// Resolves a persisted id back to its record; nullptr when out of
+  /// range or tombstoned. The suspended-parse loader's
+  /// (incremental/ParseSnapshot.h) id remap.
+  ItemSet *setById(uint32_t Id) {
+    if (Id >= Sets.size() || SetsBase[Id].isDead())
+      return nullptr;
+    return &SetsBase[Id];
+  }
 
   /// Number of live sets in the given state.
   size_t countByState(ItemSetState S) const;

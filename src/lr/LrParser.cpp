@@ -4,13 +4,12 @@
 
 using namespace ipg;
 
-LrParseResult LrParser::parse(const std::vector<SymbolId> &Input,
-                              TreeArena &Arena) const {
+LrParseResult LrParser::parse(TokenView Input, TreeArena &Arena) const {
   LrParseResult Result;
   std::vector<uint32_t> States{Table.startState()};
   std::vector<TreeNode *> Nodes;
 
-  size_t Index = 0;
+  size_t Index = Input.cursor();
   while (true) {
     SymbolId Symbol = Index < Input.size() ? Input[Index] : G.endMarker();
     TableAction Action = Table.action(States.back(), Symbol);
@@ -55,10 +54,10 @@ LrParseResult LrParser::parse(const std::vector<SymbolId> &Input,
   }
 }
 
-bool LrParser::recognize(const std::vector<SymbolId> &Input) const {
+bool LrParser::recognize(TokenView Input) const {
   std::vector<uint32_t> States{Table.startState()};
   // Symbol counts per state are not needed: only rule lengths are popped.
-  size_t Index = 0;
+  size_t Index = Input.cursor();
   while (true) {
     SymbolId Symbol = Index < Input.size() ? Input[Index] : G.endMarker();
     TableAction Action = Table.action(States.back(), Symbol);

@@ -13,6 +13,7 @@
 
 #include "grammar/Tree.h"
 #include "lr/ParseTable.h"
+#include "support/TokenView.h"
 
 #include <vector>
 
@@ -37,11 +38,19 @@ public:
   LrParser(const ParseTable &Table, const Grammar &G) : Table(Table), G(G) {}
 
   /// Parses \p Input (terminal symbols, no end marker) into a tree.
-  LrParseResult parse(const std::vector<SymbolId> &Input,
-                      TreeArena &Arena) const;
+  LrParseResult parse(TokenView Input, TreeArena &Arena) const;
 
   /// Recognition only — no tree construction (for benchmarks).
-  bool recognize(const std::vector<SymbolId> &Input) const;
+  bool recognize(TokenView Input) const;
+
+  // Thin forwarding overloads for pre-TokenView call sites.
+  LrParseResult parse(const std::vector<SymbolId> &Input,
+                      TreeArena &Arena) const {
+    return parse(TokenView(Input), Arena);
+  }
+  bool recognize(const std::vector<SymbolId> &Input) const {
+    return recognize(TokenView(Input));
+  }
 
 private:
   const ParseTable &Table;

@@ -1,0 +1,101 @@
+//===- server/DocumentSession.h - Epoch-pinned parse documents --*- C++ -*-===//
+///
+/// \file
+/// The marriage of the two incrementality axes: a ParseDocument
+/// (incremental/ParseDocument.h — token-side bounded re-parse) pinned to
+/// one GraphEpoch of a GrammarServer (grammar-side MODIFY forks). The
+/// session parses and edits exactly like a plain ParseDocument; when the
+/// server publishes new epochs, migrate() moves the document — parse
+/// state and all — onto the current epoch by *bounded* re-parse instead
+/// of starting over:
+///
+///   1. The server's fork log (GrammarServer::affectedSince) names every
+///      item-set id whose ACTION/GOTO behavior any intervening MODIFY
+///      invalidated — the §6.2 dirty marking, accumulated across the
+///      generation gap.
+///   2. The document's per-layer GSS checkpoints are scanned for those
+///      ids. Layers strictly before the first affected one were computed
+///      entirely from unaffected sets, so they are valid verbatim under
+///      the new epoch (ids are preserved by cloneExact + the v2
+///      adopt/load fork path).
+///   3. The GSS is re-pointed into the new epoch's graph by stable id
+///      (GssEngine::rebindGraph) and the parse is invalidated only from
+///      the first affected layer (ParseDocument::invalidateFrom); the
+///      next reparse() resumes there instead of at token zero. When no
+///      checkpoint touches an affected set the whole parse — verdict,
+///      forest and all — survives the migration untouched.
+///
+/// Anything the protocol cannot prove falls back to a from-scratch parse
+/// over the new epoch (unknowable gap because the fork log rolled over, a
+/// tombstoned set under a live GSS node): Full is always sound, the
+/// bounded path is an optimization gated on the damage evidence —
+/// the same philosophy as ParseDocument's graft.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SERVER_DOCUMENTSESSION_H
+#define IPG_SERVER_DOCUMENTSESSION_H
+
+#include "incremental/ParseDocument.h"
+#include "server/GrammarServer.h"
+
+#include <memory>
+
+namespace ipg {
+
+/// One editable document parsed against one pinned epoch. Single-threaded
+/// like ParseSession; many sessions on many threads share the epochs'
+/// graphs. The pin keeps the epoch (graph, grammar, mapped backing) alive
+/// for as long as the document references it.
+class DocumentSession {
+public:
+  explicit DocumentSession(GrammarServer &Server);
+
+  DocumentSession(const DocumentSession &) = delete;
+  DocumentSession &operator=(const DocumentSession &) = delete;
+  DocumentSession(DocumentSession &&) = default;
+  DocumentSession &operator=(DocumentSession &&) = default;
+
+  /// The document. Edits and reparse()s run against the pinned epoch
+  /// until the next migrate().
+  ParseDocument &document() { return *Doc; }
+  const ParseDocument &document() const { return *Doc; }
+
+  /// The epoch the document currently parses against.
+  GraphEpoch &epoch() const { return *Epoch; }
+  uint64_t generation() const { return Epoch->generation(); }
+
+  /// True when the server has published past the pinned epoch — the
+  /// document still works, against an old grammar, until migrate().
+  bool stale() const { return Server->generation() != generation(); }
+
+  /// How the last migrate() moved the document forward.
+  enum class Migration {
+    Current, ///< Already on the newest epoch; nothing to do.
+    Reused,  ///< No checkpoint touched an affected set: the whole parse
+             ///< survived, only the graph pointers moved.
+    Bounded, ///< Parse invalidated from the first affected layer; the
+             ///< next reparse() resumes there (work bounded by the
+             ///< MODIFY's damage, not the document).
+    Full,    ///< Fallback: tokens kept, parse restarts from scratch.
+  };
+
+  /// Re-pins the document to the server's current epoch, carrying the
+  /// parse across by the bounded protocol of the file comment. Safe to
+  /// call at any time (suspended, finished, mid-edit-batch); pending
+  /// token damage merges with the migration's automaton damage.
+  Migration migrate();
+
+private:
+  Migration fullReparse(std::shared_ptr<GraphEpoch> Next);
+
+  GrammarServer *Server;
+  std::shared_ptr<GraphEpoch> Epoch;
+  /// unique_ptr because ParseDocument is pinned (the GSS engine holds
+  /// interior pointers) while the session itself stays movable.
+  std::unique_ptr<ParseDocument> Doc;
+};
+
+} // namespace ipg
+
+#endif // IPG_SERVER_DOCUMENTSESSION_H

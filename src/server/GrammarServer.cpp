@@ -113,6 +113,54 @@ std::shared_ptr<GraphEpoch> GrammarServer::forkOf(GraphEpoch &Cur) {
   return Next;
 }
 
+void GrammarServer::recordForkDamage(const GraphEpoch &Cur, GraphEpoch &Next) {
+  // Only predecessor-era ids matter: sets the fork created are invisible
+  // to any GSS built against an earlier epoch. Everything the MODIFY
+  // marking left non-Complete is affected — Dirty is the §6.2 signal,
+  // null (tombstoned) is fatal for reuse, and inherited still-Dirty sets
+  // from older forks make the union a conservative superset, which is
+  // always sound (it only widens what a migration refuses to reuse).
+  // Initial sets are *not* affected: their behavior was never queried by
+  // any checkpointed layer, and their eventual expansion reads whichever
+  // grammar is current — exactly what a migrated parse wants.
+  ForkDamage Entry;
+  Entry.Generation = Next.generation();
+  const uint32_t IdBound = static_cast<uint32_t>(Cur.graph().numSetIds());
+  for (uint32_t Id = 0; Id < IdBound; ++Id) {
+    const ItemSet *S = Next.graph().setById(Id);
+    if (S == nullptr || S->state() == ItemSetState::Dirty)
+      Entry.Affected.push_back(Id);
+  }
+  ForkLog.push_back(std::move(Entry));
+  if (ForkLog.size() > ForkLogCap)
+    ForkLog.erase(ForkLog.begin(),
+                  ForkLog.begin() +
+                      static_cast<std::ptrdiff_t>(ForkLog.size() - ForkLogCap));
+}
+
+bool GrammarServer::affectedSince(uint64_t SinceGen,
+                                  std::vector<uint32_t> &Out) const {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+  const uint64_t CurGen = NextGeneration - 1;
+  if (SinceGen > CurGen)
+    return false;
+  if (SinceGen == CurGen)
+    return true; // Already current: empty damage.
+  // The log is append-ordered by generation; every fork in
+  // (SinceGen, CurGen] must still be present or the gap is unknowable.
+  size_t Found = 0;
+  for (const ForkDamage &E : ForkLog)
+    if (E.Generation > SinceGen) {
+      Out.insert(Out.end(), E.Affected.begin(), E.Affected.end());
+      ++Found;
+    }
+  if (Found != CurGen - SinceGen)
+    return false;
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return true;
+}
+
 void GrammarServer::publish(std::shared_ptr<GraphEpoch> Next) {
   Next->Graph.beginConcurrent();
   History.push_back(Next);
@@ -138,6 +186,7 @@ bool GrammarServer::addRule(SymbolId Lhs, std::vector<SymbolId> Rhs) {
   std::shared_ptr<GraphEpoch> Next = forkOf(*Cur);
   bool Changed = Next->Graph.addRule(Lhs, std::move(Rhs));
   assert(Changed && "pre-checked edit did not change the fork");
+  recordForkDamage(*Cur, *Next);
   LastForkAdopted = Next->Adopted;
   publish(std::move(Next));
   return Changed;
@@ -152,6 +201,7 @@ bool GrammarServer::removeRule(SymbolId Lhs, const std::vector<SymbolId> &Rhs) {
   std::shared_ptr<GraphEpoch> Next = forkOf(*Cur);
   bool Changed = Next->Graph.removeRule(Lhs, Rhs);
   assert(Changed && "pre-checked edit did not change the fork");
+  recordForkDamage(*Cur, *Next);
   LastForkAdopted = Next->Adopted;
   publish(std::move(Next));
   return Changed;
@@ -190,6 +240,7 @@ bool GrammarServer::addRule(std::string_view Lhs,
     RhsIds.push_back(NextSyms.intern(Name));
   bool Changed = Next->Graph.addRule(LhsId, std::move(RhsIds));
   assert(Changed && "pre-checked edit did not change the fork");
+  recordForkDamage(*Cur, *Next);
   LastForkAdopted = Next->Adopted;
   publish(std::move(Next));
   return Changed;

@@ -111,15 +111,23 @@ public:
   uint64_t generation() const { return Epoch->generation(); }
 
   /// Parses \p Input (terminals, no end marker) into \p F.
-  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+  GlrResult parse(TokenView Input, Forest &F) {
     Epoch->Parses.fetch_add(1, std::memory_order_relaxed);
     return Parser.parse(Input, F);
   }
 
   /// Recognition only (the forest is still built; §7 measurement style).
-  bool recognize(const std::vector<SymbolId> &Input) {
+  bool recognize(TokenView Input) {
     Epoch->Parses.fetch_add(1, std::memory_order_relaxed);
     return Parser.recognize(Input);
+  }
+
+  // Thin forwarding overloads for pre-TokenView call sites.
+  GlrResult parse(const std::vector<SymbolId> &Input, Forest &F) {
+    return parse(TokenView(Input), F);
+  }
+  bool recognize(const std::vector<SymbolId> &Input) {
+    return recognize(TokenView(Input));
   }
 
 private:
@@ -167,6 +175,17 @@ public:
   bool removeRule(std::string_view Lhs,
                   std::initializer_list<std::string_view> Rhs);
 
+  /// Collects into \p Out the union of item-set ids whose ACTION/GOTO
+  /// behavior was invalidated by every fork published after generation
+  /// \p SinceGen — the damage a parse pinned at \p SinceGen must respect
+  /// to migrate to the current epoch (server/DocumentSession.h). Ids are
+  /// predecessor-era (comparable against any GSS built at \p SinceGen or
+  /// later); the union is sorted and deduplicated. Returns false when the
+  /// fork log no longer covers the whole gap (the server keeps a bounded
+  /// window of fork damage) — the caller must then assume everything
+  /// changed and re-parse from scratch.
+  bool affectedSince(uint64_t SinceGen, std::vector<uint32_t> &Out) const;
+
   /// Number of epochs still alive — published or kept alive by sessions.
   /// The reclamation observable: after dropping every session of a
   /// displaced epoch this shrinks back toward 1.
@@ -192,6 +211,12 @@ private:
   std::shared_ptr<GraphEpoch> forkOf(GraphEpoch &Cur);
   void publish(std::shared_ptr<GraphEpoch> Next);
 
+  /// Captures, post-edit and pre-publish, which predecessor-era sets the
+  /// fork's MODIFY invalidated (everything the §6.2 marking left
+  /// non-Complete) into the bounded fork log behind affectedSince().
+  /// Caller holds WriterMutex.
+  void recordForkDamage(const GraphEpoch &Cur, GraphEpoch &Next);
+
   /// Serializes writers (forks). Readers never take it.
   mutable std::mutex WriterMutex;
   EpochPublisher<GraphEpoch> Published;
@@ -200,6 +225,17 @@ private:
   mutable std::vector<std::weak_ptr<GraphEpoch>> History;
   uint64_t NextGeneration = 0;
   bool LastForkAdopted = false;
+
+  /// Per-fork invalidation sets for affectedSince(), oldest first,
+  /// bounded to the last ForkLogCap forks (documents further behind fall
+  /// back to a from-scratch parse). Guarded by WriterMutex; independent
+  /// of epoch lifetimes so a migration can span reclaimed epochs.
+  struct ForkDamage {
+    uint64_t Generation;
+    std::vector<uint32_t> Affected;
+  };
+  static constexpr size_t ForkLogCap = 64;
+  mutable std::vector<ForkDamage> ForkLog;
 };
 
 } // namespace ipg

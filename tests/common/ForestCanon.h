@@ -1,0 +1,69 @@
+//===- tests/common/ForestCanon.h - Canonical forest text -------*- C++ -*-===//
+///
+/// \file
+/// A content-based canonical serialization of a packed parse forest,
+/// pointer-free so two forests — in the same process or across a
+/// suspend/resume boundary — compare by string equality. Nodes print as
+/// `(sym start end [tok] alts...)`; shared and cyclic occurrences after
+/// the first print as `#k`, where k is the node's DFS discovery index
+/// (itself content-determined, not address-determined). Alternative and
+/// child order are preserved: the serialization distinguishes forests
+/// that pack the same trees with different sharing, which is exactly the
+/// byte-identical guarantee the suspended-parse round trip makes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_COMMON_FORESTCANON_H
+#define IPG_TESTS_COMMON_FORESTCANON_H
+
+#include "glr/Forest.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace ipg::testing {
+
+inline void canonForestNode(const ForestNode *Node,
+                            std::unordered_map<const ForestNode *, size_t> &Ids,
+                            std::string &Out) {
+  auto It = Ids.find(Node);
+  if (It != Ids.end()) {
+    Out += '#';
+    Out += std::to_string(It->second);
+    return;
+  }
+  Ids.emplace(Node, Ids.size());
+  Out += '(';
+  Out += std::to_string(Node->Sym);
+  Out += ' ';
+  Out += std::to_string(Node->Start);
+  Out += ' ';
+  Out += std::to_string(Node->End);
+  if (Node->IsToken)
+    Out += " tok";
+  for (const ForestNode::Alternative &Alt : Node->Alts) {
+    Out += " [r";
+    Out += std::to_string(Alt.Rule);
+    for (const ForestNode *Child : Alt.Children) {
+      Out += ' ';
+      canonForestNode(Child, Ids, Out);
+    }
+    Out += ']';
+  }
+  Out += ')';
+}
+
+/// Canonical text of the forest reachable from \p Root ("<null>" for a
+/// rejected parse).
+inline std::string canonForest(const ForestNode *Root) {
+  if (Root == nullptr)
+    return "<null>";
+  std::unordered_map<const ForestNode *, size_t> Ids;
+  std::string Out;
+  canonForestNode(Root, Ids, Out);
+  return Out;
+}
+
+} // namespace ipg::testing
+
+#endif // IPG_TESTS_COMMON_FORESTCANON_H

@@ -44,7 +44,7 @@ TEST(Incremental, Fig65ReExpansionReconnectsAndExtends) {
   // connections with 1, 2, 3 are re-established and a new initial set with
   // kernel {B ::= unknown •} appears.
   ItemSetGraph &Graph = Gen.graph();
-  Graph.actions(Graph.startSet(), G.symbols().lookup("unknown"));
+  Graph.actionsView(Graph.startSet(), G.symbols().lookup("unknown"));
   EXPECT_EQ(Gen.stats().ReExpansions, 1u);
   const ItemSet *S0 = Graph.startSet();
   ASSERT_EQ(Graph.transitions(S0).size(), 4u) << "B, true, false, unknown";

@@ -29,7 +29,7 @@ TEST(Lazy, Fig51bFirstActionExpandsStartSet) {
   buildBooleans(G);
   Ipg Gen(G);
   ItemSetGraph &Graph = Gen.graph();
-  Graph.actions(Graph.startSet(), G.symbols().lookup("true"));
+  Graph.actionsView(Graph.startSet(), G.symbols().lookup("true"));
   // Fig 5.1(b): sets 0..3 now exist; only 0 is complete.
   EXPECT_EQ(Graph.numLive(), 4u);
   EXPECT_EQ(Graph.numComplete(), 1u);

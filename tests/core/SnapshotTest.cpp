@@ -120,11 +120,9 @@ TEST(Snapshot, ActionsMatchAfterRoundTrip) {
   // the whole reachable graphs are isomorphic.
   for (const char *Terminal : {"id", "(", ")", "+", "*"}) {
     SymbolId Sym = G.symbols().lookup(Terminal);
-    EXPECT_EQ(Gen.graph()
-                  .actions(Gen.graph().startSet(), Sym)
-                  .size(),
+    EXPECT_EQ(Gen.graph().actionsView(Gen.graph().startSet(), Sym).size(),
               Loaded.graph()
-                  .actions(Loaded.graph().startSet(), Sym)
+                  .actionsView(Loaded.graph().startSet(), Sym)
                   .size())
         << Terminal;
   }

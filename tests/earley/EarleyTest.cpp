@@ -16,7 +16,7 @@ TEST(Earley, BooleansBasics) {
   EXPECT_TRUE(Parser.recognize(sentence(G, "true")));
   EXPECT_TRUE(Parser.recognize(sentence(G, "true or false and true")));
   EXPECT_FALSE(Parser.recognize(sentence(G, "true or")));
-  EXPECT_FALSE(Parser.recognize({}));
+  EXPECT_FALSE(Parser.recognize(TokenView()));
 }
 
 TEST(Earley, BuildsATree) {
@@ -54,7 +54,7 @@ TEST(Earley, AnBnAndEmptyInput) {
   Grammar G;
   buildAnBn(G);
   EarleyParser Parser(G);
-  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(TokenView()));
   EXPECT_TRUE(Parser.recognize(sentence(G, "a a b b")));
   EXPECT_FALSE(Parser.recognize(sentence(G, "a a b")));
 }
@@ -136,7 +136,7 @@ TEST(EarleyCountTest, RejectedInputCountsZero) {
   buildArith(G);
   EarleyParser Parser(G);
   EXPECT_EQ(Parser.countDerivations(sentence(G, "id +")), 0u);
-  EXPECT_EQ(Parser.countDerivations({}), 0u);
+  EXPECT_EQ(Parser.countDerivations(TokenView()), 0u);
 }
 
 TEST(EarleyCountTest, CatalanCountsOnAmbiguousExpr) {
@@ -172,7 +172,7 @@ TEST(EarleyCountTest, EpsilonSentenceCounts) {
   Grammar G;
   buildAnBn(G);
   EarleyParser Parser(G);
-  EXPECT_EQ(Parser.countDerivations({}), 1u);
+  EXPECT_EQ(Parser.countDerivations(TokenView()), 1u);
   EXPECT_EQ(Parser.countDerivations(sentence(G, "a a b b")), 1u);
 }
 

@@ -90,7 +90,7 @@ TEST(GlrParser, EpsilonRulesAnBn) {
   buildAnBn(G);
   ItemSetGraph Graph(G);
   GlrParser Parser(Graph);
-  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(TokenView()));
   EXPECT_TRUE(Parser.recognize(sentence(G, "a b")));
   EXPECT_TRUE(Parser.recognize(sentence(G, "a a a b b b")));
   EXPECT_FALSE(Parser.recognize(sentence(G, "a a b")));
@@ -137,7 +137,7 @@ TEST(GlrParser, PalindromesNondeterminism) {
   EXPECT_TRUE(Parser.recognize(sentence(G, "a b a")));
   EXPECT_TRUE(Parser.recognize(sentence(G, "a b b a")));
   EXPECT_TRUE(Parser.recognize(sentence(G, "a")));
-  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(TokenView()));
   EXPECT_FALSE(Parser.recognize(sentence(G, "a b")));
   EXPECT_FALSE(Parser.recognize(sentence(G, "a a b")));
 }

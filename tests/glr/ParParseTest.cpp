@@ -19,7 +19,7 @@ TEST(ParParse, AcceptsBooleanSentences) {
   EXPECT_TRUE(Parser.parse(sentence(G, "true or true and false")).Accepted);
   EXPECT_FALSE(Parser.parse(sentence(G, "true or")).Accepted);
   EXPECT_FALSE(Parser.parse(sentence(G, "or")).Accepted);
-  EXPECT_FALSE(Parser.parse({}).Accepted);
+  EXPECT_FALSE(Parser.parse(TokenView()).Accepted);
 }
 
 TEST(ParParse, SplitsOnConflicts) {

@@ -1,0 +1,319 @@
+//===- tests/incremental/ParseSnapshotTest.cpp - Suspended parses ---------===//
+///
+/// The PARS section round trip: a parse suspended mid-input, saved, and
+/// resumed over a cloneExact replica must finish to the byte-identical
+/// canonical forest; corrupted, truncated or grammar-mismatched files
+/// must be rejected, and the rider must be invisible to plain v2
+/// snapshot consumers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "incremental/ParseSnapshot.h"
+
+#include "common/Corpus.h"
+#include "common/ForestCanon.h"
+#include "common/TestGrammars.h"
+#include "core/Ipg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::testing;
+
+namespace {
+
+/// A unique temp path per test, removed on destruction.
+class TempFile {
+public:
+  explicit TempFile(const std::string &Stem) {
+    Path = ::testing::TempDir() + "/" + Stem + "-" +
+           std::to_string(reinterpret_cast<uintptr_t>(this)) + ".snap";
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &str() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+std::vector<SymbolId> pumpedJson(const Grammar &G, const CorpusCase &Case,
+                                 unsigned Repeat) {
+  std::string Text = Case.Bench.Prefix;
+  for (unsigned I = 0; I < Repeat; ++I) {
+    Text += ' ';
+    Text += Case.Bench.Unit;
+  }
+  Text += ' ';
+  Text += Case.Bench.Suffix;
+  return sentence(G, Text);
+}
+
+CorpusCase loadJson(Grammar &G) {
+  Expected<std::vector<CorpusCase>> Corpus = loadCorpusDir(IPG_CORPUS_DIR);
+  EXPECT_TRUE(Corpus);
+  for (const CorpusCase &Case : *Corpus)
+    if (Case.Name == "json") {
+      Expected<size_t> Built = Case.build(G);
+      EXPECT_TRUE(Built);
+      return Case;
+    }
+  ADD_FAILURE() << "json corpus grammar missing";
+  return CorpusCase();
+}
+
+std::vector<char> readAll(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(In),
+                           std::istreambuf_iterator<char>());
+}
+
+void writeAll(const std::string &Path, const std::vector<char> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+TEST(ParseSnapshotTest, SuspendedRoundTripFinishesIdentically) {
+  Grammar G;
+  CorpusCase Case = loadJson(G);
+  Ipg Gen(G);
+  ParseDocument Doc(Gen.graph());
+  std::vector<SymbolId> Tokens = pumpedJson(G, Case, 60);
+  Doc.setTokens(Tokens);
+  ASSERT_TRUE(Doc.advanceTo(Tokens.size() / 2));
+  ASSERT_TRUE(Doc.suspended());
+
+  TempFile Snap("pars-roundtrip");
+  Expected<size_t> Saved = ParseSnapshot::save(Gen, Doc, Snap.str());
+  ASSERT_TRUE(Saved) << (Saved ? "" : Saved.error().str());
+
+  // Resume in a replica process: cloneExact preserves every id, which is
+  // what lets the fingerprint gate pass.
+  Grammar G2;
+  Grammar::cloneExact(G, G2);
+  Ipg Gen2(G2);
+  Expected<std::unique_ptr<ParseDocument>> Doc2 =
+      ParseSnapshot::resume(Gen2, Snap.str());
+  ASSERT_TRUE(Doc2) << (Doc2 ? "" : Doc2.error().str());
+  EXPECT_TRUE((*Doc2)->suspended());
+  EXPECT_EQ((*Doc2)->position(), Tokens.size() / 2);
+  EXPECT_EQ((*Doc2)->tokens(), Tokens);
+
+  // Finish both; the acceptance criterion is a byte-identical canonical
+  // forest, not merely an equal verdict.
+  const GlrResult &A = Doc.reparse();
+  const GlrResult &B = (*Doc2)->reparse();
+  ASSERT_TRUE(A.Accepted);
+  ASSERT_TRUE(B.Accepted);
+  EXPECT_EQ(canonForest(A.Root), canonForest(B.Root));
+  EXPECT_EQ(Doc.forest().countTrees(A.Root),
+            (*Doc2)->forest().countTrees(B.Root));
+  EXPECT_EQ(A.GssNodes, B.GssNodes);
+  EXPECT_EQ(A.GssEdges, B.GssEdges);
+}
+
+TEST(ParseSnapshotTest, ResumedDocumentSupportsBoundedReparse) {
+  Grammar G;
+  CorpusCase Case = loadJson(G);
+  Ipg Gen(G);
+  ParseDocument Doc(Gen.graph());
+  Doc.setTokens(pumpedJson(G, Case, 60));
+  ASSERT_TRUE(Doc.reparse().Accepted);
+
+  TempFile Snap("pars-edit");
+  ASSERT_TRUE(ParseSnapshot::save(Gen, Doc, Snap.str()));
+
+  Grammar G2;
+  Grammar::cloneExact(G, G2);
+  Ipg Gen2(G2);
+  Expected<std::unique_ptr<ParseDocument>> Doc2 =
+      ParseSnapshot::resume(Gen2, Snap.str());
+  ASSERT_TRUE(Doc2) << (Doc2 ? "" : Doc2.error().str());
+
+  // A finished parse resumed elsewhere keeps its checkpoints: an edit
+  // re-parses bounded, not from scratch.
+  const SymbolId True = G2.symbols().lookup("true");
+  const SymbolId Number = G2.symbols().lookup("number");
+  size_t Mid = (*Doc2)->size() / 2;
+  while ((*Doc2)->tokens()[Mid] != Number)
+    ++Mid;
+  (*Doc2)->replace(Mid, Mid + 1, ArrayView<SymbolId>(&True, 1));
+  ASSERT_TRUE((*Doc2)->reparse().Accepted);
+  EXPECT_EQ((*Doc2)->lastReparse().Path, ReparseStats::Grafted);
+
+  // Against a from-scratch parse of the edited buffer.
+  GlrParser Ref(Gen2.graph());
+  Forest RF;
+  GlrResult R = Ref.parse(TokenView((*Doc2)->tokens()), RF);
+  ASSERT_TRUE(R.Accepted);
+  EXPECT_EQ(canonForest(R.Root), canonForest((*Doc2)->result().Root));
+}
+
+TEST(ParseSnapshotTest, FinishedRoundTripKeepsVerdict) {
+  Grammar G;
+  buildAmbiguousExpr(G);
+  Ipg Gen(G);
+  ParseDocument Doc(Gen.graph());
+  Doc.setTokens(sentence(G, "a + a + a + a"));
+  ASSERT_TRUE(Doc.reparse().Accepted);
+  const uint64_t Trees = Doc.forest().countTrees(Doc.result().Root);
+  const std::string Canon = canonForest(Doc.result().Root);
+
+  TempFile Snap("pars-finished");
+  ASSERT_TRUE(ParseSnapshot::save(Gen, Doc, Snap.str()));
+
+  Grammar G2;
+  Grammar::cloneExact(G, G2);
+  Ipg Gen2(G2);
+  Expected<std::unique_ptr<ParseDocument>> Doc2 =
+      ParseSnapshot::resume(Gen2, Snap.str());
+  ASSERT_TRUE(Doc2) << (Doc2 ? "" : Doc2.error().str());
+  EXPECT_FALSE((*Doc2)->suspended());
+  // The verdict survives without any reparse.
+  EXPECT_TRUE((*Doc2)->result().Accepted);
+  EXPECT_EQ((*Doc2)->forest().countTrees((*Doc2)->result().Root), Trees);
+  EXPECT_EQ(canonForest((*Doc2)->result().Root), Canon);
+  // And an explicit reparse is the free Unchanged path.
+  (*Doc2)->reparse();
+  EXPECT_EQ((*Doc2)->lastReparse().Path, ReparseStats::Unchanged);
+}
+
+TEST(ParseSnapshotTest, SaveRequiresQuiescentDocument) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  TempFile Snap("pars-quiescent");
+
+  // Idle: nothing parsed yet.
+  ParseDocument Idle(Gen.graph());
+  Idle.setTokens(sentence(G, "true"));
+  EXPECT_FALSE(ParseSnapshot::save(Gen, Idle, Snap.str()));
+
+  // Pending damage: edits not yet reparsed.
+  ParseDocument Dirty(Gen.graph());
+  Dirty.setTokens(sentence(G, "true and false"));
+  Dirty.reparse();
+  Dirty.erase(0, 1);
+  EXPECT_FALSE(ParseSnapshot::save(Gen, Dirty, Snap.str()));
+
+  // A document over a different graph than the saving generator's.
+  Grammar GOther;
+  buildBooleans(GOther);
+  Ipg GenOther(GOther);
+  ParseDocument Foreign(GenOther.graph());
+  Foreign.setTokens(sentence(GOther, "true"));
+  Foreign.reparse();
+  EXPECT_FALSE(ParseSnapshot::save(Gen, Foreign, Snap.str()));
+}
+
+TEST(ParseSnapshotTest, RejectsCorruptedAndTruncatedSections) {
+  Grammar G;
+  CorpusCase Case = loadJson(G);
+  Ipg Gen(G);
+  ParseDocument Doc(Gen.graph());
+  std::vector<SymbolId> Tokens = pumpedJson(G, Case, 30);
+  Doc.setTokens(Tokens);
+  ASSERT_TRUE(Doc.advanceTo(Tokens.size() / 2));
+
+  TempFile Snap("pars-corrupt");
+  ASSERT_TRUE(ParseSnapshot::save(Gen, Doc, Snap.str()));
+  const std::vector<char> Good = readAll(Snap.str());
+  ASSERT_GT(Good.size(), 200u);
+
+  // Flip one byte near the end — inside the PARS rider. The payload
+  // checksum must reject the file.
+  {
+    std::vector<char> Bad = Good;
+    Bad[Bad.size() - 40] = static_cast<char>(Bad[Bad.size() - 40] ^ 0x5a);
+    writeAll(Snap.str(), Bad);
+    Grammar G2;
+    Grammar::cloneExact(G, G2);
+    Ipg Gen2(G2);
+    EXPECT_FALSE(ParseSnapshot::resume(Gen2, Snap.str()));
+  }
+
+  // Truncate the rider: also a checksum failure, never a crash.
+  {
+    std::vector<char> Bad(Good.begin(), Good.end() - 16);
+    writeAll(Snap.str(), Bad);
+    Grammar G2;
+    Grammar::cloneExact(G, G2);
+    Ipg Gen2(G2);
+    EXPECT_FALSE(ParseSnapshot::resume(Gen2, Snap.str()));
+  }
+
+  // Intact file still resumes (the harness itself is not the problem).
+  {
+    writeAll(Snap.str(), Good);
+    Grammar G2;
+    Grammar::cloneExact(G, G2);
+    Ipg Gen2(G2);
+    EXPECT_TRUE(ParseSnapshot::resume(Gen2, Snap.str()));
+  }
+}
+
+TEST(ParseSnapshotTest, ResumeRequiresExactGrammar) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  ParseDocument Doc(Gen.graph());
+  Doc.setTokens(sentence(G, "true or false"));
+  ASSERT_TRUE(Doc.reparse().Accepted);
+  TempFile Snap("pars-mismatch");
+  ASSERT_TRUE(ParseSnapshot::save(Gen, Doc, Snap.str()));
+
+  // A grammar with one extra rule: loadSnapshot would repair it, but a
+  // suspended stack must not resume over a repaired graph.
+  Grammar G2;
+  buildBooleans(G2);
+  Ipg Gen2(G2);
+  Gen2.addRule("B", {"maybe"});
+  EXPECT_FALSE(ParseSnapshot::resume(Gen2, Snap.str()));
+}
+
+TEST(ParseSnapshotTest, RiderIsInvisibleToPlainLoads) {
+  Grammar G;
+  buildArith(G);
+  Ipg Gen(G);
+  ParseDocument Doc(Gen.graph());
+  Doc.setTokens(sentence(G, "id + id * id"));
+  ASSERT_TRUE(Doc.reparse().Accepted);
+  TempFile Snap("pars-rider");
+  ASSERT_TRUE(ParseSnapshot::save(Gen, Doc, Snap.str()));
+
+  // A plain warm start ignores the trailing PARS section entirely.
+  Grammar G2;
+  Grammar::cloneExact(G, G2);
+  Ipg Gen2(G2);
+  Expected<SnapshotLoadResult> Load = Gen2.loadSnapshot(Snap.str());
+  ASSERT_TRUE(Load) << (Load ? "" : Load.error().str());
+  EXPECT_TRUE(Load->FingerprintMatched);
+  EXPECT_TRUE(Gen2.recognize(sentence(G2, "id + id")));
+}
+
+TEST(ParseSnapshotTest, MissingRiderAndV1AreErrors) {
+  Grammar G;
+  buildBooleans(G);
+  Ipg Gen(G);
+  ASSERT_TRUE(Gen.recognize(sentence(G, "true")));
+  TempFile Snap("pars-missing");
+
+  // A plain snapshot has no PARS rider to resume from.
+  ASSERT_TRUE(Gen.saveSnapshot(Snap.str()));
+  Grammar G2;
+  Grammar::cloneExact(G, G2);
+  Ipg Gen2(G2);
+  EXPECT_FALSE(ParseSnapshot::resume(Gen2, Snap.str()));
+
+  // And the v1 container cannot carry extras at all.
+  std::vector<SnapshotExtraSection> Extras(1);
+  Extras[0].Tag = SnapshotParsTag;
+  Extras[0].Bytes = {1, 2, 3};
+  EXPECT_FALSE(Gen.saveSnapshot(Snap.str(), Extras, SnapshotFormat::V1));
+}
+
+} // namespace

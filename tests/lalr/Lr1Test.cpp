@@ -80,7 +80,7 @@ TEST(Lr1, EpsilonRulesAndLookaheads) {
   for (const char *Text : {"x", "a x", "b x", "c x", "a b c x"})
     EXPECT_TRUE(Parser.recognize(sentence(G, Text))) << Text;
   EXPECT_FALSE(Parser.recognize(sentence(G, "x x")));
-  EXPECT_FALSE(Parser.recognize({}));
+  EXPECT_FALSE(Parser.recognize(TokenView()));
 }
 
 TEST(Lr1, AmbiguousGrammarStillConflicts) {

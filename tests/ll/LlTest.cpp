@@ -88,7 +88,7 @@ TEST(Ll1, NullableRulesUseFollow) {
   Ll1Table Table(G);
   ASSERT_TRUE(Table.isLl1());
   Ll1Parser Parser(Table, G);
-  EXPECT_TRUE(Parser.recognize({}));
+  EXPECT_TRUE(Parser.recognize(TokenView()));
   EXPECT_TRUE(Parser.recognize(sentence(G, "a a b b")));
   EXPECT_FALSE(Parser.recognize(sentence(G, "a b b")));
 }
@@ -113,7 +113,7 @@ TEST(BacktrackRd, ParsesNonLeftRecursiveGrammars) {
   BacktrackRdParser Parser(G);
   TreeArena Arena;
   EXPECT_TRUE(Parser.parse(sentence(G, "a a b b"), Arena).Accepted);
-  EXPECT_TRUE(Parser.parse({}, Arena).Accepted);
+  EXPECT_TRUE(Parser.parse(TokenView(), Arena).Accepted);
   EXPECT_FALSE(Parser.parse(sentence(G, "a b b"), Arena).Accepted);
 }
 

@@ -51,7 +51,7 @@ TEST(DotExport, InitialSetsRenderDashed) {
   Grammar G;
   buildBooleans(G);
   ItemSetGraph Graph(G);
-  Graph.actions(Graph.startSet(), G.symbols().lookup("true"));
+  Graph.actionsView(Graph.startSet(), G.symbols().lookup("true"));
   std::string Dot = graphToDot(Graph);
   EXPECT_NE(Dot.find("style=\"dashed,filled\", fillcolor=lightblue"),
             std::string::npos);

@@ -269,18 +269,29 @@ TEST(HotPathAlloc, SteadyStateQueriesStayCleanUnderDormantTracing) {
       << "steady-state queries must record no trace events";
 }
 
-TEST(HotPathAlloc, CompatibilityActionsWrapperStillAllocatesItsVector) {
-  // Documents why the drivers migrated: the old vector-returning API
-  // cannot be allocation-free when actions exist.
+TEST(HotPathAlloc, MaterializingActionsIntoAVectorAllocates) {
+  // The ablation the deleted vector-returning actions() wrapper used to
+  // document: materializing ACTION into a container cannot be
+  // allocation-free when actions exist — which is why the view is now
+  // the only query API.
   Grammar G;
   buildBooleans(G);
   ItemSetGraph Graph(G);
   Graph.generateAll();
   SymbolId True = G.symbols().lookup("true");
-  Graph.actions(Graph.startSet(), True); // Warm up.
-  unsigned long long Allocs = allocationsDuring(
-      [&] { Graph.actions(Graph.startSet(), True); });
+  uintptr_t Sink = 0;
+  auto Materialize = [&] {
+    std::vector<LrAction> Out;
+    Graph.forEachAction(Graph.startSet(), True,
+                        [&](const LrAction &A) { Out.push_back(A); });
+    for (const LrAction &A : Out)
+      Sink ^= reinterpret_cast<uintptr_t>(A.Target) ^ A.Rule;
+  };
+  Materialize(); // Warm up.
+  unsigned long long Allocs = allocationsDuring(Materialize);
   EXPECT_GT(Allocs, 0ull);
+  volatile uintptr_t Guard = Sink; // Keep the queries observable.
+  (void)Guard;
 }
 
 } // namespace

@@ -135,10 +135,10 @@ TEST(Fig41, ActionsMatchTableRow0) {
   Graph.generateAll();
   ItemSet *S0 = Graph.startSet();
   // Row 0 of Fig 4.1(b): shift on true/false, error elsewhere.
-  EXPECT_EQ(Graph.actions(S0, G.symbols().lookup("true")).size(), 1u);
-  EXPECT_EQ(Graph.actions(S0, G.symbols().lookup("false")).size(), 1u);
-  EXPECT_TRUE(Graph.actions(S0, G.symbols().lookup("or")).empty());
-  EXPECT_TRUE(Graph.actions(S0, G.endMarker()).empty());
+  EXPECT_EQ(Graph.actionsView(S0, G.symbols().lookup("true")).size(), 1u);
+  EXPECT_EQ(Graph.actionsView(S0, G.symbols().lookup("false")).size(), 1u);
+  EXPECT_TRUE(Graph.actionsView(S0, G.symbols().lookup("or")).empty());
+  EXPECT_TRUE(Graph.actionsView(S0, G.endMarker()).empty());
 }
 
 TEST(Fig41, ConflictRow6HasShiftAndReduce) {
@@ -152,9 +152,8 @@ TEST(Fig41, ConflictRow6HasShiftAndReduce) {
   ItemSet *S6 = const_cast<ItemSet *>(follow(Graph, S4, "B"));
   // Fig 4.1(b): state 6 on 'or' offers both s4 and r2 — the LR(0)
   // ambiguity the parallel parser explores.
-  std::vector<LrAction> Actions = Graph.actions(S6, G.symbols().lookup("or"));
-  ASSERT_EQ(Actions.size(), 2u);
-  EXPECT_EQ(Graph.actions(S6, G.endMarker()).size(), 1u) << "reduce only";
+  EXPECT_EQ(Graph.actionsView(S6, G.symbols().lookup("or")).size(), 2u);
+  EXPECT_EQ(Graph.actionsView(S6, G.endMarker()).size(), 1u) << "reduce only";
 }
 
 TEST(Goto, ReturnsUniqueNonterminalTarget) {
@@ -182,7 +181,7 @@ TEST(GotoDeathTest, MissingTransitionAbortsInEveryBuildType) {
   EXPECT_DEATH(Graph.gotoState(S0, Fresh), "GOTO");
 }
 
-TEST(ActionsView, MatchesVectorReturningActions) {
+TEST(ActionsView, ForEachAgreesWithDecomposedAccessors) {
   Grammar G;
   buildBooleans(G);
   ItemSetGraph Graph(G);
@@ -192,12 +191,20 @@ TEST(ActionsView, MatchesVectorReturningActions) {
     for (SymbolId Sym = 0; Sym < G.symbols().size(); ++Sym) {
       if (!G.symbols().isTerminal(Sym))
         continue;
-      std::vector<LrAction> Expected = Graph.actions(State, Sym);
       LrActionsView View = Graph.actionsView(State, Sym);
-      ASSERT_EQ(View.size(), Expected.size());
-      EXPECT_EQ(View.empty(), Expected.empty());
       std::vector<LrAction> Collected;
       View.forEach([&](const LrAction &A) { Collected.push_back(A); });
+      ASSERT_EQ(Collected.size(), View.size());
+      EXPECT_EQ(Collected.empty(), View.empty());
+      // forEach order contract: reductions first, then the shift, then
+      // accept — rebuilt here from the decomposed accessors.
+      std::vector<LrAction> Expected;
+      for (const RuleId *R = View.reduceBegin(); R != View.reduceEnd(); ++R)
+        Expected.push_back(LrAction::reduce(*R));
+      if (View.shiftTarget() != nullptr)
+        Expected.push_back(LrAction::shift(View.shiftTarget()));
+      if (View.accepts())
+        Expected.push_back(LrAction::accept());
       EXPECT_EQ(Collected, Expected)
           << "state " << State->id() << ", symbol "
           << G.symbols().name(Sym);
@@ -342,7 +349,7 @@ TEST(ItemSetGraph, PoolGrowthKeepsSpansAndViewsStable) {
     Grammar G;
     buildRandomGrammar(G, Seed);
     ItemSetGraph Graph(G);
-    Graph.actions(Graph.startSet(), G.endMarker()); // Expands the start set.
+    Graph.actionsView(Graph.startSet(), G.endMarker()); // Expands the start set.
     ASSERT_EQ(Graph.startSet()->state(), ItemSetState::Complete);
 
     struct Snapshot {

@@ -67,7 +67,7 @@ TEST(LrParser, EmptyInputRejectedWhenNotNullable) {
   ParseTable Table = buildLr0Table(Graph);
   LrParser Parser(Table, G);
   TreeArena Arena;
-  EXPECT_FALSE(Parser.parse({}, Arena).Accepted);
+  EXPECT_FALSE(Parser.parse(TokenView(), Arena).Accepted);
 }
 
 TEST(LrParser, RecognizeAgreesWithParse) {

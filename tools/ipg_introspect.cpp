@@ -87,19 +87,18 @@ std::vector<std::string> words(std::string_view Line) {
 }
 
 /// Resolves token names against the grammar (no interning: an unknown
-/// token cannot be parsed anyway). Returns false naming the offender.
-bool resolveTokens(const Grammar &G, const std::vector<std::string> &Names,
-                   std::vector<SymbolId> &Out, std::string &Unknown) {
-  Out.clear();
+/// token cannot be parsed anyway).
+Expected<std::vector<SymbolId>>
+resolveTokens(const Grammar &G, const std::vector<std::string> &Names) {
+  std::vector<SymbolId> Out;
+  Out.reserve(Names.size());
   for (const std::string &Name : Names) {
     SymbolId Id = G.symbols().lookup(Name);
-    if (Id == InvalidSymbol) {
-      Unknown = Name;
-      return false;
-    }
+    if (Id == InvalidSymbol)
+      return Error("unknown token '" + Name + "'");
     Out.push_back(Id);
   }
-  return true;
+  return Out;
 }
 
 struct ReplayTally {
@@ -107,59 +106,59 @@ struct ReplayTally {
   JsonValue Parses = JsonValue::array();
 };
 
-/// Replays one edit-script line. Returns false (with a message already
-/// printed) on a malformed line or unknown parse token.
-bool replayLine(Ipg &Gen, std::string_view Line, size_t LineNo,
-                ReplayTally &Tally) {
-  std::string_view Body = Line.substr(0, Line.find('#'));
-  std::vector<std::string> W = words(Body);
-  if (W.empty())
-    return true;
+/// Replays a whole edit script into \p Tally, one command per line
+/// ('#' starts a comment). Returns the number of commands executed;
+/// errors carry the offending line in the Error location slot, the same
+/// convention as readBnf and Ipg::loadSnapshot.
+Expected<uint64_t> replayScript(Ipg &Gen, std::string_view Script,
+                                ReplayTally &Tally) {
   Grammar &G = Gen.grammar();
-  const std::string &Cmd = W[0];
-  if (Cmd == "add" || Cmd == "delete") {
-    if (W.size() < 2) {
-      std::fprintf(stderr, "error: line %zu: %s needs a LHS\n", LineNo,
-                   Cmd.c_str());
-      return false;
+  uint64_t Commands = 0;
+  size_t Pos = 0;
+  for (unsigned LineNo = 1; Pos <= Script.size(); ++LineNo) {
+    size_t End = Script.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Script.size();
+    std::string_view Line = Script.substr(Pos, End - Pos);
+    Pos = End + 1;
+
+    std::string_view Body = Line.substr(0, Line.find('#'));
+    std::vector<std::string> W = words(Body);
+    if (W.empty())
+      continue;
+    const std::string &Cmd = W[0];
+    if (Cmd == "add" || Cmd == "delete") {
+      if (W.size() < 2)
+        return Error(Cmd + " needs a LHS", LineNo);
+      SymbolId Lhs = G.symbols().intern(W[1]);
+      std::vector<SymbolId> Rhs;
+      for (size_t I = 2; I < W.size(); ++I)
+        Rhs.push_back(G.symbols().intern(W[I]));
+      bool Changed = Cmd == "add" ? Gen.addRule(Lhs, std::move(Rhs))
+                                  : Gen.deleteRule(Lhs, Rhs);
+      (Changed ? (Cmd == "add" ? Tally.Adds : Tally.Deletes) : Tally.NoOps)++;
+    } else if (Cmd == "parse") {
+      Expected<std::vector<SymbolId>> Tokens =
+          resolveTokens(G, {W.begin() + 1, W.end()});
+      if (!Tokens)
+        return Error(Tokens.error().Message, LineNo);
+      JsonValue Entry = JsonValue::object();
+      Entry.set("line", uint64_t(LineNo));
+      Entry.set("tokens", uint64_t(Tokens->size()));
+      Entry.set("accepted", Gen.recognize(*Tokens));
+      Tally.Parses.push(std::move(Entry));
+    } else if (Cmd == "gc") {
+      Gen.collectGarbage();
+      ++Tally.Gcs;
+    } else if (Cmd == "generate") {
+      Gen.generateAll();
+      ++Tally.Generates;
+    } else {
+      return Error("unknown command '" + Cmd + "'", LineNo);
     }
-    SymbolId Lhs = G.symbols().intern(W[1]);
-    std::vector<SymbolId> Rhs;
-    for (size_t I = 2; I < W.size(); ++I)
-      Rhs.push_back(G.symbols().intern(W[I]));
-    bool Changed = Cmd == "add" ? Gen.addRule(Lhs, std::move(Rhs))
-                                : Gen.deleteRule(Lhs, Rhs);
-    (Changed ? (Cmd == "add" ? Tally.Adds : Tally.Deletes) : Tally.NoOps)++;
-    return true;
+    ++Commands;
   }
-  if (Cmd == "parse") {
-    std::vector<SymbolId> Tokens;
-    std::string Unknown;
-    if (!resolveTokens(G, {W.begin() + 1, W.end()}, Tokens, Unknown)) {
-      std::fprintf(stderr, "error: line %zu: unknown token '%s'\n", LineNo,
-                   Unknown.c_str());
-      return false;
-    }
-    JsonValue Entry = JsonValue::object();
-    Entry.set("line", uint64_t(LineNo));
-    Entry.set("tokens", uint64_t(Tokens.size()));
-    Entry.set("accepted", Gen.recognize(Tokens));
-    Tally.Parses.push(std::move(Entry));
-    return true;
-  }
-  if (Cmd == "gc") {
-    Gen.collectGarbage();
-    ++Tally.Gcs;
-    return true;
-  }
-  if (Cmd == "generate") {
-    Gen.generateAll();
-    ++Tally.Generates;
-    return true;
-  }
-  std::fprintf(stderr, "error: line %zu: unknown command '%s'\n", LineNo,
-               Cmd.c_str());
-  return false;
+  return Commands;
 }
 
 } // namespace
@@ -254,29 +253,23 @@ int main(int argc, char **argv) {
                    Script.error().str().c_str());
       return 2;
     }
-    size_t LineNo = 0, Pos = 0;
-    while (Pos <= Script->size()) {
-      size_t End = Script->find('\n', Pos);
-      if (End == std::string::npos)
-        End = Script->size();
-      ++LineNo;
-      if (!replayLine(Gen, std::string_view(*Script).substr(Pos, End - Pos),
-                      LineNo, Tally))
-        return 2;
-      Pos = End + 1;
+    Expected<uint64_t> Replayed = replayScript(Gen, *Script, Tally);
+    if (!Replayed) {
+      std::fprintf(stderr, "error: %s: %s\n", EditsPath.c_str(),
+                   Replayed.error().str().c_str());
+      return 2;
     }
   }
   for (const std::string &Input : ParseArgs) {
-    std::vector<SymbolId> Tokens;
-    std::string Unknown;
-    if (!resolveTokens(G, words(Input), Tokens, Unknown)) {
-      std::fprintf(stderr, "error: --parse: unknown token '%s'\n",
-                   Unknown.c_str());
+    Expected<std::vector<SymbolId>> Tokens = resolveTokens(G, words(Input));
+    if (!Tokens) {
+      std::fprintf(stderr, "error: --parse: %s\n",
+                   Tokens.error().str().c_str());
       return 2;
     }
     JsonValue Entry = JsonValue::object();
     Entry.set("input", Input);
-    Entry.set("accepted", Gen.recognize(Tokens));
+    Entry.set("accepted", Gen.recognize(*Tokens));
     Tally.Parses.push(std::move(Entry));
   }
   if (Generate)
